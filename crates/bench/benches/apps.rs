@@ -1,0 +1,89 @@
+//! Application-level benches: the collective extension (hierarchical vs
+//! linear broadcast) and the scatter-search case study — the ablation
+//! benches DESIGN.md calls out for the design choices.
+
+use cellpilot::{
+    CellPilotConfig, CellPilotOpts, CpBundleUsage, CpChannel, CpProcess, SpeProgram, CP_MAIN,
+};
+use cp_pilot::PiValue;
+use cp_scatter::{parallel_scatter_search, Knapsack, SsParams};
+use cp_simnet::ClusterSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Build and run a broadcast to `n` remote SPEs, either via the bundle
+/// multicast (hierarchical) or channel-by-channel (linear). Returns the
+/// virtual completion time in µs.
+fn broadcast_app(n: usize, linear: bool) -> f64 {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let recv = SpeProgram::new("recv", 2048, |spe, _, _| {
+        let _ = spe.read(CpChannel(spe.index() as usize), "%100d").unwrap();
+    });
+    let ppe1 = cfg
+        .create_process("ppe1", 0, |cp, _| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    let mut chans = Vec::new();
+    for i in 0..n {
+        let s = cfg.create_spe_process(&recv, ppe1, i as i32).unwrap();
+        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+    }
+    let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
+    let report = cfg
+        .run(move |cp| {
+            let data = PiValue::Int32((0..100).collect());
+            if linear {
+                for &ch in &chans {
+                    cp.write(ch, "%100d", std::slice::from_ref(&data)).unwrap();
+                }
+            } else {
+                cp.broadcast(bundle, "%100d", &[data]).unwrap();
+            }
+        })
+        .unwrap();
+    report.end_time.as_micros_f64()
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_6_remote_spes");
+    g.sample_size(10);
+    g.bench_function("hierarchical", |b| {
+        b.iter(|| black_box(broadcast_app(6, false)))
+    });
+    g.bench_function("linear", |b| b.iter(|| black_box(broadcast_app(6, true))));
+    g.finish();
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scatter_search");
+    g.sample_size(10);
+    let problem = Knapsack::random(48, 7);
+    let params = SsParams {
+        pool_size: 12,
+        refset_size: 6,
+        generations: 2,
+        ..Default::default()
+    };
+    for workers in [1usize, 8] {
+        let p = problem.clone();
+        let pr = params.clone();
+        g.bench_function(format!("{workers}_workers"), move |b| {
+            let spec = ClusterSpec::two_cells_one_xeon();
+            b.iter(|| black_box(parallel_scatter_search(&p, &pr, workers, &spec)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_scatter);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Criterion benches for the substrate layers: the DES kernel's context
+//! switch, MPI point-to-point and collectives, and Cell-node primitives.
+//! These guard the simulator's own performance (wall-clock), which bounds
+//! how large an experiment the harness can run.
+
+use cp_cellsim::{CellCosts, CellNode, DmaDir};
+use cp_des::{SimDuration, Simulation};
+use cp_mpisim::{mpirun, MpiCosts, ReduceOp};
+use cp_simnet::{ClusterSpec, NodeId, NodeKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_des_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(20);
+    g.bench_function("context_switches_2proc_1000steps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            for p in 0..2 {
+                sim.spawn(&format!("p{p}"), |ctx| {
+                    for _ in 0..1000 {
+                        ctx.advance(SimDuration::from_nanos(10));
+                    }
+                });
+            }
+            black_box(sim.run().unwrap());
+        });
+    });
+    g.bench_function("spawn_join_100procs", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.spawn("root", |ctx| {
+                let pids: Vec<_> = (0..100)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), |c| {
+                            c.advance(SimDuration::from_micros(1));
+                        })
+                    })
+                    .collect();
+                for p in pids {
+                    ctx.join(p);
+                }
+            });
+            black_box(sim.run().unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_mpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi");
+    g.sample_size(10);
+    g.bench_function("pingpong_100rounds", |b| {
+        b.iter(|| {
+            let spec = ClusterSpec::two_cells_one_xeon();
+            mpirun(
+                &spec,
+                vec![NodeId(0), NodeId(1)],
+                MpiCosts::default(),
+                |comm| {
+                    if comm.rank() == 0 {
+                        for _ in 0..100 {
+                            comm.send(1, 0, &[1u8]);
+                            let _ = comm.recv(Some(1), Some(0));
+                        }
+                    } else {
+                        for _ in 0..100 {
+                            let m = comm.recv(Some(0), Some(0));
+                            comm.send_bytes(0, 0, m.dtype, m.count, m.data);
+                        }
+                    }
+                },
+            )
+            .unwrap();
+        });
+    });
+    g.bench_function("allreduce_16ranks", |b| {
+        b.iter(|| {
+            let spec = ClusterSpec {
+                nodes: vec![NodeKind::Commodity { cores: 4 }; 16],
+                ..ClusterSpec::two_cells_one_xeon()
+            };
+            let placement = (0..16).map(NodeId).collect();
+            mpirun(&spec, placement, MpiCosts::default(), |comm| {
+                let v = comm.allreduce(ReduceOp::Sum, &[comm.rank() as i64]);
+                black_box(v);
+            })
+            .unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_cellsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cellsim");
+    g.sample_size(20);
+    g.bench_function("dma_roundtrips_100", |b| {
+        b.iter(|| {
+            let cell = CellNode::new(0, 8, 1 << 20, CellCosts::default());
+            let mut sim = Simulation::new();
+            sim.spawn("spu", move |ctx| {
+                let buf = cell.mem.alloc(1024, 16).unwrap();
+                let ls = cell.spes[0].ls.alloc(1024, 16).unwrap();
+                for i in 0..100u32 {
+                    let tag = i % 16;
+                    cell.dma(ctx, 0, DmaDir::Get, tag, ls, buf, 1024).unwrap();
+                    cell.dma_wait(ctx, 0, 1 << tag);
+                }
+            });
+            black_box(sim.run().unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_pilot(c: &mut Criterion) {
+    use cp_pilot::{pi_read, pi_write, PiChannel, PilotConfig, PilotOpts, PI_MAIN};
+    let mut g = c.benchmark_group("pilot");
+    g.sample_size(10);
+    g.bench_function("write_read_100rounds", |b| {
+        b.iter(|| {
+            let mut cfg = PilotConfig::one_rank_per_node(
+                ClusterSpec::two_cells_one_xeon(),
+                PilotOpts::default(),
+            );
+            let w = cfg
+                .create_process("echo", 0, |p, _| {
+                    for _ in 0..100 {
+                        let v = pi_read!(p, PiChannel(0), "%16d");
+                        p.write(PiChannel(1), "%16d", &v).unwrap();
+                    }
+                })
+                .unwrap();
+            cfg.create_channel(PI_MAIN, w).unwrap();
+            cfg.create_channel(w, PI_MAIN).unwrap();
+            let r = cfg.run(|p| {
+                let data: Vec<i32> = (0..16).collect();
+                for _ in 0..100 {
+                    pi_write!(p, PiChannel(0), "%16d", data.clone());
+                    let _ = pi_read!(p, PiChannel(1), "%16d");
+                }
+            });
+            black_box(r.unwrap());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des_kernel,
+    bench_mpi,
+    bench_cellsim,
+    bench_pilot
+);
+criterion_main!(benches);

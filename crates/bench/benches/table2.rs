@@ -1,0 +1,37 @@
+//! Criterion benches for the Table II ping-pongs: tracks the wall-clock
+//! cost of simulating each channel type × implementation (the virtual-time
+//! results themselves are deterministic; see `repro_table2`).
+
+use cellpilot::baseline::{pingpong as baseline_pingpong, BaselineImpl};
+use cp_bench::cellpilot_pingpong;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cellpilot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cellpilot_pingpong");
+    g.sample_size(10);
+    for chan_type in 1..=5u8 {
+        for bytes in [1usize, 1600] {
+            g.bench_function(format!("type{chan_type}/{bytes}B"), |b| {
+                b.iter(|| black_box(cellpilot_pingpong(chan_type, bytes, 10)));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_pingpong");
+    g.sample_size(10);
+    for chan_type in 1..=5u8 {
+        for imp in [BaselineImpl::Dma, BaselineImpl::Copy] {
+            g.bench_function(format!("type{chan_type}/{imp:?}/1600B"), |b| {
+                b.iter(|| black_box(baseline_pingpong(chan_type, imp, 1600, 10)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cellpilot, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation of the Co-Pilot's overhead (the paper's Section V analysis:
+//! "all SPE-connected channel types are paying some overhead for the
+//! Co-Pilot process... it is likely that Co-Pilot processing can be sped
+//! up in the future"). Zeroing each cost constant shows how much of each
+//! channel type's latency it explains, i.e. what an optimized Co-Pilot
+//! could recover.
+
+use cellpilot::{CellPilotCosts, CellPilotOpts};
+use cp_bench::cellpilot_pingpong_with;
+
+fn opts(costs: CellPilotCosts) -> CellPilotOpts {
+    CellPilotOpts {
+        costs,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let reps = 50;
+    println!("Co-Pilot overhead ablation (1-byte one-way latency, us):\n");
+    println!(
+        "{:<6} {:>10} {:>16} {:>16} {:>14}",
+        "type", "default", "dispatch=0", "pair_poll=0", "both=0"
+    );
+    for t in 2..=5u8 {
+        let base = cellpilot_pingpong_with(t, 1, reps, opts(CellPilotCosts::default())).one_way_us;
+        let no_dispatch = cellpilot_pingpong_with(
+            t,
+            1,
+            reps,
+            opts(CellPilotCosts {
+                copilot_dispatch_us: 0.0,
+                ..Default::default()
+            }),
+        )
+        .one_way_us;
+        let no_pair = cellpilot_pingpong_with(
+            t,
+            1,
+            reps,
+            opts(CellPilotCosts {
+                copilot_pair_poll_us: 0.0,
+                ..Default::default()
+            }),
+        )
+        .one_way_us;
+        let neither = cellpilot_pingpong_with(
+            t,
+            1,
+            reps,
+            opts(CellPilotCosts {
+                copilot_dispatch_us: 0.0,
+                copilot_pair_poll_us: 0.0,
+                ..Default::default()
+            }),
+        )
+        .one_way_us;
+        println!("{t:<6} {base:>10.1} {no_dispatch:>16.1} {no_pair:>16.1} {neither:>14.1}");
+    }
+    println!("\nReading: type 4 pays the pairing poll; types 2/3/5 pay per-request dispatch");
+    println!("(type 5 twice, once per Co-Pilot). The residual is mailboxes + MPI + copies,");
+    println!("i.e. the hand-coded floor of Table II.");
+}

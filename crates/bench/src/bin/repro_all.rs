@@ -1,0 +1,32 @@
+//! Run every paper-reproduction artifact in sequence — the one-command
+//! regeneration of EXPERIMENTS.md's data.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro_table2",
+        "repro_fig5",
+        "repro_fig6",
+        "repro_footprint",
+        "repro_codesize",
+        "repro_ablation",
+        "repro_sweep",
+        "repro_scaling",
+        "repro_imb",
+        "repro_datatypes",
+        "repro_speedup",
+        "repro_trace",
+    ];
+    // When invoked via `cargo run`, sibling binaries sit next to us.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("running {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerate the paper's Section IV.C code-size comparison: the 3-hop
+//! relay application (SPE -> parent PPE -> remote PPE -> its SPE) written
+//! with CellPilot, DaCS, and the raw SDK.
+
+use cp_bench::codesize::{loc_comparison, relay_cellpilot, relay_dacs, relay_sdk, PAPER_LOC};
+
+fn main() {
+    println!("Running all three relay implementations...");
+    let a = relay_cellpilot::run();
+    let b = relay_dacs::run();
+    let c = relay_sdk::run();
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+    println!("All three produce identical output ({} ints).\n", a.len());
+    println!("Lines of code (effective, non-blank non-comment):");
+    println!("{:<12} {:>10} {:>12}", "version", "measured", "paper (C)");
+    for ((name, loc), (pname, ploc)) in loc_comparison().iter().zip(PAPER_LOC.iter()) {
+        assert_eq!(name, pname);
+        println!("{name:<12} {loc:>10} {ploc:>12}");
+    }
+    let [(_, cp), (_, dacs), (_, sdk)] = loc_comparison();
+    println!(
+        "\nRatios: SDK/CellPilot = {:.2} (paper 2.33), DaCS/CellPilot = {:.2} (paper 1.43)",
+        sdk as f64 / cp as f64,
+        dacs as f64 / cp as f64
+    );
+}

@@ -1,0 +1,41 @@
+//! Paper §V: "Each data type supported by CellPilot was sent across each
+//! of the 5 channel types to measure communication latency." Table II
+//! published only the extremes (%b and %100Lf); this prints the full
+//! datatype sweep at count=100, where latency tracks the wire size of the
+//! element type.
+
+use cp_bench::cellpilot_pingpong;
+
+fn main() {
+    // (format letter, wire bytes per element)
+    let dtypes: [(&str, usize); 9] = [
+        ("b", 1),
+        ("c", 1),
+        ("hd", 2),
+        ("d", 4),
+        ("u", 4),
+        ("f", 4),
+        ("ld", 8),
+        ("lf", 8),
+        ("Lf", 16),
+    ];
+    let reps = 30;
+    print!("{:>8} {:>8}", "dtype", "bytes");
+    for t in 1..=5u8 {
+        print!(" {:>9}", format!("type{t} us"));
+    }
+    println!();
+    for (letter, sz) in dtypes {
+        let bytes = 100 * sz;
+        print!("{:>8} {:>8}", format!("%100{letter}"), bytes);
+        for t in 1..=5u8 {
+            // Latency depends only on wire bytes in the model, so measure
+            // by equivalent byte payloads.
+            let us = cellpilot_pingpong(t, bytes, reps).one_way_us;
+            print!(" {us:>9.1}");
+        }
+        println!();
+    }
+    println!("\n(100 elements each; %b/%c share a row's cost, as do %d/%u/%f and %ld/%lf:");
+    println!("latency is a function of the element's wire size.)");
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Figure 5: latency bars per channel type (solid =
+//! 1-byte, hatched = 1600-byte) for CellPilot vs hand-coded transfers.
+
+fn main() {
+    let cells = cp_bench::measure_table2(50);
+    print!("{}", cp_bench::render_fig5(&cells));
+}

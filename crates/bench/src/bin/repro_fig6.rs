@@ -1,0 +1,7 @@
+//! Regenerate the paper's Figure 6: throughput (MB/s) of the 1600-byte
+//! array case across the five channel types and three implementations.
+
+fn main() {
+    let cells = cp_bench::measure_table2(50);
+    print!("{}", cp_bench::render_fig6(&cells));
+}

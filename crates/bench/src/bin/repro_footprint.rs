@@ -1,0 +1,74 @@
+//! Regenerate the paper's Section V footprint comparison: bytes of the
+//! 256 KB SPE local store consumed by the resident communication library.
+//! Measured live by loading the same program under both runtimes and
+//! inspecting the local-store reservation ledger.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, SpeProgram, CP_MAIN, SPE_RUNTIME_FOOTPRINT};
+use cp_cellsim::{CellCosts, CellNode, LS_SIZE};
+use cp_dacs::{DacsHost, SPE_LIB_FOOTPRINT};
+use cp_des::Simulation;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let image = 4096;
+    // CellPilot: observe the reservation while an SPE program runs.
+    let observed_cp = Arc::new(Mutex::new(0usize));
+    let obs = observed_cp.clone();
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        ClusterSpec::two_cells_one_xeon(),
+        CellPilotOpts::default(),
+    );
+    let prog = SpeProgram::new("probe", image, move |spe, _, _| {
+        *obs.lock() = LS_SIZE - spe.local_store_free();
+    });
+    let p = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(p, 0, 0).unwrap();
+        cp.wait_spe(t);
+    })
+    .unwrap();
+
+    // DaCS: same probe under the DaCS runtime.
+    let observed_dacs = Arc::new(Mutex::new(0usize));
+    let obs2 = observed_dacs.clone();
+    let mut sim = Simulation::new();
+    let cell = CellNode::new(0, 8, 1 << 20, CellCosts::default());
+    sim.spawn("he", move |ctx| {
+        let dacs = DacsHost::init(cell.clone());
+        let cell2 = cell.clone();
+        let pid = dacs
+            .de_start(ctx, 0, "probe", image, move |_ae| {
+                *obs2.lock() = LS_SIZE - cell2.spes[0].ls.free_bytes();
+            })
+            .unwrap();
+        ctx.join(pid);
+    });
+    sim.run().unwrap();
+
+    let cp_total = *observed_cp.lock();
+    let dacs_total = *observed_dacs.lock();
+    println!("SPE local-store occupancy while running a {image}-byte program image:");
+    println!(
+        "{:<22} {:>10} {:>22}",
+        "runtime", "measured", "paper (library only)"
+    );
+    println!(
+        "{:<22} {:>10} {:>22}",
+        "CellPilot",
+        cp_total - image,
+        format!("{SPE_RUNTIME_FOOTPRINT} (cellpilot.o)")
+    );
+    println!(
+        "{:<22} {:>10} {:>22}",
+        "DaCS",
+        dacs_total - image,
+        format!("{SPE_LIB_FOOTPRINT} (libdacs.a)")
+    );
+    println!(
+        "\nDaCS/CellPilot footprint ratio: {:.2} (paper: {:.2})",
+        (dacs_total - image) as f64 / (cp_total - image) as f64,
+        SPE_LIB_FOOTPRINT as f64 / SPE_RUNTIME_FOOTPRINT as f64
+    );
+}

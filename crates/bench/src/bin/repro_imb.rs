@@ -1,0 +1,25 @@
+//! Extension: further IMB patterns over CellPilot channels — PingPing
+//! (simultaneous bidirectional traffic) and the ring Exchange kernel.
+
+use cp_bench::{cellpilot_pingpong, exchange, pingping};
+
+fn main() {
+    let reps = 30;
+    println!("IMB PingPing over CellPilot channels (64B, per-message us):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "type", "pingpong 1-way", "pingping", "ratio"
+    );
+    for t in 1..=3u8 {
+        let one_way = cellpilot_pingpong(t, 64, reps).one_way_us;
+        let pp = pingping(t, 64, reps);
+        println!("{t:>6} {one_way:>12.1} {pp:>12.1} {:>7.2}x", pp / one_way);
+    }
+    println!("\n(types 4/5 cannot run PingPing: SPE<->SPE writes rendezvous at the");
+    println!("Co-Pilot, so simultaneous sends deadlock — see cp-bench's tests.)\n");
+    println!("IMB Exchange, 128B halos, per-iteration us at rank 0:");
+    println!("{:>6} {:>12}", "ring", "time");
+    for n in [3usize, 4, 6, 8] {
+        println!("{n:>6} {:>12.1}", exchange(n, 128, reps));
+    }
+}

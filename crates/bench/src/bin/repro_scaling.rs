@@ -1,0 +1,83 @@
+//! Extension experiment: broadcast scaling on the paper's full 8-blade
+//! cluster — one message to N SPE receivers spread across blades, with the
+//! hierarchical multicast (one wire crossing per blade) against
+//! channel-by-channel linear writes (one crossing per SPE).
+
+use cellpilot::{
+    CellPilotConfig, CellPilotOpts, CpBundleUsage, CpChannel, CpProcess, SpeProgram, CP_MAIN,
+};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+/// Broadcast one 400-byte array to `n` SPEs spread round-robin over the 8
+/// Cell blades; return the virtual completion time in µs.
+fn broadcast_time(n: usize, linear: bool) -> f64 {
+    let spec = ClusterSpec::paper();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let recv = SpeProgram::new("recv", 2048, |spe, _, _| {
+        let _ = spe.read(CpChannel(spe.index() as usize), "%100d").unwrap();
+    });
+    // Hosts on blades 1..8 launch their local SPEs (blade 0 is CP_MAIN's).
+    let mut hosts = vec![CP_MAIN];
+    for b in 1..8 {
+        hosts.push(
+            cfg.create_process(&format!("host{b}"), b, |cp, _| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap(),
+        );
+    }
+    let mut chans = Vec::new();
+    for i in 0..n {
+        let s = cfg
+            .create_spe_process(&recv, hosts[i % hosts.len()], i as i32)
+            .unwrap();
+        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+    }
+    let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
+    let report = cfg
+        .run(move |cp| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            let data = PiValue::Int32((0..100).collect());
+            if linear {
+                for &c in &chans {
+                    cp.write(c, "%100d", std::slice::from_ref(&data)).unwrap();
+                }
+            } else {
+                cp.broadcast(bundle, "%100d", &[data]).unwrap();
+            }
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .expect("scaling app");
+    report.end_time.as_micros_f64()
+}
+
+fn main() {
+    println!("Broadcast completion time on the paper's 8-blade cluster (400B payload)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>10}",
+        "SPEs", "hierarchical us", "linear us", "saving"
+    );
+    for n in [8usize, 16, 32, 64, 128] {
+        let h = broadcast_time(n, false);
+        let l = broadcast_time(n, true);
+        println!("{n:>10} {h:>16.0} {l:>16.0} {:>9.2}x", l / h);
+    }
+    println!("\n(The hierarchical multicast crosses the gigabit wire once per blade;");
+    println!("linear writes cross it once per SPE.)");
+}

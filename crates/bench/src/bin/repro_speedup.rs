@@ -1,0 +1,37 @@
+//! Case-study table (paper §VI): scatter-search speedup as SPE workers are
+//! added, on the two-blade cluster. Parallel quality is bit-identical to
+//! the sequential reference at every point.
+
+use cp_scatter::{parallel_scatter_search, scatter_search, Knapsack, SsParams};
+use cp_simnet::ClusterSpec;
+
+fn main() {
+    let problem = Knapsack::random(80, 2011);
+    let params = SsParams {
+        pool_size: 20,
+        refset_size: 8,
+        generations: 6,
+        ..Default::default()
+    };
+    let seq = scatter_search(&problem, &params);
+    let spec = ClusterSpec::two_cells_one_xeon();
+    println!(
+        "scatter search, 80-item knapsack, best value {}",
+        seq.fitness
+    );
+    println!("{:>8} {:>14} {:>10}", "workers", "virtual time", "speedup");
+    let mut base = 0.0;
+    for workers in [1usize, 2, 4, 8, 12, 16] {
+        let r = parallel_scatter_search(&problem, &params, workers, &spec);
+        assert_eq!(r.best, seq, "quality must not depend on parallelism");
+        if workers == 1 {
+            base = r.virtual_us;
+        }
+        println!(
+            "{:>8} {:>11.0} us {:>9.2}x",
+            workers,
+            r.virtual_us,
+            base / r.virtual_us
+        );
+    }
+}

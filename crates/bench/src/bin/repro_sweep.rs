@@ -1,0 +1,16 @@
+//! Extension experiment: message-size sweep over channel types 2 and 5,
+//! exposing the copy/DMA crossover and how CellPilot's Co-Pilot overhead
+//! amortizes with payload size.
+
+use cp_bench::{dma_copy_crossover, render_sweep, sweep, DEFAULT_SIZES};
+
+fn main() {
+    for t in [2u8, 5] {
+        let pts = sweep(t, &DEFAULT_SIZES, 20);
+        print!("{}", render_sweep(t, &pts));
+        match dma_copy_crossover(&pts) {
+            Some(b) => println!("-> DMA overtakes copy at {b} bytes\n"),
+            None => println!("-> copy never loses in this range\n"),
+        }
+    }
+}

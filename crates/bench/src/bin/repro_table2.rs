@@ -1,0 +1,30 @@
+//! Regenerate the paper's Table II: one-way latency (µs) of the five
+//! channel types under CellPilot, hand-coded DMA, and hand-coded copy,
+//! for 1-byte (`%b`) and 1600-byte (`%100Lf`) payloads.
+
+fn main() {
+    let reps = 50;
+    println!("Reproducing Table II ({reps} timed repetitions per cell)...\n");
+    let cells = cp_bench::measure_table2(reps);
+    print!("{}", cp_bench::render_table2(&cells));
+    println!();
+    let mut worst: (f64, String) = (0.0, String::new());
+    for c in &cells {
+        let (p_cp, p_dma, p_copy) = c.paper();
+        for (m, p, label) in [
+            (c.cellpilot_us, p_cp, "CellPilot"),
+            (c.dma_us, p_dma, "DMA"),
+            (c.copy_us, p_copy, "Copy"),
+        ] {
+            let err = (m / p - 1.0).abs();
+            if err > worst.0 {
+                worst = (err, format!("type {} {}B {label}", c.chan_type, c.bytes));
+            }
+        }
+    }
+    println!(
+        "Worst relative deviation from the paper: {:.0}% ({})",
+        worst.0 * 100.0,
+        worst.1
+    );
+}

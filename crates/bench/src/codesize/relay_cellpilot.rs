@@ -1,0 +1,62 @@
+//! The paper's "longer example", CellPilot version: an array travels from
+//! an SPE process to its parent PPE, from there to another node's PPE, and
+//! from there to that node's SPE — three channel transfers, one API.
+//! (The paper's C version of this program is 80 lines; the SDK recode 186,
+//! the DaCS recode 114.)
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Number of integers relayed.
+pub const N: usize = 64;
+
+/// Run the relay; returns the array as received by the final SPE.
+pub fn run() -> Vec<i32> {
+    let out: Arc<Mutex<Vec<i32>>> = Arc::new(Mutex::new(Vec::new()));
+    let result = out.clone();
+
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+
+    let source = SpeProgram::new("source", 2048, |spe, _, _| {
+        let data: Vec<i32> = (0..N as i32).map(|i| i * 3).collect();
+        spe.write(CpChannel(0), "%64d", &[PiValue::Int32(data)])
+            .unwrap();
+    });
+    let sink = SpeProgram::new("sink", 2048, move |spe, _, _| {
+        let vals = spe.read(CpChannel(2), "%64d").unwrap();
+        let PiValue::Int32(v) = &vals[0] else {
+            unreachable!()
+        };
+        *out.lock() = v.clone();
+    });
+
+    let far_ppe = cfg
+        .create_process("farPPE", 0, |cp, _| {
+            let t = cp.run_spe(cellpilot::CpProcess(3), 0, 0).unwrap();
+            let vals = cp.read(CpChannel(1), "%64d").unwrap();
+            cp.write(CpChannel(2), "%64d", &vals).unwrap();
+            cp.wait_spe(t);
+        })
+        .unwrap();
+    let src_spe = cfg.create_spe_process(&source, CP_MAIN, 0).unwrap();
+    let sink_spe = cfg.create_spe_process(&sink, far_ppe, 0).unwrap();
+
+    cfg.create_channel(src_spe, CP_MAIN).unwrap(); // hop 1: SPE -> parent PPE
+    cfg.create_channel(CP_MAIN, far_ppe).unwrap(); // hop 2: PPE -> remote PPE
+    cfg.create_channel(far_ppe, sink_spe).unwrap(); // hop 3: PPE -> its SPE
+
+    cfg.run(move |cp| {
+        let t = cp.run_spe(src_spe, 0, 0).unwrap();
+        let vals = cp.read(CpChannel(0), "%64d").unwrap();
+        cp.write(CpChannel(1), "%64d", &vals).unwrap();
+        cp.wait_spe(t);
+    })
+    .unwrap();
+
+    let v = result.lock().clone();
+    v
+}

@@ -1,0 +1,231 @@
+//! Further IMB patterns beyond the paper's PingPong: **PingPing** (both
+//! endpoints send simultaneously — measures how much of the fabric is
+//! full-duplex) and **Exchange** (every process trades with both ring
+//! neighbours — the halo-exchange kernel's communication core).
+//!
+//! One CSP-flavoured finding falls out for free: PingPing is *not
+//! expressible* on a type-4/5 SPE↔SPE channel pair, because those writes
+//! rendezvous at the Co-Pilot — both SPEs would block in their sends.
+//! `tests::type4_pingping_deadlocks` pins that behaviour down.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Measured per-message latency of a PingPing exchange, µs.
+pub fn pingping(chan_type: u8, bytes: usize, reps: usize) -> f64 {
+    assert!(
+        (1..=3).contains(&chan_type),
+        "PingPing needs buffered writes: rank-connected types only"
+    );
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let fmt = format!("%{bytes}b");
+    let data = PiValue::Byte((0..bytes).map(|i| i as u8).collect());
+    let elapsed = Arc::new(Mutex::new(0.0f64));
+    let c0 = CpChannel(0);
+    let c1 = CpChannel(1);
+
+    // Peer side: simultaneous write-then-read loop, mirrored.
+    let data_p = data.clone();
+    let peer_loop = move |write: &dyn Fn(&PiValue), read: &dyn Fn() -> PiValue| {
+        for _ in 0..reps {
+            write(&data_p);
+            let v = read();
+            assert_eq!(v.len(), data_p.len());
+        }
+    };
+    match chan_type {
+        1 => {
+            let fmt2 = fmt.clone();
+            let peer = cfg
+                .create_process("peer", 0, move |cp, _| {
+                    peer_loop(
+                        &|d| cp.write(c1, &fmt2, std::slice::from_ref(d)).unwrap(),
+                        &|| cp.read(c0, &fmt2).unwrap().remove(0),
+                    );
+                })
+                .unwrap();
+            cfg.create_channel(CP_MAIN, peer).unwrap();
+            cfg.create_channel(peer, CP_MAIN).unwrap();
+        }
+        2 | 3 => {
+            let fmt2 = fmt.clone();
+            let spe_peer = SpeProgram::new("peer", 2048, move |spe, _, _| {
+                for _ in 0..reps {
+                    spe.write(c1, &fmt2, std::slice::from_ref(&spe_payload(bytes)))
+                        .unwrap();
+                    let _ = spe.read(c0, &fmt2).unwrap();
+                }
+            });
+            let parent = if chan_type == 2 {
+                CP_MAIN
+            } else {
+                cfg.create_process("parent", 0, |cp, _| {
+                    let t = cp.run_spe(cellpilot::CpProcess(2), 0, 0).unwrap();
+                    cp.wait_spe(t);
+                })
+                .unwrap()
+            };
+            let s = cfg.create_spe_process(&spe_peer, parent, 0).unwrap();
+            cfg.create_channel(CP_MAIN, s).unwrap();
+            cfg.create_channel(s, CP_MAIN).unwrap();
+        }
+        _ => unreachable!(),
+    }
+    let el = elapsed.clone();
+    cfg.run(move |cp| {
+        let mut ts = Vec::new();
+        for p in 0..cp.process_count() {
+            if let Ok(t) = cp.run_spe(cellpilot::CpProcess(p), 0, 0) {
+                ts.push(t);
+            }
+        }
+        let t0 = cp.ctx().now();
+        for _ in 0..reps {
+            cp.write(c0, &fmt, std::slice::from_ref(&data)).unwrap();
+            let _ = cp.read(c1, &fmt).unwrap();
+        }
+        *el.lock() = (cp.ctx().now() - t0).as_micros_f64() / reps as f64;
+        for t in ts {
+            cp.wait_spe(t);
+        }
+    })
+    .expect("pingping app");
+    let v = *elapsed.lock();
+    v
+}
+
+fn spe_payload(bytes: usize) -> PiValue {
+    PiValue::Byte((0..bytes).map(|i| i as u8).collect())
+}
+
+/// IMB Exchange over a ring of `n` rank processes (main plus `n-1`
+/// workers): per iteration every process sends to both neighbours and
+/// receives from both. Returns the per-iteration time at main, µs.
+pub fn exchange(n: usize, bytes: usize, reps: usize) -> f64 {
+    assert!(n >= 3, "a ring exchange needs at least 3 processes");
+    let spec = ClusterSpec {
+        nodes: vec![cp_simnet::NodeKind::Commodity { cores: 4 }; n],
+        ..ClusterSpec::two_cells_one_xeon()
+    };
+    let placement = (0..n).map(cp_simnet::NodeId).collect();
+    let mut cfg = CellPilotConfig::new(spec, placement, CellPilotOpts::default());
+    // Channels: for each process i, i -> i+1 (tag 2i) and i -> i-1
+    // (tag 2i+1), indices mod n.
+    let elapsed = Arc::new(Mutex::new(0.0f64));
+    let body = move |cp: &cellpilot::CellPilot, _i: i32, el: Option<Arc<Mutex<f64>>>| {
+        let me = cp.process().0;
+        let right_out = CpChannel(2 * me);
+        let left_out = CpChannel(2 * me + 1);
+        let left = (me + n - 1) % n;
+        let right = (me + 1) % n;
+        let from_left = CpChannel(2 * left); // left's right-out
+        let from_right = CpChannel(2 * right + 1); // right's left-out
+        let fmt = format!("%{bytes}b");
+        let data = PiValue::Byte(vec![me as u8; bytes]);
+        let t0 = cp.ctx().now();
+        for _ in 0..reps {
+            cp.write(right_out, &fmt, std::slice::from_ref(&data))
+                .unwrap();
+            cp.write(left_out, &fmt, std::slice::from_ref(&data))
+                .unwrap();
+            let l = cp.read(from_left, &fmt).unwrap();
+            let r = cp.read(from_right, &fmt).unwrap();
+            assert_eq!(l[0], PiValue::Byte(vec![left as u8; bytes]));
+            assert_eq!(r[0], PiValue::Byte(vec![right as u8; bytes]));
+        }
+        if let Some(el) = el {
+            *el.lock() = (cp.ctx().now() - t0).as_micros_f64() / reps as f64;
+        }
+    };
+    let mut procs = vec![CP_MAIN];
+    for i in 1..n {
+        let b = body;
+        procs.push(
+            cfg.create_process(&format!("p{i}"), i as i32, move |cp, idx| b(cp, idx, None))
+                .unwrap(),
+        );
+    }
+    for i in 0..n {
+        let right = (i + 1) % n;
+        let left = (i + n - 1) % n;
+        let c_right = cfg.create_channel(procs[i], procs[right]).unwrap();
+        let c_left = cfg.create_channel(procs[i], procs[left]).unwrap();
+        assert_eq!((c_right.0, c_left.0), (2 * i, 2 * i + 1));
+    }
+    let el = elapsed.clone();
+    cfg.run(move |cp| body(cp, 0, Some(el)))
+        .expect("exchange app");
+    let v = *elapsed.lock();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pingpong::cellpilot_pingpong;
+
+    #[test]
+    fn pingping_between_one_way_and_round_trip() {
+        for t in 1..=3u8 {
+            let one_way = cellpilot_pingpong(t, 64, 10).one_way_us;
+            let pp = pingping(t, 64, 10);
+            assert!(
+                pp >= one_way * 0.9,
+                "type {t}: pingping {pp} below one-way {one_way}"
+            );
+            assert!(
+                pp <= one_way * 2.2,
+                "type {t}: pingping {pp} worse than a full round trip {one_way}"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_scales_with_ring_size_modestly() {
+        let t4 = exchange(4, 128, 5);
+        let t8 = exchange(8, 128, 5);
+        assert!(t4 > 0.0 && t8 > 0.0);
+        // Neighbours only: per-iteration cost must not grow linearly.
+        assert!(
+            t8 < t4 * 1.5,
+            "ring exchange is O(1) per process: {t4} vs {t8}"
+        );
+    }
+
+    #[test]
+    fn type4_pingping_deadlocks() {
+        // Both SPEs write first on their type-4 channels: the writes
+        // rendezvous at the Co-Pilot and no read is ever posted — the
+        // simulator reports the deadlock instead of hanging.
+        use cellpilot::SpeProgram;
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+        let prog = SpeProgram::new("pp", 2048, |spe, _, _| {
+            let me = spe.index() as usize;
+            let my_out = CpChannel(me); // 0: a->b, 1: b->a
+            let my_in = CpChannel(1 - me);
+            spe.write(my_out, "%b", &[PiValue::Byte(vec![1])]).unwrap();
+            let _ = spe.read(my_in, "%b").unwrap();
+        });
+        let a = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+        let b = cfg.create_spe_process(&prog, CP_MAIN, 1).unwrap();
+        cfg.create_channel(a, b).unwrap();
+        cfg.create_channel(b, a).unwrap();
+        match cfg.run(move |cp| {
+            let t1 = cp.run_spe(a, 0, 0).unwrap();
+            let t2 = cp.run_spe(b, 0, 0).unwrap();
+            cp.wait_spe(t1);
+            cp.wait_spe(t2);
+        }) {
+            Err(cp_des::SimError::Deadlock { blocked, .. }) => {
+                let spe_waits = blocked.iter().filter(|(_, n, _)| n.contains(":pp")).count();
+                assert_eq!(spe_waits, 2, "both SPEs stuck in their writes");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # cp-bench — experiment harness for the CellPilot reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! * [`table2::measure_table2`] — Table II (latency of 5 channel types ×
+//!   CellPilot / hand-coded DMA / hand-coded copy × 1 B / 1600 B), plus
+//!   the Figure 5 (latency bars) and Figure 6 (throughput) renderings of
+//!   the same data;
+//! * the `repro_*` binaries print each artifact with the paper's numbers
+//!   side by side;
+//! * the Criterion benches in `benches/` track the wall-clock cost of the
+//!   simulator itself.
+
+pub mod codesize;
+pub mod imb;
+pub mod pingpong;
+pub mod sweep;
+pub mod table2;
+
+pub use imb::{exchange, pingping};
+pub use pingpong::{
+    cellpilot_pingpong, cellpilot_pingpong_with, cellpilot_pingpong_xeon_initiator, PingPong,
+    WARMUP,
+};
+pub use sweep::{dma_copy_crossover, render_sweep, sweep, SweepPoint, DEFAULT_SIZES};
+pub use table2::{
+    measure_table2, render_fig5, render_fig6, render_table2, Cell, PAPER_TABLE2, SIZES,
+};

@@ -1,0 +1,328 @@
+//! The IMB-style PingPong harness over CellPilot channels — "the classical
+//! pattern used for measuring startup and throughput of a single message
+//! sent between two processes". Together with `cellpilot::baseline` this
+//! regenerates every cell of the paper's Table II.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Rounds run before the timed window opens (covers SPE loading, Co-Pilot
+/// spawn-up and first-touch effects).
+pub const WARMUP: usize = 2;
+
+/// One measured latency.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPong {
+    /// Average one-way latency, µs.
+    pub one_way_us: f64,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+fn fmt_for(bytes: usize) -> String {
+    // Table II uses "%b" (1 byte) and "%100Lf" (1600 bytes). Any payload
+    // size measures identically as a fixed byte array of the same wire
+    // length.
+    match bytes {
+        1 => "%b".to_string(),
+        1600 => "%100Lf".to_string(),
+        n => format!("%{n}b"),
+    }
+}
+
+fn payload_for(bytes: usize) -> PiValue {
+    match bytes {
+        1600 => PiValue::LongDouble((0..100).map(|i| cp_mpisim::LongDouble(i as f64)).collect()),
+        n => PiValue::Byte((0..n).map(|i| i as u8).collect()),
+    }
+}
+
+/// Measure a CellPilot channel of the given Table-I type.
+///
+/// The initiating endpoint runs `WARMUP + reps` exchange rounds and times
+/// the last `reps`; one-way latency is `elapsed / (2 * reps)`.
+pub fn cellpilot_pingpong(chan_type: u8, bytes: usize, reps: usize) -> PingPong {
+    cellpilot_pingpong_with(chan_type, bytes, reps, CellPilotOpts::default())
+}
+
+/// Type-1/3 ping-pong with the *initiating* endpoint on the Xeon node
+/// instead of a PPE. The paper notes its Table II "times given are for PPE
+/// endpoints only, which were slower than for the Xeon nodes" — this
+/// measures the faster variant.
+pub fn cellpilot_pingpong_xeon_initiator(chan_type: u8, bytes: usize, reps: usize) -> PingPong {
+    assert!(
+        chan_type == 1 || chan_type == 3,
+        "only types 1 and 3 admit a non-Cell endpoint"
+    );
+    let spec = ClusterSpec::two_cells_one_xeon();
+    // main on the Xeon (node 2); the peer rank on Cell node 0's PPE.
+    let placement = vec![cp_simnet::NodeId(2), cp_simnet::NodeId(0)];
+    let mut cfg = CellPilotConfig::new(spec, placement, CellPilotOpts::default());
+    let total = WARMUP + reps;
+    let fmt = fmt_for(bytes);
+    let data = payload_for(bytes);
+    let elapsed: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let c0 = CpChannel(0);
+    let c1 = CpChannel(1);
+    match chan_type {
+        1 => {
+            let fmt_e = fmt.clone();
+            let peer = cfg
+                .create_process("echo-ppe", 0, move |cp, _| {
+                    for _ in 0..total {
+                        let v = cp.read(c0, &fmt_e).unwrap();
+                        cp.write(c1, &fmt_e, &v).unwrap();
+                    }
+                })
+                .unwrap();
+            cfg.create_channel(CP_MAIN, peer).unwrap();
+            cfg.create_channel(peer, CP_MAIN).unwrap();
+        }
+        3 => {
+            let fmt_se = fmt.clone();
+            let spe_echo = SpeProgram::new("echo", 2048, move |spe, _, _| {
+                for _ in 0..total {
+                    let v = spe.read(c0, &fmt_se).unwrap();
+                    spe.write(c1, &fmt_se, &v).unwrap();
+                }
+            });
+            let parent = cfg
+                .create_process("parent", 0, |cp, _| cp.run_and_wait_my_spes())
+                .unwrap();
+            let spe = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
+            cfg.create_channel(CP_MAIN, spe).unwrap();
+            cfg.create_channel(spe, CP_MAIN).unwrap();
+        }
+        _ => unreachable!(),
+    }
+    let el3 = elapsed.clone();
+    cfg.run(move |cp| run_main_loop(cp, total, &fmt, &data, &el3))
+        .expect("xeon pingpong app");
+    let total_us = *elapsed.lock();
+    PingPong {
+        one_way_us: total_us / (2.0 * reps as f64),
+        bytes,
+    }
+}
+
+/// [`cellpilot_pingpong`] with explicit cost options — used by the
+/// ablation study to decompose the Co-Pilot's overhead.
+pub fn cellpilot_pingpong_with(
+    chan_type: u8,
+    bytes: usize,
+    reps: usize,
+    opts: CellPilotOpts,
+) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+    let total = WARMUP + reps;
+    let fmt = fmt_for(bytes);
+    let data = payload_for(bytes);
+    let elapsed: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+
+    // Channel 0 carries initiator -> echoer; channel 1 the way back.
+    let c0 = CpChannel(0);
+    let c1 = CpChannel(1);
+
+    // Rank-side echo body (types 1 and SPE-initiated 2/3 are not needed:
+    // the paper's type-1/3 rows use PPE endpoints as initiators).
+    let fmt_e = fmt.clone();
+    let rank_echo = move |cp: &cellpilot::CellPilot, _idx: i32| {
+        for _ in 0..total {
+            let v = cp.read(c0, &fmt_e).unwrap();
+            cp.write(c1, &fmt_e, &v).unwrap();
+        }
+    };
+    let fmt_se = fmt.clone();
+    let spe_echo = SpeProgram::new("echo", 2048, move |spe, _, _| {
+        for _ in 0..total {
+            let v = spe.read(c0, &fmt_se).unwrap();
+            spe.write(c1, &fmt_se, &v).unwrap();
+        }
+    });
+    let fmt_si = fmt.clone();
+    let el2 = elapsed.clone();
+    let data2 = data.clone();
+    let spe_init = SpeProgram::new("ping", 2048, move |spe, _, _| {
+        let mut t0 = spe.ctx().now();
+        for r in 0..total {
+            if r == WARMUP {
+                t0 = spe.ctx().now();
+            }
+            spe.write(c0, &fmt_si, std::slice::from_ref(&data2))
+                .unwrap();
+            let v = spe.read(c1, &fmt_si).unwrap();
+            assert_eq!(v[0], data2);
+        }
+        *el2.lock() = (spe.ctx().now() - t0).as_micros_f64();
+    });
+
+    // Main initiates for types 1-3 (PPE endpoint); an SPE initiates for
+    // types 4 and 5.
+    let main_initiates = chan_type <= 3;
+    match chan_type {
+        1 => {
+            let peer = cfg.create_process("echo-ppe", 0, rank_echo).unwrap();
+            cfg.create_channel(CP_MAIN, peer).unwrap();
+            cfg.create_channel(peer, CP_MAIN).unwrap();
+        }
+        2 => {
+            let spe = cfg.create_spe_process(&spe_echo, CP_MAIN, 0).unwrap();
+            cfg.create_channel(CP_MAIN, spe).unwrap();
+            cfg.create_channel(spe, CP_MAIN).unwrap();
+        }
+        3 => {
+            // The echo SPE lives on the *other* Cell node, parented by a
+            // PPE process there that launches it and waits.
+            let parent = cfg
+                .create_process("remote-parent", 0, move |cp, _| {
+                    let t = cp.run_spe(cellpilot::CpProcess(2), 0, 0).unwrap();
+                    cp.wait_spe(t);
+                })
+                .unwrap();
+            let spe = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
+            cfg.create_channel(CP_MAIN, spe).unwrap();
+            cfg.create_channel(spe, CP_MAIN).unwrap();
+        }
+        4 => {
+            let a = cfg.create_spe_process(&spe_init, CP_MAIN, 0).unwrap();
+            let b = cfg.create_spe_process(&spe_echo, CP_MAIN, 1).unwrap();
+            cfg.create_channel(a, b).unwrap();
+            cfg.create_channel(b, a).unwrap();
+        }
+        5 => {
+            let parent = cfg
+                .create_process("remote-parent", 0, move |cp, _| {
+                    let t = cp.run_spe(cellpilot::CpProcess(3), 0, 0).unwrap();
+                    cp.wait_spe(t);
+                })
+                .unwrap();
+            let a = cfg.create_spe_process(&spe_init, CP_MAIN, 0).unwrap();
+            let b = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
+            cfg.create_channel(a, b).unwrap();
+            cfg.create_channel(b, a).unwrap();
+        }
+        other => panic!("no such channel type {other}"),
+    }
+
+    let el3 = elapsed.clone();
+    cfg.run(move |cp| {
+        if main_initiates {
+            match chan_type {
+                2 => {
+                    let t = cp.run_spe(cellpilot::CpProcess(1), 0, 0).unwrap();
+                    run_main_loop(cp, total, &fmt, &data, &el3);
+                    cp.wait_spe(t);
+                }
+                _ => run_main_loop(cp, total, &fmt, &data, &el3),
+            }
+        } else {
+            // Types 4/5: main only launches its SPE children.
+            let mut tasks = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(cellpilot::CpProcess(p), 0, 0) {
+                    tasks.push(t);
+                }
+            }
+            for t in tasks {
+                cp.wait_spe(t);
+            }
+        }
+    })
+    .expect("pingpong app");
+    let total_us = *elapsed.lock();
+    PingPong {
+        one_way_us: total_us / (2.0 * reps as f64),
+        bytes,
+    }
+}
+
+fn run_main_loop(
+    cp: &cellpilot::CellPilot,
+    total: usize,
+    fmt: &str,
+    data: &PiValue,
+    elapsed: &Arc<Mutex<f64>>,
+) {
+    let c0 = CpChannel(0);
+    let c1 = CpChannel(1);
+    let mut t0 = cp.ctx().now();
+    for r in 0..total {
+        if r == WARMUP {
+            t0 = cp.ctx().now();
+        }
+        cp.write(c0, fmt, std::slice::from_ref(data)).unwrap();
+        let v = cp.read(c1, fmt).unwrap();
+        assert_eq!(&v[0], data);
+    }
+    *elapsed.lock() = (cp.ctx().now() - t0).as_micros_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPS: usize = 10;
+
+    #[test]
+    fn all_types_return_positive_latency() {
+        for t in 1..=5u8 {
+            let p = cellpilot_pingpong(t, 1, 3);
+            assert!(p.one_way_us > 1.0, "type {t}: {}", p.one_way_us);
+        }
+    }
+
+    #[test]
+    fn cellpilot_always_slower_than_handcoded() {
+        // The paper's headline shape: Co-Pilot generality costs latency on
+        // every SPE-connected type.
+        use cellpilot::baseline::{pingpong as base, BaselineImpl};
+        for t in 2..=5u8 {
+            let cp = cellpilot_pingpong(t, 1, REPS).one_way_us;
+            let dma = base(t, BaselineImpl::Dma, 1, REPS).one_way_us;
+            let copy = base(t, BaselineImpl::Copy, 1, REPS).one_way_us;
+            assert!(cp > dma, "type {t}: cellpilot {cp} <= dma {dma}");
+            assert!(cp > copy, "type {t}: cellpilot {cp} <= copy {copy}");
+        }
+    }
+
+    #[test]
+    fn type_ordering_matches_paper() {
+        // Paper 1-byte CellPilot column: t2(59) < t1(105) < t4(112) <
+        // t3(140) < t5(189).
+        let t: Vec<f64> = (1..=5u8)
+            .map(|k| cellpilot_pingpong(k, 1, REPS).one_way_us)
+            .collect();
+        let (t1, t2, t3, t4, t5) = (t[0], t[1], t[2], t[3], t[4]);
+        assert!(t2 < t1, "t2={t2} t1={t1}");
+        assert!(t1 < t4, "t1={t1} t4={t4}");
+        assert!(t4 < t3, "t4={t4} t3={t3}");
+        assert!(t3 < t5, "t3={t3} t5={t5}");
+    }
+
+    #[test]
+    fn xeon_endpoints_are_faster_than_ppe_endpoints() {
+        // The paper: Table II's type-1/3 times "are for PPE endpoints
+        // only, which were slower than for the Xeon nodes."
+        for t in [1u8, 3] {
+            let ppe = cellpilot_pingpong(t, 1, REPS).one_way_us;
+            let xeon = cellpilot_pingpong_xeon_initiator(t, 1, REPS).one_way_us;
+            assert!(
+                xeon < ppe - 5.0,
+                "type {t}: xeon {xeon} should beat ppe {ppe} clearly"
+            );
+        }
+    }
+
+    #[test]
+    fn array_case_costs_more_than_single_byte() {
+        for t in [2u8, 5] {
+            let small = cellpilot_pingpong(t, 1, REPS).one_way_us;
+            let big = cellpilot_pingpong(t, 1600, REPS).one_way_us;
+            assert!(big > small, "type {t}: {big} <= {small}");
+        }
+    }
+}

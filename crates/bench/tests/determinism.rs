@@ -1,0 +1,30 @@
+//! The experiment harness itself is deterministic: measuring twice gives
+//! bit-identical virtual-time results for every cell of Table II, and the
+//! ping-pong helpers agree with themselves.
+
+use cp_bench::{cellpilot_pingpong, measure_table2};
+
+#[test]
+fn table2_reproduces_exactly() {
+    let a = measure_table2(3);
+    let b = measure_table2(3);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.chan_type, y.chan_type);
+        assert_eq!(x.bytes, y.bytes);
+        assert_eq!(x.cellpilot_us.to_bits(), y.cellpilot_us.to_bits());
+        assert_eq!(x.dma_us.to_bits(), y.dma_us.to_bits());
+        assert_eq!(x.copy_us.to_bits(), y.copy_us.to_bits());
+    }
+}
+
+#[test]
+fn pingpong_latency_is_independent_of_reps() {
+    // A deterministic simulator has zero variance: per-round latency must
+    // not depend on how many timed rounds we average over.
+    let short = cellpilot_pingpong(2, 1, 5).one_way_us;
+    let long = cellpilot_pingpong(2, 1, 40).one_way_us;
+    assert!(
+        (short - long).abs() < 1e-6,
+        "steady-state latency drifted: {short} vs {long}"
+    );
+}

@@ -1,0 +1,177 @@
+//! Signal-register barrier: the BlockLib-style synchronization pattern the
+//! paper's related work describes ("Synchronization is achieved using
+//! signals") — an all-SPE barrier built from the OR-mode signal registers,
+//! with the PPE as the collector.
+//!
+//! Protocol per round: each arriving SPE ORs its own bit into a collector
+//! SPE's signal register 1 (a cheap `sndsig` DMA); the PPE drains that
+//! register until the full arrival mask is seen, then releases every
+//! member through its signal register 2. Signals beat mailboxes here
+//! because OR-mode accumulates many arrivals into one word.
+
+use crate::costs::CellCosts;
+use crate::node::CellNode;
+use cp_des::ProcCtx;
+use std::sync::Arc;
+
+/// A reusable barrier over a fixed set of SPEs, collected by a PPE-side
+/// process.
+///
+/// ```
+/// use cp_cellsim::{CellCosts, CellNode, SpeSignalBarrier};
+/// use cp_des::{SimDuration, Simulation};
+/// use std::sync::Arc;
+///
+/// let cell = CellNode::new(0, 2, 1 << 20, CellCosts::default());
+/// let barrier = Arc::new(SpeSignalBarrier::new(cell.clone(), vec![0, 1]));
+/// let mut sim = Simulation::new();
+/// let b = barrier.clone();
+/// sim.spawn("ppe", move |ctx| {
+///     let mut pids = Vec::new();
+///     for me in 0..2 {
+///         let b = b.clone();
+///         let cell2 = cell.clone();
+///         pids.push(cell.start_spe(ctx, me, "m", 1024, move |sctx| {
+///             sctx.advance(SimDuration::from_micros(10 * (me as u64 + 1)));
+///             b.spe_wait(sctx, me);
+///             let _ = cell2; // both leave only after the later arrival
+///             assert!(sctx.now().as_micros_f64() > 20.0);
+///         }).unwrap());
+///     }
+///     b.ppe_collect_and_release(ctx);
+///     for p in pids { ctx.join(p); }
+/// });
+/// sim.run().unwrap();
+/// ```
+pub struct SpeSignalBarrier {
+    cell: Arc<CellNode>,
+    members: Vec<usize>,
+}
+
+impl SpeSignalBarrier {
+    /// Build a barrier over the given hardware SPE indices.
+    pub fn new(cell: Arc<CellNode>, members: Vec<usize>) -> SpeSignalBarrier {
+        assert!(!members.is_empty(), "barrier needs at least one SPE");
+        assert!(members.len() <= 32, "signal register holds 32 arrival bits");
+        SpeSignalBarrier { cell, members }
+    }
+
+    /// The arrival mask when every member has checked in.
+    fn full_mask(&self) -> u32 {
+        if self.members.len() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.members.len()) - 1
+        }
+    }
+
+    /// SPE side: arrive and wait for the release. `me` is the caller's
+    /// position in the member list.
+    pub fn spe_wait(&self, ctx: &ProcCtx, me: usize) {
+        let costs: &CellCosts = &self.cell.costs;
+        // Arrive: OR my bit into the collector SPE's signal register 1
+        // (members[0] hosts the arrival register).
+        let collector = self.members[0];
+        self.cell.spes[collector]
+            .sig1
+            .spu_write(ctx, costs, 1 << me);
+        // Wait for my release bit in my own signal register 2.
+        let hw = self.members[me];
+        let bits = self.cell.spes[hw].sig2.spu_read(ctx, costs);
+        debug_assert_eq!(bits, 1, "release writes a single bit");
+    }
+
+    /// PPE side: collect all arrivals off the collector's register, then
+    /// release every member. Call once per barrier round.
+    pub fn ppe_collect_and_release(&self, ctx: &ProcCtx) {
+        let costs: &CellCosts = &self.cell.costs;
+        let collector = self.members[0];
+        let mut seen = 0u32;
+        while seen != self.full_mask() {
+            // The OR-mode register accumulates between reads, so a poll
+            // returns whatever arrived since the last read.
+            seen |= self.cell.spes[collector].sig1.spu_read(ctx, costs);
+        }
+        for &hw in &self.members {
+            self.cell.spes[hw].sig2.ppe_write(ctx, costs, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_des::{SimDuration, Simulation};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn all_spes_leave_after_the_last_arrival() {
+        let cell = CellNode::new(0, 4, 1 << 20, CellCosts::default());
+        let barrier = Arc::new(SpeSignalBarrier::new(cell.clone(), vec![0, 1, 2, 3]));
+        let leave_times = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let cell2 = cell.clone();
+        let b2 = barrier.clone();
+        sim.spawn("ppe", move |ctx| {
+            let mut pids = Vec::new();
+            for me in 0..4usize {
+                let b = b2.clone();
+                let lt = leave_times.clone();
+                let pid = cell2
+                    .start_spe(ctx, me, "member", 2048, move |sctx| {
+                        // Staggered arrivals: 10, 20, 30, 40 us of work.
+                        sctx.advance(SimDuration::from_micros(10 * (me as u64 + 1)));
+                        b.spe_wait(sctx, me);
+                        lt.lock().push(sctx.now().as_micros_f64());
+                    })
+                    .unwrap();
+                pids.push(pid);
+            }
+            b2.ppe_collect_and_release(ctx);
+            for p in pids {
+                ctx.join(p);
+            }
+            let v = leave_times.lock();
+            assert_eq!(v.len(), 4);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            // Nobody leaves before the last arrival (load + 40us of work).
+            assert!(min > 40.0, "leave times {v:?}");
+            // And everyone leaves within one signal-latency window.
+            let max = v.iter().cloned().fold(0.0, f64::max);
+            assert!(max - min < 2.0 * cell2.costs.mailbox_latency_us, "{v:?}");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_rounds() {
+        let cell = CellNode::new(0, 2, 1 << 20, CellCosts::default());
+        let barrier = Arc::new(SpeSignalBarrier::new(cell.clone(), vec![0, 1]));
+        let mut sim = Simulation::new();
+        let cell2 = cell.clone();
+        let b2 = barrier.clone();
+        sim.spawn("ppe", move |ctx| {
+            let rounds = 5;
+            let mut pids = Vec::new();
+            for me in 0..2usize {
+                let b = b2.clone();
+                let pid = cell2
+                    .start_spe(ctx, me, "member", 2048, move |sctx| {
+                        for r in 0..rounds {
+                            sctx.advance(SimDuration::from_micros((me as u64 + 1) * (r + 1)));
+                            b.spe_wait(sctx, me);
+                        }
+                    })
+                    .unwrap();
+                pids.push(pid);
+            }
+            for _ in 0..rounds {
+                b2.ppe_collect_and_release(ctx);
+            }
+            for p in pids {
+                ctx.join(p);
+            }
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Calibrated cost model for intra-Cell operations.
+//!
+//! The constants below are calibrated against the *hand-coded baseline* rows
+//! of the paper's Table II (the rows that reflect raw hardware capability,
+//! measured on 3.2 GHz PowerXCell 8i blades), not against the CellPilot rows
+//! — CellPilot's own latencies must *emerge* from the protocol paths.
+//!
+//! Calibration anchors:
+//!
+//! * Type-2 copy baseline, 1 byte = 15 µs: one mailbox round trip
+//!   (SPE request out, PPE completion in) plus a PPE-side `memcpy` of zero
+//!   length. With SPU channel ops ≈ 0.1 µs, PPE MMIO mailbox accesses ≈ 2.5 µs
+//!   and a mailbox delivery latency ≈ 4.9 µs, the round trip sums to ~15 µs.
+//! * Type-2 copy baseline slope: (30 − 15) µs over 1600 B ⇒ ~9.4 ns/B for a
+//!   PPE copy where **one** side is an uncached local-store mapping.
+//! * Type-4 copy baseline slope: (60 − 30) µs over 1600 B ⇒ double the
+//!   per-byte cost when **both** sides are local-store mappings.
+//! * DMA baselines are flat (15/15, 30/30): MFC transfers ride the EIB at
+//!   ~25.6 GB/s, so 1600 B costs only ~0.06 µs — invisible at this scale.
+
+/// Cost model for one Cell BE processor. All values in microseconds unless
+/// stated otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCosts {
+    /// SPU-side channel instruction (read/write own mailbox, read signal).
+    pub spu_channel_op_us: f64,
+    /// PPE-side MMIO access to an SPE's problem-state area (mailbox poke,
+    /// signal write, context register read).
+    pub ppe_mmio_op_us: f64,
+    /// Delivery latency of a mailbox word or signal across the EIB.
+    pub mailbox_latency_us: f64,
+    /// Fixed cost of issuing one MFC DMA command and observing completion.
+    pub dma_setup_us: f64,
+    /// EIB payload bandwidth for DMA transfers, bytes per microsecond.
+    pub eib_bytes_per_us: f64,
+    /// Per-byte cost of a PPE `memcpy` where one side is a memory-mapped
+    /// local store (uncached load *or* store).
+    pub ls_copy_per_byte_us: f64,
+    /// Per-byte cost of a PPE `memcpy` between two mapped local stores
+    /// (uncached load *and* store).
+    pub ls_ls_copy_per_byte_us: f64,
+    /// Per-byte cost of a PPE `memcpy` entirely within cached main memory.
+    pub main_copy_per_byte_us: f64,
+    /// Translating an SPE local-store address to a main-memory effective
+    /// address (what the Co-Pilot does per request).
+    pub ea_translate_us: f64,
+    /// Fixed cost of creating an SPE context and loading a program image.
+    pub spe_load_base_us: f64,
+    /// Additional load cost per byte of program image (DMA'd to local store).
+    pub spe_load_per_byte_us: f64,
+    /// Per-element cost of walking a DMA list.
+    pub dma_list_elem_us: f64,
+    /// Model EIB bandwidth contention: concurrent DMA transfers on one
+    /// node serialize once the ring's payload bandwidth is saturated. Off
+    /// by default (at the paper's message sizes the 25.6 GB/s ring never
+    /// saturates); turn it on for all-SPEs-streaming studies.
+    pub eib_contention: bool,
+}
+
+impl Default for CellCosts {
+    fn default() -> Self {
+        CellCosts {
+            spu_channel_op_us: 0.1,
+            ppe_mmio_op_us: 2.5,
+            mailbox_latency_us: 4.9,
+            dma_setup_us: 2.0,
+            eib_bytes_per_us: 25_600.0,
+            ls_copy_per_byte_us: 0.009_375,
+            ls_ls_copy_per_byte_us: 0.018_75,
+            main_copy_per_byte_us: 0.000_8,
+            ea_translate_us: 1.0,
+            spe_load_base_us: 150.0,
+            spe_load_per_byte_us: 0.000_05,
+            dma_list_elem_us: 0.05,
+            eib_contention: false,
+        }
+    }
+}
+
+impl CellCosts {
+    /// Cost of a DMA transfer of `bytes` (excluding synchronization).
+    pub fn dma_transfer_us(&self, bytes: usize) -> f64 {
+        self.dma_setup_us + bytes as f64 / self.eib_bytes_per_us
+    }
+
+    /// Cost of a PPE memcpy of `bytes` touching `ls_sides` local-store
+    /// mappings (0, 1 or 2).
+    pub fn memcpy_us(&self, bytes: usize, ls_sides: u8) -> f64 {
+        let per_byte = match ls_sides {
+            0 => self.main_copy_per_byte_us,
+            1 => self.ls_copy_per_byte_us,
+            _ => self.ls_ls_copy_per_byte_us,
+        };
+        bytes as f64 * per_byte
+    }
+
+    /// Cost of loading a program image of `bytes` onto an SPE.
+    pub fn spe_load_us(&self, bytes: usize) -> f64 {
+        self.spe_load_base_us + bytes as f64 * self.spe_load_per_byte_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_is_flat_at_paper_scale() {
+        let c = CellCosts::default();
+        let one = c.dma_transfer_us(1);
+        let big = c.dma_transfer_us(1600);
+        assert!(big - one < 0.1, "1600B DMA adds {} us", big - one);
+    }
+
+    #[test]
+    fn ls_ls_copy_doubles_single_ls_copy() {
+        let c = CellCosts::default();
+        let single = c.memcpy_us(1600, 1);
+        let double = c.memcpy_us(1600, 2);
+        assert!((double - 2.0 * single).abs() < 1e-9);
+        // Calibration anchor: 1600 B over one LS mapping = 15 us.
+        assert!((single - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mailbox_round_trip_matches_type2_anchor() {
+        // SPE writes request (channel op) -> latency -> PPE reads (MMIO),
+        // PPE writes completion (MMIO) -> latency -> SPE reads (channel op).
+        let c = CellCosts::default();
+        let rt = 2.0 * c.spu_channel_op_us + 2.0 * c.ppe_mmio_op_us + 2.0 * c.mailbox_latency_us;
+        assert!((rt - 15.0).abs() < 0.5, "round trip = {rt} us");
+    }
+}

@@ -1,0 +1,234 @@
+//! SPE mailboxes: the Cell's 32-bit word channels between PPE and SPE.
+//!
+//! Each SPE has a 4-entry **inbound** mailbox (PPE → SPE), a 1-entry
+//! **outbound** mailbox and a 1-entry **outbound interrupt** mailbox
+//! (SPE → PPE). SPU-side accesses are cheap channel instructions; PPE-side
+//! accesses are MMIO operations into the SPE's problem-state area, which is
+//! what makes mailbox synchronization cost microseconds, not nanoseconds.
+//!
+//! CellPilot's Co-Pilot protocol is built entirely from these words plus
+//! effective-address `memcpy`/MPI transfers, so their costs dominate the
+//! SPE-connected channel types in Table II.
+
+use crate::costs::CellCosts;
+use cp_des::sync::MsgQueue;
+use cp_des::{ProcCtx, SimDuration};
+
+/// The mailbox set of one SPE.
+pub struct Mailboxes {
+    inbound: MsgQueue<u32>,
+    outbound: MsgQueue<u32>,
+    outbound_intr: MsgQueue<u32>,
+}
+
+impl Mailboxes {
+    /// Create the mailbox set for the SPE labelled `label` in diagnostics.
+    pub fn new(label: &str) -> Mailboxes {
+        Mailboxes {
+            inbound: MsgQueue::new(&format!("{label}.mbox_in"), Some(4)),
+            outbound: MsgQueue::new(&format!("{label}.mbox_out"), Some(1)),
+            outbound_intr: MsgQueue::new(&format!("{label}.mbox_intr"), Some(1)),
+        }
+    }
+
+    // --- SPU side (channel instructions) ---
+
+    /// SPU: write a word to the outbound mailbox; blocks while it is full.
+    pub fn spu_write_outbox(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
+        ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
+        self.outbound.push(
+            ctx,
+            word,
+            SimDuration::from_micros_f64(costs.mailbox_latency_us),
+        );
+    }
+
+    /// SPU: write a word to the outbound interrupt mailbox.
+    pub fn spu_write_outbox_intr(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
+        ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
+        self.outbound_intr.push(
+            ctx,
+            word,
+            SimDuration::from_micros_f64(costs.mailbox_latency_us),
+        );
+    }
+
+    /// SPU: blocking read of the inbound mailbox.
+    pub fn spu_read_inbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
+        let word = self.inbound.pop(ctx);
+        ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
+        word
+    }
+
+    /// SPU: number of words waiting in the inbound mailbox.
+    pub fn spu_inbox_count(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// SPU: true if the outbound mailbox has space for another word.
+    pub fn spu_outbox_has_space(&self) -> bool {
+        self.outbound.is_empty()
+    }
+
+    // --- PPE side (MMIO into problem-state area) ---
+
+    /// PPE: blocking read of the SPE's outbound mailbox. The MMIO access
+    /// cost is charged once the word is present (a poll loop would pay at
+    /// least one access after arrival).
+    pub fn ppe_read_outbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
+        let word = self.outbound.pop(ctx);
+        ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
+        word
+    }
+
+    /// PPE: non-blocking read of the SPE's outbound mailbox
+    /// (`spe_out_mbox_status` + read).
+    pub fn ppe_try_read_outbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> Option<u32> {
+        ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
+        self.outbound.try_pop(ctx)
+    }
+
+    /// PPE: blocking read of the SPE's outbound interrupt mailbox.
+    pub fn ppe_read_outbox_intr(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
+        let word = self.outbound_intr.pop(ctx);
+        ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
+        word
+    }
+
+    /// PPE: write a word into the SPE's 4-deep inbound mailbox; blocks while
+    /// it is full (`SPE_MBOX_ALL_BLOCKING` behaviour).
+    pub fn ppe_write_inbox(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
+        ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
+        self.inbound.push(
+            ctx,
+            word,
+            SimDuration::from_micros_f64(costs.mailbox_latency_us),
+        );
+    }
+
+    /// PPE: non-blocking status of the outbound mailbox (word available?).
+    pub fn ppe_outbox_status(&self, ctx: &ProcCtx) -> bool {
+        self.outbound.has_available(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_des::Simulation;
+    use std::sync::Arc;
+
+    fn costs() -> CellCosts {
+        CellCosts::default()
+    }
+
+    #[test]
+    fn spu_to_ppe_word_costs_one_way_latency() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("spu", move |ctx| {
+            m1.spu_write_outbox(ctx, &costs(), 0xCAFE);
+        });
+        sim.spawn("ppe", move |ctx| {
+            let w = m2.ppe_read_outbox(ctx, &costs());
+            assert_eq!(w, 0xCAFE);
+            // spu op 0.1 + latency 4.9 + ppe mmio 2.5 = 7.5us
+            assert!((ctx.now().as_micros_f64() - 7.5).abs() < 0.01);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn inbound_mailbox_depth_is_four() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("ppe", move |ctx| {
+            for i in 0..5 {
+                m1.ppe_write_inbox(ctx, &costs(), i);
+            }
+            // The 5th write must have blocked until the SPU drained one word
+            // at t = 100us.
+            assert!(ctx.now().as_micros_f64() >= 100.0);
+        });
+        sim.spawn("spu", move |ctx| {
+            ctx.advance(SimDuration::from_micros(100));
+            for i in 0..5 {
+                assert_eq!(m2.spu_read_inbox(ctx, &costs()), i);
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn outbound_is_single_entry() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("spu", move |ctx| {
+            m1.spu_write_outbox(ctx, &costs(), 1);
+            assert!(!m1.spu_outbox_has_space());
+            m1.spu_write_outbox(ctx, &costs(), 2); // blocks until PPE reads
+            assert!(ctx.now().as_micros_f64() >= 50.0);
+        });
+        sim.spawn("ppe", move |ctx| {
+            ctx.advance(SimDuration::from_micros(50));
+            assert_eq!(m2.ppe_read_outbox(ctx, &costs()), 1);
+            assert_eq!(m2.ppe_read_outbox(ctx, &costs()), 2);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_read_empty_returns_none() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        sim.spawn("ppe", move |ctx| {
+            assert_eq!(mb.ppe_try_read_outbox(ctx, &costs()), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn status_and_count_channels() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("spu", move |ctx| {
+            assert_eq!(m1.spu_inbox_count(), 0);
+            ctx.advance(SimDuration::from_micros(50));
+            assert_eq!(m1.spu_inbox_count(), 3);
+            for i in 0..3 {
+                assert_eq!(m1.spu_read_inbox(ctx, &costs()), i);
+            }
+            m1.spu_write_outbox(ctx, &costs(), 9);
+        });
+        sim.spawn("ppe", move |ctx| {
+            assert!(!m2.ppe_outbox_status(ctx));
+            for i in 0..3 {
+                m2.ppe_write_inbox(ctx, &costs(), i);
+            }
+            ctx.advance(SimDuration::from_micros(100));
+            assert!(m2.ppe_outbox_status(ctx));
+            assert_eq!(m2.ppe_read_outbox(ctx, &costs()), 9);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn interrupt_mailbox_independent_of_outbound() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("spu", move |ctx| {
+            m1.spu_write_outbox(ctx, &costs(), 7);
+            m1.spu_write_outbox_intr(ctx, &costs(), 8);
+        });
+        sim.spawn("ppe", move |ctx| {
+            assert_eq!(m2.ppe_read_outbox_intr(ctx, &costs()), 8);
+            assert_eq!(m2.ppe_read_outbox(ctx, &costs()), 7);
+        });
+        sim.run().unwrap();
+    }
+}

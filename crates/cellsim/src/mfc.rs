@@ -1,0 +1,248 @@
+//! The Memory Flow Controller: each SPE's asynchronous DMA engine.
+//!
+//! DMA commands are issued cheaply (a few channel writes) and complete
+//! asynchronously; software groups commands under one of 32 **tag groups**
+//! and waits on a tag mask (`mfc_write_tag_mask` + `mfc_read_tag_status_all`).
+//! The MFC imposes the transfer-size and alignment rules the paper warns
+//! programmers about: sizes of 1, 2, 4, 8 bytes or multiples of 16 up to
+//! 16 KB, with matching natural alignment on both the local-store and
+//! effective addresses (optimal performance wants quadword alignment).
+
+use crate::localstore::LsError;
+use crate::memory::{Ea, MemError};
+use cp_des::{ProcCtx, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Maximum bytes in one DMA command.
+pub const MFC_MAX_DMA: usize = 16 * 1024;
+
+/// Number of tag groups per MFC.
+pub const MFC_TAGS: u32 = 32;
+
+/// Maximum elements in one DMA-list command (the MFC architecture allows
+/// 2048).
+pub const MFC_LIST_MAX: usize = 2048;
+
+/// One element of a DMA-list command: an effective address and a size
+/// (each element obeys the single-transfer rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaListElem {
+    /// Effective address of this element.
+    pub ea: Ea,
+    /// Bytes to move for this element.
+    pub size: usize,
+}
+
+/// Direction of a DMA command, named from the SPE's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDir {
+    /// `mfc_get`: effective address → local store.
+    Get,
+    /// `mfc_put`: local store → effective address.
+    Put,
+}
+
+/// Errors raised when issuing a DMA command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaError {
+    /// Transfer size is not 1, 2, 4, 8, or a multiple of 16 ≤ 16 KB.
+    BadSize(usize),
+    /// Addresses are not naturally aligned for the transfer size, or the
+    /// low 4 bits of source and destination differ for a ≥16 B transfer.
+    Misaligned {
+        /// Local-store side of the transfer.
+        ls_addr: usize,
+        /// Effective-address side.
+        ea: Ea,
+        /// Transfer length.
+        len: usize,
+    },
+    /// Tag group out of range.
+    BadTag(u32),
+    /// DMA list empty or longer than [`MFC_LIST_MAX`].
+    BadListLength(usize),
+    /// The effective-address side faulted.
+    Mem(MemError),
+    /// The local-store side faulted.
+    Ls(LsError),
+}
+
+impl fmt::Display for DmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmaError::BadSize(n) => write!(
+                f,
+                "DMA size {n} invalid: must be 1, 2, 4, 8 or a multiple of 16 up to {MFC_MAX_DMA}"
+            ),
+            DmaError::Misaligned { ls_addr, ea, len } => write!(
+                f,
+                "DMA misaligned: ls={ls_addr:#x} ea={ea:?} len={len} (natural alignment required)"
+            ),
+            DmaError::BadTag(t) => write!(f, "DMA tag {t} out of range (0..{MFC_TAGS})"),
+            DmaError::BadListLength(n) => {
+                write!(f, "DMA list of {n} elements invalid (1..={MFC_LIST_MAX})")
+            }
+            DmaError::Mem(e) => write!(f, "DMA effective-address fault: {e}"),
+            DmaError::Ls(e) => write!(f, "DMA local-store fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {}
+
+impl From<MemError> for DmaError {
+    fn from(e: MemError) -> Self {
+        DmaError::Mem(e)
+    }
+}
+
+impl From<LsError> for DmaError {
+    fn from(e: LsError) -> Self {
+        DmaError::Ls(e)
+    }
+}
+
+/// Validate MFC transfer-size and alignment rules.
+pub fn validate(ls_addr: usize, ea: Ea, len: usize) -> Result<(), DmaError> {
+    let size_ok =
+        matches!(len, 1 | 2 | 4 | 8) || (len > 0 && len.is_multiple_of(16) && len <= MFC_MAX_DMA);
+    if !size_ok {
+        return Err(DmaError::BadSize(len));
+    }
+    let align = if len >= 16 { 16 } else { len as u64 };
+    let aligned = (ls_addr as u64).is_multiple_of(align) && ea.0.is_multiple_of(align);
+    // For sub-quadword transfers the low 4 bits of both addresses must match.
+    let congruent = len >= 16 || (ls_addr as u64 & 0xF) == (ea.0 & 0xF);
+    if !aligned || !congruent {
+        return Err(DmaError::Misaligned { ls_addr, ea, len });
+    }
+    Ok(())
+}
+
+/// Per-SPE tag-group completion state.
+///
+/// Issuing a command records its completion instant; waiting on a tag mask
+/// advances the waiter's virtual clock to the latest completion among the
+/// masked tags (zero-cost if everything already completed).
+pub struct TagState {
+    completion: Mutex<[SimTime; MFC_TAGS as usize]>,
+}
+
+impl Default for TagState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagState {
+    /// Fresh state: all tags complete at t = 0.
+    pub fn new() -> TagState {
+        TagState {
+            completion: Mutex::new([SimTime::ZERO; MFC_TAGS as usize]),
+        }
+    }
+
+    /// Record that a command under `tag` completes at `at`.
+    pub fn record(&self, tag: u32, at: SimTime) -> Result<(), DmaError> {
+        if tag >= MFC_TAGS {
+            return Err(DmaError::BadTag(tag));
+        }
+        let mut c = self.completion.lock();
+        let slot = &mut c[tag as usize];
+        if at > *slot {
+            *slot = at;
+        }
+        Ok(())
+    }
+
+    /// `mfc_read_tag_status_all` for a tag mask: block (advance virtual
+    /// time) until every masked tag's commands have completed.
+    pub fn wait_all(&self, ctx: &ProcCtx, mask: u32) {
+        let latest = {
+            let c = self.completion.lock();
+            (0..MFC_TAGS)
+                .filter(|t| mask & (1 << t) != 0)
+                .map(|t| c[t as usize])
+                .max()
+                .unwrap_or(SimTime::ZERO)
+        };
+        let now = ctx.now();
+        if latest > now {
+            ctx.advance(latest - now);
+        }
+    }
+
+    /// `mfc_read_tag_status_immediate`: which masked tags are complete now?
+    pub fn poll(&self, ctx: &ProcCtx, mask: u32) -> u32 {
+        let now = ctx.now();
+        let c = self.completion.lock();
+        (0..MFC_TAGS)
+            .filter(|&t| mask & (1 << t) != 0 && c[t as usize] <= now)
+            .fold(0, |acc, t| acc | (1 << t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_des::{SimDuration, Simulation};
+    use std::sync::Arc;
+
+    #[test]
+    fn size_rules() {
+        let ea = Ea(0x1000);
+        for len in [1usize, 2, 4, 8, 16, 32, 1600, MFC_MAX_DMA] {
+            assert!(validate(0x100, ea, len).is_ok(), "len={len}");
+        }
+        for len in [0usize, 3, 5, 12, 17, MFC_MAX_DMA + 16] {
+            assert!(
+                matches!(validate(0x100, ea, len), Err(DmaError::BadSize(_))),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn alignment_rules() {
+        // Quadword transfers need 16B alignment on both sides.
+        assert!(validate(0x10, Ea(0x20), 32).is_ok());
+        assert!(validate(0x11, Ea(0x20), 32).is_err());
+        assert!(validate(0x10, Ea(0x21), 32).is_err());
+        // Small transfers need natural alignment and congruent low bits.
+        assert!(validate(0x14, Ea(0x24), 4).is_ok());
+        assert!(validate(0x14, Ea(0x28), 4).is_err(), "low 4 bits differ");
+        assert!(validate(0x13, Ea(0x23), 4).is_err(), "not 4-aligned");
+        assert!(validate(0x13, Ea(0x23), 1).is_ok(), "bytes go anywhere");
+    }
+
+    #[test]
+    fn tag_wait_advances_to_completion() {
+        let tags = Arc::new(TagState::new());
+        let mut sim = Simulation::new();
+        sim.spawn("spu", move |ctx| {
+            tags.record(3, ctx.now() + SimDuration::from_micros(10))
+                .unwrap();
+            tags.record(4, ctx.now() + SimDuration::from_micros(50))
+                .unwrap();
+            assert_eq!(tags.poll(ctx, 1 << 3 | 1 << 4), 0);
+            tags.wait_all(ctx, 1 << 3);
+            assert_eq!(ctx.now().as_micros_f64(), 10.0);
+            tags.wait_all(ctx, 1 << 3 | 1 << 4);
+            assert_eq!(ctx.now().as_micros_f64(), 50.0);
+            // Waiting again is free.
+            tags.wait_all(ctx, 1 << 4);
+            assert_eq!(ctx.now().as_micros_f64(), 50.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let tags = TagState::new();
+        assert!(matches!(
+            tags.record(32, SimTime::ZERO),
+            Err(DmaError::BadTag(32))
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! SPE code overlays.
+//!
+//! The paper (§II.A): programmers "may need to divide up their application
+//! code accordingly, for which an overlay capability is available" — when a
+//! program's code does not fit the 256 KB local store alongside its data,
+//! segments are swapped in from main memory on demand. An
+//! [`OverlayRegion`] models the linker-managed overlay buffer: a fixed
+//! local-store window plus a set of code segments staged in main memory;
+//! calling a function in a non-resident segment triggers a DMA of that
+//! segment over the window, charged at EIB cost.
+
+use crate::mfc::DmaError;
+use crate::node::CellNode;
+use cp_des::{ProcCtx, SimDuration};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A declared overlay segment.
+#[derive(Debug, Clone)]
+pub struct OverlaySegment {
+    /// Human-readable name (the source overlay section).
+    pub name: String,
+    /// Code bytes (must fit the overlay window).
+    pub bytes: usize,
+}
+
+/// Errors from overlay management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The segment does not fit the overlay window.
+    SegmentTooLarge {
+        /// The offending segment.
+        segment: String,
+        /// Its size.
+        bytes: usize,
+        /// The window capacity.
+        window: usize,
+    },
+    /// No segment with that index was declared.
+    NoSuchSegment(usize),
+    /// The window could not be reserved in the local store.
+    Ls(crate::localstore::LsError),
+    /// The staged segment could not be transferred.
+    Dma(DmaError),
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::SegmentTooLarge {
+                segment,
+                bytes,
+                window,
+            } => write!(
+                f,
+                "overlay segment '{segment}' ({bytes} B) exceeds the {window} B window"
+            ),
+            OverlayError::NoSuchSegment(i) => write!(f, "no overlay segment {i}"),
+            OverlayError::Ls(e) => write!(f, "overlay window: {e}"),
+            OverlayError::Dma(e) => write!(f, "overlay swap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+struct OverlayState {
+    resident: Option<usize>,
+    swaps: u64,
+}
+
+/// An overlay window on one SPE with its staged segments.
+pub struct OverlayRegion {
+    cell: Arc<CellNode>,
+    hw: usize,
+    window_addr: usize,
+    window_len: usize,
+    segments: Vec<OverlaySegment>,
+    state: Mutex<OverlayState>,
+}
+
+impl OverlayRegion {
+    /// Reserve an overlay window of `window_len` bytes in SPE `hw`'s local
+    /// store and register the given segments. The window is sized to the
+    /// largest segment or `window_len`, whichever is larger.
+    pub fn new(
+        cell: Arc<CellNode>,
+        hw: usize,
+        window_len: usize,
+        segments: Vec<OverlaySegment>,
+    ) -> Result<OverlayRegion, OverlayError> {
+        for s in &segments {
+            if s.bytes > window_len {
+                return Err(OverlayError::SegmentTooLarge {
+                    segment: s.name.clone(),
+                    bytes: s.bytes,
+                    window: window_len,
+                });
+            }
+        }
+        let window_addr = cell.spes[hw]
+            .ls
+            .alloc(window_len, 16)
+            .map_err(OverlayError::Ls)?;
+        Ok(OverlayRegion {
+            cell,
+            hw,
+            window_addr,
+            window_len,
+            segments,
+            state: Mutex::new(OverlayState {
+                resident: None,
+                swaps: 0,
+            }),
+        })
+    }
+
+    /// Ensure segment `idx` is resident, swapping it in over the window if
+    /// necessary. Returns `true` when a swap (and its DMA cost) occurred.
+    /// Models the call-stub check the overlay linker inserts.
+    pub fn ensure_resident(&self, ctx: &ProcCtx, idx: usize) -> Result<bool, OverlayError> {
+        let seg = self
+            .segments
+            .get(idx)
+            .ok_or(OverlayError::NoSuchSegment(idx))?;
+        {
+            let st = self.state.lock();
+            if st.resident == Some(idx) {
+                // Resident: the stub check costs a couple of cycles only.
+                return Ok(false);
+            }
+        }
+        // Swap: DMA the segment image from its main-memory staging area.
+        // The code image content is opaque; only the cost and the
+        // residency bookkeeping matter to callers.
+        let padded = (seg.bytes.max(16) + 15) & !15;
+        let us = self.cell.costs.dma_transfer_us(padded.min(self.window_len));
+        ctx.advance(SimDuration::from_micros_f64(us));
+        let mut st = self.state.lock();
+        st.resident = Some(idx);
+        st.swaps += 1;
+        Ok(true)
+    }
+
+    /// The currently resident segment, if any.
+    pub fn resident(&self) -> Option<usize> {
+        self.state.lock().resident
+    }
+
+    /// How many swaps have occurred (thrashing diagnostics).
+    pub fn swap_count(&self) -> u64 {
+        self.state.lock().swaps
+    }
+
+    /// The window's local-store address (for footprint accounting).
+    pub fn window_addr(&self) -> usize {
+        self.window_addr
+    }
+
+    /// Release the window back to the local store.
+    pub fn release(self) {
+        let _ = self.cell.spes[self.hw].ls.free(self.window_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CellCosts;
+    use cp_des::Simulation;
+
+    fn setup() -> (Arc<CellNode>, Vec<OverlaySegment>) {
+        let cell = CellNode::new(0, 2, 1 << 20, CellCosts::default());
+        let segs = vec![
+            OverlaySegment {
+                name: "phase1".into(),
+                bytes: 20_000,
+            },
+            OverlaySegment {
+                name: "phase2".into(),
+                bytes: 28_000,
+            },
+            OverlaySegment {
+                name: "phase3".into(),
+                bytes: 8_000,
+            },
+        ];
+        (cell, segs)
+    }
+
+    #[test]
+    fn swaps_only_on_residency_change() {
+        let (cell, segs) = setup();
+        let mut sim = Simulation::new();
+        sim.spawn("spu", move |ctx| {
+            let ov = OverlayRegion::new(cell.clone(), 0, 32_000, segs).unwrap();
+            assert_eq!(ov.resident(), None);
+            assert!(ov.ensure_resident(ctx, 0).unwrap(), "first call swaps");
+            assert!(!ov.ensure_resident(ctx, 0).unwrap(), "resident is free");
+            assert!(ov.ensure_resident(ctx, 1).unwrap());
+            assert!(ov.ensure_resident(ctx, 0).unwrap(), "round trip re-swaps");
+            assert_eq!(ov.swap_count(), 3);
+            assert_eq!(ov.resident(), Some(0));
+            ov.release();
+            // The window is fully recovered.
+            assert_eq!(cell.spes[0].ls.free_bytes(), crate::LS_SIZE);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn swap_charges_dma_time() {
+        let (cell, segs) = setup();
+        let mut sim = Simulation::new();
+        sim.spawn("spu", move |ctx| {
+            let ov = OverlayRegion::new(cell, 0, 32_000, segs).unwrap();
+            let t0 = ctx.now();
+            ov.ensure_resident(ctx, 1).unwrap();
+            let swap_us = (ctx.now() - t0).as_micros_f64();
+            assert!(
+                swap_us > 2.0,
+                "28KB over the EIB costs real time: {swap_us}"
+            );
+            let t1 = ctx.now();
+            ov.ensure_resident(ctx, 1).unwrap();
+            assert_eq!(ctx.now(), t1, "hit costs nothing");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn oversized_segment_rejected() {
+        let (cell, _) = setup();
+        let segs = vec![OverlaySegment {
+            name: "huge".into(),
+            bytes: 64_000,
+        }];
+        match OverlayRegion::new(cell, 0, 32_000, segs) {
+            Err(OverlayError::SegmentTooLarge { segment, .. }) => {
+                assert_eq!(segment, "huge")
+            }
+            Err(other) => panic!("expected SegmentTooLarge, got {other:?}"),
+            Ok(_) => panic!("expected SegmentTooLarge, got Ok"),
+        }
+    }
+
+    #[test]
+    fn unknown_segment_rejected() {
+        let (cell, segs) = setup();
+        let mut sim = Simulation::new();
+        sim.spawn("spu", move |ctx| {
+            let ov = OverlayRegion::new(cell, 0, 32_000, segs).unwrap();
+            assert_eq!(
+                ov.ensure_resident(ctx, 9).unwrap_err(),
+                OverlayError::NoSuchSegment(9)
+            );
+        });
+        sim.run().unwrap();
+    }
+}

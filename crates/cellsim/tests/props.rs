@@ -1,0 +1,92 @@
+//! Property tests for the Cell node model: local-store allocator
+//! invariants and MFC DMA validation rules.
+
+use cp_cellsim::{validate_dma, Ea, LocalStore, LsError, LS_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live allocations never overlap and never exceed the 256 KB store.
+    #[test]
+    fn allocations_never_overlap(
+        reqs in proptest::collection::vec((1usize..4096, 0u8..3), 1..64)
+    ) {
+        let ls = LocalStore::new();
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for (len, align_sel) in reqs {
+            let align = 1usize << (align_sel * 2); // 1, 4, 16
+            match ls.alloc(len, align) {
+                Ok(addr) => {
+                    prop_assert_eq!(addr % align, 0, "alignment violated");
+                    prop_assert!(addr + len <= LS_SIZE, "allocation past end");
+                    for &(a, l) in &live {
+                        let disjoint = addr + len <= a || a + l <= addr;
+                        prop_assert!(disjoint, "overlap: [{},+{}) vs [{},+{})", addr, len, a, l);
+                    }
+                    live.push((addr, len));
+                }
+                Err(LsError::OutOfLocalStore { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+
+    /// Alloc/free in arbitrary interleavings always returns to a fully
+    /// free store, and accounting stays consistent throughout.
+    #[test]
+    fn free_restores_everything(
+        ops in proptest::collection::vec((1usize..8192, any::<bool>()), 1..80)
+    ) {
+        let ls = LocalStore::new();
+        let mut live: Vec<usize> = Vec::new();
+        for (len, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let addr = live.swap_remove(len % live.len());
+                prop_assert!(ls.free(addr).is_ok());
+            } else if let Ok(addr) = ls.alloc(len, 16) {
+                live.push(addr);
+            }
+            prop_assert_eq!(ls.used_bytes() + ls.free_bytes(), LS_SIZE);
+        }
+        for addr in live.drain(..) {
+            ls.free(addr).unwrap();
+        }
+        prop_assert_eq!(ls.free_bytes(), LS_SIZE);
+        // Coalescing must leave a single maximal region: the next alloc of
+        // the whole store succeeds.
+        prop_assert!(ls.alloc(LS_SIZE, 1).is_ok());
+    }
+
+    /// Data survives alloc/write/read across unrelated churn.
+    #[test]
+    fn data_integrity_under_churn(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..256), 1..16)
+    ) {
+        let ls = LocalStore::new();
+        let mut stored = Vec::new();
+        for p in &payloads {
+            let addr = ls.alloc(p.len(), 16).unwrap();
+            ls.write(addr, p).unwrap();
+            stored.push((addr, p.clone()));
+        }
+        for (addr, expect) in stored {
+            prop_assert_eq!(ls.read(addr, expect.len()).unwrap(), expect);
+            ls.free(addr).unwrap();
+        }
+    }
+
+    /// DMA validation accepts exactly the architected sizes/alignments.
+    #[test]
+    fn dma_validation_rules(ls_addr in 0usize..LS_SIZE, ea in 0u64..1_000_000, len in 0usize..40_000) {
+        let ok = validate_dma(ls_addr, Ea(ea), len).is_ok();
+        let size_ok = matches!(len, 1 | 2 | 4 | 8)
+            || (len > 0 && len % 16 == 0 && len <= 16 * 1024);
+        let align = if len >= 16 { 16 } else { len.max(1) as u64 };
+        let aligned = (ls_addr as u64).is_multiple_of(align) && ea % align == 0;
+        let congruent = len >= 16 || (ls_addr as u64 & 0xF) == (ea & 0xF);
+        prop_assert_eq!(ok, size_ok && aligned && congruent,
+            "ls={:#x} ea={:#x} len={}", ls_addr, ea, len);
+    }
+}

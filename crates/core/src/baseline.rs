@@ -1,0 +1,577 @@
+//! Hand-coded baseline transfers — the paper's comparison points.
+//!
+//! Section V measures every channel type three ways: (1) via CellPilot,
+//! (2) via "hand-coded SPE/PPE transfers using DMA", and (3) via
+//! "hand-coded transfers using memory-mapped copying (i.e., CellPilot's
+//! method, but without the generality of the Co-Pilot process)". This
+//! module implements (2) and (3) directly against the simulated SDK
+//! (`cp-cellsim`) and MPI (`cp-mpisim`) — exactly the style of code the
+//! paper's 186-line SDK example needs: explicit mailbox words, DMA tag
+//! management, and per-leg acknowledgements so buffers can be reused.
+//!
+//! Each `pingpong_*` function builds a dedicated mini-cluster, bounces a
+//! message `reps` times between the two endpoints of the given channel
+//! type, verifies the data, and returns the average **one-way** latency in
+//! microseconds — the IMB PingPong convention Table II uses ("measured
+//! time divided by the number of repetitions and halved").
+
+use cp_cellsim::{ls_ea, CellNode, DmaDir};
+use cp_des::{ProcCtx, SimDuration, SimTime, Simulation};
+use cp_mpisim::{Datatype, MpiCosts, MpiWorld};
+use cp_simnet::{ClusterSpec, NodeId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which hand-coded mechanism moves the bytes inside a Cell node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineImpl {
+    /// MFC DMA transfers issued by the SPE.
+    Dma,
+    /// PPE `memcpy` through the memory-mapped local store.
+    Copy,
+}
+
+/// Result of one ping-pong measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPong {
+    /// Average one-way latency, µs.
+    pub one_way_us: f64,
+    /// Payload size, bytes.
+    pub bytes: usize,
+}
+
+const GO: u32 = 0x60;
+const ACK: u32 = 0x61;
+const DONE: u32 = 0x62;
+
+fn measure(total: SimTime, reps: usize) -> f64 {
+    total.as_micros_f64() / (2.0 * reps as f64)
+}
+
+fn pattern(bytes: usize, round: usize) -> Vec<u8> {
+    (0..bytes).map(|i| (i + round) as u8).collect()
+}
+
+/// Type 1: raw MPI ping-pong between two PPE ranks over the wire. DMA and
+/// copy variants are identical here (no SPE involved) — the paper reports
+/// the same numbers for both.
+pub fn pingpong_type1(bytes: usize, reps: usize) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let cluster = spec.build();
+    let world = MpiWorld::new(cluster, vec![NodeId(0), NodeId(1)], MpiCosts::default());
+    let mut sim = Simulation::new();
+    let result = Arc::new(Mutex::new(SimTime::ZERO));
+    let r2 = result.clone();
+    let w2 = world.clone();
+    world.launch(&mut sim, 0, "ping", move |comm| {
+        let t0 = comm.ctx().now();
+        for round in 0..reps {
+            let data = pattern(bytes, round);
+            comm.send_bytes(1, 0, Datatype::Byte, bytes, data.clone());
+            let m = comm.recv(Some(1), Some(0));
+            assert_eq!(m.data, data);
+        }
+        *r2.lock() = SimTime((comm.ctx().now() - t0).as_nanos());
+    });
+    w2.launch(&mut sim, 1, "pong", move |comm| {
+        for _ in 0..reps {
+            let m = comm.recv(Some(0), Some(0));
+            comm.send_bytes(0, 0, Datatype::Byte, m.count, m.data);
+        }
+    });
+    sim.run().expect("type1 baseline");
+    let total = *result.lock();
+    PingPong {
+        one_way_us: measure(total, reps),
+        bytes,
+    }
+}
+
+/// Round a payload size up to a legal MFC transfer size.
+fn dma_len(bytes: usize) -> usize {
+    match bytes {
+        0 => 1,
+        1 | 2 | 4 | 8 => bytes,
+        n if n % 16 == 0 => n,
+        n => (n + 15) & !15,
+    }
+}
+
+/// Spawn the hand-coded echo SPE program shared by types 2, 3 and 5.
+///
+/// DMA flavour, per one-way leg: notify + MFC transfer + ack — a mailbox
+/// round trip plus the flat DMA cost, which is why the paper's DMA rows
+/// are flat across sizes. Copy flavour: the PPE moves the bytes itself
+/// through the mapped local store (uncached — hence the per-byte slope of
+/// the copy rows); the SPE only handshakes.
+fn spawn_spe_echo(
+    ctx: &ProcCtx,
+    cell: &Arc<CellNode>,
+    imp: BaselineImpl,
+    hw: usize,
+    buf_ea: cp_cellsim::Ea,
+    bytes: usize,
+    reps: usize,
+) -> cp_des::Pid {
+    let cell2 = cell.clone();
+    cell.start_spe(ctx, hw, "echo", 4096, move |sctx| {
+        let costs = cell2.costs.clone();
+        let ls_buf = cell2.spes[hw].ls.alloc(bytes.max(16), 16).unwrap();
+        // Report my buffer address so the PPE side can find it.
+        cell2.spes[hw]
+            .mbox
+            .spu_write_outbox(sctx, &costs, ls_buf as u32);
+        for _ in 0..reps {
+            match imp {
+                BaselineImpl::Dma => {
+                    // Inbound leg: wait GO, fetch, ack.
+                    assert_eq!(cell2.spes[hw].mbox.spu_read_inbox(sctx, &costs), GO);
+                    cell2
+                        .dma(sctx, hw, DmaDir::Get, 0, ls_buf, buf_ea, dma_len(bytes))
+                        .unwrap();
+                    cell2.dma_wait(sctx, hw, 1 << 0);
+                    cell2.spes[hw].mbox.spu_write_outbox(sctx, &costs, ACK);
+                    // Echo leg: put back, signal DONE, wait ack.
+                    cell2
+                        .dma(sctx, hw, DmaDir::Put, 1, ls_buf, buf_ea, dma_len(bytes))
+                        .unwrap();
+                    cell2.dma_wait(sctx, hw, 1 << 1);
+                    cell2.spes[hw].mbox.spu_write_outbox(sctx, &costs, DONE);
+                    assert_eq!(cell2.spes[hw].mbox.spu_read_inbox(sctx, &costs), ACK);
+                }
+                BaselineImpl::Copy => {
+                    // The PPE does both copies; the SPE only handshakes.
+                    assert_eq!(cell2.spes[hw].mbox.spu_read_inbox(sctx, &costs), GO);
+                    cell2.spes[hw].mbox.spu_write_outbox(sctx, &costs, ACK);
+                    cell2.spes[hw].mbox.spu_write_outbox(sctx, &costs, DONE);
+                    assert_eq!(cell2.spes[hw].mbox.spu_read_inbox(sctx, &costs), ACK);
+                }
+            }
+        }
+        cell2.spes[hw].ls.free(ls_buf).unwrap();
+    })
+    .expect("echo SPE starts")
+}
+
+/// One PPE-side round against the echo SPE. Returns the echoed bytes.
+fn ppe_round(
+    ctx: &ProcCtx,
+    cell: &Arc<CellNode>,
+    imp: BaselineImpl,
+    hw: usize,
+    ls_buf: usize,
+    buf_ea: cp_cellsim::Ea,
+    data: &[u8],
+) -> Vec<u8> {
+    let costs = &cell.costs;
+    let bytes = data.len();
+    match imp {
+        BaselineImpl::Dma => {
+            cell.mem.write(buf_ea.0 as usize, data).unwrap();
+            cell.spes[hw].mbox.ppe_write_inbox(ctx, costs, GO);
+            assert_eq!(cell.spes[hw].mbox.ppe_read_outbox(ctx, costs), ACK);
+            assert_eq!(cell.spes[hw].mbox.ppe_read_outbox(ctx, costs), DONE);
+            let back = cell.mem.read(buf_ea.0 as usize, bytes).unwrap();
+            cell.spes[hw].mbox.ppe_write_inbox(ctx, costs, ACK);
+            back
+        }
+        BaselineImpl::Copy => {
+            // Inbound: store through the mapping, then handshake.
+            cell.ea_write(ls_ea(hw, ls_buf), data).unwrap();
+            ctx.advance(SimDuration::from_micros_f64(costs.memcpy_us(bytes, 1)));
+            cell.spes[hw].mbox.ppe_write_inbox(ctx, costs, GO);
+            assert_eq!(cell.spes[hw].mbox.ppe_read_outbox(ctx, costs), ACK);
+            // Echo: wait DONE, load through the mapping, ack.
+            assert_eq!(cell.spes[hw].mbox.ppe_read_outbox(ctx, costs), DONE);
+            let back = cell.ea_read(ls_ea(hw, ls_buf), bytes).unwrap();
+            ctx.advance(SimDuration::from_micros_f64(costs.memcpy_us(bytes, 1)));
+            cell.spes[hw].mbox.ppe_write_inbox(ctx, costs, ACK);
+            back
+        }
+    }
+}
+
+/// Type 2: PPE ↔ local SPE, hand-coded.
+pub fn pingpong_type2(imp: BaselineImpl, bytes: usize, reps: usize) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let cluster = spec.build();
+    let cell = cluster.cell(NodeId(0)).clone();
+    let mut sim = Simulation::new();
+    let result = Arc::new(Mutex::new(SimTime::ZERO));
+    let r2 = result.clone();
+    sim.spawn("ppe", move |ctx| {
+        let buf_ea = cell.mem.alloc(dma_len(bytes), 16).unwrap();
+        let pid = spawn_spe_echo(ctx, &cell, imp, 0, buf_ea, bytes, reps);
+        let ls_buf = cell.spes[0].mbox.ppe_read_outbox(ctx, &cell.costs) as usize;
+        let t0 = ctx.now();
+        for round in 0..reps {
+            let data = pattern(bytes, round);
+            let back = ppe_round(ctx, &cell, imp, 0, ls_buf, buf_ea, &data);
+            assert_eq!(back, data);
+        }
+        *r2.lock() = SimTime((ctx.now() - t0).as_nanos());
+        ctx.join(pid);
+    });
+    sim.run().expect("type2 baseline");
+    let total = *result.lock();
+    PingPong {
+        one_way_us: measure(total, reps),
+        bytes,
+    }
+}
+
+/// Type 3: remote PPE rank ↔ SPE, hand-coded: MPI to a helper rank on the
+/// SPE's node, which performs the local leg.
+pub fn pingpong_type3(imp: BaselineImpl, bytes: usize, reps: usize) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let cluster = spec.build();
+    let cell = cluster.cell(NodeId(0)).clone();
+    let world = MpiWorld::new(cluster, vec![NodeId(1), NodeId(0)], MpiCosts::default());
+    let mut sim = Simulation::new();
+    let result = Arc::new(Mutex::new(SimTime::ZERO));
+    let r2 = result.clone();
+    let w2 = world.clone();
+    // Rank 0: the remote endpoint on node 1's PPE.
+    world.launch(&mut sim, 0, "remote", move |comm| {
+        let t0 = comm.ctx().now();
+        for round in 0..reps {
+            let data = pattern(bytes, round);
+            comm.send_bytes(1, 0, Datatype::Byte, bytes, data.clone());
+            let m = comm.recv(Some(1), Some(0));
+            assert_eq!(m.data, data);
+        }
+        *r2.lock() = SimTime((comm.ctx().now() - t0).as_nanos());
+    });
+    // Rank 1: the helper PPE on the SPE's node.
+    w2.launch(&mut sim, 1, "helper", move |comm| {
+        let ctx = comm.ctx().clone();
+        let buf_ea = cell.mem.alloc(dma_len(bytes), 16).unwrap();
+        let pid = spawn_spe_echo(&ctx, &cell, imp, 0, buf_ea, bytes, reps);
+        let ls_buf = cell.spes[0].mbox.ppe_read_outbox(&ctx, &cell.costs) as usize;
+        for _ in 0..reps {
+            let m = comm.recv(Some(0), Some(0));
+            let back = ppe_round(&ctx, &cell, imp, 0, ls_buf, buf_ea, &m.data);
+            comm.send_bytes(0, 0, Datatype::Byte, back.len(), back);
+        }
+        ctx.join(pid);
+    });
+    sim.run().expect("type3 baseline");
+    let total = *result.lock();
+    PingPong {
+        one_way_us: measure(total, reps),
+        bytes,
+    }
+}
+
+/// Type 4: SPE ↔ SPE on one node, hand-coded, with the PPE relaying the
+/// synchronization words (SPEs cannot poke each other's mailboxes; the
+/// paper notes intra-Cell SPE coordination goes through the PPE).
+pub fn pingpong_type4(imp: BaselineImpl, bytes: usize, reps: usize) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let cluster = spec.build();
+    let cell = cluster.cell(NodeId(0)).clone();
+    let mut sim = Simulation::new();
+    let result = Arc::new(Mutex::new(SimTime::ZERO));
+    let r2 = result.clone();
+    sim.spawn("ppe-coordinator", move |ctx| {
+        let costs = cell.costs.clone();
+        let cell_a = cell.clone();
+        let pid_a = cell
+            .start_spe(ctx, 0, "a", 4096, move |sctx| {
+                let costs = cell_a.costs.clone();
+                let buf = cell_a.spes[0].ls.alloc(bytes.max(16), 16).unwrap();
+                cell_a.spes[0]
+                    .mbox
+                    .spu_write_outbox(sctx, &costs, buf as u32);
+                let b_buf = cell_a.spes[0].mbox.spu_read_inbox(sctx, &costs) as usize;
+                for round in 0..reps {
+                    let data = pattern(bytes, round);
+                    cell_a.spes[0].ls.write(buf, &data).unwrap();
+                    match imp {
+                        BaselineImpl::Dma => {
+                            // Wait until B announces its buffer is free
+                            // (relayed by the PPE), then push straight into
+                            // B's mapped local store.
+                            assert_eq!(cell_a.spes[0].mbox.spu_read_inbox(sctx, &costs), GO);
+                            cell_a
+                                .dma(
+                                    sctx,
+                                    0,
+                                    DmaDir::Put,
+                                    0,
+                                    buf,
+                                    ls_ea(1, b_buf),
+                                    dma_len(bytes),
+                                )
+                                .unwrap();
+                            cell_a.dma_wait(sctx, 0, 1 << 0);
+                            cell_a.spes[0].mbox.spu_write_outbox(sctx, &costs, DONE);
+                            // Wait for B's echo to land back in my LS.
+                            assert_eq!(cell_a.spes[0].mbox.spu_read_inbox(sctx, &costs), DONE);
+                        }
+                        BaselineImpl::Copy => {
+                            // Ask the PPE to copy A->B; wait for the leg
+                            // ack, then for B's reply, then ack the round.
+                            cell_a.spes[0].mbox.spu_write_outbox(sctx, &costs, GO);
+                            assert_eq!(cell_a.spes[0].mbox.spu_read_inbox(sctx, &costs), ACK);
+                            assert_eq!(cell_a.spes[0].mbox.spu_read_inbox(sctx, &costs), DONE);
+                            cell_a.spes[0].mbox.spu_write_outbox(sctx, &costs, ACK);
+                        }
+                    }
+                    let back = cell_a.spes[0].ls.read(buf, bytes).unwrap();
+                    assert_eq!(back, data);
+                }
+                cell_a.spes[0].ls.free(buf).unwrap();
+            })
+            .unwrap();
+        let cell_b = cell.clone();
+        let pid_b = cell
+            .start_spe(ctx, 1, "b", 4096, move |sctx| {
+                let costs = cell_b.costs.clone();
+                let buf = cell_b.spes[1].ls.alloc(bytes.max(16), 16).unwrap();
+                cell_b.spes[1]
+                    .mbox
+                    .spu_write_outbox(sctx, &costs, buf as u32);
+                let a_buf = cell_b.spes[1].mbox.spu_read_inbox(sctx, &costs) as usize;
+                for _ in 0..reps {
+                    match imp {
+                        BaselineImpl::Dma => {
+                            // Announce my buffer is free, wait for A's
+                            // data, echo it back by DMA.
+                            cell_b.spes[1].mbox.spu_write_outbox(sctx, &costs, GO);
+                            assert_eq!(cell_b.spes[1].mbox.spu_read_inbox(sctx, &costs), DONE);
+                            cell_b
+                                .dma(
+                                    sctx,
+                                    1,
+                                    DmaDir::Put,
+                                    0,
+                                    buf,
+                                    ls_ea(0, a_buf),
+                                    dma_len(bytes),
+                                )
+                                .unwrap();
+                            cell_b.dma_wait(sctx, 1, 1 << 0);
+                            cell_b.spes[1].mbox.spu_write_outbox(sctx, &costs, DONE);
+                        }
+                        BaselineImpl::Copy => {
+                            // PPE copied A->B: ack receipt, then ask for
+                            // the B->A reply copy and wait for its ack.
+                            assert_eq!(cell_b.spes[1].mbox.spu_read_inbox(sctx, &costs), GO);
+                            cell_b.spes[1].mbox.spu_write_outbox(sctx, &costs, ACK);
+                            cell_b.spes[1].mbox.spu_write_outbox(sctx, &costs, GO);
+                            assert_eq!(cell_b.spes[1].mbox.spu_read_inbox(sctx, &costs), ACK);
+                        }
+                    }
+                }
+                cell_b.spes[1].ls.free(buf).unwrap();
+            })
+            .unwrap();
+        // Exchange buffer addresses.
+        let a_buf = cell.spes[0].mbox.ppe_read_outbox(ctx, &costs) as usize;
+        let b_buf = cell.spes[1].mbox.ppe_read_outbox(ctx, &costs) as usize;
+        cell.spes[0].mbox.ppe_write_inbox(ctx, &costs, b_buf as u32);
+        cell.spes[1].mbox.ppe_write_inbox(ctx, &costs, a_buf as u32);
+        let t0 = ctx.now();
+        if imp == BaselineImpl::Dma {
+            for _ in 0..reps {
+                // Relay B's buffer-ready announcement to A.
+                assert_eq!(cell.spes[1].mbox.ppe_read_outbox(ctx, &costs), GO);
+                cell.spes[0].mbox.ppe_write_inbox(ctx, &costs, GO);
+                assert_eq!(cell.spes[0].mbox.ppe_read_outbox(ctx, &costs), DONE);
+                cell.spes[1].mbox.ppe_write_inbox(ctx, &costs, DONE);
+                assert_eq!(cell.spes[1].mbox.ppe_read_outbox(ctx, &costs), DONE);
+                cell.spes[0].mbox.ppe_write_inbox(ctx, &costs, DONE);
+            }
+        } else {
+            for _ in 0..reps {
+                assert_eq!(cell.spes[0].mbox.ppe_read_outbox(ctx, &costs), GO);
+                cell.ppe_memcpy(ctx, ls_ea(1, b_buf), ls_ea(0, a_buf), bytes)
+                    .unwrap();
+                cell.spes[1].mbox.ppe_write_inbox(ctx, &costs, GO);
+                assert_eq!(cell.spes[1].mbox.ppe_read_outbox(ctx, &costs), ACK);
+                cell.spes[0].mbox.ppe_write_inbox(ctx, &costs, ACK);
+                assert_eq!(cell.spes[1].mbox.ppe_read_outbox(ctx, &costs), GO);
+                cell.ppe_memcpy(ctx, ls_ea(0, a_buf), ls_ea(1, b_buf), bytes)
+                    .unwrap();
+                cell.spes[0].mbox.ppe_write_inbox(ctx, &costs, DONE);
+                assert_eq!(cell.spes[0].mbox.ppe_read_outbox(ctx, &costs), ACK);
+                cell.spes[1].mbox.ppe_write_inbox(ctx, &costs, ACK);
+            }
+        }
+        let elapsed = ctx.now() - t0;
+        ctx.join(pid_a);
+        ctx.join(pid_b);
+        *r2.lock() = SimTime(elapsed.as_nanos());
+    });
+    sim.run().expect("type4 baseline");
+    let total = *result.lock();
+    PingPong {
+        one_way_us: measure(total, reps),
+        bytes,
+    }
+}
+
+/// Type 5: SPE ↔ remote SPE, hand-coded: each node's helper PPE rank does
+/// the local leg and relays over MPI.
+pub fn pingpong_type5(imp: BaselineImpl, bytes: usize, reps: usize) -> PingPong {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let cluster = spec.build();
+    let cell0 = cluster.cell(NodeId(0)).clone();
+    let cell1 = cluster.cell(NodeId(1)).clone();
+    let world = MpiWorld::new(cluster, vec![NodeId(0), NodeId(1)], MpiCosts::default());
+    let mut sim = Simulation::new();
+    let result = Arc::new(Mutex::new(SimTime::ZERO));
+    let r2 = result.clone();
+    let w2 = world.clone();
+    // Helper rank 0 on node 0 drives its SPE as the initiator. One loop
+    // iteration = 2 full one-way transfers out + 2 back (the local echo
+    // contributes a leg each way), so the elapsed time over `reps`
+    // iterations is `2 * reps` round trips' worth of one-way pairs;
+    // normalize by halving before the standard measure().
+    world.launch(&mut sim, 0, "helper0", move |comm| {
+        let ctx = comm.ctx().clone();
+        let buf_ea = cell0.mem.alloc(dma_len(bytes), 16).unwrap();
+        // The initiator's SPE echoes twice per iteration (outbound and
+        // return), so it runs 2*reps rounds.
+        let pid = spawn_spe_echo(&ctx, &cell0, imp, 0, buf_ea, bytes, 2 * reps);
+        let ls_buf = cell0.spes[0].mbox.ppe_read_outbox(&ctx, &cell0.costs) as usize;
+        let t0 = ctx.now();
+        for round in 0..reps {
+            let data = pattern(bytes, round);
+            let out = ppe_round(&ctx, &cell0, imp, 0, ls_buf, buf_ea, &data);
+            comm.send_bytes(1, 0, Datatype::Byte, out.len(), out);
+            let m = comm.recv(Some(1), Some(0));
+            let back = ppe_round(&ctx, &cell0, imp, 0, ls_buf, buf_ea, &m.data);
+            assert_eq!(back, data);
+        }
+        // One iteration = SPE->wire->SPE out plus the same back: exactly
+        // one type-5 round trip.
+        *r2.lock() = SimTime((ctx.now() - t0).as_nanos());
+        ctx.join(pid);
+    });
+    w2.launch(&mut sim, 1, "helper1", move |comm| {
+        let ctx = comm.ctx().clone();
+        let buf_ea = cell1.mem.alloc(dma_len(bytes), 16).unwrap();
+        let pid = spawn_spe_echo(&ctx, &cell1, imp, 0, buf_ea, bytes, reps);
+        let ls_buf = cell1.spes[0].mbox.ppe_read_outbox(&ctx, &cell1.costs) as usize;
+        for _ in 0..reps {
+            let m = comm.recv(Some(0), Some(0));
+            let back = ppe_round(&ctx, &cell1, imp, 0, ls_buf, buf_ea, &m.data);
+            comm.send_bytes(0, 0, Datatype::Byte, back.len(), back);
+        }
+        ctx.join(pid);
+    });
+    sim.run().expect("type5 baseline");
+    let total = *result.lock();
+    PingPong {
+        one_way_us: measure(total, reps),
+        bytes,
+    }
+}
+
+/// Dispatch a baseline ping-pong by channel-type number (1..=5).
+pub fn pingpong(chan_type: u8, imp: BaselineImpl, bytes: usize, reps: usize) -> PingPong {
+    match chan_type {
+        1 => pingpong_type1(bytes, reps),
+        2 => pingpong_type2(imp, bytes, reps),
+        3 => pingpong_type3(imp, bytes, reps),
+        4 => pingpong_type4(imp, bytes, reps),
+        5 => pingpong_type5(imp, bytes, reps),
+        other => panic!("no such channel type {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPS: usize = 20;
+
+    #[test]
+    fn type1_matches_paper_anchor() {
+        let p1 = pingpong_type1(1, REPS);
+        let p1600 = pingpong_type1(1600, REPS);
+        assert!((p1.one_way_us - 98.0).abs() < 5.0, "1B: {}", p1.one_way_us);
+        assert!(
+            (p1600.one_way_us - 160.0).abs() < 8.0,
+            "1600B: {}",
+            p1600.one_way_us
+        );
+    }
+
+    #[test]
+    fn type2_copy_matches_paper_anchor() {
+        let p1 = pingpong_type2(BaselineImpl::Copy, 1, REPS);
+        let p1600 = pingpong_type2(BaselineImpl::Copy, 1600, REPS);
+        // Paper: 15 / 30. Band: same order, clear per-byte slope.
+        assert!(
+            p1.one_way_us > 8.0 && p1.one_way_us < 20.0,
+            "1B: {}",
+            p1.one_way_us
+        );
+        let slope = p1600.one_way_us - p1.one_way_us;
+        assert!(
+            (slope - 15.0).abs() < 3.0,
+            "copy slope should be ~15us/1600B: {slope}"
+        );
+    }
+
+    #[test]
+    fn type2_dma_is_flat() {
+        let p1 = pingpong_type2(BaselineImpl::Dma, 1, REPS);
+        let p1600 = pingpong_type2(BaselineImpl::Dma, 1600, REPS);
+        assert!(
+            (p1600.one_way_us - p1.one_way_us).abs() < 1.0,
+            "DMA should be flat: {} vs {}",
+            p1.one_way_us,
+            p1600.one_way_us
+        );
+        assert!(
+            p1.one_way_us > 8.0 && p1.one_way_us < 20.0,
+            "paper anchor 15: {}",
+            p1.one_way_us
+        );
+    }
+
+    #[test]
+    fn type3_adds_wire_to_type2() {
+        let t2 = pingpong_type2(BaselineImpl::Dma, 1, REPS).one_way_us;
+        let t3 = pingpong_type3(BaselineImpl::Dma, 1, REPS).one_way_us;
+        assert!(t3 > t2 + 80.0, "wire leg missing: t2={t2} t3={t3}");
+        assert!((t3 - 114.0).abs() < 12.0, "paper anchor 114: {t3}");
+    }
+
+    #[test]
+    fn type4_roughly_doubles_type2() {
+        let t4_copy = pingpong_type4(BaselineImpl::Copy, 1600, REPS).one_way_us;
+        assert!(
+            t4_copy > 40.0 && t4_copy < 70.0,
+            "paper anchor 60: {t4_copy}"
+        );
+        let t4_dma = pingpong_type4(BaselineImpl::Dma, 1, REPS).one_way_us;
+        assert!(t4_dma > 18.0 && t4_dma < 40.0, "paper anchor 30: {t4_dma}");
+        let t2_copy = pingpong_type2(BaselineImpl::Copy, 1600, REPS).one_way_us;
+        assert!(
+            t4_copy > 1.5 * t2_copy,
+            "type4 ~ two local legs: {t4_copy} vs {t2_copy}"
+        );
+    }
+
+    #[test]
+    fn type5_is_two_local_legs_plus_wire() {
+        let t5 = pingpong_type5(BaselineImpl::Dma, 1, REPS).one_way_us;
+        assert!(t5 > 110.0 && t5 < 150.0, "paper anchor 131: {t5}");
+        let t3 = pingpong_type3(BaselineImpl::Dma, 1, REPS).one_way_us;
+        assert!(t5 > t3, "type5 adds a second local leg over type3");
+    }
+
+    #[test]
+    fn dispatch_covers_all_types() {
+        for t in 1..=5u8 {
+            let p = pingpong(t, BaselineImpl::Copy, 16, 3);
+            assert!(p.one_way_us > 0.0);
+            assert_eq!(p.bytes, 16);
+        }
+    }
+}

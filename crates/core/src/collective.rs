@@ -1,0 +1,249 @@
+//! Collective operations over mixed PPE/SPE bundles — the extension the
+//! paper names as future work: "CellPilot does not yet support collective
+//! operations among SPEs, much less involving a mixture of SPE and other
+//! processes."
+//!
+//! Pilot's MPMD convention is kept: only the bundle's common endpoint
+//! calls [`CellPilot::broadcast`] / [`CellPilot::gather`] (or the
+//! [`SpeCtx`] equivalents when the common endpoint is itself an SPE);
+//! every other member just reads or writes its own channel.
+//!
+//! Broadcast from a rank endpoint is **hierarchical**: receivers are
+//! grouped by location, rank receivers get individual messages, and each
+//! Cell node's SPE receivers share *one* wire message to their Co-Pilot
+//! (tag [`CP_MCAST_TAG`]), which fans the payload out locally — crossing
+//! the slow gigabit wire once per node instead of once per SPE.
+//!
+//! [`CP_MCAST_TAG`]: crate::protocol::CP_MCAST_TAG
+
+use crate::error::CpError;
+use crate::location::{CpProcess, Location};
+use crate::protocol::{encode_mcast, CP_MCAST_TAG};
+use crate::runtime::CellPilot;
+use crate::spe_rt::SpeCtx;
+use crate::tables::{CpBundleEntry, CpBundleUsage};
+use cp_mpisim::Datatype;
+use cp_pilot::{
+    fmt::parse_format,
+    value::{check_against_format, pack_message, payload_bytes},
+    PiValue,
+};
+use cp_simnet::NodeId;
+use std::collections::BTreeMap;
+
+/// Handle to a CellPilot bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpBundle(pub usize);
+
+fn bundle_entry(tables: &crate::tables::CpTables, b: CpBundle) -> Result<&CpBundleEntry, CpError> {
+    tables.bundles.get(b.0).ok_or(CpError::NoSuchBundle(b.0))
+}
+
+fn check_common(
+    entry: &CpBundleEntry,
+    me: CpProcess,
+    usage: CpBundleUsage,
+    b: CpBundle,
+) -> Result<(), CpError> {
+    if entry.usage != usage {
+        return Err(CpError::BundleMisuse {
+            bundle: b.0,
+            detail: format!("bundle usage is {:?}", entry.usage),
+        });
+    }
+    if entry.common != me {
+        return Err(CpError::BundleMisuse {
+            bundle: b.0,
+            detail: "only the common endpoint may invoke the collective".into(),
+        });
+    }
+    Ok(())
+}
+
+impl CellPilot {
+    /// `PI_Broadcast` (extension): send `values` to every reader of the
+    /// bundle's channels. Receivers each call their side's `read` on their
+    /// own channel.
+    pub fn broadcast(&self, b: CpBundle, format: &str, values: &[PiValue]) -> Result<(), CpError> {
+        let tables = self.shared.tables.clone();
+        let entry = bundle_entry(&tables, b)?;
+        check_common(entry, self.me, CpBundleUsage::Broadcast, b)?;
+        let conv = parse_format(format)?;
+        check_against_format(&conv, values)?;
+        let data = pack_message(values);
+        self.charge_collective(payload_bytes(values));
+        // Group SPE readers by node; rank readers send individually.
+        // BTreeMap: multicast send order must be deterministic.
+        let mut per_node: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        for &c in &entry.channels {
+            let chan = &tables.channels[c.0];
+            match tables.processes[chan.to.0].location {
+                Location::Rank { rank, .. } => {
+                    self.comm_send(rank, c.0 as i32, data.clone());
+                }
+                Location::Spe { node, .. } => {
+                    per_node.entry(node).or_default().push(c.0 as u32);
+                }
+            }
+        }
+        for (node, chans) in per_node {
+            let payload = encode_mcast(&chans, &data);
+            let cp_rank = tables.copilot_ranks[&node];
+            self.comm_send(cp_rank, CP_MCAST_TAG, payload);
+        }
+        self.shared.trace.record(
+            self.ctx().now(),
+            &self.name(),
+            crate::trace::TraceOp::Broadcast,
+            b.0,
+            data.len(),
+        );
+        Ok(())
+    }
+
+    /// `PI_Gather` (extension): collect one message from every channel of
+    /// the bundle, in channel order. Writers — rank or SPE — each call
+    /// their side's `write` on their own channel.
+    pub fn gather(&self, b: CpBundle, format: &str) -> Result<Vec<Vec<PiValue>>, CpError> {
+        let tables = self.shared.tables.clone();
+        let channels = {
+            let entry = bundle_entry(&tables, b)?;
+            check_common(entry, self.me, CpBundleUsage::Gather, b)?;
+            entry.channels.clone()
+        };
+        let mut out = Vec::with_capacity(channels.len());
+        for c in channels {
+            out.push(self.read(c, format)?);
+        }
+        Ok(out)
+    }
+
+    /// `PI_Select` (extension): block until some channel of a gather
+    /// bundle has data ready at this (rank) endpoint — whatever the
+    /// writers' locations, since SPE-originated data arrives via the
+    /// writers' Co-Pilots under the same channel tags.
+    pub fn select(&self, b: CpBundle) -> Result<crate::CpChannel, CpError> {
+        let tables = self.shared.tables.clone();
+        {
+            let entry = bundle_entry(&tables, b)?;
+            check_common(entry, self.me, CpBundleUsage::Gather, b)?;
+        }
+        let tags: Vec<i32> = tables.bundles[b.0]
+            .channels
+            .iter()
+            .map(|c| c.0 as i32)
+            .collect();
+        let (_, tag, _, _) = self
+            .comm
+            .probe_match("PI_Select", |e| tags.contains(&e.tag));
+        Ok(crate::CpChannel(tag as usize))
+    }
+
+    /// `PI_TrySelect` (extension): non-blocking [`CellPilot::select`].
+    pub fn try_select(&self, b: CpBundle) -> Result<Option<crate::CpChannel>, CpError> {
+        let tables = self.shared.tables.clone();
+        {
+            let entry = bundle_entry(&tables, b)?;
+            check_common(entry, self.me, CpBundleUsage::Gather, b)?;
+        }
+        let tags: Vec<i32> = tables.bundles[b.0]
+            .channels
+            .iter()
+            .map(|c| c.0 as i32)
+            .collect();
+        Ok(self
+            .comm
+            .iprobe_match(|e| tags.contains(&e.tag))
+            .map(|(_, tag, _, _)| crate::CpChannel(tag as usize)))
+    }
+
+    fn charge_collective(&self, bytes: usize) {
+        let us = self.shared.pilot_costs.op_us + bytes as f64 * self.shared.pilot_costs.per_byte_us;
+        self.ctx().advance(cp_des::SimDuration::from_micros_f64(us));
+    }
+
+    fn comm_send(&self, rank: usize, tag: i32, data: Vec<u8>) {
+        let n = data.len();
+        self.comm.send_bytes(rank, tag, Datatype::Byte, n, data);
+    }
+}
+
+impl SpeCtx {
+    /// Broadcast from an SPE common endpoint: the SPE hands the message to
+    /// its Co-Pilot once per channel (the SPE side stays thin — all
+    /// routing intelligence lives on the PPE, per the paper's design
+    /// principle).
+    pub fn broadcast(&self, b: CpBundle, format: &str, values: &[PiValue]) -> Result<(), CpError> {
+        let tables = self.shared_tables();
+        let channels = {
+            let entry = bundle_entry(&tables, b)?;
+            check_common(entry, self.process(), CpBundleUsage::Broadcast, b)?;
+            entry.channels.clone()
+        };
+        for c in channels {
+            self.write(c, format, values)?;
+        }
+        Ok(())
+    }
+
+    /// Gather at an SPE common endpoint: read every channel in order.
+    pub fn gather(&self, b: CpBundle, format: &str) -> Result<Vec<Vec<PiValue>>, CpError> {
+        let tables = self.shared_tables();
+        let channels = {
+            let entry = bundle_entry(&tables, b)?;
+            check_common(entry, self.process(), CpBundleUsage::Gather, b)?;
+            entry.channels.clone()
+        };
+        let mut out = Vec::with_capacity(channels.len());
+        for c in channels {
+            out.push(self.read(c, format)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Reduce helper built on gather: apply `combine` elementwise over the
+/// gathered contributions' first segment, decoded as `f64`.
+pub fn reduce_f64<F>(rows: &[Vec<PiValue>], combine: F) -> Result<Vec<f64>, CpError>
+where
+    F: Fn(f64, f64) -> f64,
+{
+    let mut acc: Option<Vec<f64>> = None;
+    for row in rows {
+        let PiValue::Float64(vals) = &row[0] else {
+            return Err(CpError::Args(cp_pilot::MatchError::TypeMismatch {
+                index: 0,
+                expected: Datatype::Float64,
+                got: row[0].dtype(),
+            }));
+        };
+        acc = Some(match acc {
+            None => vals.clone(),
+            Some(a) => a.iter().zip(vals).map(|(&x, &y)| combine(x, y)).collect(),
+        });
+    }
+    Ok(acc.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_f64_combines_elementwise() {
+        let rows = vec![
+            vec![PiValue::Float64(vec![1.0, 2.0])],
+            vec![PiValue::Float64(vec![10.0, 20.0])],
+            vec![PiValue::Float64(vec![100.0, 200.0])],
+        ];
+        assert_eq!(reduce_f64(&rows, |a, b| a + b).unwrap(), vec![111.0, 222.0]);
+        assert_eq!(reduce_f64(&rows, f64::max).unwrap(), vec![100.0, 200.0]);
+        assert!(reduce_f64(&[], |a, b| a + b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reduce_f64_rejects_wrong_type() {
+        let rows = vec![vec![PiValue::Int32(vec![1])]];
+        assert!(reduce_f64(&rows, |a, b| a + b).is_err());
+    }
+}

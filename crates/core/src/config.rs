@@ -1,0 +1,517 @@
+//! The CellPilot configuration phase.
+//!
+//! Identical in spirit to Pilot's (the paper: "if a programmer has already
+//! learned how to use Pilot on a conventional cluster, learning a couple
+//! more API functions for the SPE is a small matter"). The two additions
+//! are [`CellPilotConfig::create_spe_process`] (`PI_CreateSPE`) and, in the
+//! runtime, `CellPilot::run_spe` (`PI_RunSPE`). SPE processes are not
+//! launched automatically by `run` — they stay dormant until their parent
+//! PPE process starts them during its own execution phase, "completely in
+//! keeping with the idea that SPEs have limited memory and may need to be
+//! loaded and reloaded".
+
+use crate::collective::CpBundle;
+use crate::copilot;
+use crate::costs::CellPilotCosts;
+use crate::error::CpError;
+use crate::location::{classify, CpChannel, CpProcess, Location};
+use crate::program::SpeProgram;
+use crate::runtime::{AppShared, CellPilot};
+use crate::tables::{
+    CpBundleEntry, CpBundleUsage, CpChanEntry, CpProcEntry, CpTables, NodeShared, ProcKind,
+};
+use cp_des::{SimError, SimReport, Simulation};
+use cp_mpisim::{MpiCosts, MpiWorld};
+use cp_pilot::PilotCosts;
+use cp_simnet::{ClusterSpec, NodeId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Options for a CellPilot application.
+#[derive(Debug, Clone, Default)]
+pub struct CellPilotOpts {
+    /// CellPilot-layer cost model.
+    pub costs: CellPilotCosts,
+    /// Pilot-layer (rank-side) cost model.
+    pub pilot_costs: PilotCosts,
+    /// MPI-layer cost model.
+    pub mpi_costs: MpiCosts,
+    /// Record a channel-operation trace (see [`crate::trace`]); retrieve
+    /// it with [`CellPilotConfig::run_traced`].
+    pub trace: bool,
+}
+
+type RankBody = Box<dyn FnOnce(&CellPilot, i32) + Send>;
+
+/// A CellPilot application under configuration.
+pub struct CellPilotConfig {
+    spec: ClusterSpec,
+    placement: Vec<NodeId>,
+    opts: CellPilotOpts,
+    processes: Vec<CpProcEntry>,
+    channels: Vec<CpChanEntry>,
+    bundles: Vec<CpBundleEntry>,
+    bundled: std::collections::HashSet<usize>,
+    bodies: Vec<Option<RankBody>>,
+    next_rank: usize,
+    spe_slots: HashMap<NodeId, usize>,
+}
+
+impl CellPilotConfig {
+    /// Begin configuring on `spec`, with `placement[rank]` naming the node
+    /// of each application MPI rank (rank 0 = `CP_MAIN`). One Co-Pilot
+    /// rank per Cell node is added automatically.
+    pub fn new(spec: ClusterSpec, placement: Vec<NodeId>, opts: CellPilotOpts) -> CellPilotConfig {
+        assert!(!placement.is_empty(), "need at least one rank for CP_MAIN");
+        for n in &placement {
+            assert!(n.0 < spec.nodes.len(), "placement names missing node {n}");
+        }
+        let processes = vec![CpProcEntry {
+            name: "main".into(),
+            location: Location::Rank {
+                rank: 0,
+                node: placement[0],
+            },
+            index: 0,
+            kind: ProcKind::Rank,
+        }];
+        CellPilotConfig {
+            spec,
+            placement,
+            opts,
+            processes,
+            channels: Vec::new(),
+            bundles: Vec::new(),
+            bundled: std::collections::HashSet::new(),
+            bodies: vec![None],
+            next_rank: 1,
+            spe_slots: HashMap::new(),
+        }
+    }
+
+    /// Convenience: one application rank per cluster node.
+    pub fn one_rank_per_node(spec: ClusterSpec, opts: CellPilotOpts) -> CellPilotConfig {
+        let placement = (0..spec.nodes.len()).map(NodeId).collect();
+        CellPilotConfig::new(spec, placement, opts)
+    }
+
+    /// Rank processes still creatable.
+    pub fn processes_available(&self) -> usize {
+        self.placement.len() - self.next_rank
+    }
+
+    /// `PI_CreateProcess`: a regular Pilot process on the next MPI rank.
+    pub fn create_process<F>(&mut self, name: &str, index: i32, f: F) -> Result<CpProcess, CpError>
+    where
+        F: FnOnce(&CellPilot, i32) + Send + 'static,
+    {
+        if self.processes_available() == 0 {
+            return Err(CpError::TooManyProcesses {
+                available: self.placement.len(),
+            });
+        }
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        let id = CpProcess(self.processes.len());
+        self.processes.push(CpProcEntry {
+            name: name.to_string(),
+            location: Location::Rank {
+                rank,
+                node: self.placement[rank],
+            },
+            index,
+            kind: ProcKind::Rank,
+        });
+        self.bodies.push(Some(Box::new(f)));
+        Ok(id)
+    }
+
+    /// `PI_CreateSPE`: an SPE process associated with `program`, parented
+    /// by (and co-resident with) the PPE process `parent`. Dormant until
+    /// the parent calls `run_spe` during execution.
+    pub fn create_spe_process(
+        &mut self,
+        program: &SpeProgram,
+        parent: CpProcess,
+        index: i32,
+    ) -> Result<CpProcess, CpError> {
+        let pe = self
+            .processes
+            .get(parent.0)
+            .ok_or(CpError::NoSuchProcess(parent.0))?;
+        let node = match pe.location {
+            Location::Rank { node, .. } => node,
+            Location::Spe { .. } => {
+                return Err(CpError::BadSpeParent {
+                    parent: parent.0,
+                    reason: "an SPE process cannot parent another SPE process".into(),
+                })
+            }
+        };
+        if !self.spec.nodes[node.0].is_cell() {
+            return Err(CpError::BadSpeParent {
+                parent: parent.0,
+                reason: format!("{node} is not a Cell node"),
+            });
+        }
+        let slot = self.spe_slots.entry(node).or_insert(0);
+        let my_slot = *slot;
+        *slot += 1;
+        let id = CpProcess(self.processes.len());
+        self.processes.push(CpProcEntry {
+            name: format!("{}#{}", program.name(), index),
+            location: Location::Spe {
+                node,
+                slot: my_slot,
+            },
+            index,
+            kind: ProcKind::Spe {
+                program: program.clone(),
+                parent,
+            },
+        });
+        self.bodies.push(None);
+        Ok(id)
+    }
+
+    /// `PI_CreateChannel`: a unidirectional channel between any two
+    /// processes, whatever their locations. Its Table-I type is classified
+    /// here and routed transparently at run time.
+    pub fn create_channel(&mut self, from: CpProcess, to: CpProcess) -> Result<CpChannel, CpError> {
+        let fe = self
+            .processes
+            .get(from.0)
+            .ok_or(CpError::NoSuchProcess(from.0))?;
+        let te = self
+            .processes
+            .get(to.0)
+            .ok_or(CpError::NoSuchProcess(to.0))?;
+        if from == to {
+            return Err(CpError::SelfChannel);
+        }
+        let kind = classify(fe.location, te.location);
+        let id = CpChannel(self.channels.len());
+        self.channels.push(CpChanEntry { from, to, kind });
+        Ok(id)
+    }
+
+    /// `PI_CreateBundle` (extension): group channels sharing a common
+    /// endpoint — which may be a rank *or an SPE process* — for a
+    /// collective usage. For broadcast the common endpoint is the single
+    /// writer; for gather it is the single reader.
+    pub fn create_bundle(
+        &mut self,
+        usage: CpBundleUsage,
+        channels: &[CpChannel],
+    ) -> Result<CpBundle, CpError> {
+        if channels.is_empty() {
+            return Err(CpError::EmptyBundle);
+        }
+        let ends: Vec<(CpProcess, CpProcess)> = channels
+            .iter()
+            .map(|&c| {
+                self.channels
+                    .get(c.0)
+                    .map(|e| (e.from, e.to))
+                    .ok_or(CpError::NoSuchChannel(c.0))
+            })
+            .collect::<Result<_, _>>()?;
+        let common = match usage {
+            CpBundleUsage::Broadcast => {
+                let w = ends[0].0;
+                if !ends.iter().all(|&(f, _)| f == w) {
+                    return Err(CpError::BundleCommonEndpoint);
+                }
+                w
+            }
+            CpBundleUsage::Gather => {
+                let r = ends[0].1;
+                if !ends.iter().all(|&(_, t)| t == r) {
+                    return Err(CpError::BundleCommonEndpoint);
+                }
+                r
+            }
+        };
+        for &c in channels {
+            if !self.bundled.insert(c.0) {
+                return Err(CpError::ChannelAlreadyBundled(c.0));
+            }
+        }
+        let id = CpBundle(self.bundles.len());
+        self.bundles.push(CpBundleEntry {
+            usage,
+            channels: channels.to_vec(),
+            common,
+        });
+        Ok(id)
+    }
+
+    /// The Table-I classification of a configured channel.
+    pub fn channel_kind(&self, c: CpChannel) -> Option<crate::location::ChannelKind> {
+        self.channels.get(c.0).map(|e| e.kind)
+    }
+
+    /// Number of channels configured so far.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of processes configured so far (including `CP_MAIN` and SPE
+    /// processes).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The configured name of a process.
+    pub fn process_name(&self, p: CpProcess) -> Option<&str> {
+        self.processes.get(p.0).map(|e| e.name.as_str())
+    }
+
+    /// Summarize the configured architecture: one `(name, location
+    /// description, channel count as writer, as reader)` row per process —
+    /// handy for logging what `PI_StartAll` is about to launch.
+    pub fn architecture_summary(&self) -> Vec<(String, String, usize, usize)> {
+        self.processes
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let loc = match e.location {
+                    Location::Rank { rank, node } => format!("rank {rank} on {node}"),
+                    Location::Spe { node, slot } => format!("SPE process {slot} on {node}"),
+                };
+                let writes = self.channels.iter().filter(|c| c.from.0 == i).count();
+                let reads = self.channels.iter().filter(|c| c.to.0 == i).count();
+                (e.name.clone(), loc, writes, reads)
+            })
+            .collect()
+    }
+
+    /// `PI_StartAll` + `PI_StopMain` with trace retrieval: like
+    /// [`CellPilotConfig::run`] but returns the recorded channel-operation
+    /// trace (empty unless [`CellPilotOpts::trace`] was set).
+    pub fn run_traced<M>(
+        self,
+        main: M,
+    ) -> Result<(SimReport, Vec<crate::trace::TraceEvent>), SimError>
+    where
+        M: FnOnce(&CellPilot) + Send + 'static,
+    {
+        let sink = if self.opts.trace {
+            crate::trace::TraceSink::enabled()
+        } else {
+            crate::trace::TraceSink::disabled()
+        };
+        let report = self.run_with_sink(main, sink.clone())?;
+        Ok((report, sink.take()))
+    }
+
+    /// `PI_StartAll` + `PI_StopMain`: run the execution phase.
+    pub fn run<M>(self, main: M) -> Result<SimReport, SimError>
+    where
+        M: FnOnce(&CellPilot) + Send + 'static,
+    {
+        let sink = if self.opts.trace {
+            crate::trace::TraceSink::enabled()
+        } else {
+            crate::trace::TraceSink::disabled()
+        };
+        self.run_with_sink(main, sink)
+    }
+
+    fn run_with_sink<M>(
+        self,
+        main: M,
+        trace: crate::trace::TraceSink,
+    ) -> Result<SimReport, SimError>
+    where
+        M: FnOnce(&CellPilot) + Send + 'static,
+    {
+        let CellPilotConfig {
+            spec,
+            mut placement,
+            opts,
+            processes,
+            channels,
+            bundles,
+            bundled: _,
+            bodies,
+            next_rank: _,
+            spe_slots: _,
+        } = self;
+        let cluster = spec.build();
+        let app_ranks = placement.len();
+        // One Co-Pilot rank per Cell node, appended after the app ranks.
+        // BTreeMap: Co-Pilot spawn order (and hence pid assignment) must be
+        // deterministic for run-to-run reproducibility.
+        let mut copilot_ranks = BTreeMap::new();
+        for (i, hw) in cluster.nodes.iter().enumerate() {
+            if hw.kind.is_cell() {
+                copilot_ranks.insert(NodeId(i), placement.len());
+                placement.push(NodeId(i));
+            }
+        }
+        let tables = Arc::new(CpTables {
+            processes,
+            channels,
+            bundles,
+            copilot_ranks: copilot_ranks.clone(),
+            app_ranks,
+        });
+        let mut node_shared = HashMap::new();
+        for (i, hw) in cluster.nodes.iter().enumerate() {
+            if let Some(cell) = &hw.cell {
+                node_shared.insert(NodeId(i), NodeShared::new(cell.clone()));
+            }
+        }
+        let shared = Arc::new(AppShared {
+            tables: tables.clone(),
+            trace,
+            cluster: cluster.clone(),
+            node_shared,
+            costs: opts.costs.clone(),
+            pilot_costs: opts.pilot_costs.clone(),
+            running_spes: Mutex::new(HashSet::new()),
+        });
+        let world = MpiWorld::new(cluster, placement, opts.mpi_costs.clone());
+        let mut sim = Simulation::new();
+        // Application rank processes.
+        for (pidx, body) in bodies.into_iter().enumerate() {
+            let Some(f) = body else { continue };
+            let entry = &tables.processes[pidx];
+            let Location::Rank { rank, .. } = entry.location else {
+                unreachable!("bodies exist only for rank processes")
+            };
+            let name = entry.name.clone();
+            let index = entry.index;
+            let shared = shared.clone();
+            world.launch(&mut sim, rank, &name, move |comm| {
+                let cp = CellPilot {
+                    comm,
+                    shared,
+                    me: CpProcess(pidx),
+                    spawned: Mutex::new(Vec::new()),
+                };
+                f(&cp, index);
+                cp.finish();
+            });
+        }
+        // Main.
+        {
+            let shared = shared.clone();
+            world.launch(&mut sim, 0, "main", move |comm| {
+                let cp = CellPilot {
+                    comm,
+                    shared,
+                    me: CpProcess(0),
+                    spawned: Mutex::new(Vec::new()),
+                };
+                main(&cp);
+                cp.finish();
+            });
+        }
+        // Co-Pilots.
+        for (node, rank) in copilot_ranks {
+            let body = copilot::copilot_body(world.clone(), shared.clone(), node, rank);
+            world.launch(&mut sim, rank, &format!("copilot{}", node.0), body);
+        }
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::ChannelKind;
+
+    fn cfg() -> CellPilotConfig {
+        CellPilotConfig::one_rank_per_node(
+            ClusterSpec::two_cells_one_xeon(),
+            CellPilotOpts::default(),
+        )
+    }
+
+    #[test]
+    fn spe_parent_must_be_on_cell_node() {
+        let mut c = cfg();
+        let _a = c.create_process("ppe1", 0, |_, _| {}).unwrap(); // node 1 (Cell)
+        let xeon = c.create_process("xeon", 0, |_, _| {}).unwrap(); // node 2
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        match c.create_spe_process(&prog, xeon, 0) {
+            Err(CpError::BadSpeParent { reason, .. }) => {
+                assert!(reason.contains("not a Cell node"))
+            }
+            other => panic!("expected BadSpeParent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spe_cannot_parent_spe() {
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s1 = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        assert!(matches!(
+            c.create_spe_process(&prog, s1, 1),
+            Err(CpError::BadSpeParent { .. })
+        ));
+    }
+
+    #[test]
+    fn channels_classified_at_creation() {
+        let mut c = cfg();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap(); // node1
+        let xeon = c.create_process("xeon", 0, |_, _| {}).unwrap(); // node2
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s_main = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap(); // node0
+        let s_main2 = c.create_spe_process(&prog, crate::CP_MAIN, 1).unwrap(); // node0
+        let s_ppe1 = c.create_spe_process(&prog, ppe1, 0).unwrap(); // node1
+
+        let t1 = c.create_channel(crate::CP_MAIN, ppe1).unwrap();
+        let t2 = c.create_channel(crate::CP_MAIN, s_main).unwrap();
+        let t3 = c.create_channel(xeon, s_main2).unwrap();
+        let t4 = c.create_channel(s_main, s_main2).unwrap();
+        let t5 = c.create_channel(s_main, s_ppe1).unwrap();
+        assert_eq!(c.channel_kind(t1), Some(ChannelKind::Type1));
+        assert_eq!(c.channel_kind(t2), Some(ChannelKind::Type2));
+        assert_eq!(c.channel_kind(t3), Some(ChannelKind::Type3));
+        assert_eq!(c.channel_kind(t4), Some(ChannelKind::Type4));
+        assert_eq!(c.channel_kind(t5), Some(ChannelKind::Type5));
+    }
+
+    #[test]
+    fn introspection_reports_the_architecture() {
+        let mut c = cfg();
+        let ppe1 = c.create_process("worker", 0, |_, _| {}).unwrap();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        c.create_channel(crate::CP_MAIN, ppe1).unwrap();
+        c.create_channel(s, ppe1).unwrap();
+        assert_eq!(c.process_count(), 3);
+        assert_eq!(c.channel_count(), 2);
+        assert_eq!(c.process_name(ppe1), Some("worker"));
+        assert_eq!(c.process_name(CpProcess(99)), None);
+        let rows = c.architecture_summary();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "main");
+        assert!(rows[0].1.contains("rank 0"));
+        assert_eq!((rows[0].2, rows[0].3), (1, 0));
+        assert!(rows[2].1.contains("SPE process 0"));
+        assert_eq!((rows[1].2, rows[1].3), (0, 2), "worker reads both channels");
+    }
+
+    #[test]
+    fn rank_exhaustion() {
+        let mut c = cfg();
+        c.create_process("a", 0, |_, _| {}).unwrap();
+        c.create_process("b", 0, |_, _| {}).unwrap();
+        assert!(matches!(
+            c.create_process("c", 0, |_, _| {}),
+            Err(CpError::TooManyProcesses { .. })
+        ));
+        // But SPE processes are unlimited by ranks.
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        for i in 0..10 {
+            c.create_spe_process(&prog, crate::CP_MAIN, i).unwrap();
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The Co-Pilot process: CellPilot's key innovation.
+//!
+//! One extra MPI process runs on each Cell node ("since Cell blades have
+//! two PPEs and each PPE has dual hardware threads, an added Co-Pilot
+//! process utilizes a computing resource that might otherwise go idle") and
+//! services every SPE-connected channel type:
+//!
+//! * **Type 2/3** (rank → SPE): the rank's MPI message arrives here; when
+//!   the SPE posts its read request, the Co-Pilot translates the SPE's
+//!   buffer address to a main-memory effective address and moves the data
+//!   straight into the local store — "this technique does not need
+//!   recourse to DMA transfers".
+//! * **Type 2/3** (SPE → rank): the SPE's write request names its buffer;
+//!   the Co-Pilot reads it through the mapping and makes the MPI send on
+//!   the SPE's behalf — the SPE participates in MPI "as a first-class
+//!   citizen" without linking any MPI code into the 256 KB local store.
+//! * **Type 4** (SPE ↔ SPE, same node): both SPEs send their buffer
+//!   addresses; whichever arrives first is stored, and when the second
+//!   arrives the Co-Pilot `memcpy`s between the two mapped local stores
+//!   and notifies both mailboxes. No MPI involved.
+//! * **Type 5** (SPE ↔ remote SPE): the writer's Co-Pilot relays to the
+//!   reader's Co-Pilot via MPI; each does its local-store leg.
+//!
+//! Structurally the Co-Pilot here is three kinds of simulated process: one
+//! **mailbox watcher** per SPE (modelling the real Co-Pilot's polling of
+//! the SPEs' outbound mailboxes), one **MPI pump** (its blocking
+//! `MPI_Recv(ANY_SOURCE)`), and the **service loop** consuming both event
+//! streams in arrival order.
+
+use crate::location::Location;
+use crate::protocol::{
+    completion_err, completion_ok, decode_mcast, CompletionError, Request, CP_MCAST_TAG,
+    CP_SHUTDOWN_TAG, OP_POLL, OP_READ, OP_WRITE, POISON_WORD, REQ_BLOCK_BYTES,
+};
+use crate::runtime::AppShared;
+use crate::tables::CoEvent;
+use cp_cellsim::{ls_ea, CellNode};
+use cp_des::sync::MsgQueue;
+use cp_des::{ProcCtx, SimDuration};
+use cp_mpisim::{Comm, Datatype, MpiWorld, Msg};
+use cp_simnet::NodeId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A stored SPE request awaiting its counterpart.
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    hw: usize,
+    addr: u32,
+    len: u32,
+}
+
+/// Build the co-pilot process body for `world.launch`.
+pub(crate) fn copilot_body(
+    world: MpiWorld,
+    shared: Arc<AppShared>,
+    node: NodeId,
+    rank: usize,
+) -> impl FnOnce(Comm) + Send + 'static {
+    move |comm: Comm| {
+        let ns = shared.node_shared[&node].clone();
+        let cell = ns.cell.clone();
+        let queue = ns.queue.clone();
+        let ctx = comm.ctx().clone();
+        for hw in 0..cell.spe_count() {
+            sim_spawn_watcher(&ctx, cell.clone(), hw, queue.clone());
+        }
+        {
+            let world = world.clone();
+            let queue = queue.clone();
+            ctx.spawn(&format!("copilot{}-pump", node.0), move |pctx| {
+                let pcomm = world.attach(pctx, rank);
+                loop {
+                    let m = pcomm.recv(None, None);
+                    if m.tag == CP_SHUTDOWN_TAG {
+                        queue.push(pctx, CoEvent::Shutdown, SimDuration::ZERO);
+                        return;
+                    }
+                    queue.push(pctx, CoEvent::Mpi(m), SimDuration::ZERO);
+                }
+            });
+        }
+        service_loop(&comm, &shared, &cell, &queue);
+    }
+}
+
+fn sim_spawn_watcher(ctx: &ProcCtx, cell: Arc<CellNode>, hw: usize, queue: MsgQueue<CoEvent>) {
+    ctx.spawn(
+        &format!("copilot{}-watch-spe{}", cell.id, hw),
+        move |wctx| {
+            loop {
+                let word = cell.spes[hw].mbox.ppe_read_outbox(wctx, &cell.costs);
+                if word == POISON_WORD {
+                    return;
+                }
+                // Fetch the 16-byte request block through the problem-state
+                // mapping (an uncached read, charged accordingly).
+                let block = cell
+                    .ea_read(ls_ea(hw, word as usize), REQ_BLOCK_BYTES)
+                    .expect("request block within local store");
+                wctx.advance(SimDuration::from_micros_f64(
+                    cell.costs.memcpy_us(REQ_BLOCK_BYTES, 1),
+                ));
+                let req = Request::decode(&block);
+                queue.push(wctx, CoEvent::Request { hw, req }, SimDuration::ZERO);
+            }
+        },
+    );
+}
+
+struct CoState {
+    /// Read requests waiting for data, per channel.
+    pending_reads: HashMap<usize, VecDeque<PendingReq>>,
+    /// Local write requests waiting for their type-4 partner, per channel.
+    pending_writes: HashMap<usize, VecDeque<PendingReq>>,
+    /// MPI data that arrived before the local reader asked, per channel.
+    pending_mpi: HashMap<usize, VecDeque<Msg>>,
+}
+
+fn service_loop(
+    comm: &Comm,
+    shared: &Arc<AppShared>,
+    cell: &Arc<CellNode>,
+    queue: &MsgQueue<CoEvent>,
+) {
+    let ctx = comm.ctx();
+    let costs = &shared.costs;
+    let mut st = CoState {
+        pending_reads: HashMap::new(),
+        pending_writes: HashMap::new(),
+        pending_mpi: HashMap::new(),
+    };
+    loop {
+        match queue.pop(ctx) {
+            CoEvent::Shutdown => {
+                // Unblock the mailbox watchers so their processes exit.
+                for spe in &cell.spes {
+                    spe.mbox.spu_write_outbox(ctx, &cell.costs, POISON_WORD);
+                }
+                return;
+            }
+            CoEvent::Mpi(msg) if msg.tag == CP_MCAST_TAG => {
+                // Hierarchical broadcast: one wire message, local fan-out.
+                let (chans, data) = decode_mcast(&msg.data);
+                for chan in chans {
+                    let chan = chan as usize;
+                    if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
+                        deliver_to_spe(ctx, shared, cell, chan, &data, rr);
+                    } else {
+                        let mut m = msg.clone();
+                        m.tag = chan as i32;
+                        m.data = data.clone();
+                        st.pending_mpi.entry(chan).or_default().push_back(m);
+                    }
+                }
+            }
+            CoEvent::Mpi(msg) => {
+                let chan = msg.tag as usize;
+                if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
+                    deliver_to_spe(ctx, shared, cell, chan, &msg.data, rr);
+                } else {
+                    st.pending_mpi.entry(chan).or_default().push_back(msg);
+                }
+            }
+            CoEvent::Request { hw, req } if req.op == OP_WRITE => {
+                charge(ctx, costs.copilot_dispatch_us);
+                let chan = req.chan as usize;
+                let wreq = PendingReq {
+                    hw,
+                    addr: req.addr,
+                    len: req.len,
+                };
+                match reader_side(shared, chan, cell.id) {
+                    ReaderSide::LocalSpe => {
+                        if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
+                            pair_type4(ctx, shared, cell, chan, wreq, rr);
+                        } else {
+                            st.pending_writes.entry(chan).or_default().push_back(wreq);
+                        }
+                    }
+                    ReaderSide::Mpi(dest_rank) => {
+                        // Read the SPE's buffer through the mapping and make
+                        // the MPI call on its behalf.
+                        charge(ctx, cell.costs.ea_translate_us);
+                        let data = cell
+                            .ea_read(ls_ea(hw, req.addr as usize), req.len as usize)
+                            .expect("write buffer within local store");
+                        charge(ctx, cell.costs.memcpy_us(data.len(), 1));
+                        let n = data.len();
+                        comm.send_bytes(dest_rank, CpTablesTag(chan), Datatype::Byte, n, data);
+                        complete(ctx, cell, hw, completion_ok(n));
+                        shared.trace.record(
+                            ctx.now(),
+                            &format!("copilot{}", cell.id),
+                            crate::trace::TraceOp::CopilotWrite,
+                            chan,
+                            n,
+                        );
+                    }
+                }
+            }
+            CoEvent::Request { hw, req } if req.op == OP_POLL => {
+                charge(ctx, costs.copilot_dispatch_us);
+                let chan = req.chan as usize;
+                let has = match writer_side(shared, chan, cell.id) {
+                    WriterSide::LocalSpe => {
+                        st.pending_writes.get(&chan).is_some_and(|q| !q.is_empty())
+                    }
+                    WriterSide::Mpi => st.pending_mpi.get(&chan).is_some_and(|q| !q.is_empty()),
+                };
+                complete(ctx, cell, hw, completion_ok(usize::from(has)));
+            }
+            CoEvent::Request { hw, req } => {
+                debug_assert_eq!(req.op, OP_READ);
+                charge(ctx, costs.copilot_dispatch_us);
+                let chan = req.chan as usize;
+                let rr = PendingReq {
+                    hw,
+                    addr: req.addr,
+                    len: req.len,
+                };
+                match writer_side(shared, chan, cell.id) {
+                    WriterSide::LocalSpe => {
+                        if let Some(w) = pop_front(&mut st.pending_writes, chan) {
+                            pair_type4(ctx, shared, cell, chan, w, rr);
+                        } else {
+                            st.pending_reads.entry(chan).or_default().push_back(rr);
+                        }
+                    }
+                    WriterSide::Mpi => {
+                        if let Some(msg) = pop_front_msg(&mut st.pending_mpi, chan) {
+                            deliver_to_spe(ctx, shared, cell, chan, &msg.data, rr);
+                        } else {
+                            st.pending_reads.entry(chan).or_default().push_back(rr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(non_snake_case)]
+fn CpTablesTag(chan: usize) -> i32 {
+    chan as i32
+}
+
+fn charge(ctx: &ProcCtx, us: f64) {
+    ctx.advance(SimDuration::from_micros_f64(us));
+}
+
+fn pop_front(map: &mut HashMap<usize, VecDeque<PendingReq>>, chan: usize) -> Option<PendingReq> {
+    map.get_mut(&chan).and_then(|q| q.pop_front())
+}
+
+fn pop_front_msg(map: &mut HashMap<usize, VecDeque<Msg>>, chan: usize) -> Option<Msg> {
+    map.get_mut(&chan).and_then(|q| q.pop_front())
+}
+
+enum ReaderSide {
+    /// Reader is an SPE on this node (type 4).
+    LocalSpe,
+    /// Reader is reachable via MPI: a rank (types 2/3) or a remote
+    /// Co-Pilot (type 5).
+    Mpi(usize),
+}
+
+enum WriterSide {
+    LocalSpe,
+    Mpi,
+}
+
+fn reader_side(shared: &AppShared, chan: usize, my_node: usize) -> ReaderSide {
+    let entry = &shared.tables.channels[chan];
+    match shared.tables.processes[entry.to.0].location {
+        Location::Rank { rank, .. } => ReaderSide::Mpi(rank),
+        Location::Spe { node, .. } => {
+            if node.0 == my_node {
+                ReaderSide::LocalSpe
+            } else {
+                ReaderSide::Mpi(shared.tables.copilot_ranks[&node])
+            }
+        }
+    }
+}
+
+fn writer_side(shared: &AppShared, chan: usize, my_node: usize) -> WriterSide {
+    let entry = &shared.tables.channels[chan];
+    match shared.tables.processes[entry.from.0].location {
+        Location::Rank { .. } => WriterSide::Mpi,
+        Location::Spe { node, .. } => {
+            if node.0 == my_node {
+                WriterSide::LocalSpe
+            } else {
+                WriterSide::Mpi
+            }
+        }
+    }
+}
+
+/// Deliver MPI-borne channel data into a waiting SPE's buffer: translate,
+/// store through the mapping, notify.
+fn deliver_to_spe(
+    ctx: &ProcCtx,
+    shared: &AppShared,
+    cell: &Arc<CellNode>,
+    _chan: usize,
+    data: &[u8],
+    rr: PendingReq,
+) {
+    let _ = shared;
+    charge(ctx, cell.costs.ea_translate_us);
+    if data.len() > rr.len as usize {
+        complete(ctx, cell, rr.hw, completion_err(CompletionError::Overflow));
+        return;
+    }
+    cell.ea_write(ls_ea(rr.hw, rr.addr as usize), data)
+        .expect("read buffer within local store");
+    charge(ctx, cell.costs.memcpy_us(data.len(), 1));
+    complete(ctx, cell, rr.hw, completion_ok(data.len()));
+    shared.trace.record(
+        ctx.now(),
+        &format!("copilot{}", cell.id),
+        crate::trace::TraceOp::CopilotDeliver,
+        _chan,
+        data.len(),
+    );
+}
+
+/// Type-4 pairing: both buffer addresses are in hand; `memcpy` between the
+/// two mapped local stores and notify both SPEs. The pairing charge models
+/// the paper's poll-until-second-request behaviour.
+fn pair_type4(
+    ctx: &ProcCtx,
+    shared: &AppShared,
+    cell: &Arc<CellNode>,
+    _chan: usize,
+    w: PendingReq,
+    r: PendingReq,
+) {
+    charge(ctx, shared.costs.copilot_pair_poll_us);
+    charge(ctx, 2.0 * cell.costs.ea_translate_us);
+    if w.len > r.len {
+        complete(ctx, cell, w.hw, completion_err(CompletionError::Overflow));
+        complete(ctx, cell, r.hw, completion_err(CompletionError::Overflow));
+        return;
+    }
+    cell.ppe_memcpy(
+        ctx,
+        ls_ea(r.hw, r.addr as usize),
+        ls_ea(w.hw, w.addr as usize),
+        w.len as usize,
+    )
+    .expect("type-4 buffers within local stores");
+    complete(ctx, cell, w.hw, completion_ok(w.len as usize));
+    complete(ctx, cell, r.hw, completion_ok(w.len as usize));
+    shared.trace.record(
+        ctx.now(),
+        &format!("copilot{}", cell.id),
+        crate::trace::TraceOp::CopilotPair,
+        _chan,
+        w.len as usize,
+    );
+}
+
+fn complete(ctx: &ProcCtx, cell: &Arc<CellNode>, hw: usize, word: u32) {
+    cell.spes[hw].mbox.ppe_write_inbox(ctx, &cell.costs, word);
+}

@@ -1,0 +1,223 @@
+//! CellPilot error reporting: Pilot's source-located diagnostics extended
+//! with the SPE-specific failure modes.
+
+use cp_cellsim::{LsError, SpeRunError};
+use cp_pilot::{FmtError, MatchError};
+use std::fmt;
+
+/// Everything a CellPilot call can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpError {
+    /// `PI_CreateProcess` when every MPI rank is already assigned.
+    TooManyProcesses {
+        /// Ranks the launch configuration provided.
+        available: usize,
+    },
+    /// Unknown process handle.
+    NoSuchProcess(usize),
+    /// Unknown channel handle.
+    NoSuchChannel(usize),
+    /// Channel endpoints must be distinct.
+    SelfChannel,
+    /// `PI_CreateSPE` with a parent that is not a PPE-resident process on a
+    /// Cell node.
+    BadSpeParent {
+        /// The proposed parent's process id.
+        parent: usize,
+        /// Why it cannot parent an SPE process.
+        reason: String,
+    },
+    /// `PI_RunSPE` by a process that is not the SPE process's parent.
+    NotParent {
+        /// The SPE process someone tried to launch.
+        spe_process: usize,
+        /// The offending caller.
+        caller: String,
+    },
+    /// `PI_RunSPE` on a process that is not an SPE process.
+    NotSpeProcess(usize),
+    /// `PI_RunSPE` when every SPE of the node is busy.
+    NoFreeSpe {
+        /// The exhausted Cell node.
+        node: usize,
+    },
+    /// The SPE process is already running.
+    AlreadyRunning(usize),
+    /// Write attempted by a process that is not the channel's writer.
+    NotWriter {
+        /// The channel id.
+        channel: usize,
+        /// The offending process.
+        caller: String,
+    },
+    /// Read attempted by a process that is not the channel's reader.
+    NotReader {
+        /// The channel id.
+        channel: usize,
+        /// The offending process.
+        caller: String,
+    },
+    /// Malformed format string.
+    Format(FmtError),
+    /// Arguments do not satisfy the format.
+    Args(MatchError),
+    /// Reader's format disagrees with the writer's message.
+    FormatMismatch {
+        /// The channel id.
+        channel: usize,
+        /// The disagreement.
+        detail: MatchError,
+    },
+    /// The incoming message does not fit the SPE's read buffer.
+    SpeBufferOverflow {
+        /// The channel id.
+        channel: usize,
+        /// The buffer capacity that was exceeded.
+        capacity: usize,
+    },
+    /// Unknown bundle handle.
+    NoSuchBundle(usize),
+    /// A bundle with no channels.
+    EmptyBundle,
+    /// Bundle channels do not share the required common endpoint.
+    BundleCommonEndpoint,
+    /// A channel was placed in more than one bundle.
+    ChannelAlreadyBundled(usize),
+    /// Wrong bundle operation or caller.
+    BundleMisuse {
+        /// The bundle id.
+        bundle: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Local-store management failed (e.g. out of the 256 KB).
+    LocalStore(LsError),
+    /// SPE context management failed.
+    SpeRun(SpeRunError),
+}
+
+impl fmt::Display for CpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpError::TooManyProcesses { available } => write!(
+                f,
+                "PI_CreateProcess: all {available} MPI processes already assigned"
+            ),
+            CpError::NoSuchProcess(p) => write!(f, "no such process (id {p})"),
+            CpError::NoSuchChannel(c) => write!(f, "no such channel (id {c})"),
+            CpError::SelfChannel => {
+                write!(f, "PI_CreateChannel: endpoints must be distinct processes")
+            }
+            CpError::BadSpeParent { parent, reason } => {
+                write!(
+                    f,
+                    "PI_CreateSPE: process {parent} cannot parent an SPE process: {reason}"
+                )
+            }
+            CpError::NotParent {
+                spe_process,
+                caller,
+            } => write!(
+                f,
+                "PI_RunSPE: '{caller}' is not the parent of SPE process {spe_process}"
+            ),
+            CpError::NotSpeProcess(p) => {
+                write!(
+                    f,
+                    "PI_RunSPE: process {p} was not created with PI_CreateSPE"
+                )
+            }
+            CpError::NoFreeSpe { node } => {
+                write!(f, "PI_RunSPE: no free SPE on node {node}")
+            }
+            CpError::AlreadyRunning(p) => {
+                write!(f, "PI_RunSPE: SPE process {p} is already running")
+            }
+            CpError::NotWriter { channel, caller } => write!(
+                f,
+                "PI_Write: process '{caller}' is not the writer of channel {channel}"
+            ),
+            CpError::NotReader { channel, caller } => write!(
+                f,
+                "PI_Read: process '{caller}' is not the reader of channel {channel}"
+            ),
+            CpError::Format(e) => write!(f, "bad format string: {e}"),
+            CpError::Args(e) => write!(f, "arguments do not satisfy format: {e}"),
+            CpError::FormatMismatch { channel, detail } => write!(
+                f,
+                "PI_Read on channel {channel}: reader format disagrees with writer: {detail}"
+            ),
+            CpError::SpeBufferOverflow { channel, capacity } => write!(
+                f,
+                "PI_Read on channel {channel}: message exceeds the SPE read buffer \
+                 ({capacity} B); use a fixed-count format or raise the buffer limit"
+            ),
+            CpError::NoSuchBundle(b) => write!(f, "no such bundle (id {b})"),
+            CpError::EmptyBundle => write!(f, "PI_CreateBundle: no channels given"),
+            CpError::BundleCommonEndpoint => write!(
+                f,
+                "PI_CreateBundle: channels must share a common endpoint on the bundle side"
+            ),
+            CpError::ChannelAlreadyBundled(c) => {
+                write!(
+                    f,
+                    "PI_CreateBundle: channel {c} already belongs to a bundle"
+                )
+            }
+            CpError::BundleMisuse { bundle, detail } => {
+                write!(f, "bundle {bundle} misuse: {detail}")
+            }
+            CpError::LocalStore(e) => write!(f, "{e}"),
+            CpError::SpeRun(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CpError {}
+
+impl From<FmtError> for CpError {
+    fn from(e: FmtError) -> Self {
+        CpError::Format(e)
+    }
+}
+
+impl From<MatchError> for CpError {
+    fn from(e: MatchError) -> Self {
+        CpError::Args(e)
+    }
+}
+
+impl From<LsError> for CpError {
+    fn from(e: LsError) -> Self {
+        CpError::LocalStore(e)
+    }
+}
+
+impl From<SpeRunError> for CpError {
+    fn from(e: SpeRunError) -> Self {
+        CpError::SpeRun(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CpError::NoFreeSpe { node: 3 };
+        assert!(e.to_string().contains("no free SPE on node 3"));
+        let e = CpError::SpeBufferOverflow {
+            channel: 9,
+            capacity: 16384,
+        };
+        assert!(e.to_string().contains("16384"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ls = LsError::BadFree(4);
+        let e: CpError = ls.clone().into();
+        assert_eq!(e, CpError::LocalStore(ls));
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! # cellpilot — seamless communication for hybrid Cell clusters
+//!
+//! A Rust reproduction of **CellPilot** (Girard, Gardner, Carter, Grewal —
+//! ICPP Workshops 2011): an extension of the Pilot process/channel library
+//! that lets processes live on *any* processor of a hybrid cluster — PPEs,
+//! SPEs, or non-Cell nodes — and communicate through one uniform
+//! `PI_Write`/`PI_Read` API, "while hiding the complications of DMA
+//! transfers, signals, mailboxes, alignment issues, and network transfers".
+//!
+//! Since the Cell BE platform is long unobtainable, the entire substrate is
+//! simulated (see the `cp-cellsim`, `cp-simnet`, `cp-mpisim` crates) with a
+//! latency model calibrated against the paper's measured baselines; the
+//! library logic above it — the Co-Pilot protocol, channel routing, SPE
+//! process control — is implemented in full.
+//!
+//! ## The paper's Figure 3/4 example
+//!
+//! Two Cell nodes; one SPE process writes an array of 100 integers to an
+//! SPE process on the other node (a type-5 channel relayed through two
+//! Co-Pilots):
+//!
+//! ```
+//! use cellpilot::{CellPilotConfig, CellPilotOpts, SpeProgram, CP_MAIN};
+//! use cp_pilot::PiValue;
+//! use cp_simnet::ClusterSpec;
+//!
+//! let spec = ClusterSpec::two_cells_one_xeon();
+//! let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+//!
+//! let spe_send = SpeProgram::new("spe_send", 2048, |spe, _arg, _ptr| {
+//!     let array: Vec<i32> = (0..100).collect();
+//!     spe.write(cellpilot::CpChannel(0), "%100d", &[PiValue::Int32(array)]).unwrap();
+//! });
+//! let spe_recv = SpeProgram::new("spe_recv", 2048, |spe, _arg, _ptr| {
+//!     let vals = spe.read(cellpilot::CpChannel(0), "%*d").unwrap();
+//!     assert_eq!(vals[0], PiValue::Int32((0..100).collect()));
+//! });
+//!
+//! let recv_ppe = cfg.create_process("recvFunc", 0, |cp, _| {
+//!     // recv_spe is process id 3 (main=0, recvFunc=1, send_spe=2).
+//!     let t = cp.run_spe(cellpilot::CpProcess(3), 0, 0).unwrap();
+//!     cp.wait_spe(t);
+//! }).unwrap();
+//! let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
+//! let _recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
+//! let _between_spes = cfg.create_channel(send_spe, _recv_spe).unwrap();
+//!
+//! cfg.run(move |cp| {
+//!     let t = cp.run_spe(send_spe, 0, 0).unwrap();
+//!     cp.wait_spe(t);
+//! }).unwrap();
+//! ```
+
+pub mod baseline;
+mod collective;
+mod config;
+mod copilot;
+mod costs;
+mod error;
+pub mod guide;
+mod location;
+mod program;
+mod protocol;
+mod runtime;
+mod spe_rt;
+mod tables;
+pub mod trace;
+
+pub use collective::{reduce_f64, CpBundle};
+pub use config::{CellPilotConfig, CellPilotOpts};
+pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
+pub use error::CpError;
+pub use location::{classify, ChannelKind, CpChannel, CpProcess, Location, CP_MAIN};
+pub use program::SpeProgram;
+pub use runtime::{CellPilot, SpeTask};
+pub use spe_rt::SpeCtx;
+pub use tables::CpBundleUsage;
+pub use tables::CpTables;
+pub use trace::{render_trace, TraceEvent, TraceOp, TraceSink};
+
+// Re-export the pieces users need from the layers below.
+pub use cp_pilot::{PiValue, PilotCosts};

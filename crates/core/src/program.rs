@@ -1,0 +1,79 @@
+//! SPE programs: the CellPilot equivalent of `spe_program_handle_t`.
+//!
+//! On the real Cell an SPE program is separately compiled object code that
+//! a special linker embeds into the PPE executable "in the guise of
+//! initialized static data"; `PI_CreateSPE` associates a process with that
+//! handle, and the `PI_SPE_PROCESS`/`PI_SPE_END` macros bracket the SPE
+//! function body and its argument transfer. Here an [`SpeProgram`] carries
+//! the body as a closure plus the image size that will be reserved in the
+//! 256 KB local store when the program is loaded (on top of the resident
+//! CellPilot runtime's [`SPE_RUNTIME_FOOTPRINT`] bytes).
+//!
+//! [`SPE_RUNTIME_FOOTPRINT`]: crate::SPE_RUNTIME_FOOTPRINT
+
+use crate::spe_rt::SpeCtx;
+use std::fmt;
+use std::sync::Arc;
+
+/// The entry signature of an SPE program: the SPE context plus the two
+/// `PI_RunSPE` arguments (an `int` and a pointer-sized value, "especially
+/// useful when starting multiple instances of the same process function in
+/// data parallel programming").
+pub type SpeEntry = dyn Fn(&SpeCtx, i32, u64) + Send + Sync;
+
+/// A loadable SPE program.
+#[derive(Clone)]
+pub struct SpeProgram {
+    pub(crate) name: String,
+    pub(crate) image_bytes: usize,
+    pub(crate) entry: Arc<SpeEntry>,
+}
+
+impl SpeProgram {
+    /// Define an SPE program. `image_bytes` is the code+static-data size of
+    /// the program itself (the CellPilot runtime's footprint is added
+    /// automatically at load time).
+    pub fn new<F>(name: &str, image_bytes: usize, entry: F) -> SpeProgram
+    where
+        F: Fn(&SpeCtx, i32, u64) + Send + Sync + 'static,
+    {
+        SpeProgram {
+            name: name.to_string(),
+            image_bytes,
+            entry: Arc::new(entry),
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program image size in bytes.
+    pub fn image_bytes(&self) -> usize {
+        self.image_bytes
+    }
+}
+
+impl fmt::Debug for SpeProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpeProgram")
+            .field("name", &self.name)
+            .field("image_bytes", &self.image_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_is_cloneable_and_shares_entry() {
+        let p = SpeProgram::new("worker", 4096, |_ctx, _a, _b| {});
+        let q = p.clone();
+        assert_eq!(q.name(), "worker");
+        assert_eq!(q.image_bytes(), 4096);
+        assert!(Arc::ptr_eq(&p.entry, &q.entry));
+    }
+}

@@ -1,0 +1,176 @@
+//! The Co-Pilot wire protocol: what travels in mailbox words, SPE request
+//! blocks, and completion words.
+//!
+//! An SPE-side `PI_Write`/`PI_Read` builds a 16-byte **request block** in
+//! its local store — `[opcode, channel, buffer address, buffer length]` —
+//! and posts the block's local-store address as a single word in its
+//! outbound mailbox. The Co-Pilot reads the word, fetches the block through
+//! the problem-state mapping, translates the buffer address to a main-
+//! memory effective address, and services the request. Completion (or an
+//! error) comes back as one word in the SPE's inbound mailbox. Keeping the
+//! mailbox exchange to one word each way is what keeps the SPE-resident
+//! runtime small and the latency close to a bare mailbox round trip.
+
+/// SPE request opcode: this SPE is writing on the channel.
+pub const OP_WRITE: u32 = 1;
+/// SPE request opcode: this SPE wants to read from the channel.
+pub const OP_READ: u32 = 2;
+/// SPE request opcode: non-blocking poll — "does the channel have data
+/// ready for me?" (the SPE-side `PI_ChannelHasData` extension).
+pub const OP_POLL: u32 = 3;
+
+/// Mailbox word that tells a Co-Pilot mailbox watcher to shut down.
+pub const POISON_WORD: u32 = 0xFFFF_FFFF;
+
+/// MPI tag of the Co-Pilot shutdown message (top of the positive tag
+/// space, far above any channel id).
+pub const CP_SHUTDOWN_TAG: i32 = i32::MAX;
+
+/// MPI tag of a Co-Pilot multicast bundle message: one wire message whose
+/// payload carries several channels' worth of identical data, fanned out
+/// locally by the Co-Pilot (the hierarchical broadcast extension; the
+/// paper lists SPE collectives as future work).
+pub const CP_MCAST_TAG: i32 = i32::MAX - 1;
+
+/// Encode a multicast payload: `[u32 n][u32 chan; n][data]`.
+pub fn encode_mcast(chans: &[u32], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 * chans.len() + data.len());
+    out.extend_from_slice(&(chans.len() as u32).to_be_bytes());
+    for c in chans {
+        out.extend_from_slice(&c.to_be_bytes());
+    }
+    out.extend_from_slice(data);
+    out
+}
+
+/// Decode a multicast payload into `(channels, data)`.
+pub fn decode_mcast(bytes: &[u8]) -> (Vec<u32>, Vec<u8>) {
+    let n = u32::from_be_bytes(bytes[0..4].try_into().expect("mcast header")) as usize;
+    let mut chans = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 4 + 4 * i;
+        chans.push(u32::from_be_bytes(
+            bytes[off..off + 4].try_into().expect("mcast chan"),
+        ));
+    }
+    (chans, bytes[4 + 4 * n..].to_vec())
+}
+
+/// Size of a request block in SPE local store.
+pub const REQ_BLOCK_BYTES: usize = 16;
+
+/// A decoded SPE request block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// [`OP_WRITE`] or [`OP_READ`].
+    pub op: u32,
+    /// Channel id.
+    pub chan: u32,
+    /// Local-store address of the data buffer.
+    pub addr: u32,
+    /// Buffer length: payload bytes for a write, capacity for a read.
+    pub len: u32,
+}
+
+impl Request {
+    /// Encode into the 16-byte local-store block layout.
+    pub fn encode(&self) -> [u8; REQ_BLOCK_BYTES] {
+        let mut b = [0u8; REQ_BLOCK_BYTES];
+        b[0..4].copy_from_slice(&self.op.to_be_bytes());
+        b[4..8].copy_from_slice(&self.chan.to_be_bytes());
+        b[8..12].copy_from_slice(&self.addr.to_be_bytes());
+        b[12..16].copy_from_slice(&self.len.to_be_bytes());
+        b
+    }
+
+    /// Decode from the block layout.
+    pub fn decode(b: &[u8]) -> Request {
+        let w = |i: usize| u32::from_be_bytes(b[i..i + 4].try_into().expect("block size"));
+        Request {
+            op: w(0),
+            chan: w(4),
+            addr: w(8),
+            len: w(12),
+        }
+    }
+}
+
+/// Completion-word error codes (delivered with the high bit set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionError {
+    /// The incoming message does not fit the reader's local-store buffer.
+    Overflow,
+    /// Protocol violation (library bug or mismatched configuration).
+    Internal,
+}
+
+/// Encode a successful completion carrying the transferred byte count.
+pub fn completion_ok(bytes: usize) -> u32 {
+    debug_assert!(bytes < (1 << 31), "transfer too large for completion word");
+    bytes as u32
+}
+
+/// Encode an error completion.
+pub fn completion_err(e: CompletionError) -> u32 {
+    0x8000_0000
+        | match e {
+            CompletionError::Overflow => 1,
+            CompletionError::Internal => 2,
+        }
+}
+
+/// Decode a completion word.
+pub fn decode_completion(word: u32) -> Result<usize, CompletionError> {
+    if word & 0x8000_0000 == 0 {
+        Ok(word as usize)
+    } else {
+        match word & 0x7FFF_FFFF {
+            1 => Err(CompletionError::Overflow),
+            _ => Err(CompletionError::Internal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            op: OP_READ,
+            chan: 42,
+            addr: 0x3F00,
+            len: 1600,
+        };
+        assert_eq!(Request::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn completion_roundtrip() {
+        assert_eq!(decode_completion(completion_ok(1600)), Ok(1600));
+        assert_eq!(decode_completion(completion_ok(0)), Ok(0));
+        assert_eq!(
+            decode_completion(completion_err(CompletionError::Overflow)),
+            Err(CompletionError::Overflow)
+        );
+        assert_eq!(
+            decode_completion(completion_err(CompletionError::Internal)),
+            Err(CompletionError::Internal)
+        );
+    }
+
+    #[test]
+    fn mcast_roundtrip() {
+        let (chans, data) = decode_mcast(&encode_mcast(&[3, 7, 9], &[1, 2, 3]));
+        assert_eq!(chans, vec![3, 7, 9]);
+        assert_eq!(data, vec![1, 2, 3]);
+        let (chans, data) = decode_mcast(&encode_mcast(&[], &[]));
+        assert!(chans.is_empty() && data.is_empty());
+    }
+
+    #[test]
+    fn poison_is_not_a_plausible_ls_address() {
+        assert!(POISON_WORD as usize > cp_cellsim::LS_SIZE);
+    }
+}

@@ -1,0 +1,402 @@
+//! The execution-phase handle for PPE / non-Cell processes: channel I/O on
+//! all five channel types, SPE process control (`PI_RunSPE`), and the
+//! end-of-run synchronization.
+
+use crate::costs::CellPilotCosts;
+use crate::error::CpError;
+use crate::location::{ChannelKind, CpChannel, CpProcess, Location};
+use crate::tables::{CpTables, NodeShared, ProcKind};
+use cp_des::{Pid, ProcCtx, SimDuration};
+use cp_mpisim::{Comm, Datatype};
+use cp_pilot::{
+    fmt::parse_format,
+    value::{check_against_format, check_read_format, pack_message, payload_bytes, unpack_message},
+    PiValue, PilotCosts,
+};
+use cp_simnet::{Cluster, NodeId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Internal barrier tag for end-of-run synchronization.
+const TAG_FINI: i32 = -600;
+
+/// State shared by every process of a CellPilot application.
+pub(crate) struct AppShared {
+    pub tables: Arc<CpTables>,
+    pub trace: crate::trace::TraceSink,
+    /// Cluster hardware (used by the hand-coded baselines and extensions).
+    #[allow(dead_code)]
+    pub cluster: Arc<Cluster>,
+    pub node_shared: HashMap<NodeId, Arc<NodeShared>>,
+    pub costs: CellPilotCosts,
+    pub pilot_costs: PilotCosts,
+    /// SPE processes currently running (guards double `PI_RunSPE`).
+    pub running_spes: Mutex<HashSet<usize>>,
+}
+
+/// A handle to a launched SPE process, joinable with
+/// [`CellPilot::wait_spe`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpeTask {
+    pub(crate) pid: Pid,
+    pub(crate) process: CpProcess,
+}
+
+impl SpeTask {
+    /// The SPE process this task is an execution of.
+    pub fn process(&self) -> CpProcess {
+        self.process
+    }
+}
+
+/// The per-process handle of a PPE or non-Cell CellPilot process.
+pub struct CellPilot {
+    pub(crate) comm: Comm,
+    pub(crate) shared: Arc<AppShared>,
+    pub(crate) me: CpProcess,
+    pub(crate) spawned: Mutex<Vec<SpeTask>>,
+}
+
+impl CellPilot {
+    /// This process's handle.
+    pub fn process(&self) -> CpProcess {
+        self.me
+    }
+
+    /// This process's configured name.
+    pub fn name(&self) -> String {
+        self.shared.tables.processes[self.me.0].name.clone()
+    }
+
+    /// Total CellPilot processes (rank-backed and SPE).
+    pub fn process_count(&self) -> usize {
+        self.shared.tables.processes.len()
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.shared.tables.processes[self.me.0].location.node()
+    }
+
+    /// The channel's Table-I classification.
+    pub fn channel_kind(&self, chan: CpChannel) -> Result<ChannelKind, CpError> {
+        self.shared
+            .tables
+            .channels
+            .get(chan.0)
+            .map(|e| e.kind)
+            .ok_or(CpError::NoSuchChannel(chan.0))
+    }
+
+    /// The simulated-process context (for modelling compute time).
+    pub fn ctx(&self) -> &ProcCtx {
+        self.comm.ctx()
+    }
+
+    fn charge(&self, bytes: usize) {
+        let us = self.shared.pilot_costs.op_us + bytes as f64 * self.shared.pilot_costs.per_byte_us;
+        self.ctx().advance(SimDuration::from_micros_f64(us));
+    }
+
+    /// `PI_Write` from a PPE / non-Cell process: works on every channel
+    /// type whose writer is this process; the library routes via plain MPI
+    /// (type 1) or the reader's Co-Pilot (types 2/3) transparently.
+    pub fn write(&self, chan: CpChannel, format: &str, values: &[PiValue]) -> Result<(), CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.from != self.me {
+            return Err(CpError::NotWriter {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let conv = parse_format(format)?;
+        check_against_format(&conv, values)?;
+        let data = pack_message(values);
+        self.charge(payload_bytes(values));
+        let dest_rank = match self.shared.tables.processes[entry.to.0].location {
+            Location::Rank { rank, .. } => rank,
+            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
+        };
+        let n = data.len();
+        self.comm.send_bytes(
+            dest_rank,
+            CpTables::chan_tag(chan.0),
+            Datatype::Byte,
+            n,
+            data,
+        );
+        self.shared.trace.record(
+            self.ctx().now(),
+            &self.name(),
+            crate::trace::TraceOp::RankWrite,
+            chan.0,
+            n,
+        );
+        Ok(())
+    }
+
+    /// `PI_Read` from a PPE / non-Cell process.
+    pub fn read(&self, chan: CpChannel, format: &str) -> Result<Vec<PiValue>, CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.to != self.me {
+            return Err(CpError::NotReader {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let conv = parse_format(format)?;
+        let src_rank = match self.shared.tables.processes[entry.from.0].location {
+            Location::Rank { rank, .. } => rank,
+            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
+        };
+        let msg = self
+            .comm
+            .recv(Some(src_rank), Some(CpTables::chan_tag(chan.0)));
+        let values = unpack_message(&msg.data).expect("well-formed channel message");
+        let segs: Vec<(Datatype, usize)> = values.iter().map(|v| (v.dtype(), v.len())).collect();
+        check_read_format(&conv, &segs).map_err(|detail| CpError::FormatMismatch {
+            channel: chan.0,
+            detail,
+        })?;
+        self.charge(payload_bytes(&values));
+        self.shared.trace.record(
+            self.ctx().now(),
+            &self.name(),
+            crate::trace::TraceOp::RankRead,
+            chan.0,
+            payload_bytes(&values),
+        );
+        Ok(values)
+    }
+
+    /// Non-blocking check whether a read on `chan` would find data.
+    pub fn channel_has_data(&self, chan: CpChannel) -> Result<bool, CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.to != self.me {
+            return Err(CpError::NotReader {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let src_rank = match self.shared.tables.processes[entry.from.0].location {
+            Location::Rank { rank, .. } => rank,
+            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
+        };
+        Ok(self
+            .comm
+            .iprobe(Some(src_rank), Some(CpTables::chan_tag(chan.0)))
+            .is_some())
+    }
+
+    /// `PI_RunSPE`: launch a dormant SPE process created with
+    /// `PI_CreateSPE`. Only the SPE process's parent (the PPE process "in
+    /// charge of" its Cell node) may launch it. `arg_int` and `arg_ptr`
+    /// are handed to the SPE program entry (the `PI_SPE_PROCESS(int,
+    /// void*)` arguments).
+    pub fn run_spe(&self, proc: CpProcess, arg_int: i32, arg_ptr: u64) -> Result<SpeTask, CpError> {
+        let entry = self
+            .shared
+            .tables
+            .processes
+            .get(proc.0)
+            .ok_or(CpError::NoSuchProcess(proc.0))?;
+        let (program, parent) = match &entry.kind {
+            ProcKind::Spe { program, parent } => (program.clone(), *parent),
+            ProcKind::Rank => return Err(CpError::NotSpeProcess(proc.0)),
+        };
+        if parent != self.me {
+            return Err(CpError::NotParent {
+                spe_process: proc.0,
+                caller: self.name(),
+            });
+        }
+        {
+            let mut running = self.shared.running_spes.lock();
+            if !running.insert(proc.0) {
+                return Err(CpError::AlreadyRunning(proc.0));
+            }
+        }
+        let node = entry.location.node();
+        let ns = self.shared.node_shared[&node].clone();
+        let hw = match ns.claim_spe() {
+            Some(hw) => hw,
+            None => {
+                self.shared.running_spes.lock().remove(&proc.0);
+                return Err(CpError::NoFreeSpe { node: node.0 });
+            }
+        };
+        let image = program.image_bytes + crate::costs::SPE_RUNTIME_FOOTPRINT;
+        let shared = self.shared.clone();
+        let body = {
+            let ns = ns.clone();
+            let program = program.clone();
+            move |sctx: &ProcCtx| {
+                let spe_ctx =
+                    crate::spe_rt::SpeCtx::new(sctx.clone(), shared.clone(), proc, node, hw);
+                (program.entry)(&spe_ctx, arg_int, arg_ptr);
+                spe_ctx.teardown();
+                ns.release_spe(hw);
+                shared.running_spes.lock().remove(&proc.0);
+            }
+        };
+        let pid = match ns
+            .cell
+            .start_spe(self.ctx(), hw, program.name(), image, body)
+        {
+            Ok(pid) => pid,
+            Err(e) => {
+                ns.release_spe(hw);
+                self.shared.running_spes.lock().remove(&proc.0);
+                return Err(e.into());
+            }
+        };
+        let task = SpeTask { pid, process: proc };
+        self.spawned.lock().push(task);
+        self.shared.trace.record(
+            self.ctx().now(),
+            &self.name(),
+            crate::trace::TraceOp::RunSpe,
+            proc.0,
+            0,
+        );
+        Ok(task)
+    }
+
+    /// Block until an SPE process launched by this process finishes.
+    pub fn wait_spe(&self, task: SpeTask) {
+        self.ctx().join(task.pid);
+    }
+
+    /// Launch every dormant SPE process this process parents (the common
+    /// "start all my workers" idiom), with `arg_int` set to each process's
+    /// configured index. Returns the tasks in process-id order.
+    pub fn run_my_spes(&self) -> Vec<SpeTask> {
+        let mine: Vec<(CpProcess, i32)> = self
+            .shared
+            .tables
+            .processes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match &e.kind {
+                ProcKind::Spe { parent, .. } if *parent == self.me => Some((CpProcess(i), e.index)),
+                _ => None,
+            })
+            .collect();
+        mine.into_iter()
+            .filter_map(|(p, index)| self.run_spe(p, index, 0).ok())
+            .collect()
+    }
+
+    /// [`CellPilot::run_my_spes`] followed by waiting for them all —
+    /// the whole body of a typical host process.
+    pub fn run_and_wait_my_spes(&self) {
+        for t in self.run_my_spes() {
+            self.wait_spe(t);
+        }
+    }
+
+    /// True while the given SPE process is running.
+    pub fn spe_running(&self, proc: CpProcess) -> bool {
+        self.shared.running_spes.lock().contains(&proc.0)
+    }
+
+    /// End-of-run synchronization: wait for this process's SPE children,
+    /// barrier with every other application process, then (on rank 0) tell
+    /// the Co-Pilots to shut down. Called automatically when a process
+    /// function or `main` returns.
+    pub(crate) fn finish(&self) {
+        let children: Vec<SpeTask> = std::mem::take(&mut *self.spawned.lock());
+        for t in children {
+            self.ctx().join(t.pid);
+        }
+        let my_rank = self
+            .shared
+            .tables
+            .rank_of(self.me)
+            .expect("finish called from a rank process");
+        let peers: Vec<usize> = self
+            .shared
+            .tables
+            .processes
+            .iter()
+            .filter_map(|p| match p.location {
+                Location::Rank { rank, .. } if rank != 0 => Some(rank),
+                _ => None,
+            })
+            .collect();
+        if my_rank == 0 {
+            for &r in &peers {
+                let _ = self.comm.recv(Some(r), Some(TAG_FINI));
+            }
+            for &r in &peers {
+                self.comm
+                    .send_bytes(r, TAG_FINI, Datatype::Byte, 0, Vec::new());
+            }
+            for (_node, &cp_rank) in self.shared.tables.copilot_ranks.iter() {
+                self.comm.send_bytes(
+                    cp_rank,
+                    crate::protocol::CP_SHUTDOWN_TAG,
+                    Datatype::Byte,
+                    0,
+                    Vec::new(),
+                );
+            }
+        } else {
+            self.comm
+                .send_bytes(0, TAG_FINI, Datatype::Byte, 0, Vec::new());
+            let _ = self.comm.recv(Some(0), Some(TAG_FINI));
+        }
+    }
+
+    /// Abort the application with a CellPilot diagnostic carrying the
+    /// source location of the offending call.
+    pub fn abort_loc(&self, err: &CpError, file: &str, line: u32) -> ! {
+        self.ctx().abort(&format!(
+            "[{}:{}] in process '{}': {}",
+            file,
+            line,
+            self.name(),
+            err
+        ));
+    }
+}
+
+/// `PI_Write` from a PPE / non-Cell process, aborting with a
+/// source-located diagnostic on misuse.
+#[macro_export]
+macro_rules! cp_write {
+    ($p:expr, $chan:expr, $fmt:expr $(, $val:expr)* $(,)?) => {
+        match $p.write($chan, $fmt, &[$(cp_pilot::PiValue::from($val)),*]) {
+            Ok(()) => (),
+            Err(e) => $p.abort_loc(&e, file!(), line!()),
+        }
+    };
+}
+
+/// `PI_Read` from a PPE / non-Cell process, aborting with a
+/// source-located diagnostic on misuse.
+#[macro_export]
+macro_rules! cp_read {
+    ($p:expr, $chan:expr, $fmt:expr) => {
+        match $p.read($chan, $fmt) {
+            Ok(v) => v,
+            Err(e) => $p.abort_loc(&e, file!(), line!()),
+        }
+    };
+}

@@ -1,0 +1,373 @@
+//! The SPE-resident CellPilot runtime: the tiny library an SPE program
+//! links against (10 336 bytes of local store in the paper).
+//!
+//! The design principle the paper emphasizes — "the bulk of SPE messaging
+//! logic has been off-loaded onto the Co-Pilot PPE process, thereby
+//! conserving scarce SPE memory" — shows in how little happens here: a
+//! write packs the message into a local-store buffer and posts a one-word
+//! request; a read posts a request and unpacks whatever the Co-Pilot
+//! deposits. All routing, MPI and pairing lives on the PPE side.
+
+use crate::error::CpError;
+use crate::location::{CpChannel, CpProcess};
+use crate::protocol::{
+    decode_completion, CompletionError, Request, OP_POLL, OP_READ, OP_WRITE, REQ_BLOCK_BYTES,
+};
+use crate::runtime::AppShared;
+use cp_cellsim::LsAddr;
+use cp_des::{ProcCtx, SimDuration};
+use cp_mpisim::Datatype;
+use cp_pilot::{
+    fmt::{parse_format, Conversion, CountSpec},
+    value::{check_against_format, check_read_format, pack_message, payload_bytes, unpack_message},
+    PiValue,
+};
+use cp_simnet::NodeId;
+use std::sync::Arc;
+
+/// The context handed to an SPE program entry (what the `__ea`-decorated
+/// globals and `PI_SPE_PROCESS` machinery give SPE code in C).
+pub struct SpeCtx {
+    ctx: ProcCtx,
+    shared: Arc<AppShared>,
+    me: CpProcess,
+    node: NodeId,
+    hw: usize,
+    req_block: LsAddr,
+}
+
+impl SpeCtx {
+    pub(crate) fn new(
+        ctx: ProcCtx,
+        shared: Arc<AppShared>,
+        me: CpProcess,
+        node: NodeId,
+        hw: usize,
+    ) -> SpeCtx {
+        let cell = &shared.node_shared[&node].cell;
+        let req_block = cell.spes[hw]
+            .ls
+            .alloc(REQ_BLOCK_BYTES, 16)
+            .expect("room for the request block");
+        SpeCtx {
+            ctx,
+            shared,
+            me,
+            node,
+            hw,
+            req_block,
+        }
+    }
+
+    pub(crate) fn teardown(&self) {
+        let cell = &self.shared.node_shared[&self.node].cell;
+        let _ = cell.spes[self.hw].ls.free(self.req_block);
+    }
+
+    /// This SPE process's handle.
+    pub fn process(&self) -> CpProcess {
+        self.me
+    }
+
+    /// This process's configured name.
+    pub fn name(&self) -> String {
+        self.shared.tables.processes[self.me.0].name.clone()
+    }
+
+    /// The Cell node hosting this SPE.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The index this process was configured with at `PI_CreateSPE` time
+    /// (distinct from the `PI_RunSPE` arguments, which arrive as the entry
+    /// function's parameters).
+    pub fn index(&self) -> i32 {
+        self.shared.tables.processes[self.me.0].index
+    }
+
+    /// The hardware SPE index this process was placed on.
+    pub fn hw_spe(&self) -> usize {
+        self.hw
+    }
+
+    /// The simulated-process context (for modelling compute time).
+    pub fn ctx(&self) -> &ProcCtx {
+        &self.ctx
+    }
+
+    pub(crate) fn shared_tables(&self) -> Arc<crate::tables::CpTables> {
+        self.shared.tables.clone()
+    }
+
+    /// Free local-store bytes (after the program image and the resident
+    /// runtime).
+    pub fn local_store_free(&self) -> usize {
+        self.shared.node_shared[&self.node].cell.spes[self.hw]
+            .ls
+            .free_bytes()
+    }
+
+    /// Create a code-overlay window in this SPE's local store (the
+    /// capability the paper points at for programs whose code exceeds
+    /// 256 KB: "an overlay capability is available"). Segment swaps charge
+    /// DMA time; see [`cp_cellsim::OverlayRegion`].
+    pub fn create_overlay(
+        &self,
+        window_len: usize,
+        segments: Vec<cp_cellsim::OverlaySegment>,
+    ) -> Result<cp_cellsim::OverlayRegion, CpError> {
+        cp_cellsim::OverlayRegion::new(
+            self.shared.node_shared[&self.node].cell.clone(),
+            self.hw,
+            window_len,
+            segments,
+        )
+        .map_err(|e| match e {
+            cp_cellsim::OverlayError::Ls(ls) => CpError::LocalStore(ls),
+            other => CpError::SpeRun(cp_cellsim::SpeRunError::ImageTooLarge {
+                spe: self.hw,
+                bytes: match other {
+                    cp_cellsim::OverlayError::SegmentTooLarge { bytes, .. } => bytes,
+                    _ => 0,
+                },
+            }),
+        })
+    }
+
+    fn charge(&self, bytes: usize) {
+        let us = self.shared.costs.spu_op_us + bytes as f64 * self.shared.costs.spu_per_byte_us;
+        self.ctx.advance(SimDuration::from_micros_f64(us));
+    }
+
+    /// Post a request block and wait for the Co-Pilot's completion word.
+    fn transact(&self, req: Request) -> Result<usize, CpError> {
+        let cell = &self.shared.node_shared[&self.node].cell;
+        let spe = &cell.spes[self.hw];
+        spe.ls.write(self.req_block, &req.encode())?;
+        spe.mbox
+            .spu_write_outbox(&self.ctx, &cell.costs, self.req_block as u32);
+        let word = spe.mbox.spu_read_inbox(&self.ctx, &cell.costs);
+        match decode_completion(word) {
+            Ok(n) => Ok(n),
+            Err(CompletionError::Overflow) => Err(CpError::SpeBufferOverflow {
+                channel: req.chan as usize,
+                capacity: req.len as usize,
+            }),
+            Err(CompletionError::Internal) => {
+                panic!("Co-Pilot reported an internal protocol error")
+            }
+        }
+    }
+
+    /// `PI_Write` from an SPE process: pack into local store, hand the
+    /// buffer to the Co-Pilot, wait for completion.
+    pub fn write(&self, chan: CpChannel, format: &str, values: &[PiValue]) -> Result<(), CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.from != self.me {
+            return Err(CpError::NotWriter {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let conv = parse_format(format)?;
+        check_against_format(&conv, values)?;
+        let data = pack_message(values);
+        self.charge(payload_bytes(values));
+        let cell = &self.shared.node_shared[&self.node].cell;
+        let ls = &cell.spes[self.hw].ls;
+        let buf = ls.alloc(data.len().max(1), 16)?;
+        ls.write(buf, &data)?;
+        let result = self.transact(Request {
+            op: OP_WRITE,
+            chan: chan.0 as u32,
+            addr: buf as u32,
+            len: data.len() as u32,
+        });
+        let _ = ls.free(buf);
+        if result.is_ok() {
+            self.shared.trace.record(
+                self.ctx.now(),
+                &self.name(),
+                crate::trace::TraceOp::SpeWrite,
+                chan.0,
+                data.len(),
+            );
+        }
+        result.map(|_| ())
+    }
+
+    /// `PI_Read` from an SPE process. For formats with only fixed counts
+    /// the local-store buffer is sized exactly; a `%*` format falls back to
+    /// the configured read-buffer limit (the C API's explicit capacity
+    /// argument), and an over-long message aborts with a diagnostic.
+    pub fn read(&self, chan: CpChannel, format: &str) -> Result<Vec<PiValue>, CpError> {
+        self.read_with_limit(chan, format, self.shared.costs.spe_read_buffer)
+    }
+
+    /// [`SpeCtx::read`] with an explicit capacity for `%*` formats.
+    pub fn read_with_limit(
+        &self,
+        chan: CpChannel,
+        format: &str,
+        limit: usize,
+    ) -> Result<Vec<PiValue>, CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.to != self.me {
+            return Err(CpError::NotReader {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let conv = parse_format(format)?;
+        let cap = exact_packed_size(&conv).unwrap_or(limit);
+        self.charge(0);
+        let cell = &self.shared.node_shared[&self.node].cell;
+        let ls = &cell.spes[self.hw].ls;
+        let buf = ls.alloc(cap.max(1), 16)?;
+        let got = self.transact(Request {
+            op: OP_READ,
+            chan: chan.0 as u32,
+            addr: buf as u32,
+            len: cap as u32,
+        });
+        let result = got.and_then(|n| {
+            let bytes = ls.read(buf, n)?;
+            let values = unpack_message(&bytes).expect("well-formed channel message");
+            let segs: Vec<(Datatype, usize)> =
+                values.iter().map(|v| (v.dtype(), v.len())).collect();
+            check_read_format(&conv, &segs).map_err(|detail| CpError::FormatMismatch {
+                channel: chan.0,
+                detail,
+            })?;
+            self.charge(payload_bytes(&values));
+            self.shared.trace.record(
+                self.ctx.now(),
+                &self.name(),
+                crate::trace::TraceOp::SpeRead,
+                chan.0,
+                n,
+            );
+            Ok(values)
+        });
+        let _ = ls.free(buf);
+        result
+    }
+
+    /// `PI_ChannelHasData` from an SPE (extension): non-blocking check
+    /// whether a read on `chan` would find a message already at the
+    /// Co-Pilot. Costs one mailbox round trip.
+    pub fn channel_has_data(&self, chan: CpChannel) -> Result<bool, CpError> {
+        let entry = self
+            .shared
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.to != self.me {
+            return Err(CpError::NotReader {
+                channel: chan.0,
+                caller: self.name(),
+            });
+        }
+        let n = self.transact(Request {
+            op: OP_POLL,
+            chan: chan.0 as u32,
+            addr: 0,
+            len: 0,
+        })?;
+        Ok(n != 0)
+    }
+
+    /// Abort the application with a diagnostic carrying the source
+    /// location (SPE-side twin of `CellPilot::abort_loc`).
+    pub fn abort_loc(&self, err: &CpError, file: &str, line: u32) -> ! {
+        self.ctx.abort(&format!(
+            "[{}:{}] in SPE process '{}': {}",
+            file,
+            line,
+            self.name(),
+            err
+        ));
+    }
+}
+
+/// The exact packed wire size of a message under `conv`, if every count is
+/// fixed: 4-byte segment count + per segment 5-byte header + elements.
+fn exact_packed_size(conv: &[Conversion]) -> Option<usize> {
+    let mut total = 4usize;
+    for c in conv {
+        match c.count {
+            CountSpec::Fixed(n) => total += 5 + n * c.dtype.wire_size(),
+            CountSpec::Runtime => return None,
+        }
+    }
+    Some(total)
+}
+
+/// `PI_Write` from an SPE process, aborting with a source-located
+/// diagnostic on misuse.
+#[macro_export]
+macro_rules! spe_write {
+    ($p:expr, $chan:expr, $fmt:expr $(, $val:expr)* $(,)?) => {
+        match $p.write($chan, $fmt, &[$(cp_pilot::PiValue::from($val)),*]) {
+            Ok(()) => (),
+            Err(e) => $p.abort_loc(&e, file!(), line!()),
+        }
+    };
+}
+
+/// `PI_Read` from an SPE process, aborting with a source-located
+/// diagnostic on misuse.
+#[macro_export]
+macro_rules! spe_read {
+    ($p:expr, $chan:expr, $fmt:expr) => {
+        match $p.read($chan, $fmt) {
+            Ok(v) => v,
+            Err(e) => $p.abort_loc(&e, file!(), line!()),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::completion_ok;
+
+    #[test]
+    fn exact_size_counts_headers() {
+        let conv = parse_format("%100d").unwrap();
+        // 4 + (5 + 400) = 409
+        assert_eq!(exact_packed_size(&conv), Some(409));
+        let conv = parse_format("%b %100Lf").unwrap();
+        // 4 + (5+1) + (5+1600) = 1615
+        assert_eq!(exact_packed_size(&conv), Some(1615));
+        let conv = parse_format("%*d").unwrap();
+        assert_eq!(exact_packed_size(&conv), None);
+    }
+
+    #[test]
+    fn exact_size_matches_pack_message() {
+        let vals = [
+            PiValue::Byte(vec![0]),
+            PiValue::LongDouble(vec![cp_mpisim::LongDouble(0.0); 100]),
+        ];
+        let conv = parse_format("%b %100Lf").unwrap();
+        assert_eq!(
+            exact_packed_size(&conv),
+            Some(pack_message(&vals).len()),
+            "completion_ok roundtrip sanity: {}",
+            completion_ok(0)
+        );
+    }
+}

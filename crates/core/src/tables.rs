@@ -1,0 +1,139 @@
+//! Internal tables and per-node shared state.
+
+use crate::location::{ChannelKind, CpProcess, Location};
+use crate::program::SpeProgram;
+use crate::protocol::Request;
+use cp_cellsim::CellNode;
+use cp_des::sync::MsgQueue;
+use cp_mpisim::Msg;
+use cp_simnet::NodeId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How a process is realized.
+pub(crate) enum ProcKind {
+    /// A regular Pilot process backed by an MPI rank.
+    Rank,
+    /// An SPE process: dormant until its parent calls `PI_RunSPE`.
+    Spe {
+        program: SpeProgram,
+        parent: CpProcess,
+    },
+}
+
+pub(crate) struct CpProcEntry {
+    pub name: String,
+    pub location: Location,
+    pub index: i32,
+    pub kind: ProcKind,
+}
+
+pub(crate) struct CpChanEntry {
+    pub from: CpProcess,
+    pub to: CpProcess,
+    pub kind: ChannelKind,
+}
+
+/// What a CellPilot bundle is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpBundleUsage {
+    /// One writer (the common endpoint) to many readers.
+    Broadcast,
+    /// Many writers to one reader (the common endpoint).
+    Gather,
+}
+
+pub(crate) struct CpBundleEntry {
+    pub usage: CpBundleUsage,
+    pub channels: Vec<crate::location::CpChannel>,
+    pub common: CpProcess,
+}
+
+/// The immutable application architecture, shared by every rank, Co-Pilot
+/// and SPE process.
+pub struct CpTables {
+    pub(crate) processes: Vec<CpProcEntry>,
+    pub(crate) channels: Vec<CpChanEntry>,
+    pub(crate) bundles: Vec<CpBundleEntry>,
+    /// Co-Pilot MPI rank per Cell node.
+    pub(crate) copilot_ranks: BTreeMap<NodeId, usize>,
+    /// Number of application MPI ranks (main + rank processes).
+    #[allow(dead_code)]
+    pub(crate) app_ranks: usize,
+}
+
+impl CpTables {
+    pub(crate) fn chan_tag(c: usize) -> i32 {
+        c as i32
+    }
+
+    /// The MPI rank backing a `Location::Rank` process.
+    pub(crate) fn rank_of(&self, p: CpProcess) -> Option<usize> {
+        match self.processes[p.0].location {
+            Location::Rank { rank, .. } => Some(rank),
+            Location::Spe { .. } => None,
+        }
+    }
+}
+
+/// An event on a Co-Pilot's service queue.
+pub(crate) enum CoEvent {
+    /// A request block posted by the SPE on hardware SPE `hw`.
+    Request { hw: usize, req: Request },
+    /// An MPI message (channel data from a rank or a remote Co-Pilot).
+    Mpi(Msg),
+    /// Orderly shutdown at end of run.
+    Shutdown,
+}
+
+/// Shared state of one Cell node: the hardware handle, the Co-Pilot's
+/// event queue, and the SPE occupancy registry.
+pub(crate) struct NodeShared {
+    pub cell: Arc<CellNode>,
+    pub queue: MsgQueue<CoEvent>,
+    /// `true` = hardware SPE is free.
+    pub free_spes: Mutex<Vec<bool>>,
+}
+
+impl NodeShared {
+    pub(crate) fn new(cell: Arc<CellNode>) -> Arc<NodeShared> {
+        let n = cell.spe_count();
+        Arc::new(NodeShared {
+            queue: MsgQueue::new(&format!("copilot{}-queue", cell.id), None),
+            free_spes: Mutex::new(vec![true; n]),
+            cell,
+        })
+    }
+
+    /// Claim the lowest-numbered free SPE, if any.
+    pub(crate) fn claim_spe(&self) -> Option<usize> {
+        let mut free = self.free_spes.lock();
+        let idx = free.iter().position(|&f| f)?;
+        free[idx] = false;
+        Some(idx)
+    }
+
+    /// Release a claimed SPE.
+    pub(crate) fn release_spe(&self, idx: usize) {
+        self.free_spes.lock()[idx] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_cellsim::CellCosts;
+
+    #[test]
+    fn claim_release_cycle() {
+        let cell = CellNode::new(0, 3, 1 << 20, CellCosts::default());
+        let ns = NodeShared::new(cell);
+        assert_eq!(ns.claim_spe(), Some(0));
+        assert_eq!(ns.claim_spe(), Some(1));
+        assert_eq!(ns.claim_spe(), Some(2));
+        assert_eq!(ns.claim_spe(), None);
+        ns.release_spe(1);
+        assert_eq!(ns.claim_spe(), Some(1));
+    }
+}

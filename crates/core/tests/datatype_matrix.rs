@@ -1,0 +1,201 @@
+//! The paper's full §V sweep: "Each data type supported by CellPilot was
+//! sent across each of the 5 channel types" — here as a correctness matrix
+//! (9 datatypes × 5 channel types, both payload shapes), verifying wire
+//! integrity through every transport path.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_mpisim::LongDouble;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One representative payload per supported datatype, with its format.
+fn payloads() -> Vec<(&'static str, PiValue)> {
+    vec![
+        ("%4b", PiValue::Byte(vec![0, 1, 254, 255])),
+        ("%5c", PiValue::Char(b"cellp".to_vec())),
+        ("%3hd", PiValue::Int16(vec![i16::MIN, -1, i16::MAX])),
+        ("%3d", PiValue::Int32(vec![i32::MIN, 0, i32::MAX])),
+        ("%3u", PiValue::UInt32(vec![0, 7, u32::MAX])),
+        ("%3ld", PiValue::Int64(vec![i64::MIN, 42, i64::MAX])),
+        ("%3f", PiValue::Float32(vec![-1.5, 0.0, f32::MAX])),
+        (
+            "%3lf",
+            PiValue::Float64(vec![std::f64::consts::E, -0.0, 1e300]),
+        ),
+        (
+            "%3Lf",
+            PiValue::LongDouble(vec![LongDouble(1.25), LongDouble(-2.5), LongDouble(0.0)]),
+        ),
+    ]
+}
+
+/// Round trip every datatype over a channel of the given type and assert
+/// equality.
+fn run_type(chan_type: u8) {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let n = payloads().len();
+    let echoed: Arc<Mutex<Vec<PiValue>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Echo body shared by rank and SPE incarnations: read every payload
+    // off channel 0, write it back on channel 1.
+    let spe_echo = SpeProgram::new("echo", 4096, move |spe, _, _| {
+        for (fmt, _) in payloads() {
+            let vals = spe.read(CpChannel(0), fmt).unwrap();
+            spe.write(CpChannel(1), fmt, &vals).unwrap();
+        }
+    });
+
+    let (from, to);
+    match chan_type {
+        1 => {
+            let peer = cfg
+                .create_process("echo", 0, move |cp, _| {
+                    for (fmt, _) in payloads() {
+                        let vals = cp.read(CpChannel(0), fmt).unwrap();
+                        cp.write(CpChannel(1), fmt, &vals).unwrap();
+                    }
+                })
+                .unwrap();
+            from = peer;
+            to = peer;
+        }
+        2 => {
+            let s = cfg.create_spe_process(&spe_echo, CP_MAIN, 0).unwrap();
+            from = s;
+            to = s;
+        }
+        3 => {
+            let parent = cfg
+                .create_process("parent", 0, |cp, _| {
+                    let t = cp.run_spe(CpProcess(2), 0, 0).unwrap();
+                    cp.wait_spe(t);
+                })
+                .unwrap();
+            let s = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
+            from = s;
+            to = s;
+        }
+        4 | 5 => {
+            // Main -> SPE A -> SPE B -> main, so the middle hop is the
+            // type-4/5 channel under test.
+            let relay_a = SpeProgram::new("relay", 4096, move |spe, _, _| {
+                for (fmt, _) in payloads() {
+                    let vals = spe.read(CpChannel(0), fmt).unwrap();
+                    spe.write(CpChannel(2), fmt, &vals).unwrap();
+                }
+            });
+            let relay_b = SpeProgram::new("relay-b", 4096, move |spe, _, _| {
+                for (fmt, _) in payloads() {
+                    let vals = spe.read(CpChannel(2), fmt).unwrap();
+                    spe.write(CpChannel(1), fmt, &vals).unwrap();
+                }
+            });
+            let parent_b = if chan_type == 5 {
+                cfg.create_process("parent", 0, |cp, _| {
+                    let t = cp.run_spe(CpProcess(3), 0, 0).unwrap();
+                    cp.wait_spe(t);
+                })
+                .unwrap()
+            } else {
+                CP_MAIN
+            };
+            let a = cfg.create_spe_process(&relay_a, CP_MAIN, 0).unwrap();
+            let b = cfg.create_spe_process(&relay_b, parent_b, 1).unwrap();
+            let c0 = cfg.create_channel(CP_MAIN, a).unwrap();
+            let c1 = cfg.create_channel(b, CP_MAIN).unwrap();
+            let c2 = cfg.create_channel(a, b).unwrap();
+            assert_eq!((c0.0, c1.0, c2.0), (0, 1, 2));
+            let want = if chan_type == 4 {
+                cellpilot::ChannelKind::Type4
+            } else {
+                cellpilot::ChannelKind::Type5
+            };
+            assert_eq!(cfg.channel_kind(c2), Some(want));
+            let got = echoed.clone();
+            cfg.run(move |cp| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for (fmt, v) in payloads() {
+                    cp.write(CpChannel(0), fmt, std::slice::from_ref(&v))
+                        .unwrap();
+                }
+                for (fmt, _) in payloads() {
+                    let vals = cp.read(CpChannel(1), fmt).unwrap();
+                    got.lock().push(vals[0].clone());
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+            let got = echoed.lock();
+            assert_eq!(got.len(), n);
+            for ((_, expect), back) in payloads().iter().zip(got.iter()) {
+                assert_eq!(expect, back, "type {chan_type}");
+            }
+            return;
+        }
+        other => panic!("no such channel type {other}"),
+    }
+    let c0 = cfg.create_channel(CP_MAIN, from).unwrap();
+    let c1 = cfg.create_channel(to, CP_MAIN).unwrap();
+    assert_eq!((c0.0, c1.0), (0, 1));
+    let got = echoed.clone();
+    cfg.run(move |cp| {
+        let mut ts = Vec::new();
+        for p in 0..cp.process_count() {
+            if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                ts.push(t);
+            }
+        }
+        for (fmt, v) in payloads() {
+            cp.write(CpChannel(0), fmt, std::slice::from_ref(&v))
+                .unwrap();
+        }
+        for (fmt, _) in payloads() {
+            let vals = cp.read(CpChannel(1), fmt).unwrap();
+            got.lock().push(vals[0].clone());
+        }
+        for t in ts {
+            cp.wait_spe(t);
+        }
+    })
+    .unwrap();
+    let got = echoed.lock();
+    assert_eq!(got.len(), n);
+    for ((_, expect), back) in payloads().iter().zip(got.iter()) {
+        assert_eq!(expect, back, "type {chan_type}");
+    }
+}
+
+#[test]
+fn every_datatype_over_type1() {
+    run_type(1);
+}
+
+#[test]
+fn every_datatype_over_type2() {
+    run_type(2);
+}
+
+#[test]
+fn every_datatype_over_type3() {
+    run_type(3);
+}
+
+#[test]
+fn every_datatype_over_type4() {
+    run_type(4);
+}
+
+#[test]
+fn every_datatype_over_type5() {
+    run_type(5);
+}

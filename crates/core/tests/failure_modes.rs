@@ -1,0 +1,110 @@
+//! Failure injection: crashes and misuse inside SPE programs must surface
+//! as clean diagnostics, never hangs or corrupted state.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_des::SimError;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+#[test]
+fn spe_panic_fails_the_run_cleanly() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let crasher = SpeProgram::new("crasher", 2048, |spe, _, _| {
+        spe.ctx().advance(cp_des::SimDuration::from_micros(100));
+        panic!("simulated SPE crash at t=100us");
+    });
+    let s = cfg.create_spe_process(&crasher, CP_MAIN, 0).unwrap();
+    match cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        cp.wait_spe(t);
+    }) {
+        Err(SimError::ProcessPanicked { name, message, .. }) => {
+            assert!(name.contains("crasher"), "{name}");
+            assert!(message.contains("simulated SPE crash"), "{message}");
+        }
+        other => panic!("expected ProcessPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn spe_crash_mid_protocol_does_not_hang() {
+    // The SPE posts a write request and dies before consuming the
+    // completion; the run must end with the panic diagnostic, not a hang
+    // (the kernel tears down all parked processes).
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let crasher = SpeProgram::new("mid-crash", 2048, |spe, _, _| {
+        spe.write(CpChannel(0), "%d", &[PiValue::Int32(vec![1])])
+            .unwrap();
+        panic!("died after the write completed");
+    });
+    let s = cfg.create_spe_process(&crasher, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    match cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        // The message itself was delivered before the crash.
+        let v = cp.read(chan, "%d").unwrap();
+        assert_eq!(v[0], PiValue::Int32(vec![1]));
+        cp.wait_spe(t);
+    }) {
+        Err(SimError::ProcessPanicked { message, .. }) => {
+            assert!(message.contains("died after"), "{message}");
+        }
+        other => panic!("expected ProcessPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn spe_misuse_abort_carries_location() {
+    // spe_write!-style abort from inside an SPE program names the file.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let bad = SpeProgram::new("bad", 2048, |spe, _, _| {
+        // Channel 0 is rank->rank; this SPE is not its writer.
+        let err = spe
+            .write(CpChannel(0), "%b", &[PiValue::Byte(vec![1])])
+            .unwrap_err();
+        spe.abort_loc(&err, file!(), line!());
+    });
+    let other = cfg.create_process("other", 0, |_, _| {}).unwrap();
+    let _chan = cfg.create_channel(CP_MAIN, other).unwrap();
+    let s = cfg.create_spe_process(&bad, CP_MAIN, 0).unwrap();
+    match cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        cp.wait_spe(t);
+    }) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("failure_modes.rs"), "{message}");
+            assert!(message.contains("not the writer"), "{message}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn orphaned_spe_read_is_reported_as_deadlock() {
+    // An SPE reads a channel nobody ever writes: the simulator's deadlock
+    // report must include the SPE's blocking reason.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let orphan = SpeProgram::new("orphan", 2048, |spe, _, _| {
+        let _ = spe.read(CpChannel(0), "%d").unwrap();
+    });
+    let s = cfg.create_spe_process(&orphan, CP_MAIN, 0).unwrap();
+    let _chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    match cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        cp.wait_spe(t); // main waits forever for the orphan
+    }) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(
+                blocked
+                    .iter()
+                    .any(|(_, n, r)| n.contains("orphan") && r.contains("mbox_in")),
+                "{blocked:?}"
+            );
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's Figure 3/4 sample program: a type-5 SPE→SPE transfer of 100
+//! integers across two Cell nodes, relayed through both Co-Pilots.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+#[test]
+fn figure_3_4_type5_transfer() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+
+    let spe_send = SpeProgram::new("spe_send", 2048, |spe, _arg, _ptr| {
+        let array: Vec<i32> = (0..100).collect();
+        spe.write(CpChannel(0), "%100d", &[PiValue::Int32(array)])
+            .unwrap();
+    });
+    let spe_recv = SpeProgram::new("spe_recv", 2048, |spe, _arg, _ptr| {
+        let vals = spe.read(CpChannel(0), "%*d").unwrap();
+        assert_eq!(vals[0], PiValue::Int32((0..100).collect()));
+    });
+
+    let recv_ppe = cfg
+        .create_process("recvFunc", 0, |cp, _| {
+            let t = cp.run_spe(cellpilot::CpProcess(3), 0, 0).unwrap();
+            cp.wait_spe(t);
+        })
+        .unwrap();
+    let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
+    let recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
+    assert_eq!(recv_spe, cellpilot::CpProcess(3));
+    let between = cfg.create_channel(send_spe, recv_spe).unwrap();
+    assert_eq!(between, CpChannel(0));
+
+    cfg.run(move |cp| {
+        let t = cp.run_spe(send_spe, 0, 0).unwrap();
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}

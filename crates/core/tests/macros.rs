@@ -1,0 +1,97 @@
+//! The Pilot-style convenience macros: `cp_write!`/`cp_read!` on the rank
+//! side and `spe_write!`/`spe_read!` on the SPE side, including their
+//! abort-with-source-location behaviour.
+
+use cellpilot::{
+    cp_read, cp_write, spe_read, spe_write, CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram,
+    CP_MAIN,
+};
+use cp_des::SimError;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+#[test]
+fn macros_round_trip_both_sides() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let echo = SpeProgram::new("echo", 2048, |spe, _, _| {
+        let vals = spe_read!(spe, CpChannel(0), "%4d");
+        let PiValue::Int32(v) = &vals[0] else {
+            unreachable!()
+        };
+        let doubled: Vec<i32> = v.iter().map(|x| x * 2).collect();
+        spe_write!(spe, CpChannel(1), "%4d", doubled);
+    });
+    let s = cfg.create_spe_process(&echo, CP_MAIN, 0).unwrap();
+    cfg.create_channel(CP_MAIN, s).unwrap();
+    cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        cp_write!(cp, CpChannel(0), "%4d", vec![1i32, 2, 3, 4]);
+        let vals = cp_read!(cp, CpChannel(1), "%4d");
+        assert_eq!(vals[0], PiValue::Int32(vec![2, 4, 6, 8]));
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}
+
+#[test]
+fn cp_write_macro_aborts_with_this_file() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let a = cfg.create_process("a", 0, |_, _| {}).unwrap();
+    let _chan = cfg.create_channel(a, CP_MAIN).unwrap(); // main is the READER
+    match cfg.run(move |cp| {
+        // Writing a channel main only reads must abort through the macro.
+        cp_write!(cp, CpChannel(0), "%b", 1u8);
+    }) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("macros.rs"), "{message}");
+            assert!(message.contains("not the writer"), "{message}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn spe_read_macro_aborts_on_format_mismatch() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let reader = SpeProgram::new("reader", 2048, |spe, _, _| {
+        // Writer sends bytes; reading ints must abort via the macro.
+        let _ = spe_read!(spe, CpChannel(0), "%4d");
+    });
+    let s = cfg.create_spe_process(&reader, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    match cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        cp_write!(cp, chan, "%4b", vec![1u8, 2, 3, 4]);
+        cp.wait_spe(t);
+    }) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("macros.rs"), "{message}");
+            assert!(message.contains("disagrees with writer"), "{message}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn macro_accepts_scalars_slices_and_vecs() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let sink = cfg
+        .create_process("sink", 0, |cp, _| {
+            let vals = cp_read!(cp, CpChannel(0), "%d %3lf %2b");
+            assert_eq!(vals[0], PiValue::Int32(vec![7]));
+            assert_eq!(vals[1], PiValue::Float64(vec![1.0, 2.0, 3.0]));
+            assert_eq!(vals[2], PiValue::Byte(vec![8, 9]));
+        })
+        .unwrap();
+    let chan = cfg.create_channel(CP_MAIN, sink).unwrap();
+    cfg.run(move |cp| {
+        let doubles = [1.0f64, 2.0, 3.0];
+        cp_write!(cp, chan, "%d %3lf %2b", 7i32, &doubles[..], vec![8u8, 9]);
+    })
+    .unwrap();
+}

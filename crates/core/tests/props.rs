@@ -1,0 +1,171 @@
+//! Property tests over whole CellPilot applications: random worker
+//! placements, payload shapes, and datatypes, round-tripped through the
+//! full stack (rank → Co-Pilot → SPE local store → Co-Pilot → rank) and
+//! verified byte-for-byte.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_mpisim::LongDouble;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use proptest::prelude::*;
+
+/// A worker spec: which Cell node hosts it (0 or 1) and the payload its
+/// echo round trips.
+#[derive(Debug, Clone)]
+struct WorkerSpec {
+    remote: bool,
+    payload: PiValue,
+}
+
+fn arb_payload() -> impl Strategy<Value = PiValue> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..200).prop_map(PiValue::Byte),
+        proptest::collection::vec(any::<i32>(), 1..100).prop_map(PiValue::Int32),
+        proptest::collection::vec(any::<i64>(), 1..60).prop_map(PiValue::Int64),
+        proptest::collection::vec(-1.0e12f64..1.0e12, 1..60)
+            .prop_map(|v| { PiValue::LongDouble(v.into_iter().map(LongDouble).collect()) }),
+    ]
+}
+
+fn fmt_of(v: &PiValue) -> String {
+    let letter = match v {
+        PiValue::Byte(_) => "b",
+        PiValue::Int32(_) => "d",
+        PiValue::Int64(_) => "ld",
+        PiValue::LongDouble(_) => "Lf",
+        _ => unreachable!("strategy limits variants"),
+    };
+    format!("%{}{}", v.len(), letter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any mix of local/remote echo workers and payloads, every value
+    /// round trips intact through the full stack.
+    #[test]
+    fn random_echo_farms_round_trip(
+        specs in proptest::collection::vec(
+            (any::<bool>(), arb_payload()).prop_map(|(remote, payload)| WorkerSpec {
+                remote,
+                payload,
+            }),
+            1..6,
+        )
+    ) {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+        let host = cfg
+            .create_process("host", 0, |cp, _| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+        let fmts: Vec<String> = specs.iter().map(|s| fmt_of(&s.payload)).collect();
+        let fmts2 = fmts.clone();
+        let echo = SpeProgram::new("echo", 2048, move |spe, _, _| {
+            let w = spe.index() as usize;
+            let vals = spe.read(CpChannel(2 * w), &fmts2[w]).unwrap();
+            spe.write(CpChannel(2 * w + 1), &fmts2[w], &vals).unwrap();
+        });
+        for (w, s) in specs.iter().enumerate() {
+            let parent = if s.remote { host } else { CP_MAIN };
+            let sp = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
+            let task = cfg.create_channel(CP_MAIN, sp).unwrap();
+            let result = cfg.create_channel(sp, CP_MAIN).unwrap();
+            prop_assert_eq!((task.0, result.0), (2 * w, 2 * w + 1));
+        }
+        let specs2 = specs.clone();
+        cfg.run(move |cp| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            for (w, s) in specs2.iter().enumerate() {
+                cp.write(CpChannel(2 * w), &fmts[w], std::slice::from_ref(&s.payload))
+                    .unwrap();
+            }
+            for (w, s) in specs2.iter().enumerate() {
+                let vals = cp.read(CpChannel(2 * w + 1), &fmts[w]).unwrap();
+                assert_eq!(vals[0], s.payload, "worker {w}");
+            }
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    }
+
+    /// The same application run twice finishes at the identical virtual
+    /// instant — full-stack determinism under arbitrary configurations.
+    #[test]
+    fn random_farms_are_deterministic(
+        n_workers in 1usize..5,
+        bytes in 1usize..500,
+        remote in any::<bool>(),
+    ) {
+        let run_once = || {
+            let spec = ClusterSpec::two_cells_one_xeon();
+            let mut cfg =
+                CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+            let host = cfg
+                .create_process("host", 0, |cp, _| {
+                    let mut ts = Vec::new();
+                    for p in 0..cp.process_count() {
+                        if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                            ts.push(t);
+                        }
+                    }
+                    for t in ts {
+                        cp.wait_spe(t);
+                    }
+                })
+                .unwrap();
+            let fmt = format!("%{bytes}b");
+            let fmt2 = fmt.clone();
+            let echo = SpeProgram::new("echo", 2048, move |spe, _, _| {
+                let w = spe.index() as usize;
+                let vals = spe.read(CpChannel(2 * w), &fmt2).unwrap();
+                spe.write(CpChannel(2 * w + 1), &fmt2, &vals).unwrap();
+            });
+            for w in 0..n_workers {
+                let parent = if remote { host } else { CP_MAIN };
+                let sp = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
+                cfg.create_channel(CP_MAIN, sp).unwrap();
+                cfg.create_channel(sp, CP_MAIN).unwrap();
+            }
+            let report = cfg
+                .run(move |cp| {
+                    let mut ts = Vec::new();
+                    for p in 0..cp.process_count() {
+                        if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                            ts.push(t);
+                        }
+                    }
+                    let data = PiValue::Byte((0..bytes).map(|i| i as u8).collect());
+                    for w in 0..n_workers {
+                        cp.write(CpChannel(2 * w), &format!("%{bytes}b"), std::slice::from_ref(&data))
+                            .unwrap();
+                    }
+                    for w in 0..n_workers {
+                        let _ = cp.read(CpChannel(2 * w + 1), &format!("%{bytes}b")).unwrap();
+                    }
+                    for t in ts {
+                        cp.wait_spe(t);
+                    }
+                })
+                .unwrap();
+            (report.end_time, report.processes)
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+}

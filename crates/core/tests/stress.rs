@@ -1,0 +1,265 @@
+//! Stress and edge-path tests: large messages through the rendezvous
+//! protocol and the Co-Pilot, local-store pressure, many channels, and
+//! sustained mixed traffic.
+
+use cellpilot::{
+    CellPilotConfig, CellPilotOpts, CpChannel, CpError, CpProcess, SpeProgram, CP_MAIN,
+};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+#[test]
+fn large_message_rendezvous_to_spe() {
+    // 24 KB exceeds the 16 KiB MPI eager limit, so the rank->Co-Pilot leg
+    // runs the rendezvous handshake; the SPE reads it with an explicit
+    // capacity (the C API's `PI_Read(.., "%*b", cap, buf)` form).
+    const N: usize = 24 * 1024;
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let reader = SpeProgram::new("reader", 2048, |spe, _, _| {
+        let vals = spe.read_with_limit(CpChannel(0), "%*b", 32 * 1024).unwrap();
+        let PiValue::Byte(v) = &vals[0] else {
+            unreachable!()
+        };
+        assert_eq!(v.len(), N);
+        assert!(v.iter().enumerate().all(|(i, &b)| b == i as u8));
+    });
+    let s = cfg.create_spe_process(&reader, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        let data: Vec<u8> = (0..N).map(|i| i as u8).collect();
+        cp.write(chan, &format!("%{N}b"), &[PiValue::Byte(data)])
+            .unwrap();
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}
+
+#[test]
+fn large_message_rendezvous_from_spe() {
+    // SPE -> rank, 20 KB: the Co-Pilot performs the rendezvous send on the
+    // SPE's behalf.
+    const N: usize = 20 * 1024;
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let writer = SpeProgram::new("writer", 2048, |spe, _, _| {
+        let data: Vec<u8> = (0..N).map(|i| (i * 7) as u8).collect();
+        spe.write(CpChannel(0), &format!("%{N}b"), &[PiValue::Byte(data)])
+            .unwrap();
+    });
+    let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        let vals = cp.read(chan, "%*b").unwrap();
+        let PiValue::Byte(v) = &vals[0] else {
+            unreachable!()
+        };
+        assert_eq!(v.len(), N);
+        assert!(v.iter().enumerate().all(|(i, &b)| b == (i * 7) as u8));
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}
+
+#[test]
+fn local_store_exhaustion_is_a_clean_error() {
+    // A message too large for the free local store fails the SPE-side
+    // allocation with OutOfLocalStore, not a crash.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let writer = SpeProgram::new("writer", 200 * 1024, |spe, _, _| {
+        // Image + runtime leave well under 100 KB free.
+        let data = vec![0u8; 120 * 1024];
+        match spe.write(CpChannel(0), "%*b", &[PiValue::Byte(data)]) {
+            Err(CpError::LocalStore(e)) => {
+                assert!(e.to_string().contains("exhausted"), "{e}");
+            }
+            other => panic!("expected LocalStore error, got {other:?}"),
+        }
+        // The runtime stays usable afterwards.
+        spe.write(CpChannel(0), "%b", &[PiValue::Byte(vec![1])])
+            .unwrap();
+    });
+    let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        let v = cp.read(chan, "%b").unwrap();
+        assert_eq!(v[0], PiValue::Byte(vec![1]));
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}
+
+#[test]
+fn sixty_four_channels_interleaved() {
+    // 8 SPE workers x 8 channels each, written in a scrambled order;
+    // per-channel FIFO and content integrity must hold.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    const WORKERS: usize = 8;
+    const PER: usize = 8;
+    let worker = SpeProgram::new("w", 2048, |spe, _, _| {
+        let w = spe.index() as usize;
+        for k in 0..PER {
+            let chan = CpChannel(w * PER + k);
+            let payload = (w * 1000 + k * 10) as i32;
+            spe.write(chan, "%d", &[PiValue::Int32(vec![payload])])
+                .unwrap();
+        }
+    });
+    for w in 0..WORKERS {
+        let s = cfg.create_spe_process(&worker, CP_MAIN, w as i32).unwrap();
+        for _ in 0..PER {
+            cfg.create_channel(s, CP_MAIN).unwrap();
+        }
+    }
+    cfg.run(move |cp| {
+        let mut ts = Vec::new();
+        for p in 0..cp.process_count() {
+            if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                ts.push(t);
+            }
+        }
+        // Read in a scrambled (but deterministic) order.
+        let mut order: Vec<usize> = (0..WORKERS * PER).collect();
+        order.reverse();
+        order.rotate_left(13);
+        for c in order {
+            let vals = cp.read(CpChannel(c), "%d").unwrap();
+            let (w, k) = (c / PER, c % PER);
+            assert_eq!(vals[0], PiValue::Int32(vec![(w * 1000 + k * 10) as i32]));
+        }
+        for t in ts {
+            cp.wait_spe(t);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn thousand_messages_sustained_type2() {
+    // Sustained one-direction traffic: 1000 messages over one channel.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    const N: i32 = 1000;
+    let sink = SpeProgram::new("sink", 2048, |spe, _, _| {
+        for i in 0..N {
+            let vals = spe.read(CpChannel(0), "%d").unwrap();
+            assert_eq!(vals[0], PiValue::Int32(vec![i]));
+        }
+    });
+    let s = cfg.create_spe_process(&sink, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(s, 0, 0).unwrap();
+        for i in 0..N {
+            cp.write(chan, "%d", &[PiValue::Int32(vec![i])]).unwrap();
+        }
+        cp.wait_spe(t);
+    })
+    .unwrap();
+}
+
+#[test]
+fn spe_reload_cycles() {
+    // "SPEs have limited memory and may need to be loaded and reloaded
+    // with codes": run the same SPE process 10 times in sequence, each run
+    // exchanging data, with the local store fully recovered in between.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let prog = SpeProgram::new("cycler", 50 * 1024, |spe, run_no, _| {
+        spe.write(CpChannel(0), "%d", &[PiValue::Int32(vec![run_no * 11])])
+            .unwrap();
+    });
+    let s = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.run(move |cp| {
+        for run_no in 0..10 {
+            let t = cp.run_spe(s, run_no, 0).unwrap();
+            let vals = cp.read(chan, "%d").unwrap();
+            assert_eq!(vals[0], PiValue::Int32(vec![run_no * 11]));
+            cp.wait_spe(t);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn contention_models_change_timing_not_results() {
+    // Enable both opt-in contention models (NIC + EIB) and rerun a
+    // multi-worker farm: all data must still round trip, and the run must
+    // take at least as long as the contention-free one.
+    fn run_farm(contend: bool) -> (Vec<i64>, u64) {
+        let mut spec = ClusterSpec::two_cells_one_xeon();
+        spec.net.contention = contend;
+        spec.cell_costs.eib_contention = contend;
+        let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+        let host = cfg
+            .create_process("host", 0, |cp, _| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+        let echo = SpeProgram::new("echo", 2048, |spe, _, _| {
+            let w = spe.index() as usize;
+            let vals = spe.read(CpChannel(2 * w), "%*ld").unwrap();
+            spe.write(CpChannel(2 * w + 1), "%*ld", &vals).unwrap();
+        });
+        const W: usize = 6;
+        for w in 0..W {
+            let parent = if w % 2 == 0 { CP_MAIN } else { host };
+            let s = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
+            cfg.create_channel(CP_MAIN, s).unwrap();
+            cfg.create_channel(s, CP_MAIN).unwrap();
+        }
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let report = cfg
+            .run(move |cp| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for w in 0..W {
+                    let data: Vec<i64> = (0..256).map(|i| (w * 1000 + i) as i64).collect();
+                    cp.write(CpChannel(2 * w), "%256ld", &[PiValue::Int64(data)])
+                        .unwrap();
+                }
+                let mut sums = Vec::new();
+                for w in 0..W {
+                    let vals = cp.read(CpChannel(2 * w + 1), "%*ld").unwrap();
+                    let PiValue::Int64(v) = &vals[0] else {
+                        unreachable!()
+                    };
+                    assert_eq!(v.len(), 256);
+                    sums.push(v.iter().sum::<i64>());
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+                *out2.lock() = sums;
+            })
+            .unwrap();
+        let v = out.lock().clone();
+        (v, report.end_time.as_nanos())
+    }
+    let (free_sums, free_time) = run_farm(false);
+    let (cont_sums, cont_time) = run_farm(true);
+    assert_eq!(free_sums, cont_sums, "contention must not corrupt data");
+    assert!(
+        cont_time >= free_time,
+        "contention can only slow things down: {cont_time} vs {free_time}"
+    );
+}

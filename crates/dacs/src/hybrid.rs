@@ -1,0 +1,142 @@
+//! DaCS for Hybrid (DaCSH): the off-node layer.
+//!
+//! The paper's Figure 1: one non-Cell (x86-64) node is the Host Element
+//! for the cluster and every Cell node's PPE is one of its Accelerator
+//! Elements; each PPE is in turn the HE of its own SPEs (the local level in
+//! [`crate::local`]). Communication is strictly parent↔child — an AE
+//! cannot talk to a sibling AE, which is exactly the inflexibility the
+//! paper contrasts CellPilot's free-form channels against.
+
+use cp_mpisim::{Comm, Datatype, Rank};
+
+/// Reserved tag for DaCSH parent↔child traffic.
+const TAG_DACSH: i32 = 900_000;
+
+/// Errors from the hybrid layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridError {
+    /// The peer is not this element's parent or child.
+    NotRelated {
+        /// The calling element's rank.
+        me: Rank,
+        /// The unrelated peer.
+        peer: Rank,
+    },
+}
+
+impl std::fmt::Display for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridError::NotRelated { me, peer } => write!(
+                f,
+                "dacsh: rank {me} and rank {peer} are not parent/child — \
+                 the DaCS hierarchy permits no sibling communication"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+/// One element of the hybrid hierarchy, bound to an MPI rank.
+pub struct HybridElement<'a> {
+    comm: &'a Comm,
+    parent: Option<Rank>,
+    children: Vec<Rank>,
+}
+
+impl<'a> HybridElement<'a> {
+    /// The cluster HE: the non-Cell node's rank with its Cell-PPE children.
+    pub fn host(comm: &'a Comm, children: Vec<Rank>) -> HybridElement<'a> {
+        HybridElement {
+            comm,
+            parent: None,
+            children,
+        }
+    }
+
+    /// A PPE accelerator element under `parent` (itself possibly a local
+    /// HE for its SPEs).
+    pub fn accelerator(comm: &'a Comm, parent: Rank) -> HybridElement<'a> {
+        HybridElement {
+            comm,
+            parent: Some(parent),
+            children: Vec::new(),
+        }
+    }
+
+    fn check_related(&self, peer: Rank) -> Result<(), HybridError> {
+        if self.parent == Some(peer) || self.children.contains(&peer) {
+            Ok(())
+        } else {
+            Err(HybridError::NotRelated {
+                me: self.comm.rank(),
+                peer,
+            })
+        }
+    }
+
+    /// `dacs_send_v`: blocking byte send to a parent or child.
+    pub fn send_v(&self, peer: Rank, data: Vec<u8>) -> Result<(), HybridError> {
+        self.check_related(peer)?;
+        let n = data.len();
+        self.comm
+            .send_bytes(peer, TAG_DACSH, Datatype::Byte, n, data);
+        Ok(())
+    }
+
+    /// `dacs_recv_v`: blocking byte receive from a parent or child.
+    pub fn recv_v(&self, peer: Rank) -> Result<Vec<u8>, HybridError> {
+        self.check_related(peer)?;
+        let m = self.comm.recv(Some(peer), Some(TAG_DACSH));
+        Ok(m.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_mpisim::{mpirun, MpiCosts};
+    use cp_simnet::{ClusterSpec, NodeId};
+
+    #[test]
+    fn parent_child_exchange_works() {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        // Rank 0 = cluster HE on the Xeon; ranks 1,2 = PPE AEs.
+        let placement = vec![NodeId(2), NodeId(0), NodeId(1)];
+        mpirun(&spec, placement, MpiCosts::default(), |comm| {
+            match comm.rank() {
+                0 => {
+                    let he = HybridElement::host(&comm, vec![1, 2]);
+                    he.send_v(1, vec![10]).unwrap();
+                    he.send_v(2, vec![20]).unwrap();
+                    assert_eq!(he.recv_v(1).unwrap(), vec![11]);
+                    assert_eq!(he.recv_v(2).unwrap(), vec![21]);
+                }
+                r => {
+                    let ae = HybridElement::accelerator(&comm, 0);
+                    let v = ae.recv_v(0).unwrap();
+                    ae.send_v(0, vec![v[0] + 1]).unwrap();
+                    let _ = r;
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sibling_communication_is_refused() {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let placement = vec![NodeId(2), NodeId(0), NodeId(1)];
+        mpirun(&spec, placement, MpiCosts::default(), |comm| {
+            if comm.rank() == 1 {
+                let ae = HybridElement::accelerator(&comm, 0);
+                assert_eq!(
+                    ae.send_v(2, vec![1]),
+                    Err(HybridError::NotRelated { me: 1, peer: 2 })
+                );
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # cp-dacs — a DaCS-like hierarchical baseline library
+//!
+//! Reimplements the slice of IBM's Data Communication and Synchronization
+//! library (and its DaCSH hybrid extension) that the paper compares
+//! CellPilot against: a strict Host-Element/Accelerator-Element hierarchy
+//! with remote memory regions, `put`/`get`/`wait` transfers, mailboxes,
+//! and parent↔child-only messaging. Used by the footprint experiment
+//! (`libdacs.a` = 36 600 B of local store vs `cellpilot.o` = 10 336 B) and
+//! the code-size comparison of Section IV.C.
+
+mod hybrid;
+mod local;
+
+pub use hybrid::{HybridElement, HybridError};
+pub use local::{DacsAe, DacsError, DacsHost, MemPerm, RemoteMem, SPE_LIB_FOOTPRINT};

@@ -1,0 +1,553 @@
+//! DaCS local level: a Host Element (the PPE) managing Accelerator
+//! Elements (its SPEs).
+//!
+//! Mirrors the Cell SDK library the paper evaluates against: remote memory
+//! regions created by the host and queried by accelerators, `dacs_put` /
+//! `dacs_get` transfers with work-item waits, and parent↔child mailbox
+//! messages. Two properties the paper calls out are reproduced
+//! deliberately: **no direct AE↔AE communication** (the hierarchy is
+//! strict), and a large SPE-resident library footprint
+//! ([`SPE_LIB_FOOTPRINT`] = 36 600 bytes vs CellPilot's 10 336).
+
+use cp_cellsim::{CellNode, DmaDir, Ea, SpeRunError};
+use cp_des::{Pid, ProcCtx};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bytes of SPE local store `libdacs.a` occupies (paper Section V).
+pub const SPE_LIB_FOOTPRINT: usize = 36_600;
+
+/// Permissions of a remote memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPerm {
+    /// Accelerators may only read the region.
+    ReadOnly,
+    /// Accelerators may read and write.
+    ReadWrite,
+}
+
+/// A handle to a host-created remote memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteMem(pub u32);
+
+/// Errors from the DaCS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DacsError {
+    /// Unknown remote memory handle.
+    NoSuchMem(u32),
+    /// Write attempted on a read-only region.
+    PermissionDenied(u32),
+    /// Access outside the region.
+    OutOfRange {
+        /// The region id.
+        mem: u32,
+        /// Offset of the offending access.
+        offset: usize,
+        /// Its length.
+        len: usize,
+    },
+    /// Underlying SPE start failure.
+    Spe(SpeRunError),
+    /// Underlying DMA failure.
+    Dma(String),
+}
+
+impl std::fmt::Display for DacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DacsError::NoSuchMem(id) => write!(f, "dacs: no such remote mem {id}"),
+            DacsError::PermissionDenied(id) => {
+                write!(f, "dacs: remote mem {id} is read-only")
+            }
+            DacsError::OutOfRange { mem, offset, len } => {
+                write!(
+                    f,
+                    "dacs: access [{offset}..+{len}] outside remote mem {mem}"
+                )
+            }
+            DacsError::Spe(e) => write!(f, "dacs: {e}"),
+            DacsError::Dma(e) => write!(f, "dacs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DacsError {}
+
+impl From<SpeRunError> for DacsError {
+    fn from(e: SpeRunError) -> Self {
+        DacsError::Spe(e)
+    }
+}
+
+struct MemRegion {
+    base: Ea,
+    len: usize,
+    perm: MemPerm,
+}
+
+struct DacsShared {
+    cell: Arc<CellNode>,
+    mems: Mutex<HashMap<u32, MemRegion>>,
+    next_mem: Mutex<u32>,
+}
+
+/// The Host Element handle (`dacs_init` on the PPE).
+pub struct DacsHost {
+    shared: Arc<DacsShared>,
+}
+
+/// The Accelerator Element handle given to an SPE program started with
+/// [`DacsHost::de_start`].
+pub struct DacsAe {
+    shared: Arc<DacsShared>,
+    hw: usize,
+    ctx: ProcCtx,
+}
+
+impl DacsHost {
+    /// Initialize the DaCS runtime for one Cell node.
+    pub fn init(cell: Arc<CellNode>) -> DacsHost {
+        DacsHost {
+            shared: Arc::new(DacsShared {
+                cell,
+                mems: Mutex::new(HashMap::new()),
+                next_mem: Mutex::new(1),
+            }),
+        }
+    }
+
+    /// How many accelerators can be reserved (`dacs_get_num_avail_children`).
+    pub fn num_available_children(&self) -> usize {
+        self.shared.cell.spe_count()
+    }
+
+    /// `dacs_remote_mem_create`: share `len` bytes of host memory at `base`
+    /// with the accelerators.
+    pub fn remote_mem_create(&self, base: Ea, len: usize, perm: MemPerm) -> RemoteMem {
+        let mut next = self.shared.next_mem.lock();
+        let id = *next;
+        *next += 1;
+        self.shared
+            .mems
+            .lock()
+            .insert(id, MemRegion { base, len, perm });
+        RemoteMem(id)
+    }
+
+    /// `dacs_remote_mem_release`.
+    pub fn remote_mem_release(&self, mem: RemoteMem) -> Result<(), DacsError> {
+        self.shared
+            .mems
+            .lock()
+            .remove(&mem.0)
+            .map(|_| ())
+            .ok_or(DacsError::NoSuchMem(mem.0))
+    }
+
+    /// `dacs_de_start`: load and run an accelerator program on SPE `hw`.
+    /// The DaCS SPE library's [`SPE_LIB_FOOTPRINT`] is reserved in the
+    /// local store on top of the program image.
+    pub fn de_start<F>(
+        &self,
+        ctx: &ProcCtx,
+        hw: usize,
+        name: &str,
+        image_bytes: usize,
+        body: F,
+    ) -> Result<Pid, DacsError>
+    where
+        F: FnOnce(&DacsAe) + Send + 'static,
+    {
+        let shared = self.shared.clone();
+        let pid = self.shared.cell.start_spe(
+            ctx,
+            hw,
+            name,
+            image_bytes + SPE_LIB_FOOTPRINT,
+            move |sctx| {
+                let ae = DacsAe {
+                    shared,
+                    hw,
+                    ctx: sctx.clone(),
+                };
+                body(&ae);
+            },
+        )?;
+        Ok(pid)
+    }
+
+    /// Host-side mailbox send to accelerator `hw` (`dacs_mailbox_write`).
+    pub fn mailbox_write(&self, ctx: &ProcCtx, hw: usize, word: u32) {
+        let cell = &self.shared.cell;
+        cell.spes[hw].mbox.ppe_write_inbox(ctx, &cell.costs, word);
+    }
+
+    /// Host-side blocking mailbox read from accelerator `hw`.
+    pub fn mailbox_read(&self, ctx: &ProcCtx, hw: usize) -> u32 {
+        let cell = &self.shared.cell;
+        cell.spes[hw].mbox.ppe_read_outbox(ctx, &cell.costs)
+    }
+
+    /// The underlying Cell node (for host-side buffer management).
+    pub fn cell(&self) -> &Arc<CellNode> {
+        &self.shared.cell
+    }
+
+    /// DaCS's "limited support for collective operations, scatter and
+    /// gather, between the PPE and a list of SPEs" (paper §II.B): stage
+    /// one part per accelerator in host memory and hand each its region
+    /// id + length through the mailbox. Each AE completes the operation
+    /// with [`DacsAe::scatter_recv`].
+    pub fn scatter(
+        &self,
+        ctx: &ProcCtx,
+        aes: &[usize],
+        parts: &[Vec<u8>],
+    ) -> Result<(), DacsError> {
+        assert_eq!(aes.len(), parts.len(), "one part per accelerator");
+        for (&hw, part) in aes.iter().zip(parts) {
+            let len = part.len().max(1);
+            let base = self
+                .shared
+                .cell
+                .mem
+                .alloc((len + 15) & !15, 16)
+                .map_err(|e| DacsError::Dma(e.to_string()))?;
+            self.shared
+                .cell
+                .mem
+                .write(base.0 as usize, part)
+                .map_err(|e| DacsError::Dma(e.to_string()))?;
+            let mem = self.remote_mem_create(base, (len + 15) & !15, MemPerm::ReadOnly);
+            self.mailbox_write(ctx, hw, mem.0);
+            self.mailbox_write(ctx, hw, part.len() as u32);
+        }
+        Ok(())
+    }
+
+    /// Gather counterpart: create a writable region per accelerator,
+    /// announce it, and collect once every AE acknowledges its
+    /// [`DacsAe::gather_send`].
+    pub fn gather(
+        &self,
+        ctx: &ProcCtx,
+        aes: &[usize],
+        bytes_per_ae: usize,
+    ) -> Result<Vec<Vec<u8>>, DacsError> {
+        let padded = (bytes_per_ae.max(1) + 15) & !15;
+        let mut regions = Vec::new();
+        for &hw in aes {
+            let base = self
+                .shared
+                .cell
+                .mem
+                .alloc(padded, 16)
+                .map_err(|e| DacsError::Dma(e.to_string()))?;
+            let mem = self.remote_mem_create(base, padded, MemPerm::ReadWrite);
+            self.mailbox_write(ctx, hw, mem.0);
+            self.mailbox_write(ctx, hw, bytes_per_ae as u32);
+            regions.push((base, mem));
+        }
+        let mut out = Vec::with_capacity(aes.len());
+        for (&hw, (base, mem)) in aes.iter().zip(&regions) {
+            let ack = self.mailbox_read(ctx, hw);
+            debug_assert_eq!(ack, mem.0, "AE acknowledges its region");
+            let data = self
+                .shared
+                .cell
+                .mem
+                .read(base.0 as usize, bytes_per_ae)
+                .map_err(|e| DacsError::Dma(e.to_string()))?;
+            self.remote_mem_release(*mem)?;
+            out.push(data);
+        }
+        Ok(out)
+    }
+}
+
+impl DacsAe {
+    /// My accelerator index.
+    pub fn index(&self) -> usize {
+        self.hw
+    }
+
+    /// The simulated-process context.
+    pub fn ctx(&self) -> &ProcCtx {
+        &self.ctx
+    }
+
+    /// `dacs_remote_mem_query`: size of a shared region.
+    pub fn remote_mem_query(&self, mem: RemoteMem) -> Result<usize, DacsError> {
+        self.shared
+            .mems
+            .lock()
+            .get(&mem.0)
+            .map(|r| r.len)
+            .ok_or(DacsError::NoSuchMem(mem.0))
+    }
+
+    fn region(
+        &self,
+        mem: RemoteMem,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Ea, MemPerm), DacsError> {
+        let mems = self.shared.mems.lock();
+        let r = mems.get(&mem.0).ok_or(DacsError::NoSuchMem(mem.0))?;
+        if offset + len > r.len {
+            return Err(DacsError::OutOfRange {
+                mem: mem.0,
+                offset,
+                len,
+            });
+        }
+        Ok((r.base.offset(offset as u64), r.perm))
+    }
+
+    /// `dacs_put`: local store → remote memory under work id `wid`.
+    pub fn put(
+        &self,
+        mem: RemoteMem,
+        offset: usize,
+        ls_addr: usize,
+        len: usize,
+        wid: u32,
+    ) -> Result<(), DacsError> {
+        let (ea, perm) = self.region(mem, offset, len)?;
+        if perm != MemPerm::ReadWrite {
+            return Err(DacsError::PermissionDenied(mem.0));
+        }
+        self.shared
+            .cell
+            .dma(&self.ctx, self.hw, DmaDir::Put, wid, ls_addr, ea, len)
+            .map_err(|e| DacsError::Dma(e.to_string()))
+    }
+
+    /// `dacs_get`: remote memory → local store under work id `wid`.
+    pub fn get(
+        &self,
+        mem: RemoteMem,
+        offset: usize,
+        ls_addr: usize,
+        len: usize,
+        wid: u32,
+    ) -> Result<(), DacsError> {
+        let (ea, _) = self.region(mem, offset, len)?;
+        self.shared
+            .cell
+            .dma(&self.ctx, self.hw, DmaDir::Get, wid, ls_addr, ea, len)
+            .map_err(|e| DacsError::Dma(e.to_string()))
+    }
+
+    /// `dacs_wait`: block until the work id's transfers complete.
+    pub fn wait(&self, wid: u32) {
+        self.shared.cell.dma_wait(&self.ctx, self.hw, 1 << wid);
+    }
+
+    /// Accelerator-side mailbox send to the host.
+    pub fn mailbox_write(&self, word: u32) {
+        let cell = &self.shared.cell;
+        cell.spes[self.hw]
+            .mbox
+            .spu_write_outbox(&self.ctx, &cell.costs, word);
+    }
+
+    /// Accelerator-side blocking mailbox read from the host.
+    pub fn mailbox_read(&self) -> u32 {
+        let cell = &self.shared.cell;
+        cell.spes[self.hw]
+            .mbox
+            .spu_read_inbox(&self.ctx, &cell.costs)
+    }
+
+    /// My local store.
+    pub fn local_store(&self) -> &cp_cellsim::LocalStore {
+        &self.shared.cell.spes[self.hw].ls
+    }
+
+    /// Receive this accelerator's part of a [`DacsHost::scatter`].
+    pub fn scatter_recv(&self) -> Result<Vec<u8>, DacsError> {
+        let mem = RemoteMem(self.mailbox_read());
+        let len = self.mailbox_read() as usize;
+        let padded = (len.max(1) + 15) & !15;
+        let ls = self
+            .local_store()
+            .alloc(padded, 16)
+            .map_err(|e| DacsError::Dma(e.to_string()))?;
+        self.get(mem, 0, ls, padded, 0)?;
+        self.wait(0);
+        let data = self
+            .local_store()
+            .read(ls, len)
+            .map_err(|e| DacsError::Dma(e.to_string()))?;
+        let _ = self.local_store().free(ls);
+        Ok(data)
+    }
+
+    /// Contribute this accelerator's part to a [`DacsHost::gather`].
+    pub fn gather_send(&self, data: &[u8]) -> Result<(), DacsError> {
+        let mem = RemoteMem(self.mailbox_read());
+        let expect = self.mailbox_read() as usize;
+        assert_eq!(data.len(), expect, "gather contribution length");
+        let padded = (expect.max(1) + 15) & !15;
+        let ls = self
+            .local_store()
+            .alloc(padded, 16)
+            .map_err(|e| DacsError::Dma(e.to_string()))?;
+        self.local_store()
+            .write(ls, data)
+            .map_err(|e| DacsError::Dma(e.to_string()))?;
+        self.put(mem, 0, ls, padded, 0)?;
+        self.wait(0);
+        let _ = self.local_store().free(ls);
+        self.mailbox_write(mem.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_cellsim::CellCosts;
+    use cp_des::Simulation;
+
+    fn host() -> (Arc<CellNode>, DacsHost) {
+        let cell = CellNode::new(0, 8, 1 << 20, CellCosts::default());
+        (cell.clone(), DacsHost::init(cell))
+    }
+
+    #[test]
+    fn footprint_is_much_larger_than_cellpilot() {
+        assert_eq!(SPE_LIB_FOOTPRINT, 36_600);
+        const { assert!(SPE_LIB_FOOTPRINT > 3 * 10_336) };
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_remote_mem() {
+        let (cell, host) = host();
+        let mut sim = Simulation::new();
+        sim.spawn("he", move |ctx| {
+            let base = cell.mem.alloc(256, 16).unwrap();
+            cell.mem.write(base.0 as usize, &[7u8; 64]).unwrap();
+            let mem = host.remote_mem_create(base, 256, MemPerm::ReadWrite);
+            let pid = host
+                .de_start(ctx, 0, "ae", 4096, move |ae| {
+                    assert_eq!(ae.remote_mem_query(mem).unwrap(), 256);
+                    let ls = ae.local_store().alloc(64, 16).unwrap();
+                    ae.get(mem, 0, ls, 64, 3).unwrap();
+                    ae.wait(3);
+                    let data = ae.local_store().read(ls, 64).unwrap();
+                    assert_eq!(data, vec![7u8; 64]);
+                    // Transform and put back at offset 64.
+                    ae.local_store().write(ls, &[9u8; 64]).unwrap();
+                    ae.put(mem, 64, ls, 64, 4).unwrap();
+                    ae.wait(4);
+                    ae.mailbox_write(1);
+                })
+                .unwrap();
+            assert_eq!(host.mailbox_read(ctx, 0), 1);
+            let out = cell.mem.read(base.0 as usize + 64, 64).unwrap();
+            assert_eq!(out, vec![9u8; 64]);
+            ctx.join(pid);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn read_only_region_rejects_put() {
+        let (cell, host) = host();
+        let mut sim = Simulation::new();
+        sim.spawn("he", move |ctx| {
+            let base = cell.mem.alloc(64, 16).unwrap();
+            let mem = host.remote_mem_create(base, 64, MemPerm::ReadOnly);
+            let pid = host
+                .de_start(ctx, 0, "ae", 4096, move |ae| {
+                    let ls = ae.local_store().alloc(16, 16).unwrap();
+                    assert_eq!(
+                        ae.put(mem, 0, ls, 16, 0),
+                        Err(DacsError::PermissionDenied(mem.0))
+                    );
+                    assert!(ae.get(mem, 0, ls, 16, 0).is_ok());
+                    assert!(matches!(
+                        ae.get(mem, 60, ls, 16, 0),
+                        Err(DacsError::OutOfRange { .. })
+                    ));
+                })
+                .unwrap();
+            ctx.join(pid);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn released_mem_is_gone() {
+        let (cell, host) = host();
+        let mut sim = Simulation::new();
+        sim.spawn("he", move |ctx| {
+            let base = cell.mem.alloc(64, 16).unwrap();
+            let mem = host.remote_mem_create(base, 64, MemPerm::ReadWrite);
+            host.remote_mem_release(mem).unwrap();
+            assert_eq!(
+                host.remote_mem_release(mem),
+                Err(DacsError::NoSuchMem(mem.0))
+            );
+            let pid = host
+                .de_start(ctx, 0, "ae", 4096, move |ae| {
+                    assert_eq!(ae.remote_mem_query(mem), Err(DacsError::NoSuchMem(mem.0)));
+                })
+                .unwrap();
+            ctx.join(pid);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn host_scatter_gather_over_ae_list() {
+        let (cell, host) = host();
+        let mut sim = Simulation::new();
+        sim.spawn("he", move |ctx| {
+            let aes = [0usize, 1, 2];
+            let mut pids = Vec::new();
+            for &hw in &aes {
+                let pid = host
+                    .de_start(ctx, hw, "worker", 4096, move |ae| {
+                        let part = ae.scatter_recv().unwrap();
+                        // Double every byte and send it back.
+                        let out: Vec<u8> = part.iter().map(|&b| b.wrapping_mul(2)).collect();
+                        ae.gather_send(&out).unwrap();
+                    })
+                    .unwrap();
+                pids.push(pid);
+            }
+            let parts: Vec<Vec<u8>> = (0..3).map(|k| vec![(k + 1) as u8; 32]).collect();
+            host.scatter(ctx, &aes, &parts).unwrap();
+            let gathered = host.gather(ctx, &aes, 32).unwrap();
+            for (k, g) in gathered.iter().enumerate() {
+                assert_eq!(g, &vec![((k + 1) * 2) as u8; 32]);
+            }
+            for p in pids {
+                ctx.join(p);
+            }
+            let _ = cell;
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dacs_footprint_squeezes_local_store() {
+        // With libdacs resident, a program image that fits under CellPilot
+        // no longer fits under DaCS.
+        let (cell, host) = host();
+        let mut sim = Simulation::new();
+        sim.spawn("he", move |ctx| {
+            let big_image = 256 * 1024 - SPE_LIB_FOOTPRINT + 1;
+            match host.de_start(ctx, 0, "too-big", big_image, |_| {}) {
+                Err(DacsError::Spe(SpeRunError::ImageTooLarge { .. })) => {}
+                other => panic!("expected ImageTooLarge, got {other:?}"),
+            }
+            let _ = cell;
+        });
+        sim.run().unwrap();
+    }
+}

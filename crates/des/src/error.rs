@@ -1,0 +1,111 @@
+//! Simulation outcomes and error reporting.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifier of a simulated process within one [`crate::Simulation`].
+pub type Pid = usize;
+
+/// Why a simulation ended unsuccessfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Every runnable process is blocked and no future event can wake one.
+    ///
+    /// This is the simulation-level analogue of the circular-wait hangs that
+    /// Pilot's deadlock-detection service diagnoses on a real cluster.
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// `(pid, process name, blocking reason)` for every blocked process.
+        blocked: Vec<(Pid, String, String)>,
+    },
+    /// A simulated process panicked (a bug in user code or the library).
+    ProcessPanicked {
+        /// The panicking process.
+        pid: Pid,
+        /// Its registered name.
+        name: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A process requested an abort (e.g. a Pilot API-misuse diagnostic).
+    Aborted {
+        /// The aborting process.
+        pid: Pid,
+        /// Its registered name.
+        name: String,
+        /// The abort diagnostic.
+        message: String,
+    },
+    /// Virtual time passed the limit set with
+    /// [`crate::Simulation::set_time_limit`].
+    TimeLimitExceeded {
+        /// The configured limit.
+        limit: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                writeln!(f, "simulation deadlock at {at}: all processes blocked")?;
+                for (pid, name, reason) in blocked {
+                    writeln!(f, "  [{pid}] {name}: blocked on {reason}")?;
+                }
+                Ok(())
+            }
+            SimError::ProcessPanicked { pid, name, message } => {
+                write!(f, "process [{pid}] {name} panicked: {message}")
+            }
+            SimError::Aborted { pid, name, message } => {
+                write!(f, "process [{pid}] {name} aborted: {message}")
+            }
+            SimError::TimeLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the virtual time limit ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time when the last process finished.
+    pub end_time: SimTime,
+    /// Total number of processes that ran.
+    pub processes: usize,
+    /// Total number of scheduler dispatches (context switches).
+    pub dispatches: u64,
+    /// Dispatch trace `(time, pid)` if tracing was enabled.
+    pub trace: Option<Vec<(SimTime, Pid)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_lists_processes() {
+        let e = SimError::Deadlock {
+            at: SimTime(2_000),
+            blocked: vec![(1, "reader".into(), "channel c0 read".into())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("reader"));
+        assert!(s.contains("channel c0 read"));
+    }
+
+    #[test]
+    fn abort_display() {
+        let e = SimError::Aborted {
+            pid: 3,
+            name: "main".into(),
+            message: "PI_Write: not an endpoint".into(),
+        };
+        assert!(e.to_string().contains("not an endpoint"));
+    }
+}

@@ -1,0 +1,719 @@
+//! The discrete-event kernel: virtual clock, event queue, and cooperative
+//! scheduling of thread-backed simulated processes.
+//!
+//! # Execution model
+//!
+//! Every simulated process runs on its own OS thread, but the kernel grants
+//! the CPU to **exactly one** process at a time, always the one owning the
+//! earliest `(virtual_time, sequence)` event in the queue. A process gives up
+//! the CPU only inside kernel calls ([`ProcCtx::advance`], [`ProcCtx::block`],
+//! [`ProcCtx::join`], or process exit), so between kernel calls a process may
+//! freely mutate shared state without data races *or* lost determinism: the
+//! interleaving is a pure function of the event timestamps and spawn order.
+//!
+//! If the event queue drains while unfinished processes remain, every one of
+//! them is blocked with no possible waker: the kernel reports a
+//! [`SimError::Deadlock`] naming each process and its blocking reason.
+
+use crate::error::{Pid, SimError, SimReport};
+use crate::time::{SimDuration, SimTime};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Payload used to unwind a simulated process when the simulation is torn
+/// down early (deadlock, abort, or another process panicking).
+struct SimUnwind;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Has an event in the queue; parked until that event is dispatched.
+    Waiting,
+    /// Currently owns the virtual CPU.
+    Running,
+    /// Parked with no queued event; needs an `unblock` to become Waiting.
+    Blocked(String),
+    /// Thread has exited.
+    Finished,
+    /// Simulation is tearing down; parked threads must unwind on wake.
+    Poisoned,
+}
+
+struct ProcSlot {
+    name: String,
+    status: Status,
+    /// Wake permits delivered while the process was not blocked; consumed by
+    /// the next `block` call without yielding.
+    pending_wakes: u32,
+    /// Processes blocked in `join` on this process.
+    join_waiters: Vec<Pid>,
+    cv: Arc<Condvar>,
+}
+
+enum Outcome {
+    Completed,
+    Failed(SimError),
+}
+
+struct KState {
+    now: SimTime,
+    limit: Option<SimTime>,
+    next_seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, Pid)>>,
+    procs: Vec<ProcSlot>,
+    /// Number of processes not yet Finished.
+    live: usize,
+    /// True while some process owns the virtual CPU.
+    cpu_busy: bool,
+    outcome: Option<Outcome>,
+    dispatches: u64,
+    trace: Option<Vec<(SimTime, Pid)>>,
+}
+
+pub(crate) struct Kernel {
+    state: Mutex<KState>,
+    done_cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Kernel {
+    fn new(trace: bool) -> Kernel {
+        Kernel {
+            state: Mutex::new(KState {
+                now: SimTime::ZERO,
+                limit: None,
+                next_seq: 0,
+                queue: BinaryHeap::new(),
+                procs: Vec::new(),
+                live: 0,
+                cpu_busy: false,
+                outcome: None,
+                dispatches: 0,
+                trace: if trace { Some(Vec::new()) } else { None },
+            }),
+            done_cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Push an event waking `pid` at time `at`.
+    fn push_event(st: &mut KState, at: SimTime, pid: Pid) {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(Reverse((at.0, seq, pid)));
+    }
+
+    /// Hand the virtual CPU to the owner of the earliest event, or end the
+    /// simulation (completion or deadlock). Caller must have already released
+    /// the CPU (`cpu_busy == false`).
+    fn dispatch(&self, st: &mut KState) {
+        debug_assert!(!st.cpu_busy);
+        if st.outcome.is_some() {
+            return;
+        }
+        while let Some(Reverse((t, _seq, pid))) = st.queue.pop() {
+            // Events for finished processes can linger if a process was
+            // unblocked and then torn down; skip them.
+            if st.procs[pid].status != Status::Waiting {
+                continue;
+            }
+            debug_assert!(t >= st.now.0, "event queue went backwards");
+            if let Some(limit) = st.limit {
+                if SimTime(t) > limit {
+                    let err = SimError::TimeLimitExceeded { limit };
+                    self.fail(st, err);
+                    return;
+                }
+            }
+            st.now = SimTime(t);
+            st.procs[pid].status = Status::Running;
+            st.cpu_busy = true;
+            st.dispatches += 1;
+            if let Some(trace) = st.trace.as_mut() {
+                trace.push((st.now, pid));
+            }
+            st.procs[pid].cv.notify_one();
+            return;
+        }
+        // No runnable event. Either everything finished or we are deadlocked.
+        if st.live == 0 {
+            st.outcome = Some(Outcome::Completed);
+        } else {
+            let blocked = st
+                .procs
+                .iter()
+                .enumerate()
+                .filter_map(|(pid, p)| match &p.status {
+                    Status::Blocked(reason) => Some((pid, p.name.clone(), reason.clone())),
+                    _ => None,
+                })
+                .collect();
+            st.outcome = Some(Outcome::Failed(SimError::Deadlock {
+                at: st.now,
+                blocked,
+            }));
+            self.poison(st);
+        }
+        self.done_cv.notify_all();
+    }
+
+    /// Mark all parked processes poisoned and wake them so their threads can
+    /// unwind and exit.
+    fn poison(&self, st: &mut KState) {
+        for p in st.procs.iter_mut() {
+            match p.status {
+                Status::Waiting | Status::Blocked(_) => {
+                    p.status = Status::Poisoned;
+                    p.cv.notify_one();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Park the calling process until it is granted the CPU. Must be called
+    /// with `pid`'s status already set to Waiting/Blocked and the CPU
+    /// released. Unwinds if the simulation is tearing down.
+    fn park(&self, pid: Pid) {
+        let cv = {
+            let st = self.state.lock();
+            st.procs[pid].cv.clone()
+        };
+        let mut st = self.state.lock();
+        loop {
+            match &st.procs[pid].status {
+                Status::Running => return,
+                Status::Poisoned => {
+                    drop(st);
+                    // resume_unwind skips the panic hook: teardown unwinds are
+                    // expected control flow, not reportable panics.
+                    panic::resume_unwind(Box::new(SimUnwind));
+                }
+                _ => cv.wait(&mut st),
+            }
+        }
+    }
+
+    fn fail(&self, st: &mut KState, err: SimError) {
+        if st.outcome.is_none() {
+            st.outcome = Some(Outcome::Failed(err));
+        }
+        self.poison(st);
+        self.done_cv.notify_all();
+    }
+}
+
+/// Handle a simulated process uses to interact with the virtual world.
+///
+/// A `ProcCtx` is passed by reference into every process closure. It is also
+/// `Clone` so library layers can stash copies inside connection objects.
+#[derive(Clone)]
+pub struct ProcCtx {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProcCtx(pid={})", self.pid)
+    }
+}
+
+impl ProcCtx {
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's registered name.
+    pub fn name(&self) -> String {
+        self.kernel.state.lock().procs[self.pid].name.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// Spend `d` of virtual time (the process "computes" for that long).
+    /// Other processes with earlier events run meanwhile.
+    pub fn advance(&self, d: SimDuration) {
+        {
+            let mut st = self.kernel.state.lock();
+            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
+            let at = st.now + d;
+            Kernel::push_event(&mut st, at, self.pid);
+            st.procs[self.pid].status = Status::Waiting;
+            st.cpu_busy = false;
+            self.kernel.dispatch(&mut st);
+        }
+        self.kernel.park(self.pid);
+    }
+
+    /// Yield the CPU without consuming virtual time. Any same-time events
+    /// queued earlier run first.
+    pub fn yield_now(&self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Park this process until another process calls [`ProcCtx::unblock`] on
+    /// it. `reason` appears in deadlock diagnostics.
+    ///
+    /// If an unblock was already delivered while this process was running
+    /// (a "pending wake"), the call consumes it and returns immediately.
+    pub fn block(&self, reason: &str) {
+        {
+            let mut st = self.kernel.state.lock();
+            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
+            if st.procs[self.pid].pending_wakes > 0 {
+                st.procs[self.pid].pending_wakes -= 1;
+                return;
+            }
+            st.procs[self.pid].status = Status::Blocked(reason.to_string());
+            st.cpu_busy = false;
+            self.kernel.dispatch(&mut st);
+        }
+        self.kernel.park(self.pid);
+    }
+
+    /// Wake `pid` no earlier than `delay` from now. If `pid` is not currently
+    /// blocked, a pending wake is recorded instead (and the delay is dropped:
+    /// the target was busy, so the waker's latency has already been absorbed
+    /// by whatever the target was doing).
+    pub fn unblock(&self, pid: Pid, delay: SimDuration) {
+        let mut st = self.kernel.state.lock();
+        let at = st.now + delay;
+        match st.procs[pid].status {
+            Status::Blocked(_) => {
+                st.procs[pid].status = Status::Waiting;
+                Kernel::push_event(&mut st, at, pid);
+            }
+            Status::Finished | Status::Poisoned => {}
+            _ => st.procs[pid].pending_wakes += 1,
+        }
+    }
+
+    /// Spawn a new simulated process. It becomes runnable at the current
+    /// virtual time (after the caller next yields).
+    pub fn spawn<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let kernel = self.kernel.clone();
+        spawn_process(&kernel, name, f)
+    }
+
+    /// Block until process `pid` finishes.
+    pub fn join(&self, pid: Pid) {
+        loop {
+            {
+                let mut st = self.kernel.state.lock();
+                if st.procs[pid].status == Status::Finished {
+                    return;
+                }
+                let me = self.pid;
+                st.procs[pid].join_waiters.push(me);
+            }
+            self.block(&format!("join(pid={pid})"));
+        }
+    }
+
+    /// Abort the whole simulation with a diagnostic (used for fatal API
+    /// misuse, mirroring Pilot's abort-with-message behaviour). Unwinds the
+    /// calling process and never returns.
+    pub fn abort(&self, message: &str) -> ! {
+        {
+            let mut st = self.kernel.state.lock();
+            let err = SimError::Aborted {
+                pid: self.pid,
+                name: st.procs[self.pid].name.clone(),
+                message: message.to_string(),
+            };
+            self.kernel.fail(&mut st, err);
+        }
+        panic::resume_unwind(Box::new(SimUnwind));
+    }
+}
+
+fn spawn_process<F>(kernel: &Arc<Kernel>, name: &str, f: F) -> Pid
+where
+    F: FnOnce(&ProcCtx) + Send + 'static,
+{
+    let pid;
+    {
+        let mut st = kernel.state.lock();
+        pid = st.procs.len();
+        st.procs.push(ProcSlot {
+            name: name.to_string(),
+            status: Status::Waiting,
+            pending_wakes: 0,
+            join_waiters: Vec::new(),
+            cv: Arc::new(Condvar::new()),
+        });
+        st.live += 1;
+        let now = st.now;
+        Kernel::push_event(&mut st, now, pid);
+    }
+    let kern = kernel.clone();
+    let tname = name.to_string();
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{tname}"))
+        .spawn(move || {
+            let ctx = ProcCtx {
+                kernel: kern.clone(),
+                pid,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                kern.park(pid);
+                f(&ctx)
+            }));
+            let mut st = kern.state.lock();
+            st.procs[pid].status = Status::Finished;
+            st.live -= 1;
+            let waiters = std::mem::take(&mut st.procs[pid].join_waiters);
+            let now = st.now;
+            for w in waiters {
+                match st.procs[w].status {
+                    Status::Blocked(_) => {
+                        st.procs[w].status = Status::Waiting;
+                        Kernel::push_event(&mut st, now, w);
+                    }
+                    Status::Finished | Status::Poisoned => {}
+                    _ => st.procs[w].pending_wakes += 1,
+                }
+            }
+            if let Err(payload) = result {
+                if payload.downcast_ref::<SimUnwind>().is_none() {
+                    // A genuine panic in user/library code: fail the run.
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    let name = st.procs[pid].name.clone();
+                    kern.fail(&mut st, SimError::ProcessPanicked { pid, name, message });
+                }
+            }
+            st.cpu_busy = false;
+            kern.dispatch(&mut st);
+        })
+        .expect("failed to spawn simulation thread");
+    kernel.handles.lock().push(handle);
+    pid
+}
+
+/// A complete simulation: build it, spawn root processes, then [`run`].
+///
+/// [`run`]: Simulation::run
+///
+/// # Example
+///
+/// ```
+/// use cp_des::{Simulation, SimDuration};
+///
+/// let mut sim = Simulation::new();
+/// sim.spawn("hello", |ctx| {
+///     ctx.advance(SimDuration::from_micros(10));
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time.as_micros_f64(), 10.0);
+/// ```
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// A fresh simulation with the clock at zero.
+    pub fn new() -> Simulation {
+        Simulation {
+            kernel: Arc::new(Kernel::new(false)),
+        }
+    }
+
+    /// A fresh simulation that records a `(time, pid)` dispatch trace, for
+    /// determinism checks.
+    pub fn with_trace() -> Simulation {
+        Simulation {
+            kernel: Arc::new(Kernel::new(true)),
+        }
+    }
+
+    /// Fail the run with [`SimError::TimeLimitExceeded`] if virtual time
+    /// would pass `limit` — a guard against runaway or livelocked
+    /// simulations (e.g. a service process polling forever).
+    pub fn set_time_limit(&mut self, limit: SimTime) {
+        self.kernel.state.lock().limit = Some(limit);
+    }
+
+    /// Spawn a root process, runnable at t = 0.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, name, f)
+    }
+
+    /// Drive the simulation to completion, returning the report or the first
+    /// failure (deadlock, panic, or abort).
+    pub fn run(self) -> Result<SimReport, SimError> {
+        {
+            let mut st = self.kernel.state.lock();
+            self.kernel.dispatch(&mut st);
+            while st.outcome.is_none() {
+                self.kernel.done_cv.wait(&mut st);
+            }
+        }
+        // All processes are finished or poisoned; join their threads.
+        let handles = std::mem::take(&mut *self.kernel.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.kernel.state.lock();
+        match st.outcome.take().expect("outcome present") {
+            Outcome::Completed => Ok(SimReport {
+                end_time: st.now,
+                processes: st.procs.len(),
+                dispatches: st.dispatches,
+                trace: st.trace.take(),
+            }),
+            Outcome::Failed(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_advances_clock() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimDuration::from_micros(3));
+            assert_eq!(ctx.now().as_nanos(), 3_000);
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.end_time.as_nanos(), 3_000);
+        assert_eq!(r.processes, 1);
+    }
+
+    #[test]
+    fn processes_interleave_in_time_order() {
+        let log: Arc<PMutex<Vec<(&'static str, u64)>>> = Arc::new(PMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (name, step) in [("a", 10u64), ("b", 15u64)] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                for _ in 0..3 {
+                    ctx.advance(SimDuration::from_micros(step));
+                    log.lock().push((name, ctx.now().as_nanos() / 1000));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", 10),
+                ("b", 15),
+                ("a", 20),
+                // At the t=30 tie, b enqueued its event first (at t=15, vs
+                // a's at t=20), so b's lower sequence number wins.
+                ("b", 30),
+                ("a", 30),
+                ("b", 45)
+            ]
+        );
+    }
+
+    #[test]
+    fn block_unblock_roundtrip() {
+        let mut sim = Simulation::new();
+        let mut ids = Vec::new();
+        let flag = Arc::new(PMutex::new(false));
+        let f2 = flag.clone();
+        ids.push(0); // placeholder, replaced below
+        let waiter = sim.spawn("waiter", move |ctx| {
+            ctx.block("the signal");
+            *f2.lock() = true;
+            assert_eq!(ctx.now().as_nanos(), 7_000);
+        });
+        ids[0] = waiter;
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(SimDuration::from_micros(2));
+            ctx.unblock(waiter, SimDuration::from_micros(5));
+        });
+        sim.run().unwrap();
+        assert!(*flag.lock());
+    }
+
+    #[test]
+    fn pending_wake_prevents_lost_signal() {
+        // Unblock delivered while target is running must not be lost.
+        let mut sim = Simulation::new();
+        let t = sim.spawn("t", |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            // Wake was delivered at t=1us while we were "computing".
+            ctx.block("should not actually block");
+            ctx.advance(SimDuration::from_micros(1));
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.advance(SimDuration::from_micros(1));
+            ctx.unblock(t, SimDuration::ZERO);
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.end_time.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_named() {
+        let mut sim = Simulation::new();
+        sim.spawn("stuck-a", |ctx| ctx.block("peer message"));
+        sim.spawn("stuck-b", |ctx| ctx.block("peer message"));
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 2);
+                assert!(blocked.iter().any(|(_, n, _)| n == "stuck-a"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_process_fails_run() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", |_ctx| panic!("boom {}", 42));
+        sim.spawn("innocent", |ctx| ctx.block("never"));
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message, .. }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom 42"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_reports_message() {
+        let mut sim = Simulation::new();
+        sim.spawn("aborter", |ctx| {
+            ctx.advance(SimDuration::from_micros(1));
+            ctx.abort("PI_Write: channel endpoint mismatch");
+        });
+        match sim.run() {
+            Err(SimError::Aborted { message, .. }) => {
+                assert!(message.contains("endpoint mismatch"));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spawn_nested_and_join() {
+        let mut sim = Simulation::new();
+        sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("child", |c| {
+                c.advance(SimDuration::from_micros(100));
+            });
+            ctx.join(child);
+            assert_eq!(ctx.now().as_nanos(), 100_000);
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.processes, 2);
+    }
+
+    #[test]
+    fn join_already_finished_process_returns_immediately() {
+        let mut sim = Simulation::new();
+        sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("quick", |_c| {});
+            ctx.advance(SimDuration::from_micros(50));
+            ctx.join(child);
+            assert_eq!(ctx.now().as_nanos(), 50_000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn report_counts_and_names() {
+        let mut sim = Simulation::new();
+        sim.spawn("alpha", |ctx| {
+            assert_eq!(ctx.name(), "alpha");
+            let child = ctx.spawn("beta", |c| {
+                assert_eq!(c.name(), "beta");
+                c.advance(SimDuration::from_nanos(5));
+            });
+            ctx.join(child);
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.processes, 2);
+        assert!(r.dispatches >= 3, "at least spawn/advance/join dispatches");
+        assert!(r.trace.is_none(), "tracing off by default");
+    }
+
+    #[test]
+    fn determinism_same_trace_twice() {
+        fn build() -> Simulation {
+            let mut sim = Simulation::with_trace();
+            for i in 0..5u64 {
+                sim.spawn(&format!("p{i}"), move |ctx| {
+                    for k in 0..4u64 {
+                        ctx.advance(SimDuration::from_nanos(100 + i * 37 + k));
+                    }
+                });
+            }
+            sim
+        }
+        let t1 = build().run().unwrap().trace.unwrap();
+        let t2 = build().run().unwrap().trace.unwrap();
+        assert_eq!(t1, t2);
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn time_limit_stops_runaway_simulations() {
+        let mut sim = Simulation::new();
+        sim.set_time_limit(SimTime(1_000_000));
+        sim.spawn("spinner", |ctx| loop {
+            ctx.advance(SimDuration::from_micros(10));
+        });
+        match sim.run() {
+            Err(SimError::TimeLimitExceeded { limit }) => {
+                assert_eq!(limit, SimTime(1_000_000));
+            }
+            other => panic!("expected time limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_not_hit_is_harmless() {
+        let mut sim = Simulation::new();
+        sim.set_time_limit(SimTime(1_000_000));
+        sim.spawn("quick", |ctx| ctx.advance(SimDuration::from_micros(5)));
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn yield_now_costs_no_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("y", |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Scalability guards for the kernel: many processes, deep spawning, and
+//! heavy queue traffic must stay correct (and complete promptly in wall
+//! time thanks to the one-at-a-time handoff).
+
+use cp_des::sync::MsgQueue;
+use cp_des::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn five_hundred_processes_interleave_correctly() {
+    let counter = Arc::new(Mutex::new(0u64));
+    let mut sim = Simulation::new();
+    for i in 0..500u64 {
+        let counter = counter.clone();
+        sim.spawn(&format!("p{i}"), move |ctx| {
+            for _ in 0..20 {
+                ctx.advance(SimDuration::from_nanos(1 + i % 7));
+                *counter.lock() += 1;
+            }
+        });
+    }
+    let r = sim.run().unwrap();
+    assert_eq!(*counter.lock(), 500 * 20);
+    assert_eq!(r.processes, 500);
+    // End time = slowest process: 20 * max(1 + i%7) = 20 * 7.
+    assert_eq!(r.end_time.as_nanos(), 140);
+}
+
+#[test]
+fn deep_spawn_chain() {
+    // Each process spawns the next, 200 deep, then the chain unwinds
+    // through joins.
+    fn link(ctx: &cp_des::ProcCtx, depth: u32) {
+        if depth == 0 {
+            return;
+        }
+        let child = ctx.spawn(&format!("d{depth}"), move |c| {
+            c.advance(SimDuration::from_nanos(1));
+            link(c, depth - 1);
+        });
+        ctx.join(child);
+    }
+    let mut sim = Simulation::new();
+    sim.spawn("root", |ctx| link(ctx, 200));
+    let r = sim.run().unwrap();
+    assert_eq!(r.processes, 201);
+    assert_eq!(r.end_time.as_nanos(), 200);
+}
+
+#[test]
+fn many_producers_one_consumer_under_pressure() {
+    let q: MsgQueue<u64> = MsgQueue::new("funnel", Some(4));
+    let total: u64 = 40 * 25;
+    let sum = Arc::new(Mutex::new(0u64));
+    let mut sim = Simulation::new();
+    for p in 0..40u64 {
+        let q = q.clone();
+        sim.spawn(&format!("prod{p}"), move |ctx| {
+            for k in 0..25u64 {
+                q.push(ctx, p * 1000 + k, SimDuration::from_nanos(10));
+            }
+        });
+    }
+    let (qc, s2) = (q, sum.clone());
+    sim.spawn("consumer", move |ctx| {
+        for _ in 0..total {
+            let v = qc.pop(ctx);
+            *s2.lock() += v;
+        }
+    });
+    sim.run().unwrap();
+    let expect: u64 = (0..40u64)
+        .map(|p| (0..25u64).map(|k| p * 1000 + k).sum::<u64>())
+        .sum();
+    assert_eq!(*sum.lock(), expect);
+}

@@ -1,0 +1,541 @@
+//! Collective operations: barrier, broadcast, gather, scatter, reduce,
+//! allreduce.
+//!
+//! Broadcast, barrier and reduce use binomial trees (the shape MPI
+//! implementations of the paper's era used for small messages), so their
+//! cost scales as `O(log P)` wire latencies; gather and scatter are linear
+//! at the root, which is what Open MPI 1.2.8 did for the message sizes
+//! Pilot traffics in. All collective traffic travels on reserved negative
+//! tags so it can never be confused with user point-to-point messages.
+
+use crate::datatype::{encode_slice, Datatype, LongDouble, MpiScalar};
+use crate::message::{Rank, Tag};
+use crate::world::{Comm, Msg};
+
+/// Reserved tag for barrier fan-in.
+pub const TAG_BARRIER_UP: Tag = -101;
+/// Reserved tag for barrier release.
+pub const TAG_BARRIER_DOWN: Tag = -102;
+/// Reserved tag for broadcast.
+pub const TAG_BCAST: Tag = -103;
+/// Reserved tag for gather.
+pub const TAG_GATHER: Tag = -104;
+/// Reserved tag for scatter.
+pub const TAG_SCATTER: Tag = -105;
+/// Reserved tag for reduce fan-in.
+pub const TAG_REDUCE: Tag = -106;
+/// Reserved tag for allgather.
+pub const TAG_ALLGATHER: Tag = -107;
+/// Reserved tag for alltoall.
+pub const TAG_ALLTOALL: Tag = -108;
+/// Reserved tag for scan.
+pub const TAG_SCAN: Tag = -109;
+
+/// Predefined reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+/// Scalars reducible with the predefined operators.
+pub trait ReduceScalar: MpiScalar {
+    /// Combine two values under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! reduce_int {
+    ($($t:ty),*) => {$(
+        impl ReduceScalar for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! reduce_float {
+    ($($t:ty),*) => {$(
+        impl ReduceScalar for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )*};
+}
+
+reduce_int!(u8, i16, i32, u32, i64);
+reduce_float!(f32, f64);
+
+impl ReduceScalar for LongDouble {
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        LongDouble(f64::combine(op, a.0, b.0))
+    }
+}
+
+impl Comm {
+    /// Synchronize all ranks: binomial fan-in to rank 0 followed by a
+    /// binomial release broadcast.
+    pub fn barrier(&self) {
+        let size = self.size();
+        if size <= 1 {
+            return;
+        }
+        let rank = self.rank();
+        // Fan-in: each rank waits for its subtree, then reports upward.
+        let mut mask: usize = 1;
+        while mask < size {
+            if rank & mask != 0 {
+                self.send(rank - mask, TAG_BARRIER_UP, &[0u8; 0]);
+                break;
+            }
+            if rank | mask < size {
+                let _ = self.recv(Some(rank | mask), Some(TAG_BARRIER_UP));
+            }
+            mask <<= 1;
+        }
+        // Release: binomial broadcast of a zero-byte token from rank 0.
+        self.bcast_bytes(0, TAG_BARRIER_DOWN, Datatype::Byte, 0, Vec::new());
+    }
+
+    /// Internal tree broadcast of raw bytes under the given tag. Root
+    /// passes the data; every rank returns it.
+    fn bcast_bytes(
+        &self,
+        root: Rank,
+        tag: Tag,
+        mut dtype: Datatype,
+        mut count: usize,
+        data: Vec<u8>,
+    ) -> Vec<u8> {
+        let size = self.size();
+        let rank = self.rank();
+        let relative = (rank + size - root) % size;
+        let mut buf = data;
+        // Receive from parent (the rank that differs in my lowest set bit).
+        let mut mask: usize = 1;
+        while mask < size {
+            if relative & mask != 0 {
+                let parent = ((relative - mask) + root) % size;
+                let m = self.recv(Some(parent), Some(tag));
+                dtype = m.dtype;
+                count = m.count;
+                buf = m.data;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let child = ((relative + mask) + root) % size;
+                self.send_bytes(child, tag, dtype, count, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Broadcast `data` from `root`. The root passes `Some(data)`; all
+    /// other ranks pass `None` and receive the broadcast value.
+    pub fn bcast<T: MpiScalar>(&self, root: Rank, data: Option<&[T]>) -> Vec<T> {
+        let (count, bytes) = if self.rank() == root {
+            let d = data.expect("root must supply broadcast data");
+            (d.len(), encode_slice(d))
+        } else {
+            (0, Vec::new())
+        };
+        let out = self.bcast_bytes(root, TAG_BCAST, T::DATATYPE, count, bytes);
+        crate::datatype::decode_slice(&out)
+    }
+
+    /// Gather every rank's contribution at `root` (linear algorithm).
+    /// Returns `Some(messages ordered by rank)` at the root, `None`
+    /// elsewhere.
+    pub fn gather<T: MpiScalar>(&self, root: Rank, data: &[T]) -> Option<Vec<Vec<T>>> {
+        if self.rank() == root {
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+            for r in 0..self.size() {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    let m: Msg = self.recv(Some(r), Some(TAG_GATHER));
+                    out.push(m.decode());
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// Scatter one part per rank from `root` (linear algorithm). The root
+    /// passes `Some(parts)` with exactly one slice per rank.
+    pub fn scatter<T: MpiScalar>(&self, root: Rank, parts: Option<&[Vec<T>]>) -> Vec<T> {
+        if self.rank() == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size(), "one part per rank");
+            for (r, part) in parts.iter().enumerate() {
+                if r != root {
+                    self.send(r, TAG_SCATTER, part);
+                }
+            }
+            parts[root].clone()
+        } else {
+            let (v, _) = self.recv_typed::<T>(Some(root), Some(TAG_SCATTER));
+            v
+        }
+    }
+
+    /// Elementwise reduction to `root` over a binomial tree. Every rank
+    /// contributes `data` (same length everywhere); the root returns
+    /// `Some(result)`.
+    pub fn reduce<T: ReduceScalar>(&self, root: Rank, op: ReduceOp, data: &[T]) -> Option<Vec<T>> {
+        let size = self.size();
+        let rank = self.rank();
+        let relative = (rank + size - root) % size;
+        let mut acc = data.to_vec();
+        let mut mask: usize = 1;
+        while mask < size {
+            if relative & mask != 0 {
+                let parent = ((relative - mask) + root) % size;
+                self.send(parent, TAG_REDUCE, &acc);
+                return None;
+            }
+            if relative | mask < size {
+                let child = ((relative | mask) + root) % size;
+                let (v, _) = self.recv_typed::<T>(Some(child), Some(TAG_REDUCE));
+                assert_eq!(
+                    v.len(),
+                    acc.len(),
+                    "reduce contributions must agree in length"
+                );
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = T::combine(op, *a, b);
+                }
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// `MPI_Allgather`: everyone contributes `data` and receives every
+    /// rank's contribution, in rank order (ring algorithm: P-1 steps, each
+    /// rank forwarding what it has not yet seen to its right neighbour).
+    pub fn allgather<T: MpiScalar>(&self, data: &[T]) -> Vec<Vec<T>> {
+        let size = self.size();
+        let rank = self.rank();
+        let mut out: Vec<Option<Vec<T>>> = vec![None; size];
+        out[rank] = Some(data.to_vec());
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        // At step s, send the block that originated at (rank - s) and
+        // receive the block that originated at (rank - s - 1).
+        for s in 0..size.saturating_sub(1) {
+            let send_origin = (rank + size - s) % size;
+            let block = out[send_origin].clone().expect("block present");
+            self.send(right, TAG_ALLGATHER, &block);
+            let (v, _) = self.recv_typed::<T>(Some(left), Some(TAG_ALLGATHER));
+            let recv_origin = (rank + size - s - 1) % size;
+            out[recv_origin] = Some(v);
+        }
+        out.into_iter()
+            .map(|b| b.expect("all blocks seen"))
+            .collect()
+    }
+
+    /// `MPI_Alltoall`: rank `i` sends `parts[j]` to rank `j` and receives
+    /// rank `j`'s `parts[i]`, returned in rank order. Pairwise-exchange
+    /// schedule (XOR pairing for power-of-two worlds, shifted ring
+    /// otherwise).
+    pub fn alltoall<T: MpiScalar>(&self, parts: &[Vec<T>]) -> Vec<Vec<T>> {
+        let size = self.size();
+        let rank = self.rank();
+        assert_eq!(parts.len(), size, "one part per rank");
+        let mut out: Vec<Option<Vec<T>>> = vec![None; size];
+        out[rank] = Some(parts[rank].clone());
+        for step in 1..size {
+            let peer = (rank + step) % size;
+            let from = (rank + size - step) % size;
+            // Lower rank of each exchanging pair sends first to avoid a
+            // rendezvous face-off on large parts.
+            self.send(peer, TAG_ALLTOALL, &parts[peer]);
+            let (v, _) = self.recv_typed::<T>(Some(from), Some(TAG_ALLTOALL));
+            out[from] = Some(v);
+        }
+        out.into_iter()
+            .map(|b| b.expect("all parts seen"))
+            .collect()
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction — rank `r` returns the
+    /// combination of ranks `0..=r`'s contributions (linear chain).
+    pub fn scan<T: ReduceScalar>(&self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let rank = self.rank();
+        let mut acc = data.to_vec();
+        if rank > 0 {
+            let (prev, _) = self.recv_typed::<T>(Some(rank - 1), Some(TAG_SCAN));
+            assert_eq!(
+                prev.len(),
+                acc.len(),
+                "scan contributions must agree in length"
+            );
+            for (a, b) in acc.iter_mut().zip(prev) {
+                *a = T::combine(op, b, *a);
+            }
+        }
+        if rank + 1 < self.size() {
+            self.send(rank + 1, TAG_SCAN, &acc);
+        }
+        acc
+    }
+
+    /// Reduce to rank 0 then broadcast the result to everyone.
+    pub fn allreduce<T: ReduceScalar>(&self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        let reduced = self.reduce(0, op, data);
+        if self.rank() == 0 {
+            self.bcast(0, Some(&reduced.expect("root has the reduction")))
+        } else {
+            self.bcast::<T>(0, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::MpiCosts;
+    use crate::world::mpirun;
+    use cp_simnet::{ClusterSpec, NodeId, NodeKind};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn spec(n: usize) -> (ClusterSpec, Vec<NodeId>) {
+        let spec = ClusterSpec {
+            nodes: vec![NodeKind::Commodity { cores: 4 }; n],
+            ..ClusterSpec::two_cells_one_xeon()
+        };
+        let placement = (0..n).map(NodeId).collect();
+        (spec, placement)
+    }
+
+    #[test]
+    fn bcast_reaches_all_ranks_from_any_root() {
+        for root in [0usize, 3, 6] {
+            let (s, p) = spec(7);
+            mpirun(&s, p, MpiCosts::default(), move |comm| {
+                let data = [11i32, 22, 33];
+                let got = if comm.rank() == root {
+                    comm.bcast(root, Some(&data))
+                } else {
+                    comm.bcast::<i32>(root, None)
+                };
+                assert_eq!(got, data);
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let (s, p) = spec(5);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let mine = [comm.rank() as u32 * 10];
+            match comm.gather(2, &mine) {
+                Some(all) => {
+                    assert_eq!(comm.rank(), 2);
+                    let flat: Vec<u32> = all.into_iter().flatten().collect();
+                    assert_eq!(flat, vec![0, 10, 20, 30, 40]);
+                }
+                None => assert_ne!(comm.rank(), 2),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let (s, p) = spec(4);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let parts: Vec<Vec<i64>> = (0..4).map(|r| vec![r as i64, r as i64 + 100]).collect();
+            let mine = if comm.rank() == 0 {
+                comm.scatter(0, Some(&parts))
+            } else {
+                comm.scatter::<i64>(0, None)
+            };
+            assert_eq!(mine, vec![comm.rank() as i64, comm.rank() as i64 + 100]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_sums_elementwise() {
+        let (s, p) = spec(6);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let mine = [comm.rank() as i32, 1];
+            match comm.reduce(0, ReduceOp::Sum, &mine) {
+                Some(total) => assert_eq!(total, vec![1 + 2 + 3 + 4 + 5, 6]),
+                None => assert_ne!(comm.rank(), 0),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_min_max_prod() {
+        let (s, p) = spec(4);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let r = comm.rank() as f64 + 1.0;
+            if let Some(v) = comm.reduce(0, ReduceOp::Min, &[r]) {
+                assert_eq!(v, vec![1.0]);
+            }
+            if let Some(v) = comm.reduce(0, ReduceOp::Max, &[r]) {
+                assert_eq!(v, vec![4.0]);
+            }
+            if let Some(v) = comm.reduce(0, ReduceOp::Prod, &[r]) {
+                assert_eq!(v, vec![24.0]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_total() {
+        let (s, p) = spec(5);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let total = comm.allreduce(ReduceOp::Sum, &[1u32]);
+            assert_eq!(total, vec![5]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allgather_collects_everything_everywhere() {
+        for n in [2usize, 3, 5, 8] {
+            let (s, p) = spec(n);
+            mpirun(&s, p, MpiCosts::default(), move |comm| {
+                let mine = vec![comm.rank() as u32, 7];
+                let all = comm.allgather(&mine);
+                assert_eq!(all.len(), n);
+                for (r, block) in all.iter().enumerate() {
+                    assert_eq!(block, &vec![r as u32, 7]);
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        for n in [2usize, 4, 5] {
+            let (s, p) = spec(n);
+            mpirun(&s, p, MpiCosts::default(), move |comm| {
+                let me = comm.rank();
+                let parts: Vec<Vec<i32>> = (0..n).map(|j| vec![(me * 100 + j) as i32]).collect();
+                let got = comm.alltoall(&parts);
+                for (j, block) in got.iter().enumerate() {
+                    assert_eq!(block, &vec![(j * 100 + me) as i32], "rank {me} from {j}");
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_is_inclusive_prefix() {
+        let (s, p) = spec(5);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let r = comm.rank() as i64;
+            let pre = comm.scan(ReduceOp::Sum, &[r + 1]);
+            // 1 + 2 + ... + (r+1)
+            assert_eq!(pre, vec![(r + 1) * (r + 2) / 2]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_aligns_virtual_times() {
+        let (s, p) = spec(4);
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t2 = times.clone();
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            // Stagger arrivals; everyone must leave at (or after) the
+            // latest arrival.
+            comm.ctx()
+                .advance(cp_des::SimDuration::from_millis(comm.rank() as u64));
+            comm.barrier();
+            t2.lock().push(comm.ctx().now().as_micros_f64());
+        })
+        .unwrap();
+        let v = times.lock();
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min >= 3000.0, "nobody leaves before the last arrival");
+    }
+
+    #[test]
+    fn collective_tags_do_not_leak_to_wildcard_recv() {
+        let (s, p) = spec(2);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            if comm.rank() == 0 {
+                // A user message sits behind collective traffic.
+                comm.send(1, 7, &[5u8]);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                let m = comm.recv(None, None);
+                assert_eq!(m.tag, 7, "wildcard recv must skip internal tags");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bcast_scales_log_not_linear() {
+        // With a binomial tree, doubling ranks adds one wire hop, not P.
+        fn bcast_time(n: usize) -> f64 {
+            let (s, p) = spec(n);
+            let t = Arc::new(Mutex::new(0.0));
+            let t2 = t.clone();
+            mpirun(&s, p, MpiCosts::default(), move |comm| {
+                let got = if comm.rank() == 0 {
+                    comm.bcast(0, Some(&[1u8]))
+                } else {
+                    comm.bcast::<u8>(0, None)
+                };
+                assert_eq!(got, vec![1]);
+                let now = comm.ctx().now().as_micros_f64();
+                let mut m = t2.lock();
+                if now > *m {
+                    *m = now;
+                }
+            })
+            .unwrap();
+            let v = *t.lock();
+            v
+        }
+        let t4 = bcast_time(4);
+        let t16 = bcast_time(16);
+        assert!(
+            t16 < t4 * 2.5,
+            "binomial bcast should scale ~log P: t4={t4} t16={t16}"
+        );
+    }
+}

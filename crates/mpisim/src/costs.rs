@@ -1,0 +1,116 @@
+//! Per-rank MPI software costs.
+//!
+//! Together with `cp-simnet`'s transport model these reproduce the paper's
+//! measured raw MPI ping-pong: a PPE endpoint contributes ~19 µs of software
+//! latency per message (Open MPI 1.2.8 on the in-order, 3.2 GHz PPE is
+//! slow — the paper explicitly notes PPE endpoints measured slower than
+//! Xeon ones), so PPE↔PPE over the wire is 19 + 60 + 19 ≈ 98 µs — Table
+//! II's type-1 baseline. Per-byte software cost (packetization, datatype
+//! conversion) applies on the wire path; the shared-memory path moves bytes
+//! at cache speed.
+
+use cp_simnet::NodeKind;
+
+/// MPI software cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpiCosts {
+    /// Per-message software latency on a PPE endpoint, µs.
+    pub ppe_sw_latency_us: f64,
+    /// Per-byte software cost on a PPE endpoint (wire path), µs/B.
+    pub ppe_sw_per_byte_us: f64,
+    /// Per-message software latency on a commodity endpoint, µs.
+    pub commodity_sw_latency_us: f64,
+    /// Per-byte software cost on a commodity endpoint (wire path), µs/B.
+    pub commodity_sw_per_byte_us: f64,
+    /// Per-message software latency on a PPE endpoint for the
+    /// shared-memory path, µs (no packetization or NIC driver involved;
+    /// calibrated from Table II type-3 minus type-2: the wire replaces the
+    /// local path at ~81 µs, so local MPI α ≈ 17 µs on PPEs).
+    pub ppe_shmem_sw_latency_us: f64,
+    /// Shared-memory-path software latency on a commodity endpoint, µs.
+    pub commodity_shmem_sw_latency_us: f64,
+    /// Per-byte cost of the shared-memory path (per side), µs/B.
+    pub shmem_per_byte_us: f64,
+    /// Messages at or below this many bytes use the eager protocol;
+    /// larger ones do a rendezvous handshake.
+    pub eager_limit: usize,
+}
+
+impl Default for MpiCosts {
+    fn default() -> Self {
+        MpiCosts {
+            ppe_sw_latency_us: 19.0,
+            ppe_sw_per_byte_us: 0.0131,
+            commodity_sw_latency_us: 5.0,
+            commodity_sw_per_byte_us: 0.002,
+            ppe_shmem_sw_latency_us: 6.0,
+            commodity_shmem_sw_latency_us: 2.0,
+            shmem_per_byte_us: 0.000_8,
+            eager_limit: 16 * 1024,
+        }
+    }
+}
+
+impl MpiCosts {
+    /// Software cost one side pays for a message of `bytes` on the given
+    /// node kind; `wire` selects the internode path with its per-byte
+    /// packetization cost.
+    pub fn side_us(&self, kind: NodeKind, bytes: usize, wire: bool) -> f64 {
+        if wire {
+            let (lat, per_byte) = match kind {
+                NodeKind::Cell { .. } => (self.ppe_sw_latency_us, self.ppe_sw_per_byte_us),
+                NodeKind::Commodity { .. } => {
+                    (self.commodity_sw_latency_us, self.commodity_sw_per_byte_us)
+                }
+            };
+            lat + bytes as f64 * per_byte
+        } else {
+            let lat = match kind {
+                NodeKind::Cell { .. } => self.ppe_shmem_sw_latency_us,
+                NodeKind::Commodity { .. } => self.commodity_shmem_sw_latency_us,
+            };
+            lat + bytes as f64 * self.shmem_per_byte_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppe_wire_pingpong_anchor() {
+        // Both sides PPE + default wire latency 60us: 19 + 60 + 19 = 98.
+        let m = MpiCosts::default();
+        let net = cp_simnet::NetCosts::default();
+        let one_byte =
+            m.side_us(NodeKind::Cell { spes: 8 }, 1, true) * 2.0 + net.transport_us(false, 1);
+        assert!((one_byte - 98.0).abs() < 0.5, "got {one_byte}");
+        let kb16 = 1600;
+        let arr =
+            m.side_us(NodeKind::Cell { spes: 8 }, kb16, true) * 2.0 + net.transport_us(false, kb16);
+        assert!((arr - 160.0).abs() < 3.0, "got {arr}");
+    }
+
+    #[test]
+    fn commodity_cheaper_than_ppe() {
+        let m = MpiCosts::default();
+        assert!(
+            m.side_us(NodeKind::Commodity { cores: 4 }, 100, true)
+                < m.side_us(NodeKind::Cell { spes: 8 }, 100, true)
+        );
+    }
+
+    #[test]
+    fn shmem_path_has_tiny_per_byte() {
+        let m = MpiCosts::default();
+        let wire = m.side_us(NodeKind::Cell { spes: 8 }, 1600, true);
+        let shm = m.side_us(NodeKind::Cell { spes: 8 }, 1600, false);
+        assert!(shm < wire);
+        // Local PPE-PPE MPI latency anchor: 6 + 5 + 6 ≈ 17 us for one byte.
+        let net = cp_simnet::NetCosts::default();
+        let local =
+            m.side_us(NodeKind::Cell { spes: 8 }, 1, false) * 2.0 + net.transport_us(true, 1);
+        assert!((local - 17.0).abs() < 0.5, "local alpha {local}");
+    }
+}

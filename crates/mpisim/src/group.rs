@@ -1,0 +1,273 @@
+//! Sub-communicators: `MPI_Comm_split`.
+//!
+//! A [`SubComm`] is a deterministic relabelling of a subset of world ranks:
+//! every member calls [`Comm::split`] with a `color` (which group) and a
+//! `key` (ordering within the group; ties broken by world rank, as the MPI
+//! standard specifies). Collectives and point-to-point operate on group
+//! ranks; traffic is isolated from other groups by a per-color tag offset.
+//!
+//! The split itself is computed locally from the full `(color, key)` table,
+//! which the members exchange through an allgather — the same way real MPI
+//! implementations do it.
+
+use crate::collect::{ReduceOp, ReduceScalar};
+use crate::datatype::MpiScalar;
+use crate::message::{Rank, Tag};
+use crate::world::Comm;
+
+/// Reserved tag base for split-exchange and per-group traffic. Each color
+/// gets its own tag slice so concurrent groups cannot collide.
+const TAG_GROUP_BASE: Tag = -200_000;
+const TAGS_PER_GROUP: Tag = 16;
+
+/// The color passed to [`Comm::split`]; `None` opts out (like
+/// `MPI_UNDEFINED`).
+pub type Color = Option<u32>;
+
+/// A communicator over a subset of world ranks.
+pub struct SubComm<'a> {
+    world: &'a Comm,
+    /// World ranks of the members, in group-rank order.
+    members: Vec<Rank>,
+    /// My group rank.
+    rank: usize,
+    /// This group's color (tag-space selector).
+    color: u32,
+}
+
+impl Comm {
+    /// `MPI_Comm_split`: every rank of the world calls this; ranks passing
+    /// the same `Some(color)` form a group ordered by `(key, world rank)`.
+    /// Returns `None` for ranks passing `color = None`.
+    ///
+    /// ```
+    /// use cp_mpisim::{mpirun, MpiCosts, ReduceOp};
+    /// use cp_simnet::{ClusterSpec, NodeId};
+    ///
+    /// let spec = ClusterSpec::two_cells_one_xeon();
+    /// mpirun(&spec, vec![NodeId(0), NodeId(1), NodeId(2)], MpiCosts::default(), |comm| {
+    ///     // Odd and even world ranks form separate groups.
+    ///     let g = comm.split(Some((comm.rank() % 2) as u32), 0).unwrap();
+    ///     let total = g.reduce(0, ReduceOp::Sum, &[1i64]);
+    ///     if g.rank() == 0 {
+    ///         assert_eq!(total.unwrap()[0], g.size() as i64);
+    ///     }
+    /// }).unwrap();
+    /// ```
+    pub fn split(&self, color: Color, key: i32) -> Option<SubComm<'_>> {
+        // Exchange (color, key) with everyone. Encode None as u32::MAX.
+        let mine = [color.unwrap_or(u32::MAX), key as u32];
+        let table = self.allgather(&mine);
+        let my_color = color?;
+        let mut members: Vec<(i32, Rank)> = table
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e[0] == my_color)
+            .map(|(r, e)| (e[1] as i32, r))
+            .collect();
+        members.sort();
+        let members: Vec<Rank> = members.into_iter().map(|(_, r)| r).collect();
+        let rank = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("caller is a member of its own color");
+        Some(SubComm {
+            world: self,
+            members,
+            rank,
+            color: my_color,
+        })
+    }
+}
+
+impl SubComm<'_> {
+    /// My rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The world rank of group member `r`.
+    pub fn world_rank(&self, r: usize) -> Rank {
+        self.members[r]
+    }
+
+    fn tag(&self, slot: Tag) -> Tag {
+        TAG_GROUP_BASE - (self.color as Tag) * TAGS_PER_GROUP - slot
+    }
+
+    /// Point-to-point send to group rank `dst`.
+    pub fn send<T: MpiScalar>(&self, dst: usize, data: &[T]) {
+        self.world.send(self.members[dst], self.tag(0), data);
+    }
+
+    /// Blocking receive from group rank `src`.
+    pub fn recv_typed<T: MpiScalar>(&self, src: usize) -> Vec<T> {
+        let (v, _) = self
+            .world
+            .recv_typed::<T>(Some(self.members[src]), Some(self.tag(0)));
+        v
+    }
+
+    /// Broadcast from group rank `root` (linear over group members — group
+    /// sizes are small by construction).
+    pub fn bcast<T: MpiScalar>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+        if self.rank == root {
+            let d = data.expect("root must supply broadcast data").to_vec();
+            for r in 0..self.size() {
+                if r != root {
+                    self.world.send(self.members[r], self.tag(1), &d);
+                }
+            }
+            d
+        } else {
+            let (v, _) = self
+                .world
+                .recv_typed::<T>(Some(self.members[root]), Some(self.tag(1)));
+            v
+        }
+    }
+
+    /// Reduce to group rank `root`.
+    pub fn reduce<T: ReduceScalar>(&self, root: usize, op: ReduceOp, data: &[T]) -> Option<Vec<T>> {
+        if self.rank == root {
+            let mut acc = data.to_vec();
+            for r in 0..self.size() {
+                if r == root {
+                    continue;
+                }
+                let (v, _) = self
+                    .world
+                    .recv_typed::<T>(Some(self.members[r]), Some(self.tag(2)));
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = T::combine(op, *a, b);
+                }
+            }
+            Some(acc)
+        } else {
+            self.world.send(self.members[root], self.tag(2), data);
+            None
+        }
+    }
+
+    /// Barrier over the group (fan-in to group rank 0, fan-out).
+    pub fn barrier(&self) {
+        if self.rank == 0 {
+            for r in 1..self.size() {
+                let _ = self
+                    .world
+                    .recv_typed::<u8>(Some(self.members[r]), Some(self.tag(3)));
+            }
+            for r in 1..self.size() {
+                self.world.send(self.members[r], self.tag(4), &[0u8; 0]);
+            }
+        } else {
+            self.world.send(self.members[0], self.tag(3), &[0u8; 0]);
+            let _ = self
+                .world
+                .recv_typed::<u8>(Some(self.members[0]), Some(self.tag(4)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::costs::MpiCosts;
+    use crate::world::mpirun;
+    use crate::ReduceOp;
+    use cp_simnet::{ClusterSpec, NodeId, NodeKind};
+
+    fn spec(n: usize) -> (ClusterSpec, Vec<NodeId>) {
+        let spec = ClusterSpec {
+            nodes: vec![NodeKind::Commodity { cores: 4 }; n],
+            ..ClusterSpec::two_cells_one_xeon()
+        };
+        (spec, (0..n).map(NodeId).collect())
+    }
+
+    #[test]
+    fn split_by_parity_and_reduce() {
+        let (s, p) = spec(7);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let color = Some((comm.rank() % 2) as u32);
+            let g = comm.split(color, 0).unwrap();
+            // Evens: ranks 0,2,4,6 (4 members); odds: 1,3,5 (3 members).
+            let expect_size = if comm.rank() % 2 == 0 { 4 } else { 3 };
+            assert_eq!(g.size(), expect_size);
+            assert_eq!(g.world_rank(g.rank()), comm.rank());
+            let total = g.reduce(0, ReduceOp::Sum, &[comm.rank() as i64]);
+            if g.rank() == 0 {
+                let expect: i64 = if comm.rank() % 2 == 0 {
+                    2 + 4 + 6
+                } else {
+                    1 + 3 + 5
+                };
+                assert_eq!(total, Some(vec![expect]));
+            } else {
+                assert_eq!(total, None);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn key_reorders_group_ranks() {
+        let (s, p) = spec(4);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            // Reverse ordering: key = -world_rank.
+            let g = comm.split(Some(0), -(comm.rank() as i32)).unwrap();
+            assert_eq!(g.size(), 4);
+            assert_eq!(g.rank(), 3 - comm.rank());
+            // Group broadcast from the member with the highest world rank
+            // (group rank 0).
+            let got = if g.rank() == 0 {
+                g.bcast(0, Some(&[comm.rank() as u32]))
+            } else {
+                g.bcast::<u32>(0, None)
+            };
+            assert_eq!(got, vec![3]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn undefined_color_opts_out() {
+        let (s, p) = spec(5);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let color = if comm.rank() == 2 { None } else { Some(9) };
+            match comm.split(color, 0) {
+                None => assert_eq!(comm.rank(), 2),
+                Some(g) => {
+                    assert_eq!(g.size(), 4);
+                    g.barrier();
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_groups_do_not_cross_talk() {
+        let (s, p) = spec(6);
+        mpirun(&s, p, MpiCosts::default(), |comm| {
+            let g = comm.split(Some((comm.rank() % 3) as u32), 0).unwrap();
+            assert_eq!(g.size(), 2);
+            // Each pair ping-pongs its own color value simultaneously.
+            let color = (comm.rank() % 3) as i32;
+            if g.rank() == 0 {
+                g.send(1, &[color * 100]);
+                let v = g.recv_typed::<i32>(1);
+                assert_eq!(v, vec![color * 100 + 1]);
+            } else {
+                let v = g.recv_typed::<i32>(0);
+                assert_eq!(v, vec![color * 100]);
+                g.send(0, &[color * 100 + 1]);
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,333 @@
+//! Message envelopes and the per-rank matching store.
+//!
+//! Each rank owns a [`MailStore`]: delivered envelopes wait there (with
+//! their modelled arrival instants) until the rank consumes them with a
+//! matching receive. Matching follows MPI semantics — by source and tag,
+//! either of which may be a wildcard — and preserves non-overtaking order
+//! between any one sender/receiver pair.
+
+use crate::datatype::Datatype;
+use cp_des::{Pid, ProcCtx, SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An MPI rank number.
+pub type Rank = usize;
+
+/// An MPI message tag. User tags are non-negative; negative tags are
+/// reserved for internal protocol traffic (collectives, Pilot services).
+pub type Tag = i32;
+
+/// Wildcard-capable source selector (`MPI_ANY_SOURCE` = `None`).
+pub type SrcSel = Option<Rank>;
+
+/// Wildcard-capable tag selector (`MPI_ANY_TAG` = `None`).
+pub type TagSel = Option<Tag>;
+
+/// What an envelope carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// An eager data message.
+    Data(Vec<u8>),
+    /// Rendezvous request-to-send: "I have `bytes` for you under this id".
+    Rts {
+        /// Handshake id.
+        id: u64,
+        /// Payload size the sender holds.
+        bytes: usize,
+    },
+    /// Rendezvous clear-to-send for the given id.
+    Cts {
+        /// Handshake id.
+        id: u64,
+    },
+    /// Rendezvous data for the given id.
+    RdvData {
+        /// Handshake id.
+        id: u64,
+        /// The payload.
+        data: Vec<u8>,
+    },
+}
+
+/// One in-flight or queued message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Element type of the data.
+    pub dtype: Datatype,
+    /// Number of elements.
+    pub count: usize,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// True if this envelope is the *start* of a user-visible message
+    /// (eager data or a rendezvous header) matching the given selectors.
+    pub fn matches_recv(&self, src: SrcSel, tag: TagSel) -> bool {
+        let kind_ok = matches!(self.payload, Payload::Data(_) | Payload::Rts { .. });
+        kind_ok && src.is_none_or(|s| s == self.src) && tag.is_none_or(|t| t == self.tag)
+    }
+}
+
+struct StoreInner {
+    arrived: Vec<(SimTime, u64, Envelope)>,
+    next_arrival: u64,
+    waiters: VecDeque<Pid>,
+    label: String,
+}
+
+/// The matching store of one rank.
+pub struct MailStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl Clone for MailStore {
+    fn clone(&self) -> Self {
+        MailStore {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl MailStore {
+    /// A fresh store labelled for diagnostics.
+    pub fn new(label: &str) -> MailStore {
+        MailStore {
+            inner: Arc::new(Mutex::new(StoreInner {
+                arrived: Vec::new(),
+                next_arrival: 0,
+                waiters: VecDeque::new(),
+                label: label.to_string(),
+            })),
+        }
+    }
+
+    /// Deliver an envelope that becomes visible `latency` from now.
+    ///
+    /// Wakes *every* waiter: several processes may wait on one store with
+    /// different predicates (e.g. a Co-Pilot's MPI pump waiting for data
+    /// while the Co-Pilot itself waits for a rendezvous CTS on the same
+    /// rank), and only the matching one will consume; the rest re-register.
+    pub fn deliver(&self, ctx: &ProcCtx, env: Envelope, latency: SimDuration) {
+        let mut st = self.inner.lock();
+        let seq = st.next_arrival;
+        st.next_arrival += 1;
+        st.arrived.push((ctx.now() + latency, seq, env));
+        for w in std::mem::take(&mut st.waiters) {
+            ctx.unblock(w, latency);
+        }
+    }
+
+    /// Blocking receive of the envelope matching `pred`, honouring arrival
+    /// times. Among simultaneously-matching envelopes the earliest-arriving
+    /// wins, which preserves per-pair FIFO order.
+    pub fn recv_where<F>(&self, ctx: &ProcCtx, what: &str, pred: F) -> Envelope
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        loop {
+            let label;
+            {
+                let mut st = self.inner.lock();
+                let best = st
+                    .arrived
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, e))| pred(e))
+                    .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+                    .map(|(i, (at, _, _))| (i, *at));
+                if let Some((idx, at)) = best {
+                    if at <= ctx.now() {
+                        let (_, _, env) = st.arrived.remove(idx);
+                        return env;
+                    }
+                    let wait = at - ctx.now();
+                    drop(st);
+                    ctx.advance(wait);
+                    continue;
+                }
+                let me = ctx.pid();
+                st.waiters.push_back(me);
+                label = st.label.clone();
+            }
+            ctx.block(&format!("{label}: {what}"));
+        }
+    }
+
+    /// Blocking probe: like [`MailStore::recv_where`] but leaves the
+    /// envelope in place and returns a clone.
+    pub fn probe_where<F>(&self, ctx: &ProcCtx, what: &str, pred: F) -> Envelope
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        loop {
+            let label;
+            {
+                let mut st = self.inner.lock();
+                let best = st
+                    .arrived
+                    .iter()
+                    .filter(|(_, _, e)| pred(e))
+                    .min_by_key(|(at, seq, _)| (*at, *seq))
+                    .map(|(at, _, e)| (*at, e.clone()));
+                if let Some((at, env)) = best {
+                    if at <= ctx.now() {
+                        return env;
+                    }
+                    let wait = at - ctx.now();
+                    drop(st);
+                    ctx.advance(wait);
+                    continue;
+                }
+                let me = ctx.pid();
+                st.waiters.push_back(me);
+                label = st.label.clone();
+            }
+            ctx.block(&format!("{label}: {what}"));
+        }
+    }
+
+    /// Non-blocking probe: is a matching envelope available right now?
+    pub fn iprobe<F>(&self, ctx: &ProcCtx, pred: F) -> Option<Envelope>
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        let st = self.inner.lock();
+        st.arrived
+            .iter()
+            .filter(|(at, _, e)| *at <= ctx.now() && pred(e))
+            .min_by_key(|(at, seq, _)| (*at, *seq))
+            .map(|(_, _, e)| e.clone())
+    }
+
+    /// Number of queued envelopes (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.inner.lock().arrived.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_des::Simulation;
+
+    fn env(src: Rank, tag: Tag, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            tag,
+            dtype: Datatype::Byte,
+            count: 1,
+            payload: Payload::Data(vec![byte]),
+        }
+    }
+
+    #[test]
+    fn recv_matches_by_source_and_tag() {
+        let store = MailStore::new("r0");
+        let mut sim = Simulation::new();
+        let (s1, s2) = (store.clone(), store);
+        sim.spawn("sender", move |ctx| {
+            s1.deliver(ctx, env(1, 10, b'a'), SimDuration::ZERO);
+            s1.deliver(ctx, env(2, 20, b'b'), SimDuration::ZERO);
+            s1.deliver(ctx, env(1, 20, b'c'), SimDuration::ZERO);
+        });
+        sim.spawn("recv", move |ctx| {
+            ctx.advance(SimDuration::from_micros(1));
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(Some(2), Some(20)));
+            assert_eq!(m.payload, Payload::Data(vec![b'b']));
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(None, Some(20)));
+            assert_eq!(m.src, 1);
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(None, None));
+            assert_eq!(m.tag, 10);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn earliest_arrival_wins_not_delivery_order() {
+        let store = MailStore::new("r0");
+        let mut sim = Simulation::new();
+        let (s1, s2) = (store.clone(), store);
+        sim.spawn("sender", move |ctx| {
+            // Delivered first but arrives later (slow path).
+            s1.deliver(ctx, env(1, 0, b'x'), SimDuration::from_micros(100));
+            // Delivered second, arrives sooner (fast local path).
+            s1.deliver(ctx, env(2, 0, b'y'), SimDuration::from_micros(10));
+        });
+        sim.spawn("recv", move |ctx| {
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(None, None));
+            assert_eq!(m.src, 2);
+            assert_eq!(ctx.now().as_micros_f64(), 10.0);
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(None, None));
+            assert_eq!(m.src, 1);
+            assert_eq!(ctx.now().as_micros_f64(), 100.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn same_pair_order_is_fifo() {
+        let store = MailStore::new("r0");
+        let mut sim = Simulation::new();
+        let (s1, s2) = (store.clone(), store);
+        sim.spawn("sender", move |ctx| {
+            s1.deliver(ctx, env(1, 0, 1), SimDuration::from_micros(5));
+            s1.deliver(ctx, env(1, 0, 2), SimDuration::from_micros(5));
+        });
+        sim.spawn("recv", move |ctx| {
+            for expect in [1u8, 2] {
+                let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(Some(1), None));
+                assert_eq!(m.payload, Payload::Data(vec![expect]));
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let store = MailStore::new("r0");
+        let mut sim = Simulation::new();
+        let (s1, s2) = (store.clone(), store);
+        sim.spawn("sender", move |ctx| {
+            ctx.advance(SimDuration::from_micros(3));
+            s1.deliver(ctx, env(1, 7, 9), SimDuration::ZERO);
+        });
+        sim.spawn("recv", move |ctx| {
+            assert!(s2.iprobe(ctx, |e| e.matches_recv(None, None)).is_none());
+            let p = s2.probe_where(ctx, "probe", |e| e.matches_recv(None, Some(7)));
+            assert_eq!(p.src, 1);
+            assert_eq!(s2.queued(), 1);
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(None, Some(7)));
+            assert_eq!(m.payload, Payload::Data(vec![9]));
+            assert_eq!(s2.queued(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn control_payloads_do_not_match_user_recv() {
+        let e = Envelope {
+            src: 0,
+            dst: 1,
+            tag: 5,
+            dtype: Datatype::Byte,
+            count: 0,
+            payload: Payload::Cts { id: 3 },
+        };
+        assert!(!e.matches_recv(None, None));
+        let rts = Envelope {
+            payload: Payload::Rts { id: 1, bytes: 100 },
+            ..e.clone()
+        };
+        assert!(rts.matches_recv(Some(0), Some(5)));
+    }
+}

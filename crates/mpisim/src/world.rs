@@ -1,0 +1,662 @@
+//! The MPI world: rank placement, communicator handles, and point-to-point
+//! messaging with eager and rendezvous protocols.
+
+use crate::costs::MpiCosts;
+use crate::datatype::{decode_slice, encode_slice, Datatype, MpiScalar};
+use crate::message::{Envelope, MailStore, Payload, Rank, SrcSel, Tag, TagSel};
+use cp_des::{ProcCtx, SimDuration, SimError, SimReport, Simulation};
+use cp_simnet::{Cluster, ClusterSpec, NodeId, NodeKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A received message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Element type.
+    pub dtype: Datatype,
+    /// Element count.
+    pub count: usize,
+    /// Canonical wire bytes.
+    pub data: Vec<u8>,
+}
+
+impl Msg {
+    /// Decode the payload as a slice of `T`, checking the datatype.
+    pub fn decode<T: MpiScalar>(&self) -> Vec<T> {
+        assert_eq!(
+            self.dtype,
+            T::DATATYPE,
+            "datatype mismatch: message carries {}, caller wants {}",
+            self.dtype,
+            T::DATATYPE
+        );
+        decode_slice(&self.data)
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub cluster: Arc<Cluster>,
+    pub placement: Vec<NodeId>,
+    pub costs: MpiCosts,
+    pub boxes: Vec<MailStore>,
+    next_rdv: AtomicU64,
+}
+
+/// The set of ranks of one MPI job, mapped onto cluster nodes.
+pub struct MpiWorld {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl Clone for MpiWorld {
+    fn clone(&self) -> Self {
+        MpiWorld {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl MpiWorld {
+    /// Create a world with `placement[rank]` giving each rank's node.
+    pub fn new(cluster: Arc<Cluster>, placement: Vec<NodeId>, costs: MpiCosts) -> MpiWorld {
+        for nid in &placement {
+            assert!(nid.0 < cluster.len(), "placement names missing node {nid}");
+        }
+        let boxes = (0..placement.len())
+            .map(|r| MailStore::new(&format!("rank{r}")))
+            .collect();
+        MpiWorld {
+            inner: Arc::new(WorldInner {
+                cluster,
+                placement,
+                costs,
+                boxes,
+                next_rdv: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.placement.len()
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        self.inner.placement[rank]
+    }
+
+    /// The cluster this world runs on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.inner.cluster
+    }
+
+    /// Bind `rank` to the calling simulated process, yielding its
+    /// communicator handle.
+    pub fn attach(&self, ctx: &ProcCtx, rank: Rank) -> Comm {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        Comm {
+            inner: self.inner.clone(),
+            rank,
+            ctx: ctx.clone(),
+        }
+    }
+
+    /// Spawn a simulated process for `rank` running `body`.
+    pub fn launch<F>(&self, sim: &mut Simulation, rank: Rank, name: &str, body: F)
+    where
+        F: FnOnce(Comm) + Send + 'static,
+    {
+        let world = self.clone();
+        sim.spawn(name, move |ctx| {
+            let comm = world.attach(ctx, rank);
+            body(comm);
+        });
+    }
+}
+
+/// This rank's handle on the world (`MPI_COMM_WORLD` + the owning process).
+pub struct Comm {
+    inner: Arc<WorldInner>,
+    rank: Rank,
+    ctx: ProcCtx,
+}
+
+impl Comm {
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.placement.len()
+    }
+
+    /// The simulated-process context driving this rank.
+    pub fn ctx(&self) -> &ProcCtx {
+        &self.ctx
+    }
+
+    /// The node this rank runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.placement[self.rank]
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        self.inner.placement[rank]
+    }
+
+    /// The cluster hardware.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.inner.cluster
+    }
+
+    /// My node's processor kind.
+    fn my_kind(&self) -> NodeKind {
+        self.inner.cluster.kind(self.node())
+    }
+
+    fn is_wire(&self, peer: Rank) -> bool {
+        self.node() != self.inner.placement[peer]
+    }
+
+    fn transport(&self, peer: Rank, bytes: usize) -> SimDuration {
+        // transfer_delay reserves NIC occupancy when the cluster's
+        // contention model is enabled; otherwise it is the plain formula.
+        self.inner.cluster.transfer_delay(
+            self.ctx.now(),
+            self.node(),
+            self.inner.placement[peer],
+            bytes,
+        )
+    }
+
+    fn charge_side(&self, bytes: usize, wire: bool) {
+        let us = self.inner.costs.side_us(self.my_kind(), bytes, wire);
+        self.ctx.advance(SimDuration::from_micros_f64(us));
+    }
+
+    /// Send pre-encoded wire bytes. Small messages go eagerly (buffered);
+    /// messages above the eager limit handshake via rendezvous, which
+    /// blocks until the receiver has posted a matching receive.
+    pub fn send_bytes(&self, dst: Rank, tag: Tag, dtype: Datatype, count: usize, data: Vec<u8>) {
+        assert!(dst < self.size(), "send to rank {dst} out of range");
+        debug_assert_eq!(data.len(), count * dtype.wire_size());
+        let wire = self.is_wire(dst);
+        let bytes = data.len();
+        self.charge_side(bytes, wire);
+        if bytes <= self.inner.costs.eager_limit {
+            let latency = self.transport(dst, bytes);
+            self.inner.boxes[dst].deliver(
+                &self.ctx,
+                Envelope {
+                    src: self.rank,
+                    dst,
+                    tag,
+                    dtype,
+                    count,
+                    payload: Payload::Data(data),
+                },
+                latency,
+            );
+            return;
+        }
+        // Rendezvous: RTS → (wait CTS) → data.
+        let id = self.inner.next_rdv.fetch_add(1, Ordering::Relaxed);
+        let ctl_latency = self.transport(dst, 0);
+        self.inner.boxes[dst].deliver(
+            &self.ctx,
+            Envelope {
+                src: self.rank,
+                dst,
+                tag,
+                dtype,
+                count,
+                payload: Payload::Rts { id, bytes },
+            },
+            ctl_latency,
+        );
+        let me = self.rank;
+        self.inner.boxes[me].recv_where(
+            &self.ctx,
+            &format!("MPI rendezvous CTS from rank {dst}"),
+            |e| e.src == dst && matches!(e.payload, Payload::Cts { id: i } if i == id),
+        );
+        let latency = self.transport(dst, bytes);
+        self.inner.boxes[dst].deliver(
+            &self.ctx,
+            Envelope {
+                src: self.rank,
+                dst,
+                tag,
+                dtype,
+                count,
+                payload: Payload::RdvData { id, data },
+            },
+            latency,
+        );
+    }
+
+    /// Send a typed slice.
+    pub fn send<T: MpiScalar>(&self, dst: Rank, tag: Tag, data: &[T]) {
+        self.send_bytes(dst, tag, T::DATATYPE, data.len(), encode_slice(data));
+    }
+
+    /// `MPI_Sendrecv`: a combined send and receive that cannot deadlock
+    /// against its mirror image (the send is initiated before the receive
+    /// blocks, and small sends are buffered).
+    pub fn sendrecv<T: MpiScalar>(
+        &self,
+        dst: Rank,
+        send_tag: Tag,
+        data: &[T],
+        src: Rank,
+        recv_tag: Tag,
+    ) -> Vec<T> {
+        self.send(dst, send_tag, data);
+        let (v, _) = self.recv_typed::<T>(Some(src), Some(recv_tag));
+        v
+    }
+
+    /// Blocking receive matching `src`/`tag` selectors (`None` = wildcard;
+    /// a wildcard tag matches only user tags ≥ 0).
+    pub fn recv(&self, src: SrcSel, tag: TagSel) -> Msg {
+        let me = self.rank;
+        let env = self.inner.boxes[me].recv_where(
+            &self.ctx,
+            &format!(
+                "MPI_Recv(src={}, tag={})",
+                src.map_or("ANY".into(), |s| s.to_string()),
+                tag.map_or("ANY".into(), |t| t.to_string())
+            ),
+            |e| e.matches_recv(src, tag) && (tag.is_some() || e.tag >= 0),
+        );
+        self.finish_recv(env)
+    }
+
+    /// Complete a receive whose header envelope is already in hand
+    /// (answering a rendezvous RTS if needed, and charging receive costs).
+    fn finish_recv(&self, env: Envelope) -> Msg {
+        let wire = self.is_wire(env.src);
+        match env.payload {
+            Payload::Data(data) => {
+                self.charge_side(data.len(), wire);
+                Msg {
+                    src: env.src,
+                    tag: env.tag,
+                    dtype: env.dtype,
+                    count: env.count,
+                    data,
+                }
+            }
+            Payload::Rts { id, bytes: _ } => {
+                // Grant the send and wait for the data.
+                let ctl_latency = self.transport(env.src, 0);
+                self.inner.boxes[env.src].deliver(
+                    &self.ctx,
+                    Envelope {
+                        src: self.rank,
+                        dst: env.src,
+                        tag: env.tag,
+                        dtype: env.dtype,
+                        count: 0,
+                        payload: Payload::Cts { id },
+                    },
+                    ctl_latency,
+                );
+                let me = self.rank;
+                let data_env = self.inner.boxes[me].recv_where(
+                    &self.ctx,
+                    &format!("MPI rendezvous data from rank {}", env.src),
+                    |e| {
+                        e.src == env.src
+                            && matches!(e.payload, Payload::RdvData { id: i, .. } if i == id)
+                    },
+                );
+                let Payload::RdvData { data, .. } = data_env.payload else {
+                    unreachable!("matched RdvData")
+                };
+                self.charge_side(data.len(), wire);
+                Msg {
+                    src: env.src,
+                    tag: env.tag,
+                    dtype: env.dtype,
+                    count: env.count,
+                    data,
+                }
+            }
+            Payload::Cts { .. } | Payload::RdvData { .. } => {
+                unreachable!("control payloads never match a user receive")
+            }
+        }
+    }
+
+    /// Typed receive: decode as `T` and return with the source rank.
+    pub fn recv_typed<T: MpiScalar>(&self, src: SrcSel, tag: TagSel) -> (Vec<T>, Rank) {
+        let m = self.recv(src, tag);
+        let r = m.src;
+        (m.decode(), r)
+    }
+
+    /// Blocking probe: returns `(src, tag, dtype, count)` of the next
+    /// matching message without consuming it.
+    pub fn probe(&self, src: SrcSel, tag: TagSel) -> (Rank, Tag, Datatype, usize) {
+        let me = self.rank;
+        let env = self.inner.boxes[me].probe_where(&self.ctx, "MPI_Probe", |e| {
+            e.matches_recv(src, tag) && (tag.is_some() || e.tag >= 0)
+        });
+        (env.src, env.tag, env.dtype, env.count)
+    }
+
+    /// Blocking probe with an arbitrary predicate over candidate messages
+    /// (only eager-data / rendezvous-header envelopes are offered). Powers
+    /// Pilot's `PI_Select`, which waits on *any* channel of a bundle.
+    pub fn probe_match<F>(&self, what: &str, pred: F) -> (Rank, Tag, Datatype, usize)
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        let me = self.rank;
+        let env = self.inner.boxes[me].probe_where(&self.ctx, what, |e| {
+            e.matches_recv(None, Some(e.tag)) && pred(e)
+        });
+        (env.src, env.tag, env.dtype, env.count)
+    }
+
+    /// Non-blocking variant of [`Comm::probe_match`].
+    pub fn iprobe_match<F>(&self, pred: F) -> Option<(Rank, Tag, Datatype, usize)>
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        let me = self.rank;
+        self.inner.boxes[me]
+            .iprobe(&self.ctx, |e| e.matches_recv(None, Some(e.tag)) && pred(e))
+            .map(|e| (e.src, e.tag, e.dtype, e.count))
+    }
+
+    /// Non-blocking probe.
+    pub fn iprobe(&self, src: SrcSel, tag: TagSel) -> Option<(Rank, Tag, Datatype, usize)> {
+        let me = self.rank;
+        self.inner.boxes[me]
+            .iprobe(&self.ctx, |e| {
+                e.matches_recv(src, tag) && (tag.is_some() || e.tag >= 0)
+            })
+            .map(|e| (e.src, e.tag, e.dtype, e.count))
+    }
+}
+
+/// Run an SPMD program: build the cluster, place one rank per entry of
+/// `placement`, run `program` on every rank, and return the simulation
+/// report.
+pub fn mpirun<F>(
+    spec: &ClusterSpec,
+    placement: Vec<NodeId>,
+    costs: MpiCosts,
+    program: F,
+) -> Result<SimReport, SimError>
+where
+    F: Fn(Comm) + Send + Sync + 'static,
+{
+    let cluster = spec.build();
+    let world = MpiWorld::new(cluster, placement, costs);
+    let mut sim = Simulation::new();
+    let program = Arc::new(program);
+    for rank in 0..world.size() {
+        let p = program.clone();
+        world.launch(&mut sim, rank, &format!("rank{rank}"), move |comm| p(comm));
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::LongDouble;
+
+    fn two_node_world() -> (Arc<Cluster>, MpiWorld) {
+        let cluster = ClusterSpec::two_cells_one_xeon().build();
+        let world = MpiWorld::new(
+            cluster.clone(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)],
+            MpiCosts::default(),
+        );
+        (cluster, world)
+    }
+
+    #[test]
+    fn typed_send_recv_roundtrip() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(1, 42, &[1i32, 2, 3]);
+        });
+        w.launch(&mut sim, 1, "r1", |comm| {
+            let (v, src) = comm.recv_typed::<i32>(Some(0), Some(42));
+            assert_eq!(v, vec![1, 2, 3]);
+            assert_eq!(src, 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn internode_pingpong_matches_type1_baseline() {
+        // PPE rank on node0 <-> PPE rank on node1 over the wire: the paper's
+        // raw-MPI type-1 baseline is 98 us for 1 B and 160 us for 1600 B.
+        let (_c, world) = two_node_world();
+        for (elem_count, low, high) in [(1usize, 95.0, 101.0), (100, 155.0, 166.0)] {
+            let mut sim = Simulation::new();
+            let w = world.clone();
+            let reps = 10u32;
+            world.launch(&mut sim, 0, "r0", move |comm| {
+                let payload = vec![LongDouble(1.0); elem_count];
+                let one = vec![0u8; 1];
+                let t0 = comm.ctx().now();
+                for _ in 0..reps {
+                    if elem_count == 1 {
+                        comm.send(1, 0, &one);
+                    } else {
+                        comm.send(1, 0, &payload);
+                    }
+                    let _ = comm.recv(Some(1), Some(0));
+                }
+                let total = (comm.ctx().now() - t0).as_micros_f64();
+                let one_way = total / (2.0 * reps as f64);
+                assert!(
+                    one_way > low && one_way < high,
+                    "one-way {one_way} us outside [{low},{high}]"
+                );
+            });
+            w.launch(&mut sim, 1, "r1", move |comm| {
+                for _ in 0..reps {
+                    let m = comm.recv(Some(0), Some(0));
+                    comm.send_bytes(0, 0, m.dtype, m.count, m.data);
+                }
+            });
+            sim.run().unwrap();
+        }
+    }
+
+    #[test]
+    fn local_ranks_use_shmem_path() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(3, 1, &[9u8]);
+        });
+        w.launch(&mut sim, 3, "r3", |comm| {
+            let t0 = comm.ctx().now();
+            let _ = comm.recv(Some(0), Some(1));
+            let us = (comm.ctx().now() - t0).as_micros_f64();
+            // 6 (sender sw, shmem path) + 5 (shmem) + 6 (receiver sw) ≈ 17.
+            assert!(us > 15.0 && us < 19.0, "local latency {us}");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn eager_limit_is_the_protocol_boundary() {
+        // At exactly the limit the send is buffered (sender finishes with
+        // no receiver); one byte over, it must rendezvous and deadlock.
+        let limit = MpiCosts::default().eager_limit;
+        for (bytes, expect_deadlock) in [(limit, false), (limit + 1, true)] {
+            let (_c, world) = two_node_world();
+            let mut sim = Simulation::new();
+            world.launch(&mut sim, 0, "sender", move |comm| {
+                comm.send(1, 0, &vec![0u8; bytes]);
+            });
+            // Rank 1 never posts a receive.
+            let result = sim.run();
+            match (expect_deadlock, result) {
+                (false, Ok(_)) => {}
+                (true, Err(SimError::Deadlock { blocked, .. })) => {
+                    assert!(blocked[0].2.contains("rendezvous CTS"), "{blocked:?}");
+                }
+                (e, r) => panic!("bytes={bytes}: expected deadlock={e}, got {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_for_large_messages() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        let n = 64 * 1024; // above the 16 KiB eager limit
+        world.launch(&mut sim, 0, "r0", move |comm| {
+            let data = vec![7u8; n];
+            comm.send(1, 5, &data);
+        });
+        w.launch(&mut sim, 1, "r1", move |comm| {
+            // Delay posting the receive; the sender must wait (rendezvous).
+            comm.ctx().advance(SimDuration::from_millis(5));
+            let (v, _) = comm.recv_typed::<u8>(Some(0), Some(5));
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&b| b == 7));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn sendrecv_ring_shift_does_not_deadlock() {
+        // Every rank simultaneously sendrecvs around a ring — the pattern
+        // that deadlocks with naive blocking send/recv ordering.
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let cluster = spec.build();
+        let world = MpiWorld::new(
+            cluster,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            MpiCosts::default(),
+        );
+        let mut sim = Simulation::new();
+        for rank in 0..3 {
+            let w = world.clone();
+            world.launch(&mut sim, rank, &format!("r{rank}"), move |comm| {
+                let n = comm.size();
+                let right = (comm.rank() + 1) % n;
+                let left = (comm.rank() + n - 1) % n;
+                let got = comm.sendrecv(right, 4, &[comm.rank() as u32], left, 4);
+                assert_eq!(got, vec![left as u32]);
+                let _ = w;
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wildcard_recv_and_probe() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(1, 3, &[1i32]);
+        });
+        w.launch(&mut sim, 1, "r1", |comm| {
+            assert!(comm.iprobe(None, None).is_none());
+            let (src, tag, dt, count) = comm.probe(None, None);
+            assert_eq!((src, tag, dt, count), (0, 3, Datatype::Int32, 1));
+            let (v, _) = comm.recv_typed::<i32>(Some(src), Some(tag));
+            assert_eq!(v, vec![1]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks_with_diagnostic() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            let _ = comm.recv(Some(1), Some(9));
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert!(blocked[0].2.contains("MPI_Recv"));
+                assert!(blocked[0].2.contains("tag=9"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_datatype_mismatch() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(1, 0, &[1i32]);
+        });
+        w.launch(&mut sim, 1, "r1", |comm| {
+            let m = comm.recv(Some(0), Some(0));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.decode::<f64>()));
+            assert!(r.is_err(), "decoding int32 as f64 must panic");
+            // Correct decode still works.
+            assert_eq!(m.decode::<i32>(), vec![1]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn probe_match_and_iprobe_match() {
+        let (_c, world) = two_node_world();
+        let mut sim = Simulation::new();
+        let w = world.clone();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(1, 11, &[1u8]);
+            comm.send(1, 22, &[2u8]);
+        });
+        w.launch(&mut sim, 1, "r1", |comm| {
+            assert!(comm.iprobe_match(|e| e.tag == 99).is_none());
+            let (_, tag, _, _) = comm.probe_match("want 22", |e| e.tag == 22);
+            assert_eq!(tag, 22);
+            // Selective consume of 22 first, then 11, despite send order.
+            let (v, _) = comm.recv_typed::<u8>(None, Some(22));
+            assert_eq!(v, vec![2]);
+            let (v, _) = comm.recv_typed::<u8>(None, Some(11));
+            assert_eq!(v, vec![1]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn mpirun_runs_spmd_program() {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let placement = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let report = mpirun(&spec, placement, MpiCosts::default(), |comm| {
+            if comm.rank() == 0 {
+                for r in 1..comm.size() {
+                    let (v, _) = comm.recv_typed::<u32>(Some(r), Some(0));
+                    assert_eq!(v, vec![r as u32]);
+                }
+            } else {
+                comm.send(0, 0, &[comm.rank() as u32]);
+            }
+        })
+        .unwrap();
+        assert_eq!(report.processes, 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the MPI layer: collectives against sequential
+//! references, datatype round trips, and message-order invariants.
+
+use cp_mpisim::{decode_slice, encode_slice, mpirun, LongDouble, MpiCosts, ReduceOp};
+use cp_simnet::{ClusterSpec, NodeId, NodeKind};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn spec(n: usize) -> (ClusterSpec, Vec<NodeId>) {
+    let spec = ClusterSpec {
+        nodes: vec![NodeKind::Commodity { cores: 4 }; n],
+        ..ClusterSpec::two_cells_one_xeon()
+    };
+    (spec, (0..n).map(NodeId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast delivers the root's exact data to every rank, for any
+    /// rank count, root, and payload.
+    #[test]
+    fn bcast_equals_root_data(
+        n in 2usize..9,
+        root_sel in 0usize..8,
+        data in proptest::collection::vec(any::<i32>(), 0..32),
+    ) {
+        let root = root_sel % n;
+        let (s, p) = spec(n);
+        let data2 = data.clone();
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let got = if comm.rank() == root {
+                comm.bcast(root, Some(&data2))
+            } else {
+                comm.bcast::<i32>(root, None)
+            };
+            assert_eq!(got, data2);
+        }).unwrap();
+    }
+
+    /// Reduce(Sum) equals the sequential elementwise sum.
+    #[test]
+    fn reduce_sum_matches_reference(
+        n in 2usize..9,
+        len in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let contributions: Vec<Vec<i64>> = (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed ^ (r as u64 * 0x9E37) ^ (i as u64 * 0x85EB)) % 1000) as i64)
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<i64> = (0..len)
+            .map(|i| contributions.iter().map(|c| c[i]).sum())
+            .collect();
+        let (s, p) = spec(n);
+        let contrib = contributions.clone();
+        let exp = expected.clone();
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let mine = &contrib[comm.rank()];
+            if let Some(total) = comm.reduce(0, ReduceOp::Sum, mine) {
+                assert_eq!(total, exp);
+            }
+        }).unwrap();
+    }
+
+    /// Gather returns every rank's contribution in rank order; scatter is
+    /// its inverse.
+    #[test]
+    fn gather_scatter_inverse(
+        n in 2usize..7,
+        len in 1usize..8,
+    ) {
+        let (s, p) = spec(n);
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let mine: Vec<u32> = (0..len).map(|i| (comm.rank() * 100 + i) as u32).collect();
+            let gathered = comm.gather(0, &mine);
+            let parts = gathered.map(|g| g.into_iter().collect::<Vec<_>>());
+            let back = if comm.rank() == 0 {
+                comm.scatter(0, Some(parts.as_ref().unwrap()))
+            } else {
+                comm.scatter::<u32>(0, None)
+            };
+            assert_eq!(back, mine, "scatter(gather(x)) == x");
+        }).unwrap();
+    }
+
+    /// Per-pair message order is FIFO under randomized payload sizes and
+    /// pauses (non-overtaking rule).
+    #[test]
+    fn same_pair_fifo(
+        msgs in proptest::collection::vec((0usize..200, 0u64..50), 1..20),
+    ) {
+        let (s, p) = spec(2);
+        let sent = Arc::new(Mutex::new(Vec::new()));
+        let sent2 = sent.clone();
+        let msgs2 = msgs.clone();
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            if comm.rank() == 0 {
+                for (i, &(len, pause)) in msgs2.iter().enumerate() {
+                    comm.ctx().advance(cp_des::SimDuration::from_micros(pause));
+                    let payload: Vec<u8> = std::iter::repeat_n(i as u8, len).collect();
+                    comm.send(1, 7, &payload);
+                }
+            } else {
+                for i in 0..msgs2.len() {
+                    let m = comm.recv(Some(0), Some(7));
+                    assert!(m.data.iter().all(|&b| b == i as u8), "message {i} out of order");
+                    sent2.lock().push(i);
+                }
+            }
+        }).unwrap();
+        prop_assert_eq!(sent.lock().len(), msgs.len());
+    }
+
+    /// Scalar encode/decode round trips for every datatype.
+    #[test]
+    fn scalar_roundtrips(
+        i16s in proptest::collection::vec(any::<i16>(), 0..16),
+        f64s in proptest::collection::vec(any::<f64>(), 0..16),
+        lds in proptest::collection::vec(any::<f64>(), 0..16),
+    ) {
+        prop_assert_eq!(decode_slice::<i16>(&encode_slice(&i16s)), i16s);
+        let back = decode_slice::<f64>(&encode_slice(&f64s));
+        prop_assert_eq!(f64s.len(), back.len());
+        for (a, b) in f64s.iter().zip(&back) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+        let lds: Vec<LongDouble> = lds.into_iter().map(LongDouble).collect();
+        let back = decode_slice::<LongDouble>(&encode_slice(&lds));
+        for (a, b) in lds.iter().zip(&back) {
+            prop_assert!(a.0.to_bits() == b.0.to_bits());
+        }
+    }
+}

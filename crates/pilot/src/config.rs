@@ -1,0 +1,379 @@
+//! The configuration phase: declaring the static process/channel
+//! architecture, then launching the execution phase.
+//!
+//! Mirrors Pilot's two-phase model. `PilotConfig` plays the role of the
+//! code between `PI_Configure` and `PI_StartAll`: it creates processes
+//! (each bound to an MPI rank and a function), channels between process
+//! pairs, and bundles. [`PilotConfig::run`] is `PI_StartAll`: every process
+//! begins executing its function, rank 0 (`PI_MAIN`) runs the supplied
+//! `main` closure, and when every function has returned the application
+//! synchronizes on an internal barrier and the simulation ends
+//! (`PI_StopMain`).
+
+use crate::error::PilotError;
+use crate::runtime::{Pilot, PilotCosts};
+use crate::service;
+use crate::table::{
+    BundleEntry, BundleUsage, ChannelEntry, PiBundle, PiChannel, PiProcess, ProcessEntry, Tables,
+};
+use cp_des::{SimError, SimReport, Simulation};
+use cp_mpisim::{MpiCosts, MpiWorld};
+use cp_simnet::{ClusterSpec, NodeId};
+use std::sync::Arc;
+
+/// Options for a Pilot application (the `-pisvc=` command-line options).
+#[derive(Debug, Clone, Default)]
+pub struct PilotOpts {
+    /// Enable the deadlock-detection service (`-pisvc=d`). Consumes one
+    /// MPI process.
+    pub deadlock_detection: bool,
+    /// Log every channel call with its virtual timestamp (`-pisvc=c`);
+    /// retrieve the log with [`PilotConfig::run_logged`].
+    pub call_log: bool,
+    /// Pilot-layer cost model.
+    pub costs: PilotCosts,
+    /// MPI-layer cost model.
+    pub mpi_costs: MpiCosts,
+}
+
+type ProcBody = Box<dyn FnOnce(&Pilot, i32) + Send>;
+
+/// A Pilot application under configuration.
+pub struct PilotConfig {
+    spec: ClusterSpec,
+    placement: Vec<NodeId>,
+    opts: PilotOpts,
+    tables: Tables,
+    bodies: Vec<Option<ProcBody>>,
+    next_rank: usize,
+}
+
+impl PilotConfig {
+    /// Begin configuring an application on the given cluster, with
+    /// `placement[rank]` naming the node each MPI rank runs on (the
+    /// `mpirun` host file).
+    pub fn new(spec: ClusterSpec, placement: Vec<NodeId>, opts: PilotOpts) -> PilotConfig {
+        assert!(!placement.is_empty(), "need at least one rank for PI_MAIN");
+        let mut tables = Tables::default();
+        tables.processes.push(ProcessEntry {
+            name: "main".into(),
+            rank: 0,
+            index: 0,
+        });
+        if opts.deadlock_detection {
+            assert!(
+                placement.len() >= 2,
+                "deadlock detection consumes one MPI process"
+            );
+            tables.detector_rank = Some(placement.len() - 1);
+        }
+        PilotConfig {
+            spec,
+            placement,
+            opts,
+            tables,
+            bodies: vec![None],
+            next_rank: 1,
+        }
+    }
+
+    /// Convenience: one MPI rank per cluster node.
+    pub fn one_rank_per_node(spec: ClusterSpec, opts: PilotOpts) -> PilotConfig {
+        let placement = (0..spec.nodes.len()).map(NodeId).collect();
+        PilotConfig::new(spec, placement, opts)
+    }
+
+    /// How many more processes can still be created (what `PI_Configure`'s
+    /// return value lets applications compute — essential for "writing
+    /// scalable applications that utilize every available processor").
+    pub fn processes_available(&self) -> usize {
+        let limit = self.placement.len() - usize::from(self.opts.deadlock_detection);
+        limit - self.next_rank
+    }
+
+    /// `PI_CreateProcess`: bind `f` to the next MPI rank. `index` is passed
+    /// to `f` so one function body can serve many processes.
+    pub fn create_process<F>(
+        &mut self,
+        name: &str,
+        index: i32,
+        f: F,
+    ) -> Result<PiProcess, PilotError>
+    where
+        F: FnOnce(&Pilot, i32) + Send + 'static,
+    {
+        if self.processes_available() == 0 {
+            return Err(PilotError::TooManyProcesses {
+                available: self.placement.len(),
+            });
+        }
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        let id = PiProcess(self.tables.processes.len());
+        self.tables.processes.push(ProcessEntry {
+            name: name.to_string(),
+            rank,
+            index,
+        });
+        self.bodies.push(Some(Box::new(f)));
+        Ok(id)
+    }
+
+    /// `PI_CreateChannel`: a unidirectional channel from `from` to `to`.
+    pub fn create_channel(
+        &mut self,
+        from: PiProcess,
+        to: PiProcess,
+    ) -> Result<PiChannel, PilotError> {
+        self.tables.process(from)?;
+        self.tables.process(to)?;
+        if from == to {
+            return Err(PilotError::SelfChannel);
+        }
+        let id = PiChannel(self.tables.channels.len());
+        self.tables.channels.push(ChannelEntry {
+            from,
+            to,
+            bundle: None,
+        });
+        Ok(id)
+    }
+
+    /// `PI_CreateBundle`: group channels sharing a common endpoint for a
+    /// collective usage. For [`BundleUsage::Broadcast`] the common endpoint
+    /// is the single writer; for `Gather`/`Select` it is the single reader.
+    pub fn create_bundle(
+        &mut self,
+        usage: BundleUsage,
+        channels: &[PiChannel],
+    ) -> Result<PiBundle, PilotError> {
+        if channels.is_empty() {
+            return Err(PilotError::EmptyBundle);
+        }
+        let ends: Vec<(PiProcess, PiProcess)> = channels
+            .iter()
+            .map(|&c| self.tables.channel(c).map(|e| (e.from, e.to)))
+            .collect::<Result<_, _>>()?;
+        let common = match usage {
+            BundleUsage::Broadcast => {
+                let w = ends[0].0;
+                if !ends.iter().all(|&(f, _)| f == w) {
+                    return Err(PilotError::BundleCommonEndpoint);
+                }
+                w
+            }
+            BundleUsage::Gather | BundleUsage::Select => {
+                let r = ends[0].1;
+                if !ends.iter().all(|&(_, t)| t == r) {
+                    return Err(PilotError::BundleCommonEndpoint);
+                }
+                r
+            }
+        };
+        for &c in channels {
+            if self.tables.channels[c.0].bundle.is_some() {
+                return Err(PilotError::ChannelAlreadyBundled(c.0));
+            }
+        }
+        let id = PiBundle(self.tables.bundles.len());
+        for &c in channels {
+            self.tables.channels[c.0].bundle = Some(id);
+        }
+        self.tables.bundles.push(BundleEntry {
+            usage,
+            channels: channels.to_vec(),
+            common,
+        });
+        Ok(id)
+    }
+
+    /// `PI_StartAll` + `PI_StopMain` with call-log retrieval: like
+    /// [`PilotConfig::run`] but also returns the channel-call log (empty
+    /// unless [`PilotOpts::call_log`] is set).
+    pub fn run_logged<M>(
+        self,
+        main: M,
+    ) -> Result<(SimReport, Vec<crate::runtime::CallRecord>), SimError>
+    where
+        M: FnOnce(&Pilot) + Send + 'static,
+    {
+        let sink = crate::runtime::CallLog::new(self.opts.call_log);
+        let s2 = sink.clone();
+        let report = self.run_with_log(main, s2)?;
+        Ok((report, sink.take()))
+    }
+
+    /// `PI_StartAll` + `PI_StopMain`: run the execution phase to
+    /// completion. `main` runs as `PI_MAIN` on rank 0.
+    pub fn run<M>(self, main: M) -> Result<SimReport, SimError>
+    where
+        M: FnOnce(&Pilot) + Send + 'static,
+    {
+        let sink = crate::runtime::CallLog::new(self.opts.call_log);
+        self.run_with_log(main, sink)
+    }
+
+    fn run_with_log<M>(self, main: M, log: crate::runtime::CallLog) -> Result<SimReport, SimError>
+    where
+        M: FnOnce(&Pilot) + Send + 'static,
+    {
+        let PilotConfig {
+            spec,
+            placement,
+            opts,
+            tables,
+            bodies,
+            next_rank: _,
+        } = self;
+        let cluster = spec.build();
+        let world = MpiWorld::new(cluster, placement, opts.mpi_costs.clone());
+        let tables = Arc::new(tables);
+        let mut sim = Simulation::new();
+        // Application processes.
+        for (pidx, body) in bodies.into_iter().enumerate() {
+            let entry = &tables.processes[pidx];
+            let rank = entry.rank;
+            let index = entry.index;
+            let name = entry.name.clone();
+            let tables = tables.clone();
+            let costs = opts.costs.clone();
+            match body {
+                None => {
+                    // PI_MAIN — handled below to keep `main`'s distinct type.
+                    debug_assert_eq!(pidx, 0);
+                }
+                Some(f) => {
+                    let log = log.clone();
+                    world.launch(&mut sim, rank, &name, move |comm| {
+                        let pilot = Pilot::new(comm, tables, costs, PiProcess(pidx), log);
+                        f(&pilot, index);
+                        pilot.finish();
+                    });
+                }
+            }
+        }
+        {
+            let tables2 = tables.clone();
+            let costs = opts.costs.clone();
+            let log = log.clone();
+            world.launch(&mut sim, 0, "main", move |comm| {
+                let pilot = Pilot::new(comm, tables2, costs, PiProcess(0), log);
+                main(&pilot);
+                pilot.finish();
+            });
+        }
+        // Deadlock-detection service.
+        if let Some(det_rank) = tables.detector_rank {
+            let tables2 = tables.clone();
+            world.launch(&mut sim, det_rank, "pilot-deadlock-svc", move |comm| {
+                service::detector_main(comm, tables2);
+            });
+        }
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PilotConfig {
+        PilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), PilotOpts::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_placement_panics() {
+        let _ = PilotConfig::new(
+            ClusterSpec::two_cells_one_xeon(),
+            Vec::new(),
+            PilotOpts::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "consumes one MPI process")]
+    fn detection_needs_two_ranks() {
+        let opts = PilotOpts {
+            deadlock_detection: true,
+            ..Default::default()
+        };
+        let _ = PilotConfig::new(
+            ClusterSpec::two_cells_one_xeon(),
+            vec![cp_simnet::NodeId(0)],
+            opts,
+        );
+    }
+
+    #[test]
+    fn process_limit_follows_rank_count() {
+        let mut c = cfg(); // 3 nodes -> 3 ranks -> main + 2 processes
+        assert_eq!(c.processes_available(), 2);
+        c.create_process("a", 0, |_, _| {}).unwrap();
+        c.create_process("b", 1, |_, _| {}).unwrap();
+        assert_eq!(c.processes_available(), 0);
+        assert!(matches!(
+            c.create_process("c", 2, |_, _| {}),
+            Err(PilotError::TooManyProcesses { .. })
+        ));
+    }
+
+    #[test]
+    fn detection_service_consumes_a_rank() {
+        let opts = PilotOpts {
+            deadlock_detection: true,
+            ..Default::default()
+        };
+        let c = PilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        assert_eq!(c.processes_available(), 1);
+    }
+
+    #[test]
+    fn self_channel_rejected() {
+        let mut c = cfg();
+        let a = c.create_process("a", 0, |_, _| {}).unwrap();
+        assert_eq!(
+            c.create_channel(a, a),
+            Err(PilotError::SelfChannel).map(|_: PiChannel| unreachable!())
+        );
+    }
+
+    #[test]
+    fn bundle_requires_common_endpoint() {
+        let mut c = cfg();
+        let a = c.create_process("a", 0, |_, _| {}).unwrap();
+        let b = c.create_process("b", 1, |_, _| {}).unwrap();
+        let ch1 = c.create_channel(crate::PI_MAIN, a).unwrap();
+        let ch2 = c.create_channel(crate::PI_MAIN, b).unwrap();
+        let ch3 = c.create_channel(a, b).unwrap();
+        // Broadcast from PI_MAIN: ok.
+        let bun = c
+            .create_bundle(BundleUsage::Broadcast, &[ch1, ch2])
+            .unwrap();
+        assert_eq!(bun, PiBundle(0));
+        // ch3's writer is not PI_MAIN.
+        assert!(matches!(
+            c.create_bundle(BundleUsage::Broadcast, &[ch1, ch3]),
+            Err(PilotError::ChannelAlreadyBundled(_)) | Err(PilotError::BundleCommonEndpoint)
+        ));
+        // Empty bundle.
+        assert!(matches!(
+            c.create_bundle(BundleUsage::Select, &[]),
+            Err(PilotError::EmptyBundle)
+        ));
+    }
+
+    #[test]
+    fn channel_cannot_join_two_bundles() {
+        let mut c = cfg();
+        let a = c.create_process("a", 0, |_, _| {}).unwrap();
+        let b = c.create_process("b", 1, |_, _| {}).unwrap();
+        let ch1 = c.create_channel(a, crate::PI_MAIN).unwrap();
+        let ch2 = c.create_channel(b, crate::PI_MAIN).unwrap();
+        c.create_bundle(BundleUsage::Gather, &[ch1, ch2]).unwrap();
+        assert!(matches!(
+            c.create_bundle(BundleUsage::Select, &[ch1]),
+            Err(PilotError::ChannelAlreadyBundled(_))
+        ));
+    }
+}

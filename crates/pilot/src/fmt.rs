@@ -1,0 +1,279 @@
+//! Pilot format strings: the `fprintf`/`fscanf`-inspired data descriptions
+//! used by `PI_Write` and `PI_Read`.
+//!
+//! A format is a sequence of conversions, optionally separated by
+//! whitespace. Each conversion is `%`, an optional repetition count (a
+//! positive integer, or `*` meaning "count supplied at run time"), and a
+//! conversion letter:
+//!
+//! | conversion | element type | wire bytes |
+//! |-----------|--------------|-----------|
+//! | `%b`  | byte          | 1  |
+//! | `%c`  | character     | 1  |
+//! | `%hd` | short         | 2  |
+//! | `%d`  | int           | 4  |
+//! | `%u`  | unsigned      | 4  |
+//! | `%ld` | long          | 8  |
+//! | `%f`  | float         | 4  |
+//! | `%lf` | double        | 8  |
+//! | `%Lf` | long double   | 16 |
+//!
+//! As the paper notes, the format "is simply a convenient way to describe
+//! the data; it does not imply that the data is converted to text for
+//! transmission" — and it "need not be a string literal; it can be supplied
+//! by a variable". Example from the paper: `PI_Write(workerdata, "%1000f",
+//! data)` sends 1000 floats; `PI_Read(betweenSPEs, "%*d", 100, Array)`
+//! reads an argument-supplied count of ints.
+
+use cp_mpisim::Datatype;
+use std::fmt;
+
+/// Repetition count of one conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountSpec {
+    /// A fixed count from the format string (`%100d`; bare `%d` is 1).
+    Fixed(usize),
+    /// `%*d`: the count is supplied as a run-time argument.
+    Runtime,
+}
+
+/// One parsed conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conversion {
+    /// How many elements.
+    pub count: CountSpec,
+    /// Element type.
+    pub dtype: Datatype,
+}
+
+/// A format-string parse error, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmtError {
+    /// Byte offset in the format string.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "format error at offset {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for FmtError {}
+
+/// Parse a Pilot format string into its conversions.
+pub fn parse_format(format: &str) -> Result<Vec<Conversion>, FmtError> {
+    let bytes = format.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b != b'%' {
+            return Err(FmtError {
+                at: i,
+                message: format!("expected '%', found {:?}", b as char),
+            });
+        }
+        i += 1;
+        // Count: digits, '*', or empty (=1).
+        let count = if i < bytes.len() && bytes[i] == b'*' {
+            i += 1;
+            CountSpec::Runtime
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i > start {
+                let n: usize = format[start..i].parse().map_err(|_| FmtError {
+                    at: start,
+                    message: "repetition count overflows".into(),
+                })?;
+                if n == 0 {
+                    return Err(FmtError {
+                        at: start,
+                        message: "repetition count must be positive".into(),
+                    });
+                }
+                CountSpec::Fixed(n)
+            } else {
+                CountSpec::Fixed(1)
+            }
+        };
+        // Conversion letter(s).
+        let dtype = match bytes.get(i) {
+            Some(b'b') => {
+                i += 1;
+                Datatype::Byte
+            }
+            Some(b'c') => {
+                i += 1;
+                Datatype::Char
+            }
+            Some(b'd') => {
+                i += 1;
+                Datatype::Int32
+            }
+            Some(b'u') => {
+                i += 1;
+                Datatype::UInt32
+            }
+            Some(b'h') => {
+                if bytes.get(i + 1) == Some(&b'd') {
+                    i += 2;
+                    Datatype::Int16
+                } else {
+                    return Err(FmtError {
+                        at: i,
+                        message: "expected 'hd'".into(),
+                    });
+                }
+            }
+            Some(b'l') => match bytes.get(i + 1) {
+                Some(b'd') => {
+                    i += 2;
+                    Datatype::Int64
+                }
+                Some(b'f') => {
+                    i += 2;
+                    Datatype::Float64
+                }
+                _ => {
+                    return Err(FmtError {
+                        at: i,
+                        message: "expected 'ld' or 'lf'".into(),
+                    })
+                }
+            },
+            Some(b'L') => {
+                if bytes.get(i + 1) == Some(&b'f') {
+                    i += 2;
+                    Datatype::LongDouble
+                } else {
+                    return Err(FmtError {
+                        at: i,
+                        message: "expected 'Lf'".into(),
+                    });
+                }
+            }
+            Some(b'f') => {
+                i += 1;
+                Datatype::Float32
+            }
+            Some(&other) => {
+                return Err(FmtError {
+                    at: i,
+                    message: format!("unknown conversion {:?}", other as char),
+                })
+            }
+            None => {
+                return Err(FmtError {
+                    at: i,
+                    message: "format ends after '%'".into(),
+                })
+            }
+        };
+        out.push(Conversion { count, dtype });
+    }
+    if out.is_empty() {
+        return Err(FmtError {
+            at: 0,
+            message: "format contains no conversions".into(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(fmt: &str) -> Conversion {
+        let v = parse_format(fmt).unwrap();
+        assert_eq!(v.len(), 1);
+        v[0]
+    }
+
+    #[test]
+    fn paper_examples() {
+        // PI_Write(workerdata, "%1000f", data)
+        assert_eq!(
+            one("%1000f"),
+            Conversion {
+                count: CountSpec::Fixed(1000),
+                dtype: Datatype::Float32
+            }
+        );
+        // PI_Write(betweenSPEs, "%100d", Array)
+        assert_eq!(
+            one("%100d"),
+            Conversion {
+                count: CountSpec::Fixed(100),
+                dtype: Datatype::Int32
+            }
+        );
+        // PI_Read(betweenSPEs, "%*d", 100, Array)
+        assert_eq!(
+            one("%*d"),
+            Conversion {
+                count: CountSpec::Runtime,
+                dtype: Datatype::Int32
+            }
+        );
+        // Table II's data types: "%b" and "%100Lf".
+        assert_eq!(one("%b").dtype, Datatype::Byte);
+        assert_eq!(
+            one("%100Lf"),
+            Conversion {
+                count: CountSpec::Fixed(100),
+                dtype: Datatype::LongDouble
+            }
+        );
+    }
+
+    #[test]
+    fn every_conversion_letter() {
+        for (f, dt) in [
+            ("%b", Datatype::Byte),
+            ("%c", Datatype::Char),
+            ("%hd", Datatype::Int16),
+            ("%d", Datatype::Int32),
+            ("%u", Datatype::UInt32),
+            ("%ld", Datatype::Int64),
+            ("%f", Datatype::Float32),
+            ("%lf", Datatype::Float64),
+            ("%Lf", Datatype::LongDouble),
+        ] {
+            assert_eq!(one(f).dtype, dt, "format {f}");
+            assert_eq!(one(f).count, CountSpec::Fixed(1));
+        }
+    }
+
+    #[test]
+    fn multiple_conversions_with_whitespace() {
+        let v = parse_format("%d %10f  %*Lf").unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].count, CountSpec::Fixed(10));
+        assert_eq!(v[2].count, CountSpec::Runtime);
+        assert_eq!(v[2].dtype, Datatype::LongDouble);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert_eq!(parse_format("x%d").unwrap_err().at, 0);
+        assert_eq!(parse_format("%q").unwrap_err().at, 1);
+        assert_eq!(parse_format("%0d").unwrap_err().at, 1);
+        assert!(parse_format("%").unwrap_err().message.contains("ends"));
+        assert!(parse_format("").is_err());
+        assert!(parse_format("   ").is_err());
+        assert!(parse_format("%h").is_err());
+        assert!(parse_format("%lx").is_err());
+        assert!(parse_format("%L").is_err());
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # cp-pilot — the Pilot library
+//!
+//! A from-scratch reimplementation of Pilot (Carter, Gardner, Grewal —
+//! PDSEC'10), the CSP-flavoured process/channel layer over MPI that
+//! CellPilot extends. Applications are written in two phases:
+//!
+//! 1. **Configuration**: declare processes ([`PilotConfig::create_process`]),
+//!    channels between process pairs ([`PilotConfig::create_channel`]) and
+//!    bundles ([`PilotConfig::create_bundle`]).
+//! 2. **Execution** ([`PilotConfig::run`]): every process runs its
+//!    function; `PI_MAIN` (rank 0) runs `main`. Processes communicate only
+//!    over the pre-declared channels with stdio-style formats:
+//!    `pi_write!(p, chan, "%1000f", data)` / `pi_read!(p, chan, "%*f")`.
+//!
+//! Pilot's safety story is reproduced: the architecture is enforced at run
+//! time (writing someone else's channel, format mismatches, etc. abort
+//! with a source-located diagnostic), and the optional deadlock-detection
+//! service diagnoses circular waits.
+//!
+//! ```
+//! use cp_pilot::{PilotConfig, PilotOpts, pi_write, pi_read};
+//! use cp_simnet::ClusterSpec;
+//!
+//! let mut cfg = PilotConfig::one_rank_per_node(
+//!     ClusterSpec::two_cells_one_xeon(), PilotOpts::default());
+//! let worker = cfg.create_process("worker", 0, |p, _idx| {
+//!     let vals = pi_read!(p, cp_pilot::PiChannel(0), "%*d");
+//!     assert_eq!(vals[0], cp_pilot::PiValue::Int32(vec![1, 2, 3]));
+//! }).unwrap();
+//! let chan = cfg.create_channel(cp_pilot::PI_MAIN, worker).unwrap();
+//! cfg.run(move |p| {
+//!     pi_write!(p, chan, "%3d", vec![1i32, 2, 3]);
+//! }).unwrap();
+//! ```
+
+mod config;
+mod error;
+pub mod fmt;
+mod runtime;
+mod service;
+mod table;
+pub mod value;
+
+pub use config::{PilotConfig, PilotOpts};
+pub use error::PilotError;
+pub use fmt::{parse_format, Conversion, CountSpec, FmtError};
+pub use runtime::{CallLog, CallRecord, Pilot, PilotCosts};
+pub use table::{BundleUsage, PiBundle, PiChannel, PiProcess, Tables, PI_MAIN};
+pub use value::{pack_message, payload_bytes, unpack_message, MatchError, PiValue};

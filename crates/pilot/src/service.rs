@@ -1,0 +1,244 @@
+//! Pilot's integrated deadlock-detection service (`-pisvc=d`).
+//!
+//! The service consumes one MPI process. Application processes report
+//! channel operations to it with small fire-and-forget messages: a write
+//! reports `EV_WRITE` after sending, a read reports `EV_READWAIT` before
+//! blocking. The detector pairs reads with writes per channel, maintains a
+//! wait-for graph of genuinely-blocked readers, and when it finds a cycle
+//! that survives a grace period (long enough for any in-flight satisfying
+//! writes to be reported), it aborts the application with a diagnostic
+//! naming the deadlocked processes — the paper's "errors such as circular
+//! wait will cause the program to abort with a diagnostic message
+//! identifying the deadlocked processes".
+
+use crate::error::PilotError;
+use crate::table::Tables;
+use cp_des::SimDuration;
+use cp_mpisim::Comm;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reserved tag for service traffic.
+pub(crate) const TAG_SVC: i32 = -500;
+
+/// Event kinds.
+pub(crate) const EV_WRITE: u8 = 0;
+pub(crate) const EV_READWAIT: u8 = 1;
+pub(crate) const EV_FINISH: u8 = 2;
+
+/// Encode an event payload.
+pub(crate) fn encode_event(kind: u8, id: u32) -> Vec<u8> {
+    let mut v = Vec::with_capacity(5);
+    v.push(kind);
+    v.extend_from_slice(&id.to_be_bytes());
+    v
+}
+
+fn decode_event(bytes: &[u8]) -> (u8, u32) {
+    (
+        bytes[0],
+        u32::from_be_bytes(bytes[1..5].try_into().expect("event payload")),
+    )
+}
+
+/// How long a detected cycle must persist before it is declared a
+/// deadlock. Covers the worst-case reporting latency of a satisfying
+/// write already in flight.
+const GRACE_US: u64 = 2_000;
+/// Poll interval while confirming a suspected cycle.
+const POLL_US: u64 = 100;
+
+struct Detector {
+    tables: Arc<Tables>,
+    /// Writes reported but not yet paired with a read, per channel.
+    writes_avail: HashMap<usize, usize>,
+    /// Reader rank currently blocked per channel.
+    waiting: HashMap<usize, usize>,
+    /// reader rank -> (channel, writer rank) wait-for edge.
+    edges: HashMap<usize, (usize, usize)>,
+    finished: usize,
+}
+
+impl Detector {
+    fn on_event(&mut self, src: usize, kind: u8, id: u32) -> Option<Vec<usize>> {
+        match kind {
+            EV_WRITE => {
+                let chan = id as usize;
+                if let Some(reader) = self.waiting.remove(&chan) {
+                    self.edges.remove(&reader);
+                } else {
+                    *self.writes_avail.entry(chan).or_insert(0) += 1;
+                }
+                None
+            }
+            EV_READWAIT => {
+                let chan = id as usize;
+                let avail = self.writes_avail.entry(chan).or_insert(0);
+                if *avail > 0 {
+                    *avail -= 1;
+                    return None;
+                }
+                let writer_proc = self.tables.channels[chan].from;
+                let writer_rank = self.tables.processes[writer_proc.0].rank;
+                self.waiting.insert(chan, src);
+                self.edges.insert(src, (chan, writer_rank));
+                self.find_cycle(src)
+            }
+            EV_FINISH => {
+                self.finished += 1;
+                None
+            }
+            other => panic!("unknown service event kind {other}"),
+        }
+    }
+
+    /// Follow wait-for edges from `start`; return the rank cycle if we
+    /// come back around.
+    fn find_cycle(&self, start: usize) -> Option<Vec<usize>> {
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some(&(_chan, next)) = self.edges.get(&cur) {
+            if next == start {
+                path.push(start);
+                return Some(path);
+            }
+            if path.contains(&next) {
+                // A cycle not involving `start`; it will be found when one
+                // of its own members reports.
+                return None;
+            }
+            path.push(next);
+            cur = next;
+        }
+        None
+    }
+
+    fn cycle_still_present(&self, cycle: &[usize]) -> bool {
+        cycle
+            .windows(2)
+            .all(|w| matches!(self.edges.get(&w[0]), Some(&(_, n)) if n == w[1]))
+    }
+}
+
+/// The service process body.
+pub(crate) fn detector_main(comm: Comm, tables: Arc<Tables>) {
+    let app_count = tables.processes.len();
+    let mut det = Detector {
+        tables: tables.clone(),
+        writes_avail: HashMap::new(),
+        waiting: HashMap::new(),
+        edges: HashMap::new(),
+        finished: 0,
+    };
+    loop {
+        let msg = comm.recv(None, Some(TAG_SVC));
+        let (kind, id) = decode_event(&msg.data);
+        let suspect = det.on_event(msg.src, kind, id);
+        if det.finished == app_count {
+            return;
+        }
+        if let Some(cycle) = suspect {
+            // Confirmation: give in-flight satisfying writes a grace
+            // period to arrive before declaring.
+            let mut waited = 0u64;
+            let confirmed = loop {
+                while let Some((src, _tag, _dt, count)) = comm.iprobe(None, Some(TAG_SVC)) {
+                    let _ = count;
+                    let m = comm.recv(Some(src), Some(TAG_SVC));
+                    let (k, i) = decode_event(&m.data);
+                    let _ = det.on_event(m.src, k, i);
+                }
+                if !det.cycle_still_present(&cycle) {
+                    break false;
+                }
+                if waited >= GRACE_US {
+                    break true;
+                }
+                comm.ctx().advance(SimDuration::from_micros(POLL_US));
+                waited += POLL_US;
+            };
+            if confirmed {
+                let names: Vec<String> = cycle.iter().map(|&r| tables.name_of_rank(r)).collect();
+                let err = PilotError::CircularWait { cycle: names };
+                comm.ctx().abort(&err.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ChannelEntry, PiProcess, ProcessEntry};
+
+    fn tables_two_procs_two_chans() -> Arc<Tables> {
+        let mut t = Tables::default();
+        t.processes.push(ProcessEntry {
+            name: "main".into(),
+            rank: 0,
+            index: 0,
+        });
+        t.processes.push(ProcessEntry {
+            name: "worker".into(),
+            rank: 1,
+            index: 0,
+        });
+        // chan 0: main -> worker; chan 1: worker -> main.
+        t.channels.push(ChannelEntry {
+            from: PiProcess(0),
+            to: PiProcess(1),
+            bundle: None,
+        });
+        t.channels.push(ChannelEntry {
+            from: PiProcess(1),
+            to: PiProcess(0),
+            bundle: None,
+        });
+        Arc::new(t)
+    }
+
+    fn det() -> Detector {
+        Detector {
+            tables: tables_two_procs_two_chans(),
+            writes_avail: HashMap::new(),
+            waiting: HashMap::new(),
+            edges: HashMap::new(),
+            finished: 0,
+        }
+    }
+
+    #[test]
+    fn write_then_read_never_blocks() {
+        let mut d = det();
+        assert!(d.on_event(0, EV_WRITE, 0).is_none());
+        assert!(d.on_event(1, EV_READWAIT, 0).is_none());
+        assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn read_before_write_makes_edge_then_clears() {
+        let mut d = det();
+        assert!(d.on_event(1, EV_READWAIT, 0).is_none()); // worker waits on main
+        assert_eq!(d.edges.get(&1), Some(&(0, 0)));
+        assert!(d.on_event(0, EV_WRITE, 0).is_none());
+        assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn mutual_reads_form_cycle() {
+        let mut d = det();
+        assert!(d.on_event(1, EV_READWAIT, 0).is_none()); // worker waits on main (chan0)
+        let cycle = d.on_event(0, EV_READWAIT, 1); // main waits on worker (chan1)
+        assert_eq!(cycle, Some(vec![0, 1, 0]));
+        assert!(d.cycle_still_present(&[0, 1, 0]));
+        // A satisfying write breaks it.
+        let _ = d.on_event(1, EV_WRITE, 1);
+        assert!(!d.cycle_still_present(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn event_encoding_roundtrip() {
+        let e = encode_event(EV_READWAIT, 0xDEAD);
+        assert_eq!(decode_event(&e), (EV_READWAIT, 0xDEAD));
+    }
+}

@@ -1,0 +1,135 @@
+//! The internal tables built during the configuration phase.
+//!
+//! Pilot's configuration phase "is concurrently executed by every MPI
+//! process in the cluster, resulting in the construction of equivalent
+//! internal tables on the various processors". In the simulation we build
+//! the tables once and share them immutably (`Arc`) with every rank, which
+//! models the same property: every process sees the identical architecture,
+//! and the runtime enforces it.
+
+use crate::error::PilotError;
+
+/// Handle to a Pilot process (index into the process table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PiProcess(pub usize);
+
+/// The distinguished main process (MPI rank 0); it has no associated
+/// function and simply continues executing `main`.
+pub const PI_MAIN: PiProcess = PiProcess(0);
+
+/// Handle to a channel (index into the channel table; doubles as the MPI
+/// tag its traffic travels under).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PiChannel(pub usize);
+
+/// Handle to a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PiBundle(pub usize);
+
+/// What a bundle is for (fixed at creation, like Pilot V1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BundleUsage {
+    /// One writer (the common endpoint) to many readers.
+    Broadcast,
+    /// Many writers to one reader (the common endpoint).
+    Gather,
+    /// Many writers to one reader who waits for *any* of them.
+    Select,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ProcessEntry {
+    pub name: String,
+    /// MPI rank backing this process.
+    pub rank: usize,
+    /// Index argument passed to the process function.
+    pub index: i32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelEntry {
+    /// Writer process.
+    pub from: PiProcess,
+    /// Reader process.
+    pub to: PiProcess,
+    /// Bundle membership, if any.
+    pub bundle: Option<PiBundle>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct BundleEntry {
+    pub usage: BundleUsage,
+    /// Member channels in creation order.
+    pub channels: Vec<PiChannel>,
+    /// The common endpoint process.
+    pub common: PiProcess,
+}
+
+/// The immutable application architecture shared by every rank.
+#[derive(Debug, Default)]
+pub struct Tables {
+    pub(crate) processes: Vec<ProcessEntry>,
+    pub(crate) channels: Vec<ChannelEntry>,
+    pub(crate) bundles: Vec<BundleEntry>,
+    /// Rank of the deadlock-detection service, if enabled.
+    pub(crate) detector_rank: Option<usize>,
+}
+
+impl Tables {
+    pub(crate) fn process(&self, p: PiProcess) -> Result<&ProcessEntry, PilotError> {
+        self.processes
+            .get(p.0)
+            .ok_or(PilotError::NoSuchProcess(p.0))
+    }
+
+    pub(crate) fn channel(&self, c: PiChannel) -> Result<&ChannelEntry, PilotError> {
+        self.channels.get(c.0).ok_or(PilotError::NoSuchChannel(c.0))
+    }
+
+    pub(crate) fn bundle(&self, b: PiBundle) -> Result<&BundleEntry, PilotError> {
+        self.bundles.get(b.0).ok_or(PilotError::NoSuchBundle(b.0))
+    }
+
+    /// The MPI tag channel `c`'s data travels under.
+    pub(crate) fn chan_tag(c: PiChannel) -> i32 {
+        c.0 as i32
+    }
+
+    /// The MPI tag bundle `b`'s tree traffic travels under (negative:
+    /// reserved space, can never collide with channel tags).
+    pub(crate) fn bundle_tag(b: PiBundle) -> i32 {
+        -(1000 + b.0 as i32)
+    }
+
+    /// Name of the process backed by `rank` (for diagnostics).
+    pub(crate) fn name_of_rank(&self, rank: usize) -> String {
+        self.processes
+            .iter()
+            .find(|p| p.rank == rank)
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| format!("rank{rank}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_spaces_are_disjoint() {
+        // Channel tags are >= 0; bundle tags <= -1000; the detector tag and
+        // collective tags used by cp-mpisim live in between.
+        assert_eq!(Tables::chan_tag(PiChannel(0)), 0);
+        assert_eq!(Tables::chan_tag(PiChannel(77)), 77);
+        assert_eq!(Tables::bundle_tag(PiBundle(0)), -1000);
+        assert_eq!(Tables::bundle_tag(PiBundle(5)), -1005);
+    }
+
+    #[test]
+    fn lookups_reject_unknown_handles() {
+        let t = Tables::default();
+        assert!(t.process(PiProcess(0)).is_err());
+        assert!(t.channel(PiChannel(1)).is_err());
+        assert!(t.bundle(PiBundle(2)).is_err());
+    }
+}

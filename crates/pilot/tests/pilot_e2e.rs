@@ -1,0 +1,575 @@
+//! End-to-end Pilot application tests: full configure→execute runs on the
+//! simulated cluster.
+
+use cp_des::SimError;
+use cp_pilot::{pi_read, pi_write, BundleUsage, PiValue, PilotConfig, PilotOpts, PI_MAIN};
+use cp_simnet::{ClusterSpec, NodeId, NodeKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn commodity_spec(n: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes: vec![NodeKind::Commodity { cores: 4 }; n],
+        ..ClusterSpec::two_cells_one_xeon()
+    }
+}
+
+fn cfg_n(ranks: usize) -> PilotConfig {
+    let spec = commodity_spec(ranks);
+    let placement = (0..ranks).map(NodeId).collect();
+    PilotConfig::new(spec, placement, PilotOpts::default())
+}
+
+#[test]
+fn paper_style_write_read_roundtrip() {
+    // The paper's first example: PI_Write(workerdata, "%1000f", data).
+    let mut cfg = cfg_n(2);
+    let worker = cfg
+        .create_process("worker", 0, |p, _| {
+            let vals = pi_read!(p, cp_pilot::PiChannel(0), "%1000f");
+            match &vals[0] {
+                PiValue::Float32(v) => {
+                    assert_eq!(v.len(), 1000);
+                    assert_eq!(v[7], 7.0);
+                }
+                other => panic!("wrong type {other:?}"),
+            }
+        })
+        .unwrap();
+    let workerdata = cfg.create_channel(PI_MAIN, worker).unwrap();
+    cfg.run(move |p| {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        pi_write!(p, workerdata, "%1000f", data);
+    })
+    .unwrap();
+}
+
+#[test]
+fn star_format_reads_runtime_length() {
+    let mut cfg = cfg_n(2);
+    let worker = cfg
+        .create_process("worker", 0, |p, _| {
+            // "%*d" with "*" illustrating argument-supplied length.
+            let vals = pi_read!(p, cp_pilot::PiChannel(0), "%*d");
+            assert_eq!(vals[0], PiValue::Int32((0..100).collect()));
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, worker).unwrap();
+    cfg.run(move |p| {
+        let arr: Vec<i32> = (0..100).collect();
+        pi_write!(p, chan, "%100d", arr);
+    })
+    .unwrap();
+}
+
+#[test]
+fn multi_segment_message() {
+    let mut cfg = cfg_n(2);
+    let worker = cfg
+        .create_process("worker", 0, |p, _| {
+            let vals = pi_read!(p, cp_pilot::PiChannel(0), "%d %*lf %3c");
+            assert_eq!(vals[0], PiValue::Int32(vec![42]));
+            assert_eq!(vals[1], PiValue::Float64(vec![1.5, -2.5]));
+            assert_eq!(vals[2], PiValue::Char(b"abc".to_vec()));
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, worker).unwrap();
+    cfg.run(move |p| {
+        let r = p.write(
+            chan,
+            "%d %2lf %3c",
+            &[
+                PiValue::Int32(vec![42]),
+                PiValue::Float64(vec![1.5, -2.5]),
+                PiValue::Char(b"abc".to_vec()),
+            ],
+        );
+        r.unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn index_parameter_distinguishes_instances() {
+    // "The same function body can be associated with multiple processes,
+    // and an index parameter can be passed so it can identify its own
+    // instance."
+    let mut cfg = cfg_n(4);
+    let body = |p: &cp_pilot::Pilot, idx: i32| {
+        pi_write!(p, cp_pilot::PiChannel(idx as usize), "%d", idx * 100);
+    };
+    let mut chans = Vec::new();
+    for i in 0..3 {
+        let proc = cfg.create_process("worker", i, body).unwrap();
+        chans.push(cfg.create_channel(proc, PI_MAIN).unwrap());
+    }
+    cfg.run(move |p| {
+        for (i, &c) in chans.iter().enumerate() {
+            let vals = pi_read!(p, c, "%d");
+            assert_eq!(vals[0], PiValue::Int32(vec![i as i32 * 100]));
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn wrong_writer_aborts_with_location() {
+    let mut cfg = cfg_n(3);
+    let a = cfg
+        .create_process("innocent", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+        })
+        .unwrap();
+    let _intruder = cfg
+        .create_process("intruder", 0, |p, _| {
+            // Channel 0 belongs to main->innocent; this write must abort.
+            pi_write!(p, cp_pilot::PiChannel(0), "%d", 1);
+        })
+        .unwrap();
+    let _chan = cfg.create_channel(PI_MAIN, a).unwrap();
+    match cfg.run(|_p| {}) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("intruder"), "{message}");
+            assert!(message.contains("not the writer"), "{message}");
+            assert!(message.contains("pilot_e2e.rs"), "source file: {message}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn format_mismatch_between_endpoints_aborts() {
+    let mut cfg = cfg_n(2);
+    let w = cfg
+        .create_process("reader", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(0), "%5d"); // writer sends floats
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, w).unwrap();
+    match cfg.run(move |p| {
+        pi_write!(p, chan, "%5f", vec![0f32; 5]);
+    }) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("disagrees with writer"), "{message}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn broadcast_bundle_mpmd_convention() {
+    // Only the broadcaster calls broadcast; receivers call read.
+    let n_workers = 5;
+    let mut cfg = cfg_n(n_workers + 1);
+    let mut chans = Vec::new();
+    let mut procs = Vec::new();
+    for i in 0..n_workers {
+        let w = cfg
+            .create_process("recv", i as i32, move |p, idx| {
+                let vals = pi_read!(p, cp_pilot::PiChannel(idx as usize), "%4u");
+                assert_eq!(vals[0], PiValue::UInt32(vec![10, 20, 30, 40]));
+            })
+            .unwrap();
+        procs.push(w);
+    }
+    for &w in &procs {
+        chans.push(cfg.create_channel(PI_MAIN, w).unwrap());
+    }
+    let bundle = cfg.create_bundle(BundleUsage::Broadcast, &chans).unwrap();
+    cfg.run(move |p| {
+        p.broadcast(bundle, "%4u", &[PiValue::UInt32(vec![10, 20, 30, 40])])
+            .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn gather_bundle_collects_in_channel_order() {
+    let n_workers = 4;
+    let mut cfg = cfg_n(n_workers + 1);
+    let mut chans = Vec::new();
+    for i in 0..n_workers {
+        let w = cfg
+            .create_process("send", i as i32, move |p, idx| {
+                pi_write!(p, cp_pilot::PiChannel(idx as usize), "%d", idx * 2);
+            })
+            .unwrap();
+        chans.push(cfg.create_channel(w, PI_MAIN).unwrap());
+    }
+    let bundle = cfg.create_bundle(BundleUsage::Gather, &chans).unwrap();
+    cfg.run(move |p| {
+        let rows = p.gather(bundle, "%d").unwrap();
+        let got: Vec<i32> = rows
+            .iter()
+            .map(|r| match &r[0] {
+                PiValue::Int32(v) => v[0],
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![0, 2, 4, 6]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn select_returns_ready_channel() {
+    let mut cfg = cfg_n(3);
+    let fast = cfg
+        .create_process("fast", 0, |p, _| {
+            pi_write!(p, cp_pilot::PiChannel(0), "%b", 1u8);
+        })
+        .unwrap();
+    let slow = cfg
+        .create_process("slow", 0, |p, _| {
+            p.ctx().advance(cp_des::SimDuration::from_millis(50));
+            pi_write!(p, cp_pilot::PiChannel(1), "%b", 2u8);
+        })
+        .unwrap();
+    let c_fast = cfg.create_channel(fast, PI_MAIN).unwrap();
+    let c_slow = cfg.create_channel(slow, PI_MAIN).unwrap();
+    let bundle = cfg
+        .create_bundle(BundleUsage::Select, &[c_fast, c_slow])
+        .unwrap();
+    cfg.run(move |p| {
+        let ready = p.select(bundle).unwrap();
+        assert_eq!(ready, c_fast, "fast channel is ready first");
+        let v = pi_read!(p, ready, "%b");
+        assert_eq!(v[0], PiValue::Byte(vec![1]));
+        // try_select: slow not ready yet right after the first message.
+        let second = p.select(bundle).unwrap();
+        assert_eq!(second, c_slow);
+        let v = pi_read!(p, second, "%b");
+        assert_eq!(v[0], PiValue::Byte(vec![2]));
+    })
+    .unwrap();
+}
+
+#[test]
+fn channel_has_data_nonblocking() {
+    let mut cfg = cfg_n(2);
+    let w = cfg
+        .create_process("w", 0, |p, _| {
+            p.ctx().advance(cp_des::SimDuration::from_millis(10));
+            pi_write!(p, cp_pilot::PiChannel(0), "%d", 5);
+        })
+        .unwrap();
+    let chan = cfg.create_channel(w, PI_MAIN).unwrap();
+    cfg.run(move |p| {
+        assert!(!p.channel_has_data(chan).unwrap());
+        p.ctx().advance(cp_des::SimDuration::from_millis(20));
+        assert!(p.channel_has_data(chan).unwrap());
+        let _ = pi_read!(p, chan, "%d");
+    })
+    .unwrap();
+}
+
+#[test]
+fn deadlock_service_diagnoses_circular_wait() {
+    // Two processes each read before anyone writes: classic circular wait.
+    // With -pisvc=d the Pilot service must name the deadlocked processes.
+    let spec = commodity_spec(4);
+    let placement = (0..4).map(NodeId).collect();
+    let opts = PilotOpts {
+        deadlock_detection: true,
+        ..Default::default()
+    };
+    let mut cfg = PilotConfig::new(spec, placement, opts);
+    let ping = cfg
+        .create_process("ping", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(1), "%d"); // waits on pong
+            pi_write!(p, cp_pilot::PiChannel(0), "%d", 1);
+        })
+        .unwrap();
+    let pong = cfg
+        .create_process("pong", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(0), "%d"); // waits on ping
+            pi_write!(p, cp_pilot::PiChannel(1), "%d", 2);
+        })
+        .unwrap();
+    let _c0 = cfg.create_channel(ping, pong).unwrap();
+    let _c1 = cfg.create_channel(pong, ping).unwrap();
+    match cfg.run(|_p| {}) {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(message.contains("DEADLOCK"), "{message}");
+            assert!(
+                message.contains("ping") && message.contains("pong"),
+                "{message}"
+            );
+        }
+        other => panic!("expected service abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_service_stays_quiet_on_healthy_pingpong() {
+    // The grace-period logic must not flag a real exchange as deadlock.
+    let spec = commodity_spec(4);
+    let placement = (0..4).map(NodeId).collect();
+    let opts = PilotOpts {
+        deadlock_detection: true,
+        ..Default::default()
+    };
+    let mut cfg = PilotConfig::new(spec, placement, opts);
+    let ping = cfg
+        .create_process("ping", 0, |p, _| {
+            for i in 0..20 {
+                pi_write!(p, cp_pilot::PiChannel(0), "%d", i);
+                let v = pi_read!(p, cp_pilot::PiChannel(1), "%d");
+                assert_eq!(v[0], PiValue::Int32(vec![i]));
+            }
+        })
+        .unwrap();
+    let pong = cfg
+        .create_process("pong", 0, |p, _| {
+            for _ in 0..20 {
+                let v = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+                let PiValue::Int32(x) = &v[0] else {
+                    unreachable!()
+                };
+                pi_write!(p, cp_pilot::PiChannel(1), "%d", x[0]);
+            }
+        })
+        .unwrap();
+    let _c0 = cfg.create_channel(ping, pong).unwrap();
+    let _c1 = cfg.create_channel(pong, ping).unwrap();
+    cfg.run(|_p| {}).unwrap();
+}
+
+#[test]
+fn without_service_deadlock_is_still_caught_by_simulator() {
+    let mut cfg = cfg_n(3);
+    let a = cfg
+        .create_process("a", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+        })
+        .unwrap();
+    let b = cfg
+        .create_process("b", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(1), "%d");
+        })
+        .unwrap();
+    let _c0 = cfg.create_channel(b, a).unwrap();
+    let _c1 = cfg.create_channel(a, b).unwrap();
+    match cfg.run(|_p| {}) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(blocked.iter().any(|(_, n, _)| n == "a"));
+            assert!(blocked.iter().any(|(_, n, _)| n == "b"));
+        }
+        other => panic!("expected simulator deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn many_messages_preserve_order_and_content() {
+    let mut cfg = cfg_n(2);
+    let sink = cfg
+        .create_process("sink", 0, |p, _| {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for _ in 0..50 {
+                let v = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+                let PiValue::Int32(x) = &v[0] else {
+                    unreachable!()
+                };
+                log.lock().push(x[0]);
+            }
+            let l = log.lock();
+            assert_eq!(*l, (0..50).collect::<Vec<i32>>());
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, sink).unwrap();
+    cfg.run(move |p| {
+        for i in 0..50 {
+            pi_write!(p, chan, "%d", i);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn every_datatype_travels_intact() {
+    use cp_mpisim::LongDouble;
+    let mut cfg = cfg_n(2);
+    let w = cfg
+        .create_process("w", 0, |p, _| {
+            let v = pi_read!(
+                p,
+                cp_pilot::PiChannel(0),
+                "%2b %2c %2hd %2d %2u %2ld %2f %2lf %2Lf"
+            );
+            assert_eq!(v[0], PiValue::Byte(vec![1, 255]));
+            assert_eq!(v[1], PiValue::Char(b"hi".to_vec()));
+            assert_eq!(v[2], PiValue::Int16(vec![-5, 300]));
+            assert_eq!(v[3], PiValue::Int32(vec![i32::MIN, i32::MAX]));
+            assert_eq!(v[4], PiValue::UInt32(vec![0, u32::MAX]));
+            assert_eq!(v[5], PiValue::Int64(vec![i64::MIN, i64::MAX]));
+            assert_eq!(v[6], PiValue::Float32(vec![1.5, -0.25]));
+            assert_eq!(v[7], PiValue::Float64(vec![std::f64::consts::PI, -1.0]));
+            assert_eq!(
+                v[8],
+                PiValue::LongDouble(vec![LongDouble(2.5), LongDouble(-9.0)])
+            );
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, w).unwrap();
+    cfg.run(move |p| {
+        p.write(
+            chan,
+            "%2b %2c %2hd %2d %2u %2ld %2f %2lf %2Lf",
+            &[
+                PiValue::Byte(vec![1, 255]),
+                PiValue::Char(b"hi".to_vec()),
+                PiValue::Int16(vec![-5, 300]),
+                PiValue::Int32(vec![i32::MIN, i32::MAX]),
+                PiValue::UInt32(vec![0, u32::MAX]),
+                PiValue::Int64(vec![i64::MIN, i64::MAX]),
+                PiValue::Float32(vec![1.5, -0.25]),
+                PiValue::Float64(vec![std::f64::consts::PI, -1.0]),
+                PiValue::LongDouble(vec![LongDouble(2.5), LongDouble(-9.0)]),
+            ],
+        )
+        .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn heterogeneous_endpoints_xeon_to_ppe() {
+    // A Xeon-hosted process talks to a PPE-hosted process; MPI's canonical
+    // wire format bridges word length and endianness.
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let placement = vec![NodeId(2), NodeId(0)]; // main on Xeon, worker on Cell PPE
+    let mut cfg = PilotConfig::new(spec, placement, PilotOpts::default());
+    let w = cfg
+        .create_process("on-ppe", 0, |p, _| {
+            let v = pi_read!(p, cp_pilot::PiChannel(0), "%3ld");
+            assert_eq!(v[0], PiValue::Int64(vec![1, -2, 3]));
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, w).unwrap();
+    cfg.run(move |p| {
+        pi_write!(p, chan, "%3ld", vec![1i64, -2, 3]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn call_log_records_ops_in_time_order() {
+    // -pisvc=c: the call log shows every channel operation, timestamped.
+    let mut cfg = PilotConfig::new(
+        commodity_spec(2),
+        (0..2).map(NodeId).collect(),
+        PilotOpts {
+            call_log: true,
+            ..Default::default()
+        },
+    );
+    let w = cfg
+        .create_process("worker", 0, |p, _| {
+            let v = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+            pi_write!(p, cp_pilot::PiChannel(1), "%d", {
+                let PiValue::Int32(x) = &v[0] else {
+                    unreachable!()
+                };
+                x[0] + 1
+            });
+        })
+        .unwrap();
+    let c0 = cfg.create_channel(PI_MAIN, w).unwrap();
+    let c1 = cfg.create_channel(w, PI_MAIN).unwrap();
+    let (_report, log) = cfg
+        .run_logged(move |p| {
+            pi_write!(p, c0, "%d", 5);
+            let _ = pi_read!(p, c1, "%d");
+        })
+        .unwrap();
+    let ops: Vec<(&str, usize, String)> = log
+        .iter()
+        .map(|r| (r.op, r.subject, r.process.clone()))
+        .collect();
+    assert_eq!(ops.len(), 4, "{ops:?}");
+    assert_eq!(ops[0], ("write", 0, "main".into()));
+    assert_eq!(ops[1], ("read", 0, "worker".into()));
+    assert_eq!(ops[2], ("write", 1, "worker".into()));
+    assert_eq!(ops[3], ("read", 1, "main".into()));
+    assert!(log.windows(2).all(|w| w[0].at <= w[1].at));
+}
+
+#[test]
+fn call_log_disabled_is_empty() {
+    let mut cfg = cfg_n(2);
+    let w = cfg
+        .create_process("worker", 0, |p, _| {
+            let _ = pi_read!(p, cp_pilot::PiChannel(0), "%d");
+        })
+        .unwrap();
+    let c0 = cfg.create_channel(PI_MAIN, w).unwrap();
+    let (_report, log) = cfg
+        .run_logged(move |p| {
+            pi_write!(p, c0, "%d", 1);
+        })
+        .unwrap();
+    assert!(log.is_empty());
+}
+
+#[test]
+fn broadcast_tree_spans_eleven_ranks() {
+    // A 10-receiver broadcast bundle exercises a 4-level binomial tree
+    // (receivers forward inside their read calls).
+    let n = 10;
+    let mut cfg = cfg_n(n + 1);
+    let mut chans = Vec::new();
+    let mut procs = Vec::new();
+    for i in 0..n {
+        procs.push(
+            cfg.create_process("r", i as i32, move |p, idx| {
+                let vals = pi_read!(p, cp_pilot::PiChannel(idx as usize), "%*ld");
+                assert_eq!(vals[0], PiValue::Int64((0..32).collect()));
+            })
+            .unwrap(),
+        );
+    }
+    for &w in &procs {
+        chans.push(cfg.create_channel(PI_MAIN, w).unwrap());
+    }
+    let bundle = cfg.create_bundle(BundleUsage::Broadcast, &chans).unwrap();
+    cfg.run(move |p| {
+        p.broadcast(bundle, "%32ld", &[PiValue::Int64((0..32).collect())])
+            .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn select_server_drains_clients_in_readiness_order() {
+    // A server uses PI_Select in a loop to serve whichever client is
+    // ready — the "Unix select" pattern the paper describes.
+    let n = 4;
+    let mut cfg = cfg_n(n + 1);
+    let mut chans = Vec::new();
+    for i in 0..n {
+        let w = cfg
+            .create_process("client", i as i32, move |p, idx| {
+                // Client i speaks up at t = (n - i) * 10ms: reverse order.
+                let delay = (4 - idx as u64) * 10;
+                p.ctx().advance(cp_des::SimDuration::from_millis(delay));
+                pi_write!(p, cp_pilot::PiChannel(idx as usize), "%d", idx);
+            })
+            .unwrap();
+        chans.push(cfg.create_channel(w, PI_MAIN).unwrap());
+    }
+    let bundle = cfg.create_bundle(BundleUsage::Select, &chans).unwrap();
+    cfg.run(move |p| {
+        let mut served = Vec::new();
+        for _ in 0..n {
+            let ready = p.select(bundle).unwrap();
+            let vals = pi_read!(p, ready, "%d");
+            let PiValue::Int32(v) = &vals[0] else {
+                unreachable!()
+            };
+            served.push(v[0]);
+        }
+        // Readiness order is reverse client order.
+        assert_eq!(served, vec![3, 2, 1, 0]);
+    })
+    .unwrap();
+}

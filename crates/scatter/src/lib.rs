@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # cp-scatter — scatter-search case study on CellPilot
+//!
+//! The paper's Section VI case study: "the parallelization and
+//! implementation of scatter search, a well-known meta-heuristic that has
+//! been successfully applied to a variety of NP-hard problems". Provides
+//! the five-component sequential template on a 0/1-knapsack black box, and
+//! a CellPilot master/worker parallelization whose improvement step runs
+//! on SPE workers across the hybrid cluster — bit-identical to the
+//! sequential search, just faster in virtual time.
+
+mod features;
+mod parallel;
+mod problem;
+mod scatter;
+
+pub use features::FeatureSelect;
+pub use parallel::{
+    parallel_scatter_search, ParallelResult, PPE_IMPROVE_US_PER_BIT_PASS,
+    SPE_IMPROVE_US_PER_BIT_PASS,
+};
+pub use problem::{BinaryProblem, Knapsack, MaxCut};
+pub use scatter::{
+    build_refset, combine, diversify, hamming, improve, scatter_search, Scored, SsParams,
+};

@@ -1,0 +1,286 @@
+//! Scatter search parallelized over CellPilot: the master (on a PPE)
+//! maintains the reference set; SPE worker processes — potentially spread
+//! over several Cell nodes — run the compute-heavy improvement step.
+//!
+//! The decomposition follows the paper's master/worker sketch for the
+//! case study: candidates travel to workers over per-worker channels
+//! (types 2 and 3, routed transparently), improved solutions come back the
+//! same way, and a zero-length message is the shutdown signal. With the
+//! same seed the parallel search visits exactly the candidates of
+//! [`crate::scatter::scatter_search`], so results are bit-identical.
+
+use crate::problem::BinaryProblem;
+use crate::scatter::{build_refset, combine, diversify, improve, Scored, SsParams};
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_des::SimDuration;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Modelled SPE compute cost of one improvement pass over one bit
+/// (vectorized local search on the SPE's SIMD units), µs.
+pub const SPE_IMPROVE_US_PER_BIT_PASS: f64 = 0.2;
+
+/// Modelled PPE compute cost for the same work (the "relatively slow"
+/// in-order PPE the paper describes), µs.
+pub const PPE_IMPROVE_US_PER_BIT_PASS: f64 = 0.8;
+
+/// Outcome of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Best solution found.
+    pub best: Scored,
+    /// Virtual time the whole application took, µs.
+    pub virtual_us: f64,
+    /// Worker count used.
+    pub workers: usize,
+}
+
+/// Run scatter search with `workers` SPE workers spread round-robin over
+/// the cluster's Cell nodes.
+pub fn parallel_scatter_search<P: BinaryProblem>(
+    problem: &P,
+    params: &SsParams,
+    workers: usize,
+    spec: &ClusterSpec,
+) -> ParallelResult {
+    assert!(workers >= 1, "need at least one worker");
+    let problem = Arc::new(problem.clone());
+    let params = params.clone();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec.clone(), CellPilotOpts::default());
+
+    // One host process per additional Cell node; it launches its local SPE
+    // workers and waits for them.
+    let cell_nodes: Vec<usize> = spec
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| k.is_cell())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!cell_nodes.is_empty(), "scatter search needs a Cell node");
+    assert_eq!(cell_nodes[0], 0, "CP_MAIN must live on a Cell node's PPE");
+    let mut hosts = vec![CP_MAIN];
+    for _ in &cell_nodes[1..] {
+        let h = cfg
+            .create_process("host", 0, |cp, _| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+        hosts.push(h);
+    }
+
+    // The worker SPE program: read a candidate, improve it (charging the
+    // modelled SPE compute time), send it back; stop on an empty message.
+    let passes = params.improve_passes;
+    let prob2 = problem.clone();
+    let worker_prog = SpeProgram::new("ss-worker", 6144, move |spe, _, _| {
+        let idx = spe.index() as usize;
+        let task = CpChannel(2 * idx);
+        let result = CpChannel(2 * idx + 1);
+        loop {
+            let vals = spe.read(task, "%*b").unwrap();
+            let PiValue::Byte(bits) = &vals[0] else {
+                unreachable!()
+            };
+            if bits.is_empty() {
+                return;
+            }
+            let us = bits.len() as f64 * passes as f64 * SPE_IMPROVE_US_PER_BIT_PASS;
+            spe.ctx().advance(SimDuration::from_micros_f64(us));
+            let improved = improve(prob2.as_ref(), bits, passes);
+            spe.write(result, "%*b", &[PiValue::Byte(improved.bits)])
+                .unwrap();
+        }
+    });
+
+    let mut chans = Vec::new();
+    for w in 0..workers {
+        let parent = hosts[w % hosts.len()];
+        let s = cfg
+            .create_spe_process(&worker_prog, parent, w as i32)
+            .unwrap();
+        let task = cfg.create_channel(CP_MAIN, s).unwrap();
+        let result = cfg.create_channel(s, CP_MAIN).unwrap();
+        assert_eq!((task, result), (CpChannel(2 * w), CpChannel(2 * w + 1)));
+        chans.push((task, result));
+    }
+
+    let out: Arc<Mutex<Option<(Scored, f64)>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    let report = cfg
+        .run(move |cp| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            // Farm out one batch of candidates and collect in order.
+            let improve_batch = |candidates: &[Vec<u8>]| -> Vec<Scored> {
+                let mut improved = Vec::with_capacity(candidates.len());
+                for group in candidates.chunks(workers) {
+                    for (w, cand) in group.iter().enumerate() {
+                        cp.write(chans[w].0, "%*b", &[PiValue::Byte(cand.clone())])
+                            .unwrap();
+                    }
+                    for (w, _) in group.iter().enumerate() {
+                        let vals = cp.read(chans[w].1, "%*b").unwrap();
+                        let PiValue::Byte(bits) = &vals[0] else {
+                            unreachable!()
+                        };
+                        improved.push(Scored {
+                            fitness: problem.fitness(bits),
+                            bits: bits.clone(),
+                        });
+                    }
+                }
+                improved
+            };
+
+            let t0 = cp.ctx().now();
+            let mut rng = StdRng::seed_from_u64(params.seed);
+            let initial = diversify(problem.as_ref(), params.pool_size, &mut rng);
+            let mut pool = improve_batch(&initial);
+            let mut refset = build_refset(&mut pool, params.refset_size);
+            for _ in 0..params.generations {
+                let mut candidates = Vec::new();
+                for i in 0..refset.len() {
+                    for j in (i + 1)..refset.len() {
+                        candidates.push(combine(
+                            problem.as_ref(),
+                            &refset[i],
+                            &refset[j],
+                            &mut rng,
+                        ));
+                    }
+                }
+                let mut pool = improve_batch(&candidates);
+                pool.extend(refset.iter().cloned());
+                let new_refset = build_refset(&mut pool, params.refset_size);
+                if new_refset == refset {
+                    break;
+                }
+                refset = new_refset;
+            }
+            let elapsed = (cp.ctx().now() - t0).as_micros_f64();
+            // Shut the workers down.
+            for &(task, _) in &chans {
+                cp.write(task, "%*b", &[PiValue::Byte(Vec::new())]).unwrap();
+            }
+            for t in ts {
+                cp.wait_spe(t);
+            }
+            *out2.lock() = Some((refset.into_iter().next().expect("nonempty refset"), elapsed));
+        })
+        .expect("parallel scatter search app");
+    let _ = report;
+    let (best, virtual_us) = out.lock().take().expect("master stored result");
+    ParallelResult {
+        best,
+        virtual_us,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Knapsack, MaxCut};
+    use crate::scatter::scatter_search;
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let p = Knapsack::random(24, 5);
+        let params = SsParams {
+            pool_size: 10,
+            refset_size: 6,
+            generations: 3,
+            ..Default::default()
+        };
+        let seq = scatter_search(&p, &params);
+        let spec = ClusterSpec::two_cells_one_xeon();
+        for workers in [1usize, 3] {
+            let par = parallel_scatter_search(&p, &params, workers, &spec);
+            assert_eq!(par.best, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_cut_virtual_time() {
+        let p = Knapsack::random(64, 6);
+        let params = SsParams {
+            pool_size: 16,
+            refset_size: 8,
+            generations: 2,
+            ..Default::default()
+        };
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let one = parallel_scatter_search(&p, &params, 1, &spec);
+        let eight = parallel_scatter_search(&p, &params, 8, &spec);
+        assert_eq!(one.best, eight.best);
+        assert!(
+            eight.virtual_us < one.virtual_us * 0.6,
+            "8 workers {:.0}us vs 1 worker {:.0}us",
+            eight.virtual_us,
+            one.virtual_us
+        );
+    }
+
+    #[test]
+    fn parallel_maxcut_matches_sequential() {
+        let p = MaxCut::random(24, 0.3, 13);
+        let params = SsParams {
+            pool_size: 10,
+            refset_size: 6,
+            generations: 2,
+            ..Default::default()
+        };
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let par = parallel_scatter_search(&p, &params, 4, &spec);
+        assert_eq!(par.best, scatter_search(&p, &params));
+    }
+
+    #[test]
+    fn thirty_two_workers_on_the_paper_cluster() {
+        // 8 dual-PowerXCell blades, 4 workers per blade.
+        let p = Knapsack::random(32, 21);
+        let params = SsParams {
+            pool_size: 32,
+            refset_size: 6,
+            generations: 1,
+            ..Default::default()
+        };
+        let spec = ClusterSpec::paper();
+        let par = parallel_scatter_search(&p, &params, 32, &spec);
+        assert_eq!(par.best, scatter_search(&p, &params));
+        assert_eq!(par.workers, 32);
+    }
+
+    #[test]
+    fn workers_span_multiple_cell_nodes() {
+        // 12 workers on two 8-SPE nodes forces remote (type 3) channels.
+        let p = Knapsack::random(24, 8);
+        let params = SsParams {
+            pool_size: 12,
+            refset_size: 6,
+            generations: 2,
+            ..Default::default()
+        };
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let par = parallel_scatter_search(&p, &params, 12, &spec);
+        let seq = scatter_search(&p, &params);
+        assert_eq!(par.best, seq);
+    }
+}

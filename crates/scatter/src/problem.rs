@@ -1,0 +1,254 @@
+//! Binary optimization problems for the scatter-search case study.
+//!
+//! The paper's Section VI: "we are forging forward with various case
+//! studies for CellPilot, including the parallelization and implementation
+//! of scatter search, a well-known meta-heuristic that has been
+//! successfully applied to a variety of NP-hard problems, primarily in the
+//! areas of combinatorial optimization". The canonical black-box binary
+//! problem (after Gortazar et al., the paper's reference [22]) used here
+//! is the 0/1 knapsack.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A black-box binary optimization problem (after Gortazar et al., the
+/// paper's reference \[22\]: "black box scatter search for general classes
+/// of binary optimization problems"). Scatter search only needs three
+/// capabilities: size, objective value, and a repair operator for
+/// constrained problems (unconstrained ones leave `repair` a no-op).
+pub trait BinaryProblem: Clone + Send + Sync + 'static {
+    /// Number of decision variables.
+    fn len(&self) -> usize;
+
+    /// True for the degenerate empty instance.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Objective value of a (feasible) solution; higher is better.
+    fn fitness(&self, sol: &[u8]) -> u64;
+
+    /// Make a solution feasible in place.
+    fn repair(&self, _sol: &mut [u8]) {}
+
+    /// Exhaustive optimum for small instances (test oracle; `len <= 24`).
+    fn brute_force_optimum(&self) -> u64 {
+        let n = self.len();
+        assert!(n <= 24, "brute force limited to small instances");
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let mut sol: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.repair(&mut sol);
+            best = best.max(self.fitness(&sol));
+        }
+        best
+    }
+}
+
+/// A 0/1 knapsack instance.
+#[derive(Debug, Clone)]
+pub struct Knapsack {
+    /// Item weights.
+    pub weights: Vec<u64>,
+    /// Item values.
+    pub values: Vec<u64>,
+    /// Weight capacity.
+    pub capacity: u64,
+}
+
+impl Knapsack {
+    /// A reproducible random instance with `n` items.
+    pub fn random(n: usize, seed: u64) -> Knapsack {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=100)).collect();
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=100)).collect();
+        let capacity = weights.iter().sum::<u64>() / 2;
+        Knapsack {
+            weights,
+            values,
+            capacity,
+        }
+    }
+
+    /// Total weight of a solution (bit `i` = item `i` packed).
+    pub fn weight(&self, sol: &[u8]) -> u64 {
+        sol.iter()
+            .zip(&self.weights)
+            .filter(|&(&b, _)| b != 0)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Objective value: total packed value, or 0 for infeasible solutions
+    /// (simple death-penalty; repair keeps candidates feasible anyway).
+    fn fitness_impl(&self, sol: &[u8]) -> u64 {
+        if self.weight(sol) > self.capacity {
+            return 0;
+        }
+        sol.iter()
+            .zip(&self.values)
+            .filter(|&(&b, _)| b != 0)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Make a solution feasible by dropping the worst value/weight items.
+    fn repair_impl(&self, sol: &mut [u8]) {
+        while self.weight(sol) > self.capacity {
+            let worst = sol
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != 0)
+                .min_by(|&(i, _), &(j, _)| {
+                    let ri = self.values[i] as f64 / self.weights[i] as f64;
+                    let rj = self.values[j] as f64 / self.weights[j] as f64;
+                    ri.partial_cmp(&rj).expect("finite ratios")
+                })
+                .map(|(i, _)| i)
+                .expect("infeasible solution has at least one item");
+            sol[worst] = 0;
+        }
+    }
+}
+
+impl BinaryProblem for Knapsack {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn fitness(&self, sol: &[u8]) -> u64 {
+        self.fitness_impl(sol)
+    }
+
+    fn repair(&self, sol: &mut [u8]) {
+        self.repair_impl(sol)
+    }
+}
+
+/// A MAX-CUT instance: maximize the total weight of edges crossing a
+/// vertex bipartition (unconstrained — `repair` is the identity).
+#[derive(Debug, Clone)]
+pub struct MaxCut {
+    n: usize,
+    /// `(u, v, w)` edges, `u < v`.
+    pub edges: Vec<(usize, usize, u64)>,
+}
+
+impl MaxCut {
+    /// A reproducible random graph with `n` vertices and edge probability
+    /// `density`.
+    pub fn random(n: usize, density: f64, seed: u64) -> MaxCut {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(density) {
+                    edges.push((u, v, rng.gen_range(1..=20)));
+                }
+            }
+        }
+        MaxCut { n, edges }
+    }
+}
+
+impl BinaryProblem for MaxCut {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn fitness(&self, sol: &[u8]) -> u64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| sol[u] != sol[v])
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitness_and_weight() {
+        let p = Knapsack {
+            weights: vec![2, 3, 5],
+            values: vec![10, 20, 30],
+            capacity: 5,
+        };
+        assert_eq!(p.fitness(&[1, 1, 0]), 30);
+        assert_eq!(p.weight(&[1, 1, 0]), 5);
+        assert_eq!(p.fitness(&[1, 1, 1]), 0, "infeasible scores zero");
+        assert_eq!(p.fitness(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn repair_reaches_feasibility_dropping_poor_ratios() {
+        let p = Knapsack {
+            weights: vec![5, 5, 5],
+            values: vec![50, 10, 40],
+            capacity: 10,
+        };
+        let mut sol = vec![1, 1, 1];
+        p.repair(&mut sol);
+        assert!(p.weight(&sol) <= 10);
+        // The value-10 item has the worst ratio and goes first.
+        assert_eq!(sol, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = Knapsack::random(20, 7);
+        let b = Knapsack::random(20, 7);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.values, b.values);
+        let c = Knapsack::random(20, 8);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    fn maxcut_fitness_counts_crossing_edges() {
+        let p = MaxCut {
+            n: 4,
+            edges: vec![(0, 1, 5), (1, 2, 7), (2, 3, 2), (0, 3, 1)],
+        };
+        // Partition {0,2} vs {1,3}: all four edges cross.
+        assert_eq!(p.fitness(&[0, 1, 0, 1]), 15);
+        // Everyone on one side: nothing crosses.
+        assert_eq!(p.fitness(&[1, 1, 1, 1]), 0);
+        // Repair is the identity for unconstrained problems.
+        let mut sol = vec![1, 0, 1, 0];
+        p.repair(&mut sol);
+        assert_eq!(sol, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn maxcut_random_reproducible_and_bruteforceable() {
+        let a = MaxCut::random(10, 0.5, 3);
+        let b = MaxCut::random(10, 0.5, 3);
+        assert_eq!(a.edges, b.edges);
+        assert!(a.brute_force_optimum() > 0);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn empty_maxcut_is_degenerate_but_valid() {
+        let p = MaxCut {
+            n: 0,
+            edges: vec![],
+        };
+        assert!(p.is_empty());
+        assert_eq!(p.fitness(&[]), 0);
+    }
+
+    #[test]
+    fn brute_force_on_tiny_instance() {
+        let p = Knapsack {
+            weights: vec![1, 2, 3],
+            values: vec![6, 10, 12],
+            capacity: 5,
+        };
+        assert_eq!(p.brute_force_optimum(), 22); // items 2+3
+    }
+}

@@ -1,0 +1,275 @@
+//! The scatter-search metaheuristic: diversification, improvement,
+//! reference-set update, subset generation, and solution combination.
+//!
+//! Classic five-component template (Glover/Laguna/Martí), specialized to
+//! binary vectors. The sequential form here is also the ground truth the
+//! CellPilot-parallel version (`crate::parallel`) is validated against:
+//! with the same seed and parameters both explore the same candidates.
+
+use crate::problem::BinaryProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scatter-search parameters.
+#[derive(Debug, Clone)]
+pub struct SsParams {
+    /// Diverse trial solutions per generation.
+    pub pool_size: usize,
+    /// Reference-set size (b1 best + b2 diverse).
+    pub refset_size: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// Local-search bit-flip passes per improvement call.
+    pub improve_passes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SsParams {
+    fn default() -> Self {
+        SsParams {
+            pool_size: 20,
+            refset_size: 8,
+            generations: 10,
+            improve_passes: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// A solution with its cached fitness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scored {
+    /// The bit vector.
+    pub bits: Vec<u8>,
+    /// Its objective value.
+    pub fitness: u64,
+}
+
+/// Hamming distance between two solutions.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).filter(|&(x, y)| x != y).count()
+}
+
+/// Diversification generator: systematic seeded binary vectors with
+/// varying density, repaired to feasibility.
+pub fn diversify<P: BinaryProblem>(problem: &P, count: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|k| {
+            let density = 0.1 + 0.8 * (k as f64 / count.max(1) as f64);
+            let mut sol: Vec<u8> = (0..problem.len())
+                .map(|_| u8::from(rng.gen_bool(density)))
+                .collect();
+            problem.repair(&mut sol);
+            sol
+        })
+        .collect()
+}
+
+/// Improvement method: first-improvement bit-flip local search with
+/// repair, `passes` sweeps. This is the compute-heavy step the parallel
+/// version offloads to SPE workers.
+pub fn improve<P: BinaryProblem>(problem: &P, sol: &[u8], passes: usize) -> Scored {
+    let mut cur = sol.to_vec();
+    problem.repair(&mut cur);
+    let mut best = problem.fitness(&cur);
+    for _ in 0..passes {
+        let mut improved = false;
+        for i in 0..cur.len() {
+            let mut trial = cur.clone();
+            trial[i] ^= 1;
+            problem.repair(&mut trial);
+            let f = problem.fitness(&trial);
+            if f > best {
+                best = f;
+                cur = trial;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Scored {
+        fitness: best,
+        bits: cur,
+    }
+}
+
+/// Combination method: uniform crossover biased to the fitter parent, then
+/// repair.
+pub fn combine<P: BinaryProblem>(problem: &P, a: &Scored, b: &Scored, rng: &mut StdRng) -> Vec<u8> {
+    let bias = if a.fitness >= b.fitness { 0.65 } else { 0.35 };
+    let mut child: Vec<u8> = a
+        .bits
+        .iter()
+        .zip(&b.bits)
+        .map(|(&x, &y)| if rng.gen_bool(bias) { x } else { y })
+        .collect();
+    problem.repair(&mut child);
+    child
+}
+
+/// The reference set: the `b/2` best solutions by quality plus `b/2` most
+/// diverse (max-min Hamming distance to the current set).
+pub fn build_refset(pool: &mut Vec<Scored>, size: usize) -> Vec<Scored> {
+    pool.sort_by(|a, b| b.fitness.cmp(&a.fitness).then(a.bits.cmp(&b.bits)));
+    pool.dedup_by(|a, b| a.bits == b.bits);
+    let quality = size / 2;
+    let mut refset: Vec<Scored> = pool.iter().take(quality).cloned().collect();
+    let mut rest: Vec<Scored> = pool.iter().skip(quality).cloned().collect();
+    while refset.len() < size && !rest.is_empty() {
+        let (idx, _) = rest
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let d = refset
+                    .iter()
+                    .map(|r| hamming(&r.bits, &s.bits))
+                    .min()
+                    .unwrap_or(usize::MAX);
+                (i, d)
+            })
+            .max_by_key(|&(_, d)| d)
+            .expect("rest nonempty");
+        refset.push(rest.swap_remove(idx));
+    }
+    refset
+}
+
+/// Run sequential scatter search; returns the best solution found.
+pub fn scatter_search<P: BinaryProblem>(problem: &P, params: &SsParams) -> Scored {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut pool: Vec<Scored> = diversify(problem, params.pool_size, &mut rng)
+        .into_iter()
+        .map(|s| improve(problem, &s, params.improve_passes))
+        .collect();
+    let mut refset = build_refset(&mut pool, params.refset_size);
+    for _ in 0..params.generations {
+        // Subset generation: all pairs of the reference set.
+        let mut candidates = Vec::new();
+        for i in 0..refset.len() {
+            for j in (i + 1)..refset.len() {
+                candidates.push(combine(problem, &refset[i], &refset[j], &mut rng));
+            }
+        }
+        // Improvement (the expensive part).
+        let mut pool: Vec<Scored> = candidates
+            .iter()
+            .map(|c| improve(problem, c, params.improve_passes))
+            .collect();
+        pool.extend(refset.iter().cloned());
+        let new_refset = build_refset(&mut pool, params.refset_size);
+        if new_refset == refset {
+            break; // converged
+        }
+        refset = new_refset;
+    }
+    refset.into_iter().next().expect("nonempty refset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Knapsack, MaxCut};
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(&[0, 1, 1], &[1, 1, 0]), 2);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    fn improve_never_worsens() {
+        let p = Knapsack::random(30, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in diversify(&p, 10, &mut rng) {
+            let before = p.fitness(&s);
+            let after = improve(&p, &s, 2);
+            assert!(after.fitness >= before);
+            assert!(
+                p.weight(&after.bits) <= p.capacity,
+                "improve keeps feasibility"
+            );
+        }
+    }
+
+    #[test]
+    fn refset_mixes_quality_and_diversity() {
+        let mk = |bits: Vec<u8>, fitness: u64| Scored { bits, fitness };
+        let mut pool = vec![
+            mk(vec![1, 1, 1, 1], 100),
+            mk(vec![1, 1, 1, 0], 90),
+            mk(vec![1, 1, 0, 0], 80),
+            mk(vec![0, 0, 0, 0], 10),
+            mk(vec![0, 0, 0, 1], 5),
+        ];
+        let refset = build_refset(&mut pool, 4);
+        assert_eq!(refset.len(), 4);
+        assert_eq!(refset[0].fitness, 100);
+        assert_eq!(refset[1].fitness, 90);
+        // The diverse half must include the far-away all-zeros region.
+        assert!(refset.iter().any(|s| s.bits.iter().sum::<u8>() <= 1));
+    }
+
+    #[test]
+    fn refset_dedups_identical_solutions() {
+        let mk = |bits: Vec<u8>, fitness: u64| Scored { bits, fitness };
+        let mut pool = vec![mk(vec![1, 0], 10), mk(vec![1, 0], 10), mk(vec![0, 1], 8)];
+        let refset = build_refset(&mut pool, 4);
+        assert_eq!(refset.len(), 2);
+    }
+
+    #[test]
+    fn scatter_search_finds_optimum_on_small_instance() {
+        let p = Knapsack::random(18, 3);
+        let opt = p.brute_force_optimum();
+        let best = scatter_search(&p, &SsParams::default());
+        assert_eq!(best.fitness, opt, "optimum {opt}, found {}", best.fitness);
+    }
+
+    #[test]
+    fn zero_improve_passes_just_repairs_and_scores() {
+        let p = Knapsack::random(16, 4);
+        let sol = vec![1u8; 16];
+        let out = improve(&p, &sol, 0);
+        assert!(p.weight(&out.bits) <= p.capacity);
+        assert_eq!(out.fitness, p.fitness(&out.bits));
+    }
+
+    #[test]
+    fn scatter_search_is_deterministic() {
+        let p = Knapsack::random(40, 9);
+        let a = scatter_search(&p, &SsParams::default());
+        let b = scatter_search(&p, &SsParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scatter_search_solves_maxcut_too() {
+        let p = MaxCut::random(16, 0.4, 5);
+        let opt = p.brute_force_optimum();
+        let best = scatter_search(&p, &SsParams::default());
+        assert_eq!(best.fitness, opt, "optimum {opt}, found {}", best.fitness);
+    }
+
+    #[test]
+    fn more_generations_never_hurt() {
+        let p = Knapsack::random(40, 11);
+        let short = scatter_search(
+            &p,
+            &SsParams {
+                generations: 1,
+                ..Default::default()
+            },
+        );
+        let long = scatter_search(
+            &p,
+            &SsParams {
+                generations: 12,
+                ..Default::default()
+            },
+        );
+        assert!(long.fitness >= short.fitness);
+    }
+}

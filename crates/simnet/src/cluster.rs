@@ -1,0 +1,264 @@
+//! Cluster assembly: which nodes exist, what kind each is, and the shared
+//! hardware handles the higher layers use.
+
+use crate::netcosts::NetCosts;
+use cp_cellsim::{CellCosts, CellNode, MainMemory};
+use cp_des::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one node of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The processor kind of a node — determines MPI software costs and
+/// whether the node hosts SPEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A Cell blade with the given total SPE count (a dual-PowerXCell QS22
+    /// blade exposes 16).
+    Cell {
+        /// SPEs exposed by the blade.
+        spes: usize,
+    },
+    /// A commodity node (the paper's 4- and 8-core Xeons).
+    Commodity {
+        /// Core count (informational).
+        cores: usize,
+    },
+}
+
+impl NodeKind {
+    /// True for Cell nodes.
+    pub fn is_cell(&self) -> bool {
+        matches!(self, NodeKind::Cell { .. })
+    }
+}
+
+/// Hardware of one node.
+pub struct NodeHw {
+    /// This node's id.
+    pub id: NodeId,
+    /// Processor kind.
+    pub kind: NodeKind,
+    /// The Cell hardware, for Cell nodes.
+    pub cell: Option<Arc<CellNode>>,
+    /// Main memory (shared with `cell.mem` on Cell nodes).
+    pub mem: Arc<MainMemory>,
+}
+
+/// Declarative description of a cluster to build.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Node kinds in id order.
+    pub nodes: Vec<NodeKind>,
+    /// Interconnect cost model.
+    pub net: NetCosts,
+    /// Intra-Cell cost model applied to every Cell node.
+    pub cell_costs: CellCosts,
+    /// Main memory bytes per node.
+    pub main_bytes: usize,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation platform: 8 dual-PowerXCell blades (16 SPEs
+    /// each) and 4 Xeon nodes, gigabit Ethernet.
+    pub fn paper() -> ClusterSpec {
+        let mut nodes = vec![NodeKind::Cell { spes: 16 }; 8];
+        nodes.extend([NodeKind::Commodity { cores: 4 }; 2]);
+        nodes.extend([NodeKind::Commodity { cores: 8 }; 2]);
+        ClusterSpec {
+            nodes,
+            net: NetCosts::default(),
+            cell_costs: CellCosts::default(),
+            main_bytes: 8 << 20,
+        }
+    }
+
+    /// A small two-Cell + one-Xeon cluster, convenient for tests and
+    /// examples (matches the paper's Figure 3/4 sample, which runs on two
+    /// Cell nodes).
+    pub fn two_cells_one_xeon() -> ClusterSpec {
+        ClusterSpec {
+            nodes: vec![
+                NodeKind::Cell { spes: 8 },
+                NodeKind::Cell { spes: 8 },
+                NodeKind::Commodity { cores: 4 },
+            ],
+            net: NetCosts::default(),
+            cell_costs: CellCosts::default(),
+            main_bytes: 8 << 20,
+        }
+    }
+
+    /// Build the cluster hardware.
+    pub fn build(&self) -> Arc<Cluster> {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| match kind {
+                NodeKind::Cell { spes } => {
+                    let cell = CellNode::new(i, spes, self.main_bytes, self.cell_costs.clone());
+                    let mem = cell.mem.clone();
+                    NodeHw {
+                        id: NodeId(i),
+                        kind,
+                        cell: Some(cell),
+                        mem,
+                    }
+                }
+                NodeKind::Commodity { .. } => NodeHw {
+                    id: NodeId(i),
+                    kind,
+                    cell: None,
+                    mem: Arc::new(MainMemory::new(self.main_bytes)),
+                },
+            })
+            .collect();
+        let links = (0..self.nodes.len())
+            .map(|_| LinkState::default())
+            .collect();
+        Arc::new(Cluster {
+            nodes,
+            net: self.net.clone(),
+            links,
+        })
+    }
+}
+
+/// Per-node NIC occupancy for the contention model.
+#[derive(Default)]
+struct LinkState {
+    egress_busy_until: Mutex<SimTime>,
+    ingress_busy_until: Mutex<SimTime>,
+}
+
+/// The built cluster: node hardware plus the interconnect model.
+pub struct Cluster {
+    /// Node hardware in id order.
+    pub nodes: Vec<NodeHw>,
+    /// Interconnect cost model.
+    pub net: NetCosts,
+    links: Vec<LinkState>,
+}
+
+impl Cluster {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// The Cell hardware of `id`, panicking if it is not a Cell node.
+    pub fn cell(&self, id: NodeId) -> &Arc<CellNode> {
+        self.nodes[id.0]
+            .cell
+            .as_ref()
+            .unwrap_or_else(|| panic!("{id} is not a Cell node"))
+    }
+
+    /// Wire/shared-memory transport cost between two nodes (contention-free
+    /// formula).
+    pub fn transport_us(&self, a: NodeId, b: NodeId, bytes: usize) -> f64 {
+        self.net.transport_us(a == b, bytes)
+    }
+
+    /// Delivery delay of a message sent *now* from `a` to `b`. With
+    /// [`NetCosts::contention`] enabled, the serialization portion queues
+    /// behind in-flight traffic on the sender's egress and the receiver's
+    /// ingress NIC; otherwise this equals [`Cluster::transport_us`].
+    pub fn transfer_delay(&self, now: SimTime, a: NodeId, b: NodeId, bytes: usize) -> SimDuration {
+        if a == b || !self.net.contention {
+            return SimDuration::from_micros_f64(self.transport_us(a, b, bytes));
+        }
+        let serialize = SimDuration::from_micros_f64(bytes as f64 / self.net.wire_bytes_per_us);
+        let mut egress = self.links[a.0].egress_busy_until.lock();
+        let mut ingress = self.links[b.0].ingress_busy_until.lock();
+        let start = now.max(*egress).max(*ingress);
+        let done = start + serialize;
+        *egress = done;
+        *ingress = done;
+        let wire = SimDuration::from_micros_f64(self.net.wire_latency_us);
+        (done - now) + wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterSpec::paper().build();
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.nodes.iter().filter(|n| n.kind.is_cell()).count(), 8);
+        assert_eq!(c.cell(NodeId(0)).spe_count(), 16);
+        assert!(c.nodes[8].cell.is_none());
+    }
+
+    #[test]
+    fn cell_mem_is_shared_handle() {
+        let c = ClusterSpec::two_cells_one_xeon().build();
+        let node = &c.nodes[0];
+        assert!(Arc::ptr_eq(&node.mem, &node.cell.as_ref().unwrap().mem));
+    }
+
+    #[test]
+    fn transport_picks_path_by_node_identity() {
+        let c = ClusterSpec::two_cells_one_xeon().build();
+        let local = c.transport_us(NodeId(1), NodeId(1), 100);
+        let remote = c.transport_us(NodeId(0), NodeId(1), 100);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn contention_serializes_concurrent_messages() {
+        let mut spec = ClusterSpec::two_cells_one_xeon();
+        spec.net.contention = true;
+        let c = spec.build();
+        let now = SimTime::ZERO;
+        let bytes = 8000; // 100us of serialization at 80 B/us
+        let d1 = c.transfer_delay(now, NodeId(0), NodeId(1), bytes);
+        let d2 = c.transfer_delay(now, NodeId(0), NodeId(1), bytes);
+        assert!(
+            d2.as_micros_f64() >= d1.as_micros_f64() + 99.0,
+            "second message must queue: {d1} then {d2}"
+        );
+        // A different pair is unaffected by 0<->1 traffic.
+        let d3 = c.transfer_delay(now, NodeId(2), NodeId(2), bytes);
+        assert!(d3.as_micros_f64() < d1.as_micros_f64());
+    }
+
+    #[test]
+    fn no_contention_messages_overlap() {
+        let c = ClusterSpec::two_cells_one_xeon().build();
+        let now = SimTime::ZERO;
+        let d1 = c.transfer_delay(now, NodeId(0), NodeId(1), 8000);
+        let d2 = c.transfer_delay(now, NodeId(0), NodeId(1), 8000);
+        assert_eq!(d1, d2, "messages overlap freely by default");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Cell node")]
+    fn cell_accessor_panics_on_commodity() {
+        let c = ClusterSpec::two_cells_one_xeon().build();
+        let _ = c.cell(NodeId(2));
+    }
+}

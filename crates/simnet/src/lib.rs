@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! # cp-simnet — cluster topology and interconnect model
+//!
+//! Assembles simulated Cell and commodity (Xeon-class) nodes into the hybrid
+//! cluster of the paper's evaluation (8 dual-PowerXCell blades + 4 Xeon
+//! nodes on gigabit Ethernet) and models the transport cost of moving bytes
+//! between and within nodes. The MPI layer (`cp-mpisim`) asks this crate
+//! "what does an `n`-byte message from node A to node B cost on the wire?"
+//! and adds its own per-rank software costs on top.
+
+mod cluster;
+mod netcosts;
+
+pub use cluster::{Cluster, ClusterSpec, NodeHw, NodeId, NodeKind};
+pub use netcosts::NetCosts;

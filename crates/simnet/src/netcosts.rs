@@ -1,0 +1,72 @@
+//! Interconnect cost model.
+//!
+//! Calibration anchor: the paper's Table II type-1 hand-coded baseline —
+//! a raw MPI ping-pong between two PPEs over gigabit Ethernet measured
+//! 98 µs for 1 byte and 160 µs for 1600 bytes. We decompose that into a
+//! wire component (here) and per-rank MPI software costs (in `cp-mpisim`,
+//! where they differ by processor kind: the paper notes PPE endpoints were
+//! slower than Xeon endpoints).
+
+/// Transport costs of the cluster fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetCosts {
+    /// One-way latency of a message on the Ethernet wire (switch + NIC +
+    /// kernel network stack), microseconds.
+    pub wire_latency_us: f64,
+    /// Wire payload bandwidth in bytes per microsecond (GigE ≈ 125 B/µs
+    /// theoretical; effective value is lower).
+    pub wire_bytes_per_us: f64,
+    /// One-way latency of the shared-memory transport between two ranks on
+    /// the same node, microseconds.
+    pub shmem_latency_us: f64,
+    /// Shared-memory transport bandwidth, bytes per microsecond.
+    pub shmem_bytes_per_us: f64,
+    /// Model NIC serialization: concurrent messages through one node's
+    /// link queue behind each other instead of overlapping. Off by default
+    /// (the paper's ping-pong experiments never contend; turn it on for
+    /// fan-in/fan-out studies).
+    pub contention: bool,
+}
+
+impl Default for NetCosts {
+    fn default() -> Self {
+        NetCosts {
+            wire_latency_us: 60.0,
+            wire_bytes_per_us: 80.0,
+            shmem_latency_us: 5.0,
+            shmem_bytes_per_us: 1250.0,
+            contention: false,
+        }
+    }
+}
+
+impl NetCosts {
+    /// Transport cost of `bytes` between two nodes (`same_node` selects the
+    /// shared-memory path), excluding per-rank software costs.
+    pub fn transport_us(&self, same_node: bool, bytes: usize) -> f64 {
+        if same_node {
+            self.shmem_latency_us + bytes as f64 / self.shmem_bytes_per_us
+        } else {
+            self.wire_latency_us + bytes as f64 / self.wire_bytes_per_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_slower_than_shmem() {
+        let c = NetCosts::default();
+        assert!(c.transport_us(false, 1) > c.transport_us(true, 1));
+        assert!(c.transport_us(false, 1600) > c.transport_us(true, 1600));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let c = NetCosts::default();
+        let d = c.transport_us(false, 3200) - c.transport_us(false, 1600);
+        assert!((d - 1600.0 / c.wire_bytes_per_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Dynamically load-balanced Mandelbrot farm: work cost varies wildly per
+//! row, so the master deals rows to whichever SPE worker finishes first,
+//! discovered with the non-blocking `channel_has_data` (the Pilot
+//! `PI_TrySelect` idiom). Rows near the set cost ~100× the edge rows, so
+//! static striping would leave most SPEs idle.
+//!
+//! Run with: `cargo run --example mandelbrot_farm`
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_des::SimDuration;
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+const WIDTH: usize = 96;
+const HEIGHT: usize = 64;
+const MAX_ITER: u32 = 800;
+const WORKERS: usize = 8;
+
+/// Escape-time iteration count for one pixel.
+fn mandel(px: usize, py: usize) -> u32 {
+    let x0 = -2.2 + 3.0 * px as f64 / WIDTH as f64;
+    let y0 = -1.2 + 2.4 * py as f64 / HEIGHT as f64;
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let mut it = 0;
+    while x * x + y * y <= 4.0 && it < MAX_ITER {
+        let xt = x * x - y * y + x0;
+        y = 2.0 * x * y + y0;
+        x = xt;
+        it += 1;
+    }
+    it
+}
+
+fn row_pixels(py: usize) -> Vec<u32> {
+    (0..WIDTH).map(|px| mandel(px, py)).collect()
+}
+
+fn main() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+
+    // Worker: read a row number (or -1 = done), compute it, send it back
+    // prefixed with the row number and its total iteration cost.
+    let worker = SpeProgram::new("mandel-worker", 6144, |spe, _, _| {
+        let w = spe.index() as usize;
+        let task = CpChannel(2 * w);
+        let result = CpChannel(2 * w + 1);
+        loop {
+            let vals = spe.read(task, "%d").unwrap();
+            let PiValue::Int32(v) = &vals[0] else {
+                unreachable!()
+            };
+            let row = v[0];
+            if row < 0 {
+                return;
+            }
+            let pixels = row_pixels(row as usize);
+            let iters: u64 = pixels.iter().map(|&p| p as u64).sum();
+            // SIMD escape-time loop: model ~4 iterations per ns per lane.
+            spe.ctx()
+                .advance(SimDuration::from_micros_f64(iters as f64 * 0.004));
+            spe.write(
+                result,
+                &format!("%d %{WIDTH}u"),
+                &[PiValue::Int32(vec![row]), PiValue::UInt32(pixels)],
+            )
+            .unwrap();
+        }
+    });
+
+    let host = cfg
+        .create_process("host", 0, |cp, _| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    let mut chans = Vec::new();
+    for w in 0..WORKERS {
+        let parent = if w < WORKERS / 2 { CP_MAIN } else { host };
+        let s = cfg.create_spe_process(&worker, parent, w as i32).unwrap();
+        let task = cfg.create_channel(CP_MAIN, s).unwrap();
+        let result = cfg.create_channel(s, CP_MAIN).unwrap();
+        chans.push((task, result));
+    }
+
+    let report = cfg
+        .run(move |cp| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            let mut image = vec![Vec::new(); HEIGHT];
+            let mut next_row = 0usize;
+            let mut done_rows = 0usize;
+            let mut tiles_per_worker = vec![0usize; WORKERS];
+            // Prime every worker with one row.
+            for (w, &(task, _)) in chans.iter().enumerate() {
+                cp.write(task, "%d", &[PiValue::Int32(vec![next_row as i32])])
+                    .unwrap();
+                tiles_per_worker[w] += 1;
+                next_row += 1;
+            }
+            // Dynamic dealing: poll result channels, refill the fastest.
+            while done_rows < HEIGHT {
+                let mut any = false;
+                for (w, &(task, result)) in chans.iter().enumerate() {
+                    if cp.channel_has_data(result).unwrap() {
+                        any = true;
+                        let vals = cp.read(result, &format!("%d %{WIDTH}u")).unwrap();
+                        let PiValue::Int32(r) = &vals[0] else {
+                            unreachable!()
+                        };
+                        let PiValue::UInt32(px) = &vals[1] else {
+                            unreachable!()
+                        };
+                        image[r[0] as usize] = px.clone();
+                        done_rows += 1;
+                        if next_row < HEIGHT {
+                            cp.write(task, "%d", &[PiValue::Int32(vec![next_row as i32])])
+                                .unwrap();
+                            tiles_per_worker[w] += 1;
+                            next_row += 1;
+                        }
+                    }
+                }
+                if !any {
+                    // Nothing ready: model the master's poll interval.
+                    cp.ctx().advance(SimDuration::from_micros(20));
+                }
+            }
+            // Retire the workers.
+            for &(task, _) in &chans {
+                cp.write(task, "%d", &[PiValue::Int32(vec![-1])]).unwrap();
+            }
+            // Verify against the sequential reference.
+            for (py, row) in image.iter().enumerate() {
+                assert_eq!(row, &row_pixels(py), "row {py}");
+            }
+            println!("rendered {WIDTH}x{HEIGHT} at up to {MAX_ITER} iterations; all rows verified");
+            println!("rows per worker (dynamic dealing): {tiles_per_worker:?}");
+            let interior: u64 = image.iter().flatten().map(|&p| p as u64).sum();
+            println!("total iterations: {interior}");
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    println!("virtual time: {:.1} us", report.end_time.as_micros_f64());
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the paper's Figures 3 and 4, line for line.
+//!
+//! Two Cell nodes. `main` (the sender-side PPE, `PI_MAIN`) creates one
+//! regular Pilot process (`recvFunc`, the receiver-side PPE) and two SPE
+//! processes; a channel joins the two SPEs — a **type 5** channel, relayed
+//! through both nodes' Co-Pilot processes. One SPE writes an array of 100
+//! integers; the other reads it with the `"%*d"` argument-supplied-length
+//! format and prints it, exactly like the paper's listing.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+
+fn main() {
+    // --- configuration phase (paper Figure 3, lines 16-24) ---
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+
+    // --- Sender SPE (Figure 4, spe_send.c) ---
+    let spe_send = SpeProgram::new("spe_send", 2048, |spe, _arg1, _arg2| {
+        let array: Vec<i32> = (0..100).collect();
+        spe.write(CpChannel(0), "%100d", &[PiValue::Int32(array)])
+            .unwrap();
+    });
+
+    // --- Receiver SPE (Figure 4, spe_recv.c) ---
+    let spe_recv = SpeProgram::new("spe_recv", 2048, |spe, _arg1, _arg2| {
+        let vals = spe.read(CpChannel(0), "%*d").unwrap();
+        let PiValue::Int32(array) = &vals[0] else {
+            unreachable!()
+        };
+        let line: Vec<String> = array.iter().map(i32::to_string).collect();
+        println!("{}", line.join(" "));
+    });
+
+    // recvFunc: the receiver-side PPE process; it launches its SPE.
+    let recv_ppe = cfg
+        .create_process("recvFunc", 0, |cp, _arg| {
+            let t = cp.run_spe(CpProcess(3), 0, 0).unwrap();
+            cp.wait_spe(t);
+        })
+        .unwrap();
+    let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
+    let recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
+    let between_spes = cfg.create_channel(send_spe, recv_spe).unwrap();
+    println!(
+        "channel 'betweenSPEs' classified as {} (paper Table I)",
+        cfg.channel_kind(between_spes).unwrap()
+    );
+
+    // --- execution phase (Figure 3, lines 26-29) ---
+    let report = cfg
+        .run(move |cp| {
+            let t = cp.run_spe(send_spe, 0, 0).unwrap();
+            cp.wait_spe(t);
+        })
+        .unwrap();
+    println!(
+        "done at virtual t = {:.1} us across {} simulated processes",
+        report.end_time.as_micros_f64(),
+        report.processes
+    );
+}

@@ -1,0 +1,56 @@
+//! Experiment T-I: the paper's Table I channel-type taxonomy, asserted for
+//! every endpoint pairing the classification function can see (this is the
+//! "static" experiment of DESIGN.md's index).
+
+use cellpilot::{classify, ChannelKind, Location};
+use cp_simnet::NodeId;
+
+fn rank(node: usize) -> Location {
+    Location::Rank {
+        rank: node,
+        node: NodeId(node),
+    }
+}
+
+fn spe(node: usize, slot: usize) -> Location {
+    Location::Spe {
+        node: NodeId(node),
+        slot,
+    }
+}
+
+#[test]
+fn table_one_is_exhaustive_over_endpoint_shapes() {
+    // The five rows, plus the direction-insensitivity and the co-resident
+    // rank case. Nodes: 0 and 1 are Cells, 2 is the Xeon.
+    let cases = [
+        // (a, b, expected)
+        (rank(0), rank(1), ChannelKind::Type1), // PPE <-> remote PPE
+        (rank(0), rank(2), ChannelKind::Type1), // PPE <-> non-Cell
+        (rank(2), rank(1), ChannelKind::Type1), // non-Cell <-> PPE
+        (rank(0), spe(0, 0), ChannelKind::Type2), // PPE <-> local SPE
+        (rank(1), spe(0, 0), ChannelKind::Type3), // PPE <-> remote SPE
+        (rank(2), spe(0, 0), ChannelKind::Type3), // non-Cell <-> remote SPE
+        (spe(0, 0), spe(0, 1), ChannelKind::Type4), // SPE <-> local SPE
+        (spe(0, 0), spe(1, 0), ChannelKind::Type5), // SPE <-> remote SPE
+    ];
+    for (a, b, expected) in cases {
+        assert_eq!(classify(a, b), expected, "{a:?} <-> {b:?}");
+        assert_eq!(classify(b, a), expected, "direction-insensitive");
+    }
+}
+
+#[test]
+fn every_kind_is_reachable() {
+    use std::collections::HashSet;
+    let locs = [rank(0), rank(1), rank(2), spe(0, 0), spe(0, 1), spe(1, 0)];
+    let mut seen = HashSet::new();
+    for &a in &locs {
+        for &b in &locs {
+            if a != b {
+                seen.insert(classify(a, b));
+            }
+        }
+    }
+    assert_eq!(seen.len(), 5, "all five Table-I types occur: {seen:?}");
+}

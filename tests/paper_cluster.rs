@@ -1,0 +1,173 @@
+//! Full-scale integration: the paper's evaluation platform — 8
+//! dual-PowerXCell blades (16 SPEs each) plus 4 Xeon nodes — running one
+//! CellPilot application that exercises every channel type concurrently,
+//! twice, with bit-identical deterministic outcomes.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpProcess, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Build and run: main on blade 0 farms one SPE worker out on *every* Cell
+/// node (8 type-2/3 channel pairs), plus a Xeon aggregator (type 1), plus
+/// an SPE→SPE pipeline within blade 0 (type 4) and across blades (type 5).
+/// Returns (aggregate checksum, end virtual time ns).
+fn run_cluster_app() -> (i64, u64) {
+    let spec = ClusterSpec::paper();
+    assert_eq!(spec.nodes.len(), 12);
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+
+    // Worker SPE: read a seed on its task channel, reply seed*2+index.
+    let worker = SpeProgram::new("worker", 2048, |spe, _, _| {
+        let idx = spe.index() as usize;
+        let vals = spe.read(CpChannel(2 * idx), "%ld").unwrap();
+        let PiValue::Int64(v) = &vals[0] else {
+            unreachable!()
+        };
+        spe.write(
+            CpChannel(2 * idx + 1),
+            "%ld",
+            &[PiValue::Int64(vec![v[0] * 2 + idx as i64])],
+        )
+        .unwrap();
+    });
+
+    // Host process for Cell nodes 1..8: run local SPE children.
+    let mut hosts = vec![CP_MAIN];
+    for n in 1..8 {
+        let h = cfg
+            .create_process(&format!("host{n}"), n, |cp, _| {
+                let mut ts = Vec::new();
+                for p in 0..cp.process_count() {
+                    if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                        ts.push(t);
+                    }
+                }
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+        hosts.push(h);
+    }
+    // Xeon aggregator (rank on node 8): sums what main forwards (type 1).
+    let xeon = cfg
+        .create_process("xeon-agg", 0, |cp, _| {
+            let vals = cp.read(CpChannel(16), "%*ld").unwrap();
+            let PiValue::Int64(v) = &vals[0] else {
+                unreachable!()
+            };
+            let sum: i64 = v.iter().sum();
+            cp.write(CpChannel(17), "%ld", &[PiValue::Int64(vec![sum])])
+                .unwrap();
+        })
+        .unwrap();
+
+    // One worker SPE per Cell node; channels 2i (task) / 2i+1 (result).
+    for (i, &host) in hosts.iter().enumerate() {
+        let s = cfg.create_spe_process(&worker, host, i as i32).unwrap();
+        let t = cfg.create_channel(CP_MAIN, s).unwrap();
+        let r = cfg.create_channel(s, CP_MAIN).unwrap();
+        assert_eq!((t.0, r.0), (2 * i, 2 * i + 1));
+    }
+    let to_xeon = cfg.create_channel(CP_MAIN, xeon).unwrap();
+    let from_xeon = cfg.create_channel(xeon, CP_MAIN).unwrap();
+    assert_eq!((to_xeon.0, from_xeon.0), (16, 17));
+
+    // A type-4 + type-5 pipeline: stage1 (blade 0) -> stage2 (blade 0) ->
+    // stage3 (blade 1).
+    let stage1 = SpeProgram::new("stage1", 2048, |spe, _, _| {
+        spe.write(CpChannel(18), "%d", &[PiValue::Int32(vec![1000])])
+            .unwrap();
+    });
+    let stage2 = SpeProgram::new("stage2", 2048, |spe, _, _| {
+        let vals = spe.read(CpChannel(18), "%d").unwrap();
+        let PiValue::Int32(v) = &vals[0] else {
+            unreachable!()
+        };
+        spe.write(CpChannel(19), "%d", &[PiValue::Int32(vec![v[0] + 1])])
+            .unwrap();
+    });
+    let stage3 = SpeProgram::new("stage3", 2048, |spe, _, _| {
+        let vals = spe.read(CpChannel(19), "%d").unwrap();
+        let PiValue::Int32(v) = &vals[0] else {
+            unreachable!()
+        };
+        spe.write(CpChannel(20), "%d", &[PiValue::Int32(vec![v[0] * 3])])
+            .unwrap();
+    });
+    let s1 = cfg.create_spe_process(&stage1, CP_MAIN, 100).unwrap();
+    let s2 = cfg.create_spe_process(&stage2, CP_MAIN, 101).unwrap();
+    let s3 = cfg.create_spe_process(&stage3, hosts[1], 102).unwrap();
+    use cellpilot::ChannelKind;
+    let c18 = cfg.create_channel(s1, s2).unwrap();
+    let c19 = cfg.create_channel(s2, s3).unwrap();
+    let c20 = cfg.create_channel(s3, CP_MAIN).unwrap();
+    assert_eq!(cfg.channel_kind(c18), Some(ChannelKind::Type4));
+    assert_eq!(cfg.channel_kind(c19), Some(ChannelKind::Type5));
+    assert_eq!(cfg.channel_kind(c20), Some(ChannelKind::Type3));
+
+    let out = Arc::new(Mutex::new(0i64));
+    let out2 = out.clone();
+    let report = cfg
+        .run(move |cp| {
+            let mut ts = Vec::new();
+            for p in 0..cp.process_count() {
+                if let Ok(t) = cp.run_spe(CpProcess(p), 0, 0) {
+                    ts.push(t);
+                }
+            }
+            // Farm: seed every worker, collect results.
+            for i in 0..8usize {
+                cp.write(
+                    CpChannel(2 * i),
+                    "%ld",
+                    &[PiValue::Int64(vec![10 * i as i64])],
+                )
+                .unwrap();
+            }
+            let mut results = Vec::new();
+            for i in 0..8usize {
+                let vals = cp.read(CpChannel(2 * i + 1), "%ld").unwrap();
+                let PiValue::Int64(v) = &vals[0] else {
+                    unreachable!()
+                };
+                results.push(v[0]);
+            }
+            // Off-load the sum to the Xeon.
+            cp.write(to_xeon, "%*ld", &[PiValue::Int64(results.clone())])
+                .unwrap();
+            let vals = cp.read(from_xeon, "%ld").unwrap();
+            let PiValue::Int64(sum) = &vals[0] else {
+                unreachable!()
+            };
+            // Pipeline result.
+            let vals = cp.read(CpChannel(20), "%d").unwrap();
+            let PiValue::Int32(pipe) = &vals[0] else {
+                unreachable!()
+            };
+            *out2.lock() = sum[0] + pipe[0] as i64;
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    let v = *out.lock();
+    (v, report.end_time.as_nanos())
+}
+
+#[test]
+fn paper_cluster_runs_all_channel_types() {
+    let (checksum, _) = run_cluster_app();
+    // Workers: sum over i of (10i*2 + i) = 21 * sum(0..8) = 21*28 = 588.
+    // Pipeline: (1000 + 1) * 3 = 3003.
+    assert_eq!(checksum, 588 + 3003);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let a = run_cluster_app();
+    let b = run_cluster_app();
+    assert_eq!(a, b, "identical checksum and identical virtual end time");
+}

@@ -1,0 +1,119 @@
+//! Multi-hop composition across every processor kind: a message travels
+//! Xeon → PPE → SPE → sibling SPE (type 4) → remote SPE (type 5) → remote
+//! PPE → back to the Xeon, each hop transforming the payload, so any
+//! mis-routing corrupts the final checksum.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, ChannelKind, CpChannel, SpeProgram, CP_MAIN};
+use cp_pilot::PiValue;
+use cp_simnet::{ClusterSpec, NodeId};
+
+fn bump(vals: &[PiValue], delta: i64) -> Vec<PiValue> {
+    let PiValue::Int64(v) = &vals[0] else {
+        unreachable!()
+    };
+    vec![PiValue::Int64(v.iter().map(|x| x + delta).collect())]
+}
+
+#[test]
+fn seven_hop_chain_across_all_kinds() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    // main on the Xeon; ppe0 on Cell node 0; ppe1 on Cell node 1.
+    let placement = vec![NodeId(2), NodeId(0), NodeId(1)];
+    let mut cfg = CellPilotConfig::new(spec, placement, CellPilotOpts::default());
+
+    // Hop ids (created below in order): 0 Xeon->ppe0 (t1), 1 ppe0->speA
+    // (t2), 2 speA->speB (t4), 3 speB->speC (t5), 4 speC->ppe1 (t2),
+    // 5 ppe1->Xeon (t1).
+    let relay_spe = SpeProgram::new("relay", 2048, |spe, _, _| {
+        let me = spe.index() as usize; // 0 = A, 1 = B, 2 = C
+        let (inc, outc) = (CpChannel(me + 1), CpChannel(me + 2));
+        let vals = spe.read(inc, "%8ld").unwrap();
+        spe.write(outc, "%8ld", &bump(&vals, 100)).unwrap();
+    });
+
+    let ppe0 = cfg
+        .create_process("ppe0", 0, |cp, _| {
+            let ts = cp.run_my_spes();
+            let vals = cp.read(CpChannel(0), "%8ld").unwrap();
+            cp.write(CpChannel(1), "%8ld", &bump(&vals, 10)).unwrap();
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    let ppe1 = cfg
+        .create_process("ppe1", 0, |cp, _| {
+            let ts = cp.run_my_spes();
+            let vals = cp.read(CpChannel(4), "%8ld").unwrap();
+            cp.write(CpChannel(5), "%8ld", &bump(&vals, 1000)).unwrap();
+            for t in ts {
+                cp.wait_spe(t);
+            }
+        })
+        .unwrap();
+    let spe_a = cfg.create_spe_process(&relay_spe, ppe0, 0).unwrap();
+    let spe_b = cfg.create_spe_process(&relay_spe, ppe0, 1).unwrap();
+    let spe_c = cfg.create_spe_process(&relay_spe, ppe1, 2).unwrap();
+
+    let hops = [
+        (CP_MAIN, ppe0, ChannelKind::Type1),
+        (ppe0, spe_a, ChannelKind::Type2),
+        (spe_a, spe_b, ChannelKind::Type4),
+        (spe_b, spe_c, ChannelKind::Type5),
+        (spe_c, ppe1, ChannelKind::Type2),
+        (ppe1, CP_MAIN, ChannelKind::Type1),
+    ];
+    for (i, &(from, to, kind)) in hops.iter().enumerate() {
+        let c = cfg.create_channel(from, to).unwrap();
+        assert_eq!(c.0, i);
+        assert_eq!(cfg.channel_kind(c), Some(kind), "hop {i}");
+    }
+
+    cfg.run(move |cp| {
+        let seed: Vec<i64> = (0..8).collect();
+        cp.write(CpChannel(0), "%8ld", &[PiValue::Int64(seed.clone())])
+            .unwrap();
+        let vals = cp.read(CpChannel(5), "%8ld").unwrap();
+        // +10 (ppe0) +100 (A) +100 (B) +100 (C) +1000 (ppe1) = +1310.
+        let expect: Vec<i64> = seed.iter().map(|x| x + 1310).collect();
+        assert_eq!(vals[0], PiValue::Int64(expect));
+    })
+    .unwrap();
+}
+
+#[test]
+fn chain_is_deterministic_end_to_end() {
+    // Two identical chain runs finish at the same virtual nanosecond.
+    fn once() -> u64 {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let placement = vec![NodeId(2), NodeId(0)];
+        let mut cfg = CellPilotConfig::new(spec, placement, CellPilotOpts::default());
+        let spe = SpeProgram::new("s", 2048, |spe, _, _| {
+            let v = spe.read(CpChannel(1), "%4ld").unwrap();
+            spe.write(CpChannel(2), "%4ld", &bump(&v, 1)).unwrap();
+        });
+        let ppe = cfg
+            .create_process("ppe", 0, |cp, _| {
+                let ts = cp.run_my_spes();
+                let v = cp.read(CpChannel(0), "%4ld").unwrap();
+                cp.write(CpChannel(1), "%4ld", &v).unwrap();
+                for t in ts {
+                    cp.wait_spe(t);
+                }
+            })
+            .unwrap();
+        let s = cfg.create_spe_process(&spe, ppe, 0).unwrap();
+        cfg.create_channel(CP_MAIN, ppe).unwrap();
+        cfg.create_channel(ppe, s).unwrap();
+        cfg.create_channel(s, CP_MAIN).unwrap();
+        cfg.run(move |cp| {
+            cp.write(CpChannel(0), "%4ld", &[PiValue::Int64(vec![1, 2, 3, 4])])
+                .unwrap();
+            let _ = cp.read(CpChannel(2), "%4ld").unwrap();
+        })
+        .unwrap()
+        .end_time
+        .as_nanos()
+    }
+    assert_eq!(once(), once());
+}
