@@ -20,15 +20,28 @@ use crate::runtime::{AppShared, CellPilot};
 use crate::tables::{
     CpBundleEntry, CpBundleUsage, CpChanEntry, CpProcEntry, CpTables, NodeShared, ProcKind,
 };
-use cp_des::{SimError, SimReport, Simulation};
+use cp_des::{SimDuration, SimError, SimReport, Simulation};
 use cp_mpisim::{MpiCosts, MpiWorld};
 use cp_pilot::PilotCosts;
-use cp_simnet::{ClusterSpec, NodeId};
+use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Options for a CellPilot application.
+///
+/// Construct either field-style (`CellPilotOpts { trace: true,
+/// ..Default::default() }`) or with the chainable `with_*` builders:
+///
+/// ```
+/// use cellpilot::CellPilotOpts;
+/// use cp_des::SimDuration;
+///
+/// let opts = CellPilotOpts::new()
+///     .with_trace()
+///     .with_channel_timeout(SimDuration::from_millis(10));
+/// assert!(opts.trace);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct CellPilotOpts {
     /// CellPilot-layer cost model.
@@ -40,6 +53,50 @@ pub struct CellPilotOpts {
     /// Record a channel-operation trace (see [`crate::trace`]); retrieve
     /// it with [`CellPilotConfig::run_traced`].
     pub trace: bool,
+    /// Per-channel read deadline for rank-side reads: a read that waits
+    /// longer than this (virtual time) fails with [`CpError::Timeout`]
+    /// instead of blocking forever. `None` (the default) blocks
+    /// indefinitely.
+    pub channel_timeout: Option<SimDuration>,
+    /// Fault-injection plan the simulated cluster runs under; `None` means
+    /// a healthy cluster.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Retransmission policy senders use against injected message loss.
+    pub retry: RetryPolicy,
+}
+
+impl CellPilotOpts {
+    /// Default options; identical to `CellPilotOpts::default()`, reads
+    /// better at the head of a builder chain.
+    pub fn new() -> CellPilotOpts {
+        CellPilotOpts::default()
+    }
+
+    /// Record a channel-operation trace (retrieve with
+    /// [`CellPilotConfig::run_traced`]).
+    pub fn with_trace(mut self) -> CellPilotOpts {
+        self.trace = true;
+        self
+    }
+
+    /// Fail rank-side reads that wait longer than `deadline` of virtual
+    /// time.
+    pub fn with_channel_timeout(mut self, deadline: SimDuration) -> CellPilotOpts {
+        self.channel_timeout = Some(deadline);
+        self
+    }
+
+    /// Run the simulated cluster under the given fault-injection plan.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> CellPilotOpts {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the sender-side retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> CellPilotOpts {
+        self.retry = retry;
+        self
+    }
 }
 
 type RankBody = Box<dyn FnOnce(&CellPilot, i32) + Send>;
@@ -364,6 +421,10 @@ impl CellPilotConfig {
                 node_shared.insert(NodeId(i), NodeShared::new(cell.clone()));
             }
         }
+        let faults = opts
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::new()));
         let shared = Arc::new(AppShared {
             tables: tables.clone(),
             trace,
@@ -372,8 +433,16 @@ impl CellPilotConfig {
             costs: opts.costs.clone(),
             pilot_costs: opts.pilot_costs.clone(),
             running_spes: Mutex::new(HashSet::new()),
+            channel_timeout: opts.channel_timeout,
+            faults: faults.clone(),
         });
-        let world = MpiWorld::new(cluster, placement, opts.mpi_costs.clone());
+        let world = MpiWorld::with_faults(
+            cluster,
+            placement,
+            opts.mpi_costs.clone(),
+            faults,
+            opts.retry,
+        );
         let mut sim = Simulation::new();
         // Application rank processes.
         for (pidx, body) in bodies.into_iter().enumerate() {

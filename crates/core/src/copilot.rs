@@ -130,8 +130,27 @@ fn service_loop(
         pending_writes: HashMap::new(),
         pending_mpi: HashMap::new(),
     };
+    // A scripted Co-Pilot stall freezes the service loop once, at the first
+    // event serviced at or after its scheduled time: requests and MPI
+    // deliveries keep queueing, but nothing is serviced for the duration.
+    let stall = shared.faults.stall_of(NodeId(cell.id));
+    let mut stall_done = false;
     loop {
-        match queue.pop(ctx) {
+        let event = queue.pop(ctx);
+        if let Some(s) = stall {
+            if !stall_done && ctx.now() >= s.at {
+                stall_done = true;
+                ctx.report_incident(
+                    "copilot-stall",
+                    &format!(
+                        "Co-Pilot on node {} unresponsive for {} (scheduled at {})",
+                        cell.id, s.duration, s.at
+                    ),
+                );
+                ctx.advance(s.duration);
+            }
+        }
+        match event {
             CoEvent::Shutdown => {
                 // Unblock the mailbox watchers so their processes exit.
                 for spe in &cell.spes {
@@ -223,6 +242,8 @@ fn service_loop(
                     WriterSide::LocalSpe => {
                         if let Some(w) = pop_front(&mut st.pending_writes, chan) {
                             pair_type4(ctx, shared, cell, chan, w, rr);
+                        } else if writer_dead(ctx, shared, cell, chan) {
+                            complete(ctx, cell, hw, completion_err(CompletionError::PeerLost));
                         } else {
                             st.pending_reads.entry(chan).or_default().push_back(rr);
                         }
@@ -230,6 +251,8 @@ fn service_loop(
                     WriterSide::Mpi => {
                         if let Some(msg) = pop_front_msg(&mut st.pending_mpi, chan) {
                             deliver_to_spe(ctx, shared, cell, chan, &msg.data, rr);
+                        } else if writer_dead(ctx, shared, cell, chan) {
+                            complete(ctx, cell, hw, completion_err(CompletionError::PeerLost));
                         } else {
                             st.pending_reads.entry(chan).or_default().push_back(rr);
                         }
@@ -282,6 +305,33 @@ fn reader_side(shared: &AppShared, chan: usize, my_node: usize) -> ReaderSide {
             }
         }
     }
+}
+
+/// Whether the channel's writer process is already gone under the fault
+/// plan: an SPE whose scripted crash has fired, or a rank whose scripted
+/// death has fired. Used to fail a data-less SPE read with `PeerLost`
+/// instead of parking it forever. (A message the writer sent before dying
+/// that is still in flight counts as "no data yet" — fail-fast semantics.)
+fn writer_dead(ctx: &ProcCtx, shared: &AppShared, cell: &Arc<CellNode>, chan: usize) -> bool {
+    let from = shared.tables.channels[chan].from;
+    let now = ctx.now();
+    let gone = match shared.tables.processes[from.0].location {
+        Location::Rank { rank, .. } => shared.faults.death_of(rank).is_some_and(|at| now >= at),
+        Location::Spe { .. } => shared
+            .faults
+            .spe_crash_of(from.0)
+            .is_some_and(|at| now >= at),
+    };
+    if gone {
+        ctx.report_incident(
+            "peer-lost",
+            &format!(
+                "Co-Pilot on node {} failing read on channel {chan}: writer '{}' is lost",
+                cell.id, shared.tables.processes[from.0].name
+            ),
+        );
+    }
+    gone
 }
 
 fn writer_side(shared: &AppShared, chan: usize, my_node: usize) -> WriterSide {

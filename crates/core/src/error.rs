@@ -1,9 +1,41 @@
 //! CellPilot error reporting: Pilot's source-located diagnostics extended
 //! with the SPE-specific failure modes.
+//!
+//! [`CpError`] is the one error type the whole stack surfaces. Errors
+//! raised by the layers underneath — the Pilot library ([`PilotError`])
+//! and the simulation kernel ([`SimError`]) — are wrapped rather than
+//! re-spelled, and remain reachable through [`std::error::Error::source`].
+//! Callers that only care about the coarse class of a failure (was it
+//! misuse? a resource limit? an injected fault?) match on the stable
+//! [`CpError::kind`] accessor instead of the full variant list.
 
 use cp_cellsim::{LsError, SpeRunError};
-use cp_pilot::{FmtError, MatchError};
+use cp_des::SimError;
+use cp_pilot::{FmtError, MatchError, PilotError};
 use std::fmt;
+
+/// Coarse, stable classification of a [`CpError`].
+///
+/// New [`CpError`] variants may appear as the library grows, but each maps
+/// into one of these kinds, so matching on `kind()` keeps compiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Configuration-phase misuse: bad architecture declarations (unknown
+    /// handles, self-channels, bundle shape errors, rank exhaustion).
+    Config,
+    /// Execution-phase API misuse: wrong process performing an operation.
+    Usage,
+    /// Format-string or data-description problems.
+    Format,
+    /// Hardware or resource limits: SPE exhaustion, local-store pressure.
+    Resource,
+    /// Injected-fault outcomes: deadlines missed, peers lost.
+    Fault,
+    /// An error from the Pilot layer underneath.
+    Pilot,
+    /// An error from the simulation kernel.
+    Sim,
+}
 
 /// Everything a CellPilot call can report.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +126,58 @@ pub enum CpError {
     LocalStore(LsError),
     /// SPE context management failed.
     SpeRun(SpeRunError),
+    /// A channel operation missed its deadline or exhausted its retry
+    /// budget without the peer being known dead.
+    Timeout {
+        /// The channel id.
+        channel: usize,
+        /// What ran out of time (operation and bound).
+        detail: String,
+    },
+    /// The channel's peer process was lost to an injected fault.
+    PeerLost {
+        /// The channel id.
+        channel: usize,
+        /// Name of the lost peer process.
+        peer: String,
+    },
+    /// An error surfaced by the Pilot layer underneath.
+    Pilot(PilotError),
+    /// An error surfaced by the simulation kernel.
+    Sim(SimError),
+}
+
+impl CpError {
+    /// The coarse, stable classification of this error (see [`ErrorKind`]).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CpError::TooManyProcesses { .. }
+            | CpError::NoSuchProcess(_)
+            | CpError::NoSuchChannel(_)
+            | CpError::SelfChannel
+            | CpError::BadSpeParent { .. }
+            | CpError::NoSuchBundle(_)
+            | CpError::EmptyBundle
+            | CpError::BundleCommonEndpoint
+            | CpError::ChannelAlreadyBundled(_) => ErrorKind::Config,
+            CpError::NotParent { .. }
+            | CpError::NotSpeProcess(_)
+            | CpError::AlreadyRunning(_)
+            | CpError::NotWriter { .. }
+            | CpError::NotReader { .. }
+            | CpError::BundleMisuse { .. } => ErrorKind::Usage,
+            CpError::Format(_) | CpError::Args(_) | CpError::FormatMismatch { .. } => {
+                ErrorKind::Format
+            }
+            CpError::NoFreeSpe { .. }
+            | CpError::SpeBufferOverflow { .. }
+            | CpError::LocalStore(_)
+            | CpError::SpeRun(_) => ErrorKind::Resource,
+            CpError::Timeout { .. } | CpError::PeerLost { .. } => ErrorKind::Fault,
+            CpError::Pilot(_) => ErrorKind::Pilot,
+            CpError::Sim(_) => ErrorKind::Sim,
+        }
+    }
 }
 
 impl fmt::Display for CpError {
@@ -169,11 +253,32 @@ impl fmt::Display for CpError {
             }
             CpError::LocalStore(e) => write!(f, "{e}"),
             CpError::SpeRun(e) => write!(f, "{e}"),
+            CpError::Timeout { channel, detail } => {
+                write!(f, "channel {channel} operation timed out: {detail}")
+            }
+            CpError::PeerLost { channel, peer } => {
+                write!(f, "channel {channel}: peer process '{peer}' was lost")
+            }
+            CpError::Pilot(e) => write!(f, "pilot layer: {e}"),
+            CpError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }
 }
 
-impl std::error::Error for CpError {}
+impl std::error::Error for CpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CpError::Format(e) => Some(e),
+            CpError::Args(e) => Some(e),
+            CpError::FormatMismatch { detail, .. } => Some(detail),
+            CpError::LocalStore(e) => Some(e),
+            CpError::SpeRun(e) => Some(e),
+            CpError::Pilot(e) => Some(e),
+            CpError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<FmtError> for CpError {
     fn from(e: FmtError) -> Self {
@@ -199,6 +304,18 @@ impl From<SpeRunError> for CpError {
     }
 }
 
+impl From<PilotError> for CpError {
+    fn from(e: PilotError) -> Self {
+        CpError::Pilot(e)
+    }
+}
+
+impl From<SimError> for CpError {
+    fn from(e: SimError) -> Self {
+        CpError::Sim(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +336,51 @@ mod tests {
         let ls = LsError::BadFree(4);
         let e: CpError = ls.clone().into();
         assert_eq!(e, CpError::LocalStore(ls));
+    }
+
+    #[test]
+    fn kinds_are_stable_coarse_classes() {
+        assert_eq!(CpError::SelfChannel.kind(), ErrorKind::Config);
+        assert_eq!(CpError::NotSpeProcess(1).kind(), ErrorKind::Usage);
+        assert_eq!(CpError::NoFreeSpe { node: 0 }.kind(), ErrorKind::Resource);
+        assert_eq!(
+            CpError::Timeout {
+                channel: 0,
+                detail: "x".into()
+            }
+            .kind(),
+            ErrorKind::Fault
+        );
+        assert_eq!(
+            CpError::PeerLost {
+                channel: 0,
+                peer: "p".into()
+            }
+            .kind(),
+            ErrorKind::Fault
+        );
+        assert_eq!(
+            CpError::Pilot(PilotError::SelfChannel).kind(),
+            ErrorKind::Pilot
+        );
+    }
+
+    #[test]
+    fn source_chains_reach_wrapped_errors() {
+        use std::error::Error;
+        let e = CpError::Pilot(PilotError::NoSuchChannel(3));
+        let src = e.source().expect("pilot source");
+        assert!(src.to_string().contains("no such channel"));
+        let e = CpError::Sim(SimError::TimeLimitExceeded {
+            limit: cp_des::SimTime(5),
+        });
+        assert!(e
+            .source()
+            .expect("sim source")
+            .to_string()
+            .contains("limit"));
+        let e: CpError = LsError::BadFree(4).into();
+        assert!(e.source().is_some());
+        assert!(CpError::SelfChannel.source().is_none());
     }
 }

@@ -22,19 +22,19 @@
 //!
 //! ```
 //! use cellpilot::{CellPilotConfig, CellPilotOpts, SpeProgram, CP_MAIN};
-//! use cp_pilot::PiValue;
 //! use cp_simnet::ClusterSpec;
 //!
 //! let spec = ClusterSpec::two_cells_one_xeon();
-//! let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+//! let opts = CellPilotOpts::new();
+//! let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
 //!
 //! let spe_send = SpeProgram::new("spe_send", 2048, |spe, _arg, _ptr| {
 //!     let array: Vec<i32> = (0..100).collect();
-//!     spe.write(cellpilot::CpChannel(0), "%100d", &[PiValue::Int32(array)]).unwrap();
+//!     spe.write_slice(cellpilot::CpChannel(0), &array).unwrap();
 //! });
 //! let spe_recv = SpeProgram::new("spe_recv", 2048, |spe, _arg, _ptr| {
-//!     let vals = spe.read(cellpilot::CpChannel(0), "%*d").unwrap();
-//!     assert_eq!(vals[0], PiValue::Int32((0..100).collect()));
+//!     let vals = spe.read_vec::<i32>(cellpilot::CpChannel(0)).unwrap();
+//!     assert_eq!(vals, (0..100).collect::<Vec<i32>>());
 //! });
 //!
 //! let recv_ppe = cfg.create_process("recvFunc", 0, |cp, _| {
@@ -70,7 +70,7 @@ pub mod trace;
 pub use collective::{reduce_f64, CpBundle};
 pub use config::{CellPilotConfig, CellPilotOpts};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
-pub use error::CpError;
+pub use error::{CpError, ErrorKind};
 pub use location::{classify, ChannelKind, CpChannel, CpProcess, Location, CP_MAIN};
 pub use program::SpeProgram;
 pub use runtime::{CellPilot, SpeTask};

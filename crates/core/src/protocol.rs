@@ -102,6 +102,9 @@ pub enum CompletionError {
     Overflow,
     /// Protocol violation (library bug or mismatched configuration).
     Internal,
+    /// The channel's peer process is gone (a scripted SPE crash or rank
+    /// death fired), so the request can never complete.
+    PeerLost,
 }
 
 /// Encode a successful completion carrying the transferred byte count.
@@ -116,6 +119,7 @@ pub fn completion_err(e: CompletionError) -> u32 {
         | match e {
             CompletionError::Overflow => 1,
             CompletionError::Internal => 2,
+            CompletionError::PeerLost => 3,
         }
 }
 
@@ -126,6 +130,7 @@ pub fn decode_completion(word: u32) -> Result<usize, CompletionError> {
     } else {
         match word & 0x7FFF_FFFF {
             1 => Err(CompletionError::Overflow),
+            3 => Err(CompletionError::PeerLost),
             _ => Err(CompletionError::Internal),
         }
     }
@@ -157,6 +162,10 @@ mod tests {
         assert_eq!(
             decode_completion(completion_err(CompletionError::Internal)),
             Err(CompletionError::Internal)
+        );
+        assert_eq!(
+            decode_completion(completion_err(CompletionError::PeerLost)),
+            Err(CompletionError::PeerLost)
         );
     }
 

@@ -7,13 +7,13 @@ use crate::error::CpError;
 use crate::location::{ChannelKind, CpChannel, CpProcess, Location};
 use crate::tables::{CpTables, NodeShared, ProcKind};
 use cp_des::{Pid, ProcCtx, SimDuration};
-use cp_mpisim::{Comm, Datatype};
+use cp_mpisim::{Comm, Datatype, MpiFault};
 use cp_pilot::{
     fmt::parse_format,
     value::{check_against_format, check_read_format, pack_message, payload_bytes, unpack_message},
-    PiValue, PilotCosts,
+    PiScalar, PiValue, PilotCosts,
 };
-use cp_simnet::{Cluster, NodeId};
+use cp_simnet::{Cluster, FaultPlan, NodeId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -33,6 +33,10 @@ pub(crate) struct AppShared {
     pub pilot_costs: PilotCosts,
     /// SPE processes currently running (guards double `PI_RunSPE`).
     pub running_spes: Mutex<HashSet<usize>>,
+    /// Rank-side per-read deadline (None = block indefinitely).
+    pub channel_timeout: Option<SimDuration>,
+    /// The fault plan the cluster runs under (empty when healthy).
+    pub faults: Arc<FaultPlan>,
 }
 
 /// A handle to a launched SPE process, joinable with
@@ -124,13 +128,15 @@ impl CellPilot {
             Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
         };
         let n = data.len();
-        self.comm.send_bytes(
-            dest_rank,
-            CpTables::chan_tag(chan.0),
-            Datatype::Byte,
-            n,
-            data,
-        );
+        self.comm
+            .try_send_bytes(
+                dest_rank,
+                CpTables::chan_tag(chan.0),
+                Datatype::Byte,
+                n,
+                data,
+            )
+            .map_err(|fault| self.fault_to_cp(chan, entry.to, fault))?;
         self.shared.trace.record(
             self.ctx().now(),
             &self.name(),
@@ -139,6 +145,64 @@ impl CellPilot {
             n,
         );
         Ok(())
+    }
+
+    /// Map an MPI-layer fault on `chan` (whose far endpoint is `peer`) to
+    /// the CellPilot error, recording a structured incident in the
+    /// [`cp_des::SimReport`] so degraded runs are observable. A timeout on
+    /// a channel whose peer SPE has a scheduled crash that already fired
+    /// is upgraded to [`CpError::PeerLost`] — the peer is gone, not slow.
+    fn fault_to_cp(&self, chan: CpChannel, peer: CpProcess, fault: MpiFault) -> CpError {
+        let peer_name = self.shared.tables.processes[peer.0].name.clone();
+        let peer_crashed = self
+            .shared
+            .faults
+            .spe_crash_of(peer.0)
+            .is_some_and(|at| self.ctx().now() >= at);
+        let err = match fault {
+            MpiFault::PeerLost { .. } => CpError::PeerLost {
+                channel: chan.0,
+                peer: peer_name,
+            },
+            MpiFault::Timeout { .. } | MpiFault::SendLost { .. } if peer_crashed => {
+                CpError::PeerLost {
+                    channel: chan.0,
+                    peer: peer_name,
+                }
+            }
+            MpiFault::Timeout { what } => CpError::Timeout {
+                channel: chan.0,
+                detail: what,
+            },
+            MpiFault::SendLost { attempts, .. } => CpError::Timeout {
+                channel: chan.0,
+                detail: format!("message to '{peer_name}' lost after {attempts} send attempts"),
+            },
+        };
+        let category = match err {
+            CpError::PeerLost { .. } => "peer-lost",
+            _ => "channel-timeout",
+        };
+        self.ctx()
+            .report_incident(category, &format!("process '{}': {err}", self.name()));
+        err
+    }
+
+    /// Typed `PI_Write`: send one slice of a single scalar type without
+    /// spelling the Pilot format string — `cp.write_slice::<i32>(chan, &v)`
+    /// is `cp.write(chan, "%*d", ..)`.
+    pub fn write_slice<T: PiScalar>(&self, chan: CpChannel, data: &[T]) -> Result<(), CpError> {
+        let format = format!("%*{}", T::CONV);
+        self.write(chan, &format, &[T::wrap(data.to_vec())])
+    }
+
+    /// Typed `PI_Read`: receive one message of a single scalar type as a
+    /// `Vec<T>` — `cp.read_vec::<f64>(chan)` is `cp.read(chan, "%*lf")`.
+    pub fn read_vec<T: PiScalar>(&self, chan: CpChannel) -> Result<Vec<T>, CpError> {
+        let format = format!("%*{}", T::CONV);
+        let mut values = self.read(chan, &format)?;
+        let v = values.pop().expect("format has exactly one segment");
+        Ok(T::unwrap(v).expect("segment dtype verified against format"))
     }
 
     /// `PI_Read` from a PPE / non-Cell process.
@@ -160,9 +224,14 @@ impl CellPilot {
             Location::Rank { rank, .. } => rank,
             Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
         };
-        let msg = self
-            .comm
-            .recv(Some(src_rank), Some(CpTables::chan_tag(chan.0)));
+        let tag = Some(CpTables::chan_tag(chan.0));
+        let msg = match self.shared.channel_timeout {
+            None => self.comm.recv(Some(src_rank), tag),
+            Some(d) => self
+                .comm
+                .try_recv_deadline(Some(src_rank), tag, d)
+                .map_err(|fault| self.fault_to_cp(chan, entry.from, fault))?,
+        };
         let values = unpack_message(&msg.data).expect("well-formed channel message");
         let segs: Vec<(Datatype, usize)> = values.iter().map(|v| (v.dtype(), v.len())).collect();
         check_read_format(&conv, &segs).map_err(|detail| CpError::FormatMismatch {
@@ -249,10 +318,23 @@ impl CellPilot {
             move |sctx: &ProcCtx| {
                 let spe_ctx =
                     crate::spe_rt::SpeCtx::new(sctx.clone(), shared.clone(), proc, node, hw);
-                (program.entry)(&spe_ctx, arg_int, arg_ptr);
+                // A scripted SPE crash unwinds out of the program entry with
+                // the `SpeCrashUnwind` sentinel; catch it so the hardware SPE
+                // is still released and the process retires cleanly (fail-stop
+                // semantics: only channels touching the dead SPE fail). Any
+                // other unwind (a real panic, simulation teardown) is
+                // re-raised after the same cleanup.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (program.entry)(&spe_ctx, arg_int, arg_ptr);
+                }));
                 spe_ctx.teardown();
                 ns.release_spe(hw);
                 shared.running_spes.lock().remove(&proc.0);
+                if let Err(payload) = outcome {
+                    if !payload.is::<crate::spe_rt::SpeCrashUnwind>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             }
         };
         let pid = match ns
@@ -330,13 +412,21 @@ impl CellPilot {
             .tables
             .rank_of(self.me)
             .expect("finish called from a rank process");
+        // Ranks with a death scheduled in the fault plan are excluded
+        // symmetrically from the barrier: rank 0 does not wait for them
+        // and they do not enter it (both sides consult the same plan, so
+        // survivors are never wedged on a corpse).
+        let dead = |r: usize| self.shared.faults.death_of(r).is_some();
+        if dead(my_rank) {
+            return;
+        }
         let peers: Vec<usize> = self
             .shared
             .tables
             .processes
             .iter()
             .filter_map(|p| match p.location {
-                Location::Rank { rank, .. } if rank != 0 => Some(rank),
+                Location::Rank { rank, .. } if rank != 0 && !dead(rank) => Some(rank),
                 _ => None,
             })
             .collect();
@@ -349,6 +439,9 @@ impl CellPilot {
                     .send_bytes(r, TAG_FINI, Datatype::Byte, 0, Vec::new());
             }
             for (_node, &cp_rank) in self.shared.tables.copilot_ranks.iter() {
+                if dead(cp_rank) {
+                    continue;
+                }
                 self.comm.send_bytes(
                     cp_rank,
                     crate::protocol::CP_SHUTDOWN_TAG,

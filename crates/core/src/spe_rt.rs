@@ -20,10 +20,16 @@ use cp_mpisim::Datatype;
 use cp_pilot::{
     fmt::{parse_format, Conversion, CountSpec},
     value::{check_against_format, check_read_format, pack_message, payload_bytes, unpack_message},
-    PiValue,
+    PiScalar, PiValue,
 };
 use cp_simnet::NodeId;
 use std::sync::Arc;
+
+/// Unwind payload used to retire an SPE process killed by a scripted
+/// [`cp_simnet::FaultPlan`] crash. `run_spe` catches it, runs the normal
+/// teardown (local-store free, hardware-SPE release), and retires the
+/// simulated process cleanly so only channels touching the dead SPE fail.
+pub(crate) struct SpeCrashUnwind;
 
 /// The context handed to an SPE program entry (what the `__ea`-decorated
 /// globals and `PI_SPE_PROCESS` machinery give SPE code in C).
@@ -140,8 +146,26 @@ impl SpeCtx {
         self.ctx.advance(SimDuration::from_micros_f64(us));
     }
 
+    /// Fail-stop checkpoint: a scripted SPE crash fires at the first
+    /// communication attempt at or after its scheduled time (the fault
+    /// model's stand-in for an SPE image dying mid-kernel). The crash is
+    /// logged as an `spe-crash` incident and the process retires through
+    /// [`SpeCrashUnwind`].
+    fn crash_checkpoint(&self) {
+        if let Some(at) = self.shared.faults.spe_crash_of(self.me.0) {
+            if self.ctx.now() >= at {
+                self.ctx.report_incident(
+                    "spe-crash",
+                    &format!("SPE process '{}' crashed (scheduled at {at})", self.name()),
+                );
+                std::panic::resume_unwind(Box::new(SpeCrashUnwind));
+            }
+        }
+    }
+
     /// Post a request block and wait for the Co-Pilot's completion word.
     fn transact(&self, req: Request) -> Result<usize, CpError> {
+        self.crash_checkpoint();
         let cell = &self.shared.node_shared[&self.node].cell;
         let spe = &cell.spes[self.hw];
         spe.ls.write(self.req_block, &req.encode())?;
@@ -154,6 +178,20 @@ impl SpeCtx {
                 channel: req.chan as usize,
                 capacity: req.len as usize,
             }),
+            Err(CompletionError::PeerLost) => {
+                let chan = req.chan as usize;
+                let peer = self
+                    .shared
+                    .tables
+                    .channels
+                    .get(chan)
+                    .map(|e| self.shared.tables.processes[e.from.0].name.clone())
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                Err(CpError::PeerLost {
+                    channel: chan,
+                    peer,
+                })
+            }
             Err(CompletionError::Internal) => {
                 panic!("Co-Pilot reported an internal protocol error")
             }
@@ -163,6 +201,7 @@ impl SpeCtx {
     /// `PI_Write` from an SPE process: pack into local store, hand the
     /// buffer to the Co-Pilot, wait for completion.
     pub fn write(&self, chan: CpChannel, format: &str, values: &[PiValue]) -> Result<(), CpError> {
+        self.crash_checkpoint();
         let entry = self
             .shared
             .tables
@@ -217,6 +256,7 @@ impl SpeCtx {
         format: &str,
         limit: usize,
     ) -> Result<Vec<PiValue>, CpError> {
+        self.crash_checkpoint();
         let entry = self
             .shared
             .tables
@@ -262,6 +302,25 @@ impl SpeCtx {
         });
         let _ = ls.free(buf);
         result
+    }
+
+    /// Typed single-segment write: sends `data` as one runtime-counted
+    /// segment of `T`'s wire type, with the Pilot format string derived
+    /// from `T` (`%*d` for `i32`, `%*lf` for `f64`, ...). The SPE twin of
+    /// [`crate::CellPilot::write_slice`].
+    pub fn write_slice<T: PiScalar>(&self, chan: CpChannel, data: &[T]) -> Result<(), CpError> {
+        let format = format!("%*{}", T::CONV);
+        self.write(chan, &format, &[T::wrap(data.to_vec())])
+    }
+
+    /// Typed single-segment read: receives one segment of `T`'s wire type
+    /// (format `%*{conv}`) and returns it as a `Vec<T>`. The SPE twin of
+    /// [`crate::CellPilot::read_vec`].
+    pub fn read_vec<T: PiScalar>(&self, chan: CpChannel) -> Result<Vec<T>, CpError> {
+        let format = format!("%*{}", T::CONV);
+        let mut values = self.read(chan, &format)?;
+        let v = values.pop().expect("format has exactly one segment");
+        Ok(T::unwrap(v).expect("segment dtype verified against format"))
     }
 
     /// `PI_ChannelHasData` from an SPE (extension): non-blocking check

@@ -61,7 +61,7 @@ impl fmt::Display for TraceOp {
 }
 
 /// One traced event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual completion time.
     pub at: SimTime,

@@ -1,0 +1,264 @@
+//! Scripted fault injection: SPE crashes, Co-Pilot stalls and rank deaths
+//! must degrade gracefully — only channels touching the lost process fail,
+//! the run completes, and every degradation shows up as a structured
+//! incident in the [`cp_des::SimReport`].
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpError, SpeProgram, CP_MAIN};
+use cp_des::{SimDuration, SimTime};
+use cp_simnet::{ClusterSpec, FaultPlan, NodeId};
+use std::sync::Arc;
+
+/// Type-4 blast radius: a crashed SPE writer fails its own channel with
+/// `PeerLost`, while an unrelated same-node SPE pair keeps working, and the
+/// run still finishes cleanly.
+#[test]
+fn type4_spe_crash_fails_only_touching_channels() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    // Process ids are assigned in creation order: main = 0, then the four
+    // SPE processes below. The victim is the first one created (id 1).
+    let plan = Arc::new(FaultPlan::new().crash_spe(1, SimTime::ZERO));
+    let opts = CellPilotOpts::new().with_faults(plan);
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+
+    let dying = SpeProgram::new("dying", 2048, |spe, _, _| {
+        // The scripted crash fires at this first channel operation; the
+        // line below never completes.
+        let _ = spe.write_slice(CpChannel(0), &[1i32, 2, 3]);
+        unreachable!("the fault plan kills this SPE at its first write");
+    });
+    let bereft = SpeProgram::new("bereft", 2048, |spe, _, _| {
+        let err = spe.read_vec::<i32>(CpChannel(0)).unwrap_err();
+        match err {
+            CpError::PeerLost { channel, peer } => {
+                assert_eq!(channel, 0);
+                assert!(peer.starts_with("dying"), "{peer}");
+            }
+            other => panic!("expected PeerLost, got {other}"),
+        }
+    });
+    let healthy_w = SpeProgram::new("healthy_w", 2048, |spe, _, _| {
+        spe.write_slice(CpChannel(1), &[7.5f64, -1.25]).unwrap();
+    });
+    let healthy_r = SpeProgram::new("healthy_r", 2048, |spe, _, _| {
+        let v = spe.read_vec::<f64>(CpChannel(1)).unwrap();
+        assert_eq!(v, vec![7.5, -1.25]);
+    });
+
+    let victim = cfg.create_spe_process(&dying, CP_MAIN, 0).unwrap();
+    assert_eq!(victim.0, 1, "the fault plan targets process id 1");
+    let reader = cfg.create_spe_process(&bereft, CP_MAIN, 1).unwrap();
+    let w2 = cfg.create_spe_process(&healthy_w, CP_MAIN, 2).unwrap();
+    let r2 = cfg.create_spe_process(&healthy_r, CP_MAIN, 3).unwrap();
+    let broken = cfg.create_channel(victim, reader).unwrap();
+    assert_eq!(broken.0, 0);
+    let _healthy = cfg.create_channel(w2, r2).unwrap();
+
+    let report = cfg
+        .run(move |cp| {
+            let tasks: Vec<_> = [victim, reader, w2, r2]
+                .iter()
+                .map(|&p| cp.run_spe(p, 0, 0).unwrap())
+                .collect();
+            for t in tasks {
+                cp.wait_spe(t);
+            }
+        })
+        .expect("a scripted SPE crash degrades the run, it does not sink it");
+
+    let cats: Vec<&str> = report
+        .incidents
+        .iter()
+        .map(|i| i.category.as_str())
+        .collect();
+    assert!(
+        cats.contains(&"spe-crash"),
+        "incidents: {:?}",
+        report.incidents
+    );
+    assert!(
+        cats.contains(&"peer-lost"),
+        "incidents: {:?}",
+        report.incidents
+    );
+}
+
+/// Type-5 blast radius: the crash of a writer SPE on node 0 is seen by its
+/// reader SPE on node 1 (via the reader's own Co-Pilot consulting the
+/// global plan), while a healthy type-5 pair between the same two nodes
+/// still delivers.
+#[test]
+fn type5_spe_crash_blast_radius_spans_nodes() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    // main = 0, recvFunc = 1, then SPEs: victim = 2.
+    let plan = Arc::new(FaultPlan::new().crash_spe(2, SimTime::ZERO));
+    let opts = CellPilotOpts::new().with_faults(plan);
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+
+    let dying = SpeProgram::new("dying", 2048, |spe, _, _| {
+        let _ = spe.write_slice(CpChannel(0), &[9i32]);
+        unreachable!("the fault plan kills this SPE at its first write");
+    });
+    let bereft = SpeProgram::new("bereft", 2048, |spe, _, _| {
+        match spe.read_vec::<i32>(CpChannel(0)).unwrap_err() {
+            CpError::PeerLost { channel: 0, peer } => {
+                assert!(peer.starts_with("dying"), "{peer}")
+            }
+            other => panic!("expected PeerLost on channel 0, got {other}"),
+        }
+    });
+    let healthy_w = SpeProgram::new("healthy_w", 2048, |spe, _, _| {
+        spe.write_slice(CpChannel(1), &[42i64, -42]).unwrap();
+    });
+    let healthy_r = SpeProgram::new("healthy_r", 2048, |spe, _, _| {
+        assert_eq!(spe.read_vec::<i64>(CpChannel(1)).unwrap(), vec![42, -42]);
+    });
+
+    let recv_ppe = cfg
+        .create_process("recvFunc", 0, |cp, _| {
+            // Its SPE children are processes 3 (bereft) and 5 (healthy_r).
+            cp.run_and_wait_my_spes();
+        })
+        .unwrap();
+    let victim = cfg.create_spe_process(&dying, CP_MAIN, 0).unwrap();
+    assert_eq!(victim.0, 2, "the fault plan targets process id 2");
+    let reader = cfg.create_spe_process(&bereft, recv_ppe, 0).unwrap();
+    let w2 = cfg.create_spe_process(&healthy_w, CP_MAIN, 1).unwrap();
+    let r2 = cfg.create_spe_process(&healthy_r, recv_ppe, 1).unwrap();
+    let broken = cfg.create_channel(victim, reader).unwrap();
+    assert_eq!(broken.0, 0);
+    let _healthy = cfg.create_channel(w2, r2).unwrap();
+
+    let report = cfg
+        .run(move |cp| {
+            cp.run_and_wait_my_spes();
+        })
+        .expect("the crash fails two channels' endpoints, not the run");
+
+    let cats: Vec<&str> = report
+        .incidents
+        .iter()
+        .map(|i| i.category.as_str())
+        .collect();
+    assert!(
+        cats.contains(&"spe-crash"),
+        "incidents: {:?}",
+        report.incidents
+    );
+    assert!(
+        cats.contains(&"peer-lost"),
+        "incidents: {:?}",
+        report.incidents
+    );
+}
+
+/// A stalled Co-Pilot delays every channel it services but loses nothing:
+/// the same workload finishes later than a healthy run, delivers the same
+/// data, and the stall is reported as an incident.
+#[test]
+fn copilot_stall_delays_but_preserves_delivery() {
+    let build = |plan: Option<Arc<FaultPlan>>| {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let mut opts = CellPilotOpts::new();
+        if let Some(p) = plan {
+            opts = opts.with_faults(p);
+        }
+        let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+        let writer = SpeProgram::new("writer", 2048, |spe, _, _| {
+            spe.write_slice(CpChannel(0), &[1i32, 2, 3, 4]).unwrap();
+        });
+        let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
+        let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+        cfg.run(move |cp| {
+            let t = cp.run_spe(s, 0, 0).unwrap();
+            assert_eq!(cp.read_vec::<i32>(chan).unwrap(), vec![1, 2, 3, 4]);
+            cp.wait_spe(t);
+        })
+    };
+
+    let healthy = build(None).unwrap();
+    let stall = Arc::new(FaultPlan::new().stall_copilot(
+        NodeId(0),
+        SimTime::ZERO,
+        SimDuration::from_millis(50),
+    ));
+    let stalled = build(Some(stall)).unwrap();
+
+    assert!(
+        stalled.end_time >= healthy.end_time + SimDuration::from_millis(50),
+        "stall must show up in the virtual clock: {} vs {}",
+        stalled.end_time,
+        healthy.end_time
+    );
+    assert!(
+        stalled
+            .incidents
+            .iter()
+            .any(|i| i.category == "copilot-stall"),
+        "incidents: {:?}",
+        stalled.incidents
+    );
+    assert!(healthy.incidents.is_empty(), "{:?}", healthy.incidents);
+}
+
+/// The whole point of a scripted [`FaultPlan`]: the same plan replayed on
+/// the same configuration yields a bit-identical execution — same trace,
+/// same incidents, same end time.
+#[test]
+fn fault_plan_replays_identically() {
+    let run_once = || {
+        let spec = ClusterSpec::two_cells_one_xeon();
+        let plan = Arc::new(
+            FaultPlan::new()
+                .delay_link(
+                    NodeId(0),
+                    NodeId(1),
+                    SimTime::ZERO,
+                    SimTime(u64::MAX),
+                    SimDuration::from_micros(700),
+                )
+                .crash_spe(4, SimTime::ZERO)
+                .stall_copilot(NodeId(1), SimTime::ZERO, SimDuration::from_millis(5)),
+        );
+        let opts = CellPilotOpts::new().with_trace().with_faults(plan);
+        let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+        let writer = SpeProgram::new("writer", 2048, |spe, _, _| {
+            spe.write_slice(CpChannel(0), &[5i32; 64]).unwrap();
+        });
+        let reader = SpeProgram::new("reader", 2048, |spe, _, _| {
+            assert_eq!(spe.read_vec::<i32>(CpChannel(0)).unwrap(), vec![5i32; 64]);
+        });
+        let doomed = SpeProgram::new("doomed", 2048, |spe, _, _| {
+            let _ = spe.write_slice(CpChannel(1), &[0u8]);
+            unreachable!("scripted crash");
+        });
+        let bereft = SpeProgram::new("bereft", 2048, |spe, _, _| {
+            assert!(matches!(
+                spe.read_vec::<u8>(CpChannel(1)).unwrap_err(),
+                CpError::PeerLost { channel: 1, .. }
+            ));
+        });
+        let recv_ppe = cfg
+            .create_process("recvFunc", 0, |cp, _| cp.run_and_wait_my_spes())
+            .unwrap();
+        let w = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
+        let r = cfg.create_spe_process(&reader, recv_ppe, 0).unwrap();
+        let d = cfg.create_spe_process(&doomed, CP_MAIN, 1).unwrap();
+        assert_eq!(d.0, 4, "the fault plan targets process id 4");
+        let b = cfg.create_spe_process(&bereft, recv_ppe, 1).unwrap();
+        cfg.create_channel(w, r).unwrap();
+        cfg.create_channel(d, b).unwrap();
+        cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap()
+    };
+
+    let (report_a, trace_a) = run_once();
+    let (report_b, trace_b) = run_once();
+    assert_eq!(trace_a, trace_b, "fault replay must be deterministic");
+    assert_eq!(report_a.incidents, report_b.incidents);
+    assert_eq!(report_a.end_time, report_b.end_time);
+    assert!(!trace_a.is_empty());
+    assert!(report_a.incidents.iter().any(|i| i.category == "spe-crash"));
+    assert!(report_a
+        .incidents
+        .iter()
+        .any(|i| i.category == "copilot-stall"));
+}

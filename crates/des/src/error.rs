@@ -70,6 +70,35 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A non-fatal degradation event recorded during a run.
+///
+/// Fault-injection experiments (see `cp-simnet`'s fault plans) deliberately
+/// break parts of the simulated cluster; the parts that keep working report
+/// what they lost here instead of tearing the simulation down. The collected
+/// incidents come back in [`SimReport::incidents`] so a harness can assert on
+/// the exact blast radius of an injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Virtual time at which the incident was reported.
+    pub at: SimTime,
+    /// Name of the reporting process.
+    pub process: String,
+    /// Machine-matchable category, e.g. `"peer-lost"` or `"timeout"`.
+    pub category: String,
+    /// Human-readable description of what degraded.
+    pub detail: String,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.at, self.process, self.category, self.detail
+        )
+    }
+}
+
 /// Summary of a completed simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -81,6 +110,9 @@ pub struct SimReport {
     pub dispatches: u64,
     /// Dispatch trace `(time, pid)` if tracing was enabled.
     pub trace: Option<Vec<(SimTime, Pid)>>,
+    /// Degradation incidents reported via
+    /// [`crate::ProcCtx::report_incident`], in report order.
+    pub incidents: Vec<Incident>,
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! them is blocked with no possible waker: the kernel reports a
 //! [`SimError::Deadlock`] naming each process and its blocking reason.
 
-use crate::error::{Pid, SimError, SimReport};
+use crate::error::{Incident, Pid, SimError, SimReport};
 use crate::time::{SimDuration, SimTime};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
@@ -48,6 +48,14 @@ struct ProcSlot {
     /// Wake permits delivered while the process was not blocked; consumed by
     /// the next `block` call without yielding.
     pending_wakes: u32,
+    /// Sequence number of the most recent event pushed for this process.
+    /// Dispatch honours a popped event only if its sequence matches, which
+    /// invalidates stale timeout events left behind when a timed block is
+    /// woken early by `unblock`.
+    expected_seq: Option<u64>,
+    /// Set by dispatch when the wake came from a `block_timeout` deadline
+    /// rather than an `unblock`; consumed by `block_timeout` on resume.
+    timed_out: bool,
     /// Processes blocked in `join` on this process.
     join_waiters: Vec<Pid>,
     cv: Arc<Condvar>,
@@ -71,6 +79,7 @@ struct KState {
     outcome: Option<Outcome>,
     dispatches: u64,
     trace: Option<Vec<(SimTime, Pid)>>,
+    incidents: Vec<Incident>,
 }
 
 pub(crate) struct Kernel {
@@ -93,16 +102,19 @@ impl Kernel {
                 outcome: None,
                 dispatches: 0,
                 trace: if trace { Some(Vec::new()) } else { None },
+                incidents: Vec::new(),
             }),
             done_cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
         }
     }
 
-    /// Push an event waking `pid` at time `at`.
+    /// Push an event waking `pid` at time `at`. The new event supersedes any
+    /// earlier one still queued for `pid` (see [`ProcSlot::expected_seq`]).
     fn push_event(st: &mut KState, at: SimTime, pid: Pid) {
         let seq = st.next_seq;
         st.next_seq += 1;
+        st.procs[pid].expected_seq = Some(seq);
         st.queue.push(Reverse((at.0, seq, pid)));
     }
 
@@ -114,12 +126,21 @@ impl Kernel {
         if st.outcome.is_some() {
             return;
         }
-        while let Some(Reverse((t, _seq, pid))) = st.queue.pop() {
-            // Events for finished processes can linger if a process was
-            // unblocked and then torn down; skip them.
-            if st.procs[pid].status != Status::Waiting {
+        while let Some(Reverse((t, seq, pid))) = st.queue.pop() {
+            // A popped event is live only if it is the most recent one pushed
+            // for its process; superseded events (e.g. a timeout whose block
+            // was already woken by `unblock`) are skipped, as are events for
+            // processes that finished or were torn down meanwhile.
+            if st.procs[pid].expected_seq != Some(seq) {
                 continue;
             }
+            // A live event for a Blocked process can only be a pending
+            // `block_timeout` deadline: plain `block` queues nothing.
+            let timed_wake = match st.procs[pid].status {
+                Status::Waiting => false,
+                Status::Blocked(_) => true,
+                _ => continue,
+            };
             debug_assert!(t >= st.now.0, "event queue went backwards");
             if let Some(limit) = st.limit {
                 if SimTime(t) > limit {
@@ -130,6 +151,7 @@ impl Kernel {
             }
             st.now = SimTime(t);
             st.procs[pid].status = Status::Running;
+            st.procs[pid].timed_out = timed_wake;
             st.cpu_busy = true;
             st.dispatches += 1;
             if let Some(trace) = st.trace.as_mut() {
@@ -279,6 +301,51 @@ impl ProcCtx {
         self.kernel.park(self.pid);
     }
 
+    /// Park this process until another process calls [`ProcCtx::unblock`] on
+    /// it **or** `timeout` of virtual time elapses, whichever happens first.
+    ///
+    /// Returns `true` if the process was woken by an `unblock` (or consumed a
+    /// pending wake without parking) and `false` if the deadline fired. On a
+    /// timeout the clock reads exactly `block-time + timeout`. A stale
+    /// deadline left behind by an early wake is discarded, never delivered.
+    pub fn block_timeout(&self, reason: &str, timeout: SimDuration) -> bool {
+        {
+            let mut st = self.kernel.state.lock();
+            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
+            if st.procs[self.pid].pending_wakes > 0 {
+                st.procs[self.pid].pending_wakes -= 1;
+                return true;
+            }
+            let at = st.now + timeout;
+            st.procs[self.pid].status = Status::Blocked(reason.to_string());
+            st.procs[self.pid].timed_out = false;
+            Kernel::push_event(&mut st, at, self.pid);
+            st.cpu_busy = false;
+            self.kernel.dispatch(&mut st);
+        }
+        self.kernel.park(self.pid);
+        let mut st = self.kernel.state.lock();
+        let timed_out = st.procs[self.pid].timed_out;
+        st.procs[self.pid].timed_out = false;
+        !timed_out
+    }
+
+    /// Record a non-fatal degradation [`Incident`] (e.g. "peer rank died,
+    /// abandoning channel 3"). Incidents are collected in
+    /// [`SimReport::incidents`] so fault-injection harnesses can assert on
+    /// exactly what degraded.
+    pub fn report_incident(&self, category: &str, detail: &str) {
+        let mut st = self.kernel.state.lock();
+        let at = st.now;
+        let process = st.procs[self.pid].name.clone();
+        st.incidents.push(Incident {
+            at,
+            process,
+            category: category.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
     /// Wake `pid` no earlier than `delay` from now. If `pid` is not currently
     /// blocked, a pending wake is recorded instead (and the delay is dropped:
     /// the target was busy, so the waker's latency has already been absorbed
@@ -350,6 +417,8 @@ where
             name: name.to_string(),
             status: Status::Waiting,
             pending_wakes: 0,
+            expected_seq: None,
+            timed_out: false,
             join_waiters: Vec::new(),
             cv: Arc::new(Condvar::new()),
         });
@@ -484,6 +553,7 @@ impl Simulation {
                 processes: st.procs.len(),
                 dispatches: st.dispatches,
                 trace: st.trace.take(),
+                incidents: std::mem::take(&mut st.incidents),
             }),
             Outcome::Failed(e) => Err(e),
         }
@@ -704,6 +774,90 @@ mod tests {
         sim.set_time_limit(SimTime(1_000_000));
         sim.spawn("quick", |ctx| ctx.advance(SimDuration::from_micros(5)));
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn block_timeout_fires_at_deadline() {
+        let mut sim = Simulation::new();
+        sim.spawn("t", |ctx| {
+            let woken = ctx.block_timeout("data that never comes", SimDuration::from_micros(25));
+            assert!(!woken, "nobody unblocked us");
+            assert_eq!(ctx.now().as_nanos(), 25_000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn block_timeout_woken_early_discards_stale_deadline() {
+        let mut sim = Simulation::new();
+        let t = sim.spawn("t", |ctx| {
+            let woken = ctx.block_timeout("signal", SimDuration::from_micros(100));
+            assert!(woken, "unblock arrived before the deadline");
+            assert_eq!(ctx.now().as_nanos(), 10_000);
+            // If the stale deadline event at t=100us were still live it
+            // would wake this follow-up block early (at 100us, not 300us).
+            let woken2 = ctx.block_timeout("second wait", SimDuration::from_micros(290));
+            assert!(!woken2);
+            assert_eq!(ctx.now().as_nanos(), 300_000);
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            ctx.unblock(t, SimDuration::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn block_timeout_consumes_pending_wake_without_parking() {
+        let mut sim = Simulation::new();
+        let t = sim.spawn("t", |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            // The wake arrived at t=1us while we were computing.
+            let woken = ctx.block_timeout("already satisfied", SimDuration::from_micros(5));
+            assert!(woken);
+            assert_eq!(ctx.now().as_nanos(), 10_000, "no virtual time consumed");
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.advance(SimDuration::from_micros(1));
+            ctx.unblock(t, SimDuration::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn block_timeout_then_plain_block_still_deadlocks() {
+        // A consumed deadline must not leave a live event behind that could
+        // mask a genuine deadlock later.
+        let mut sim = Simulation::new();
+        sim.spawn("t", |ctx| {
+            let woken = ctx.block_timeout("first", SimDuration::from_micros(5));
+            assert!(!woken);
+            ctx.block("forever");
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { at, blocked }) => {
+                assert_eq!(at.as_nanos(), 5_000);
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].2, "forever");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incidents_are_collected_in_report() {
+        let mut sim = Simulation::new();
+        sim.spawn("survivor", |ctx| {
+            ctx.advance(SimDuration::from_micros(2));
+            ctx.report_incident("peer-lost", "rank 3 died; abandoning channel 7");
+        });
+        let r = sim.run().unwrap();
+        assert_eq!(r.incidents.len(), 1);
+        let inc = &r.incidents[0];
+        assert_eq!(inc.process, "survivor");
+        assert_eq!(inc.category, "peer-lost");
+        assert_eq!(inc.at.as_nanos(), 2_000);
+        assert!(inc.detail.contains("channel 7"));
     }
 
     #[test]

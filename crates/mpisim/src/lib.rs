@@ -40,4 +40,4 @@ pub use costs::MpiCosts;
 pub use datatype::{decode_slice, encode_slice, Datatype, LongDouble, MpiScalar};
 pub use group::{Color, SubComm};
 pub use message::{Envelope, MailStore, Payload, Rank, SrcSel, Tag, TagSel};
-pub use world::{mpirun, Comm, MpiWorld, Msg};
+pub use world::{mpirun, Comm, MpiFault, MpiWorld, Msg};

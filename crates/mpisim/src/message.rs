@@ -77,11 +77,19 @@ impl Envelope {
     }
 }
 
+/// Unwind payload raised when a process touches the mailbox of a rank that a
+/// fault plan has killed. [`crate::MpiWorld::launch`] catches it and retires
+/// the rank's process cleanly instead of failing the whole simulation.
+pub(crate) struct RankDeadUnwind;
+
 struct StoreInner {
     arrived: Vec<(SimTime, u64, Envelope)>,
     next_arrival: u64,
     waiters: VecDeque<Pid>,
     label: String,
+    /// Set when the owning rank is killed by a fault plan: deliveries are
+    /// discarded and the owner's receives unwind with [`RankDeadUnwind`].
+    poisoned: bool,
 }
 
 /// The matching store of one rank.
@@ -106,6 +114,7 @@ impl MailStore {
                 next_arrival: 0,
                 waiters: VecDeque::new(),
                 label: label.to_string(),
+                poisoned: false,
             })),
         }
     }
@@ -118,12 +127,34 @@ impl MailStore {
     /// rank), and only the matching one will consume; the rest re-register.
     pub fn deliver(&self, ctx: &ProcCtx, env: Envelope, latency: SimDuration) {
         let mut st = self.inner.lock();
+        if st.poisoned {
+            // The owning rank is dead: the wire drops the message on the
+            // floor, exactly like a real NIC with no host behind it.
+            return;
+        }
         let seq = st.next_arrival;
         st.next_arrival += 1;
         st.arrived.push((ctx.now() + latency, seq, env));
         for w in std::mem::take(&mut st.waiters) {
             ctx.unblock(w, latency);
         }
+    }
+
+    /// Kill the owning rank's mailbox: pending and future deliveries are
+    /// discarded and any process receiving on the store unwinds as dead.
+    /// Called by the rank-death reaper a fault plan schedules.
+    pub fn poison(&self, ctx: &ProcCtx) {
+        let mut st = self.inner.lock();
+        st.poisoned = true;
+        st.arrived.clear();
+        for w in std::mem::take(&mut st.waiters) {
+            ctx.unblock(w, SimDuration::ZERO);
+        }
+    }
+
+    /// True once [`MailStore::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
     }
 
     /// Blocking receive of the envelope matching `pred`, honouring arrival
@@ -137,6 +168,10 @@ impl MailStore {
             let label;
             {
                 let mut st = self.inner.lock();
+                if st.poisoned {
+                    drop(st);
+                    std::panic::resume_unwind(Box::new(RankDeadUnwind));
+                }
                 let best = st
                     .arrived
                     .iter()
@@ -162,6 +197,70 @@ impl MailStore {
         }
     }
 
+    /// Like [`MailStore::recv_where`], but gives up `deadline` of virtual
+    /// time after the call, returning `None` with the clock at exactly
+    /// `start + deadline`. A message whose modelled arrival instant lies
+    /// beyond the deadline does not count as received.
+    pub fn recv_where_deadline<F>(
+        &self,
+        ctx: &ProcCtx,
+        what: &str,
+        pred: F,
+        deadline: SimDuration,
+    ) -> Option<Envelope>
+    where
+        F: Fn(&Envelope) -> bool,
+    {
+        let deadline_at = ctx.now() + deadline;
+        loop {
+            let label;
+            {
+                let mut st = self.inner.lock();
+                if st.poisoned {
+                    drop(st);
+                    std::panic::resume_unwind(Box::new(RankDeadUnwind));
+                }
+                let best = st
+                    .arrived
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, e))| pred(e))
+                    .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+                    .map(|(i, (at, _, _))| (i, *at));
+                if let Some((idx, at)) = best {
+                    if at <= ctx.now() {
+                        let (_, _, env) = st.arrived.remove(idx);
+                        return Some(env);
+                    }
+                    if at > deadline_at {
+                        // It will arrive, but too late to matter.
+                        let wait = deadline_at - ctx.now();
+                        drop(st);
+                        ctx.advance(wait);
+                        return None;
+                    }
+                    let wait = at - ctx.now();
+                    drop(st);
+                    ctx.advance(wait);
+                    continue;
+                }
+                if ctx.now() >= deadline_at {
+                    return None;
+                }
+                let me = ctx.pid();
+                st.waiters.push_back(me);
+                label = st.label.clone();
+            }
+            let remaining = deadline_at - ctx.now();
+            if !ctx.block_timeout(&format!("{label}: {what}"), remaining) {
+                // Deadline fired while parked: deregister and give up.
+                let me = ctx.pid();
+                self.inner.lock().waiters.retain(|&p| p != me);
+                return None;
+            }
+        }
+    }
+
     /// Blocking probe: like [`MailStore::recv_where`] but leaves the
     /// envelope in place and returns a clone.
     pub fn probe_where<F>(&self, ctx: &ProcCtx, what: &str, pred: F) -> Envelope
@@ -172,6 +271,10 @@ impl MailStore {
             let label;
             {
                 let mut st = self.inner.lock();
+                if st.poisoned {
+                    drop(st);
+                    std::panic::resume_unwind(Box::new(RankDeadUnwind));
+                }
                 let best = st
                     .arrived
                     .iter()

@@ -3,11 +3,57 @@
 
 use crate::costs::MpiCosts;
 use crate::datatype::{decode_slice, encode_slice, Datatype, MpiScalar};
-use crate::message::{Envelope, MailStore, Payload, Rank, SrcSel, Tag, TagSel};
+use crate::message::{Envelope, MailStore, Payload, Rank, RankDeadUnwind, SrcSel, Tag, TagSel};
 use cp_des::{ProcCtx, SimDuration, SimError, SimReport, Simulation};
-use cp_simnet::{Cluster, ClusterSpec, NodeId, NodeKind};
+use cp_simnet::{Cluster, ClusterSpec, FaultPlan, LinkVerdict, NodeId, NodeKind, RetryPolicy};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A fault surfaced by the fault-aware communication calls
+/// ([`Comm::try_send_bytes`], [`Comm::try_recv_deadline`]).
+///
+/// The infallible calls ([`Comm::send_bytes`], [`Comm::recv`]) never produce
+/// these: without a fault plan they cannot occur, and with one the infallible
+/// calls abort the simulation with a diagnostic instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiFault {
+    /// The peer rank was killed by the fault plan before the operation
+    /// could complete.
+    PeerLost {
+        /// The dead peer.
+        rank: Rank,
+    },
+    /// The operation's virtual-time deadline elapsed first.
+    Timeout {
+        /// Description of what was being waited for.
+        what: String,
+    },
+    /// Every transmission of a message was dropped by the fault plan, and
+    /// the retry budget is exhausted.
+    SendLost {
+        /// The destination rank.
+        dst: Rank,
+        /// Transmissions attempted (initial send + retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for MpiFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiFault::PeerLost { rank } => write!(f, "peer rank {rank} is dead"),
+            MpiFault::Timeout { what } => write!(f, "deadline elapsed waiting for {what}"),
+            MpiFault::SendLost { dst, attempts } => write!(
+                f,
+                "message to rank {dst} lost after {attempts} transmission attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiFault {}
 
 /// A received message.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +89,8 @@ pub(crate) struct WorldInner {
     pub placement: Vec<NodeId>,
     pub costs: MpiCosts,
     pub boxes: Vec<MailStore>,
+    pub faults: Arc<FaultPlan>,
+    pub retry: RetryPolicy,
     next_rdv: AtomicU64,
 }
 
@@ -62,6 +110,24 @@ impl Clone for MpiWorld {
 impl MpiWorld {
     /// Create a world with `placement[rank]` giving each rank's node.
     pub fn new(cluster: Arc<Cluster>, placement: Vec<NodeId>, costs: MpiCosts) -> MpiWorld {
+        Self::with_faults(
+            cluster,
+            placement,
+            costs,
+            Arc::new(FaultPlan::new()),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Create a world whose fabric misbehaves according to `faults`, with
+    /// senders recovering from injected loss under `retry`.
+    pub fn with_faults(
+        cluster: Arc<Cluster>,
+        placement: Vec<NodeId>,
+        costs: MpiCosts,
+        faults: Arc<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> MpiWorld {
         for nid in &placement {
             assert!(nid.0 < cluster.len(), "placement names missing node {nid}");
         }
@@ -74,9 +140,21 @@ impl MpiWorld {
                 placement,
                 costs,
                 boxes,
+                faults,
+                retry,
                 next_rdv: AtomicU64::new(1),
             }),
         }
+    }
+
+    /// The fault plan this world runs under (empty by default).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.inner.faults
+    }
+
+    /// The retransmission policy senders use against injected loss.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry
     }
 
     /// Number of ranks.
@@ -106,14 +184,38 @@ impl MpiWorld {
     }
 
     /// Spawn a simulated process for `rank` running `body`.
+    ///
+    /// If the fault plan schedules this rank's death, a companion reaper
+    /// process is spawned that poisons the rank's mailbox at the scripted
+    /// instant; the rank's process then retires cleanly (fail-stop) at its
+    /// next communication call instead of failing the whole simulation.
     pub fn launch<F>(&self, sim: &mut Simulation, rank: Rank, name: &str, body: F)
     where
         F: FnOnce(Comm) + Send + 'static,
     {
+        if let Some(at) = self.inner.faults.death_of(rank) {
+            let world = self.clone();
+            sim.spawn(&format!("reaper-rank{rank}"), move |ctx| {
+                ctx.advance(SimDuration::from_nanos(at.as_nanos()));
+                world.inner.boxes[rank].poison(ctx);
+                ctx.report_incident(
+                    "rank-death",
+                    &format!("rank {rank} killed by fault plan at {at}"),
+                );
+            });
+        }
         let world = self.clone();
         sim.spawn(name, move |ctx| {
             let comm = world.attach(ctx, rank);
-            body(comm);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(comm)));
+            if let Err(payload) = result {
+                if payload.downcast_ref::<RankDeadUnwind>().is_some() {
+                    // Scripted fail-stop: the process retires quietly and
+                    // its joiners are released as for a normal exit.
+                    return;
+                }
+                panic::resume_unwind(payload);
+            }
         });
     }
 }
@@ -181,19 +283,115 @@ impl Comm {
         self.ctx.advance(SimDuration::from_micros_f64(us));
     }
 
+    /// The fault plan this rank's world runs under.
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.inner.faults
+    }
+
+    /// The retransmission policy this rank's world uses.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry
+    }
+
+    /// True if the fault plan has already killed `rank` at this instant.
+    pub fn peer_lost(&self, rank: Rank) -> bool {
+        self.inner
+            .faults
+            .death_of(rank)
+            .is_some_and(|at| self.ctx.now() >= at)
+    }
+
+    /// Fail-stop check: if this rank's own scripted death time has passed,
+    /// unwind the process (caught by [`MpiWorld::launch`]).
+    fn check_self_alive(&self) {
+        if let Some(at) = self.inner.faults.death_of(self.rank) {
+            if self.ctx.now() >= at {
+                panic::resume_unwind(Box::new(RankDeadUnwind));
+            }
+        }
+    }
+
+    /// Put one envelope on the fabric toward `dst`, consulting the fault
+    /// plan at egress. Injected drops are retransmitted under the world's
+    /// [`RetryPolicy`] (modelling link-level loss detection: the backoff is
+    /// virtual time the NIC spends before retrying, so recovery timing is
+    /// exactly reproducible); injected delays add latency; duplications
+    /// deliver twice. `bytes` sizes the transport cost of each attempt.
+    fn put(&self, dst: Rank, env: Envelope, bytes: usize) -> Result<(), MpiFault> {
+        let from = self.node();
+        let to = self.inner.placement[dst];
+        let retry = self.inner.retry;
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.faults.egress(self.ctx.now(), from, to) {
+                LinkVerdict::Deliver => {
+                    let latency = self.transport(dst, bytes);
+                    self.inner.boxes[dst].deliver(&self.ctx, env, latency);
+                    return Ok(());
+                }
+                LinkVerdict::Delay(extra) => {
+                    let latency = self.transport(dst, bytes) + extra;
+                    self.inner.boxes[dst].deliver(&self.ctx, env, latency);
+                    return Ok(());
+                }
+                LinkVerdict::Duplicate => {
+                    let latency = self.transport(dst, bytes);
+                    self.inner.boxes[dst].deliver(&self.ctx, env.clone(), latency);
+                    self.inner.boxes[dst].deliver(&self.ctx, env, latency);
+                    return Ok(());
+                }
+                LinkVerdict::Drop => {
+                    if attempt >= retry.max_retries {
+                        return Err(MpiFault::SendLost {
+                            dst,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    self.ctx.advance(retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Send pre-encoded wire bytes. Small messages go eagerly (buffered);
     /// messages above the eager limit handshake via rendezvous, which
     /// blocks until the receiver has posted a matching receive.
+    ///
+    /// Infallible form of [`Comm::try_send_bytes`]: an unrecoverable
+    /// injected fault aborts the simulation with a diagnostic. Without a
+    /// fault plan the two are identical.
     pub fn send_bytes(&self, dst: Rank, tag: Tag, dtype: Datatype, count: usize, data: Vec<u8>) {
+        if let Err(fault) = self.try_send_bytes(dst, tag, dtype, count, data) {
+            self.ctx
+                .abort(&format!("MPI send to rank {dst} failed: {fault}"));
+        }
+    }
+
+    /// Fault-aware send: like [`Comm::send_bytes`] but surfaces
+    /// unrecoverable injected faults — a peer already killed by the plan, or
+    /// a message dropped more times than the retry budget allows — instead
+    /// of aborting.
+    pub fn try_send_bytes(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        dtype: Datatype,
+        count: usize,
+        data: Vec<u8>,
+    ) -> Result<(), MpiFault> {
         assert!(dst < self.size(), "send to rank {dst} out of range");
         debug_assert_eq!(data.len(), count * dtype.wire_size());
+        self.check_self_alive();
+        if self.peer_lost(dst) {
+            return Err(MpiFault::PeerLost { rank: dst });
+        }
         let wire = self.is_wire(dst);
         let bytes = data.len();
         self.charge_side(bytes, wire);
         if bytes <= self.inner.costs.eager_limit {
-            let latency = self.transport(dst, bytes);
-            self.inner.boxes[dst].deliver(
-                &self.ctx,
+            return self.put(
+                dst,
                 Envelope {
                     src: self.rank,
                     dst,
@@ -202,15 +400,13 @@ impl Comm {
                     count,
                     payload: Payload::Data(data),
                 },
-                latency,
+                bytes,
             );
-            return;
         }
         // Rendezvous: RTS → (wait CTS) → data.
         let id = self.inner.next_rdv.fetch_add(1, Ordering::Relaxed);
-        let ctl_latency = self.transport(dst, 0);
-        self.inner.boxes[dst].deliver(
-            &self.ctx,
+        self.put(
+            dst,
             Envelope {
                 src: self.rank,
                 dst,
@@ -219,17 +415,27 @@ impl Comm {
                 count,
                 payload: Payload::Rts { id, bytes },
             },
-            ctl_latency,
-        );
+            0,
+        )?;
         let me = self.rank;
-        self.inner.boxes[me].recv_where(
-            &self.ctx,
-            &format!("MPI rendezvous CTS from rank {dst}"),
-            |e| e.src == dst && matches!(e.payload, Payload::Cts { id: i } if i == id),
-        );
-        let latency = self.transport(dst, bytes);
-        self.inner.boxes[dst].deliver(
-            &self.ctx,
+        let cts_what = format!("MPI rendezvous CTS from rank {dst}");
+        let cts_pred =
+            |e: &Envelope| e.src == dst && matches!(e.payload, Payload::Cts { id: i } if i == id);
+        if let Some(death_at) = self.inner.faults.death_of(dst) {
+            // The peer is scripted to die: bound the handshake wait so its
+            // death surfaces as PeerLost rather than a simulation deadlock.
+            let grace = death_at.since(self.ctx.now()) + self.inner.retry.backoff_cap;
+            if self.inner.boxes[me]
+                .recv_where_deadline(&self.ctx, &cts_what, cts_pred, grace)
+                .is_none()
+            {
+                return Err(MpiFault::PeerLost { rank: dst });
+            }
+        } else {
+            self.inner.boxes[me].recv_where(&self.ctx, &cts_what, cts_pred);
+        }
+        self.put(
+            dst,
             Envelope {
                 src: self.rank,
                 dst,
@@ -238,8 +444,8 @@ impl Comm {
                 count,
                 payload: Payload::RdvData { id, data },
             },
-            latency,
-        );
+            bytes,
+        )
     }
 
     /// Send a typed slice.
@@ -295,10 +501,11 @@ impl Comm {
                 }
             }
             Payload::Rts { id, bytes: _ } => {
-                // Grant the send and wait for the data.
-                let ctl_latency = self.transport(env.src, 0);
-                self.inner.boxes[env.src].deliver(
-                    &self.ctx,
+                // Grant the send and wait for the data. The grant passes
+                // through the fault plan like any other message; if it is
+                // unrecoverably lost the run cannot continue coherently.
+                if let Err(fault) = self.put(
+                    env.src,
                     Envelope {
                         src: self.rank,
                         dst: env.src,
@@ -307,8 +514,13 @@ impl Comm {
                         count: 0,
                         payload: Payload::Cts { id },
                     },
-                    ctl_latency,
-                );
+                    0,
+                ) {
+                    self.ctx.abort(&format!(
+                        "MPI rendezvous grant to rank {} failed: {fault}",
+                        env.src
+                    ));
+                }
                 let me = self.rank;
                 let data_env = self.inner.boxes[me].recv_where(
                     &self.ctx,
@@ -332,6 +544,41 @@ impl Comm {
             }
             Payload::Cts { .. } | Payload::RdvData { .. } => {
                 unreachable!("control payloads never match a user receive")
+            }
+        }
+    }
+
+    /// Fault-aware receive: like [`Comm::recv`] but gives up after
+    /// `deadline` of virtual time. A missed deadline is [`MpiFault::Timeout`]
+    /// — or [`MpiFault::PeerLost`] when a named source rank is already dead,
+    /// so callers can tell "slow" from "gone".
+    pub fn try_recv_deadline(
+        &self,
+        src: SrcSel,
+        tag: TagSel,
+        deadline: SimDuration,
+    ) -> Result<Msg, MpiFault> {
+        self.check_self_alive();
+        let me = self.rank;
+        let what = format!(
+            "MPI_Recv(src={}, tag={}, deadline={deadline})",
+            src.map_or("ANY".into(), |s| s.to_string()),
+            tag.map_or("ANY".into(), |t| t.to_string())
+        );
+        match self.inner.boxes[me].recv_where_deadline(
+            &self.ctx,
+            &what,
+            |e| e.matches_recv(src, tag) && (tag.is_some() || e.tag >= 0),
+            deadline,
+        ) {
+            Some(env) => Ok(self.finish_recv(env)),
+            None => {
+                if let Some(s) = src {
+                    if self.peer_lost(s) {
+                        return Err(MpiFault::PeerLost { rank: s });
+                    }
+                }
+                Err(MpiFault::Timeout { what })
             }
         }
     }
@@ -640,6 +887,168 @@ mod tests {
             assert_eq!(v, vec![1]);
         });
         sim.run().unwrap();
+    }
+
+    fn faulty_world(faults: FaultPlan, retry: RetryPolicy) -> MpiWorld {
+        let cluster = ClusterSpec::two_cells_one_xeon().build();
+        MpiWorld::with_faults(
+            cluster,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)],
+            MpiCosts::default(),
+            Arc::new(faults),
+            retry,
+        )
+    }
+
+    #[test]
+    fn dropped_sends_recover_by_retransmission() {
+        use cp_des::SimTime;
+        // Drop the first two messages node0 -> node1; the third attempt
+        // goes through. Virtual time must show exactly backoff(0)+backoff(1)
+        // of extra sender-side delay.
+        let retry = RetryPolicy::default();
+        let plan =
+            FaultPlan::new().drop_link(NodeId(0), NodeId(1), SimTime(0), SimTime(100_000_000), 2);
+        let world = faulty_world(plan, retry);
+        let w = world.clone();
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", move |comm| {
+            comm.try_send_bytes(1, 7, Datatype::Int32, 1, encode_slice(&[5i32]))
+                .unwrap();
+        });
+        w.launch(&mut sim, 1, "r1", move |comm| {
+            let t0 = comm.ctx().now();
+            let m = comm.recv(Some(0), Some(7));
+            assert_eq!(m.decode::<i32>(), vec![5]);
+            let elapsed = (comm.ctx().now() - t0).as_nanos();
+            let extra = retry.total_backoff(2).as_nanos();
+            // Baseline wire one-way is ~98us (see pingpong test); the two
+            // backoffs land on top of it.
+            assert!(
+                elapsed >= extra,
+                "recovery delay {elapsed}ns < injected backoff {extra}ns"
+            );
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_send_lost() {
+        use cp_des::SimTime;
+        let retry = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        // More drops than the budget can absorb.
+        let plan =
+            FaultPlan::new().drop_link(NodeId(0), NodeId(1), SimTime(0), SimTime(100_000_000), 100);
+        let world = faulty_world(plan, retry);
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", move |comm| {
+            let err = comm
+                .try_send_bytes(1, 7, Datatype::Byte, 1, vec![1])
+                .unwrap_err();
+            assert_eq!(
+                err,
+                MpiFault::SendLost {
+                    dst: 1,
+                    attempts: 3
+                }
+            );
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn duplicated_sends_deliver_twice() {
+        use cp_des::SimTime;
+        let plan = FaultPlan::new().duplicate_link(
+            NodeId(0),
+            NodeId(1),
+            SimTime(0),
+            SimTime(100_000_000),
+            1,
+        );
+        let world = faulty_world(plan, RetryPolicy::default());
+        let w = world.clone();
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            comm.send(1, 9, &[42u8]);
+        });
+        w.launch(&mut sim, 1, "r1", |comm| {
+            // At-least-once under duplication: both copies arrive.
+            for _ in 0..2 {
+                let m = comm.recv(Some(0), Some(9));
+                assert_eq!(m.decode::<u8>(), vec![42]);
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_when_nothing_comes() {
+        let world = faulty_world(FaultPlan::new(), RetryPolicy::default());
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            let t0 = comm.ctx().now();
+            let err = comm
+                .try_recv_deadline(Some(1), Some(3), SimDuration::from_micros(200))
+                .unwrap_err();
+            assert!(matches!(err, MpiFault::Timeout { .. }));
+            assert_eq!((comm.ctx().now() - t0).as_nanos(), 200_000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn rank_death_poisons_mailbox_and_surfaces_peer_lost() {
+        use cp_des::SimTime;
+        let plan = FaultPlan::new().kill_rank(1, SimTime(50_000));
+        let world = faulty_world(plan, RetryPolicy::default());
+        let w = world.clone();
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", |comm| {
+            // Wait until well past the death, then try to talk to the corpse.
+            comm.ctx().advance(SimDuration::from_micros(100));
+            let err = comm
+                .try_send_bytes(1, 0, Datatype::Byte, 1, vec![1])
+                .unwrap_err();
+            assert_eq!(err, MpiFault::PeerLost { rank: 1 });
+            let err = comm
+                .try_recv_deadline(Some(1), Some(0), SimDuration::from_micros(50))
+                .unwrap_err();
+            assert_eq!(err, MpiFault::PeerLost { rank: 1 });
+        });
+        // Rank 1 blocks in a receive and is reaped mid-wait.
+        w.launch(&mut sim, 1, "r1", |comm| {
+            let _ = comm.recv(Some(0), Some(99));
+            unreachable!("rank 1 must die blocked in recv");
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].category, "rank-death");
+        assert!(report.incidents[0].detail.contains("rank 1"));
+    }
+
+    #[test]
+    fn dead_rank_fails_stop_at_next_comm_call() {
+        use cp_des::SimTime;
+        let plan = FaultPlan::new().kill_rank(0, SimTime(10_000));
+        let world = faulty_world(plan, RetryPolicy::default());
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f = flag.clone();
+        let mut sim = Simulation::new();
+        world.launch(&mut sim, 0, "r0", move |comm| {
+            comm.ctx().advance(SimDuration::from_micros(50));
+            // Past our own death: this call must unwind, not send.
+            comm.send(1, 0, &[1u8]);
+            f.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert!(
+            !flag.load(std::sync::atomic::Ordering::SeqCst),
+            "code after the death point must not run"
+        );
     }
 
     #[test]

@@ -16,12 +16,25 @@ use crate::service;
 use crate::table::{
     BundleEntry, BundleUsage, ChannelEntry, PiBundle, PiChannel, PiProcess, ProcessEntry, Tables,
 };
-use cp_des::{SimError, SimReport, Simulation};
+use cp_des::{SimDuration, SimError, SimReport, Simulation};
 use cp_mpisim::{MpiCosts, MpiWorld};
-use cp_simnet::{ClusterSpec, NodeId};
+use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
 use std::sync::Arc;
 
 /// Options for a Pilot application (the `-pisvc=` command-line options).
+///
+/// Construct either field-style (`PilotOpts { call_log: true,
+/// ..Default::default() }`) or with the chainable `with_*` builders:
+///
+/// ```
+/// use cp_pilot::PilotOpts;
+/// use cp_des::SimDuration;
+///
+/// let opts = PilotOpts::new()
+///     .with_deadlock_service()
+///     .with_channel_timeout(SimDuration::from_millis(5));
+/// assert!(opts.deadlock_detection);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct PilotOpts {
     /// Enable the deadlock-detection service (`-pisvc=d`). Consumes one
@@ -34,6 +47,53 @@ pub struct PilotOpts {
     pub costs: PilotCosts,
     /// MPI-layer cost model.
     pub mpi_costs: MpiCosts,
+    /// Per-channel read deadline: a `PI_Read` that waits longer than this
+    /// (virtual time) fails with [`PilotError::Timeout`] instead of
+    /// blocking forever. `None` (the default) blocks indefinitely.
+    pub channel_timeout: Option<SimDuration>,
+    /// Fault-injection plan the underlying fabric runs under; `None` means
+    /// a fault-free fabric.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Retransmission policy senders use against injected message loss.
+    pub retry: RetryPolicy,
+}
+
+impl PilotOpts {
+    /// Default options; identical to `PilotOpts::default()`, reads better
+    /// at the head of a builder chain.
+    pub fn new() -> PilotOpts {
+        PilotOpts::default()
+    }
+
+    /// Enable the deadlock-detection service (consumes one MPI process).
+    pub fn with_deadlock_service(mut self) -> PilotOpts {
+        self.deadlock_detection = true;
+        self
+    }
+
+    /// Log every channel call with its virtual timestamp.
+    pub fn with_call_log(mut self) -> PilotOpts {
+        self.call_log = true;
+        self
+    }
+
+    /// Fail `PI_Read`s that wait longer than `deadline` of virtual time.
+    pub fn with_channel_timeout(mut self, deadline: SimDuration) -> PilotOpts {
+        self.channel_timeout = Some(deadline);
+        self
+    }
+
+    /// Run the fabric under the given fault-injection plan.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> PilotOpts {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the sender-side retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> PilotOpts {
+        self.retry = retry;
+        self
+    }
 }
 
 type ProcBody = Box<dyn FnOnce(&Pilot, i32) + Send>;
@@ -226,7 +286,17 @@ impl PilotConfig {
             next_rank: _,
         } = self;
         let cluster = spec.build();
-        let world = MpiWorld::new(cluster, placement, opts.mpi_costs.clone());
+        let faults = opts
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::new()));
+        let world = MpiWorld::with_faults(
+            cluster,
+            placement,
+            opts.mpi_costs.clone(),
+            faults,
+            opts.retry,
+        );
         let tables = Arc::new(tables);
         let mut sim = Simulation::new();
         // Application processes.
@@ -244,8 +314,9 @@ impl PilotConfig {
                 }
                 Some(f) => {
                     let log = log.clone();
+                    let deadline = opts.channel_timeout;
                     world.launch(&mut sim, rank, &name, move |comm| {
-                        let pilot = Pilot::new(comm, tables, costs, PiProcess(pidx), log);
+                        let pilot = Pilot::new(comm, tables, costs, PiProcess(pidx), log, deadline);
                         f(&pilot, index);
                         pilot.finish();
                     });
@@ -256,8 +327,9 @@ impl PilotConfig {
             let tables2 = tables.clone();
             let costs = opts.costs.clone();
             let log = log.clone();
+            let deadline = opts.channel_timeout;
             world.launch(&mut sim, 0, "main", move |comm| {
-                let pilot = Pilot::new(comm, tables2, costs, PiProcess(0), log);
+                let pilot = Pilot::new(comm, tables2, costs, PiProcess(0), log, deadline);
                 main(&pilot);
                 pilot.finish();
             });

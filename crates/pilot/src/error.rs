@@ -78,6 +78,21 @@ pub enum PilotError {
         /// Process names forming the cycle, in wait-for order.
         cycle: Vec<String>,
     },
+    /// A channel operation missed its deadline or exhausted its retry
+    /// budget without the peer being known dead.
+    Timeout {
+        /// The channel id.
+        channel: usize,
+        /// What ran out of time (operation and bound).
+        detail: String,
+    },
+    /// The peer process of a channel was lost to an injected fault.
+    PeerLost {
+        /// The channel id.
+        channel: usize,
+        /// Name of the lost peer process.
+        peer: String,
+    },
 }
 
 impl fmt::Display for PilotError {
@@ -138,6 +153,12 @@ impl fmt::Display for PilotError {
                     "DEADLOCK: circular wait detected: {}",
                     cycle.join(" -> ")
                 )
+            }
+            PilotError::Timeout { channel, detail } => {
+                write!(f, "channel {channel} operation timed out: {detail}")
+            }
+            PilotError::PeerLost { channel, peer } => {
+                write!(f, "channel {channel}: peer process '{peer}' was lost")
             }
         }
     }

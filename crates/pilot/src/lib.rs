@@ -19,20 +19,25 @@
 //! service diagnoses circular waits.
 //!
 //! ```
-//! use cp_pilot::{PilotConfig, PilotOpts, pi_write, pi_read};
+//! use cp_pilot::{PilotConfig, PilotOpts};
 //! use cp_simnet::ClusterSpec;
 //!
 //! let mut cfg = PilotConfig::one_rank_per_node(
-//!     ClusterSpec::two_cells_one_xeon(), PilotOpts::default());
+//!     ClusterSpec::two_cells_one_xeon(), PilotOpts::new());
 //! let worker = cfg.create_process("worker", 0, |p, _idx| {
-//!     let vals = pi_read!(p, cp_pilot::PiChannel(0), "%*d");
-//!     assert_eq!(vals[0], cp_pilot::PiValue::Int32(vec![1, 2, 3]));
+//!     let vals = p.read_vec::<i32>(cp_pilot::PiChannel(0)).unwrap();
+//!     assert_eq!(vals, vec![1, 2, 3]);
 //! }).unwrap();
 //! let chan = cfg.create_channel(cp_pilot::PI_MAIN, worker).unwrap();
 //! cfg.run(move |p| {
-//!     pi_write!(p, chan, "%3d", vec![1i32, 2, 3]);
+//!     p.write_slice(chan, &[1i32, 2, 3]).unwrap();
 //! }).unwrap();
 //! ```
+//!
+//! The stdio-style formats remain available through [`pi_write!`] /
+//! [`pi_read!`] (`pi_write!(p, chan, "%1000f", data)` /
+//! `pi_read!(p, chan, "%*f")`), which also reproduce Pilot's
+//! abort-with-source-location diagnostics.
 
 mod config;
 mod error;
@@ -47,4 +52,4 @@ pub use error::PilotError;
 pub use fmt::{parse_format, Conversion, CountSpec, FmtError};
 pub use runtime::{CallLog, CallRecord, Pilot, PilotCosts};
 pub use table::{BundleUsage, PiBundle, PiChannel, PiProcess, Tables, PI_MAIN};
-pub use value::{pack_message, payload_bytes, unpack_message, MatchError, PiValue};
+pub use value::{pack_message, payload_bytes, unpack_message, MatchError, PiScalar, PiValue};

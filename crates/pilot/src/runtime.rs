@@ -7,10 +7,11 @@ use crate::fmt::parse_format;
 use crate::service::{self, TAG_SVC};
 use crate::table::{BundleUsage, PiBundle, PiChannel, PiProcess, Tables};
 use crate::value::{
-    check_against_format, check_read_format, pack_message, payload_bytes, unpack_message, PiValue,
+    check_against_format, check_read_format, pack_message, payload_bytes, unpack_message, PiScalar,
+    PiValue,
 };
 use cp_des::{ProcCtx, SimDuration};
-use cp_mpisim::{Comm, Datatype};
+use cp_mpisim::{Comm, Datatype, MpiFault};
 use std::sync::Arc;
 
 /// Pilot-layer cost model: what the library's own bookkeeping (format
@@ -93,6 +94,7 @@ pub struct Pilot {
     costs: PilotCosts,
     me: PiProcess,
     log: CallLog,
+    deadline: Option<SimDuration>,
 }
 
 impl Pilot {
@@ -102,6 +104,7 @@ impl Pilot {
         costs: PilotCosts,
         me: PiProcess,
         log: CallLog,
+        deadline: Option<SimDuration>,
     ) -> Pilot {
         Pilot {
             comm,
@@ -109,6 +112,7 @@ impl Pilot {
             costs,
             me,
             log,
+            deadline,
         }
     }
 
@@ -175,11 +179,40 @@ impl Pilot {
         let dst = self.tables.processes[entry.to.0].rank;
         let n = bytes.len();
         self.comm
-            .send_bytes(dst, Tables::chan_tag(chan), Datatype::Byte, n, bytes);
+            .try_send_bytes(dst, Tables::chan_tag(chan), Datatype::Byte, n, bytes)
+            .map_err(|fault| self.fault_to_pilot(chan, entry.to, fault))?;
         self.svc_event(service::EV_WRITE, chan.0);
         self.log
             .record(self.ctx().now(), &self.name(), "write", chan.0);
         Ok(())
+    }
+
+    /// Map an MPI-layer fault on `chan` (whose far endpoint is `peer`) to
+    /// the Pilot error, recording a structured incident in the
+    /// [`cp_des::SimReport`] so degraded runs are observable.
+    fn fault_to_pilot(&self, chan: PiChannel, peer: PiProcess, fault: MpiFault) -> PilotError {
+        let peer_name = self.tables.processes[peer.0].name.clone();
+        let err = match fault {
+            MpiFault::PeerLost { .. } => PilotError::PeerLost {
+                channel: chan.0,
+                peer: peer_name,
+            },
+            MpiFault::Timeout { what } => PilotError::Timeout {
+                channel: chan.0,
+                detail: what,
+            },
+            MpiFault::SendLost { attempts, .. } => PilotError::Timeout {
+                channel: chan.0,
+                detail: format!("message to '{peer_name}' lost after {attempts} send attempts"),
+            },
+        };
+        let category = match err {
+            PilotError::PeerLost { .. } => "peer-lost",
+            _ => "channel-timeout",
+        };
+        self.ctx()
+            .report_incident(category, &format!("process '{}': {err}", self.name()));
+        err
     }
 
     /// `PI_Read`: receive the next message on `chan`, verifying it against
@@ -201,10 +234,10 @@ impl Pilot {
             if self.tables.bundle(b)?.usage == BundleUsage::Broadcast {
                 self.bcast_tree_recv(b)?
             } else {
-                self.p2p_recv(chan, entry.from)
+                self.p2p_recv(chan, entry.from)?
             }
         } else {
-            self.p2p_recv(chan, entry.from)
+            self.p2p_recv(chan, entry.from)?
         };
         let values = unpack_message(&raw).expect("well-formed Pilot wire message");
         let segs: Vec<(Datatype, usize)> = values.iter().map(|v| (v.dtype(), v.len())).collect();
@@ -218,11 +251,35 @@ impl Pilot {
         Ok(values)
     }
 
-    fn p2p_recv(&self, chan: PiChannel, from: PiProcess) -> Vec<u8> {
+    /// Typed `PI_Write`: send one slice of a single scalar type without
+    /// spelling the Pilot format string — `cp.write_slice::<i32>(chan, &v)`
+    /// is `cp.write(chan, "%*d", ..)`.
+    pub fn write_slice<T: PiScalar>(&self, chan: PiChannel, data: &[T]) -> Result<(), PilotError> {
+        let format = format!("%*{}", T::CONV);
+        self.write(chan, &format, &[T::wrap(data.to_vec())])
+    }
+
+    /// Typed `PI_Read`: receive one message of a single scalar type as a
+    /// `Vec<T>` — `cp.read_vec::<f64>(chan)` is `cp.read(chan, "%*lf")`.
+    pub fn read_vec<T: PiScalar>(&self, chan: PiChannel) -> Result<Vec<T>, PilotError> {
+        let format = format!("%*{}", T::CONV);
+        let mut values = self.read(chan, &format)?;
+        let v = values.pop().expect("format has exactly one segment");
+        Ok(T::unwrap(v).expect("segment dtype verified against format"))
+    }
+
+    fn p2p_recv(&self, chan: PiChannel, from: PiProcess) -> Result<Vec<u8>, PilotError> {
         self.svc_event(service::EV_READWAIT, chan.0);
         let src = self.tables.processes[from.0].rank;
-        let msg = self.comm.recv(Some(src), Some(Tables::chan_tag(chan)));
-        msg.data
+        let tag = Some(Tables::chan_tag(chan));
+        let msg = match self.deadline {
+            None => self.comm.recv(Some(src), tag),
+            Some(d) => self
+                .comm
+                .try_recv_deadline(Some(src), tag, d)
+                .map_err(|fault| self.fault_to_pilot(chan, from, fault))?,
+        };
+        Ok(msg.data)
     }
 
     /// Receive leg of the binomial broadcast tree for bundle `b`: receive
@@ -350,7 +407,7 @@ impl Pilot {
         let mut out = Vec::with_capacity(bundle.channels.len());
         for &c in &bundle.channels {
             let entry = self.tables.channel(c)?;
-            let raw = self.p2p_recv(c, entry.from);
+            let raw = self.p2p_recv(c, entry.from)?;
             let values = unpack_message(&raw).expect("well-formed Pilot wire message");
             let segs: Vec<(Datatype, usize)> =
                 values.iter().map(|v| (v.dtype(), v.len())).collect();
@@ -445,16 +502,27 @@ impl Pilot {
         self.svc_event(service::EV_FINISH, 0);
         // Linear barrier over application ranks (rank 0 collects, then
         // releases). Perf is irrelevant here; determinism is not.
+        //
+        // Ranks with a death scheduled in the fault plan are excluded
+        // symmetrically: rank 0 does not wait for them, and they do not
+        // enter the barrier (their reaper may not have fired yet, but both
+        // sides consult the same plan, so the barrier stays consistent and
+        // the survivors are never wedged on a corpse).
+        let plan = self.comm.fault_plan();
+        let dead = |r: usize| plan.death_of(r).is_some();
         let app_ranks: Vec<usize> = self.tables.processes.iter().map(|p| p.rank).collect();
         let my_rank = self.tables.processes[self.me.0].rank;
+        if dead(my_rank) {
+            return;
+        }
         if my_rank == 0 {
             for &r in &app_ranks {
-                if r != 0 {
+                if r != 0 && !dead(r) {
                     let _ = self.comm.recv(Some(r), Some(TAG_FINI));
                 }
             }
             for &r in &app_ranks {
-                if r != 0 {
+                if r != 0 && !dead(r) {
                     self.comm
                         .send_bytes(r, TAG_FINI, Datatype::Byte, 0, Vec::new());
                 }

@@ -118,6 +118,45 @@ macro_rules! from_vec {
 from_vec!(i16 => Int16, i32 => Int32, u32 => UInt32, i64 => Int64,
           f32 => Float32, f64 => Float64, LongDouble => LongDouble, u8 => Byte);
 
+/// A Rust scalar usable with the typed channel helpers
+/// ([`Pilot::write_slice`]/[`Pilot::read_vec`]): each implementor maps to
+/// one [`PiValue`] variant and the Pilot format conversion describing it.
+///
+/// [`Pilot::write_slice`]: crate::Pilot::write_slice
+/// [`Pilot::read_vec`]: crate::Pilot::read_vec
+pub trait PiScalar: Copy + Send + 'static {
+    /// The conversion character(s) of a `%N<conv>` format segment for this
+    /// type (`"d"` for `i32`, `"lf"` for `f64`, …).
+    const CONV: &'static str;
+    /// Wrap a vector as the matching [`PiValue`] variant.
+    fn wrap(v: Vec<Self>) -> PiValue;
+    /// Unwrap the matching variant; `None` on a variant mismatch.
+    fn unwrap(v: PiValue) -> Option<Vec<Self>>;
+}
+
+macro_rules! pi_scalar {
+    ($($t:ty => $variant:ident, $conv:literal;)*) => {$(
+        impl PiScalar for $t {
+            const CONV: &'static str = $conv;
+            fn wrap(v: Vec<$t>) -> PiValue { PiValue::$variant(v) }
+            fn unwrap(v: PiValue) -> Option<Vec<$t>> {
+                match v { PiValue::$variant(v) => Some(v), _ => None }
+            }
+        }
+    )*};
+}
+
+pi_scalar! {
+    u8 => Byte, "b";
+    i16 => Int16, "hd";
+    i32 => Int32, "d";
+    u32 => UInt32, "u";
+    i64 => Int64, "ld";
+    f32 => Float32, "f";
+    f64 => Float64, "lf";
+    LongDouble => LongDouble, "Lf";
+}
+
 /// Why a value list does not satisfy a format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MatchError {

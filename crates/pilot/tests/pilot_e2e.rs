@@ -540,6 +540,152 @@ fn broadcast_tree_spans_eleven_ranks() {
 }
 
 #[test]
+fn typed_helpers_roundtrip() {
+    let mut cfg = cfg_n(2);
+    let worker = cfg
+        .create_process("worker", 0, |p, _| {
+            let ints = p.read_vec::<i32>(cp_pilot::PiChannel(0)).unwrap();
+            assert_eq!(ints, vec![1, 2, 3]);
+            let floats = p.read_vec::<f64>(cp_pilot::PiChannel(0)).unwrap();
+            assert_eq!(floats, vec![0.5, -1.5]);
+            let empty = p.read_vec::<u8>(cp_pilot::PiChannel(0)).unwrap();
+            assert!(empty.is_empty());
+        })
+        .unwrap();
+    let chan = cfg.create_channel(PI_MAIN, worker).unwrap();
+    cfg.run(move |p| {
+        p.write_slice(chan, &[1i32, 2, 3]).unwrap();
+        p.write_slice(chan, &[0.5f64, -1.5]).unwrap();
+        p.write_slice::<u8>(chan, &[]).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn builder_opts_match_field_style() {
+    let built = PilotOpts::new()
+        .with_deadlock_service()
+        .with_call_log()
+        .with_channel_timeout(cp_des::SimDuration::from_millis(7));
+    let field = PilotOpts {
+        deadlock_detection: true,
+        call_log: true,
+        channel_timeout: Some(cp_des::SimDuration::from_millis(7)),
+        ..Default::default()
+    };
+    assert_eq!(built.deadlock_detection, field.deadlock_detection);
+    assert_eq!(built.call_log, field.call_log);
+    assert_eq!(built.channel_timeout, field.channel_timeout);
+    assert!(built.faults.is_none());
+    assert_eq!(built.retry.max_retries, field.retry.max_retries);
+}
+
+#[test]
+fn read_times_out_under_channel_deadline() {
+    use cp_pilot::PilotError;
+    let spec = commodity_spec(2);
+    let placement = (0..2).map(NodeId).collect();
+    let opts = PilotOpts::new().with_channel_timeout(cp_des::SimDuration::from_millis(5));
+    let mut cfg = PilotConfig::new(spec, placement, opts);
+    let w = cfg
+        .create_process("worker", 0, |p, _| {
+            // Nobody ever writes channel 0: the read must fail after 5 ms
+            // of virtual time instead of blocking forever.
+            let before = p.ctx().now();
+            match p.read(cp_pilot::PiChannel(0), "%d") {
+                Err(PilotError::Timeout { channel: 0, .. }) => {}
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            let waited = p.ctx().now().since(before);
+            assert!(waited >= cp_des::SimDuration::from_millis(5));
+        })
+        .unwrap();
+    let _chan = cfg.create_channel(PI_MAIN, w).unwrap();
+    let report = cfg.run(|_p| {}).unwrap();
+    assert!(
+        report
+            .incidents
+            .iter()
+            .any(|i| i.category == "channel-timeout" && i.process == "worker"),
+        "{:?}",
+        report.incidents
+    );
+}
+
+#[test]
+fn rank_death_fails_only_touching_channels() {
+    use cp_des::SimTime;
+    use cp_pilot::PilotError;
+    use cp_simnet::FaultPlan;
+
+    // Blast radius: losing "victim" fails main's channel from victim but
+    // leaves the bystander channel fully usable.
+    let spec = commodity_spec(3);
+    let placement = (0..3).map(NodeId).collect();
+    let plan = Arc::new(FaultPlan::new().kill_rank(1, SimTime(1_000_000))); // 1 ms
+    let opts = PilotOpts::new()
+        .with_channel_timeout(cp_des::SimDuration::from_millis(5))
+        .with_faults(plan);
+    let mut cfg = PilotConfig::new(spec, placement, opts);
+    let victim = cfg
+        .create_process("victim", 0, |p, _| {
+            // Dies at 1 ms without ever writing its channel.
+            p.ctx().advance(cp_des::SimDuration::from_millis(2));
+        })
+        .unwrap();
+    let bystander = cfg
+        .create_process("bystander", 0, |p, _| {
+            p.write_slice(cp_pilot::PiChannel(1), &[7i32]).unwrap();
+        })
+        .unwrap();
+    let c_victim = cfg.create_channel(victim, PI_MAIN).unwrap();
+    let c_by = cfg.create_channel(bystander, PI_MAIN).unwrap();
+    let report = cfg
+        .run(move |p| {
+            match p.read(c_victim, "%d") {
+                Err(PilotError::PeerLost { peer, .. }) => assert_eq!(peer, "victim"),
+                other => panic!("expected PeerLost, got {other:?}"),
+            }
+            // The bystander channel is unaffected by the death.
+            assert_eq!(p.read_vec::<i32>(c_by).unwrap(), vec![7]);
+        })
+        .unwrap();
+    assert!(
+        report.incidents.iter().any(|i| i.category == "rank-death"),
+        "{:?}",
+        report.incidents
+    );
+    assert!(
+        report.incidents.iter().any(|i| i.category == "peer-lost"),
+        "{:?}",
+        report.incidents
+    );
+}
+
+#[test]
+fn write_to_dead_peer_errors() {
+    use cp_des::SimTime;
+    use cp_pilot::PilotError;
+    use cp_simnet::FaultPlan;
+
+    let spec = commodity_spec(2);
+    let placement = (0..2).map(NodeId).collect();
+    let plan = Arc::new(FaultPlan::new().kill_rank(1, SimTime(1_000_000)));
+    let opts = PilotOpts::new().with_faults(plan);
+    let mut cfg = PilotConfig::new(spec, placement, opts);
+    let victim = cfg.create_process("victim", 0, |_p, _| {}).unwrap();
+    let chan = cfg.create_channel(PI_MAIN, victim).unwrap();
+    cfg.run(move |p| {
+        p.ctx().advance(cp_des::SimDuration::from_millis(2));
+        match p.write_slice(chan, &[1i32]) {
+            Err(PilotError::PeerLost { peer, .. }) => assert_eq!(peer, "victim"),
+            other => panic!("expected PeerLost, got {other:?}"),
+        }
+    })
+    .unwrap();
+}
+
+#[test]
 fn select_server_drains_clients_in_readiness_order() {
     // A server uses PI_Select in a loop to serve whichever client is
     // ready — the "Unix select" pattern the paper describes.

@@ -1,0 +1,125 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses (`Criterion`, benchmark groups, `criterion_group!`/`criterion_main!`).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `criterion` to this crate. It performs a simple
+//! timed-loop measurement (median of `sample_size` wall-clock samples) and
+//! prints one line per benchmark — enough to compare runs by eye, with no
+//! statistical analysis, plotting, or baselines.
+
+use std::time::Instant;
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints `group/id: <median>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        nanos: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    b.nanos.sort_unstable();
+    let median = b.nanos.get(b.nanos.len() / 2).copied().unwrap_or(0);
+    println!(
+        "bench {label}: median {median} ns over {} samples",
+        b.nanos.len()
+    );
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, recording wall-clock time for each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.nanos.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,479 @@
+//! Deterministic fault-injection plans for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a declarative script of failures — link drops, delays
+//! and duplications, MPI rank deaths, SPE crashes, Co-Pilot stalls — each
+//! pinned to virtual time. Because the DES kernel serializes execution in
+//! strict `(time, sequence)` order, replaying the same plan against the same
+//! application yields the *same* fault at the *same* point of the same run,
+//! every time: fault experiments are reproducible bit-for-bit, which is what
+//! makes recovery logic testable at all.
+//!
+//! The plan itself is passive. Each layer consults it at its own injection
+//! points:
+//!
+//! * `cp-mpisim` asks [`FaultPlan::egress`] before putting a message on the
+//!   wire, and reads [`FaultPlan::rank_deaths`] to schedule rank reapers;
+//! * `cellpilot`'s Co-Pilot service checks [`FaultPlan::stall_of`] and its
+//!   SPE runtime checks [`FaultPlan::spe_crash_of`].
+//!
+//! Senders recover from injected loss with a [`RetryPolicy`] — bounded
+//! retransmission with exponential backoff, all in virtual time.
+
+use crate::cluster::NodeId;
+use cp_des::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// What a matching link fault does to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkAction {
+    /// The message never arrives; the sender's loss detection kicks in.
+    Drop,
+    /// The message arrives late by the given extra latency.
+    Delay(SimDuration),
+    /// The message is delivered twice (models a retransmit racing the
+    /// original; CellPilot channels are at-least-once under this fault).
+    Duplicate,
+}
+
+/// One scripted fault on a directed node-to-node link.
+#[derive(Debug, Clone)]
+struct LinkFault {
+    from: NodeId,
+    to: NodeId,
+    /// Half-open virtual-time window `[start, end)` in which the fault arms.
+    window: (SimTime, SimTime),
+    action: LinkAction,
+    /// How many matching messages the fault may hit; `None` = every one
+    /// inside the window.
+    budget: Option<u32>,
+}
+
+/// The verdict [`FaultPlan::egress`] returns for one message send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// No fault armed: deliver normally.
+    Deliver,
+    /// The message is lost in transit.
+    Drop,
+    /// Deliver, but add this much latency on top of the transport cost.
+    Delay(SimDuration),
+    /// Deliver two copies.
+    Duplicate,
+}
+
+/// A scripted MPI rank death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDeath {
+    /// The rank that dies.
+    pub rank: usize,
+    /// When it dies (virtual time).
+    pub at: SimTime,
+}
+
+/// A scripted crash of an SPE-resident process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeCrash {
+    /// The CellPilot process id of the SPE process.
+    pub process: usize,
+    /// The crash fires at the first SPE channel operation at or after this
+    /// virtual time.
+    pub at: SimTime,
+}
+
+/// A scripted stall of a node's Co-Pilot relay service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopilotStall {
+    /// The Cell node whose Co-Pilot stalls.
+    pub node: NodeId,
+    /// The stall begins at the first service iteration at or after this time.
+    pub at: SimTime,
+    /// How long the service is unresponsive.
+    pub duration: SimDuration,
+}
+
+/// Bounded retransmission with exponential backoff, in virtual time.
+///
+/// When a sender detects an injected loss it waits [`RetryPolicy::backoff`]
+/// for the current attempt, then retransmits, up to
+/// [`RetryPolicy::max_retries`] times. The arithmetic is pure and fully
+/// deterministic, so recovery timelines replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions attempted after the initial send before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retransmission.
+    pub base_backoff: SimDuration,
+    /// Ceiling the doubling backoff saturates at.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// Four retries starting at 50 µs, doubling to a 2 ms ceiling — small
+    /// enough not to distort the paper's µs-scale latency experiments, large
+    /// enough to ride out every finite fault window in the test plans.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: SimDuration::from_micros(50),
+            backoff_cap: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retransmission number `attempt` (0-based): doubles
+    /// each attempt from [`base_backoff`](RetryPolicy::base_backoff),
+    /// saturating at [`backoff_cap`](RetryPolicy::backoff_cap).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let ns = self.base_backoff.as_nanos().saturating_mul(factor);
+        SimDuration::from_nanos(ns.min(self.backoff_cap.as_nanos()))
+    }
+
+    /// Total virtual time spent backing off across `attempts` retries.
+    pub fn total_backoff(&self, attempts: u32) -> SimDuration {
+        (0..attempts).fold(SimDuration::ZERO, |acc, a| acc + self.backoff(a))
+    }
+}
+
+/// A deterministic, declarative script of faults to inject into one run.
+///
+/// Build one with the chainable methods, hand it to the runtime options
+/// (`MpiCosts`-style plumbing in each layer), and the simulated cluster
+/// misbehaves on schedule:
+///
+/// ```
+/// use cp_simnet::{FaultPlan, NodeId};
+/// use cp_des::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .drop_link(
+///         NodeId(0),
+///         NodeId(1),
+///         SimTime(0),
+///         SimTime(1_000_000),
+///         2, // first two sends in the window are lost
+///     )
+///     .kill_rank(3, SimTime(500_000));
+/// assert!(!plan.is_empty());
+/// ```
+pub struct FaultPlan {
+    links: Vec<LinkFault>,
+    /// Messages already consumed per link fault (parallel to `links`).
+    spent: Mutex<Vec<u32>>,
+    deaths: Vec<RankDeath>,
+    crashes: Vec<SpeCrash>,
+    stalls: Vec<CopilotStall>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("links", &self.links)
+            .field("deaths", &self.deaths)
+            .field("crashes", &self.crashes)
+            .field("stalls", &self.stalls)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: every query answers "no fault".
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            links: Vec::new(),
+            spent: Mutex::new(Vec::new()),
+            deaths: Vec::new(),
+            crashes: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// True if the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+            && self.deaths.is_empty()
+            && self.crashes.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    fn push_link(mut self, fault: LinkFault) -> Self {
+        self.links.push(fault);
+        self.spent.lock().push(0);
+        self
+    }
+
+    /// Drop the first `count` messages sent from node `from` to node `to`
+    /// inside the half-open window `[start, end)`.
+    pub fn drop_link(
+        self,
+        from: NodeId,
+        to: NodeId,
+        start: SimTime,
+        end: SimTime,
+        count: u32,
+    ) -> Self {
+        self.push_link(LinkFault {
+            from,
+            to,
+            window: (start, end),
+            action: LinkAction::Drop,
+            budget: Some(count),
+        })
+    }
+
+    /// Add `extra` latency to every message from `from` to `to` inside
+    /// `[start, end)`.
+    pub fn delay_link(
+        self,
+        from: NodeId,
+        to: NodeId,
+        start: SimTime,
+        end: SimTime,
+        extra: SimDuration,
+    ) -> Self {
+        self.push_link(LinkFault {
+            from,
+            to,
+            window: (start, end),
+            action: LinkAction::Delay(extra),
+            budget: None,
+        })
+    }
+
+    /// Deliver the first `count` messages from `from` to `to` inside
+    /// `[start, end)` twice.
+    pub fn duplicate_link(
+        self,
+        from: NodeId,
+        to: NodeId,
+        start: SimTime,
+        end: SimTime,
+        count: u32,
+    ) -> Self {
+        self.push_link(LinkFault {
+            from,
+            to,
+            window: (start, end),
+            action: LinkAction::Duplicate,
+            budget: Some(count),
+        })
+    }
+
+    /// Kill MPI rank `rank` at virtual time `at`: its mailbox stops
+    /// accepting messages and peers that wait on it observe a lost peer.
+    pub fn kill_rank(mut self, rank: usize, at: SimTime) -> Self {
+        self.deaths.push(RankDeath { rank, at });
+        self
+    }
+
+    /// Crash the SPE process with CellPilot process id `process` at its
+    /// first channel operation at or after `at`.
+    pub fn crash_spe(mut self, process: usize, at: SimTime) -> Self {
+        self.crashes.push(SpeCrash { process, at });
+        self
+    }
+
+    /// Stall node `node`'s Co-Pilot service for `duration`, starting at its
+    /// first service iteration at or after `at`.
+    pub fn stall_copilot(mut self, node: NodeId, at: SimTime, duration: SimDuration) -> Self {
+        self.stalls.push(CopilotStall { node, at, duration });
+        self
+    }
+
+    /// Consult the plan for one message leaving node `from` for node `to`
+    /// at virtual time `now`. Consumes one unit of the first matching
+    /// fault's budget; later sends see later verdicts. Called under the DES
+    /// kernel's serialized execution, so the consumption order — and hence
+    /// the whole fault timeline — is deterministic.
+    pub fn egress(&self, now: SimTime, from: NodeId, to: NodeId) -> LinkVerdict {
+        let mut spent = self.spent.lock();
+        for (i, fault) in self.links.iter().enumerate() {
+            if fault.from != from || fault.to != to {
+                continue;
+            }
+            if now < fault.window.0 || now >= fault.window.1 {
+                continue;
+            }
+            if let Some(budget) = fault.budget {
+                if spent[i] >= budget {
+                    continue;
+                }
+                spent[i] += 1;
+            }
+            return match fault.action {
+                LinkAction::Drop => LinkVerdict::Drop,
+                LinkAction::Delay(d) => LinkVerdict::Delay(d),
+                LinkAction::Duplicate => LinkVerdict::Duplicate,
+            };
+        }
+        LinkVerdict::Deliver
+    }
+
+    /// All scripted rank deaths, in declaration order.
+    pub fn rank_deaths(&self) -> &[RankDeath] {
+        &self.deaths
+    }
+
+    /// When rank `rank` is scripted to die, if at all.
+    pub fn death_of(&self, rank: usize) -> Option<SimTime> {
+        self.deaths.iter().find(|d| d.rank == rank).map(|d| d.at)
+    }
+
+    /// All scripted SPE crashes, in declaration order.
+    pub fn spe_crashes(&self) -> &[SpeCrash] {
+        &self.crashes
+    }
+
+    /// When process `process` is scripted to crash, if at all.
+    pub fn spe_crash_of(&self, process: usize) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .find(|c| c.process == process)
+            .map(|c| c.at)
+    }
+
+    /// All scripted Co-Pilot stalls, in declaration order.
+    pub fn copilot_stalls(&self) -> &[CopilotStall] {
+        &self.stalls
+    }
+
+    /// The first scripted stall for node `node`'s Co-Pilot, if any.
+    pub fn stall_of(&self, node: NodeId) -> Option<CopilotStall> {
+        self.stalls.iter().find(|s| s.node == node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: SimDuration::from_micros(50),
+            backoff_cap: SimDuration::from_micros(300),
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_micros(50));
+        assert_eq!(p.backoff(1), SimDuration::from_micros(100));
+        assert_eq!(p.backoff(2), SimDuration::from_micros(200));
+        assert_eq!(p.backoff(3), SimDuration::from_micros(300), "capped");
+        assert_eq!(p.backoff(9), SimDuration::from_micros(300), "still capped");
+        // Huge attempt numbers must not overflow the shift.
+        assert_eq!(p.backoff(200), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn total_backoff_sums_the_series() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_backoff: SimDuration::from_micros(10),
+            backoff_cap: SimDuration::from_millis(1),
+        };
+        // 10 + 20 + 40 + 80
+        assert_eq!(p.total_backoff(4), SimDuration::from_micros(150));
+        assert_eq!(p.total_backoff(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drop_budget_is_consumed_in_order() {
+        let plan = FaultPlan::new().drop_link(NodeId(0), NodeId(1), SimTime(0), SimTime(1_000), 2);
+        let t = SimTime(500);
+        assert_eq!(plan.egress(t, NodeId(0), NodeId(1)), LinkVerdict::Drop);
+        assert_eq!(plan.egress(t, NodeId(0), NodeId(1)), LinkVerdict::Drop);
+        assert_eq!(plan.egress(t, NodeId(0), NodeId(1)), LinkVerdict::Deliver);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let plan = FaultPlan::new().drop_link(NodeId(0), NodeId(1), SimTime(100), SimTime(200), 10);
+        assert_eq!(
+            plan.egress(SimTime(99), NodeId(0), NodeId(1)),
+            LinkVerdict::Deliver
+        );
+        assert_eq!(
+            plan.egress(SimTime(100), NodeId(0), NodeId(1)),
+            LinkVerdict::Drop
+        );
+        assert_eq!(
+            plan.egress(SimTime(199), NodeId(0), NodeId(1)),
+            LinkVerdict::Drop
+        );
+        assert_eq!(
+            plan.egress(SimTime(200), NodeId(0), NodeId(1)),
+            LinkVerdict::Deliver
+        );
+    }
+
+    #[test]
+    fn link_faults_are_directional() {
+        let plan = FaultPlan::new().drop_link(NodeId(0), NodeId(1), SimTime(0), SimTime(1_000), 10);
+        assert_eq!(
+            plan.egress(SimTime(10), NodeId(1), NodeId(0)),
+            LinkVerdict::Deliver,
+            "reverse direction unaffected"
+        );
+    }
+
+    #[test]
+    fn delay_and_duplicate_verdicts() {
+        let plan = FaultPlan::new()
+            .delay_link(
+                NodeId(0),
+                NodeId(1),
+                SimTime(0),
+                SimTime(100),
+                SimDuration::from_micros(7),
+            )
+            .duplicate_link(NodeId(2), NodeId(3), SimTime(0), SimTime(100), 1);
+        assert_eq!(
+            plan.egress(SimTime(10), NodeId(0), NodeId(1)),
+            LinkVerdict::Delay(SimDuration::from_micros(7))
+        );
+        assert_eq!(
+            plan.egress(SimTime(10), NodeId(2), NodeId(3)),
+            LinkVerdict::Duplicate
+        );
+        assert_eq!(
+            plan.egress(SimTime(10), NodeId(2), NodeId(3)),
+            LinkVerdict::Deliver,
+            "duplicate budget exhausted"
+        );
+    }
+
+    #[test]
+    fn scheduled_deaths_crashes_and_stalls_are_queryable() {
+        let plan = FaultPlan::new()
+            .kill_rank(3, SimTime(500))
+            .crash_spe(7, SimTime(900))
+            .stall_copilot(NodeId(2), SimTime(100), SimDuration::from_micros(40));
+        assert_eq!(plan.death_of(3), Some(SimTime(500)));
+        assert_eq!(plan.death_of(4), None);
+        assert_eq!(plan.spe_crash_of(7), Some(SimTime(900)));
+        assert_eq!(plan.spe_crash_of(8), None);
+        let stall = plan.stall_of(NodeId(2)).unwrap();
+        assert_eq!(stall.duration, SimDuration::from_micros(40));
+        assert_eq!(plan.stall_of(NodeId(0)), None);
+        assert_eq!(plan.rank_deaths().len(), 1);
+        assert_eq!(plan.spe_crashes().len(), 1);
+        assert_eq!(plan.copilot_stalls().len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(
+            plan.egress(SimTime(0), NodeId(0), NodeId(1)),
+            LinkVerdict::Deliver
+        );
+    }
+}

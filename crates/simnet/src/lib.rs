@@ -9,7 +9,9 @@
 //! and adds its own per-rank software costs on top.
 
 mod cluster;
+pub mod faults;
 mod netcosts;
 
 pub use cluster::{Cluster, ClusterSpec, NodeHw, NodeId, NodeKind};
+pub use faults::{FaultPlan, LinkVerdict, RetryPolicy};
 pub use netcosts::NetCosts;
