@@ -13,11 +13,13 @@
 //!   simulator itself.
 
 pub mod codesize;
+pub mod explore;
 pub mod imb;
 pub mod pingpong;
 pub mod sweep;
 pub mod table2;
 
+pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};
 pub use pingpong::{
     cellpilot_pingpong, cellpilot_pingpong_with, cellpilot_pingpong_xeon_initiator, PingPong,

@@ -91,6 +91,15 @@ impl CellPilot {
             let cp_rank = tables.copilot_ranks[&node];
             self.comm_send(cp_rank, CP_MCAST_TAG, payload);
         }
+        // One write credit per member channel: every receiver (rank or
+        // SPE) reports its own read wait against its own channel.
+        for &c in &entry.channels {
+            crate::dlsvc::report(
+                &self.comm,
+                &tables,
+                crate::dlsvc::chan_event(&tables, cp_pilot::EV_WRITE, c.0),
+            );
+        }
         self.shared.trace.record(
             self.ctx().now(),
             &self.name(),

@@ -63,6 +63,16 @@ pub struct CellPilotOpts {
     pub faults: Option<Arc<FaultPlan>>,
     /// Retransmission policy senders use against injected message loss.
     pub retry: RetryPolicy,
+    /// Enable the deadlock-detection service (consumes one extra MPI
+    /// process). Ranks report their own channel waits; Co-Pilots report on
+    /// behalf of their SPEs, so circular waits on every channel type (1–5)
+    /// abort with a diagnostic naming the full cycle.
+    pub deadlock_detection: bool,
+    /// Schedule-exploration seed for the DES kernel: `0` (the default) is
+    /// the canonical FIFO schedule; a nonzero seed deterministically
+    /// permutes same-timestamp event ordering (see
+    /// [`cp_des::Simulation::set_schedule_seed`]).
+    pub schedule_seed: u64,
 }
 
 impl CellPilotOpts {
@@ -95,6 +105,19 @@ impl CellPilotOpts {
     /// Override the sender-side retransmission policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> CellPilotOpts {
         self.retry = retry;
+        self
+    }
+
+    /// Enable the deadlock-detection service (consumes one extra MPI
+    /// process).
+    pub fn with_deadlock_service(mut self) -> CellPilotOpts {
+        self.deadlock_detection = true;
+        self
+    }
+
+    /// Run under an alternative (but still deterministic) DES schedule.
+    pub fn with_schedule_seed(mut self, seed: u64) -> CellPilotOpts {
+        self.schedule_seed = seed;
         self
     }
 }
@@ -408,12 +431,23 @@ impl CellPilotConfig {
                 placement.push(NodeId(i));
             }
         }
+        // The deadlock-detection service, if enabled, takes one more rank
+        // after the Co-Pilots. It is pure bookkeeping, so its host node
+        // does not matter; node 0 always exists.
+        let detector_rank = if opts.deadlock_detection {
+            let r = placement.len();
+            placement.push(NodeId(0));
+            Some(r)
+        } else {
+            None
+        };
         let tables = Arc::new(CpTables {
             processes,
             channels,
             bundles,
             copilot_ranks: copilot_ranks.clone(),
             app_ranks,
+            detector_rank,
         });
         let mut node_shared = HashMap::new();
         for (i, hw) in cluster.nodes.iter().enumerate() {
@@ -444,6 +478,7 @@ impl CellPilotConfig {
             opts.retry,
         );
         let mut sim = Simulation::new();
+        sim.set_schedule_seed(opts.schedule_seed);
         // Application rank processes.
         for (pidx, body) in bodies.into_iter().enumerate() {
             let Some(f) = body else { continue };
@@ -483,6 +518,14 @@ impl CellPilotConfig {
         for (node, rank) in copilot_ranks {
             let body = copilot::copilot_body(world.clone(), shared.clone(), node, rank);
             world.launch(&mut sim, rank, &format!("copilot{}", node.0), body);
+        }
+        // Deadlock-detection service.
+        if let Some(det_rank) = tables.detector_rank {
+            let tables2 = tables.clone();
+            let faults2 = shared.faults.clone();
+            world.launch(&mut sim, det_rank, "cp-deadlock-svc", move |comm| {
+                crate::dlsvc::detector_main(comm, tables2, faults2);
+            });
         }
         sim.run()
     }

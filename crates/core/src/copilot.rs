@@ -184,6 +184,13 @@ fn service_loop(
             CoEvent::Request { hw, req } if req.op == OP_WRITE => {
                 charge(ctx, costs.copilot_dispatch_us);
                 let chan = req.chan as usize;
+                // Proxy report on behalf of the writing SPE (which cannot
+                // reach the deadlock service itself).
+                crate::dlsvc::report(
+                    comm,
+                    &shared.tables,
+                    crate::dlsvc::chan_event(&shared.tables, cp_pilot::EV_WRITE, chan),
+                );
                 let wreq = PendingReq {
                     hw,
                     addr: req.addr,
@@ -233,6 +240,15 @@ fn service_loop(
                 debug_assert_eq!(req.op, OP_READ);
                 charge(ctx, costs.copilot_dispatch_us);
                 let chan = req.chan as usize;
+                // Proxy report on behalf of the reading SPE. Reported on
+                // *every* read — even one satisfied from a pending queue —
+                // so write credits and read waits stay paired 1:1 in the
+                // detector; a satisfying EV_WRITE always clears the edge.
+                crate::dlsvc::report(
+                    comm,
+                    &shared.tables,
+                    crate::dlsvc::chan_event(&shared.tables, cp_pilot::EV_READWAIT, chan),
+                );
                 let rr = PendingReq {
                     hw,
                     addr: req.addr,

@@ -1,0 +1,212 @@
+//! CellPilot's deadlock-detection service.
+//!
+//! This generalizes Pilot's `-pisvc=d` to the hybrid cluster: the wait-for
+//! graph itself ([`cp_pilot::WaitGraph`]) is shared with the Pilot layer,
+//! but here the endpoints are [`DlEndpoint`]s spanning all five channel
+//! types. MPI-visible ranks report their own operations; SPEs cannot talk
+//! to the service directly, so their node's **Co-Pilot reports by proxy**
+//! whenever it handles an `OP_WRITE`/`OP_READ` request block — the same
+//! place it already mediates every SPE channel operation. Events carry both
+//! channel endpoints (computed from the reporter's [`CpTables`]), so the
+//! detector needs no routing knowledge of its own.
+//!
+//! A confirmed cycle aborts the run with a diagnostic naming every hop,
+//! including the relaying Co-Pilots, e.g.
+//! `spe(1,3) -> copilot(1) -> rank 0 -> spe(1,3)`.
+
+use crate::location::Location;
+use crate::tables::{CpTables, ProcKind};
+use cp_des::SimDuration;
+use cp_mpisim::{Comm, Datatype};
+use cp_pilot::{
+    decode_event, encode_event, DlEndpoint, DlEvent, WaitGraph, GRACE_US, POLL_US, TAG_SVC,
+};
+use cp_simnet::FaultPlan;
+use std::sync::Arc;
+
+/// The detector endpoint for a process location.
+pub(crate) fn dl_endpoint(loc: &Location) -> DlEndpoint {
+    match loc {
+        Location::Rank { rank, .. } => DlEndpoint::Rank(*rank),
+        Location::Spe { node, slot } => DlEndpoint::Spe {
+            node: node.0,
+            slot: *slot,
+        },
+    }
+}
+
+/// Build a write/read-wait event for channel `chan`, resolving both
+/// endpoints. SPE readers get a `via` hop naming the Co-Pilot that relays
+/// their waits, so diagnostics can render the full proxy chain.
+pub(crate) fn chan_event(tables: &CpTables, kind: u8, chan: usize) -> DlEvent {
+    let entry = &tables.channels[chan];
+    let reader_loc = &tables.processes[entry.to.0].location;
+    let writer_loc = &tables.processes[entry.from.0].location;
+    let via = match reader_loc {
+        Location::Spe { node, .. } => Some(node.0 as u32),
+        Location::Rank { .. } => None,
+    };
+    DlEvent {
+        kind,
+        chan: chan as u32,
+        reader: dl_endpoint(reader_loc),
+        writer: dl_endpoint(writer_loc),
+        via,
+    }
+}
+
+/// Fire-and-forget an event to the detector, if the service is enabled.
+pub(crate) fn report(comm: &Comm, tables: &CpTables, ev: DlEvent) {
+    if let Some(det) = tables.detector_rank {
+        let payload = encode_event(&ev);
+        let n = payload.len();
+        comm.send_bytes(det, TAG_SVC, Datatype::Byte, n, payload);
+    }
+}
+
+/// The detector process body.
+///
+/// Exits once every application rank that can finish has reported
+/// `EV_FINISH` — ranks with a scheduled death in the fault plan never
+/// reach their finish barrier, so they are excluded symmetrically (the
+/// same rule [`crate::runtime::CellPilot::finish`] applies to its
+/// end-of-run barrier).
+pub(crate) fn detector_main(comm: Comm, tables: Arc<CpTables>, faults: Arc<FaultPlan>) {
+    let expected = tables
+        .processes
+        .iter()
+        .filter(|p| {
+            matches!(p.kind, ProcKind::Rank)
+                && match p.location {
+                    Location::Rank { rank, .. } => faults.death_of(rank).is_none(),
+                    Location::Spe { .. } => false,
+                }
+        })
+        .count();
+    let mut graph = WaitGraph::new();
+    loop {
+        let msg = comm.recv(None, Some(TAG_SVC));
+        let ev = match decode_event(&msg.data) {
+            Ok(ev) => ev,
+            Err(e) => comm.ctx().abort(&e.to_string()),
+        };
+        let suspect = graph.on_event(&ev);
+        if graph.finished() == expected {
+            return;
+        }
+        if let Some(cycle) = suspect {
+            // Confirmation: a satisfying write (or a proxied report of one)
+            // may still be in flight; drain and re-check for a grace
+            // period before declaring.
+            let mut waited = 0u64;
+            let confirmed = loop {
+                while let Some((src, _tag, _dt, _count)) = comm.iprobe(None, Some(TAG_SVC)) {
+                    let m = comm.recv(Some(src), Some(TAG_SVC));
+                    match decode_event(&m.data) {
+                        Ok(ev) => {
+                            let _ = graph.on_event(&ev);
+                        }
+                        Err(e) => comm.ctx().abort(&e.to_string()),
+                    }
+                }
+                if !graph.cycle_still_present(&cycle) {
+                    break false;
+                }
+                if waited >= GRACE_US {
+                    break true;
+                }
+                comm.ctx().advance(SimDuration::from_micros(POLL_US));
+                waited += POLL_US;
+            };
+            if confirmed {
+                let names = graph.render_cycle(&cycle, |ep| ep.to_string());
+                let err = crate::error::CpError::CircularWait { cycle: names };
+                comm.ctx().abort(&err.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::{ChannelKind, CpProcess};
+    use crate::tables::{CpChanEntry, CpProcEntry};
+    use cp_pilot::{EV_READWAIT, EV_WRITE};
+    use cp_simnet::NodeId;
+    use std::collections::BTreeMap;
+
+    /// rank 0 on node 2 <-> spe(1,3): one channel each way (type 3).
+    fn tables() -> CpTables {
+        let processes = vec![
+            CpProcEntry {
+                name: "main".into(),
+                location: Location::Rank {
+                    rank: 0,
+                    node: NodeId(2),
+                },
+                index: 0,
+                kind: ProcKind::Rank,
+            },
+            CpProcEntry {
+                name: "worker".into(),
+                location: Location::Spe {
+                    node: NodeId(1),
+                    slot: 3,
+                },
+                index: 0,
+                kind: ProcKind::Rank, // kind is irrelevant to chan_event
+            },
+        ];
+        let channels = vec![
+            CpChanEntry {
+                from: CpProcess(0),
+                to: CpProcess(1),
+                kind: ChannelKind::Type3,
+            },
+            CpChanEntry {
+                from: CpProcess(1),
+                to: CpProcess(0),
+                kind: ChannelKind::Type3,
+            },
+        ];
+        CpTables {
+            processes,
+            channels,
+            bundles: Vec::new(),
+            copilot_ranks: BTreeMap::new(),
+            app_ranks: 1,
+            detector_rank: None,
+        }
+    }
+
+    #[test]
+    fn spe_reader_gets_copilot_via() {
+        let t = tables();
+        let ev = chan_event(&t, EV_READWAIT, 0);
+        assert_eq!(ev.reader, DlEndpoint::Spe { node: 1, slot: 3 });
+        assert_eq!(ev.writer, DlEndpoint::Rank(0));
+        assert_eq!(ev.via, Some(1));
+    }
+
+    #[test]
+    fn rank_reader_has_no_via() {
+        let t = tables();
+        let ev = chan_event(&t, EV_WRITE, 1);
+        assert_eq!(ev.reader, DlEndpoint::Rank(0));
+        assert_eq!(ev.writer, DlEndpoint::Spe { node: 1, slot: 3 });
+        assert_eq!(ev.via, None);
+    }
+
+    #[test]
+    fn cross_boundary_cycle_names_all_hops() {
+        let t = tables();
+        let mut g = WaitGraph::new();
+        // spe(1,3) blocked reading chan 0 (writer rank 0), proxied.
+        assert!(g.on_event(&chan_event(&t, EV_READWAIT, 0)).is_none());
+        // rank 0 blocked reading chan 1 (writer spe(1,3)) closes the loop.
+        let cycle = g.on_event(&chan_event(&t, EV_READWAIT, 1)).expect("cycle");
+        let names = g.render_cycle(&cycle, |ep| ep.to_string());
+        assert_eq!(names, vec!["rank 0", "spe(1,3)", "copilot(1)", "rank 0"]);
+    }
+}

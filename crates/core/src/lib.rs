@@ -57,6 +57,7 @@ mod collective;
 mod config;
 mod copilot;
 mod costs;
+mod dlsvc;
 mod error;
 pub mod guide;
 mod location;

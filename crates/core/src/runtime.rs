@@ -137,6 +137,11 @@ impl CellPilot {
                 data,
             )
             .map_err(|fault| self.fault_to_cp(chan, entry.to, fault))?;
+        crate::dlsvc::report(
+            &self.comm,
+            &self.shared.tables,
+            crate::dlsvc::chan_event(&self.shared.tables, cp_pilot::EV_WRITE, chan.0),
+        );
         self.shared.trace.record(
             self.ctx().now(),
             &self.name(),
@@ -225,6 +230,16 @@ impl CellPilot {
             Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
         };
         let tag = Some(CpTables::chan_tag(chan.0));
+        // Deadline-bounded reads cannot participate in a deadlock (they
+        // always come back), and a timed-out read would leave a stale edge
+        // in the wait-for graph — so only unbounded reads report.
+        if self.shared.channel_timeout.is_none() {
+            crate::dlsvc::report(
+                &self.comm,
+                &self.shared.tables,
+                crate::dlsvc::chan_event(&self.shared.tables, cp_pilot::EV_READWAIT, chan.0),
+            );
+        }
         let msg = match self.shared.channel_timeout {
             None => self.comm.recv(Some(src_rank), tag),
             Some(d) => self
@@ -420,6 +435,9 @@ impl CellPilot {
         if dead(my_rank) {
             return;
         }
+        // Tell the deadlock service this rank is done; the detector counts
+        // finishes from exactly the ranks that pass the death check above.
+        crate::dlsvc::report(&self.comm, &self.shared.tables, cp_pilot::DlEvent::finish());
         let peers: Vec<usize> = self
             .shared
             .tables

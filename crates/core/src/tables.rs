@@ -61,6 +61,8 @@ pub struct CpTables {
     /// Number of application MPI ranks (main + rank processes).
     #[allow(dead_code)]
     pub(crate) app_ranks: usize,
+    /// MPI rank of the deadlock-detection service, when enabled.
+    pub(crate) detector_rank: Option<usize>,
 }
 
 impl CpTables {

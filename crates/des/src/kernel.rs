@@ -70,7 +70,15 @@ struct KState {
     now: SimTime,
     limit: Option<SimTime>,
     next_seq: u64,
-    queue: BinaryHeap<Reverse<(u64, u64, Pid)>>,
+    /// Schedule-exploration seed. Zero (the default) orders same-timestamp
+    /// events FIFO by sequence number; any other value permutes the
+    /// tie-break deterministically (see [`Kernel::push_event`]), yielding a
+    /// different — but equally legal and fully reproducible — interleaving.
+    sched_seed: u64,
+    /// Entries are `(time, tie_key, seq, pid)`: time first, then the seeded
+    /// tie key for same-timestamp events, with the raw sequence number as
+    /// the final total-order tiebreaker.
+    queue: BinaryHeap<Reverse<(u64, u64, u64, Pid)>>,
     procs: Vec<ProcSlot>,
     /// Number of processes not yet Finished.
     live: usize,
@@ -80,6 +88,15 @@ struct KState {
     dispatches: u64,
     trace: Option<Vec<(SimTime, Pid)>>,
     incidents: Vec<Incident>,
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function used to
+/// derive schedule tie-break keys from `(seed, seq)` pairs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 pub(crate) struct Kernel {
@@ -95,6 +112,7 @@ impl Kernel {
                 now: SimTime::ZERO,
                 limit: None,
                 next_seq: 0,
+                sched_seed: 0,
                 queue: BinaryHeap::new(),
                 procs: Vec::new(),
                 live: 0,
@@ -111,11 +129,23 @@ impl Kernel {
 
     /// Push an event waking `pid` at time `at`. The new event supersedes any
     /// earlier one still queued for `pid` (see [`ProcSlot::expected_seq`]).
+    ///
+    /// With a zero schedule seed the tie key equals the sequence number, so
+    /// same-timestamp events dispatch FIFO. A nonzero seed hashes the seed
+    /// with the sequence number instead, permuting only the order of
+    /// same-timestamp events across processes — every schedule it produces is
+    /// still a legal interleaving, and the same seed always reproduces the
+    /// same schedule.
     fn push_event(st: &mut KState, at: SimTime, pid: Pid) {
         let seq = st.next_seq;
         st.next_seq += 1;
         st.procs[pid].expected_seq = Some(seq);
-        st.queue.push(Reverse((at.0, seq, pid)));
+        let tie = if st.sched_seed == 0 {
+            seq
+        } else {
+            splitmix64(st.sched_seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        st.queue.push(Reverse((at.0, tie, seq, pid)));
     }
 
     /// Hand the virtual CPU to the owner of the earliest event, or end the
@@ -126,7 +156,7 @@ impl Kernel {
         if st.outcome.is_some() {
             return;
         }
-        while let Some(Reverse((t, seq, pid))) = st.queue.pop() {
+        while let Some(Reverse((t, _tie, seq, pid))) = st.queue.pop() {
             // A popped event is live only if it is the most recent one pushed
             // for its process; superseded events (e.g. a timeout whose block
             // was already woken by `unblock`) are skipped, as are events for
@@ -523,6 +553,15 @@ impl Simulation {
         self.kernel.state.lock().limit = Some(limit);
     }
 
+    /// Select a schedule-exploration seed. Seed `0` (the default) keeps the
+    /// canonical FIFO ordering of same-timestamp events; any nonzero seed
+    /// deterministically permutes those ties, producing an alternative legal
+    /// interleaving. Call before spawning processes so the whole run is
+    /// scheduled under the same seed.
+    pub fn set_schedule_seed(&mut self, seed: u64) {
+        self.kernel.state.lock().sched_seed = seed;
+    }
+
     /// Spawn a root process, runnable at t = 0.
     pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
     where
@@ -607,6 +646,61 @@ mod tests {
                 ("b", 45)
             ]
         );
+    }
+
+    /// Run the two-process interleave scenario under a schedule seed and
+    /// return the observed `(name, time_us)` log.
+    fn tie_scenario(seed: u64) -> Vec<(&'static str, u64)> {
+        let log: Arc<PMutex<Vec<(&'static str, u64)>>> = Arc::new(PMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.set_schedule_seed(seed);
+        for name in ["a", "b", "c", "d"] {
+            let log = log.clone();
+            sim.spawn(name, move |ctx| {
+                for _ in 0..4 {
+                    ctx.advance(SimDuration::from_micros(10));
+                    log.lock().push((name, ctx.now().as_nanos() / 1000));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        got
+    }
+
+    #[test]
+    fn schedule_seed_zero_keeps_fifo_ties() {
+        // Seed 0 must be byte-identical to the default FIFO schedule: every
+        // golden trace in the repo depends on this.
+        assert_eq!(tie_scenario(0), tie_scenario(0));
+        let got = tie_scenario(0);
+        // FIFO tie-break: at each 10us step all four wake in spawn order.
+        let spawn_order: Vec<&str> = got.iter().take(4).map(|(n, _)| *n).collect();
+        assert_eq!(spawn_order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn schedule_seed_is_deterministic_and_permutes_ties() {
+        // Same seed -> same schedule, every time.
+        for seed in 1..=5u64 {
+            assert_eq!(tie_scenario(seed), tie_scenario(seed));
+        }
+        // Some nonzero seed must reorder at least one same-time tie; the
+        // multiset of (name, time) pairs is schedule-invariant either way.
+        let baseline = tie_scenario(0);
+        let mut permuted = false;
+        for seed in 1..=20u64 {
+            let alt = tie_scenario(seed);
+            let mut a = baseline.clone();
+            let mut b = alt.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "seed {seed} changed outcomes, not just order");
+            if alt != baseline {
+                permuted = true;
+            }
+        }
+        assert!(permuted, "no seed in 1..=20 permuted any tie");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the MPI layer: collectives against sequential
 //! references, datatype round trips, and message-order invariants.
 
-use cp_mpisim::{decode_slice, encode_slice, mpirun, LongDouble, MpiCosts, ReduceOp};
+use cp_mpisim::{decode_slice, encode_slice, mpirun, Datatype, LongDouble, MpiCosts, ReduceOp};
 use cp_simnet::{ClusterSpec, NodeId, NodeKind};
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -134,5 +134,116 @@ proptest! {
         for (a, b) in lds.iter().zip(&back) {
             prop_assert!(a.0.to_bits() == b.0.to_bits());
         }
+    }
+
+    /// Round trips for the remaining scalar datatypes, plus the wire-size
+    /// law: an encoded slice is exactly `len * wire_size` bytes.
+    #[test]
+    fn remaining_scalars_roundtrip_with_exact_wire_size(
+        u8s in proptest::collection::vec(any::<u8>(), 0..24),
+        i32s in proptest::collection::vec(any::<i32>(), 0..24),
+        u32s in proptest::collection::vec(any::<u32>(), 0..24),
+        i64s in proptest::collection::vec(any::<i64>(), 0..24),
+        f32s in proptest::collection::vec(any::<f32>(), 0..24),
+    ) {
+        let b = encode_slice(&u8s);
+        prop_assert_eq!(b.len(), u8s.len() * Datatype::Byte.wire_size());
+        prop_assert_eq!(decode_slice::<u8>(&b), u8s);
+
+        let b = encode_slice(&i32s);
+        prop_assert_eq!(b.len(), i32s.len() * Datatype::Int32.wire_size());
+        prop_assert_eq!(decode_slice::<i32>(&b), i32s);
+
+        let b = encode_slice(&u32s);
+        prop_assert_eq!(b.len(), u32s.len() * Datatype::UInt32.wire_size());
+        prop_assert_eq!(decode_slice::<u32>(&b), u32s);
+
+        let b = encode_slice(&i64s);
+        prop_assert_eq!(b.len(), i64s.len() * Datatype::Int64.wire_size());
+        prop_assert_eq!(decode_slice::<i64>(&b), i64s);
+
+        let b = encode_slice(&f32s);
+        prop_assert_eq!(b.len(), f32s.len() * Datatype::Float32.wire_size());
+        let back = decode_slice::<f32>(&b);
+        prop_assert_eq!(f32s.len(), back.len());
+        for (a, x) in f32s.iter().zip(&back) {
+            prop_assert!(a.to_bits() == x.to_bits());
+        }
+    }
+
+    /// Allgather gives every rank the same rank-ordered view that a
+    /// root-gather would have produced.
+    #[test]
+    fn allgather_matches_gather_everywhere(
+        n in 2usize..7,
+        len in 0usize..8,
+    ) {
+        let (s, p) = spec(n);
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let mine: Vec<i32> = (0..len).map(|i| (comm.rank() * 1000 + i) as i32).collect();
+            let all = comm.allgather(&mine);
+            assert_eq!(all.len(), n);
+            for (r, part) in all.iter().enumerate() {
+                let expect: Vec<i32> = (0..len).map(|i| (r * 1000 + i) as i32).collect();
+                assert_eq!(part, &expect, "rank {r}'s contribution");
+            }
+        }).unwrap();
+    }
+
+    /// Alltoall is a distributed transpose: rank j's received part i is
+    /// what rank i addressed to rank j.
+    #[test]
+    fn alltoall_transposes(
+        n in 2usize..6,
+        len in 0usize..6,
+    ) {
+        let (s, p) = spec(n);
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let me = comm.rank();
+            let outgoing: Vec<Vec<u32>> = (0..n)
+                .map(|dst| (0..len).map(|i| (me * 10_000 + dst * 100 + i) as u32).collect())
+                .collect();
+            let incoming = comm.alltoall(&outgoing);
+            assert_eq!(incoming.len(), n);
+            for (src, part) in incoming.iter().enumerate() {
+                let expect: Vec<u32> =
+                    (0..len).map(|i| (src * 10_000 + me * 100 + i) as u32).collect();
+                assert_eq!(part, &expect, "part from rank {src}");
+            }
+        }).unwrap();
+    }
+
+    /// Scan(Sum) gives rank r the inclusive prefix sum over ranks 0..=r,
+    /// and allreduce gives everyone the full reduction (== the last
+    /// rank's scan).
+    #[test]
+    fn scan_is_prefix_of_allreduce(
+        n in 2usize..7,
+        len in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let contributions: Vec<Vec<i64>> = (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed ^ (r as u64 * 0x5851) ^ (i as u64 * 0x14057)) % 512) as i64)
+                    .collect()
+            })
+            .collect();
+        let (s, p) = spec(n);
+        let contrib = contributions.clone();
+        mpirun(&s, p, MpiCosts::default(), move |comm| {
+            let me = comm.rank();
+            let mine = &contrib[me];
+            let prefix = comm.scan(ReduceOp::Sum, mine);
+            let expect_prefix: Vec<i64> = (0..len)
+                .map(|i| contrib[..=me].iter().map(|c| c[i]).sum())
+                .collect();
+            assert_eq!(prefix, expect_prefix, "rank {me} inclusive prefix");
+            let total = comm.allreduce(ReduceOp::Sum, mine);
+            let expect_total: Vec<i64> = (0..len)
+                .map(|i| contrib.iter().map(|c| c[i]).sum())
+                .collect();
+            assert_eq!(total, expect_total, "rank {me} allreduce");
+        }).unwrap();
     }
 }

@@ -56,6 +56,11 @@ pub struct PilotOpts {
     pub faults: Option<Arc<FaultPlan>>,
     /// Retransmission policy senders use against injected message loss.
     pub retry: RetryPolicy,
+    /// Schedule-exploration seed for the DES kernel: `0` (the default) is
+    /// the canonical FIFO schedule; a nonzero seed deterministically
+    /// permutes same-timestamp event ordering (see
+    /// [`cp_des::Simulation::set_schedule_seed`]).
+    pub schedule_seed: u64,
 }
 
 impl PilotOpts {
@@ -92,6 +97,12 @@ impl PilotOpts {
     /// Override the sender-side retransmission policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> PilotOpts {
         self.retry = retry;
+        self
+    }
+
+    /// Run under an alternative (but still deterministic) DES schedule.
+    pub fn with_schedule_seed(mut self, seed: u64) -> PilotOpts {
+        self.schedule_seed = seed;
         self
     }
 }
@@ -299,6 +310,7 @@ impl PilotConfig {
         );
         let tables = Arc::new(tables);
         let mut sim = Simulation::new();
+        sim.set_schedule_seed(opts.schedule_seed);
         // Application processes.
         for (pidx, body) in bodies.into_iter().enumerate() {
             let entry = &tables.processes[pidx];

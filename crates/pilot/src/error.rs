@@ -93,6 +93,14 @@ pub enum PilotError {
         /// Name of the lost peer process.
         peer: String,
     },
+    /// A deadlock-service event payload that could not be decoded (short
+    /// buffer, unknown event kind, or bad endpoint tag).
+    MalformedEvent {
+        /// Bytes received.
+        len: usize,
+        /// What was wrong with them.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PilotError {
@@ -159,6 +167,12 @@ impl fmt::Display for PilotError {
             }
             PilotError::PeerLost { channel, peer } => {
                 write!(f, "channel {channel}: peer process '{peer}' was lost")
+            }
+            PilotError::MalformedEvent { len, detail } => {
+                write!(
+                    f,
+                    "malformed deadlock-service event ({len} bytes): {detail}"
+                )
             }
         }
     }

@@ -147,12 +147,25 @@ impl Pilot {
         self.ctx().advance(SimDuration::from_micros_f64(us));
     }
 
-    fn svc_event(&self, kind: u8, id: usize) {
+    fn svc_event(&self, ev: service::DlEvent) {
         if let Some(det) = self.tables.detector_rank {
-            let payload = service::encode_event(kind, id as u32);
+            let payload = service::encode_event(&ev);
             let n = payload.len();
             self.comm
                 .send_bytes(det, TAG_SVC, Datatype::Byte, n, payload);
+        }
+    }
+
+    /// Build a write/read-wait event for `chan`, resolving both channel
+    /// endpoints to their MPI ranks (Pilot processes are always ranks).
+    fn chan_event(&self, kind: u8, chan: PiChannel) -> service::DlEvent {
+        let entry = &self.tables.channels[chan.0];
+        service::DlEvent {
+            kind,
+            chan: chan.0 as u32,
+            reader: service::DlEndpoint::Rank(self.tables.processes[entry.to.0].rank),
+            writer: service::DlEndpoint::Rank(self.tables.processes[entry.from.0].rank),
+            via: None,
         }
     }
 
@@ -181,7 +194,7 @@ impl Pilot {
         self.comm
             .try_send_bytes(dst, Tables::chan_tag(chan), Datatype::Byte, n, bytes)
             .map_err(|fault| self.fault_to_pilot(chan, entry.to, fault))?;
-        self.svc_event(service::EV_WRITE, chan.0);
+        self.svc_event(self.chan_event(service::EV_WRITE, chan));
         self.log
             .record(self.ctx().now(), &self.name(), "write", chan.0);
         Ok(())
@@ -269,7 +282,12 @@ impl Pilot {
     }
 
     fn p2p_recv(&self, chan: PiChannel, from: PiProcess) -> Result<Vec<u8>, PilotError> {
-        self.svc_event(service::EV_READWAIT, chan.0);
+        // Deadline-bounded reads cannot participate in a deadlock (they
+        // always come back), and a timed-out read would leave a stale edge
+        // in the wait-for graph — so only unbounded reads report.
+        if self.deadline.is_none() {
+            self.svc_event(self.chan_event(service::EV_READWAIT, chan));
+        }
         let src = self.tables.processes[from.0].rank;
         let tag = Some(Tables::chan_tag(chan));
         let msg = match self.deadline {
@@ -376,7 +394,7 @@ impl Pilot {
         let members = self.bundle_member_ranks(b)?;
         self.forward_bcast(&members, 0, Tables::bundle_tag(b), &data);
         for &c in &bundle.channels {
-            self.svc_event(service::EV_WRITE, c.0);
+            self.svc_event(self.chan_event(service::EV_WRITE, c));
         }
         self.log
             .record(self.ctx().now(), &self.name(), "broadcast", b.0);
@@ -499,7 +517,7 @@ impl Pilot {
     /// told to shut down. Called automatically when a process function or
     /// `main` returns.
     pub(crate) fn finish(&self) {
-        self.svc_event(service::EV_FINISH, 0);
+        self.svc_event(service::DlEvent::finish());
         // Linear barrier over application ranks (rank 0 collects, then
         // releases). Perf is irrelevant here; determinism is not.
         //

@@ -2,7 +2,7 @@
 //!
 //! The service consumes one MPI process. Application processes report
 //! channel operations to it with small fire-and-forget messages: a write
-//! reports `EV_WRITE` after sending, a read reports `EV_READWAIT` before
+//! reports [`EV_WRITE`] after sending, a read reports [`EV_READWAIT`] before
 //! blocking. The detector pairs reads with writes per channel, maintains a
 //! wait-for graph of genuinely-blocked readers, and when it finds a cycle
 //! that survives a grace period (long enough for any in-flight satisfying
@@ -10,94 +10,266 @@
 //! naming the deadlocked processes — the paper's "errors such as circular
 //! wait will cause the program to abort with a diagnostic message
 //! identifying the deadlocked processes".
+//!
+//! Endpoints are not limited to MPI ranks: events carry [`DlEndpoint`]s so
+//! that CellPilot Co-Pilots can report on behalf of their SPEs, and a cycle
+//! crossing PPE/Co-Pilot/SPE boundaries renders every hop (e.g.
+//! `spe(1,3) -> copilot(1) -> rank 0 -> spe(1,3)`). The [`WaitGraph`] is
+//! deliberately table-free: each reporter computes both endpoints of the
+//! edge from its own routing tables, so the same graph serves Pilot's
+//! rank-only world and CellPilot's hybrid one.
 
 use crate::error::PilotError;
 use crate::table::Tables;
 use cp_des::SimDuration;
 use cp_mpisim::Comm;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Reserved tag for service traffic.
-pub(crate) const TAG_SVC: i32 = -500;
+pub const TAG_SVC: i32 = -500;
 
-/// Event kinds.
-pub(crate) const EV_WRITE: u8 = 0;
-pub(crate) const EV_READWAIT: u8 = 1;
-pub(crate) const EV_FINISH: u8 = 2;
-
-/// Encode an event payload.
-pub(crate) fn encode_event(kind: u8, id: u32) -> Vec<u8> {
-    let mut v = Vec::with_capacity(5);
-    v.push(kind);
-    v.extend_from_slice(&id.to_be_bytes());
-    v
-}
-
-fn decode_event(bytes: &[u8]) -> (u8, u32) {
-    (
-        bytes[0],
-        u32::from_be_bytes(bytes[1..5].try_into().expect("event payload")),
-    )
-}
+/// Event kind: a write was posted on a channel.
+pub const EV_WRITE: u8 = 0;
+/// Event kind: a reader is about to block on a channel.
+pub const EV_READWAIT: u8 = 1;
+/// Event kind: an application process finished.
+pub const EV_FINISH: u8 = 2;
 
 /// How long a detected cycle must persist before it is declared a
 /// deadlock. Covers the worst-case reporting latency of a satisfying
 /// write already in flight.
-const GRACE_US: u64 = 2_000;
+pub const GRACE_US: u64 = 2_000;
 /// Poll interval while confirming a suspected cycle.
-const POLL_US: u64 = 100;
+pub const POLL_US: u64 = 100;
 
-struct Detector {
-    tables: Arc<Tables>,
+/// Fixed wire length of an encoded [`DlEvent`].
+pub const EVENT_LEN: usize = 28;
+
+/// A blocking-capable channel endpoint as seen by the deadlock detector.
+///
+/// MPI-visible processes are identified by rank; SPE contexts (invisible to
+/// MPI) are identified by their `(node, slot)` coordinates and are reported
+/// by proxy through their node's Co-Pilot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DlEndpoint {
+    /// An MPI rank (a PPE process in CellPilot, any process in Pilot).
+    Rank(usize),
+    /// An SPE context, `spe(node, slot)`.
+    Spe {
+        /// Hosting node id.
+        node: usize,
+        /// SPE slot on that node.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for DlEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlEndpoint::Rank(r) => write!(f, "rank {r}"),
+            DlEndpoint::Spe { node, slot } => write!(f, "spe({node},{slot})"),
+        }
+    }
+}
+
+/// A decoded deadlock-service event.
+///
+/// Both endpoints are computed by the *reporter* from its own tables: the
+/// detector never needs channel routing information, only the edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlEvent {
+    /// One of [`EV_WRITE`], [`EV_READWAIT`], [`EV_FINISH`].
+    pub kind: u8,
+    /// Channel id the event concerns (ignored for [`EV_FINISH`]).
+    pub chan: u32,
+    /// The reading endpoint of the channel.
+    pub reader: DlEndpoint,
+    /// The writing endpoint of the channel.
+    pub writer: DlEndpoint,
+    /// For proxied reports: the Co-Pilot node relaying on behalf of the
+    /// reader. Rendered as an intermediate `copilot(n)` hop in diagnostics.
+    pub via: Option<u32>,
+}
+
+impl DlEvent {
+    /// A finish event; the endpoint fields are unused.
+    pub fn finish() -> DlEvent {
+        DlEvent {
+            kind: EV_FINISH,
+            chan: 0,
+            reader: DlEndpoint::Rank(0),
+            writer: DlEndpoint::Rank(0),
+            via: None,
+        }
+    }
+}
+
+fn put_endpoint(v: &mut Vec<u8>, ep: &DlEndpoint) {
+    let (tag, a, b) = match ep {
+        DlEndpoint::Rank(r) => (0u8, *r as u32, 0u32),
+        DlEndpoint::Spe { node, slot } => (1u8, *node as u32, *slot as u32),
+    };
+    v.push(tag);
+    v.extend_from_slice(&a.to_be_bytes());
+    v.extend_from_slice(&b.to_be_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes(bytes[at..at + 4].try_into().expect("checked length"))
+}
+
+fn get_endpoint(bytes: &[u8], at: usize) -> Result<DlEndpoint, String> {
+    let a = get_u32(bytes, at + 1) as usize;
+    let b = get_u32(bytes, at + 5) as usize;
+    match bytes[at] {
+        0 => Ok(DlEndpoint::Rank(a)),
+        1 => Ok(DlEndpoint::Spe { node: a, slot: b }),
+        t => Err(format!("unknown endpoint tag {t} at offset {at}")),
+    }
+}
+
+/// Encode an event into its fixed [`EVENT_LEN`]-byte wire form.
+pub fn encode_event(ev: &DlEvent) -> Vec<u8> {
+    let mut v = Vec::with_capacity(EVENT_LEN);
+    v.push(ev.kind);
+    v.extend_from_slice(&ev.chan.to_be_bytes());
+    put_endpoint(&mut v, &ev.reader);
+    put_endpoint(&mut v, &ev.writer);
+    match ev.via {
+        Some(n) => {
+            v.push(1);
+            v.extend_from_slice(&n.to_be_bytes());
+        }
+        None => {
+            v.push(0);
+            v.extend_from_slice(&0u32.to_be_bytes());
+        }
+    }
+    debug_assert_eq!(v.len(), EVENT_LEN);
+    v
+}
+
+/// Decode an event payload, rejecting truncated or malformed bytes with
+/// [`PilotError::MalformedEvent`] instead of panicking.
+pub fn decode_event(bytes: &[u8]) -> Result<DlEvent, PilotError> {
+    let malformed = |detail: String| PilotError::MalformedEvent {
+        len: bytes.len(),
+        detail,
+    };
+    if bytes.len() != EVENT_LEN {
+        return Err(malformed(format!("expected {EVENT_LEN} bytes")));
+    }
+    let kind = bytes[0];
+    if kind > EV_FINISH {
+        return Err(malformed(format!("unknown event kind {kind}")));
+    }
+    let chan = get_u32(bytes, 1);
+    let reader = get_endpoint(bytes, 5).map_err(&malformed)?;
+    let writer = get_endpoint(bytes, 14).map_err(&malformed)?;
+    let via = match bytes[23] {
+        0 => None,
+        1 => Some(get_u32(bytes, 24)),
+        f => return Err(malformed(format!("bad via flag {f}"))),
+    };
+    Ok(DlEvent {
+        kind,
+        chan,
+        reader,
+        writer,
+        via,
+    })
+}
+
+/// A wait-for edge: `reader` (the map key) is blocked on `chan`, waiting
+/// for `writer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WaitEdge {
+    chan: u32,
+    writer: DlEndpoint,
+    via: Option<u32>,
+}
+
+/// The detector's wait-for graph over [`DlEndpoint`]s.
+///
+/// Feed it decoded events with [`on_event`]; a returned cycle is a
+/// *suspect* that the caller must confirm after a grace period with
+/// [`cycle_still_present`] (a satisfying write may still be in flight).
+///
+/// [`on_event`]: WaitGraph::on_event
+/// [`cycle_still_present`]: WaitGraph::cycle_still_present
+#[derive(Debug, Default)]
+pub struct WaitGraph {
     /// Writes reported but not yet paired with a read, per channel.
-    writes_avail: HashMap<usize, usize>,
-    /// Reader rank currently blocked per channel.
-    waiting: HashMap<usize, usize>,
-    /// reader rank -> (channel, writer rank) wait-for edge.
-    edges: HashMap<usize, (usize, usize)>,
+    writes_avail: HashMap<u32, usize>,
+    /// Reader endpoint currently blocked per channel.
+    waiting: HashMap<u32, DlEndpoint>,
+    /// reader -> wait-for edge.
+    edges: HashMap<DlEndpoint, WaitEdge>,
     finished: usize,
 }
 
-impl Detector {
-    fn on_event(&mut self, src: usize, kind: u8, id: u32) -> Option<Vec<usize>> {
-        match kind {
+impl WaitGraph {
+    /// A fresh, empty graph.
+    pub fn new() -> WaitGraph {
+        WaitGraph::default()
+    }
+
+    /// Number of [`EV_FINISH`] events absorbed so far.
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    /// True if no reader is currently blocked.
+    pub fn idle(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Absorb one event; returns a suspected cycle (in wait-for order,
+    /// first endpoint repeated at the end) if this event closed one.
+    pub fn on_event(&mut self, ev: &DlEvent) -> Option<Vec<DlEndpoint>> {
+        match ev.kind {
             EV_WRITE => {
-                let chan = id as usize;
-                if let Some(reader) = self.waiting.remove(&chan) {
+                if let Some(reader) = self.waiting.remove(&ev.chan) {
                     self.edges.remove(&reader);
                 } else {
-                    *self.writes_avail.entry(chan).or_insert(0) += 1;
+                    *self.writes_avail.entry(ev.chan).or_insert(0) += 1;
                 }
                 None
             }
             EV_READWAIT => {
-                let chan = id as usize;
-                let avail = self.writes_avail.entry(chan).or_insert(0);
+                let avail = self.writes_avail.entry(ev.chan).or_insert(0);
                 if *avail > 0 {
                     *avail -= 1;
                     return None;
                 }
-                let writer_proc = self.tables.channels[chan].from;
-                let writer_rank = self.tables.processes[writer_proc.0].rank;
-                self.waiting.insert(chan, src);
-                self.edges.insert(src, (chan, writer_rank));
-                self.find_cycle(src)
+                self.waiting.insert(ev.chan, ev.reader);
+                self.edges.insert(
+                    ev.reader,
+                    WaitEdge {
+                        chan: ev.chan,
+                        writer: ev.writer,
+                        via: ev.via,
+                    },
+                );
+                self.find_cycle(ev.reader)
             }
             EV_FINISH => {
                 self.finished += 1;
                 None
             }
-            other => panic!("unknown service event kind {other}"),
+            other => panic!("unknown service event kind {other} (decode_event missed it)"),
         }
     }
 
-    /// Follow wait-for edges from `start`; return the rank cycle if we
+    /// Follow wait-for edges from `start`; return the endpoint cycle if we
     /// come back around.
-    fn find_cycle(&self, start: usize) -> Option<Vec<usize>> {
+    fn find_cycle(&self, start: DlEndpoint) -> Option<Vec<DlEndpoint>> {
         let mut path = vec![start];
         let mut cur = start;
-        while let Some(&(_chan, next)) = self.edges.get(&cur) {
+        while let Some(edge) = self.edges.get(&cur) {
+            let next = edge.writer;
             if next == start {
                 path.push(start);
                 return Some(path);
@@ -113,28 +285,52 @@ impl Detector {
         None
     }
 
-    fn cycle_still_present(&self, cycle: &[usize]) -> bool {
+    /// Re-check a suspected cycle after draining newly arrived events.
+    pub fn cycle_still_present(&self, cycle: &[DlEndpoint]) -> bool {
         cycle
             .windows(2)
-            .all(|w| matches!(self.edges.get(&w[0]), Some(&(_, n)) if n == w[1]))
+            .all(|w| matches!(self.edges.get(&w[0]), Some(e) if e.writer == w[1]))
+    }
+
+    /// Render a confirmed cycle as diagnostic strings, naming each endpoint
+    /// via `name` and inserting the `copilot(n)` relay hops recorded on the
+    /// edges — e.g. `spe(1,3) -> copilot(1) -> rank 0 -> spe(1,3)`.
+    pub fn render_cycle<F>(&self, cycle: &[DlEndpoint], name: F) -> Vec<String>
+    where
+        F: Fn(&DlEndpoint) -> String,
+    {
+        let mut out = Vec::new();
+        for w in cycle.windows(2) {
+            out.push(name(&w[0]));
+            if let Some(edge) = self.edges.get(&w[0]) {
+                if let Some(via) = edge.via {
+                    out.push(format!("copilot({via})"));
+                }
+            }
+        }
+        if let Some(last) = cycle.last() {
+            out.push(name(last));
+        }
+        out
     }
 }
 
 /// The service process body.
 pub(crate) fn detector_main(comm: Comm, tables: Arc<Tables>) {
     let app_count = tables.processes.len();
-    let mut det = Detector {
-        tables: tables.clone(),
-        writes_avail: HashMap::new(),
-        waiting: HashMap::new(),
-        edges: HashMap::new(),
-        finished: 0,
+    let mut graph = WaitGraph::new();
+    let name = |ep: &DlEndpoint| match ep {
+        DlEndpoint::Rank(r) => tables.name_of_rank(*r),
+        other => other.to_string(),
     };
     loop {
         let msg = comm.recv(None, Some(TAG_SVC));
-        let (kind, id) = decode_event(&msg.data);
-        let suspect = det.on_event(msg.src, kind, id);
-        if det.finished == app_count {
+        let ev = match decode_event(&msg.data) {
+            Ok(ev) => ev,
+            Err(e) => comm.ctx().abort(&e.to_string()),
+        };
+        let suspect = graph.on_event(&ev);
+        if graph.finished() == app_count {
             return;
         }
         if let Some(cycle) = suspect {
@@ -142,13 +338,16 @@ pub(crate) fn detector_main(comm: Comm, tables: Arc<Tables>) {
             // period to arrive before declaring.
             let mut waited = 0u64;
             let confirmed = loop {
-                while let Some((src, _tag, _dt, count)) = comm.iprobe(None, Some(TAG_SVC)) {
-                    let _ = count;
+                while let Some((src, _tag, _dt, _count)) = comm.iprobe(None, Some(TAG_SVC)) {
                     let m = comm.recv(Some(src), Some(TAG_SVC));
-                    let (k, i) = decode_event(&m.data);
-                    let _ = det.on_event(m.src, k, i);
+                    match decode_event(&m.data) {
+                        Ok(ev) => {
+                            let _ = graph.on_event(&ev);
+                        }
+                        Err(e) => comm.ctx().abort(&e.to_string()),
+                    }
                 }
-                if !det.cycle_still_present(&cycle) {
+                if !graph.cycle_still_present(&cycle) {
                     break false;
                 }
                 if waited >= GRACE_US {
@@ -158,7 +357,7 @@ pub(crate) fn detector_main(comm: Comm, tables: Arc<Tables>) {
                 waited += POLL_US;
             };
             if confirmed {
-                let names: Vec<String> = cycle.iter().map(|&r| tables.name_of_rank(r)).collect();
+                let names = graph.render_cycle(&cycle, name);
                 let err = PilotError::CircularWait { cycle: names };
                 comm.ctx().abort(&err.to_string());
             }
@@ -169,76 +368,115 @@ pub(crate) fn detector_main(comm: Comm, tables: Arc<Tables>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::{ChannelEntry, PiProcess, ProcessEntry};
 
-    fn tables_two_procs_two_chans() -> Arc<Tables> {
-        let mut t = Tables::default();
-        t.processes.push(ProcessEntry {
-            name: "main".into(),
-            rank: 0,
-            index: 0,
-        });
-        t.processes.push(ProcessEntry {
-            name: "worker".into(),
-            rank: 1,
-            index: 0,
-        });
-        // chan 0: main -> worker; chan 1: worker -> main.
-        t.channels.push(ChannelEntry {
-            from: PiProcess(0),
-            to: PiProcess(1),
-            bundle: None,
-        });
-        t.channels.push(ChannelEntry {
-            from: PiProcess(1),
-            to: PiProcess(0),
-            bundle: None,
-        });
-        Arc::new(t)
-    }
+    const R0: DlEndpoint = DlEndpoint::Rank(0);
+    const R1: DlEndpoint = DlEndpoint::Rank(1);
 
-    fn det() -> Detector {
-        Detector {
-            tables: tables_two_procs_two_chans(),
-            writes_avail: HashMap::new(),
-            waiting: HashMap::new(),
-            edges: HashMap::new(),
-            finished: 0,
+    fn ev(kind: u8, chan: u32, reader: DlEndpoint, writer: DlEndpoint) -> DlEvent {
+        DlEvent {
+            kind,
+            chan,
+            reader,
+            writer,
+            via: None,
         }
     }
 
     #[test]
     fn write_then_read_never_blocks() {
-        let mut d = det();
-        assert!(d.on_event(0, EV_WRITE, 0).is_none());
-        assert!(d.on_event(1, EV_READWAIT, 0).is_none());
-        assert!(d.edges.is_empty());
+        let mut g = WaitGraph::new();
+        assert!(g.on_event(&ev(EV_WRITE, 0, R1, R0)).is_none());
+        assert!(g.on_event(&ev(EV_READWAIT, 0, R1, R0)).is_none());
+        assert!(g.idle());
     }
 
     #[test]
     fn read_before_write_makes_edge_then_clears() {
-        let mut d = det();
-        assert!(d.on_event(1, EV_READWAIT, 0).is_none()); // worker waits on main
-        assert_eq!(d.edges.get(&1), Some(&(0, 0)));
-        assert!(d.on_event(0, EV_WRITE, 0).is_none());
-        assert!(d.edges.is_empty());
+        let mut g = WaitGraph::new();
+        assert!(g.on_event(&ev(EV_READWAIT, 0, R1, R0)).is_none()); // worker waits on main
+        assert!(!g.idle());
+        assert!(g.on_event(&ev(EV_WRITE, 0, R1, R0)).is_none());
+        assert!(g.idle());
     }
 
     #[test]
     fn mutual_reads_form_cycle() {
-        let mut d = det();
-        assert!(d.on_event(1, EV_READWAIT, 0).is_none()); // worker waits on main (chan0)
-        let cycle = d.on_event(0, EV_READWAIT, 1); // main waits on worker (chan1)
-        assert_eq!(cycle, Some(vec![0, 1, 0]));
-        assert!(d.cycle_still_present(&[0, 1, 0]));
+        let mut g = WaitGraph::new();
+        // chan 0: rank0 -> rank1; chan 1: rank1 -> rank0.
+        assert!(g.on_event(&ev(EV_READWAIT, 0, R1, R0)).is_none());
+        let cycle = g.on_event(&ev(EV_READWAIT, 1, R0, R1));
+        assert_eq!(cycle, Some(vec![R0, R1, R0]));
+        assert!(g.cycle_still_present(&[R0, R1, R0]));
         // A satisfying write breaks it.
-        let _ = d.on_event(1, EV_WRITE, 1);
-        assert!(!d.cycle_still_present(&[0, 1, 0]));
+        let _ = g.on_event(&ev(EV_WRITE, 1, R0, R1));
+        assert!(!g.cycle_still_present(&[R0, R1, R0]));
+    }
+
+    #[test]
+    fn spe_cycle_renders_copilot_hops() {
+        let mut g = WaitGraph::new();
+        let spe = DlEndpoint::Spe { node: 1, slot: 3 };
+        // chan 0: rank0 -> spe(1,3), reported via copilot(1);
+        // chan 1: spe(1,3) -> rank0.
+        let mut rw = ev(EV_READWAIT, 0, spe, R0);
+        rw.via = Some(1);
+        assert!(g.on_event(&rw).is_none());
+        let cycle = g.on_event(&ev(EV_READWAIT, 1, R0, spe)).expect("cycle");
+        assert_eq!(cycle, vec![R0, spe, R0]);
+        let names = g.render_cycle(&cycle, |e| e.to_string());
+        assert_eq!(names, vec!["rank 0", "spe(1,3)", "copilot(1)", "rank 0"]);
     }
 
     #[test]
     fn event_encoding_roundtrip() {
-        let e = encode_event(EV_READWAIT, 0xDEAD);
-        assert_eq!(decode_event(&e), (EV_READWAIT, 0xDEAD));
+        for ep in [DlEndpoint::Rank(7), DlEndpoint::Spe { node: 2, slot: 5 }] {
+            for via in [None, Some(3u32)] {
+                let mut e = ev(EV_READWAIT, 0xDEAD, ep, DlEndpoint::Rank(1));
+                e.via = via;
+                let bytes = encode_event(&e);
+                assert_eq!(bytes.len(), EVENT_LEN);
+                assert_eq!(decode_event(&bytes), Ok(e));
+            }
+        }
+        let fin = DlEvent::finish();
+        assert_eq!(decode_event(&encode_event(&fin)), Ok(fin));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_bytes() {
+        // The old implementation panicked here; now every malformed shape
+        // is a typed error.
+        for len in 0..EVENT_LEN {
+            let bytes = vec![0u8; len];
+            match decode_event(&bytes) {
+                Err(PilotError::MalformedEvent { len: l, .. }) => assert_eq!(l, len),
+                other => panic!("len {len}: expected MalformedEvent, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_fields() {
+        let good = encode_event(&ev(EV_WRITE, 1, R0, R1));
+        for (at, bad, what) in [
+            (0usize, 9u8, "kind"),
+            (5, 7, "reader tag"),
+            (14, 7, "writer tag"),
+            (23, 2, "via flag"),
+        ] {
+            let mut b = good.clone();
+            b[at] = bad;
+            assert!(
+                matches!(decode_event(&b), Err(PilotError::MalformedEvent { .. })),
+                "corrupting {what} must fail"
+            );
+        }
+        // Oversized payloads are rejected too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_event(&long),
+            Err(PilotError::MalformedEvent { .. })
+        ));
     }
 }

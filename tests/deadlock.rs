@@ -1,0 +1,189 @@
+//! End-to-end deadlock detection across channel types 2–5.
+//!
+//! Each test constructs a genuine circular wait on one channel type and
+//! asserts the deadlock service aborts the run with a diagnostic naming
+//! every endpoint in the cycle (type-1 rank↔rank cycles are covered by the
+//! Pilot layer's own tests and the `pilot_deadlock` example). A final test
+//! checks the no-false-positive property: a slow writer that satisfies a
+//! pending read within the grace period must not trip the detector.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, ChannelKind, CpChannel, SpeProgram, CP_MAIN};
+use cp_des::{SimDuration, SimError};
+use cp_simnet::{ClusterSpec, NodeId};
+
+/// Run `build`'s scenario expecting a detector abort; return the message.
+fn expect_deadlock_abort(run: impl FnOnce() -> Result<(), SimError>) -> String {
+    match run() {
+        Err(SimError::Aborted { message, .. }) => {
+            assert!(
+                message.contains("DEADLOCK: circular wait detected"),
+                "abort was not the detector diagnostic: {message}"
+            );
+            message
+        }
+        Err(other) => panic!("expected detector abort, got {other}"),
+        Ok(()) => panic!("circular wait completed successfully?!"),
+    }
+}
+
+/// Type 2: rank 0 and an SPE on the same Cell node read from each other.
+#[test]
+fn type2_rank_spe_same_node_cycle_aborts() {
+    let message = expect_deadlock_abort(|| {
+        let opts = CellPilotOpts::new().with_deadlock_service();
+        let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        let prog = SpeProgram::new("stuck", 2048, |spe, _, _| {
+            // Read before writing: the classic ordering bug.
+            let _ = spe.read_vec::<i32>(CpChannel(0));
+            spe.write_slice(CpChannel(1), &[1i32]).unwrap();
+        });
+        let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+        let to_spe = cfg.create_channel(CP_MAIN, spe).unwrap();
+        let to_main = cfg.create_channel(spe, CP_MAIN).unwrap();
+        assert_eq!(cfg.channel_kind(to_spe).unwrap(), ChannelKind::Type2);
+        cfg.run(move |cp| {
+            let t = cp.run_spe(spe, 0, 0).unwrap();
+            // Mirror-image ordering bug on the rank side.
+            let _ = cp.read_vec::<i32>(to_main);
+            cp.write_slice(to_spe, &[1i32]).unwrap();
+            cp.wait_spe(t);
+        })
+        .map(|_| ())
+    });
+    for endpoint in ["rank 0", "spe(0,0)", "copilot(0)"] {
+        assert!(
+            message.contains(endpoint),
+            "missing '{endpoint}': {message}"
+        );
+    }
+}
+
+/// Type 3: a rank on the Xeon node and an SPE on a Cell node.
+#[test]
+fn type3_rank_remote_spe_cycle_aborts() {
+    let message = expect_deadlock_abort(|| {
+        let opts = CellPilotOpts::new().with_deadlock_service();
+        // main on Cell node 0 (it must parent the SPE), worker rank on the
+        // non-Cell Xeon node 2.
+        let mut cfg = CellPilotConfig::new(
+            ClusterSpec::two_cells_one_xeon(),
+            vec![NodeId(0), NodeId(2)],
+            opts,
+        );
+        let prog = SpeProgram::new("stuck", 2048, |spe, _, _| {
+            let _ = spe.read_vec::<i32>(CpChannel(0));
+            spe.write_slice(CpChannel(1), &[1i32]).unwrap();
+        });
+        let worker = cfg
+            .create_process("worker", 0, move |cp, _| {
+                let _ = cp.read_vec::<i32>(CpChannel(1));
+                cp.write_slice(CpChannel(0), &[1i32]).unwrap();
+            })
+            .unwrap();
+        let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+        let to_spe = cfg.create_channel(worker, spe).unwrap();
+        let _to_worker = cfg.create_channel(spe, worker).unwrap();
+        assert_eq!(cfg.channel_kind(to_spe).unwrap(), ChannelKind::Type3);
+        cfg.run(move |cp| {
+            let t = cp.run_spe(spe, 0, 0).unwrap();
+            cp.wait_spe(t);
+        })
+        .map(|_| ())
+    });
+    for endpoint in ["rank 1", "spe(0,0)", "copilot(0)"] {
+        assert!(
+            message.contains(endpoint),
+            "missing '{endpoint}': {message}"
+        );
+    }
+}
+
+/// Type 4: two SPEs on the same Cell node.
+#[test]
+fn type4_spe_spe_same_node_cycle_aborts() {
+    let message = expect_deadlock_abort(|| {
+        let opts = CellPilotOpts::new().with_deadlock_service();
+        let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        let a = SpeProgram::new("a", 2048, |spe, _, _| {
+            let _ = spe.read_vec::<i32>(CpChannel(1));
+            spe.write_slice(CpChannel(0), &[1i32]).unwrap();
+        });
+        let b = SpeProgram::new("b", 2048, |spe, _, _| {
+            let _ = spe.read_vec::<i32>(CpChannel(0));
+            spe.write_slice(CpChannel(1), &[1i32]).unwrap();
+        });
+        let pa = cfg.create_spe_process(&a, CP_MAIN, 0).unwrap();
+        let pb = cfg.create_spe_process(&b, CP_MAIN, 0).unwrap();
+        let ab = cfg.create_channel(pa, pb).unwrap();
+        let _ba = cfg.create_channel(pb, pa).unwrap();
+        assert_eq!(cfg.channel_kind(ab).unwrap(), ChannelKind::Type4);
+        cfg.run(move |cp| cp.run_and_wait_my_spes()).map(|_| ())
+    });
+    for endpoint in ["spe(0,0)", "spe(0,1)", "copilot(0)"] {
+        assert!(
+            message.contains(endpoint),
+            "missing '{endpoint}': {message}"
+        );
+    }
+}
+
+/// Type 5 (the acceptance criterion): SPEs on two different Cell nodes,
+/// each wait relayed by its own Co-Pilot — the diagnostic must name every
+/// endpoint of the cross-cluster cycle.
+#[test]
+fn type5_remote_spe_cycle_aborts_naming_full_chain() {
+    let message = expect_deadlock_abort(|| {
+        let opts = CellPilotOpts::new().with_deadlock_service();
+        let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        let x = SpeProgram::new("x", 2048, |spe, _, _| {
+            let _ = spe.read_vec::<i32>(CpChannel(1));
+            spe.write_slice(CpChannel(0), &[1i32]).unwrap();
+        });
+        let y = SpeProgram::new("y", 2048, |spe, _, _| {
+            let _ = spe.read_vec::<i32>(CpChannel(0));
+            spe.write_slice(CpChannel(1), &[1i32]).unwrap();
+        });
+        let parent = cfg
+            .create_process("parent", 0, |cp, _| cp.run_and_wait_my_spes())
+            .unwrap();
+        let px = cfg.create_spe_process(&x, CP_MAIN, 0).unwrap();
+        let py = cfg.create_spe_process(&y, parent, 0).unwrap();
+        let xy = cfg.create_channel(px, py).unwrap();
+        let _yx = cfg.create_channel(py, px).unwrap();
+        assert_eq!(cfg.channel_kind(xy).unwrap(), ChannelKind::Type5);
+        cfg.run(move |cp| cp.run_and_wait_my_spes()).map(|_| ())
+    });
+    for endpoint in ["spe(0,0)", "spe(1,0)", "copilot(0)", "copilot(1)"] {
+        assert!(
+            message.contains(endpoint),
+            "missing '{endpoint}': {message}"
+        );
+    }
+}
+
+/// No false positive: a reader blocks, but its writer is merely slow and
+/// delivers well within the detector's grace period. The run must complete.
+#[test]
+fn slow_writer_within_grace_is_not_a_deadlock() {
+    let opts = CellPilotOpts::new().with_deadlock_service();
+    let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+    let prog = SpeProgram::new("slowpoke", 2048, |spe, _, _| {
+        // Let the rank-side read park first, then satisfy it late — but
+        // inside the grace window.
+        spe.ctx().advance(SimDuration::from_micros(1_500));
+        spe.write_slice(CpChannel(0), &[7i32]).unwrap();
+        let v = spe.read_vec::<i32>(CpChannel(1)).unwrap();
+        assert_eq!(v, vec![8]);
+    });
+    let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+    let to_main = cfg.create_channel(spe, CP_MAIN).unwrap();
+    let to_spe = cfg.create_channel(CP_MAIN, spe).unwrap();
+    cfg.run(move |cp| {
+        let t = cp.run_spe(spe, 0, 0).unwrap();
+        let v = cp.read_vec::<i32>(to_main).unwrap();
+        assert_eq!(v, vec![7]);
+        cp.write_slice(to_spe, &[8i32]).unwrap();
+        cp.wait_spe(t);
+    })
+    .expect("slow writer is not a deadlock");
+}
