@@ -1,0 +1,450 @@
+//! Seeded chaos campaigns: reproducible randomized fault injection with
+//! invariant checking.
+//!
+//! A campaign draws a [`FaultPlan`] from a deterministic PRNG (splitmix64,
+//! so a seed is a complete bug report) restricted to **recoverable** faults
+//! — message drops within the sender's retry budget, link delays,
+//! duplicate deliveries (absorbed by the exactly-once wire contract), SPE
+//! crashes within the supervision budget, bounded Co-Pilot stalls, and at
+//! most one Co-Pilot kill per node (covered by the standby failover) — and
+//! runs a fixed workload exercising all five channel types of the paper's
+//! Table I under it. Three invariants must hold for every seed:
+//!
+//! 1. **Completion** — the run finishes; no deadlock, no abort.
+//! 2. **Byte-identity** — the application output (every rank-side read, in
+//!    order) equals the fault-free golden run's: recovery is seamless, the
+//!    application cannot tell it happened.
+//! 3. **Accounted incidents** — every incident category in the
+//!    [`cp_des::SimReport`] traces back to a fault the plan scheduled;
+//!    nothing degrades (no `PeerLost`, no abandonment) and nothing fires
+//!    that was not injected.
+//!
+//! The `repro_chaos` binary sweeps seeds; [`chaos`] runs one.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cellpilot::{
+    CellPilotConfig, CellPilotOpts, ChannelKind, CpChannel, SpeProgram, SupervisionPolicy, CP_MAIN,
+};
+use cp_des::{IncidentCategory, SimDuration, SimTime};
+use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
+
+/// Per-SPE-process crash budget a campaign may spend — the supervision
+/// policy grants one more restart than this, so a chaos run can never
+/// exhaust it into abandonment.
+const CRASH_BUDGET: u32 = 2;
+
+/// Maximum messages a generated drop fault may eat on one ordered link,
+/// kept below the retry budget so every payload still gets through.
+const DROP_BUDGET: u32 = 2;
+
+/// The application-visible output of the chaos workload: the messages
+/// collected by `main` and by the `xeon` rank, in read order.
+pub type ChaosOutcome = (Vec<Vec<i32>>, Vec<Vec<i32>>);
+
+/// Why a chaos run failed its invariants.
+#[derive(Debug, Clone)]
+pub enum ChaosFailure {
+    /// The run aborted or deadlocked instead of completing.
+    Sunk {
+        /// The generating seed.
+        seed: u64,
+        /// The simulator's error rendering.
+        error: String,
+    },
+    /// The run completed but its output differs from the golden run.
+    OutputDivergence {
+        /// The generating seed.
+        seed: u64,
+        /// Debug rendering of golden vs observed.
+        detail: String,
+    },
+    /// An incident fired whose category no planned fault explains.
+    UnplannedIncident {
+        /// The generating seed.
+        seed: u64,
+        /// The offending category.
+        category: IncidentCategory,
+        /// The incident's own description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFailure::Sunk { seed, error } => {
+                write!(f, "seed {seed}: run sank: {error}")
+            }
+            ChaosFailure::OutputDivergence { seed, detail } => {
+                write!(f, "seed {seed}: output diverged from golden run: {detail}")
+            }
+            ChaosFailure::UnplannedIncident {
+                seed,
+                category,
+                detail,
+            } => {
+                write!(f, "seed {seed}: unplanned '{category}' incident: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosFailure {}
+
+/// What one passing chaos run did, for campaign logs.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The generating seed.
+    pub seed: u64,
+    /// Faults the plan scheduled: `(drops, delays, duplicates, spe
+    /// crashes, copilot stalls, copilot kills)`.
+    pub planned: (u32, u32, u32, u32, u32, u32),
+    /// Incidents the run reported (category, count), in category order.
+    pub incidents: Vec<(IncidentCategory, usize)>,
+    /// Virtual completion time (the golden run took
+    /// [`golden_end_time`]).
+    pub end_time: SimTime,
+}
+
+/// splitmix64: the canonical 64-bit mixing PRNG — tiny, dependency-free,
+/// and deterministic across platforms, which is all a seeded campaign
+/// needs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `[0, n)`; modulo bias is irrelevant here.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The fixed chaos workload: three nodes (two Cells, one Xeon), three
+/// ranks, three SPE processes, and one channel of every Table-I type
+/// carrying three messages each. Data flows
+/// `xeon → s1a → s0b → s0a → main` with `main → s0a` and `main → xeon`
+/// feeding the ends, so every payload crosses several channel types before
+/// it is collected.
+fn run_workload(opts: CellPilotOpts) -> Result<(ChaosOutcome, SimTime, cp_des::SimReport), String> {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+
+    let main_out: Arc<Mutex<Vec<Vec<i32>>>> = Arc::new(Mutex::new(Vec::new()));
+    let xeon_out: Arc<Mutex<Vec<Vec<i32>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let s0a_prog = SpeProgram::new("s0a", 2048, |spe, _, _| {
+        for _ in 0..3 {
+            let a = spe.read_vec::<i32>(CpChannel(1)).unwrap();
+            let b = spe.read_vec::<i32>(CpChannel(4)).unwrap();
+            let mut reply = a;
+            reply.extend(b);
+            spe.write_slice(CpChannel(2), &reply).unwrap();
+        }
+    });
+    let s0b_prog = SpeProgram::new("s0b", 2048, |spe, _, _| {
+        for r in 0..3i32 {
+            let v = spe.read_vec::<i32>(CpChannel(5)).unwrap();
+            let sum: i32 = v.iter().sum();
+            spe.write_slice(CpChannel(4), &[sum, r]).unwrap();
+        }
+    });
+    let s1a_prog = SpeProgram::new("s1a", 2048, |spe, _, _| {
+        for r in 0..3i32 {
+            let v = spe.read_vec::<i32>(CpChannel(3)).unwrap();
+            spe.write_slice(CpChannel(5), &[v[0] + v[1], r]).unwrap();
+        }
+    });
+
+    let xeon_sink = xeon_out.clone();
+    let ppe1 = cfg
+        .create_process("ppe1", 0, |cp, _| cp.run_and_wait_my_spes())
+        .unwrap();
+    let xeon = cfg
+        .create_process("xeon", 0, move |cp, _| {
+            for _ in 0..3 {
+                let v = cp.read_vec::<i32>(CpChannel(0)).unwrap();
+                xeon_sink.lock().unwrap().push(v);
+            }
+            for i in 0..3i32 {
+                cp.write_slice(CpChannel(3), &[i * 3, 1000 + i]).unwrap();
+            }
+        })
+        .unwrap();
+    let s0a = cfg.create_spe_process(&s0a_prog, CP_MAIN, 0).unwrap();
+    let s0b = cfg.create_spe_process(&s0b_prog, CP_MAIN, 1).unwrap();
+    let s1a = cfg.create_spe_process(&s1a_prog, ppe1, 0).unwrap();
+    assert_eq!(
+        (s0a.0, s0b.0, s1a.0),
+        (3, 4, 5),
+        "chaos plans target these process ids"
+    );
+
+    let t1 = cfg.create_channel(CP_MAIN, xeon).unwrap();
+    let t2 = cfg.create_channel(CP_MAIN, s0a).unwrap();
+    let t2b = cfg.create_channel(s0a, CP_MAIN).unwrap();
+    let t3 = cfg.create_channel(xeon, s1a).unwrap();
+    let t4 = cfg.create_channel(s0b, s0a).unwrap();
+    let t5 = cfg.create_channel(s1a, s0b).unwrap();
+    for (c, kind) in [
+        (t1, ChannelKind::Type1),
+        (t2, ChannelKind::Type2),
+        (t2b, ChannelKind::Type2),
+        (t3, ChannelKind::Type3),
+        (t4, ChannelKind::Type4),
+        (t5, ChannelKind::Type5),
+    ] {
+        assert_eq!(cfg.channel_kind(c), Some(kind), "workload covers Table I");
+    }
+
+    let main_sink = main_out.clone();
+    let report = cfg
+        .run(move |cp| {
+            let _tasks = cp.run_my_spes();
+            for i in 0..3i32 {
+                cp.write_slice(t1, &[i * 7, i]).unwrap();
+                cp.write_slice(t2, &[i, i + 10]).unwrap();
+            }
+            for _ in 0..3 {
+                let v = cp.read_vec::<i32>(t2b).unwrap();
+                main_sink.lock().unwrap().push(v);
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    let out = (
+        std::mem::take(&mut *main_out.lock().unwrap()),
+        std::mem::take(&mut *xeon_out.lock().unwrap()),
+    );
+    Ok((out, report.end_time, report))
+}
+
+/// The golden (fault-free) outcome and end time, computed once per
+/// process; every chaos run is compared against it.
+fn golden() -> &'static (ChaosOutcome, SimTime) {
+    static GOLDEN: OnceLock<(ChaosOutcome, SimTime)> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let (out, end, report) =
+            run_workload(base_opts()).expect("the fault-free workload completes");
+        assert!(
+            report.incidents.is_empty(),
+            "golden run must be incident-free: {:?}",
+            report.incidents
+        );
+        (out, end)
+    })
+}
+
+/// Virtual end time of the fault-free workload — the horizon chaos fault
+/// times are drawn from.
+pub fn golden_end_time() -> SimTime {
+    golden().1
+}
+
+fn base_opts() -> CellPilotOpts {
+    CellPilotOpts::new().with_supervision(SupervisionPolicy {
+        max_restarts: CRASH_BUDGET + 1,
+        restart_delay: SimDuration::from_micros(50),
+    })
+}
+
+/// Draw a recoverable-only [`FaultPlan`] for `seed` with roughly
+/// `intensity` fault entries, bounded so every fault is one the runtime is
+/// expected to absorb. Returns the plan and the per-kind counts
+/// `(drops, delays, duplicates, crashes, stalls, kills)`.
+pub fn chaos_plan(seed: u64, intensity: u32) -> (FaultPlan, (u32, u32, u32, u32, u32, u32)) {
+    let mut rng = SplitMix64(seed ^ 0x00C4_A05C_4A05_u64);
+    let horizon = golden_end_time().as_nanos().max(1);
+    let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+    let spe_procs = [3usize, 4, 5];
+    let cell_nodes = [NodeId(0), NodeId(1)];
+
+    let mut plan = FaultPlan::new();
+    let mut counts = (0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+    // Budgets that keep every draw recoverable.
+    let mut dropped_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut crashes_per_proc = [0u32; 6];
+    let mut stalled: Vec<NodeId> = Vec::new();
+    let mut killed: Vec<NodeId> = Vec::new();
+
+    for _ in 0..intensity {
+        let at = SimTime(rng.below(horizon));
+        let until = SimTime(at.as_nanos().saturating_add(rng.below(horizon)).max(1));
+        match rng.below(6) {
+            // Drop: at most one drop window per ordered link, eating fewer
+            // messages than the sender retries.
+            0 => {
+                let from = nodes[rng.below(3) as usize];
+                let to = nodes[rng.below(3) as usize];
+                if from != to && !dropped_pairs.contains(&(from, to)) {
+                    dropped_pairs.push((from, to));
+                    let n = 1 + rng.below(u64::from(DROP_BUDGET)) as u32;
+                    plan = plan.drop_link(from, to, at, until, n);
+                    counts.0 += 1;
+                }
+            }
+            // Delay: pure latency, always recoverable. Open-ended window:
+            // a delay that switches off mid-stream would let a later
+            // message overtake a delayed earlier one on the same link,
+            // violating the non-overtaking order MPI guarantees (and the
+            // channel abstraction relies on). With no trailing edge every
+            // subsequent message is delayed at least as much, so per-link
+            // FIFO order is preserved.
+            1 => {
+                let from = nodes[rng.below(3) as usize];
+                let to = nodes[rng.below(3) as usize];
+                if from != to {
+                    let extra = SimDuration::from_micros(10 + rng.below(490));
+                    plan = plan.delay_link(from, to, at, SimTime(u64::MAX), extra);
+                    counts.1 += 1;
+                }
+            }
+            // Duplicate: absorbed by the wire-level dedup.
+            2 => {
+                let from = nodes[rng.below(3) as usize];
+                let to = nodes[rng.below(3) as usize];
+                if from != to {
+                    let n = 1 + rng.below(3) as u32;
+                    plan = plan.duplicate_link(from, to, at, until, n);
+                    counts.2 += 1;
+                }
+            }
+            // SPE crash: within the supervision budget.
+            3 => {
+                let p = spe_procs[rng.below(3) as usize];
+                if crashes_per_proc[p] < CRASH_BUDGET {
+                    crashes_per_proc[p] += 1;
+                    plan = plan.crash_spe(p, at);
+                    counts.3 += 1;
+                }
+            }
+            // Co-Pilot stall: one bounded freeze per Cell node.
+            4 => {
+                let node = cell_nodes[rng.below(2) as usize];
+                if !stalled.contains(&node) {
+                    stalled.push(node);
+                    let d = SimDuration::from_micros(50 + rng.below(450));
+                    plan = plan.stall_copilot(node, at, d);
+                    counts.4 += 1;
+                }
+            }
+            // Co-Pilot kill: one per Cell node; the runtime provisions a
+            // standby whenever the plan schedules one.
+            _ => {
+                let node = cell_nodes[rng.below(2) as usize];
+                if !killed.contains(&node) {
+                    killed.push(node);
+                    plan = plan.kill_copilot(node, at);
+                    counts.5 += 1;
+                }
+            }
+        }
+    }
+    (plan, counts)
+}
+
+/// Incident categories a plan with the given per-kind counts is allowed to
+/// produce. Anything else failing to appear is fine (a crash scheduled
+/// after an SPE's last op never fires); anything *extra* appearing is an
+/// invariant violation.
+fn allowed_categories(counts: (u32, u32, u32, u32, u32, u32)) -> Vec<IncidentCategory> {
+    let mut ok = Vec::new();
+    if counts.3 > 0 {
+        ok.push(IncidentCategory::SpeCrash);
+        ok.push(IncidentCategory::SpeRestart);
+    }
+    if counts.4 > 0 {
+        ok.push(IncidentCategory::CopilotStall);
+    }
+    if counts.5 > 0 {
+        ok.push(IncidentCategory::CopilotDeath);
+        ok.push(IncidentCategory::CopilotFailover);
+    }
+    ok
+}
+
+/// Run one seeded chaos campaign at the given intensity (roughly the
+/// number of fault entries drawn; see [`chaos_plan`]) and check the three
+/// invariants. Deterministic: the same `(seed, intensity)` replays the
+/// same faults against the same workload, timestamp for timestamp.
+pub fn chaos(seed: u64, intensity: u32) -> Result<ChaosReport, ChaosFailure> {
+    let (golden_out, _) = golden().clone();
+    let (plan, counts) = chaos_plan(seed, intensity);
+    let opts = base_opts()
+        .with_faults(Arc::new(plan))
+        .with_retry(RetryPolicy::default());
+    let (out, end_time, report) =
+        run_workload(opts).map_err(|error| ChaosFailure::Sunk { seed, error })?;
+    if out != golden_out {
+        return Err(ChaosFailure::OutputDivergence {
+            seed,
+            detail: format!("golden {golden_out:?} vs {out:?}"),
+        });
+    }
+    let allowed = allowed_categories(counts);
+    let mut tally: Vec<(IncidentCategory, usize)> = Vec::new();
+    for inc in &report.incidents {
+        if !allowed.contains(&inc.category) {
+            return Err(ChaosFailure::UnplannedIncident {
+                seed,
+                category: inc.category,
+                detail: inc.detail.clone(),
+            });
+        }
+        match tally.iter_mut().find(|(c, _)| *c == inc.category) {
+            Some((_, n)) => *n += 1,
+            None => tally.push((inc.category, 1)),
+        }
+    }
+    Ok(ChaosReport {
+        seed,
+        planned: counts,
+        incidents: tally,
+        end_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let (a, ca) = chaos_plan(42, 8);
+        let (b, cb) = chaos_plan(42, 8);
+        assert_eq!(ca, cb);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let (_, cc) = chaos_plan(43, 8);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{:?}", chaos_plan(43, 8).0),
+            "different seeds draw different plans ({ca:?} vs {cc:?})"
+        );
+    }
+
+    #[test]
+    fn zero_intensity_is_the_golden_run() {
+        let r = chaos(7, 0).expect("an empty plan cannot fail");
+        assert_eq!(r.planned, (0, 0, 0, 0, 0, 0));
+        assert!(r.incidents.is_empty());
+        assert_eq!(r.end_time, golden_end_time());
+    }
+
+    /// A handful of seeds at moderate intensity as a unit-level smoke; the
+    /// `repro_chaos` binary sweeps the full campaign.
+    #[test]
+    fn smoke_campaign_holds_invariants() {
+        for seed in 0..4 {
+            if let Err(e) = chaos(seed, 6) {
+                panic!("chaos invariant violated: {e}");
+            }
+        }
+    }
+}

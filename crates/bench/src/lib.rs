@@ -12,6 +12,7 @@
 //! * the Criterion benches in `benches/` track the wall-clock cost of the
 //!   simulator itself.
 
+pub mod chaos;
 pub mod codesize;
 pub mod explore;
 pub mod imb;
@@ -19,6 +20,7 @@ pub mod pingpong;
 pub mod sweep;
 pub mod table2;
 
+pub use chaos::{chaos, chaos_plan, golden_end_time, ChaosFailure, ChaosOutcome, ChaosReport};
 pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};
 pub use pingpong::{

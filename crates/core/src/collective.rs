@@ -88,7 +88,7 @@ impl CellPilot {
         }
         for (node, chans) in per_node {
             let payload = encode_mcast(&chans, &data);
-            let cp_rank = tables.copilot_ranks[&node];
+            let cp_rank = self.shared.copilot_rank(node);
             self.comm_send(cp_rank, CP_MCAST_TAG, payload);
         }
         // One write credit per member channel: every receiver (rank or

@@ -73,6 +73,9 @@ pub struct CellPilotOpts {
     /// permutes same-timestamp event ordering (see
     /// [`cp_des::Simulation::set_schedule_seed`]).
     pub schedule_seed: u64,
+    /// Restart crashed SPE work functions instead of failing their
+    /// channels; `None` (the default) keeps fail-stop semantics.
+    pub supervision: Option<SupervisionPolicy>,
 }
 
 impl CellPilotOpts {
@@ -119,6 +122,43 @@ impl CellPilotOpts {
     pub fn with_schedule_seed(mut self, seed: u64) -> CellPilotOpts {
         self.schedule_seed = seed;
         self
+    }
+
+    /// Restart crashed SPE work functions under `policy` instead of
+    /// failing their channels.
+    pub fn with_supervision(mut self, policy: SupervisionPolicy) -> CellPilotOpts {
+        self.supervision = Some(policy);
+        self
+    }
+}
+
+/// How the runtime reacts when a supervised SPE work function crashes
+/// (a scripted [`FaultPlan::crash_spe`] fault firing mid-kernel).
+///
+/// With supervision enabled the crashed SPE process is restarted in place
+/// up to [`SupervisionPolicy::max_restarts`] times from its last
+/// acknowledged channel operation: the runtime keeps a lightweight
+/// checkpoint cursor (an op journal) per supervised SPE, replays the
+/// already-acknowledged operations without re-issuing them to the
+/// Co-Pilot, and resumes live execution — so peers observe every message
+/// exactly once and final results are byte-identical to a fault-free run.
+/// Exhausting the budget abandons the process and degrades its channels to
+/// the unsupervised `PeerLost` behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// Restarts allowed per SPE process before it is abandoned.
+    pub max_restarts: u32,
+    /// Virtual time between a crash and the restarted attempt (modelling
+    /// the Co-Pilot reloading the SPE image).
+    pub restart_delay: SimDuration,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> SupervisionPolicy {
+        SupervisionPolicy {
+            max_restarts: 2,
+            restart_delay: SimDuration::from_micros(50),
+        }
     }
 }
 
@@ -421,6 +461,10 @@ impl CellPilotConfig {
         } = self;
         let cluster = spec.build();
         let app_ranks = placement.len();
+        let faults = opts
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::new()));
         // One Co-Pilot rank per Cell node, appended after the app ranks.
         // BTreeMap: Co-Pilot spawn order (and hence pid assignment) must be
         // deterministic for run-to-run reproducibility.
@@ -429,6 +473,16 @@ impl CellPilotConfig {
             if hw.kind.is_cell() {
                 copilot_ranks.insert(NodeId(i), placement.len());
                 placement.push(NodeId(i));
+            }
+        }
+        // A standby Co-Pilot rank for each node whose primary the fault
+        // plan kills, appended after the primaries. Healthy runs (and the
+        // golden traces recovery is measured against) allocate none.
+        let mut standby_ranks = BTreeMap::new();
+        for &node in copilot_ranks.keys() {
+            if faults.copilot_kill_of(node).is_some() {
+                standby_ranks.insert(node, placement.len());
+                placement.push(node);
             }
         }
         // The deadlock-detection service, if enabled, takes one more rank
@@ -446,6 +500,7 @@ impl CellPilotConfig {
             channels,
             bundles,
             copilot_ranks: copilot_ranks.clone(),
+            standby_ranks: standby_ranks.clone(),
             app_ranks,
             detector_rank,
         });
@@ -455,10 +510,6 @@ impl CellPilotConfig {
                 node_shared.insert(NodeId(i), NodeShared::new(cell.clone()));
             }
         }
-        let faults = opts
-            .faults
-            .clone()
-            .unwrap_or_else(|| Arc::new(FaultPlan::new()));
         let shared = Arc::new(AppShared {
             tables: tables.clone(),
             trace,
@@ -469,6 +520,10 @@ impl CellPilotConfig {
             running_spes: Mutex::new(HashSet::new()),
             channel_timeout: opts.channel_timeout,
             faults: faults.clone(),
+            supervision: opts.supervision,
+            failed_spes: Mutex::new(HashSet::new()),
+            journals: Mutex::new(HashMap::new()),
+            copilot_route: Mutex::new(copilot_ranks.clone()),
         });
         let world = MpiWorld::with_faults(
             cluster,
@@ -518,6 +573,11 @@ impl CellPilotConfig {
         for (node, rank) in copilot_ranks {
             let body = copilot::copilot_body(world.clone(), shared.clone(), node, rank);
             world.launch(&mut sim, rank, &format!("copilot{}", node.0), body);
+        }
+        // Standby Co-Pilots (only for nodes with a scripted primary kill).
+        for (node, rank) in standby_ranks {
+            let body = copilot::standby_body(world.clone(), shared.clone(), node, rank);
+            world.launch(&mut sim, rank, &format!("copilot{}-standby", node.0), body);
         }
         // Deadlock-detection service.
         if let Some(det_rank) = tables.detector_rank {

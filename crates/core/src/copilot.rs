@@ -33,22 +33,14 @@ use crate::protocol::{
     CP_SHUTDOWN_TAG, OP_POLL, OP_READ, OP_WRITE, POISON_WORD, REQ_BLOCK_BYTES,
 };
 use crate::runtime::AppShared;
-use crate::tables::CoEvent;
+use crate::tables::{CoEvent, NodeShared, PendingReq};
 use cp_cellsim::{ls_ea, CellNode};
 use cp_des::sync::MsgQueue;
-use cp_des::{ProcCtx, SimDuration};
+use cp_des::{IncidentCategory, ProcCtx, SimDuration};
 use cp_mpisim::{Comm, Datatype, MpiWorld, Msg};
-use cp_simnet::NodeId;
+use cp_simnet::{NodeId, HEARTBEAT_PERIOD, WATCHDOG_TIMEOUT};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-
-/// A stored SPE request awaiting its counterpart.
-#[derive(Debug, Clone, Copy)]
-struct PendingReq {
-    hw: usize,
-    addr: u32,
-    len: u32,
-}
 
 /// Build the co-pilot process body for `world.launch`.
 pub(crate) fn copilot_body(
@@ -65,23 +57,101 @@ pub(crate) fn copilot_body(
         for hw in 0..cell.spe_count() {
             sim_spawn_watcher(&ctx, cell.clone(), hw, queue.clone());
         }
-        {
-            let world = world.clone();
-            let queue = queue.clone();
-            ctx.spawn(&format!("copilot{}-pump", node.0), move |pctx| {
-                let pcomm = world.attach(pctx, rank);
-                loop {
-                    let m = pcomm.recv(None, None);
-                    if m.tag == CP_SHUTDOWN_TAG {
-                        queue.push(pctx, CoEvent::Shutdown, SimDuration::ZERO);
-                        return;
+        spawn_pump(&ctx, &world, rank, node, queue.clone());
+        if let Some(kill_at) = shared.faults.copilot_kill_of(node) {
+            // The node-local liveness signal: beat every period until the
+            // scripted death silences it (or a clean shutdown stops the
+            // pair). The watchdog in `standby_body` polls the same cell.
+            {
+                let hb = ns.hb.clone();
+                ctx.spawn(&format!("copilot{}-heartbeat", node.0), move |bctx| {
+                    while !hb.is_stopped() && bctx.now() < kill_at {
+                        hb.beat(bctx.now());
+                        bctx.advance(HEARTBEAT_PERIOD);
                     }
-                    queue.push(pctx, CoEvent::Mpi(m), SimDuration::ZERO);
-                }
-            });
+                });
+            }
+            // Deliver the death at exactly the scripted instant as a queue
+            // event, so the primary retires at the kill time (events queued
+            // later stay behind the marker for the standby to service).
+            {
+                let queue = queue.clone();
+                ctx.spawn(&format!("copilot{}-kill", node.0), move |kctx| {
+                    kctx.advance(SimDuration::from_nanos(kill_at.as_nanos()));
+                    queue.push(kctx, CoEvent::Die, SimDuration::ZERO);
+                });
+            }
         }
-        service_loop(&comm, &shared, &cell, &queue);
+        service_loop(&comm, &shared, &ns, false);
     }
+}
+
+/// Build the standby co-pilot body for a node whose primary has a
+/// scripted kill: watch the heartbeat, and on expiry adopt the node —
+/// reroute the Co-Pilot rank, take over the dead primary's mailbox, and
+/// resume servicing the shared proxy tables and event queue. Type-4/5
+/// traffic continues with no application-visible loss.
+pub(crate) fn standby_body(
+    world: MpiWorld,
+    shared: Arc<AppShared>,
+    node: NodeId,
+    rank: usize,
+) -> impl FnOnce(Comm) + Send + 'static {
+    move |comm: Comm| {
+        let ns = shared.node_shared[&node].clone();
+        let ctx = comm.ctx().clone();
+        let hb = ns.hb.clone();
+        loop {
+            if hb.is_stopped() {
+                // Clean shutdown before the kill fired: no failover needed.
+                return;
+            }
+            if hb.expired(ctx.now(), WATCHDOG_TIMEOUT) {
+                break;
+            }
+            ctx.advance(HEARTBEAT_PERIOD);
+        }
+        ctx.report_incident(
+            IncidentCategory::CopilotFailover,
+            &format!(
+                "standby Co-Pilot (rank {rank}) adopting node {}: primary silent since {}",
+                node.0,
+                hb.last_beat()
+            ),
+        );
+        let primary = shared.tables.copilot_ranks[&node];
+        shared.copilot_route.lock().insert(node, rank);
+        world.take_over_rank(&ctx, primary, rank);
+        spawn_pump(&ctx, &world, rank, node, ns.queue.clone());
+        service_loop(&comm, &shared, &ns, true);
+    }
+}
+
+/// Spawn the Co-Pilot's MPI pump (its blocking `MPI_Recv(ANY_SOURCE)`),
+/// feeding the node's shared event queue. A takeover retires the rank's
+/// mailbox mid-recv; the pump absorbs that unwind and exits — the
+/// standby's own pump owns the wire from then on.
+fn spawn_pump(
+    ctx: &ProcCtx,
+    world: &MpiWorld,
+    rank: usize,
+    node: NodeId,
+    queue: MsgQueue<CoEvent>,
+) {
+    let world = world.clone();
+    ctx.spawn(&format!("copilot{}-pump-r{rank}", node.0), move |pctx| {
+        let _ = cp_mpisim::absorb_rank_death(|| {
+            let pcomm = world.attach(pctx, rank);
+            loop {
+                let m = pcomm.recv(None, None);
+                if m.tag == CP_SHUTDOWN_TAG {
+                    queue.push(pctx, CoEvent::Shutdown, SimDuration::ZERO);
+                    return;
+                }
+                queue.push(pctx, CoEvent::Mpi(m), SimDuration::ZERO);
+            }
+        });
+    });
 }
 
 fn sim_spawn_watcher(ctx: &ProcCtx, cell: Arc<CellNode>, hw: usize, queue: MsgQueue<CoEvent>) {
@@ -108,40 +178,26 @@ fn sim_spawn_watcher(ctx: &ProcCtx, cell: Arc<CellNode>, hw: usize, queue: MsgQu
     );
 }
 
-struct CoState {
-    /// Read requests waiting for data, per channel.
-    pending_reads: HashMap<usize, VecDeque<PendingReq>>,
-    /// Local write requests waiting for their type-4 partner, per channel.
-    pending_writes: HashMap<usize, VecDeque<PendingReq>>,
-    /// MPI data that arrived before the local reader asked, per channel.
-    pending_mpi: HashMap<usize, VecDeque<Msg>>,
-}
-
-fn service_loop(
-    comm: &Comm,
-    shared: &Arc<AppShared>,
-    cell: &Arc<CellNode>,
-    queue: &MsgQueue<CoEvent>,
-) {
+fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, standby: bool) {
     let ctx = comm.ctx();
     let costs = &shared.costs;
-    let mut st = CoState {
-        pending_reads: HashMap::new(),
-        pending_writes: HashMap::new(),
-        pending_mpi: HashMap::new(),
-    };
+    let cell = &ns.cell;
+    let queue = &ns.queue;
     // A scripted Co-Pilot stall freezes the service loop once, at the first
     // event serviced at or after its scheduled time: requests and MPI
     // deliveries keep queueing, but nothing is serviced for the duration.
     let stall = shared.faults.stall_of(NodeId(cell.id));
-    let mut stall_done = false;
     loop {
         let event = queue.pop(ctx);
+        // Only this service loop touches the proxy tables while it runs —
+        // a standby starts only after the primary retired — so holding the
+        // guard across an event's (possibly blocking) handling is safe.
+        let st = &mut *ns.co_state.lock();
         if let Some(s) = stall {
-            if !stall_done && ctx.now() >= s.at {
-                stall_done = true;
+            if !st.stall_done && ctx.now() >= s.at {
+                st.stall_done = true;
                 ctx.report_incident(
-                    "copilot-stall",
+                    IncidentCategory::CopilotStall,
                     &format!(
                         "Co-Pilot on node {} unresponsive for {} (scheduled at {})",
                         cell.id, s.duration, s.at
@@ -151,11 +207,37 @@ fn service_loop(
             }
         }
         match event {
+            CoEvent::Die => {
+                // A Die marker reaching the standby is stale — the primary
+                // it was aimed at is already gone; the standby serves on.
+                if standby {
+                    continue;
+                }
+                ctx.report_incident(
+                    IncidentCategory::CopilotDeath,
+                    &format!(
+                        "Co-Pilot on node {} killed by fault plan at {}",
+                        cell.id,
+                        ctx.now()
+                    ),
+                );
+                return;
+            }
             CoEvent::Shutdown => {
-                // Unblock the mailbox watchers so their processes exit.
+                // Unblock the mailbox watchers so their processes exit, and
+                // retire the heartbeat pair so a standby stands down.
                 for spe in &cell.spes {
                     spe.mbox.spu_write_outbox(ctx, &cell.costs, POISON_WORD);
                 }
+                ns.hb.stop();
+                // The shutdown *wire message* may have been consumed by a
+                // previous incarnation's pump (the primary pumps it, dies
+                // to the kill marker, and the standby services the queued
+                // event) — leaving this incarnation's own pump parked in
+                // recv forever. Echo the shutdown to our own rank so
+                // whichever pump still listens drains and exits; if none
+                // does, the envelope sits unread and the run ends anyway.
+                comm.send_bytes(comm.rank(), CP_SHUTDOWN_TAG, Datatype::Byte, 0, Vec::new());
                 return;
             }
             CoEvent::Mpi(msg) if msg.tag == CP_MCAST_TAG => {
@@ -317,30 +399,31 @@ fn reader_side(shared: &AppShared, chan: usize, my_node: usize) -> ReaderSide {
             if node.0 == my_node {
                 ReaderSide::LocalSpe
             } else {
-                ReaderSide::Mpi(shared.tables.copilot_ranks[&node])
+                // Consult the live route: after a failover the reader's
+                // node is served by its standby's rank.
+                ReaderSide::Mpi(shared.copilot_rank(node))
             }
         }
     }
 }
 
-/// Whether the channel's writer process is already gone under the fault
-/// plan: an SPE whose scripted crash has fired, or a rank whose scripted
-/// death has fired. Used to fail a data-less SPE read with `PeerLost`
-/// instead of parking it forever. (A message the writer sent before dying
-/// that is still in flight counts as "no data yet" — fail-fast semantics.)
+/// Whether the channel's writer process is already gone: an SPE
+/// permanently lost (crashed unsupervised, or supervised past its restart
+/// budget — a supervised SPE being restarted is *not* gone), or a rank
+/// whose scripted death has fired. Used to fail a data-less SPE read with
+/// `PeerLost` instead of parking it forever. (A message the writer sent
+/// before dying that is still in flight counts as "no data yet" —
+/// fail-fast semantics.)
 fn writer_dead(ctx: &ProcCtx, shared: &AppShared, cell: &Arc<CellNode>, chan: usize) -> bool {
     let from = shared.tables.channels[chan].from;
     let now = ctx.now();
     let gone = match shared.tables.processes[from.0].location {
         Location::Rank { rank, .. } => shared.faults.death_of(rank).is_some_and(|at| now >= at),
-        Location::Spe { .. } => shared
-            .faults
-            .spe_crash_of(from.0)
-            .is_some_and(|at| now >= at),
+        Location::Spe { .. } => shared.spe_gone(from.0, now),
     };
     if gone {
         ctx.report_incident(
-            "peer-lost",
+            IncidentCategory::PeerLost,
             &format!(
                 "Co-Pilot on node {} failing read on channel {chan}: writer '{}' is lost",
                 cell.id, shared.tables.processes[from.0].name

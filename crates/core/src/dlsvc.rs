@@ -175,6 +175,7 @@ mod tests {
             channels,
             bundles: Vec::new(),
             copilot_ranks: BTreeMap::new(),
+            standby_ranks: BTreeMap::new(),
             app_ranks: 1,
             detector_rank: None,
         }

@@ -69,7 +69,7 @@ mod tables;
 pub mod trace;
 
 pub use collective::{reduce_f64, CpBundle};
-pub use config::{CellPilotConfig, CellPilotOpts};
+pub use config::{CellPilotConfig, CellPilotOpts, SupervisionPolicy};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
 pub use error::{CpError, ErrorKind};
 pub use location::{classify, ChannelKind, CpChannel, CpProcess, Location, CP_MAIN};

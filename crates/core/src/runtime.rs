@@ -2,12 +2,14 @@
 //! all five channel types, SPE process control (`PI_RunSPE`), and the
 //! end-of-run synchronization.
 
+use crate::config::SupervisionPolicy;
 use crate::costs::CellPilotCosts;
 use crate::error::CpError;
 use crate::location::{ChannelKind, CpChannel, CpProcess, Location};
+use crate::spe_rt::JournalEntry;
 use crate::tables::{CpTables, NodeShared, ProcKind};
-use cp_des::{Pid, ProcCtx, SimDuration};
-use cp_mpisim::{Comm, Datatype, MpiFault};
+use cp_des::{IncidentCategory, Pid, ProcCtx, SimDuration, SimTime};
+use cp_mpisim::{Comm, Datatype, MpiFault, SrcSel};
 use cp_pilot::{
     fmt::parse_format,
     value::{check_against_format, check_read_format, pack_message, payload_bytes, unpack_message},
@@ -15,7 +17,7 @@ use cp_pilot::{
 };
 use cp_simnet::{Cluster, FaultPlan, NodeId};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Internal barrier tag for end-of-run synchronization.
@@ -37,6 +39,36 @@ pub(crate) struct AppShared {
     pub channel_timeout: Option<SimDuration>,
     /// The fault plan the cluster runs under (empty when healthy).
     pub faults: Arc<FaultPlan>,
+    /// SPE restart policy; `None` keeps fail-stop semantics.
+    pub supervision: Option<SupervisionPolicy>,
+    /// SPE processes permanently gone: crashed unsupervised, or supervised
+    /// past their restart budget. Their channels degrade to `PeerLost`.
+    pub failed_spes: Mutex<HashSet<usize>>,
+    /// Per-supervised-SPE op journals (checkpoint cursors for restart
+    /// replay); an entry lives only while its `run_spe` is in flight.
+    pub journals: Mutex<HashMap<usize, Vec<JournalEntry>>>,
+    /// The MPI rank currently serving each Cell node's Co-Pilot duties —
+    /// the standby's rank after a failover. Starts as `copilot_ranks`.
+    pub copilot_route: Mutex<BTreeMap<NodeId, usize>>,
+}
+
+impl AppShared {
+    /// The rank to address for `node`'s Co-Pilot right now.
+    pub(crate) fn copilot_rank(&self, node: NodeId) -> usize {
+        self.copilot_route.lock()[&node]
+    }
+
+    /// Whether the SPE process behind `proc` is permanently gone. Under
+    /// supervision only an *abandoned* process counts (a crashed one is
+    /// being restarted); without it, a scheduled crash whose time has
+    /// passed is final, matching the old fail-stop semantics.
+    pub(crate) fn spe_gone(&self, proc: usize, now: SimTime) -> bool {
+        if self.supervision.is_some() {
+            self.failed_spes.lock().contains(&proc)
+        } else {
+            self.faults.spe_crash_of(proc).is_some_and(|at| now >= at)
+        }
+    }
 }
 
 /// A handle to a launched SPE process, joinable with
@@ -125,7 +157,7 @@ impl CellPilot {
         self.charge(payload_bytes(values));
         let dest_rank = match self.shared.tables.processes[entry.to.0].location {
             Location::Rank { rank, .. } => rank,
-            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
+            Location::Spe { node, .. } => self.shared.copilot_rank(node),
         };
         let n = data.len();
         self.comm
@@ -159,11 +191,7 @@ impl CellPilot {
     /// is upgraded to [`CpError::PeerLost`] — the peer is gone, not slow.
     fn fault_to_cp(&self, chan: CpChannel, peer: CpProcess, fault: MpiFault) -> CpError {
         let peer_name = self.shared.tables.processes[peer.0].name.clone();
-        let peer_crashed = self
-            .shared
-            .faults
-            .spe_crash_of(peer.0)
-            .is_some_and(|at| self.ctx().now() >= at);
+        let peer_crashed = self.shared.spe_gone(peer.0, self.ctx().now());
         let err = match fault {
             MpiFault::PeerLost { .. } => CpError::PeerLost {
                 channel: chan.0,
@@ -185,8 +213,8 @@ impl CellPilot {
             },
         };
         let category = match err {
-            CpError::PeerLost { .. } => "peer-lost",
-            _ => "channel-timeout",
+            CpError::PeerLost { .. } => IncidentCategory::PeerLost,
+            _ => IncidentCategory::ChannelTimeout,
         };
         self.ctx()
             .report_incident(category, &format!("process '{}': {err}", self.name()));
@@ -225,10 +253,7 @@ impl CellPilot {
             });
         }
         let conv = parse_format(format)?;
-        let src_rank = match self.shared.tables.processes[entry.from.0].location {
-            Location::Rank { rank, .. } => rank,
-            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
-        };
+        let src_sel = self.chan_src_sel(entry.from);
         let tag = Some(CpTables::chan_tag(chan.0));
         // Deadline-bounded reads cannot participate in a deadlock (they
         // always come back), and a timed-out read would leave a stale edge
@@ -241,10 +266,10 @@ impl CellPilot {
             );
         }
         let msg = match self.shared.channel_timeout {
-            None => self.comm.recv(Some(src_rank), tag),
+            None => self.comm.recv(src_sel, tag),
             Some(d) => self
                 .comm
-                .try_recv_deadline(Some(src_rank), tag, d)
+                .try_recv_deadline(src_sel, tag, d)
                 .map_err(|fault| self.fault_to_cp(chan, entry.from, fault))?,
         };
         let values = unpack_message(&msg.data).expect("well-formed channel message");
@@ -278,14 +303,29 @@ impl CellPilot {
                 caller: self.name(),
             });
         }
-        let src_rank = match self.shared.tables.processes[entry.from.0].location {
-            Location::Rank { rank, .. } => rank,
-            Location::Spe { node, .. } => self.shared.tables.copilot_ranks[&node],
-        };
+        let src_sel = self.chan_src_sel(entry.from);
         Ok(self
             .comm
-            .iprobe(Some(src_rank), Some(CpTables::chan_tag(chan.0)))
+            .iprobe(src_sel, Some(CpTables::chan_tag(chan.0)))
             .is_some())
+    }
+
+    /// The MPI source selector for channel data written by `from`: the
+    /// writer's own rank or its node's Co-Pilot rank — or the wildcard
+    /// when that node has a standby Co-Pilot, because the proxy rank can
+    /// change mid-stream across a failover (the channel tag alone
+    /// identifies the stream).
+    fn chan_src_sel(&self, from: CpProcess) -> SrcSel {
+        match self.shared.tables.processes[from.0].location {
+            Location::Rank { rank, .. } => Some(rank),
+            Location::Spe { node, .. } => {
+                if self.shared.tables.standby_ranks.contains_key(&node) {
+                    None
+                } else {
+                    Some(self.shared.copilot_rank(node))
+                }
+            }
+        }
     }
 
     /// `PI_RunSPE`: launch a dormant SPE process created with
@@ -331,25 +371,68 @@ impl CellPilot {
             let ns = ns.clone();
             let program = program.clone();
             move |sctx: &ProcCtx| {
-                let spe_ctx =
-                    crate::spe_rt::SpeCtx::new(sctx.clone(), shared.clone(), proc, node, hw);
                 // A scripted SPE crash unwinds out of the program entry with
-                // the `SpeCrashUnwind` sentinel; catch it so the hardware SPE
-                // is still released and the process retires cleanly (fail-stop
-                // semantics: only channels touching the dead SPE fail). Any
-                // other unwind (a real panic, simulation teardown) is
-                // re-raised after the same cleanup.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    (program.entry)(&spe_ctx, arg_int, arg_ptr);
-                }));
-                spe_ctx.teardown();
-                ns.release_spe(hw);
-                shared.running_spes.lock().remove(&proc.0);
-                if let Err(payload) = outcome {
-                    if !payload.is::<crate::spe_rt::SpeCrashUnwind>() {
-                        std::panic::resume_unwind(payload);
+                // the `SpeCrashUnwind` sentinel. Under supervision the work
+                // function is restarted in place, replaying its op journal
+                // so acknowledged channel operations are not re-issued;
+                // otherwise (or once the restart budget is spent) the
+                // process retires cleanly and only channels touching the
+                // dead SPE fail. Any other unwind (a real panic, simulation
+                // teardown) is re-raised after the same cleanup.
+                let name = shared.tables.processes[proc.0].name.clone();
+                let mut attempts = 0u32;
+                loop {
+                    let spe_ctx =
+                        crate::spe_rt::SpeCtx::new(sctx.clone(), shared.clone(), proc, node, hw);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        (program.entry)(&spe_ctx, arg_int, arg_ptr);
+                    }));
+                    spe_ctx.teardown();
+                    match outcome {
+                        Ok(()) => break,
+                        Err(payload) if payload.is::<crate::spe_rt::SpeCrashUnwind>() => {
+                            match shared.supervision {
+                                Some(p) if attempts < p.max_restarts => {
+                                    attempts += 1;
+                                    sctx.report_incident(
+                                        IncidentCategory::SpeRestart,
+                                        &format!(
+                                            "restarting SPE process '{name}' from its last \
+                                             acknowledged operation (attempt {attempts}/{})",
+                                            p.max_restarts
+                                        ),
+                                    );
+                                    sctx.advance(p.restart_delay);
+                                }
+                                Some(p) => {
+                                    shared.failed_spes.lock().insert(proc.0);
+                                    sctx.report_incident(
+                                        IncidentCategory::SpeAbandoned,
+                                        &format!(
+                                            "SPE process '{name}' abandoned after {} restarts; \
+                                             its channels degrade to peer-lost",
+                                            p.max_restarts
+                                        ),
+                                    );
+                                    break;
+                                }
+                                None => {
+                                    shared.failed_spes.lock().insert(proc.0);
+                                    break;
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            ns.release_spe(hw);
+                            shared.running_spes.lock().remove(&proc.0);
+                            shared.journals.lock().remove(&proc.0);
+                            std::panic::resume_unwind(payload);
+                        }
                     }
                 }
+                ns.release_spe(hw);
+                shared.running_spes.lock().remove(&proc.0);
+                shared.journals.lock().remove(&proc.0);
             }
         };
         let pid = match ns

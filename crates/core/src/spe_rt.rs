@@ -15,7 +15,7 @@ use crate::protocol::{
 };
 use crate::runtime::AppShared;
 use cp_cellsim::LsAddr;
-use cp_des::{ProcCtx, SimDuration};
+use cp_des::{IncidentCategory, ProcCtx, SimDuration};
 use cp_mpisim::Datatype;
 use cp_pilot::{
     fmt::{parse_format, Conversion, CountSpec},
@@ -27,9 +27,27 @@ use std::sync::Arc;
 
 /// Unwind payload used to retire an SPE process killed by a scripted
 /// [`cp_simnet::FaultPlan`] crash. `run_spe` catches it, runs the normal
-/// teardown (local-store free, hardware-SPE release), and retires the
-/// simulated process cleanly so only channels touching the dead SPE fail.
+/// teardown (local-store free, hardware-SPE release), and — under a
+/// [`crate::SupervisionPolicy`] — restarts the work function in place;
+/// otherwise the simulated process retires cleanly so only channels
+/// touching the dead SPE fail.
 pub(crate) struct SpeCrashUnwind;
+
+/// One acknowledged channel operation of a supervised SPE process. The
+/// Co-Pilot-side effects already happened, so a restarted attempt must not
+/// re-issue it: the per-process journal is the lightweight checkpoint
+/// cursor supervision restarts from. On restart the runtime replays
+/// entries in order — writes become no-ops, reads re-yield the recorded
+/// bytes, polls re-yield the recorded answer — then resumes live.
+#[derive(Debug, Clone)]
+pub(crate) enum JournalEntry {
+    /// A completed write on the channel.
+    Write { chan: usize },
+    /// A completed read on the channel, with the delivered message bytes.
+    Read { chan: usize, bytes: Vec<u8> },
+    /// A completed `channel_has_data` poll on the channel and its answer.
+    Poll { chan: usize, has: bool },
+}
 
 /// The context handed to an SPE program entry (what the `__ea`-decorated
 /// globals and `PI_SPE_PROCESS` machinery give SPE code in C).
@@ -40,6 +58,9 @@ pub struct SpeCtx {
     node: NodeId,
     hw: usize,
     req_block: LsAddr,
+    /// Replay cursor into this process's supervision journal: positions
+    /// before it were acknowledged by an earlier (crashed) attempt.
+    cursor: std::cell::Cell<usize>,
 }
 
 impl SpeCtx {
@@ -62,6 +83,7 @@ impl SpeCtx {
             node,
             hw,
             req_block,
+            cursor: std::cell::Cell::new(0),
         }
     }
 
@@ -146,26 +168,62 @@ impl SpeCtx {
         self.ctx.advance(SimDuration::from_micros_f64(us));
     }
 
-    /// Fail-stop checkpoint: a scripted SPE crash fires at the first
-    /// communication attempt at or after its scheduled time (the fault
-    /// model's stand-in for an SPE image dying mid-kernel). The crash is
-    /// logged as an `spe-crash` incident and the process retires through
+    /// Crash checkpoint at each channel-op entry point: a scripted SPE
+    /// crash fires at the first communication attempt at or after its
+    /// scheduled time (the fault model's stand-in for an SPE image dying
+    /// mid-kernel). Each scheduled crash fires exactly once — consumed via
+    /// [`cp_simnet::FaultPlan::take_spe_crash`] — so a supervised restart
+    /// is not instantly re-killed by the same entry, while stacking
+    /// entries deterministically exhausts a restart budget. The crash is
+    /// logged as an `spe-crash` incident and the attempt unwinds through
     /// [`SpeCrashUnwind`].
     fn crash_checkpoint(&self) {
-        if let Some(at) = self.shared.faults.spe_crash_of(self.me.0) {
-            if self.ctx.now() >= at {
-                self.ctx.report_incident(
-                    "spe-crash",
-                    &format!("SPE process '{}' crashed (scheduled at {at})", self.name()),
-                );
-                std::panic::resume_unwind(Box::new(SpeCrashUnwind));
-            }
+        if let Some(at) = self.shared.faults.take_spe_crash(self.me.0, self.ctx.now()) {
+            self.ctx.report_incident(
+                IncidentCategory::SpeCrash,
+                &format!("SPE process '{}' crashed (scheduled at {at})", self.name()),
+            );
+            std::panic::resume_unwind(Box::new(SpeCrashUnwind));
         }
+    }
+
+    /// Supervised-restart replay: if this process's journal still has an
+    /// entry at the cursor, the op being attempted was already
+    /// acknowledged before the last crash — consume and return the entry
+    /// instead of re-issuing the operation to the Co-Pilot.
+    fn replay_next(&self) -> Option<JournalEntry> {
+        self.shared.supervision?;
+        let journals = self.shared.journals.lock();
+        let entry = journals.get(&self.me.0)?.get(self.cursor.get())?.clone();
+        self.cursor.set(self.cursor.get() + 1);
+        Some(entry)
+    }
+
+    /// Record an acknowledged op (supervision only) and keep the cursor at
+    /// the journal's end so live operation continues.
+    fn journal(&self, entry: JournalEntry) {
+        if self.shared.supervision.is_none() {
+            return;
+        }
+        let mut journals = self.shared.journals.lock();
+        let j = journals.entry(self.me.0).or_default();
+        j.push(entry);
+        self.cursor.set(j.len());
+    }
+
+    /// A journal entry that does not match the op the restarted program is
+    /// attempting means the work function is not deterministic — replay
+    /// cannot be trusted, so abort loudly rather than corrupt the run.
+    fn replay_diverged(&self, got: &JournalEntry, attempting: &str) -> ! {
+        self.ctx.abort(&format!(
+            "supervised replay diverged in SPE process '{}': journal has {got:?} \
+             but the restarted program issued {attempting}",
+            self.name()
+        ));
     }
 
     /// Post a request block and wait for the Co-Pilot's completion word.
     fn transact(&self, req: Request) -> Result<usize, CpError> {
-        self.crash_checkpoint();
         let cell = &self.shared.node_shared[&self.node].cell;
         let spe = &cell.spes[self.hw];
         spe.ls.write(self.req_block, &req.encode())?;
@@ -214,6 +272,12 @@ impl SpeCtx {
                 caller: self.name(),
             });
         }
+        if let Some(done) = self.replay_next() {
+            match done {
+                JournalEntry::Write { chan: c } if c == chan.0 => return Ok(()),
+                other => self.replay_diverged(&other, &format!("write on channel {}", chan.0)),
+            }
+        }
         let conv = parse_format(format)?;
         check_against_format(&conv, values)?;
         let data = pack_message(values);
@@ -230,6 +294,7 @@ impl SpeCtx {
         });
         let _ = ls.free(buf);
         if result.is_ok() {
+            self.journal(JournalEntry::Write { chan: chan.0 });
             self.shared.trace.record(
                 self.ctx.now(),
                 &self.name(),
@@ -270,6 +335,21 @@ impl SpeCtx {
             });
         }
         let conv = parse_format(format)?;
+        if let Some(done) = self.replay_next() {
+            match done {
+                JournalEntry::Read { chan: c, bytes } if c == chan.0 => {
+                    let values = unpack_message(&bytes).expect("journaled bytes round-trip");
+                    let segs: Vec<(Datatype, usize)> =
+                        values.iter().map(|v| (v.dtype(), v.len())).collect();
+                    check_read_format(&conv, &segs).map_err(|detail| CpError::FormatMismatch {
+                        channel: chan.0,
+                        detail,
+                    })?;
+                    return Ok(values);
+                }
+                other => self.replay_diverged(&other, &format!("read on channel {}", chan.0)),
+            }
+        }
         let cap = exact_packed_size(&conv).unwrap_or(limit);
         self.charge(0);
         let cell = &self.shared.node_shared[&self.node].cell;
@@ -291,6 +371,10 @@ impl SpeCtx {
                 detail,
             })?;
             self.charge(payload_bytes(&values));
+            self.journal(JournalEntry::Read {
+                chan: chan.0,
+                bytes,
+            });
             self.shared.trace.record(
                 self.ctx.now(),
                 &self.name(),
@@ -327,6 +411,7 @@ impl SpeCtx {
     /// whether a read on `chan` would find a message already at the
     /// Co-Pilot. Costs one mailbox round trip.
     pub fn channel_has_data(&self, chan: CpChannel) -> Result<bool, CpError> {
+        self.crash_checkpoint();
         let entry = self
             .shared
             .tables
@@ -339,12 +424,22 @@ impl SpeCtx {
                 caller: self.name(),
             });
         }
+        if let Some(done) = self.replay_next() {
+            match done {
+                JournalEntry::Poll { chan: c, has } if c == chan.0 => return Ok(has),
+                other => self.replay_diverged(&other, &format!("poll on channel {}", chan.0)),
+            }
+        }
         let n = self.transact(Request {
             op: OP_POLL,
             chan: chan.0 as u32,
             addr: 0,
             len: 0,
         })?;
+        self.journal(JournalEntry::Poll {
+            chan: chan.0,
+            has: n != 0,
+        });
         Ok(n != 0)
     }
 

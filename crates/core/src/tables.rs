@@ -6,9 +6,9 @@ use crate::protocol::Request;
 use cp_cellsim::CellNode;
 use cp_des::sync::MsgQueue;
 use cp_mpisim::Msg;
-use cp_simnet::NodeId;
+use cp_simnet::{Heartbeat, NodeId};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// How a process is realized.
@@ -58,6 +58,10 @@ pub struct CpTables {
     pub(crate) bundles: Vec<CpBundleEntry>,
     /// Co-Pilot MPI rank per Cell node.
     pub(crate) copilot_ranks: BTreeMap<NodeId, usize>,
+    /// Standby Co-Pilot rank per Cell node whose primary has a scripted
+    /// kill — allocated only when the fault plan schedules one, so healthy
+    /// runs carry no extra processes.
+    pub(crate) standby_ranks: BTreeMap<NodeId, usize>,
     /// Number of application MPI ranks (main + rank processes).
     #[allow(dead_code)]
     pub(crate) app_ranks: usize,
@@ -87,15 +91,51 @@ pub(crate) enum CoEvent {
     Mpi(Msg),
     /// Orderly shutdown at end of run.
     Shutdown,
+    /// Scripted death marker for the primary Co-Pilot, pushed at exactly
+    /// the fault plan's `kill_copilot` instant so the primary retires at
+    /// the kill time rather than at its next unrelated event. Never
+    /// reaches a standby: only one is ever queued and the primary consumes
+    /// it.
+    Die,
+}
+
+/// A stored SPE request awaiting its counterpart.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingReq {
+    pub hw: usize,
+    pub addr: u32,
+    pub len: u32,
+}
+
+/// The Co-Pilot's in-flight proxy state. Lives in [`NodeShared`] rather
+/// than on the service loop's stack so a standby Co-Pilot adopting the
+/// node after a failover resumes with every pending request, undelivered
+/// message, and the stall bookkeeping intact.
+pub(crate) struct CoState {
+    /// Read requests waiting for data, per channel.
+    pub pending_reads: HashMap<usize, VecDeque<PendingReq>>,
+    /// Local write requests waiting for their type-4 partner, per channel.
+    pub pending_writes: HashMap<usize, VecDeque<PendingReq>>,
+    /// MPI data that arrived before the local reader asked, per channel.
+    pub pending_mpi: HashMap<usize, VecDeque<Msg>>,
+    /// Whether the node's scripted Co-Pilot stall has already been served
+    /// (a stall fires once per node, not once per service incarnation).
+    pub stall_done: bool,
 }
 
 /// Shared state of one Cell node: the hardware handle, the Co-Pilot's
-/// event queue, and the SPE occupancy registry.
+/// event queue and proxy tables, the failover heartbeat, and the SPE
+/// occupancy registry.
 pub(crate) struct NodeShared {
     pub cell: Arc<CellNode>,
     pub queue: MsgQueue<CoEvent>,
     /// `true` = hardware SPE is free.
     pub free_spes: Mutex<Vec<bool>>,
+    /// The Co-Pilot's proxy tables, shared so a standby can adopt them.
+    pub co_state: Mutex<CoState>,
+    /// Node-local liveness signal between the primary Co-Pilot and its
+    /// standby's watchdog.
+    pub hb: Heartbeat,
 }
 
 impl NodeShared {
@@ -104,6 +144,13 @@ impl NodeShared {
         Arc::new(NodeShared {
             queue: MsgQueue::new(&format!("copilot{}-queue", cell.id), None),
             free_spes: Mutex::new(vec![true; n]),
+            co_state: Mutex::new(CoState {
+                pending_reads: HashMap::new(),
+                pending_writes: HashMap::new(),
+                pending_mpi: HashMap::new(),
+                stall_done: false,
+            }),
+            hb: Heartbeat::new(),
             cell,
         })
     }

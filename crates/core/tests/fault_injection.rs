@@ -3,10 +3,13 @@
 //! the run completes, and every degradation shows up as a structured
 //! incident in the [`cp_des::SimReport`].
 
-use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, CpError, SpeProgram, CP_MAIN};
-use cp_des::{SimDuration, SimTime};
+use cellpilot::trace::{TraceEvent, TraceOp};
+use cellpilot::{
+    CellPilotConfig, CellPilotOpts, CpChannel, CpError, SpeProgram, SupervisionPolicy, CP_MAIN,
+};
+use cp_des::{IncidentCategory, SimDuration, SimReport, SimTime};
 use cp_simnet::{ClusterSpec, FaultPlan, NodeId};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Type-4 blast radius: a crashed SPE writer fails its own channel with
 /// `PeerLost`, while an unrelated same-node SPE pair keeps working, and the
@@ -65,18 +68,14 @@ fn type4_spe_crash_fails_only_touching_channels() {
         })
         .expect("a scripted SPE crash degrades the run, it does not sink it");
 
-    let cats: Vec<&str> = report
-        .incidents
-        .iter()
-        .map(|i| i.category.as_str())
-        .collect();
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
     assert!(
-        cats.contains(&"spe-crash"),
+        cats.contains(&IncidentCategory::SpeCrash),
         "incidents: {:?}",
         report.incidents
     );
     assert!(
-        cats.contains(&"peer-lost"),
+        cats.contains(&IncidentCategory::PeerLost),
         "incidents: {:?}",
         report.incidents
     );
@@ -134,18 +133,14 @@ fn type5_spe_crash_blast_radius_spans_nodes() {
         })
         .expect("the crash fails two channels' endpoints, not the run");
 
-    let cats: Vec<&str> = report
-        .incidents
-        .iter()
-        .map(|i| i.category.as_str())
-        .collect();
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
     assert!(
-        cats.contains(&"spe-crash"),
+        cats.contains(&IncidentCategory::SpeCrash),
         "incidents: {:?}",
         report.incidents
     );
     assert!(
-        cats.contains(&"peer-lost"),
+        cats.contains(&IncidentCategory::PeerLost),
         "incidents: {:?}",
         report.incidents
     );
@@ -193,7 +188,7 @@ fn copilot_stall_delays_but_preserves_delivery() {
         stalled
             .incidents
             .iter()
-            .any(|i| i.category == "copilot-stall"),
+            .any(|i| i.category == IncidentCategory::CopilotStall),
         "incidents: {:?}",
         stalled.incidents
     );
@@ -256,9 +251,170 @@ fn fault_plan_replays_identically() {
     assert_eq!(report_a.incidents, report_b.incidents);
     assert_eq!(report_a.end_time, report_b.end_time);
     assert!(!trace_a.is_empty());
-    assert!(report_a.incidents.iter().any(|i| i.category == "spe-crash"));
     assert!(report_a
         .incidents
         .iter()
-        .any(|i| i.category == "copilot-stall"));
+        .any(|i| i.category == IncidentCategory::SpeCrash));
+    assert!(report_a
+        .incidents
+        .iter()
+        .any(|i| i.category == IncidentCategory::CopilotStall));
+}
+
+/// Recovery harness: a 5-round SPE ↔ main ping-pong whose sequence of
+/// rank-side reads is the "application output" recovery is judged against.
+/// Returns the report, the trace, and that output. The SPE writer is
+/// process id 1 and writes channel 0; main acks on channel 1.
+fn ping_pong(
+    plan: Option<Arc<FaultPlan>>,
+    supervise: bool,
+) -> (SimReport, Vec<TraceEvent>, Vec<Vec<i32>>) {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let mut opts = CellPilotOpts::new().with_trace();
+    if let Some(p) = plan {
+        opts = opts.with_faults(p);
+    }
+    if supervise {
+        opts = opts.with_supervision(SupervisionPolicy::default());
+    }
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+    let writer = SpeProgram::new("writer", 2048, |spe, _, _| {
+        for i in 0..5i32 {
+            spe.write_slice(CpChannel(0), &[i, i * i, i + 100]).unwrap();
+            // A restarted attempt re-yields this ack from its journal
+            // instead of re-reading the wire, so the assertion must hold
+            // across crashes too.
+            assert_eq!(spe.read_vec::<i32>(CpChannel(1)).unwrap(), vec![i]);
+        }
+    });
+    let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
+    assert_eq!(s.0, 1, "fault plans in these tests target process id 1");
+    let data = cfg.create_channel(s, CP_MAIN).unwrap();
+    let ack = cfg.create_channel(CP_MAIN, s).unwrap();
+    let collected = Arc::new(Mutex::new(Vec::new()));
+    let sink = collected.clone();
+    let (report, trace) = cfg
+        .run_traced(move |cp| {
+            let t = cp.run_spe(s, 0, 0).unwrap();
+            for i in 0..5i32 {
+                let v = cp.read_vec::<i32>(data).unwrap();
+                sink.lock().unwrap().push(v);
+                cp.write_slice(ack, &[i]).unwrap();
+            }
+            cp.wait_spe(t);
+        })
+        .expect("recovery keeps the run alive");
+    let out = std::mem::take(&mut *collected.lock().unwrap());
+    (report, trace, out)
+}
+
+/// The virtual time main completed its third read in a trace — a point
+/// guaranteed to be mid-stream, with acknowledged operations behind the
+/// writer and live ones ahead of it.
+fn third_read_at(trace: &[TraceEvent]) -> SimTime {
+    trace
+        .iter()
+        .filter(|e| e.op == TraceOp::RankRead && e.process == "main")
+        .nth(2)
+        .expect("the golden run makes five rank reads")
+        .at
+}
+
+/// The tentpole recovery guarantee, SPE side: a supervised SPE crashed
+/// mid-stream is restarted from its op journal, and the application output
+/// is byte-identical to the fault-free golden run — peers observe every
+/// message exactly once, no `PeerLost` anywhere.
+#[test]
+fn supervised_spe_crash_output_matches_fault_free_run() {
+    let (golden_report, golden_trace, golden_out) = ping_pong(None, true);
+    assert!(
+        golden_report.incidents.is_empty(),
+        "{:?}",
+        golden_report.incidents
+    );
+    assert_eq!(golden_out.len(), 5);
+
+    let plan = Arc::new(FaultPlan::new().crash_spe(1, third_read_at(&golden_trace)));
+    let (report, _trace, out) = ping_pong(Some(plan), true);
+    assert_eq!(out, golden_out, "supervised recovery must be lossless");
+
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
+    assert!(cats.contains(&IncidentCategory::SpeCrash), "{cats:?}");
+    assert!(cats.contains(&IncidentCategory::SpeRestart), "{cats:?}");
+    assert!(!cats.contains(&IncidentCategory::PeerLost), "{cats:?}");
+    assert!(!cats.contains(&IncidentCategory::SpeAbandoned), "{cats:?}");
+}
+
+/// The tentpole recovery guarantee, Co-Pilot side: killing a node's
+/// Co-Pilot mid-stream hands its proxy tables, queued mailbox traffic and
+/// dedup state to the standby, and the application output is byte-identical
+/// to the fault-free golden run.
+#[test]
+fn copilot_failover_output_matches_fault_free_run() {
+    let (golden_report, golden_trace, golden_out) = ping_pong(None, false);
+    assert!(
+        golden_report.incidents.is_empty(),
+        "{:?}",
+        golden_report.incidents
+    );
+
+    let plan = Arc::new(FaultPlan::new().kill_copilot(NodeId(0), third_read_at(&golden_trace)));
+    let (report, _trace, out) = ping_pong(Some(plan), false);
+    assert_eq!(out, golden_out, "failover must be application-invisible");
+
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
+    assert!(cats.contains(&IncidentCategory::CopilotDeath), "{cats:?}");
+    assert!(
+        cats.contains(&IncidentCategory::CopilotFailover),
+        "{cats:?}"
+    );
+    assert!(!cats.contains(&IncidentCategory::PeerLost), "{cats:?}");
+}
+
+/// Supervision is a budget, not a blank cheque: enough stacked crashes
+/// exhaust `max_restarts`, the SPE is abandoned with an incident, and its
+/// channels degrade to the unsupervised `PeerLost` behaviour.
+#[test]
+fn restart_exhaustion_abandons_spe_and_degrades_to_peer_lost() {
+    let spec = ClusterSpec::two_cells_one_xeon();
+    // Three stacked crashes: the initial attempt and both permitted
+    // restarts (`max_restarts: 2`) each die at their first write.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .crash_spe(1, SimTime::ZERO)
+            .crash_spe(1, SimTime::ZERO)
+            .crash_spe(1, SimTime::ZERO),
+    );
+    let opts = CellPilotOpts::new()
+        .with_faults(plan)
+        .with_supervision(SupervisionPolicy::default())
+        .with_channel_timeout(SimDuration::from_millis(5));
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+    let doomed = SpeProgram::new("doomed", 2048, |spe, _, _| {
+        let _ = spe.write_slice(CpChannel(0), &[1i32]);
+        unreachable!("every attempt dies at its first write");
+    });
+    let s = cfg.create_spe_process(&doomed, CP_MAIN, 0).unwrap();
+    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let report = cfg
+        .run(move |cp| {
+            let t = cp.run_spe(s, 0, 0).unwrap();
+            match cp.read_vec::<i32>(chan) {
+                Err(CpError::PeerLost { channel: 0, peer }) => {
+                    assert!(peer.starts_with("doomed"), "{peer}")
+                }
+                other => panic!("expected PeerLost after abandonment, got {other:?}"),
+            }
+            cp.wait_spe(t);
+        })
+        .expect("an abandoned SPE degrades the run, it does not sink it");
+
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
+    let restarts = cats
+        .iter()
+        .filter(|&&c| c == IncidentCategory::SpeRestart)
+        .count();
+    assert_eq!(restarts, 2, "incidents: {:?}", report.incidents);
+    assert!(cats.contains(&IncidentCategory::SpeAbandoned), "{cats:?}");
+    assert!(cats.contains(&IncidentCategory::PeerLost), "{cats:?}");
 }

@@ -70,6 +70,61 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Machine-matchable classification of an [`Incident`].
+///
+/// Closed enum rather than a free-form string so harnesses that filter
+/// incidents (blast-radius tests, the chaos campaign driver) cannot drift
+/// out of sync with the reporters. The [`fmt::Display`] renderings are the
+/// exact kebab-case strings the categories were before they were typed
+/// (`"spe-crash"`, `"rank-death"`, ...), so golden traces and log scrapes
+/// stay stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncidentCategory {
+    /// A scripted SPE crash fired (fail-stop of one SPE process).
+    SpeCrash,
+    /// A supervised SPE process was restarted after a crash.
+    SpeRestart,
+    /// A supervised SPE process exhausted its restart budget and was
+    /// abandoned; its channels degrade to the peer-lost path.
+    SpeAbandoned,
+    /// An MPI rank was killed by the fault plan.
+    RankDeath,
+    /// A channel operation failed because its peer process is gone.
+    PeerLost,
+    /// A channel operation's virtual-time deadline elapsed.
+    ChannelTimeout,
+    /// A Co-Pilot service loop was unresponsive for a scripted duration.
+    CopilotStall,
+    /// A Co-Pilot process was killed by the fault plan.
+    CopilotDeath,
+    /// A standby Co-Pilot adopted a dead primary's node after missed
+    /// heartbeats.
+    CopilotFailover,
+}
+
+impl IncidentCategory {
+    /// The stable kebab-case rendering (what [`fmt::Display`] prints).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IncidentCategory::SpeCrash => "spe-crash",
+            IncidentCategory::SpeRestart => "spe-restart",
+            IncidentCategory::SpeAbandoned => "spe-abandoned",
+            IncidentCategory::RankDeath => "rank-death",
+            IncidentCategory::PeerLost => "peer-lost",
+            IncidentCategory::ChannelTimeout => "channel-timeout",
+            IncidentCategory::CopilotStall => "copilot-stall",
+            IncidentCategory::CopilotDeath => "copilot-death",
+            IncidentCategory::CopilotFailover => "copilot-failover",
+        }
+    }
+}
+
+impl fmt::Display for IncidentCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A non-fatal degradation event recorded during a run.
 ///
 /// Fault-injection experiments (see `cp-simnet`'s fault plans) deliberately
@@ -83,8 +138,8 @@ pub struct Incident {
     pub at: SimTime,
     /// Name of the reporting process.
     pub process: String,
-    /// Machine-matchable category, e.g. `"peer-lost"` or `"timeout"`.
-    pub category: String,
+    /// Machine-matchable category.
+    pub category: IncidentCategory,
     /// Human-readable description of what degraded.
     pub detail: String,
 }

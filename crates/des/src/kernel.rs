@@ -15,7 +15,7 @@
 //! them is blocked with no possible waker: the kernel reports a
 //! [`SimError::Deadlock`] naming each process and its blocking reason.
 
-use crate::error::{Incident, Pid, SimError, SimReport};
+use crate::error::{Incident, IncidentCategory, Pid, SimError, SimReport};
 use crate::time::{SimDuration, SimTime};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
@@ -364,14 +364,14 @@ impl ProcCtx {
     /// abandoning channel 3"). Incidents are collected in
     /// [`SimReport::incidents`] so fault-injection harnesses can assert on
     /// exactly what degraded.
-    pub fn report_incident(&self, category: &str, detail: &str) {
+    pub fn report_incident(&self, category: IncidentCategory, detail: &str) {
         let mut st = self.kernel.state.lock();
         let at = st.now;
         let process = st.procs[self.pid].name.clone();
         st.incidents.push(Incident {
             at,
             process,
-            category: category.to_string(),
+            category,
             detail: detail.to_string(),
         });
     }
@@ -943,13 +943,17 @@ mod tests {
         let mut sim = Simulation::new();
         sim.spawn("survivor", |ctx| {
             ctx.advance(SimDuration::from_micros(2));
-            ctx.report_incident("peer-lost", "rank 3 died; abandoning channel 7");
+            ctx.report_incident(
+                IncidentCategory::PeerLost,
+                "rank 3 died; abandoning channel 7",
+            );
         });
         let r = sim.run().unwrap();
         assert_eq!(r.incidents.len(), 1);
         let inc = &r.incidents[0];
         assert_eq!(inc.process, "survivor");
-        assert_eq!(inc.category, "peer-lost");
+        assert_eq!(inc.category, IncidentCategory::PeerLost);
+        assert_eq!(inc.category.to_string(), "peer-lost");
         assert_eq!(inc.at.as_nanos(), 2_000);
         assert!(inc.detail.contains("channel 7"));
     }

@@ -40,6 +40,6 @@ mod kernel;
 pub mod sync;
 mod time;
 
-pub use error::{Incident, Pid, SimError, SimReport};
+pub use error::{Incident, IncidentCategory, Pid, SimError, SimReport};
 pub use kernel::{ProcCtx, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -39,5 +39,5 @@ pub use collect::{
 pub use costs::MpiCosts;
 pub use datatype::{decode_slice, encode_slice, Datatype, LongDouble, MpiScalar};
 pub use group::{Color, SubComm};
-pub use message::{Envelope, MailStore, Payload, Rank, SrcSel, Tag, TagSel};
+pub use message::{absorb_rank_death, Envelope, MailStore, Payload, Rank, SrcSel, Tag, TagSel};
 pub use world::{mpirun, Comm, MpiFault, MpiWorld, Msg};

@@ -9,7 +9,7 @@
 use crate::datatype::Datatype;
 use cp_des::{Pid, ProcCtx, SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// An MPI rank number.
@@ -64,6 +64,13 @@ pub struct Envelope {
     pub dtype: Datatype,
     /// Number of elements.
     pub count: usize,
+    /// Wire sequence number for exactly-once delivery: every *logical* send
+    /// gets a cluster-unique non-zero id, and every wire-level copy of it
+    /// (fault-plan duplicates, retransmissions after a dropped attempt)
+    /// carries the same id, so the receiving [`MailStore`] can discard all
+    /// but the first copy. `0` means "unsequenced" and is never deduped
+    /// (used by hand-built envelopes in tests).
+    pub wire_seq: u64,
     /// The payload.
     pub payload: Payload,
 }
@@ -82,6 +89,27 @@ impl Envelope {
 /// the rank's process cleanly instead of failing the whole simulation.
 pub(crate) struct RankDeadUnwind;
 
+/// Run `f`, absorbing the fail-stop unwind raised when the mailbox it was
+/// blocked on is poisoned or retired ([`MailStore::poison`] /
+/// [`MailStore::take_over`]). Returns `Some(value)` on normal completion and
+/// `None` if the rank died under `f`; any other panic propagates.
+///
+/// This lets a service loop that shares a rank's mailbox (e.g. a Co-Pilot's
+/// MPI pump) retire quietly when a fault plan kills the rank or a standby
+/// takes the mailbox over, instead of failing the whole simulation.
+pub fn absorb_rank_death<T>(f: impl FnOnce() -> T) -> Option<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<RankDeadUnwind>().is_some() {
+                None
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
 struct StoreInner {
     arrived: Vec<(SimTime, u64, Envelope)>,
     next_arrival: u64,
@@ -90,6 +118,13 @@ struct StoreInner {
     /// Set when the owning rank is killed by a fault plan: deliveries are
     /// discarded and the owner's receives unwind with [`RankDeadUnwind`].
     poisoned: bool,
+    /// Wire sequence numbers already delivered (exactly-once dedup): a
+    /// second wire copy of a sequenced envelope is silently discarded.
+    seen: HashSet<u64>,
+    /// Set by [`MailStore::take_over`]: future deliveries are forwarded to
+    /// the adopting store and blocked receivers unwind as dead so the old
+    /// owner's pump can retire.
+    forward_to: Option<MailStore>,
 }
 
 /// The matching store of one rank.
@@ -115,29 +150,92 @@ impl MailStore {
                 waiters: VecDeque::new(),
                 label: label.to_string(),
                 poisoned: false,
+                seen: HashSet::new(),
+                forward_to: None,
             })),
         }
     }
 
     /// Deliver an envelope that becomes visible `latency` from now.
     ///
+    /// Exactly-once: a sequenced envelope (`wire_seq != 0`) whose sequence
+    /// number was already delivered here is silently discarded, so
+    /// fault-plan duplicates and retransmitted copies never surface twice.
+    ///
     /// Wakes *every* waiter: several processes may wait on one store with
     /// different predicates (e.g. a Co-Pilot's MPI pump waiting for data
     /// while the Co-Pilot itself waits for a rendezvous CTS on the same
     /// rank), and only the matching one will consume; the rest re-register.
     pub fn deliver(&self, ctx: &ProcCtx, env: Envelope, latency: SimDuration) {
-        let mut st = self.inner.lock();
-        if st.poisoned {
-            // The owning rank is dead: the wire drops the message on the
-            // floor, exactly like a real NIC with no host behind it.
-            return;
+        let forward = {
+            let mut st = self.inner.lock();
+            if st.poisoned {
+                // The owning rank is dead: the wire drops the message on the
+                // floor, exactly like a real NIC with no host behind it.
+                return;
+            }
+            match &st.forward_to {
+                Some(target) => target.clone(),
+                None => {
+                    if env.wire_seq != 0 && !st.seen.insert(env.wire_seq) {
+                        // Second wire copy of an already-delivered message.
+                        return;
+                    }
+                    let seq = st.next_arrival;
+                    st.next_arrival += 1;
+                    st.arrived.push((ctx.now() + latency, seq, env));
+                    for w in std::mem::take(&mut st.waiters) {
+                        ctx.unblock(w, latency);
+                    }
+                    return;
+                }
+            }
+        };
+        // A standby took this mailbox over: the wire now lands there.
+        forward.deliver(ctx, env, latency);
+    }
+
+    /// Hand this store's queue over to `target` (Co-Pilot failover): queued
+    /// envelopes move across preserving their arrival instants and relative
+    /// order, the dedup set merges so retransmitted copies of anything the
+    /// old owner already saw stay suppressed, future [`MailStore::deliver`]
+    /// calls forward to `target`, and any process blocked receiving on this
+    /// store unwinds as dead (absorb with [`absorb_rank_death`]).
+    pub fn take_over(&self, ctx: &ProcCtx, target: &MailStore) {
+        let (moved, seen, waiters) = {
+            let mut st = self.inner.lock();
+            st.forward_to = Some(target.clone());
+            let mut moved = std::mem::take(&mut st.arrived);
+            moved.sort_by_key(|(at, seq, _)| (*at, *seq));
+            (
+                moved,
+                std::mem::take(&mut st.seen),
+                std::mem::take(&mut st.waiters),
+            )
+        };
+        {
+            let mut tgt = target.inner.lock();
+            for (at, _, env) in moved {
+                let seq = tgt.next_arrival;
+                tgt.next_arrival += 1;
+                tgt.arrived.push((at, seq, env));
+            }
+            tgt.seen.extend(seen);
+            let tw = std::mem::take(&mut tgt.waiters);
+            for w in tw {
+                ctx.unblock(w, SimDuration::ZERO);
+            }
         }
-        let seq = st.next_arrival;
-        st.next_arrival += 1;
-        st.arrived.push((ctx.now() + latency, seq, env));
-        for w in std::mem::take(&mut st.waiters) {
-            ctx.unblock(w, latency);
+        // Wake the old owner's blocked receivers so they notice retirement
+        // and unwind (their next pass sees `forward_to` set).
+        for w in waiters {
+            ctx.unblock(w, SimDuration::ZERO);
         }
+    }
+
+    /// True once [`MailStore::take_over`] has redirected this store.
+    pub fn is_retired(&self) -> bool {
+        self.inner.lock().forward_to.is_some()
     }
 
     /// Kill the owning rank's mailbox: pending and future deliveries are
@@ -168,7 +266,7 @@ impl MailStore {
             let label;
             {
                 let mut st = self.inner.lock();
-                if st.poisoned {
+                if st.poisoned || st.forward_to.is_some() {
                     drop(st);
                     std::panic::resume_unwind(Box::new(RankDeadUnwind));
                 }
@@ -216,7 +314,7 @@ impl MailStore {
             let label;
             {
                 let mut st = self.inner.lock();
-                if st.poisoned {
+                if st.poisoned || st.forward_to.is_some() {
                     drop(st);
                     std::panic::resume_unwind(Box::new(RankDeadUnwind));
                 }
@@ -271,7 +369,7 @@ impl MailStore {
             let label;
             {
                 let mut st = self.inner.lock();
-                if st.poisoned {
+                if st.poisoned || st.forward_to.is_some() {
                     drop(st);
                     std::panic::resume_unwind(Box::new(RankDeadUnwind));
                 }
@@ -329,6 +427,7 @@ mod tests {
             tag,
             dtype: Datatype::Byte,
             count: 1,
+            wire_seq: 0,
             payload: Payload::Data(vec![byte]),
         }
     }
@@ -417,6 +516,80 @@ mod tests {
     }
 
     #[test]
+    fn sequenced_duplicate_is_discarded_unsequenced_is_not() {
+        let store = MailStore::new("r0");
+        let mut sim = Simulation::new();
+        let (s1, s2) = (store.clone(), store);
+        sim.spawn("sender", move |ctx| {
+            let mut sequenced = env(1, 0, b'a');
+            sequenced.wire_seq = 7;
+            // Two wire copies of one logical send: only the first lands.
+            s1.deliver(ctx, sequenced.clone(), SimDuration::ZERO);
+            s1.deliver(ctx, sequenced, SimDuration::from_micros(3));
+            // Unsequenced envelopes never dedup.
+            s1.deliver(ctx, env(2, 0, b'b'), SimDuration::ZERO);
+            s1.deliver(ctx, env(2, 0, b'b'), SimDuration::ZERO);
+        });
+        sim.spawn("recv", move |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            assert_eq!(s2.queued(), 3);
+            let m = s2.recv_where(ctx, "recv", |e| e.matches_recv(Some(1), None));
+            assert_eq!(m.payload, Payload::Data(vec![b'a']));
+            assert!(s2.iprobe(ctx, |e| e.matches_recv(Some(1), None)).is_none());
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn take_over_moves_queue_forwards_and_keeps_dedup() {
+        let old = MailStore::new("primary");
+        let new = MailStore::new("standby");
+        let mut sim = Simulation::new();
+        let (old_s, new_s) = (old.clone(), new.clone());
+        sim.spawn("driver", move |ctx| {
+            let mut first = env(1, 0, b'x');
+            first.wire_seq = 11;
+            old_s.deliver(ctx, first.clone(), SimDuration::ZERO);
+            old_s.take_over(ctx, &new_s);
+            assert!(old_s.is_retired());
+            // The queued envelope moved across.
+            assert_eq!(old_s.queued(), 0);
+            assert_eq!(new_s.queued(), 1);
+            // A retransmitted copy of the pre-takeover message forwards to
+            // the new store and is still deduped there.
+            old_s.deliver(ctx, first, SimDuration::ZERO);
+            assert_eq!(new_s.queued(), 1);
+            // Fresh traffic addressed to the old store lands in the new one.
+            let mut second = env(1, 0, b'y');
+            second.wire_seq = 12;
+            old_s.deliver(ctx, second, SimDuration::ZERO);
+            assert_eq!(new_s.queued(), 2);
+            let m = new_s.recv_where(ctx, "recv", |e| e.matches_recv(Some(1), None));
+            assert_eq!(m.payload, Payload::Data(vec![b'x']));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn receiver_blocked_on_taken_over_store_unwinds_absorbable() {
+        let old = MailStore::new("primary");
+        let new = MailStore::new("standby");
+        let mut sim = Simulation::new();
+        let (old_a, old_b, new_b) = (old.clone(), old, new);
+        sim.spawn("pump", move |ctx| {
+            let got = absorb_rank_death(|| {
+                old_a.recv_where(ctx, "pump recv", |e| e.matches_recv(None, None))
+            });
+            assert!(got.is_none(), "pump must retire on takeover");
+        });
+        sim.spawn("watchdog", move |ctx| {
+            ctx.advance(SimDuration::from_micros(5));
+            old_b.take_over(ctx, &new_b);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
     fn control_payloads_do_not_match_user_recv() {
         let e = Envelope {
             src: 0,
@@ -424,6 +597,7 @@ mod tests {
             tag: 5,
             dtype: Datatype::Byte,
             count: 0,
+            wire_seq: 0,
             payload: Payload::Cts { id: 3 },
         };
         assert!(!e.matches_recv(None, None));

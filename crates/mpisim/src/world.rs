@@ -4,7 +4,7 @@
 use crate::costs::MpiCosts;
 use crate::datatype::{decode_slice, encode_slice, Datatype, MpiScalar};
 use crate::message::{Envelope, MailStore, Payload, Rank, RankDeadUnwind, SrcSel, Tag, TagSel};
-use cp_des::{ProcCtx, SimDuration, SimError, SimReport, Simulation};
+use cp_des::{IncidentCategory, ProcCtx, SimDuration, SimError, SimReport, Simulation};
 use cp_simnet::{Cluster, ClusterSpec, FaultPlan, LinkVerdict, NodeId, NodeKind, RetryPolicy};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -92,6 +92,17 @@ pub(crate) struct WorldInner {
     pub faults: Arc<FaultPlan>,
     pub retry: RetryPolicy,
     next_rdv: AtomicU64,
+    /// Cluster-unique wire sequence numbers (see [`Envelope::wire_seq`]).
+    /// Starts at 1; 0 is the "unsequenced" sentinel.
+    next_wire: AtomicU64,
+}
+
+impl WorldInner {
+    /// Mint the wire sequence number for one logical send. Deterministic
+    /// under the DES kernel (exactly one process runs at a time).
+    pub(crate) fn mint_wire_seq(&self) -> u64 {
+        self.next_wire.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// The set of ranks of one MPI job, mapped onto cluster nodes.
@@ -143,6 +154,7 @@ impl MpiWorld {
                 faults,
                 retry,
                 next_rdv: AtomicU64::new(1),
+                next_wire: AtomicU64::new(1),
             }),
         }
     }
@@ -172,6 +184,21 @@ impl MpiWorld {
         &self.inner.cluster
     }
 
+    /// Redirect `from`'s mailbox to `to` (Co-Pilot failover): queued
+    /// envelopes move across preserving arrival order, the dedup state
+    /// merges, future deliveries to `from` land at `to`, and any process
+    /// blocked receiving as `from` unwinds (absorb the unwind with
+    /// [`crate::absorb_rank_death`]). See [`MailStore::take_over`].
+    pub fn take_over_rank(&self, ctx: &ProcCtx, from: Rank, to: Rank) {
+        assert!(
+            from < self.size(),
+            "takeover source rank {from} out of range"
+        );
+        assert!(to < self.size(), "takeover target rank {to} out of range");
+        assert_ne!(from, to, "a rank cannot take itself over");
+        self.inner.boxes[from].take_over(ctx, &self.inner.boxes[to]);
+    }
+
     /// Bind `rank` to the calling simulated process, yielding its
     /// communicator handle.
     pub fn attach(&self, ctx: &ProcCtx, rank: Rank) -> Comm {
@@ -199,7 +226,7 @@ impl MpiWorld {
                 ctx.advance(SimDuration::from_nanos(at.as_nanos()));
                 world.inner.boxes[rank].poison(ctx);
                 ctx.report_incident(
-                    "rank-death",
+                    IncidentCategory::RankDeath,
                     &format!("rank {rank} killed by fault plan at {at}"),
                 );
             });
@@ -398,6 +425,7 @@ impl Comm {
                     tag,
                     dtype,
                     count,
+                    wire_seq: self.inner.mint_wire_seq(),
                     payload: Payload::Data(data),
                 },
                 bytes,
@@ -413,6 +441,7 @@ impl Comm {
                 tag,
                 dtype,
                 count,
+                wire_seq: self.inner.mint_wire_seq(),
                 payload: Payload::Rts { id, bytes },
             },
             0,
@@ -442,6 +471,7 @@ impl Comm {
                 tag,
                 dtype,
                 count,
+                wire_seq: self.inner.mint_wire_seq(),
                 payload: Payload::RdvData { id, data },
             },
             bytes,
@@ -512,6 +542,7 @@ impl Comm {
                         tag: env.tag,
                         dtype: env.dtype,
                         count: 0,
+                        wire_seq: self.inner.mint_wire_seq(),
                         payload: Payload::Cts { id },
                     },
                     0,
@@ -960,7 +991,7 @@ mod tests {
     }
 
     #[test]
-    fn duplicated_sends_deliver_twice() {
+    fn duplicated_sends_deliver_once() {
         use cp_des::SimTime;
         let plan = FaultPlan::new().duplicate_link(
             NodeId(0),
@@ -974,13 +1005,19 @@ mod tests {
         let mut sim = Simulation::new();
         world.launch(&mut sim, 0, "r0", |comm| {
             comm.send(1, 9, &[42u8]);
+            // A later, distinct send must still get through on its own.
+            comm.send(1, 9, &[43u8]);
         });
         w.launch(&mut sim, 1, "r1", |comm| {
-            // At-least-once under duplication: both copies arrive.
-            for _ in 0..2 {
-                let m = comm.recv(Some(0), Some(9));
-                assert_eq!(m.decode::<u8>(), vec![42]);
-            }
+            // Exactly-once under duplication: the duplicated wire copy is
+            // deduped by the receiver's sequence set, so each logical send
+            // surfaces once, in order, with nothing left behind.
+            let m = comm.recv(Some(0), Some(9));
+            assert_eq!(m.decode::<u8>(), vec![42]);
+            let m = comm.recv(Some(0), Some(9));
+            assert_eq!(m.decode::<u8>(), vec![43]);
+            comm.ctx().advance(SimDuration::from_millis(1));
+            assert!(comm.iprobe(Some(0), Some(9)).is_none());
         });
         sim.run().unwrap();
     }
@@ -1026,7 +1063,7 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert_eq!(report.incidents.len(), 1);
-        assert_eq!(report.incidents[0].category, "rank-death");
+        assert_eq!(report.incidents[0].category, IncidentCategory::RankDeath);
         assert!(report.incidents[0].detail.contains("rank 1"));
     }
 

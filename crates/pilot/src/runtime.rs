@@ -10,7 +10,7 @@ use crate::value::{
     check_against_format, check_read_format, pack_message, payload_bytes, unpack_message, PiScalar,
     PiValue,
 };
-use cp_des::{ProcCtx, SimDuration};
+use cp_des::{IncidentCategory, ProcCtx, SimDuration};
 use cp_mpisim::{Comm, Datatype, MpiFault};
 use std::sync::Arc;
 
@@ -220,8 +220,8 @@ impl Pilot {
             },
         };
         let category = match err {
-            PilotError::PeerLost { .. } => "peer-lost",
-            _ => "channel-timeout",
+            PilotError::PeerLost { .. } => IncidentCategory::PeerLost,
+            _ => IncidentCategory::ChannelTimeout,
         };
         self.ctx()
             .report_incident(category, &format!("process '{}': {err}", self.name()));

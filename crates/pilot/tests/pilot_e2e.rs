@@ -603,10 +603,9 @@ fn read_times_out_under_channel_deadline() {
     let _chan = cfg.create_channel(PI_MAIN, w).unwrap();
     let report = cfg.run(|_p| {}).unwrap();
     assert!(
-        report
-            .incidents
-            .iter()
-            .any(|i| i.category == "channel-timeout" && i.process == "worker"),
+        report.incidents.iter().any(
+            |i| i.category == cp_des::IncidentCategory::ChannelTimeout && i.process == "worker"
+        ),
         "{:?}",
         report.incidents
     );
@@ -651,12 +650,18 @@ fn rank_death_fails_only_touching_channels() {
         })
         .unwrap();
     assert!(
-        report.incidents.iter().any(|i| i.category == "rank-death"),
+        report
+            .incidents
+            .iter()
+            .any(|i| i.category == cp_des::IncidentCategory::RankDeath),
         "{:?}",
         report.incidents
     );
     assert!(
-        report.incidents.iter().any(|i| i.category == "peer-lost"),
+        report
+            .incidents
+            .iter()
+            .any(|i| i.category == cp_des::IncidentCategory::PeerLost),
         "{:?}",
         report.incidents
     );

@@ -92,6 +92,21 @@ pub struct CopilotStall {
     pub duration: SimDuration,
 }
 
+/// A scripted kill of a node's primary Co-Pilot process.
+///
+/// Unlike a [`CopilotStall`] the primary never comes back: its heartbeats
+/// stop, the node's watchdog fires after
+/// [`WATCHDOG_TIMEOUT`](crate::heartbeat::WATCHDOG_TIMEOUT) of silence,
+/// and a standby Co-Pilot adopts the node's proxy tables and in-flight
+/// queues (see the `cellpilot` crate's failover path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopilotKill {
+    /// The Cell node whose primary Co-Pilot dies.
+    pub node: NodeId,
+    /// The death fires at the first service iteration at or after this time.
+    pub at: SimTime,
+}
+
 /// Bounded retransmission with exponential backoff, in virtual time.
 ///
 /// When a sender detects an injected loss it waits [`RetryPolicy::backoff`]
@@ -164,7 +179,12 @@ pub struct FaultPlan {
     spent: Mutex<Vec<u32>>,
     deaths: Vec<RankDeath>,
     crashes: Vec<SpeCrash>,
+    /// Crash entries already fired (parallel to `crashes`): a supervised
+    /// restart must not re-trip the same scripted crash, so
+    /// [`FaultPlan::take_spe_crash`] consumes entries one at a time.
+    crash_fired: Mutex<Vec<bool>>,
     stalls: Vec<CopilotStall>,
+    kills: Vec<CopilotKill>,
 }
 
 impl Default for FaultPlan {
@@ -180,6 +200,7 @@ impl fmt::Debug for FaultPlan {
             .field("deaths", &self.deaths)
             .field("crashes", &self.crashes)
             .field("stalls", &self.stalls)
+            .field("kills", &self.kills)
             .finish()
     }
 }
@@ -192,7 +213,9 @@ impl FaultPlan {
             spent: Mutex::new(Vec::new()),
             deaths: Vec::new(),
             crashes: Vec::new(),
+            crash_fired: Mutex::new(Vec::new()),
             stalls: Vec::new(),
+            kills: Vec::new(),
         }
     }
 
@@ -202,6 +225,7 @@ impl FaultPlan {
             && self.deaths.is_empty()
             && self.crashes.is_empty()
             && self.stalls.is_empty()
+            && self.kills.is_empty()
     }
 
     fn push_link(mut self, fault: LinkFault) -> Self {
@@ -276,8 +300,25 @@ impl FaultPlan {
 
     /// Crash the SPE process with CellPilot process id `process` at its
     /// first channel operation at or after `at`.
+    ///
+    /// Each `crash_spe` entry fires once: under supervision the restarted
+    /// process runs on unless a *further* entry for the same process is
+    /// scheduled, so stacking `max_restarts + 1` entries exhausts a
+    /// supervision budget deterministically.
     pub fn crash_spe(mut self, process: usize, at: SimTime) -> Self {
         self.crashes.push(SpeCrash { process, at });
+        self.crash_fired.lock().push(false);
+        self
+    }
+
+    /// Kill node `node`'s primary Co-Pilot at its first service iteration
+    /// at or after `at`. Without a standby this fails the node's channels;
+    /// with one (the `cellpilot` runtime provisions standbys whenever the
+    /// plan schedules a kill) the watchdog promotes it after
+    /// [`WATCHDOG_TIMEOUT`](crate::heartbeat::WATCHDOG_TIMEOUT) of missed
+    /// heartbeats.
+    pub fn kill_copilot(mut self, node: NodeId, at: SimTime) -> Self {
+        self.kills.push(CopilotKill { node, at });
         self
     }
 
@@ -332,12 +373,30 @@ impl FaultPlan {
         &self.crashes
     }
 
-    /// When process `process` is scripted to crash, if at all.
+    /// When process `process` is scripted to crash, if at all (the earliest
+    /// entry; does not consume — pure query for "is this process doomed").
     pub fn spe_crash_of(&self, process: usize) -> Option<SimTime> {
         self.crashes
             .iter()
             .find(|c| c.process == process)
             .map(|c| c.at)
+    }
+
+    /// Fire-once crash checkpoint: the earliest unfired crash entry for
+    /// `process` whose time has come at `now` is marked fired and returned.
+    /// A supervised restart of the process therefore survives until its
+    /// *next* scheduled crash entry, if any.
+    pub fn take_spe_crash(&self, process: usize, now: SimTime) -> Option<SimTime> {
+        let mut fired = self.crash_fired.lock();
+        self.crashes
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.process == process && now >= c.at && !fired[*i])
+            .min_by_key(|(_, c)| c.at)
+            .map(|(i, c)| {
+                fired[i] = true;
+                c.at
+            })
     }
 
     /// All scripted Co-Pilot stalls, in declaration order.
@@ -348,6 +407,16 @@ impl FaultPlan {
     /// The first scripted stall for node `node`'s Co-Pilot, if any.
     pub fn stall_of(&self, node: NodeId) -> Option<CopilotStall> {
         self.stalls.iter().find(|s| s.node == node).copied()
+    }
+
+    /// All scripted Co-Pilot kills, in declaration order.
+    pub fn copilot_kills(&self) -> &[CopilotKill] {
+        &self.kills
+    }
+
+    /// When node `node`'s primary Co-Pilot is scripted to die, if at all.
+    pub fn copilot_kill_of(&self, node: NodeId) -> Option<SimTime> {
+        self.kills.iter().find(|k| k.node == node).map(|k| k.at)
     }
 }
 
@@ -475,5 +544,33 @@ mod tests {
             plan.egress(SimTime(0), NodeId(0), NodeId(1)),
             LinkVerdict::Deliver
         );
+    }
+
+    #[test]
+    fn copilot_kills_are_queryable_and_count_as_nonempty() {
+        let plan = FaultPlan::new().kill_copilot(NodeId(1), SimTime(2_000));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.copilot_kill_of(NodeId(1)), Some(SimTime(2_000)));
+        assert_eq!(plan.copilot_kill_of(NodeId(0)), None);
+        assert_eq!(plan.copilot_kills().len(), 1);
+    }
+
+    #[test]
+    fn spe_crash_entries_fire_once_each_in_schedule_order() {
+        let plan = FaultPlan::new()
+            .crash_spe(3, SimTime(100))
+            .crash_spe(3, SimTime(500))
+            .crash_spe(9, SimTime(200));
+        // Not due yet.
+        assert_eq!(plan.take_spe_crash(3, SimTime(50)), None);
+        // Earliest due entry fires, once.
+        assert_eq!(plan.take_spe_crash(3, SimTime(150)), Some(SimTime(100)));
+        assert_eq!(plan.take_spe_crash(3, SimTime(150)), None);
+        // The second entry fires when its time comes, then the well is dry.
+        assert_eq!(plan.take_spe_crash(3, SimTime(600)), Some(SimTime(500)));
+        assert_eq!(plan.take_spe_crash(3, SimTime(9_999)), None);
+        // Other processes are unaffected; the pure query never consumes.
+        assert_eq!(plan.spe_crash_of(9), Some(SimTime(200)));
+        assert_eq!(plan.take_spe_crash(9, SimTime(300)), Some(SimTime(200)));
     }
 }

@@ -1,0 +1,144 @@
+//! Virtual-time heartbeat/watchdog primitive for Co-Pilot failover.
+//!
+//! A primary service process calls [`Heartbeat::beat`] every
+//! [`HEARTBEAT_PERIOD`] of virtual time; a watchdog process polls
+//! [`Heartbeat::expired`] and, once [`WATCHDOG_TIMEOUT`] passes with no
+//! beat, declares the primary dead and triggers failover. Both sides run as
+//! ordinary DES processes, so the detection timeline is deterministic and
+//! replays exactly: a primary killed at virtual time `t` is *always*
+//! detected at `t + WATCHDOG_TIMEOUT` (to within one poll period).
+//!
+//! The primitive itself is transport-agnostic — it is a shared last-beat
+//! cell, not a message protocol — because on a real hybrid cluster the
+//! heartbeat would ride the node's local bus (the standby watches its own
+//! node's primary), not the wire.
+
+use cp_des::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How often a healthy primary beats.
+pub const HEARTBEAT_PERIOD: SimDuration = SimDuration(200_000); // 200 µs
+
+/// Silence threshold after which the watchdog declares the primary dead.
+/// Five missed beats: long enough that a scripted [`CopilotStall`] shorter
+/// than 1 ms never triggers a spurious failover, short enough that recovery
+/// stays in the µs–ms regime the paper's experiments run at.
+///
+/// [`CopilotStall`]: crate::faults::CopilotStall
+pub const WATCHDOG_TIMEOUT: SimDuration = SimDuration(1_000_000); // 1 ms
+
+struct HbInner {
+    last: SimTime,
+    stopped: bool,
+}
+
+/// A shared last-beat cell between one primary and its watchdog.
+pub struct Heartbeat {
+    inner: Arc<Mutex<HbInner>>,
+}
+
+impl Clone for Heartbeat {
+    fn clone(&self) -> Self {
+        Heartbeat {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heartbeat {
+    /// A fresh cell, considered beaten at t = 0 (a primary gets a full
+    /// [`WATCHDOG_TIMEOUT`] of grace before its first beat is due).
+    pub fn new() -> Heartbeat {
+        Heartbeat {
+            inner: Arc::new(Mutex::new(HbInner {
+                last: SimTime::ZERO,
+                stopped: false,
+            })),
+        }
+    }
+
+    /// Record a beat at `now`.
+    pub fn beat(&self, now: SimTime) {
+        let mut hb = self.inner.lock();
+        if now > hb.last {
+            hb.last = now;
+        }
+    }
+
+    /// The instant of the most recent beat.
+    pub fn last_beat(&self) -> SimTime {
+        self.inner.lock().last
+    }
+
+    /// True once the silence since the last beat exceeds `timeout` at `now`.
+    pub fn expired(&self, now: SimTime, timeout: SimDuration) -> bool {
+        now.since(self.inner.lock().last) > timeout
+    }
+
+    /// Retire the pair cleanly (normal shutdown): the watchdog must treat a
+    /// stopped cell as "no failover needed" and exit, and further beats are
+    /// pointless. Idempotent.
+    pub fn stop(&self) {
+        self.inner.lock().stopped = true;
+    }
+
+    /// True once [`Heartbeat::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.lock().stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_only_after_timeout_of_silence() {
+        let hb = Heartbeat::new();
+        let timeout = SimDuration::from_micros(100);
+        hb.beat(SimTime(5_000));
+        assert!(!hb.expired(SimTime(5_000), timeout));
+        assert!(!hb.expired(SimTime(105_000), timeout), "exactly at timeout");
+        assert!(hb.expired(SimTime(105_001), timeout));
+        // A fresh beat resets the clock.
+        hb.beat(SimTime(200_000));
+        assert!(!hb.expired(SimTime(250_000), timeout));
+        assert_eq!(hb.last_beat(), SimTime(200_000));
+    }
+
+    #[test]
+    fn beats_never_move_backwards() {
+        let hb = Heartbeat::new();
+        hb.beat(SimTime(10_000));
+        hb.beat(SimTime(4_000));
+        assert_eq!(hb.last_beat(), SimTime(10_000));
+    }
+
+    #[test]
+    fn stop_is_sticky_and_shared() {
+        let hb = Heartbeat::new();
+        let peer = hb.clone();
+        assert!(!peer.is_stopped());
+        hb.stop();
+        assert!(peer.is_stopped());
+        hb.stop();
+        assert!(hb.is_stopped());
+    }
+
+    #[test]
+    fn stall_shorter_than_watchdog_timeout_cannot_trip_it() {
+        // The contract DESIGN.md documents: a Co-Pilot stall below 1 ms must
+        // never look like a death to the watchdog.
+        let hb = Heartbeat::new();
+        hb.beat(SimTime(0));
+        let stall_end = SimTime(WATCHDOG_TIMEOUT.as_nanos() - 1);
+        assert!(!hb.expired(stall_end, WATCHDOG_TIMEOUT));
+    }
+}

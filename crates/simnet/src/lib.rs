@@ -10,8 +10,10 @@
 
 mod cluster;
 pub mod faults;
+pub mod heartbeat;
 mod netcosts;
 
 pub use cluster::{Cluster, ClusterSpec, NodeHw, NodeId, NodeKind};
-pub use faults::{FaultPlan, LinkVerdict, RetryPolicy};
+pub use faults::{CopilotKill, FaultPlan, LinkVerdict, RetryPolicy};
+pub use heartbeat::{Heartbeat, HEARTBEAT_PERIOD, WATCHDOG_TIMEOUT};
 pub use netcosts::NetCosts;
