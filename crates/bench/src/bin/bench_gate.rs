@@ -1,0 +1,73 @@
+//! CI perf gate: diff a candidate `BENCH_*.json` against a committed
+//! baseline and fail (exit 1) when any channel-type median latency
+//! regresses beyond the tolerance.
+//!
+//! Usage: `bench_gate --baseline PATH --candidate PATH [--tolerance PCT]`
+//! (default tolerance: 20%). Getting *faster* never fails the gate; to
+//! lock in a deliberate improvement (or an accepted slowdown), regenerate
+//! the baseline with `repro_table2 --json BENCH_baseline.json --label
+//! baseline` and commit it.
+
+use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag, usage_error};
+use cp_trace::{gate, BenchReport};
+
+const USAGE: &str = "bench_gate --baseline PATH --candidate PATH [--tolerance PCT]";
+
+fn load(what: &str, path: &str) -> BenchReport {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => usage_error(USAGE, &format!("cannot read {what} {path}: {e}")),
+    };
+    match BenchReport::parse(&text) {
+        Ok(r) => r,
+        Err(e) => usage_error(USAGE, &format!("{what} {path}: {e}")),
+    }
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut candidate: Option<String> = None;
+    let mut tolerance_pct: f64 = 20.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(parse_str_flag(USAGE, "--baseline", args.next())),
+            "--candidate" => candidate = Some(parse_str_flag(USAGE, "--candidate", args.next())),
+            "--tolerance" => {
+                tolerance_pct = parse_int_flag(USAGE, "--tolerance", args.next(), 0, 1000) as f64
+            }
+            other => unknown_flag(USAGE, other),
+        }
+    }
+    let Some(baseline) = baseline else {
+        usage_error(USAGE, "--baseline is required");
+    };
+    let Some(candidate) = candidate else {
+        usage_error(USAGE, "--candidate is required");
+    };
+
+    let base = load("baseline", &baseline);
+    let cand = load("candidate", &candidate);
+    println!(
+        "perf gate: '{}' vs baseline '{}' (tolerance +{tolerance_pct:.0}%)\n",
+        cand.label, base.label
+    );
+    let outcome = gate(&base, &cand, tolerance_pct);
+    for line in &outcome.lines {
+        println!("  {line}");
+    }
+    if outcome.passed() {
+        println!("\ngate passed: every channel-type median within tolerance ✓");
+    } else {
+        eprintln!("\ngate FAILED:");
+        for r in &outcome.regressions {
+            eprintln!("  {r}");
+        }
+        eprintln!(
+            "\nIf this slowdown is intended, refresh the baseline:\n  \
+             cargo run --release -p cp-bench --bin repro_table2 -- \
+             --json BENCH_baseline.json --label baseline"
+        );
+        std::process::exit(1);
+    }
+}

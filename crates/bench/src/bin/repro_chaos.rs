@@ -11,32 +11,32 @@
 //! report: rerun with the same seed and intensity to replay the exact
 //! fault timeline.
 //!
-//! Usage: `repro_chaos [--seeds N] [--intensity K]` (defaults: 32 seeds,
-//! intensity 6).
+//! Usage: `repro_chaos [--seeds N] [--intensity K] [--trace-out PATH]`
+//! (defaults: 32 seeds, intensity 6). `--trace-out` additionally runs one
+//! instrumented campaign on the first seed whose plan schedules a Co-Pilot
+//! kill and writes its Chrome `trace_event` export (openable in
+//! about://tracing or Perfetto, one lane per rank/SPE/Co-Pilot, with the
+//! failover incidents marked) to PATH — CI uploads it as the
+//! failure-debugging artifact.
 
-use cp_bench::{chaos, golden_end_time};
+use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag};
+use cp_bench::{chaos, chaos_traced, golden_end_time, seed_with_failover};
+
+const USAGE: &str = "repro_chaos [--seeds N] [--intensity K] [--trace-out PATH]";
 
 fn main() {
     let mut n_seeds: u64 = 32;
     let mut intensity: u32 = 6;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--seeds" => {
-                n_seeds = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seeds takes a number");
-            }
+            "--seeds" => n_seeds = parse_int_flag(USAGE, "--seeds", args.next(), 1, 1_000_000),
             "--intensity" => {
-                intensity = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--intensity takes a number");
+                intensity = parse_int_flag(USAGE, "--intensity", args.next(), 0, 10_000) as u32
             }
-            other => {
-                panic!("unknown argument {other} (usage: repro_chaos [--seeds N] [--intensity K])")
-            }
+            "--trace-out" => trace_out = Some(parse_str_flag(USAGE, "--trace-out", args.next())),
+            other => unknown_flag(USAGE, other),
         }
     }
 
@@ -77,4 +77,23 @@ fn main() {
         "\nall {n_seeds} seeds: completed, output byte-identical to the \
          fault-free run, every incident accounted for ✓"
     );
+
+    if let Some(path) = trace_out {
+        // Re-run one campaign instrumented, on a seed whose plan kills a
+        // Co-Pilot so the trace shows the standby failover.
+        let seed = seed_with_failover(intensity.max(1));
+        match chaos_traced(seed, intensity.max(1)) {
+            Ok((_, rec)) => {
+                if let Err(e) = std::fs::write(&path, rec.chrome_trace()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote Chrome trace of seed {seed} to {path}");
+            }
+            Err(e) => {
+                eprintln!("traced run of seed {seed} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -46,17 +46,15 @@ fn deadlock_diagnostic(seed: u64) -> String {
 }
 
 fn main() {
+    const USAGE: &str = "repro_explore [--seeds N]";
     let mut n_seeds: u64 = 8;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seeds" => {
-                n_seeds = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seeds takes a number");
+                n_seeds = cp_bench::cli::parse_int_flag(USAGE, "--seeds", args.next(), 1, 100_000)
             }
-            other => panic!("unknown argument {other} (usage: repro_explore [--seeds N])"),
+            other => cp_bench::cli::unknown_flag(USAGE, other),
         }
     }
     let seeds: Vec<u64> = (0..=n_seeds).collect();

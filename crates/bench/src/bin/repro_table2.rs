@@ -1,9 +1,30 @@
 //! Regenerate the paper's Table II: one-way latency (µs) of the five
 //! channel types under CellPilot, hand-coded DMA, and hand-coded copy,
 //! for 1-byte (`%b`) and 1600-byte (`%100Lf`) payloads.
+//!
+//! With `--json PATH` the per-type medians (plus the type-2 PingPong
+//! payload sweep) are also written as a machine-readable
+//! `BENCH_<label>.json` report — the document the CI perf gate diffs
+//! against the committed `BENCH_baseline.json` (see `bench_gate`).
+
+use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag};
+
+const USAGE: &str = "repro_table2 [--reps N] [--json PATH] [--label L]";
 
 fn main() {
-    let reps = 50;
+    let mut reps: usize = 50;
+    let mut json_path: Option<String> = None;
+    let mut label = "local".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = parse_int_flag(USAGE, "--reps", args.next(), 1, 100_000) as usize,
+            "--json" => json_path = Some(parse_str_flag(USAGE, "--json", args.next())),
+            "--label" => label = parse_str_flag(USAGE, "--label", args.next()),
+            other => unknown_flag(USAGE, other),
+        }
+    }
+
     println!("Reproducing Table II ({reps} timed repetitions per cell)...\n");
     let cells = cp_bench::measure_table2(reps);
     print!("{}", cp_bench::render_table2(&cells));
@@ -27,4 +48,13 @@ fn main() {
         worst.0 * 100.0,
         worst.1
     );
+
+    if let Some(path) = json_path {
+        let report = cp_bench::bench_report(&label, reps);
+        if let Err(e) = std::fs::write(&path, report.to_json_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote bench report '{label}' to {path}");
+    }
 }

@@ -375,11 +375,43 @@ fn allowed_categories(counts: (u32, u32, u32, u32, u32, u32)) -> Vec<IncidentCat
 /// invariants. Deterministic: the same `(seed, intensity)` replays the
 /// same faults against the same workload, timestamp for timestamp.
 pub fn chaos(seed: u64, intensity: u32) -> Result<ChaosReport, ChaosFailure> {
+    chaos_with(seed, intensity, cp_trace::Recorder::disabled())
+}
+
+/// [`chaos`] with an observability recorder attached: returns the same
+/// invariant-checked report plus the recorder, whose
+/// [`cp_trace::Recorder::chrome_trace`] export shows every rank, SPE and
+/// Co-Pilot lane with the run's failover incidents. That the invariants
+/// still hold with recording on is itself a regression check: tracing must
+/// never consume virtual time, so the traced run stays byte-identical to
+/// the untraced golden run.
+pub fn chaos_traced(
+    seed: u64,
+    intensity: u32,
+) -> Result<(ChaosReport, cp_trace::Recorder), ChaosFailure> {
+    let rec = cp_trace::Recorder::enabled();
+    let report = chaos_with(seed, intensity, rec.clone())?;
+    Ok((report, rec))
+}
+
+/// The smallest seed whose `(seed, intensity)` chaos plan schedules at
+/// least one Co-Pilot kill — the interesting trace to export, because it
+/// exercises the standby failover path end to end.
+pub fn seed_with_failover(intensity: u32) -> u64 {
+    (0..).find(|&s| chaos_plan(s, intensity).1 .5 > 0).unwrap()
+}
+
+fn chaos_with(
+    seed: u64,
+    intensity: u32,
+    recorder: cp_trace::Recorder,
+) -> Result<ChaosReport, ChaosFailure> {
     let (golden_out, _) = golden().clone();
     let (plan, counts) = chaos_plan(seed, intensity);
     let opts = base_opts()
         .with_faults(Arc::new(plan))
-        .with_retry(RetryPolicy::default());
+        .with_retry(RetryPolicy::default())
+        .with_tracing(recorder);
     let (out, end_time, report) =
         run_workload(opts).map_err(|error| ChaosFailure::Sunk { seed, error })?;
     if out != golden_out {

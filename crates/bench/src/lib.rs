@@ -13,20 +13,26 @@
 //!   simulator itself.
 
 pub mod chaos;
+pub mod cli;
 pub mod codesize;
 pub mod explore;
 pub mod imb;
 pub mod pingpong;
+pub mod report;
 pub mod sweep;
 pub mod table2;
 
-pub use chaos::{chaos, chaos_plan, golden_end_time, ChaosFailure, ChaosOutcome, ChaosReport};
+pub use chaos::{
+    chaos, chaos_plan, chaos_traced, golden_end_time, seed_with_failover, ChaosFailure,
+    ChaosOutcome, ChaosReport,
+};
 pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};
 pub use pingpong::{
     cellpilot_pingpong, cellpilot_pingpong_with, cellpilot_pingpong_xeon_initiator, PingPong,
     WARMUP,
 };
+pub use report::bench_report;
 pub use sweep::{dma_copy_crossover, render_sweep, sweep, SweepPoint, DEFAULT_SIZES};
 pub use table2::{
     measure_table2, render_fig5, render_fig6, render_table2, Cell, PAPER_TABLE2, SIZES,

@@ -1,0 +1,58 @@
+//! Builders for the machine-readable `BENCH_<label>.json` reports the CI
+//! perf gate diffs (see [`cp_trace::BenchReport`] for the schema).
+
+use crate::sweep::{sweep, DEFAULT_SIZES};
+use crate::table2::measure_table2;
+use cp_trace::{BenchChannelType, BenchReport, SweepRow};
+
+/// Measure Table II plus the type-2 PingPong payload sweep and package the
+/// medians as a [`BenchReport`]. The simulator is deterministic, so the
+/// report depends only on the cost models — which is exactly what the CI
+/// gate is meant to catch drifting.
+pub fn bench_report(label: &str, reps: usize) -> BenchReport {
+    let cells = measure_table2(reps);
+    let mut report = BenchReport::new(label, reps as u64);
+    for ty in 1..=5u8 {
+        let cell_for = |bytes: usize| {
+            cells
+                .iter()
+                .find(|c| c.chan_type == ty && c.bytes == bytes)
+                .unwrap_or_else(|| panic!("Table II measures type {ty} at {bytes} B"))
+        };
+        let small = cell_for(1);
+        let large = cell_for(1600);
+        report.channel_types.push(BenchChannelType {
+            chan_type: ty,
+            latency_us_small: small.cellpilot_us,
+            latency_us_large: large.cellpilot_us,
+            throughput_mb_s: large.cellpilot_mb_per_s(),
+        });
+    }
+    report.pingpong_sweep = sweep(2, &DEFAULT_SIZES, reps)
+        .into_iter()
+        .map(|p| SweepRow {
+            bytes: p.bytes as u64,
+            cellpilot_us: p.cellpilot_us,
+            dma_us: p.dma_us,
+            copy_us: p.copy_us,
+        })
+        .collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_types_and_round_trips() {
+        let r = bench_report("test", 3);
+        assert_eq!(r.channel_types.len(), 5);
+        assert_eq!(r.pingpong_sweep.len(), DEFAULT_SIZES.len());
+        assert!(r.channel_types.iter().all(|c| c.latency_us_small > 0.0
+            && c.latency_us_large > c.latency_us_small
+            && c.throughput_mb_s > 0.0));
+        let back = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,133 @@
+//! Exit-code contract of the repro/gate binaries: a CI step must never
+//! silently no-op on a mistyped flag (`--seeds 0` used to run zero seeds
+//! and exit 0). Usage errors exit 2; failed experiments exit 1.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn assert_usage_error(out: &Output, what: &str) {
+    assert_eq!(out.status.code(), Some(2), "{what}: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{what} stderr: {stderr}");
+}
+
+#[test]
+fn repro_chaos_rejects_zero_seeds_and_unknown_flags() {
+    let bin = env!("CARGO_BIN_EXE_repro_chaos");
+    assert_usage_error(&run(bin, &["--seeds", "0"]), "--seeds 0");
+    assert_usage_error(&run(bin, &["--seeds"]), "missing value");
+    assert_usage_error(&run(bin, &["--seeds", "x"]), "non-numeric");
+    assert_usage_error(&run(bin, &["--sedes", "8"]), "typoed flag");
+}
+
+#[test]
+fn repro_explore_rejects_zero_seeds_and_unknown_flags() {
+    let bin = env!("CARGO_BIN_EXE_repro_explore");
+    assert_usage_error(&run(bin, &["--seeds", "0"]), "--seeds 0");
+    assert_usage_error(&run(bin, &["--frobnicate"]), "unknown flag");
+}
+
+#[test]
+fn repro_table2_rejects_bad_flags() {
+    let bin = env!("CARGO_BIN_EXE_repro_table2");
+    assert_usage_error(&run(bin, &["--reps", "0"]), "--reps 0");
+    assert_usage_error(&run(bin, &["--json"]), "missing path");
+    assert_usage_error(&run(bin, &["--bogus"]), "unknown flag");
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cp-bench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn fixture_json(scale: f64) -> String {
+    use cp_trace::{BenchChannelType, BenchReport};
+    let mut r = BenchReport::new("fixture", 5);
+    r.channel_types = (1..=5u8)
+        .map(|t| BenchChannelType {
+            chan_type: t,
+            latency_us_small: (50.0 + f64::from(t)) * scale,
+            latency_us_large: (150.0 + f64::from(t)) * scale,
+            throughput_mb_s: 9.25 / scale,
+        })
+        .collect();
+    r.to_json_string()
+}
+
+#[test]
+fn bench_gate_passes_within_tolerance_and_fails_beyond() {
+    let bin = env!("CARGO_BIN_EXE_bench_gate");
+    assert_usage_error(&run(bin, &[]), "missing flags");
+    assert_usage_error(
+        &run(
+            bin,
+            &["--baseline", "/nonexistent", "--candidate", "/nonexistent"],
+        ),
+        "unreadable files",
+    );
+
+    let base = scratch("base.json");
+    let same = scratch("same.json");
+    let slow = scratch("slow.json");
+    std::fs::write(&base, fixture_json(1.0)).unwrap();
+    std::fs::write(&same, fixture_json(1.05)).unwrap(); // +5% < 20%
+    std::fs::write(&slow, fixture_json(1.5)).unwrap(); // +50% > 20%
+
+    let ok = run(
+        bin,
+        &[
+            "--baseline",
+            base.to_str().unwrap(),
+            "--candidate",
+            same.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+
+    let bad = run(
+        bin,
+        &[
+            "--baseline",
+            base.to_str().unwrap(),
+            "--candidate",
+            slow.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("gate FAILED"), "{stderr}");
+    assert!(
+        stderr.contains("refresh the baseline"),
+        "failure must explain the refresh procedure: {stderr}"
+    );
+}
+
+#[test]
+fn repro_table2_writes_a_parseable_bench_report() {
+    let bin = env!("CARGO_BIN_EXE_repro_table2");
+    let path = scratch("BENCH_test.json");
+    let out = run(
+        bin,
+        &[
+            "--reps",
+            "1",
+            "--json",
+            path.to_str().unwrap(),
+            "--label",
+            "test",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let report = cp_trace::BenchReport::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(report.label, "test");
+    assert_eq!(report.channel_types.len(), 5);
+    assert!(!report.pingpong_sweep.is_empty());
+}

@@ -1,0 +1,112 @@
+//! Observability-layer integration tests: the metrics pin the paper's
+//! routing claims (Table I), and the BENCH report schema is frozen by a
+//! golden file.
+
+use cellpilot::CellPilotOpts;
+use cp_bench::cellpilot_pingpong_with;
+use cp_bench::WARMUP;
+use cp_trace::{BenchChannelType, BenchReport, MetricsSnapshot, Recorder, SweepRow};
+
+fn traced_pingpong(chan_type: u8, bytes: usize, reps: usize) -> MetricsSnapshot {
+    let rec = Recorder::enabled();
+    let opts = CellPilotOpts::new().with_tracing(rec.clone());
+    cellpilot_pingpong_with(chan_type, bytes, reps, opts);
+    rec.snapshot()
+}
+
+/// Table I: a type-4 channel is a same-node SPE↔SPE pairing the Co-Pilot
+/// serves with one local `memcpy` — nothing ever touches MPI, and no
+/// proxy hop is recorded.
+#[test]
+fn type4_pingpong_moves_zero_mpi_payload_bytes() {
+    let snap = traced_pingpong(4, 1600, 3);
+    assert_eq!(
+        snap.mpi.payload_bytes, 0,
+        "a local type-4 run must not move any payload over MPI: {snap:?}"
+    );
+    let t4 = &snap.channel_types[3];
+    assert_eq!(t4.chan_type, 4);
+    let round_trips = (WARMUP + 3) as u64;
+    assert_eq!(t4.writes, 2 * round_trips, "two writes per round trip");
+    assert_eq!(t4.reads, 2 * round_trips);
+    assert_eq!(t4.proxy_hops, 0, "type 4 is pure memcpy, no relay");
+    assert!(t4.latency_us.median > 0.0);
+}
+
+/// Table I: a type-5 message is relayed by two Co-Pilots — the writer's
+/// side forwards over MPI, the reader's side delivers into the local
+/// store. Exactly two proxy hops per message.
+#[test]
+fn type5_pingpong_records_two_relay_hops_per_message() {
+    let snap = traced_pingpong(5, 64, 3);
+    let t5 = &snap.channel_types[4];
+    assert_eq!(t5.chan_type, 5);
+    let messages = 2 * (WARMUP + 3) as u64; // two messages per round trip
+    assert_eq!(t5.writes, messages);
+    assert_eq!(
+        t5.proxy_hops,
+        2 * messages,
+        "every type-5 message crosses exactly two Co-Pilot hops: {snap:?}"
+    );
+    assert!(
+        snap.mpi.payload_bytes > 0,
+        "remote SPE↔SPE traffic rides MPI between the Co-Pilots"
+    );
+}
+
+fn schema_fixture() -> BenchReport {
+    let mut r = BenchReport::new("golden", 5);
+    r.channel_types = (1..=5u8)
+        .map(|t| BenchChannelType {
+            chan_type: t,
+            latency_us_small: 50.0 + f64::from(t) * 0.5,
+            latency_us_large: 150.0 + f64::from(t),
+            throughput_mb_s: 9.25,
+        })
+        .collect();
+    r.pingpong_sweep = vec![
+        SweepRow {
+            bytes: 1,
+            cellpilot_us: 51.5,
+            dma_us: 15.0,
+            copy_us: 14.5,
+        },
+        SweepRow {
+            bytes: 1024,
+            cellpilot_us: 120.25,
+            dma_us: 40.0,
+            copy_us: 75.5,
+        },
+    ];
+    r.metrics = Some(MetricsSnapshot::default());
+    r
+}
+
+/// The BENCH_*.json schema is a contract with the CI gate (and any
+/// dashboards reading the artifacts): its rendering is pinned byte for
+/// byte by a golden file. If this fails because of a deliberate schema
+/// change, bump [`cp_trace::BENCH_SCHEMA`] and regenerate the golden with
+/// `BLESS=1 cargo test -p cp-bench --test observability`.
+#[test]
+fn bench_json_schema_matches_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bench_schema.json"
+    );
+    let rendered = schema_fixture().to_json_string();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file committed");
+    assert_eq!(
+        rendered, golden,
+        "BENCH json schema drifted from tests/golden/bench_schema.json"
+    );
+}
+
+#[test]
+fn bench_json_round_trips() {
+    let r = schema_fixture();
+    let back = BenchReport::parse(&r.to_json_string()).unwrap();
+    assert_eq!(back, r);
+}

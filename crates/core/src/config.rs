@@ -24,6 +24,7 @@ use cp_des::{SimDuration, SimError, SimReport, Simulation};
 use cp_mpisim::{MpiCosts, MpiWorld};
 use cp_pilot::PilotCosts;
 use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
+use cp_trace::Recorder;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -76,6 +77,14 @@ pub struct CellPilotOpts {
     /// Restart crashed SPE work functions instead of failing their
     /// channels; `None` (the default) keeps fail-stop semantics.
     pub supervision: Option<SupervisionPolicy>,
+    /// Cluster-wide observability recorder (see [`cp_trace::Recorder`]).
+    /// Disabled by default; attach an enabled recorder with
+    /// [`CellPilotOpts::with_tracing`] to collect spans, Chrome-trace
+    /// events and a [`cp_trace::MetricsSnapshot`] across the DES kernel,
+    /// the MPI layer, the interconnect and every CellPilot channel
+    /// operation. Recording never consumes virtual time, so enabling it
+    /// does not perturb the schedule.
+    pub tracing: Recorder,
 }
 
 impl CellPilotOpts {
@@ -128,6 +137,15 @@ impl CellPilotOpts {
     /// failing their channels.
     pub fn with_supervision(mut self, policy: SupervisionPolicy) -> CellPilotOpts {
         self.supervision = Some(policy);
+        self
+    }
+
+    /// Attach an observability [`Recorder`] to the run. Pass
+    /// [`Recorder::enabled`] and keep a clone: after the run,
+    /// [`Recorder::snapshot`] yields the aggregated metrics and
+    /// [`Recorder::chrome_trace`] a Chrome `trace_event` JSON export.
+    pub fn with_tracing(mut self, recorder: Recorder) -> CellPilotOpts {
+        self.tracing = recorder;
         self
     }
 }
@@ -507,7 +525,11 @@ impl CellPilotConfig {
         let mut node_shared = HashMap::new();
         for (i, hw) in cluster.nodes.iter().enumerate() {
             if let Some(cell) = &hw.cell {
-                node_shared.insert(NodeId(i), NodeShared::new(cell.clone()));
+                let ns = NodeShared::new(cell.clone());
+                if opts.tracing.is_enabled() {
+                    ns.hb.set_recorder(opts.tracing.clone());
+                }
+                node_shared.insert(NodeId(i), ns);
             }
         }
         let shared = Arc::new(AppShared {
@@ -524,6 +546,7 @@ impl CellPilotConfig {
             failed_spes: Mutex::new(HashSet::new()),
             journals: Mutex::new(HashMap::new()),
             copilot_route: Mutex::new(copilot_ranks.clone()),
+            recorder: opts.tracing.clone(),
         });
         let world = MpiWorld::with_faults(
             cluster,
@@ -532,8 +555,10 @@ impl CellPilotConfig {
             faults,
             opts.retry,
         );
+        world.set_recorder(opts.tracing.clone());
         let mut sim = Simulation::new();
         sim.set_schedule_seed(opts.schedule_seed);
+        sim.set_recorder(opts.tracing.clone());
         // Application rank processes.
         for (pidx, body) in bodies.into_iter().enumerate() {
             let Some(f) = body else { continue };

@@ -304,6 +304,7 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                             chan,
                             n,
                         );
+                        record_hop(ctx, shared, cell.id, chan, "forward");
                     }
                 }
             }
@@ -473,6 +474,30 @@ fn deliver_to_spe(
         crate::trace::TraceOp::CopilotDeliver,
         _chan,
         data.len(),
+    );
+    record_hop(ctx, shared, cell.id, _chan, "deliver");
+}
+
+/// Count one Co-Pilot proxy hop on `chan` and mark it on the Co-Pilot's
+/// Chrome-trace lane. A type-5 message records two hops — the writer-side
+/// MPI forward plus the reader-side delivery — while a purely local type-4
+/// pairing records none.
+fn record_hop(ctx: &ProcCtx, shared: &AppShared, cell_id: usize, chan: usize, what: &str) {
+    if !shared.recorder.is_enabled() {
+        return;
+    }
+    let Some(entry) = shared.tables.channels.get(chan) else {
+        return;
+    };
+    let ty = entry.kind.type_number();
+    shared.recorder.record_proxy_hop(ty);
+    let lane = shared.recorder.lane(&format!("copilot{cell_id}"));
+    shared.recorder.instant(
+        lane,
+        "copilot",
+        &format!("{what} c{chan} (type {ty})"),
+        ctx.now().0,
+        None,
     );
 }
 

@@ -82,16 +82,23 @@ pub enum ChannelKind {
     Type5,
 }
 
-impl fmt::Display for ChannelKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let n = match self {
+impl ChannelKind {
+    /// The Table-I type number (1–5) — the key observability metrics are
+    /// bucketed under.
+    pub fn type_number(self) -> u8 {
+        match self {
             ChannelKind::Type1 => 1,
             ChannelKind::Type2 => 2,
             ChannelKind::Type3 => 3,
             ChannelKind::Type4 => 4,
             ChannelKind::Type5 => 5,
-        };
-        write!(f, "type {n}")
+        }
+    }
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type {}", self.type_number())
     }
 }
 

@@ -50,12 +50,48 @@ pub(crate) struct AppShared {
     /// The MPI rank currently serving each Cell node's Co-Pilot duties —
     /// the standby's rank after a failover. Starts as `copilot_ranks`.
     pub copilot_route: Mutex<BTreeMap<NodeId, usize>>,
+    /// Cluster-wide observability recorder (disabled by default; one
+    /// branch per channel operation when disabled).
+    pub recorder: cp_trace::Recorder,
 }
 
 impl AppShared {
     /// The rank to address for `node`'s Co-Pilot right now.
     pub(crate) fn copilot_rank(&self, node: NodeId) -> usize {
         self.copilot_route.lock()[&node]
+    }
+
+    /// Record one completed channel operation: bump the per-type counters
+    /// and emit a span on the acting process's Chrome-trace lane. `t0` is
+    /// when the operation began (virtual time); recording itself never
+    /// consumes virtual time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_chan_op(
+        &self,
+        who: &str,
+        kind: ChannelKind,
+        chan: usize,
+        write: bool,
+        bytes: usize,
+        t0: SimTime,
+        now: SimTime,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let ty = kind.type_number();
+        let dur = now.since(t0).as_nanos();
+        self.recorder
+            .record_channel_op(ty, write, bytes as u64, dur);
+        let lane = self.recorder.lane(who);
+        let verb = if write { "write" } else { "read" };
+        self.recorder.span(
+            lane,
+            "channel",
+            &format!("{verb} c{chan} (type {ty})"),
+            t0.0,
+            dur,
+        );
     }
 
     /// Whether the SPE process behind `proc` is permanently gone. Under
@@ -154,6 +190,7 @@ impl CellPilot {
         let conv = parse_format(format)?;
         check_against_format(&conv, values)?;
         let data = pack_message(values);
+        let t0 = self.ctx().now();
         self.charge(payload_bytes(values));
         let dest_rank = match self.shared.tables.processes[entry.to.0].location {
             Location::Rank { rank, .. } => rank,
@@ -180,6 +217,15 @@ impl CellPilot {
             crate::trace::TraceOp::RankWrite,
             chan.0,
             n,
+        );
+        self.shared.record_chan_op(
+            &self.name(),
+            entry.kind,
+            chan.0,
+            true,
+            payload_bytes(values),
+            t0,
+            self.ctx().now(),
         );
         Ok(())
     }
@@ -253,6 +299,7 @@ impl CellPilot {
             });
         }
         let conv = parse_format(format)?;
+        let t0 = self.ctx().now();
         let src_sel = self.chan_src_sel(entry.from);
         let tag = Some(CpTables::chan_tag(chan.0));
         // Deadline-bounded reads cannot participate in a deadlock (they
@@ -285,6 +332,15 @@ impl CellPilot {
             crate::trace::TraceOp::RankRead,
             chan.0,
             payload_bytes(&values),
+        );
+        self.shared.record_chan_op(
+            &self.name(),
+            entry.kind,
+            chan.0,
+            false,
+            payload_bytes(&values),
+            t0,
+            self.ctx().now(),
         );
         Ok(values)
     }

@@ -281,6 +281,7 @@ impl SpeCtx {
         let conv = parse_format(format)?;
         check_against_format(&conv, values)?;
         let data = pack_message(values);
+        let t0 = self.ctx.now();
         self.charge(payload_bytes(values));
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
@@ -301,6 +302,15 @@ impl SpeCtx {
                 crate::trace::TraceOp::SpeWrite,
                 chan.0,
                 data.len(),
+            );
+            self.shared.record_chan_op(
+                &self.name(),
+                entry.kind,
+                chan.0,
+                true,
+                payload_bytes(values),
+                t0,
+                self.ctx.now(),
             );
         }
         result.map(|_| ())
@@ -351,6 +361,7 @@ impl SpeCtx {
             }
         }
         let cap = exact_packed_size(&conv).unwrap_or(limit);
+        let t0 = self.ctx.now();
         self.charge(0);
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
@@ -381,6 +392,15 @@ impl SpeCtx {
                 crate::trace::TraceOp::SpeRead,
                 chan.0,
                 n,
+            );
+            self.shared.record_chan_op(
+                &self.name(),
+                entry.kind,
+                chan.0,
+                false,
+                payload_bytes(&values),
+                t0,
+                self.ctx.now(),
             );
             Ok(values)
         });

@@ -17,6 +17,7 @@
 
 use crate::error::{Incident, IncidentCategory, Pid, SimError, SimReport};
 use crate::time::{SimDuration, SimTime};
+use cp_trace::Recorder;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -88,6 +89,9 @@ struct KState {
     dispatches: u64,
     trace: Option<Vec<(SimTime, Pid)>>,
     incidents: Vec<Incident>,
+    /// Observability hook; disabled by default, so recording costs one
+    /// branch per dispatch unless [`Simulation::set_recorder`] arms it.
+    recorder: Recorder,
 }
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function used to
@@ -121,6 +125,7 @@ impl Kernel {
                 dispatches: 0,
                 trace: if trace { Some(Vec::new()) } else { None },
                 incidents: Vec::new(),
+                recorder: Recorder::disabled(),
             }),
             done_cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
@@ -184,6 +189,7 @@ impl Kernel {
             st.procs[pid].timed_out = timed_wake;
             st.cpu_busy = true;
             st.dispatches += 1;
+            st.recorder.record_dispatch(st.now.0, st.queue.len());
             if let Some(trace) = st.trace.as_mut() {
                 trace.push((st.now, pid));
             }
@@ -368,6 +374,8 @@ impl ProcCtx {
         let mut st = self.kernel.state.lock();
         let at = st.now;
         let process = st.procs[self.pid].name.clone();
+        st.recorder
+            .record_incident(at.0, &process, category.as_str(), detail);
         st.incidents.push(Incident {
             at,
             process,
@@ -560,6 +568,15 @@ impl Simulation {
     /// scheduled under the same seed.
     pub fn set_schedule_seed(&mut self, seed: u64) {
         self.kernel.state.lock().sched_seed = seed;
+    }
+
+    /// Attach an observability [`Recorder`]. The kernel reports every
+    /// scheduler dispatch (with the pending-queue depth) and forwards each
+    /// [`Incident`] to it. The default recorder is disabled and costs one
+    /// branch per dispatch; recording never consumes virtual time, so the
+    /// schedule is identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.kernel.state.lock().recorder = recorder;
     }
 
     /// Spawn a root process, runnable at t = 0.

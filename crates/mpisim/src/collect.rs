@@ -93,6 +93,7 @@ impl Comm {
     /// Synchronize all ranks: binomial fan-in to rank 0 followed by a
     /// binomial release broadcast.
     pub fn barrier(&self) {
+        self.record_collective("barrier");
         let size = self.size();
         if size <= 1 {
             return;
@@ -156,6 +157,7 @@ impl Comm {
     /// Broadcast `data` from `root`. The root passes `Some(data)`; all
     /// other ranks pass `None` and receive the broadcast value.
     pub fn bcast<T: MpiScalar>(&self, root: Rank, data: Option<&[T]>) -> Vec<T> {
+        self.record_collective("bcast");
         let (count, bytes) = if self.rank() == root {
             let d = data.expect("root must supply broadcast data");
             (d.len(), encode_slice(d))
@@ -170,6 +172,7 @@ impl Comm {
     /// Returns `Some(messages ordered by rank)` at the root, `None`
     /// elsewhere.
     pub fn gather<T: MpiScalar>(&self, root: Rank, data: &[T]) -> Option<Vec<Vec<T>>> {
+        self.record_collective("gather");
         if self.rank() == root {
             let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
             for r in 0..self.size() {
@@ -190,6 +193,7 @@ impl Comm {
     /// Scatter one part per rank from `root` (linear algorithm). The root
     /// passes `Some(parts)` with exactly one slice per rank.
     pub fn scatter<T: MpiScalar>(&self, root: Rank, parts: Option<&[Vec<T>]>) -> Vec<T> {
+        self.record_collective("scatter");
         if self.rank() == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), self.size(), "one part per rank");
@@ -209,6 +213,7 @@ impl Comm {
     /// contributes `data` (same length everywhere); the root returns
     /// `Some(result)`.
     pub fn reduce<T: ReduceScalar>(&self, root: Rank, op: ReduceOp, data: &[T]) -> Option<Vec<T>> {
+        self.record_collective("reduce");
         let size = self.size();
         let rank = self.rank();
         let relative = (rank + size - root) % size;
@@ -241,6 +246,7 @@ impl Comm {
     /// rank's contribution, in rank order (ring algorithm: P-1 steps, each
     /// rank forwarding what it has not yet seen to its right neighbour).
     pub fn allgather<T: MpiScalar>(&self, data: &[T]) -> Vec<Vec<T>> {
+        self.record_collective("allgather");
         let size = self.size();
         let rank = self.rank();
         let mut out: Vec<Option<Vec<T>>> = vec![None; size];
@@ -267,6 +273,7 @@ impl Comm {
     /// schedule (XOR pairing for power-of-two worlds, shifted ring
     /// otherwise).
     pub fn alltoall<T: MpiScalar>(&self, parts: &[Vec<T>]) -> Vec<Vec<T>> {
+        self.record_collective("alltoall");
         let size = self.size();
         let rank = self.rank();
         assert_eq!(parts.len(), size, "one part per rank");
@@ -289,6 +296,7 @@ impl Comm {
     /// `MPI_Scan`: inclusive prefix reduction — rank `r` returns the
     /// combination of ranks `0..=r`'s contributions (linear chain).
     pub fn scan<T: ReduceScalar>(&self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        self.record_collective("scan");
         let rank = self.rank();
         let mut acc = data.to_vec();
         if rank > 0 {
@@ -310,6 +318,8 @@ impl Comm {
 
     /// Reduce to rank 0 then broadcast the result to everyone.
     pub fn allreduce<T: ReduceScalar>(&self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        // Composite: the inner reduce and bcast count themselves too.
+        self.record_collective("allreduce");
         let reduced = self.reduce(0, op, data);
         if self.rank() == 0 {
             self.bcast(0, Some(&reduced.expect("root has the reduction")))

@@ -6,10 +6,11 @@ use crate::datatype::{decode_slice, encode_slice, Datatype, MpiScalar};
 use crate::message::{Envelope, MailStore, Payload, Rank, RankDeadUnwind, SrcSel, Tag, TagSel};
 use cp_des::{IncidentCategory, ProcCtx, SimDuration, SimError, SimReport, Simulation};
 use cp_simnet::{Cluster, ClusterSpec, FaultPlan, LinkVerdict, NodeId, NodeKind, RetryPolicy};
+use cp_trace::Recorder;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A fault surfaced by the fault-aware communication calls
 /// ([`Comm::try_send_bytes`], [`Comm::try_recv_deadline`]).
@@ -95,6 +96,9 @@ pub(crate) struct WorldInner {
     /// Cluster-unique wire sequence numbers (see [`Envelope::wire_seq`]).
     /// Starts at 1; 0 is the "unsequenced" sentinel.
     next_wire: AtomicU64,
+    /// Observability hook, set once by [`MpiWorld::set_recorder`]; unset
+    /// means recording is off at the cost of one load per check.
+    recorder: OnceLock<Recorder>,
 }
 
 impl WorldInner {
@@ -102,6 +106,11 @@ impl WorldInner {
     /// under the DES kernel (exactly one process runs at a time).
     pub(crate) fn mint_wire_seq(&self) -> u64 {
         self.next_wire.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The attached recorder, only if it actually records.
+    pub(crate) fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.get().filter(|r| r.is_enabled())
     }
 }
 
@@ -155,8 +164,18 @@ impl MpiWorld {
                 retry,
                 next_rdv: AtomicU64::new(1),
                 next_wire: AtomicU64::new(1),
+                recorder: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attach an observability [`Recorder`] (first call wins; call before
+    /// launching ranks). The MPI layer reports logical sends/receives and
+    /// payload bytes, per-attempt wire bytes, collectives, and the link
+    /// verdicts the fault plan injects (drops → retransmits, delays,
+    /// duplications). Recording never consumes virtual time.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        let _ = self.inner.recorder.set(recorder);
     }
 
     /// The fault plan this world runs under (empty by default).
@@ -310,6 +329,14 @@ impl Comm {
         self.ctx.advance(SimDuration::from_micros_f64(us));
     }
 
+    /// Count one collective participation (every rank entering a
+    /// collective counts once, so an N-rank bcast records N).
+    pub(crate) fn record_collective(&self, op: &str) {
+        if let Some(r) = self.inner.recorder() {
+            r.record_collective(op);
+        }
+    }
+
     /// The fault plan this rank's world runs under.
     pub fn fault_plan(&self) -> &Arc<FaultPlan> {
         &self.inner.faults
@@ -349,30 +376,50 @@ impl Comm {
         let to = self.inner.placement[dst];
         let retry = self.inner.retry;
         let mut attempt = 0u32;
+        let recorder = self.inner.recorder();
         loop {
             match self.inner.faults.egress(self.ctx.now(), from, to) {
                 LinkVerdict::Deliver => {
+                    if let Some(r) = recorder {
+                        r.record_wire(bytes as u64);
+                    }
                     let latency = self.transport(dst, bytes);
                     self.inner.boxes[dst].deliver(&self.ctx, env, latency);
                     return Ok(());
                 }
                 LinkVerdict::Delay(extra) => {
+                    if let Some(r) = recorder {
+                        r.record_wire(bytes as u64);
+                        r.record_link_delay();
+                    }
                     let latency = self.transport(dst, bytes) + extra;
                     self.inner.boxes[dst].deliver(&self.ctx, env, latency);
                     return Ok(());
                 }
                 LinkVerdict::Duplicate => {
+                    if let Some(r) = recorder {
+                        r.record_wire(2 * bytes as u64);
+                        r.record_link_duplicate();
+                    }
                     let latency = self.transport(dst, bytes);
                     self.inner.boxes[dst].deliver(&self.ctx, env.clone(), latency);
                     self.inner.boxes[dst].deliver(&self.ctx, env, latency);
                     return Ok(());
                 }
                 LinkVerdict::Drop => {
+                    if let Some(r) = recorder {
+                        // The dropped attempt still occupied the wire.
+                        r.record_wire(bytes as u64);
+                        r.record_link_drop();
+                    }
                     if attempt >= retry.max_retries {
                         return Err(MpiFault::SendLost {
                             dst,
                             attempts: attempt + 1,
                         });
+                    }
+                    if let Some(r) = recorder {
+                        r.record_retransmit();
                     }
                     self.ctx.advance(retry.backoff(attempt));
                     attempt += 1;
@@ -415,6 +462,9 @@ impl Comm {
         }
         let wire = self.is_wire(dst);
         let bytes = data.len();
+        if let Some(r) = self.inner.recorder() {
+            r.record_send(bytes as u64);
+        }
         self.charge_side(bytes, wire);
         if bytes <= self.inner.costs.eager_limit {
             return self.put(
@@ -521,6 +571,9 @@ impl Comm {
         let wire = self.is_wire(env.src);
         match env.payload {
             Payload::Data(data) => {
+                if let Some(r) = self.inner.recorder() {
+                    r.record_recv(data.len() as u64);
+                }
                 self.charge_side(data.len(), wire);
                 Msg {
                     src: env.src,
@@ -564,6 +617,9 @@ impl Comm {
                 let Payload::RdvData { data, .. } = data_env.payload else {
                     unreachable!("matched RdvData")
                 };
+                if let Some(r) = self.inner.recorder() {
+                    r.record_recv(data.len() as u64);
+                }
                 self.charge_side(data.len(), wire);
                 Msg {
                     src: env.src,

@@ -14,6 +14,7 @@
 //! node's primary), not the wire.
 
 use cp_des::{SimDuration, SimTime};
+use cp_trace::Recorder;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -31,6 +32,7 @@ pub const WATCHDOG_TIMEOUT: SimDuration = SimDuration(1_000_000); // 1 ms
 struct HbInner {
     last: SimTime,
     stopped: bool,
+    recorder: Recorder,
 }
 
 /// A shared last-beat cell between one primary and its watchdog.
@@ -60,13 +62,22 @@ impl Heartbeat {
             inner: Arc::new(Mutex::new(HbInner {
                 last: SimTime::ZERO,
                 stopped: false,
+                recorder: Recorder::disabled(),
             })),
         }
+    }
+
+    /// Attach an observability [`Recorder`]; every subsequent beat is
+    /// counted in the run's heartbeat metric. Shared by all clones of this
+    /// cell.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.inner.lock().recorder = recorder;
     }
 
     /// Record a beat at `now`.
     pub fn beat(&self, now: SimTime) {
         let mut hb = self.inner.lock();
+        hb.recorder.record_heartbeat();
         if now > hb.last {
             hb.last = now;
         }
@@ -140,5 +151,16 @@ mod tests {
         hb.beat(SimTime(0));
         let stall_end = SimTime(WATCHDOG_TIMEOUT.as_nanos() - 1);
         assert!(!hb.expired(stall_end, WATCHDOG_TIMEOUT));
+    }
+
+    #[test]
+    fn beats_are_counted_when_a_recorder_is_attached() {
+        let hb = Heartbeat::new();
+        hb.beat(SimTime(1)); // before attachment: not counted
+        let rec = Recorder::enabled();
+        hb.set_recorder(rec.clone());
+        hb.clone().beat(SimTime(2));
+        hb.beat(SimTime(3));
+        assert_eq!(rec.snapshot().net.heartbeats, 2);
     }
 }

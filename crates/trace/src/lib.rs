@@ -1,0 +1,40 @@
+//! Observability layer for the CellPilot workspace.
+//!
+//! Every other crate in the stack (the DES kernel, the interconnect model,
+//! the MPI layer, the CellPilot runtime, the bench drivers) records what it
+//! does through one shared [`Recorder`]: spans and instants keyed on
+//! *simulated* time, plus always-cheap counters that aggregate into a
+//! [`MetricsSnapshot`]. Two exporters turn a recording into artifacts:
+//!
+//! * [`BenchReport`] — the machine-readable `BENCH_<label>.json` files the
+//!   CI perf gate diffs against a committed baseline (see [`gate`]);
+//! * [`chrome_trace`] — Chrome `trace_event` JSON that loads in
+//!   `about://tracing` / Perfetto, one lane per rank/SPE/Co-Pilot.
+//!
+//! The recorder follows the same handle pattern as the runtime's own
+//! `TraceSink`: a disabled recorder is a `None` inside and every recording
+//! call returns immediately, so instrumented hot paths cost one branch when
+//! observability is off. Crucially, recording **never consumes virtual
+//! time** — enabling tracing cannot perturb the deterministic schedule, so
+//! golden-run byte-identity and schedule-exploration equivalence hold with
+//! or without it.
+//!
+//! The crate depends only on `parking_lot` (it sits *below* `cp-des` in the
+//! dependency order) and carries its own minimal JSON tree ([`Json`])
+//! because the offline build environment has no serde.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use chrome::chrome_trace;
+pub use json::Json;
+pub use metrics::{
+    ChannelTypeMetrics, DesMetrics, LatencyStats, MetricsSnapshot, MpiMetrics, NetMetrics,
+};
+pub use recorder::{Event, Phase, Recorder};
+pub use report::{gate, BenchChannelType, BenchReport, GateOutcome, SweepRow, BENCH_SCHEMA};

@@ -1,0 +1,443 @@
+//! The span/event recorder every layer of the stack reports into.
+
+use crate::chrome;
+use crate::metrics::{MetricsSnapshot, MetricsState, CHANNEL_TYPE_COUNT};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Chrome-trace phase of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`"ph": "X"`): carries a duration.
+    Complete,
+    /// An instant marker (`"ph": "i"`).
+    Instant,
+    /// A counter sample (`"ph": "C"`).
+    Counter,
+}
+
+/// One recorded trace event, keyed on simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual timestamp, nanoseconds.
+    pub ts_ns: u64,
+    /// Span duration, nanoseconds (0 for instants and counters).
+    pub dur_ns: u64,
+    /// Lane id (see [`Recorder::lane`]); one lane per rank/SPE/Co-Pilot.
+    pub lane: u32,
+    /// What kind of event this is.
+    pub phase: Phase,
+    /// Display name.
+    pub name: String,
+    /// Category tag (`"channel"`, `"mpi"`, `"net"`, `"des"`, `"incident"`).
+    pub category: &'static str,
+    /// Counter value; meaningful only for [`Phase::Counter`].
+    pub value: f64,
+    /// Free-form detail attached to the event, if any.
+    pub detail: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    lanes: Vec<String>,
+    lane_ids: BTreeMap<String, u32>,
+    events: Vec<Event>,
+    metrics: MetricsState,
+}
+
+impl State {
+    fn lane_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.lane_ids.get(name) {
+            return id;
+        }
+        let id = self.lanes.len() as u32;
+        self.lanes.push(name.to_string());
+        self.lane_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+/// Sample the kernel queue-depth counter once per this many dispatches, so
+/// long runs cannot balloon the trace with one event per context switch.
+const QUEUE_SAMPLE_EVERY: u64 = 64;
+
+/// Handle to one run's recording, shared by every instrumented layer.
+///
+/// `Recorder::default()` is *disabled*: there is no storage behind it and
+/// every recording call returns after a single branch, which is what makes
+/// always-on instrumentation affordable. [`Recorder::enabled`] allocates
+/// shared storage; clones are shallow, so the caller keeps one clone and
+/// reads [`Recorder::snapshot`] / [`Recorder::chrome_trace`] after the run.
+///
+/// No method consumes virtual time — the recorder observes the schedule,
+/// it never perturbs it.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl Recorder {
+    /// A recording handle with live storage.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// The no-op handle (what `Default` also returns).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this handle records anything. Instrumentation that must
+    /// format names or look up state should check this first.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern a lane (one horizontal track in the trace viewer; by
+    /// convention the DES process name: rank name, SPE name, `copilotN`).
+    /// Returns 0 when disabled.
+    pub fn lane(&self, name: &str) -> u32 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner.lock().lane_id(name)
+    }
+
+    /// Record a complete span on `lane` covering `[ts_ns, ts_ns + dur_ns]`.
+    pub fn span(&self, lane: u32, category: &'static str, name: &str, ts_ns: u64, dur_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().push(Event {
+            ts_ns,
+            dur_ns,
+            lane,
+            phase: Phase::Complete,
+            name: name.to_string(),
+            category,
+            value: 0.0,
+            detail: None,
+        });
+    }
+
+    /// Record an instant marker on `lane`.
+    pub fn instant(
+        &self,
+        lane: u32,
+        category: &'static str,
+        name: &str,
+        ts_ns: u64,
+        detail: Option<String>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().push(Event {
+            ts_ns,
+            dur_ns: 0,
+            lane,
+            phase: Phase::Instant,
+            name: name.to_string(),
+            category,
+            value: 0.0,
+            detail,
+        });
+    }
+
+    /// Record a counter sample on `lane`.
+    pub fn counter(&self, lane: u32, category: &'static str, name: &str, ts_ns: u64, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().push(Event {
+            ts_ns,
+            dur_ns: 0,
+            lane,
+            phase: Phase::Counter,
+            name: name.to_string(),
+            category,
+            value,
+            detail: None,
+        });
+    }
+
+    /// DES kernel: one scheduler dispatch with the pending-queue depth at
+    /// dispatch time. Counts always; samples a `queue depth` counter event
+    /// once every 64 dispatches.
+    pub fn record_dispatch(&self, ts_ns: u64, queue_depth: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        st.metrics.des.dispatches += 1;
+        st.metrics.des.max_queue_depth = st.metrics.des.max_queue_depth.max(queue_depth as u64);
+        if st.metrics.des.dispatches % QUEUE_SAMPLE_EVERY == 1 {
+            let lane = st.lane_id("kernel");
+            st.push(Event {
+                ts_ns,
+                dur_ns: 0,
+                lane,
+                phase: Phase::Counter,
+                name: "queue depth".to_string(),
+                category: "des",
+                value: queue_depth as f64,
+                detail: None,
+            });
+        }
+    }
+
+    /// A degradation incident (category is the `IncidentCategory`
+    /// kebab-case name): counted, and marked as an instant on the
+    /// reporting process's lane so failovers are visible in the trace.
+    pub fn record_incident(&self, ts_ns: u64, process: &str, category: &str, detail: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        *st.metrics
+            .incidents
+            .entry(category.to_string())
+            .or_insert(0) += 1;
+        let lane = st.lane_id(process);
+        st.push(Event {
+            ts_ns,
+            dur_ns: 0,
+            lane,
+            phase: Phase::Instant,
+            name: format!("incident: {category}"),
+            category: "incident",
+            value: 0.0,
+            detail: Some(detail.to_string()),
+        });
+    }
+
+    /// MPI layer: a logical point-to-point send of `payload_bytes`.
+    pub fn record_send(&self, payload_bytes: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        st.metrics.mpi.sends += 1;
+        st.metrics.mpi.payload_bytes += payload_bytes;
+    }
+
+    /// MPI layer: a completed point-to-point receive of `payload_bytes`.
+    pub fn record_recv(&self, payload_bytes: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        st.metrics.mpi.recvs += 1;
+        st.metrics.mpi.payload_bytes += payload_bytes;
+    }
+
+    /// MPI layer: `wire_bytes` put on the wire for one transmission
+    /// attempt (retransmissions call this again).
+    pub fn record_wire(&self, wire_bytes: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.mpi.wire_bytes += wire_bytes;
+    }
+
+    /// MPI layer: a transmission attempt will be repeated after a drop.
+    pub fn record_retransmit(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.mpi.retransmits += 1;
+    }
+
+    /// MPI layer: one completed collective operation (`"bcast"`, ...).
+    pub fn record_collective(&self, op: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        *st.metrics
+            .mpi
+            .collectives
+            .entry(op.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Interconnect: the fault plan dropped a frame on a link.
+    pub fn record_link_drop(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.net.link_drops += 1;
+    }
+
+    /// Interconnect: the fault plan delayed a frame on a link.
+    pub fn record_link_delay(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.net.link_delays += 1;
+    }
+
+    /// Interconnect: the fault plan duplicated a frame on a link.
+    pub fn record_link_duplicate(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.net.link_duplicates += 1;
+    }
+
+    /// Interconnect: one Co-Pilot heartbeat beat.
+    pub fn record_heartbeat(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.net.heartbeats += 1;
+    }
+
+    /// CellPilot runtime: a completed channel operation on a channel of
+    /// Table-I type `chan_type` (1..=5); `latency_ns` is the virtual time
+    /// the endpoint spent inside the operation.
+    pub fn record_channel_op(&self, chan_type: u8, write: bool, bytes: u64, latency_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        assert!(
+            (1..=CHANNEL_TYPE_COUNT as u8).contains(&chan_type),
+            "channel type {chan_type} out of range"
+        );
+        let mut st = inner.lock();
+        let c = &mut st.metrics.channel[(chan_type - 1) as usize];
+        if write {
+            c.writes += 1;
+        } else {
+            c.reads += 1;
+        }
+        c.bytes += bytes;
+        c.latencies_ns.push(latency_ns);
+    }
+
+    /// CellPilot runtime: a Co-Pilot relayed a message of type
+    /// `chan_type` one hop (writer-side MPI forward or reader-side
+    /// delivery to the destination SPE).
+    pub fn record_proxy_hop(&self, chan_type: u8) {
+        let Some(inner) = &self.inner else { return };
+        assert!(
+            (1..=CHANNEL_TYPE_COUNT as u8).contains(&chan_type),
+            "channel type {chan_type} out of range"
+        );
+        inner.lock().metrics.channel[(chan_type - 1) as usize].proxy_hops += 1;
+    }
+
+    /// Collapse the counters into a [`MetricsSnapshot`] (all zero when the
+    /// recorder is disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.lock().metrics.snapshot(),
+            None => MetricsState::default().snapshot(),
+        }
+    }
+
+    /// All recorded events, stably sorted by timestamp (ties keep record
+    /// order).
+    pub fn events(&self) -> Vec<Event> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events = inner.lock().events.clone();
+        events.sort_by_key(|e| e.ts_ns);
+        events
+    }
+
+    /// The interned lane names, indexed by lane id.
+    pub fn lanes(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => inner.lock().lanes.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Export the recording as Chrome `trace_event` JSON (openable in
+    /// `about://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        chrome::chrome_trace(&self.lanes(), &self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::default();
+        assert!(!r.is_enabled());
+        r.record_dispatch(10, 3);
+        r.record_channel_op(5, true, 100, 1000);
+        r.record_incident(10, "main", "spe-crash", "x");
+        assert_eq!(r.lane("main"), 0);
+        assert!(r.events().is_empty());
+        assert!(r.lanes().is_empty());
+        let snap = r.snapshot();
+        assert_eq!(snap.des.dispatches, 0);
+        assert_eq!(snap.channel_types.len(), 5);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let r = Recorder::enabled();
+        let c = r.clone();
+        c.record_send(128);
+        assert_eq!(r.snapshot().mpi.sends, 1);
+        assert_eq!(r.snapshot().mpi.payload_bytes, 128);
+    }
+
+    #[test]
+    fn lanes_are_interned_stably() {
+        let r = Recorder::enabled();
+        let a = r.lane("rank0");
+        let b = r.lane("copilot1");
+        assert_eq!(r.lane("rank0"), a);
+        assert_ne!(a, b);
+        assert_eq!(r.lanes(), vec!["rank0".to_string(), "copilot1".to_string()]);
+    }
+
+    #[test]
+    fn events_sort_by_virtual_time() {
+        let r = Recorder::enabled();
+        let lane = r.lane("main");
+        r.instant(lane, "channel", "later", 500, None);
+        r.span(lane, "channel", "earlier", 100, 50);
+        let ev = r.events();
+        assert_eq!(ev[0].name, "earlier");
+        assert_eq!(ev[1].name, "later");
+    }
+
+    #[test]
+    fn dispatch_counter_is_sampled_not_dense() {
+        let r = Recorder::enabled();
+        for i in 0..200u64 {
+            r.record_dispatch(i, (i % 10) as usize);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.des.dispatches, 200);
+        assert_eq!(snap.des.max_queue_depth, 9);
+        let counters = r
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::Counter)
+            .count();
+        assert!(
+            counters <= 200 / QUEUE_SAMPLE_EVERY as usize + 1,
+            "{counters}"
+        );
+        assert!(counters >= 1);
+    }
+
+    #[test]
+    fn channel_ops_aggregate_per_type() {
+        let r = Recorder::enabled();
+        r.record_channel_op(4, true, 1600, 112_000);
+        r.record_channel_op(4, false, 1600, 112_000);
+        r.record_proxy_hop(5);
+        r.record_proxy_hop(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.channel_types[3].writes, 1);
+        assert_eq!(snap.channel_types[3].reads, 1);
+        assert_eq!(snap.channel_types[3].bytes, 3200);
+        assert_eq!(snap.channel_types[3].latency_us.median, 112.0);
+        assert_eq!(snap.channel_types[4].proxy_hops, 2);
+    }
+
+    #[test]
+    fn incidents_count_and_mark() {
+        let r = Recorder::enabled();
+        r.record_incident(
+            1_000,
+            "copilot1-standby",
+            "copilot-failover",
+            "adopting node 1",
+        );
+        r.record_incident(2_000, "reaper-rank1", "rank-death", "rank 1");
+        r.record_incident(3_000, "reaper-rank2", "rank-death", "rank 2");
+        let snap = r.snapshot();
+        assert_eq!(snap.incidents["copilot-failover"], 1);
+        assert_eq!(snap.incidents["rank-death"], 2);
+        let ev = r.events();
+        assert!(ev.iter().any(|e| e.name == "incident: copilot-failover"
+            && e.detail.as_deref() == Some("adopting node 1")));
+    }
+}

@@ -1,0 +1,313 @@
+//! `BENCH_<label>.json`: the machine-readable bench report the CI perf
+//! gate diffs, plus the gate comparison itself.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Schema identifier carried by every report; bump on breaking change.
+pub const BENCH_SCHEMA: &str = "cellpilot-bench/1";
+
+/// Median one-way latency and throughput for one channel type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchChannelType {
+    /// Channel type, 1..=5 (Table I).
+    pub chan_type: u8,
+    /// Median one-way latency for the 1-byte payload, µs (Table II's
+    /// `%b` column; the simulator is deterministic, so the median over
+    /// `reps` repetitions is exact).
+    pub latency_us_small: f64,
+    /// Median one-way latency for the 1600-byte payload, µs (`%100Lf`).
+    pub latency_us_large: f64,
+    /// Throughput of the 1600-byte array case, MB/s (Figure 6).
+    pub throughput_mb_s: f64,
+}
+
+/// One row of the IMB-style PingPong payload sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Payload bytes.
+    pub bytes: u64,
+    /// CellPilot one-way latency, µs.
+    pub cellpilot_us: f64,
+    /// Hand-coded DMA baseline latency, µs.
+    pub dma_us: f64,
+    /// Hand-coded copy baseline latency, µs.
+    pub copy_us: f64,
+}
+
+/// A complete `BENCH_<label>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema identifier (must be [`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Report label (`baseline`, `ci`, a PR name, ...).
+    pub label: String,
+    /// Timed repetitions behind each latency entry.
+    pub reps: u64,
+    /// Per-channel-type medians, ordered type 1 → 5. May be empty for
+    /// reports that only carry [`BenchReport::metrics`] (e.g. chaos runs).
+    pub channel_types: Vec<BenchChannelType>,
+    /// PingPong payload sweep (may be empty).
+    pub pingpong_sweep: Vec<SweepRow>,
+    /// Full metrics snapshot of an instrumented run, when one was taken.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl BenchReport {
+    /// An empty report shell with the current schema.
+    pub fn new(label: &str, reps: u64) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            label: label.to_string(),
+            reps,
+            channel_types: Vec::new(),
+            pingpong_sweep: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Serialize to the documented JSON schema.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("schema", self.schema.as_str());
+        o.set("label", self.label.as_str());
+        o.set("reps", self.reps);
+        let types: Vec<Json> = self
+            .channel_types
+            .iter()
+            .map(|c| {
+                let mut t = Json::obj();
+                t.set("type", c.chan_type);
+                let mut lat = Json::obj();
+                lat.set("small", c.latency_us_small);
+                lat.set("large", c.latency_us_large);
+                t.set("latency_us", lat);
+                t.set("throughput_mb_s", c.throughput_mb_s);
+                t
+            })
+            .collect();
+        o.set("channel_types", types);
+        let sweep: Vec<Json> = self
+            .pingpong_sweep
+            .iter()
+            .map(|row| {
+                let mut r = Json::obj();
+                r.set("bytes", row.bytes);
+                r.set("cellpilot_us", row.cellpilot_us);
+                r.set("dma_us", row.dma_us);
+                r.set("copy_us", row.copy_us);
+                r
+            })
+            .collect();
+        o.set("pingpong_sweep", sweep);
+        match &self.metrics {
+            Some(m) => o.set("metrics", m.to_json()),
+            None => o.set("metrics", Json::Null),
+        }
+        o
+    }
+
+    /// Pretty-printed JSON document (what the bench drivers write).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parse a `BENCH_*.json` document, validating the schema id.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let j = Json::parse(text)?;
+        let schema = j
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("bench report: missing schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "bench report: schema {schema:?} (this tool reads {BENCH_SCHEMA:?})"
+            ));
+        }
+        let channel_types = j
+            .get("channel_types")
+            .and_then(Json::as_arr)
+            .ok_or("bench report: missing channel_types")?
+            .iter()
+            .map(|t| {
+                let lat = t
+                    .get("latency_us")
+                    .ok_or("bench report: missing latency_us")?;
+                Ok(BenchChannelType {
+                    chan_type: field_u64(t, "type")? as u8,
+                    latency_us_small: field_f64(lat, "small")?,
+                    latency_us_large: field_f64(lat, "large")?,
+                    throughput_mb_s: field_f64(t, "throughput_mb_s")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let pingpong_sweep = j
+            .get("pingpong_sweep")
+            .and_then(Json::as_arr)
+            .ok_or("bench report: missing pingpong_sweep")?
+            .iter()
+            .map(|r| {
+                Ok(SweepRow {
+                    bytes: field_u64(r, "bytes")?,
+                    cellpilot_us: field_f64(r, "cellpilot_us")?,
+                    dma_us: field_f64(r, "dma_us")?,
+                    copy_us: field_f64(r, "copy_us")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let metrics = match j.get("metrics") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(MetricsSnapshot::from_json(m)?),
+        };
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            label: j
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("bench report: missing label")?
+                .to_string(),
+            reps: field_u64(&j, "reps")?,
+            channel_types,
+            pingpong_sweep,
+            metrics,
+        })
+    }
+}
+
+fn field_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("bench report: missing integer field {key:?}"))
+}
+
+fn field_f64(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("bench report: missing number field {key:?}"))
+}
+
+/// Result of gating a candidate report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Human-readable per-cell comparison lines (always populated).
+    pub lines: Vec<String>,
+    /// Violations; the gate passes iff this is empty.
+    pub regressions: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the candidate is within tolerance everywhere.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `candidate` against `baseline`: any channel-type median latency
+/// (1-byte or 1600-byte) more than `tolerance_pct` percent *above* the
+/// baseline is a regression. Getting faster never fails the gate, and
+/// throughput is reported informationally only.
+pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.channel_types {
+        let Some(cand) = candidate
+            .channel_types
+            .iter()
+            .find(|c| c.chan_type == base.chan_type)
+        else {
+            out.regressions.push(format!(
+                "type {}: missing from candidate report",
+                base.chan_type
+            ));
+            continue;
+        };
+        for (name, b, c) in [
+            ("1B", base.latency_us_small, cand.latency_us_small),
+            ("1600B", base.latency_us_large, cand.latency_us_large),
+        ] {
+            let delta_pct = if b > 0.0 { (c / b - 1.0) * 100.0 } else { 0.0 };
+            let line = format!(
+                "type {} {:>5} median: {:>8.2} -> {:>8.2} us ({:+.1}%)",
+                base.chan_type, name, b, c, delta_pct
+            );
+            if delta_pct > tolerance_pct {
+                out.regressions
+                    .push(format!("{line}  exceeds +{tolerance_pct:.0}% tolerance"));
+            }
+            out.lines.push(line);
+        }
+        out.lines.push(format!(
+            "type {} throughput:   {:>8.2} -> {:>8.2} MB/s",
+            base.chan_type, base.throughput_mb_s, cand.throughput_mb_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSnapshot;
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("baseline", 50);
+        r.channel_types = (1..=5u8)
+            .map(|t| BenchChannelType {
+                chan_type: t,
+                latency_us_small: 100.0 + f64::from(t),
+                latency_us_large: 170.0 + f64::from(t),
+                throughput_mb_s: 9.25,
+            })
+            .collect();
+        r.pingpong_sweep = vec![SweepRow {
+            bytes: 1024,
+            cellpilot_us: 80.5,
+            dma_us: 20.25,
+            copy_us: 30.75,
+        }];
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = sample_report();
+        r.metrics = Some(MetricsSnapshot::default());
+        let back = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let mut r = sample_report();
+        r.schema = "cellpilot-bench/999".to_string();
+        let err = BenchReport::parse(&r.to_json_string()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(BenchReport::parse("{}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.channel_types[2].latency_us_small *= 1.15; // +15% < 20%
+        cand.channel_types[0].latency_us_large *= 0.5; // faster is fine
+        let outcome = gate(&base, &cand, 20.0);
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.lines.len(), 15);
+    }
+
+    #[test]
+    fn gate_fails_on_regression_and_missing_type() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.channel_types[3].latency_us_large *= 1.30; // +30% > 20%
+        cand.channel_types.remove(0);
+        let outcome = gate(&base, &cand, 20.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 2);
+        assert!(outcome.regressions.iter().any(|r| r.contains("type 1")));
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("type 4") && r.contains("1600B")));
+    }
+}
