@@ -394,6 +394,30 @@ pub fn chaos_traced(
     Ok((report, rec))
 }
 
+/// Run the full Table-I workload with `cp-check` strict static checks
+/// and the race detector enabled, and assert the run is byte-identical
+/// to the untraced golden run: same outcome, same virtual end time, no
+/// incidents. This is the "zero cost when disabled, zero noise when
+/// enabled" contract — the wiring verifier runs at configure time and
+/// the happens-before recorder consumes no virtual time, so a clean
+/// program must neither slow down nor pick up findings. Panics with a
+/// diagnostic message if any of the three comparisons fail.
+pub fn checked_run_matches_golden() {
+    let (golden_out, golden_end) = golden().clone();
+    let (out, end_time, report) = run_workload(base_opts().with_strict_checks())
+        .expect("the checked fault-free workload completes");
+    assert_eq!(out, golden_out, "checked run diverged from golden output");
+    assert_eq!(
+        end_time, golden_end,
+        "static checks must not consume virtual time"
+    );
+    assert!(
+        report.incidents.is_empty(),
+        "checked golden run must be finding-free: {:?}",
+        report.incidents
+    );
+}
+
 /// The smallest seed whose `(seed, intensity)` chaos plan schedules at
 /// least one Co-Pilot kill — the interesting trace to export, because it
 /// exercises the standby failover path end to end.
@@ -467,6 +491,15 @@ mod tests {
         assert_eq!(r.planned, (0, 0, 0, 0, 0, 0));
         assert!(r.incidents.is_empty());
         assert_eq!(r.end_time, golden_end_time());
+    }
+
+    /// Satellite contract for `cp-check`: the strict-checked clean run is
+    /// indistinguishable from the unchecked golden run, and the chaos
+    /// workload — which exercises all five Table-I channel types — draws
+    /// no wiring lints or race findings.
+    #[test]
+    fn static_checks_are_zero_overhead() {
+        checked_run_matches_golden();
     }
 
     /// A handful of seeds at moderate intensity as a unit-level smoke; the

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-bench — experiment harness for the CellPilot reproduction
 //!
 //! Regenerates every table and figure of the paper's evaluation:
@@ -13,6 +14,7 @@
 //!   simulator itself.
 
 pub mod chaos;
+pub mod check;
 pub mod cli;
 pub mod codesize;
 pub mod explore;
@@ -23,8 +25,8 @@ pub mod sweep;
 pub mod table2;
 
 pub use chaos::{
-    chaos, chaos_plan, chaos_traced, golden_end_time, seed_with_failover, ChaosFailure,
-    ChaosOutcome, ChaosReport,
+    chaos, chaos_plan, chaos_traced, checked_run_matches_golden, golden_end_time,
+    seed_with_failover, ChaosFailure, ChaosOutcome, ChaosReport,
 };
 pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};

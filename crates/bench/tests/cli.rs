@@ -42,6 +42,29 @@ fn repro_table2_rejects_bad_flags() {
     assert_usage_error(&run(bin, &["--bogus"]), "unknown flag");
 }
 
+/// `repro_check` carries a three-way exit contract so CI can assert both
+/// directions of the analysis: 3 = findings reported (the seeded-defect
+/// default mode caught everything), 0 = clean (the fenced/repaired twin
+/// drew no false positives), 2 = usage error.
+#[test]
+fn repro_check_exit_codes_follow_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_repro_check");
+
+    let findings = run(bin, &[]);
+    assert_eq!(findings.status.code(), Some(3), "{findings:?}");
+    let stdout = String::from_utf8_lossy(&findings.stdout);
+    for code in ["CP001", "CP002", "CP003", "CP006", "CP007", "CP101"] {
+        assert!(stdout.contains(code), "missing {code} in: {stdout}");
+    }
+
+    let clean = run(bin, &["--fenced"]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+
+    assert_usage_error(&run(bin, &["--bogus"]), "unknown flag");
+}
+
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cp-bench-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-cellsim — Cell Broadband Engine node simulator
 //!
 //! A behavioural + latency model of the Cell BE hardware that the CellPilot

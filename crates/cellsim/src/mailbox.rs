@@ -13,22 +13,95 @@
 use crate::costs::CellCosts;
 use cp_des::sync::MsgQueue;
 use cp_des::{ProcCtx, SimDuration};
+use cp_trace::{HbOp, Recorder};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One mailbox word queue plus the send/receive sequence counters the
+/// happens-before instrumentation matches edges with.
+struct MboxQueue {
+    q: MsgQueue<u32>,
+    label: String,
+    sent: AtomicU64,
+    received: AtomicU64,
+}
+
+impl MboxQueue {
+    fn new(label: String, depth: usize) -> MboxQueue {
+        MboxQueue {
+            q: MsgQueue::new(&label, Some(depth)),
+            label,
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+        }
+    }
+
+    /// Record the send edge *before* the (possibly blocking) push: the
+    /// word cannot be popped before the push inserts it, so the matching
+    /// receive always lands later in the recorder's execution order.
+    fn note_send(&self, rec: &Option<Recorder>, ctx: &ProcCtx) {
+        if let Some(r) = rec {
+            let seq = self.sent.fetch_add(1, Ordering::Relaxed);
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::MsgSend {
+                    queue: self.label.clone(),
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Record the receive edge after a completed pop. Pops are FIFO and
+    /// each queue has a single consumer, so the running counter matches
+    /// the sender's sequence.
+    fn note_recv(&self, rec: &Option<Recorder>, ctx: &ProcCtx) {
+        if let Some(r) = rec {
+            let seq = self.received.fetch_add(1, Ordering::Relaxed);
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::MsgRecv {
+                    queue: self.label.clone(),
+                    seq,
+                },
+            );
+        }
+    }
+}
 
 /// The mailbox set of one SPE.
 pub struct Mailboxes {
-    inbound: MsgQueue<u32>,
-    outbound: MsgQueue<u32>,
-    outbound_intr: MsgQueue<u32>,
+    inbound: MboxQueue,
+    outbound: MboxQueue,
+    outbound_intr: MboxQueue,
+    recorder: Mutex<Recorder>,
 }
 
 impl Mailboxes {
     /// Create the mailbox set for the SPE labelled `label` in diagnostics.
     pub fn new(label: &str) -> Mailboxes {
         Mailboxes {
-            inbound: MsgQueue::new(&format!("{label}.mbox_in"), Some(4)),
-            outbound: MsgQueue::new(&format!("{label}.mbox_out"), Some(1)),
-            outbound_intr: MsgQueue::new(&format!("{label}.mbox_intr"), Some(1)),
+            inbound: MboxQueue::new(format!("{label}.mbox_in"), 4),
+            outbound: MboxQueue::new(format!("{label}.mbox_out"), 1),
+            outbound_intr: MboxQueue::new(format!("{label}.mbox_intr"), 1),
+            recorder: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Attach a happens-before recorder (see [`cp_trace::hb`]); mailbox
+    /// words then carry ordering edges for the race detector. Disabled by
+    /// default: every operation pays one branch and nothing else.
+    pub fn set_recorder(&self, rec: Recorder) {
+        *self.recorder.lock() = rec;
+    }
+
+    /// A recorder clone when recording is on, `None` otherwise (so the
+    /// disabled path never formats labels or bumps counters).
+    fn rec(&self) -> Option<Recorder> {
+        let r = self.recorder.lock();
+        r.is_enabled().then(|| r.clone())
     }
 
     // --- SPU side (channel instructions) ---
@@ -36,7 +109,8 @@ impl Mailboxes {
     /// SPU: write a word to the outbound mailbox; blocks while it is full.
     pub fn spu_write_outbox(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
         ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
-        self.outbound.push(
+        self.outbound.note_send(&self.rec(), ctx);
+        self.outbound.q.push(
             ctx,
             word,
             SimDuration::from_micros_f64(costs.mailbox_latency_us),
@@ -46,7 +120,8 @@ impl Mailboxes {
     /// SPU: write a word to the outbound interrupt mailbox.
     pub fn spu_write_outbox_intr(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
         ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
-        self.outbound_intr.push(
+        self.outbound_intr.note_send(&self.rec(), ctx);
+        self.outbound_intr.q.push(
             ctx,
             word,
             SimDuration::from_micros_f64(costs.mailbox_latency_us),
@@ -55,19 +130,20 @@ impl Mailboxes {
 
     /// SPU: blocking read of the inbound mailbox.
     pub fn spu_read_inbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
-        let word = self.inbound.pop(ctx);
+        let word = self.inbound.q.pop(ctx);
+        self.inbound.note_recv(&self.rec(), ctx);
         ctx.advance(SimDuration::from_micros_f64(costs.spu_channel_op_us));
         word
     }
 
     /// SPU: number of words waiting in the inbound mailbox.
     pub fn spu_inbox_count(&self) -> usize {
-        self.inbound.len()
+        self.inbound.q.len()
     }
 
     /// SPU: true if the outbound mailbox has space for another word.
     pub fn spu_outbox_has_space(&self) -> bool {
-        self.outbound.is_empty()
+        self.outbound.q.is_empty()
     }
 
     // --- PPE side (MMIO into problem-state area) ---
@@ -76,7 +152,8 @@ impl Mailboxes {
     /// cost is charged once the word is present (a poll loop would pay at
     /// least one access after arrival).
     pub fn ppe_read_outbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
-        let word = self.outbound.pop(ctx);
+        let word = self.outbound.q.pop(ctx);
+        self.outbound.note_recv(&self.rec(), ctx);
         ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
         word
     }
@@ -85,12 +162,17 @@ impl Mailboxes {
     /// (`spe_out_mbox_status` + read).
     pub fn ppe_try_read_outbox(&self, ctx: &ProcCtx, costs: &CellCosts) -> Option<u32> {
         ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
-        self.outbound.try_pop(ctx)
+        let word = self.outbound.q.try_pop(ctx);
+        if word.is_some() {
+            self.outbound.note_recv(&self.rec(), ctx);
+        }
+        word
     }
 
     /// PPE: blocking read of the SPE's outbound interrupt mailbox.
     pub fn ppe_read_outbox_intr(&self, ctx: &ProcCtx, costs: &CellCosts) -> u32 {
-        let word = self.outbound_intr.pop(ctx);
+        let word = self.outbound_intr.q.pop(ctx);
+        self.outbound_intr.note_recv(&self.rec(), ctx);
         ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
         word
     }
@@ -99,7 +181,8 @@ impl Mailboxes {
     /// it is full (`SPE_MBOX_ALL_BLOCKING` behaviour).
     pub fn ppe_write_inbox(&self, ctx: &ProcCtx, costs: &CellCosts, word: u32) {
         ctx.advance(SimDuration::from_micros_f64(costs.ppe_mmio_op_us));
-        self.inbound.push(
+        self.inbound.note_send(&self.rec(), ctx);
+        self.inbound.q.push(
             ctx,
             word,
             SimDuration::from_micros_f64(costs.mailbox_latency_us),
@@ -108,7 +191,7 @@ impl Mailboxes {
 
     /// PPE: non-blocking status of the outbound mailbox (word available?).
     pub fn ppe_outbox_status(&self, ctx: &ProcCtx) -> bool {
-        self.outbound.has_available(ctx)
+        self.outbound.q.has_available(ctx)
     }
 }
 
@@ -214,6 +297,62 @@ mod tests {
             assert_eq!(m2.ppe_read_outbox(ctx, &costs()), 9);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn hb_edges_match_send_to_recv_by_sequence() {
+        use cp_trace::{HbOp, Recorder};
+        let mb = Arc::new(Mailboxes::new("node0.spe0"));
+        let rec = Recorder::enabled();
+        mb.set_recorder(rec.clone());
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("spu", move |ctx| {
+            m1.spu_write_outbox(ctx, &costs(), 1);
+            m1.spu_write_outbox(ctx, &costs(), 2);
+        });
+        sim.spawn("ppe", move |ctx| {
+            m2.ppe_read_outbox(ctx, &costs());
+            m2.ppe_read_outbox(ctx, &costs());
+            m2.ppe_write_inbox(ctx, &costs(), 3);
+        });
+        sim.run().unwrap();
+        let hb = rec.hb_events();
+        let sends: Vec<_> = hb
+            .iter()
+            .filter_map(|e| match &e.op {
+                HbOp::MsgSend { queue, seq } => Some((queue.clone(), *seq)),
+                _ => None,
+            })
+            .collect();
+        let recvs: Vec<_> = hb
+            .iter()
+            .filter_map(|e| match &e.op {
+                HbOp::MsgRecv { queue, seq } => Some((queue.clone(), *seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            sends,
+            vec![
+                ("node0.spe0.mbox_out".to_string(), 0),
+                ("node0.spe0.mbox_out".to_string(), 1),
+                ("node0.spe0.mbox_in".to_string(), 0),
+            ]
+        );
+        // Every receive matches an already-recorded send of the same
+        // queue and sequence.
+        for r in &recvs {
+            let send_pos = hb.iter().position(
+                |e| matches!(&e.op, HbOp::MsgSend { queue, seq } if (queue.clone(), *seq) == *r),
+            );
+            let recv_pos = hb.iter().position(
+                |e| matches!(&e.op, HbOp::MsgRecv { queue, seq } if (queue.clone(), *seq) == *r),
+            );
+            assert!(send_pos.unwrap() < recv_pos.unwrap(), "{hb:?}");
+        }
+        // The unread inbox word still records its send.
+        assert_eq!(recvs.len(), 2);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 
 use crate::costs::CellCosts;
 use crate::localstore::LocalStore;
+use crate::localstore::LsError;
 use crate::mailbox::Mailboxes;
 use crate::memory::{ls_ea, resolve, Backing, Ea, MainMemory, MemError};
 use crate::mfc::{validate, DmaDir, DmaError, TagState};
 use crate::signal::{SignalMode, SignalReg};
 use cp_des::{Pid, ProcCtx, SimDuration};
+use cp_trace::{HbOp, Recorder};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -86,6 +88,9 @@ pub struct CellNode {
     pub costs: Arc<CellCosts>,
     /// EIB payload occupancy for the contention model.
     eib_busy_until: Mutex<cp_des::SimTime>,
+    /// Happens-before recorder for the `cp-check` race detector; disabled
+    /// (one branch per op) unless [`CellNode::set_recorder`] attaches one.
+    recorder: Mutex<Recorder>,
 }
 
 impl CellNode {
@@ -111,12 +116,30 @@ impl CellNode {
             spes,
             costs: Arc::new(costs),
             eib_busy_until: Mutex::new(cp_des::SimTime::ZERO),
+            recorder: Mutex::new(Recorder::disabled()),
         })
     }
 
     /// Number of SPEs on this node.
     pub fn spe_count(&self) -> usize {
         self.spes.len()
+    }
+
+    /// Attach a happens-before recorder (see [`cp_trace::hb`]): MFC DMA
+    /// issues and waits, mailbox words and recorded local-store accesses
+    /// then feed the `cp-check` race detector. Propagates to every SPE's
+    /// mailbox set. Recording never consumes virtual time.
+    pub fn set_recorder(&self, rec: Recorder) {
+        for spe in &self.spes {
+            spe.mbox.set_recorder(rec.clone());
+        }
+        *self.recorder.lock() = rec;
+    }
+
+    /// A recorder clone when recording is on, `None` otherwise.
+    fn rec(&self) -> Option<Recorder> {
+        let r = self.recorder.lock();
+        r.is_enabled().then(|| r.clone())
     }
 
     /// The effective address at which SPE `index`'s local-store byte
@@ -187,8 +210,90 @@ impl CellNode {
     pub fn ppe_memcpy(&self, ctx: &ProcCtx, dst: Ea, src: Ea, len: usize) -> Result<(), MemError> {
         let data = self.ea_read(src, len)?;
         self.ea_write(dst, &data)?;
+        if let Some(r) = self.rec() {
+            let actor = ctx.name();
+            let ts = ctx.now().as_nanos();
+            let cap = (self.mem.capacity(), self.spes.len());
+            if let Ok(Backing::LocalStore { spe, offset }) = resolve(src, cap.0, cap.1) {
+                r.record_hb(
+                    &actor,
+                    ts,
+                    HbOp::LsRead {
+                        node: self.id,
+                        spe,
+                        start: offset as u32,
+                        len: len as u32,
+                    },
+                );
+            }
+            if let Ok(Backing::LocalStore { spe, offset }) = resolve(dst, cap.0, cap.1) {
+                r.record_hb(
+                    &actor,
+                    ts,
+                    HbOp::LsWrite {
+                        node: self.id,
+                        spe,
+                        start: offset as u32,
+                        len: len as u32,
+                    },
+                );
+            }
+        }
         let cost = self.costs.memcpy_us(len, self.ls_sides(src, dst));
         ctx.advance(SimDuration::from_micros_f64(cost));
+        Ok(())
+    }
+
+    /// An SPU program load from its own local store, recorded as a
+    /// [`HbOp::LsRead`] for the race detector (no cost: local-store
+    /// accesses are ordinary loads). Programs that move data with raw MFC
+    /// DMA should touch their buffers through these accessors so the
+    /// analysis sees the program side of the ordering.
+    pub fn ls_read_traced(
+        &self,
+        ctx: &ProcCtx,
+        spe_index: usize,
+        addr: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, LsError> {
+        let data = self.spes[spe_index].ls.read(addr, len)?;
+        if let Some(r) = self.rec() {
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::LsRead {
+                    node: self.id,
+                    spe: spe_index,
+                    start: addr as u32,
+                    len: len as u32,
+                },
+            );
+        }
+        Ok(data)
+    }
+
+    /// An SPU program store into its own local store, recorded as a
+    /// [`HbOp::LsWrite`] for the race detector.
+    pub fn ls_write_traced(
+        &self,
+        ctx: &ProcCtx,
+        spe_index: usize,
+        addr: usize,
+        bytes: &[u8],
+    ) -> Result<(), LsError> {
+        self.spes[spe_index].ls.write(addr, bytes)?;
+        if let Some(r) = self.rec() {
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::LsWrite {
+                    node: self.id,
+                    spe: spe_index,
+                    start: addr as u32,
+                    len: bytes.len() as u32,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -212,6 +317,20 @@ impl CellNode {
         validate(ls_addr, ea, len)?;
         // Issue cost: a handful of channel writes.
         ctx.advance(SimDuration::from_micros_f64(self.costs.spu_channel_op_us));
+        if let Some(r) = self.rec() {
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::DmaIssue {
+                    node: self.id,
+                    spe: spe_index,
+                    put: matches!(dir, DmaDir::Put),
+                    tag,
+                    ls_start: ls_addr as u32,
+                    len: len as u32,
+                },
+            );
+        }
         match dir {
             DmaDir::Get => {
                 let data = self.ea_read(ea, len)?;
@@ -245,6 +364,17 @@ impl CellNode {
     /// command in the masked tag groups of SPE `spe_index`.
     pub fn dma_wait(&self, ctx: &ProcCtx, spe_index: usize, mask: u32) {
         self.spes[spe_index].tags.wait_all(ctx, mask);
+        if let Some(r) = self.rec() {
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::DmaWait {
+                    node: self.id,
+                    spe: spe_index,
+                    mask,
+                },
+            );
+        }
     }
 
     /// Issue an MFC DMA-list command (`mfc_getl`/`mfc_putl`): gather from /
@@ -272,6 +402,23 @@ impl CellNode {
             cursor += e.size;
         }
         ctx.advance(SimDuration::from_micros_f64(self.costs.spu_channel_op_us));
+        if let Some(r) = self.rec() {
+            // One record for the whole list: it lands in one contiguous
+            // local-store span under one tag.
+            let total: usize = list.iter().map(|e| e.size).sum();
+            r.record_hb(
+                &ctx.name(),
+                ctx.now().as_nanos(),
+                HbOp::DmaIssue {
+                    node: self.id,
+                    spe: spe_index,
+                    put: matches!(dir, DmaDir::Put),
+                    tag,
+                    ls_start: ls_addr as u32,
+                    len: total as u32,
+                },
+            );
+        }
         let mut cursor = ls_addr;
         let mut total = 0usize;
         for e in list {
@@ -579,6 +726,67 @@ mod tests {
             assert_eq!(n2.spes[1].ls.reserved_bytes(), 0);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn hb_recorder_sees_dma_issue_and_wait() {
+        use cp_trace::{HbOp, Recorder};
+        let n = node();
+        let rec = Recorder::enabled();
+        n.set_recorder(rec.clone());
+        let mut sim = Simulation::new();
+        let n2 = n.clone();
+        sim.spawn("spu", move |ctx| {
+            let buf = n2.mem.alloc(64, 16).unwrap();
+            let ls = n2.spes[0].ls.alloc(64, 16).unwrap();
+            n2.dma(ctx, 0, DmaDir::Get, 3, ls, buf, 64).unwrap();
+            n2.dma_wait(ctx, 0, 1 << 3);
+            n2.ls_write_traced(ctx, 0, ls, &[1; 8]).unwrap();
+            assert_eq!(n2.ls_read_traced(ctx, 0, ls, 8).unwrap(), vec![1; 8]);
+        });
+        sim.run().unwrap();
+        let hb = rec.hb_events();
+        assert_eq!(hb.len(), 4, "{hb:?}");
+        assert!(
+            matches!(
+                hb[0].op,
+                HbOp::DmaIssue {
+                    put: false,
+                    tag: 3,
+                    len: 64,
+                    ..
+                }
+            ),
+            "{:?}",
+            hb[0]
+        );
+        assert!(matches!(hb[1].op, HbOp::DmaWait { mask, .. } if mask == 1 << 3));
+        assert!(matches!(hb[2].op, HbOp::LsWrite { len: 8, .. }));
+        assert!(matches!(hb[3].op, HbOp::LsRead { len: 8, .. }));
+        assert_eq!(hb[0].actor, "spu");
+    }
+
+    #[test]
+    fn hb_recording_never_consumes_virtual_time() {
+        use cp_trace::Recorder;
+        let run = |rec: Option<Recorder>| {
+            let n = node();
+            if let Some(r) = rec {
+                n.set_recorder(r);
+            }
+            let mut sim = Simulation::new();
+            let n2 = n.clone();
+            sim.spawn("spu", move |ctx| {
+                let buf = n2.mem.alloc(128, 16).unwrap();
+                let ls = n2.spes[0].ls.alloc(128, 16).unwrap();
+                n2.dma(ctx, 0, DmaDir::Get, 0, ls, buf, 128).unwrap();
+                n2.dma_wait(ctx, 0, 1);
+                n2.dma(ctx, 0, DmaDir::Put, 1, ls, buf, 128).unwrap();
+                n2.dma_wait(ctx, 0, 2);
+            });
+            sim.run().unwrap().end_time
+        };
+        assert_eq!(run(None), run(Some(Recorder::enabled())));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Diagnostics: stable machine-readable codes, severities and rendering.
+
+use std::fmt;
+
+/// Stable machine-readable code of one lint or race finding.
+///
+/// Codes are a contract: tools (CI filters, golden tests, log scrapes)
+/// match on them, so a code is never renumbered or reused. New checks
+/// append new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CheckCode {
+    /// Channel has no writer endpoint: nothing can ever write it.
+    Cp001,
+    /// Channel has no reader endpoint: nothing can ever read it.
+    Cp002,
+    /// Bundle member's direction contradicts the bundle's common
+    /// endpoint (e.g. a broadcast member not written by the common
+    /// process).
+    Cp003,
+    /// Process placed on a nonexistent MPI rank (or a channel endpoint
+    /// referencing a nonexistent process).
+    Cp004,
+    /// SPE process placed on a node that is not a configured Cell node.
+    Cp005,
+    /// More SPE slots used on a Cell node than the node has SPEs.
+    Cp006,
+    /// Channel with an SPE endpoint routed through a node with no
+    /// Co-Pilot.
+    Cp007,
+    /// Bundle mixes channel types from incompatible rendezvous classes.
+    Cp008,
+    /// Channel whose writer and reader are the same process.
+    Cp009,
+    /// Two SPE processes bound to the same `spe(node,slot)`.
+    Cp010,
+    /// Race detector: overlapping local-store byte ranges accessed
+    /// without a happens-before edge.
+    Cp101,
+}
+
+impl CheckCode {
+    /// The stable rendering (`"CP001"`, ...).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CheckCode::Cp001 => "CP001",
+            CheckCode::Cp002 => "CP002",
+            CheckCode::Cp003 => "CP003",
+            CheckCode::Cp004 => "CP004",
+            CheckCode::Cp005 => "CP005",
+            CheckCode::Cp006 => "CP006",
+            CheckCode::Cp007 => "CP007",
+            CheckCode::Cp008 => "CP008",
+            CheckCode::Cp009 => "CP009",
+            CheckCode::Cp010 => "CP010",
+            CheckCode::Cp101 => "CP101",
+        }
+    }
+}
+
+impl fmt::Display for CheckCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; never aborts a run.
+    Warning,
+    /// Ill-formed; strict mode turns any error into a pre-run abort.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding from the wiring verifier or the race detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code.
+    pub code: CheckCode,
+    /// Severity (strict mode aborts on any [`Severity::Error`]).
+    pub severity: Severity,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Offending endpoints, rendered in the deadlock detector's notation
+    /// (`rank N`, `spe(node,slot)`).
+    pub endpoints: Vec<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(
+        code: CheckCode,
+        severity: Severity,
+        message: impl Into<String>,
+        endpoints: Vec<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            endpoints,
+        }
+    }
+
+    /// Whether strict mode must abort on this finding.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `error[CP006] message (endpoint, endpoint)` — pinned by the golden
+    /// diagnostics file; change it only with a bless.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.message)?;
+        if !self.endpoints.is_empty() {
+            write!(f, " ({})", self.endpoints.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a batch of diagnostics, one per line (the strict-mode abort
+/// message and the `repro_check` report body).
+pub fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let d = Diagnostic::new(
+            CheckCode::Cp009,
+            Severity::Error,
+            "channel 3 connects process 'a' to itself",
+            vec!["rank 1".into()],
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[CP009] channel 3 connects process 'a' to itself (rank 1)"
+        );
+        let w = Diagnostic::new(CheckCode::Cp008, Severity::Warning, "m", vec![]);
+        assert_eq!(w.to_string(), "warning[CP008] m");
+        assert!(!w.is_error());
+    }
+}

@@ -1,0 +1,245 @@
+//! The neutral wiring-graph model the verifier lints.
+//!
+//! `cp-check` sits below the Pilot and CellPilot runtimes in the
+//! dependency order, so it defines its own minimal picture of an
+//! application architecture — processes placed on ranks or SPE slots,
+//! unidirectional channels, collective bundles, and the cluster facts
+//! that matter for routing (which nodes are Cells, how many SPEs each
+//! has, which nodes host a Co-Pilot). The runtimes translate their
+//! configure-phase tables into a [`WiringGraph`] and hand it to
+//! [`fn@crate::verify`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Where a process lives, in the deadlock detector's endpoint notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphEndpoint {
+    /// An MPI-rank-backed process; `node` is the cluster node the rank is
+    /// placed on (the hostfile entry).
+    Rank {
+        /// MPI rank number.
+        rank: usize,
+        /// Cluster node hosting the rank.
+        node: usize,
+    },
+    /// An SPE process bound to a virtual SPE slot of a Cell node.
+    Spe {
+        /// Cell node id.
+        node: usize,
+        /// Virtual SPE slot on that node.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for GraphEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphEndpoint::Rank { rank, .. } => write!(f, "rank {rank}"),
+            GraphEndpoint::Spe { node, slot } => write!(f, "spe({node},{slot})"),
+        }
+    }
+}
+
+/// One process of the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphProcess {
+    /// Configure-phase name (diagnostics quote it).
+    pub name: String,
+    /// Placement.
+    pub at: GraphEndpoint,
+}
+
+/// One unidirectional channel. A well-formed channel has both endpoints;
+/// an endpoint can be absent to model a half-wired (orphan) channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphChannel {
+    /// Writing process (index into [`WiringGraph::processes`]).
+    pub writer: Option<usize>,
+    /// Reading process (index into [`WiringGraph::processes`]).
+    pub reader: Option<usize>,
+}
+
+/// What a bundle's collective does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphBundleUsage {
+    /// The common endpoint writes every member channel.
+    Broadcast,
+    /// The common endpoint reads every member channel.
+    Gather,
+}
+
+impl fmt::Display for GraphBundleUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GraphBundleUsage::Broadcast => "broadcast",
+            GraphBundleUsage::Gather => "gather",
+        })
+    }
+}
+
+/// A collective bundle over channels sharing a common endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphBundle {
+    /// Collective direction.
+    pub usage: GraphBundleUsage,
+    /// Member channels (indices into [`WiringGraph::channels`]).
+    pub channels: Vec<usize>,
+    /// The common process (index into [`WiringGraph::processes`]).
+    pub common: usize,
+}
+
+/// The full typed process/channel/bundle graph of one application, plus
+/// the cluster facts routing depends on.
+#[derive(Debug, Clone, Default)]
+pub struct WiringGraph {
+    /// Number of MPI ranks available to application processes.
+    pub ranks: usize,
+    /// Cell nodes: node id → number of physical SPEs.
+    pub cell_nodes: BTreeMap<usize, usize>,
+    /// Nodes on which a Co-Pilot serves SPE channel traffic.
+    pub copilot_nodes: BTreeSet<usize>,
+    /// All processes.
+    pub processes: Vec<GraphProcess>,
+    /// All channels.
+    pub channels: Vec<GraphChannel>,
+    /// All bundles.
+    pub bundles: Vec<GraphBundle>,
+}
+
+impl WiringGraph {
+    /// An empty graph for an application with `ranks` MPI ranks.
+    pub fn new(ranks: usize) -> WiringGraph {
+        WiringGraph {
+            ranks,
+            ..WiringGraph::default()
+        }
+    }
+
+    /// Declare a Cell node with `spe_capacity` physical SPEs.
+    pub fn add_cell_node(&mut self, node: usize, spe_capacity: usize) {
+        self.cell_nodes.insert(node, spe_capacity);
+    }
+
+    /// Declare that `node` hosts a Co-Pilot.
+    pub fn add_copilot(&mut self, node: usize) {
+        self.copilot_nodes.insert(node);
+    }
+
+    /// Add a rank-backed process; returns its index.
+    pub fn add_rank_process(&mut self, name: &str, rank: usize, node: usize) -> usize {
+        self.processes.push(GraphProcess {
+            name: name.to_string(),
+            at: GraphEndpoint::Rank { rank, node },
+        });
+        self.processes.len() - 1
+    }
+
+    /// Add an SPE process on `spe(node,slot)`; returns its index.
+    pub fn add_spe_process(&mut self, name: &str, node: usize, slot: usize) -> usize {
+        self.processes.push(GraphProcess {
+            name: name.to_string(),
+            at: GraphEndpoint::Spe { node, slot },
+        });
+        self.processes.len() - 1
+    }
+
+    /// Add a fully wired channel from `writer` to `reader`; returns its
+    /// index.
+    pub fn add_channel(&mut self, writer: usize, reader: usize) -> usize {
+        self.channels.push(GraphChannel {
+            writer: Some(writer),
+            reader: Some(reader),
+        });
+        self.channels.len() - 1
+    }
+
+    /// Add a channel with possibly missing endpoints (to seed orphan
+    /// defects); returns its index.
+    pub fn add_half_channel(&mut self, writer: Option<usize>, reader: Option<usize>) -> usize {
+        self.channels.push(GraphChannel { writer, reader });
+        self.channels.len() - 1
+    }
+
+    /// Add a bundle; returns its index.
+    pub fn add_bundle(
+        &mut self,
+        usage: GraphBundleUsage,
+        channels: &[usize],
+        common: usize,
+    ) -> usize {
+        self.bundles.push(GraphBundle {
+            usage,
+            channels: channels.to_vec(),
+            common,
+        });
+        self.bundles.len() - 1
+    }
+
+    /// The Table-I channel type (1–5) of channel `c`, or `None` when an
+    /// endpoint is missing or references a nonexistent process.
+    pub fn channel_type(&self, c: usize) -> Option<u8> {
+        let ch = self.channels.get(c)?;
+        let w = self.processes.get(ch.writer?)?.at;
+        let r = self.processes.get(ch.reader?)?.at;
+        Some(match (w, r) {
+            (GraphEndpoint::Rank { .. }, GraphEndpoint::Rank { .. }) => 1,
+            (GraphEndpoint::Rank { node: rn, .. }, GraphEndpoint::Spe { node: sn, .. })
+            | (GraphEndpoint::Spe { node: sn, .. }, GraphEndpoint::Rank { node: rn, .. }) => {
+                if rn == sn {
+                    2
+                } else {
+                    3
+                }
+            }
+            (GraphEndpoint::Spe { node: a, .. }, GraphEndpoint::Spe { node: b, .. }) => {
+                if a == b {
+                    4
+                } else {
+                    5
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_notation_matches_deadlock_detector() {
+        assert_eq!(
+            GraphEndpoint::Spe { node: 1, slot: 3 }.to_string(),
+            "spe(1,3)"
+        );
+        assert_eq!(
+            GraphEndpoint::Rank { rank: 2, node: 0 }.to_string(),
+            "rank 2"
+        );
+    }
+
+    #[test]
+    fn channel_types_follow_table_one() {
+        let mut g = WiringGraph::new(2);
+        g.add_cell_node(0, 8);
+        g.add_cell_node(1, 8);
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let s0a = g.add_spe_process("s0a", 0, 0);
+        let s0b = g.add_spe_process("s0b", 0, 1);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let t1 = g.add_channel(main, xeon);
+        let t2 = g.add_channel(main, s0a);
+        let t3 = g.add_channel(xeon, s1a);
+        let t4 = g.add_channel(s0b, s0a);
+        let t5 = g.add_channel(s1a, s0b);
+        let dangling = g.add_half_channel(Some(main), None);
+        assert_eq!(g.channel_type(t1), Some(1));
+        assert_eq!(g.channel_type(t2), Some(2));
+        assert_eq!(g.channel_type(t3), Some(3));
+        assert_eq!(g.channel_type(t4), Some(4));
+        assert_eq!(g.channel_type(t5), Some(5));
+        assert_eq!(g.channel_type(dangling), None);
+    }
+}

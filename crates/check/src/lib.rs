@@ -1,0 +1,41 @@
+//! `cp-check` — static analysis for CellPilot/Pilot applications.
+//!
+//! Pilot's headline safety feature was catching API misuse before a run;
+//! the CellPilot paper leaves SPE-side checking as future work. This
+//! crate closes that gap with two passes:
+//!
+//! 1. **Configure-time wiring verifier** ([`fn@verify`]) — lints the full
+//!    typed process/channel/bundle graph ([`WiringGraph`]) for defects
+//!    the type system cannot rule out: orphan channels (CP001/CP002),
+//!    collective direction mismatches (CP003), endpoints on nonexistent
+//!    ranks or Cell nodes (CP004/CP005), SPE slot oversubscription
+//!    (CP006), SPE channels with no Co-Pilot route (CP007), bundles
+//!    mixing incompatible rendezvous classes (CP008), self-channels
+//!    (CP009) and slot collisions (CP010).
+//! 2. **Happens-before DMA race detector** ([`detect_races`]) — a
+//!    vector-clock analysis over the [`cp_trace::hb`] event stream that
+//!    flags overlapping local-store byte ranges accessed without an
+//!    ordering edge (CP101), the silent-corruption class the Co-Pilot
+//!    address-translation design makes easy to write.
+//!
+//! Every [`Diagnostic`] carries a stable machine-readable [`CheckCode`],
+//! a [`Severity`], and the offending endpoints in the same
+//! `spe(node,slot)` notation the deadlock detector uses. The runtimes
+//! enable the passes with `with_strict_checks()` (errors abort before
+//! the run) or `with_checks()` (findings become `wiring-lint` /
+//! `dma-race` incidents in the `SimReport`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod graph;
+pub mod race;
+pub mod verify;
+
+pub use diag::{render, CheckCode, Diagnostic, Severity};
+pub use graph::{
+    GraphBundle, GraphBundleUsage, GraphChannel, GraphEndpoint, GraphProcess, WiringGraph,
+};
+pub use race::detect_races;
+pub use verify::verify;

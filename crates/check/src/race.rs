@@ -1,0 +1,372 @@
+//! Happens-before DMA race detection over the [`cp_trace::hb`] stream.
+//!
+//! ## The model
+//!
+//! Every DES process (`actor`) advances a component of a vector clock in
+//! program order. Three kinds of ordering edges join clocks:
+//!
+//! * **queue edges** — a [`HbOp::MsgRecv`] joins the clock its matching
+//!   [`HbOp::MsgSend`] was recorded with (mailbox words, Co-Pilot event
+//!   queues, channel rendezvous);
+//! * **DMA completion edges** — a [`HbOp::DmaWait`] joins the clocks of
+//!   every transfer issued so far on that SPE under a tag in the mask;
+//! * **program order** — an actor's own clock only grows.
+//!
+//! An MFC transfer is *not* part of its issuer's program order: it gets
+//! the issuer's clock at issue time plus one private component nobody
+//! else holds, so two back-to-back transfers — or a transfer and the
+//! issuing program's own subsequent local-store accesses — stay
+//! concurrent until a covering `dma_wait` joins the transfer back in.
+//! That is exactly the MFC's contract: tag groups order nothing until
+//! waited on.
+//!
+//! A **race** is two accesses to overlapping byte ranges of the same
+//! physical local store, at least one a write, whose clocks are
+//! incomparable.
+
+use crate::diag::{CheckCode, Diagnostic, Severity};
+use cp_trace::{HbEvent, HbOp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A sparse vector clock: component id → count.
+type Vc = BTreeMap<u32, u64>;
+
+/// `a ≤ b` in the component-wise partial order.
+fn vc_leq(a: &Vc, b: &Vc) -> bool {
+    a.iter()
+        .all(|(k, va)| b.get(k).copied().unwrap_or(0) >= *va)
+}
+
+fn vc_join(into: &mut Vc, other: &Vc) {
+    for (&k, &v) in other {
+        let e = into.entry(k).or_insert(0);
+        *e = (*e).max(v);
+    }
+}
+
+/// One local-store access with its clock.
+struct Access {
+    node: usize,
+    spe: usize,
+    start: u32,
+    len: u32,
+    write: bool,
+    vc: Vc,
+    /// Who touched the bytes, for the diagnostic.
+    who: String,
+    ts_ns: u64,
+}
+
+fn overlaps(a: &Access, b: &Access) -> bool {
+    a.node == b.node
+        && a.spe == b.spe
+        && a.start < b.start.saturating_add(b.len)
+        && b.start < a.start.saturating_add(a.len)
+}
+
+/// An issued MFC transfer awaiting (or never receiving) a wait.
+struct Transfer {
+    tag: u32,
+    vc: Vc,
+}
+
+/// Replay the happens-before stream and report every pair of unordered
+/// overlapping local-store accesses as a [`CheckCode::Cp101`] diagnostic.
+/// Deterministic: the stream is replayed in record order and findings
+/// come out in first-access order, deduplicated per accessor pair.
+pub fn detect_races(events: &[HbEvent]) -> Vec<Diagnostic> {
+    let mut next_component: u32 = 0;
+    let mut actor_ids: HashMap<String, u32> = HashMap::new();
+    let mut clocks: HashMap<u32, Vc> = HashMap::new();
+    let mut sends: HashMap<(String, u64), Vc> = HashMap::new();
+    let mut transfers: HashMap<(usize, usize), Vec<Transfer>> = HashMap::new();
+    let mut accesses: Vec<Access> = Vec::new();
+
+    for ev in events {
+        let id = *actor_ids.entry(ev.actor.clone()).or_insert_with(|| {
+            let id = next_component;
+            next_component += 1;
+            id
+        });
+        let clock = clocks.entry(id).or_default();
+        *clock.entry(id).or_insert(0) += 1;
+        match &ev.op {
+            HbOp::MsgSend { queue, seq } => {
+                sends.insert((queue.clone(), *seq), clock.clone());
+            }
+            HbOp::MsgRecv { queue, seq } => {
+                if let Some(sv) = sends.get(&(queue.clone(), *seq)) {
+                    vc_join(clock, sv);
+                }
+            }
+            HbOp::DmaIssue {
+                node,
+                spe,
+                put,
+                tag,
+                ls_start,
+                len,
+            } => {
+                let t = next_component;
+                next_component += 1;
+                let mut tvc = clock.clone();
+                tvc.insert(t, 1);
+                accesses.push(Access {
+                    node: *node,
+                    spe: *spe,
+                    start: *ls_start,
+                    len: *len,
+                    // A get writes local store; a put reads it.
+                    write: !*put,
+                    vc: tvc.clone(),
+                    who: format!(
+                        "{} dma-{} tag {tag}",
+                        ev.actor,
+                        if *put { "put" } else { "get" }
+                    ),
+                    ts_ns: ev.ts_ns,
+                });
+                transfers
+                    .entry((*node, *spe))
+                    .or_default()
+                    .push(Transfer { tag: *tag, vc: tvc });
+            }
+            HbOp::DmaWait { node, spe, mask } => {
+                if let Some(ts) = transfers.get(&(*node, *spe)) {
+                    for t in ts.iter().filter(|t| t.tag < 32 && mask & (1 << t.tag) != 0) {
+                        vc_join(clock, &t.vc);
+                    }
+                }
+            }
+            HbOp::LsRead {
+                node,
+                spe,
+                start,
+                len,
+            }
+            | HbOp::LsWrite {
+                node,
+                spe,
+                start,
+                len,
+            } => {
+                accesses.push(Access {
+                    node: *node,
+                    spe: *spe,
+                    start: *start,
+                    len: *len,
+                    write: matches!(ev.op, HbOp::LsWrite { .. }),
+                    vc: clock.clone(),
+                    who: ev.actor.clone(),
+                    ts_ns: ev.ts_ns,
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize, String, String)> = BTreeSet::new();
+    for i in 0..accesses.len() {
+        for j in (i + 1)..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if !(a.write || b.write) || !overlaps(a, b) {
+                continue;
+            }
+            if vc_leq(&a.vc, &b.vc) || vc_leq(&b.vc, &a.vc) {
+                continue;
+            }
+            let key = (a.node, a.spe, a.who.clone(), b.who.clone());
+            if !seen.insert(key) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                CheckCode::Cp101,
+                Severity::Error,
+                format!(
+                    "unordered overlapping local-store accesses: \
+                     {} {}s [{:#x}..{:#x}) at t={}ns vs {} {}s [{:#x}..{:#x}) at t={}ns",
+                    a.who,
+                    if a.write { "write" } else { "read" },
+                    a.start,
+                    a.start.saturating_add(a.len),
+                    a.ts_ns,
+                    b.who,
+                    if b.write { "write" } else { "read" },
+                    b.start,
+                    b.start.saturating_add(b.len),
+                    b.ts_ns,
+                ),
+                vec![format!("spe({},{})", a.node, a.spe)],
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(actor: &str, ts: u64, put: bool, tag: u32, ls: u32, len: u32) -> HbEvent {
+        HbEvent {
+            actor: actor.into(),
+            ts_ns: ts,
+            op: HbOp::DmaIssue {
+                node: 0,
+                spe: 0,
+                put,
+                tag,
+                ls_start: ls,
+                len,
+            },
+        }
+    }
+
+    fn wait(actor: &str, ts: u64, mask: u32) -> HbEvent {
+        HbEvent {
+            actor: actor.into(),
+            ts_ns: ts,
+            op: HbOp::DmaWait {
+                node: 0,
+                spe: 0,
+                mask,
+            },
+        }
+    }
+
+    #[test]
+    fn unfenced_get_then_put_races() {
+        let d = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128), // get: writes LS
+            issue("spe", 10, true, 1, 0x100, 128), // put: reads LS, no wait between
+            wait("spe", 20, 0b11),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, CheckCode::Cp101);
+        assert_eq!(d[0].endpoints, vec!["spe(0,0)"]);
+        assert!(d[0].message.contains("dma-get tag 0"));
+        assert!(d[0].message.contains("dma-put tag 1"));
+    }
+
+    #[test]
+    fn fenced_get_then_put_is_clean() {
+        let d = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128),
+            wait("spe", 10, 0b1),
+            issue("spe", 20, true, 1, 0x100, 128),
+            wait("spe", 30, 0b10),
+        ]);
+        assert_eq!(d, Vec::new());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let d = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128),
+            issue("spe", 10, true, 1, 0x180, 128),
+            wait("spe", 20, 0b11),
+        ]);
+        assert_eq!(d, Vec::new());
+    }
+
+    #[test]
+    fn two_reads_do_not_race() {
+        let d = detect_races(&[
+            issue("spe", 0, true, 0, 0x100, 128),
+            issue("spe", 10, true, 1, 0x100, 128),
+            wait("spe", 20, 0b11),
+        ]);
+        assert_eq!(d, Vec::new());
+    }
+
+    #[test]
+    fn transfer_races_with_program_store_until_waited() {
+        // The program stores into the buffer while an unwaited get is
+        // still landing into it.
+        let racy = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128),
+            HbEvent {
+                actor: "spe".into(),
+                ts_ns: 5,
+                op: HbOp::LsWrite {
+                    node: 0,
+                    spe: 0,
+                    start: 0x100,
+                    len: 16,
+                },
+            },
+        ]);
+        assert_eq!(racy.len(), 1);
+        let fenced = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128),
+            wait("spe", 3, 0b1),
+            HbEvent {
+                actor: "spe".into(),
+                ts_ns: 5,
+                op: HbOp::LsWrite {
+                    node: 0,
+                    spe: 0,
+                    start: 0x100,
+                    len: 16,
+                },
+            },
+        ]);
+        assert_eq!(fenced, Vec::new());
+    }
+
+    #[test]
+    fn queue_edge_orders_cross_actor_accesses() {
+        let store = |actor: &str, ts: u64| HbEvent {
+            actor: actor.into(),
+            ts_ns: ts,
+            op: HbOp::LsWrite {
+                node: 0,
+                spe: 1,
+                start: 0x200,
+                len: 64,
+            },
+        };
+        let send = |actor: &str, ts: u64, seq: u64| HbEvent {
+            actor: actor.into(),
+            ts_ns: ts,
+            op: HbOp::MsgSend {
+                queue: "node0.spe1".into(),
+                seq,
+            },
+        };
+        let recv = |actor: &str, ts: u64, seq: u64| HbEvent {
+            actor: actor.into(),
+            ts_ns: ts,
+            op: HbOp::MsgRecv {
+                queue: "node0.spe1".into(),
+                seq,
+            },
+        };
+        // PPE writes, signals the SPE through the mailbox, SPE writes:
+        // ordered.
+        let clean = detect_races(&[
+            store("ppe", 0),
+            send("ppe", 1, 0),
+            recv("spe1", 2, 0),
+            store("spe1", 3),
+        ]);
+        assert_eq!(clean, Vec::new());
+        // Without the mailbox handshake the same two writes race.
+        let racy = detect_races(&[store("ppe", 0), store("spe1", 3)]);
+        assert_eq!(racy.len(), 1);
+        assert_eq!(racy[0].endpoints, vec!["spe(0,1)"]);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_reported_once() {
+        let d = detect_races(&[
+            issue("spe", 0, false, 0, 0x100, 128),
+            issue("spe", 1, true, 1, 0x100, 64),
+            issue("spe", 2, true, 1, 0x140, 64),
+        ]);
+        // Both puts overlap the get, but they carry the same accessor
+        // label, so the second (get, put) pairing collapses into the
+        // first; the put/put pair is read/read and never races.
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

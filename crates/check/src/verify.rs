@@ -1,0 +1,367 @@
+//! The configure-time wiring verifier: CP001–CP010 over a
+//! [`WiringGraph`].
+
+use crate::diag::{CheckCode, Diagnostic, Severity};
+use crate::graph::{GraphBundleUsage, GraphEndpoint, WiringGraph};
+use std::collections::BTreeMap;
+
+fn ep(g: &WiringGraph, p: usize) -> Vec<String> {
+    match g.processes.get(p) {
+        Some(proc_) => vec![proc_.at.to_string()],
+        None => Vec::new(),
+    }
+}
+
+fn pname(g: &WiringGraph, p: usize) -> String {
+    match g.processes.get(p) {
+        Some(proc_) => format!("'{}'", proc_.name),
+        None => format!("#{p}"),
+    }
+}
+
+/// Which rendezvous machinery serves a channel type: MPI rank↔rank (1),
+/// Co-Pilot proxying to one SPE side (2, 3), or SPE↔SPE pairing (4, 5).
+/// Bundles whose members span the SPE-pairing class and any other class
+/// have no single completion order and draw [`CheckCode::Cp008`].
+fn rendezvous_class(chan_type: u8) -> u8 {
+    match chan_type {
+        1 => 0,
+        2 | 3 => 1,
+        _ => 2,
+    }
+}
+
+/// Lint the full process/channel/bundle graph. Diagnostics come out in a
+/// deterministic order: per-process checks first, then per-channel,
+/// per-node, and per-bundle checks, each in index order.
+pub fn verify(g: &WiringGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Per-process placement checks: CP004 (nonexistent rank), CP005
+    // (nonexistent Cell node), CP010 (slot collision).
+    let mut slot_owner: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, p) in g.processes.iter().enumerate() {
+        match p.at {
+            GraphEndpoint::Rank { rank, .. } => {
+                if rank >= g.ranks {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp004,
+                        Severity::Error,
+                        format!(
+                            "process {} placed on nonexistent rank {rank} ({} ranks configured)",
+                            pname(g, i),
+                            g.ranks
+                        ),
+                        vec![p.at.to_string()],
+                    ));
+                }
+            }
+            GraphEndpoint::Spe { node, slot } => {
+                if !g.cell_nodes.contains_key(&node) {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp005,
+                        Severity::Error,
+                        format!(
+                            "SPE process {} placed on node {node}, which is not a Cell node",
+                            pname(g, i)
+                        ),
+                        vec![p.at.to_string()],
+                    ));
+                }
+                if let Some(&prev) = slot_owner.get(&(node, slot)) {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp010,
+                        Severity::Error,
+                        format!(
+                            "SPE processes {} and {} are both bound to the same slot",
+                            pname(g, prev),
+                            pname(g, i)
+                        ),
+                        vec![p.at.to_string()],
+                    ));
+                } else {
+                    slot_owner.insert((node, slot), i);
+                }
+            }
+        }
+    }
+
+    // Per-channel checks: CP001/CP002 (orphan ends), CP004 (endpoint on a
+    // nonexistent process), CP009 (self-channel), CP007 (SPE endpoint on
+    // a node without a Co-Pilot).
+    for (c, ch) in g.channels.iter().enumerate() {
+        for (end, label) in [(ch.writer, "writer"), (ch.reader, "reader")] {
+            if let Some(p) = end {
+                if p >= g.processes.len() {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp004,
+                        Severity::Error,
+                        format!("channel {c} {label} references nonexistent process #{p}"),
+                        Vec::new(),
+                    ));
+                }
+            }
+        }
+        match ch.writer {
+            None => out.push(Diagnostic::new(
+                CheckCode::Cp001,
+                Severity::Error,
+                format!("channel {c} is never written: it has no writer endpoint"),
+                ch.reader.map(|p| ep(g, p)).unwrap_or_default(),
+            )),
+            Some(w) => {
+                if ch.reader == Some(w) {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp009,
+                        Severity::Error,
+                        format!("channel {c} connects process {} to itself", pname(g, w)),
+                        ep(g, w),
+                    ));
+                }
+            }
+        }
+        if ch.reader.is_none() {
+            out.push(Diagnostic::new(
+                CheckCode::Cp002,
+                Severity::Error,
+                format!("channel {c} is never read: it has no reader endpoint"),
+                ch.writer.map(|p| ep(g, p)).unwrap_or_default(),
+            ));
+        }
+        if let Some(t) = g.channel_type(c) {
+            if t >= 2 {
+                for p in [ch.writer, ch.reader].into_iter().flatten() {
+                    if let Some(GraphEndpoint::Spe { node, slot }) =
+                        g.processes.get(p).map(|pr| pr.at)
+                    {
+                        if !g.copilot_nodes.contains(&node) {
+                            out.push(Diagnostic::new(
+                                CheckCode::Cp007,
+                                Severity::Error,
+                                format!(
+                                    "type-{t} channel {c} routes through node {node}, \
+                                     which has no Co-Pilot to proxy SPE traffic",
+                                    t = t,
+                                ),
+                                vec![GraphEndpoint::Spe { node, slot }.to_string()],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-node occupancy: CP006 (slot oversubscription).
+    for (&node, &capacity) in &g.cell_nodes {
+        let slots: Vec<usize> = g
+            .processes
+            .iter()
+            .filter_map(|p| match p.at {
+                GraphEndpoint::Spe { node: n, slot } if n == node => Some(slot),
+                _ => None,
+            })
+            .collect();
+        let mut distinct = slots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let max_slot = distinct.last().copied();
+        if distinct.len() > capacity || max_slot.is_some_and(|s| s >= capacity) {
+            let worst = max_slot.unwrap_or(0);
+            out.push(Diagnostic::new(
+                CheckCode::Cp006,
+                Severity::Error,
+                format!(
+                    "node {node} oversubscribed: {} SPE slots used (highest slot {worst}), \
+                     {capacity} SPEs available",
+                    distinct.len()
+                ),
+                vec![GraphEndpoint::Spe { node, slot: worst }.to_string()],
+            ));
+        }
+    }
+
+    // Per-bundle checks: CP003 (direction mismatch vs the common
+    // endpoint), CP008 (incompatible rendezvous classes).
+    for (b, bundle) in g.bundles.iter().enumerate() {
+        let mut classes: Vec<u8> = Vec::new();
+        let mut types: Vec<u8> = Vec::new();
+        for &c in &bundle.channels {
+            let Some(ch) = g.channels.get(c) else {
+                continue;
+            };
+            let held = match bundle.usage {
+                GraphBundleUsage::Broadcast => ch.writer,
+                GraphBundleUsage::Gather => ch.reader,
+            };
+            if held != Some(bundle.common) {
+                let side = match bundle.usage {
+                    GraphBundleUsage::Broadcast => "written",
+                    GraphBundleUsage::Gather => "read",
+                };
+                let mut endpoints = ep(g, bundle.common);
+                if let Some(h) = held {
+                    endpoints.extend(ep(g, h));
+                }
+                out.push(Diagnostic::new(
+                    CheckCode::Cp003,
+                    Severity::Error,
+                    format!(
+                        "{} bundle {b}: member channel {c} is not {side} by the \
+                         common endpoint {}",
+                        bundle.usage,
+                        pname(g, bundle.common)
+                    ),
+                    endpoints,
+                ));
+            }
+            if let Some(t) = g.channel_type(c) {
+                types.push(t);
+                classes.push(rendezvous_class(t));
+            }
+        }
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.contains(&2) && classes.len() > 1 {
+            types.sort_unstable();
+            types.dedup();
+            out.push(Diagnostic::new(
+                CheckCode::Cp008,
+                Severity::Warning,
+                format!(
+                    "{} bundle {b} mixes incompatible channel types {{{}}}: \
+                     SPE↔SPE pairing and rank-side rendezvous have no common \
+                     completion order",
+                    bundle.usage,
+                    types
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+                ep(g, bundle.common),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WiringGraph {
+        let mut g = WiringGraph::new(3);
+        g.add_cell_node(0, 8);
+        g.add_cell_node(1, 8);
+        g.add_copilot(0);
+        g.add_copilot(1);
+        g
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_graph_has_no_diagnostics() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let s0a = g.add_spe_process("s0a", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let c1 = g.add_channel(main, xeon);
+        let c2 = g.add_channel(main, s0a);
+        let c3 = g.add_channel(main, s1a);
+        g.add_channel(xeon, s1a);
+        g.add_channel(s1a, s0a);
+        g.add_bundle(GraphBundleUsage::Broadcast, &[c1, c2, c3], main);
+        assert_eq!(verify(&g), Vec::new());
+    }
+
+    #[test]
+    fn orphan_channel_draws_cp001_and_cp002() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        g.add_half_channel(None, Some(main));
+        g.add_half_channel(Some(main), None);
+        g.add_half_channel(None, None);
+        assert_eq!(codes(&verify(&g)), vec!["CP001", "CP002", "CP001", "CP002"]);
+    }
+
+    #[test]
+    fn misplaced_processes_draw_cp004_and_cp005() {
+        let mut g = base();
+        g.add_rank_process("ghost", 7, 0);
+        g.add_spe_process("lost", 9, 0);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP004", "CP005"]);
+        assert_eq!(d[0].endpoints, vec!["rank 7"]);
+        assert_eq!(d[1].endpoints, vec!["spe(9,0)"]);
+    }
+
+    #[test]
+    fn oversubscription_draws_cp006() {
+        let mut g = base();
+        for slot in 0..9 {
+            g.add_spe_process(&format!("w{slot}"), 0, slot);
+        }
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP006"]);
+        assert_eq!(d[0].endpoints, vec!["spe(0,8)"]);
+    }
+
+    #[test]
+    fn missing_copilot_route_draws_cp007() {
+        let mut g = WiringGraph::new(2);
+        g.add_cell_node(0, 8);
+        g.add_cell_node(1, 8);
+        g.add_copilot(0); // node 1 has no Co-Pilot
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let s0a = g.add_spe_process("s0a", 0, 0);
+        g.add_channel(xeon, s1a); // type 3, node 1 unrouted
+        g.add_channel(s0a, s1a); // type 5, node 1 unrouted
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP007", "CP007"]);
+        assert!(d[0].message.contains("type-3"));
+        assert!(d[1].message.contains("type-5"));
+        assert_eq!(d[1].endpoints, vec!["spe(1,0)"]);
+    }
+
+    #[test]
+    fn direction_mismatch_and_self_channel() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let good = g.add_channel(main, xeon);
+        let backwards = g.add_channel(xeon, main);
+        g.add_bundle(GraphBundleUsage::Broadcast, &[good, backwards], main);
+        g.add_half_channel(Some(main), Some(main));
+        assert_eq!(codes(&verify(&g)), vec!["CP009", "CP003"]);
+    }
+
+    #[test]
+    fn slot_collision_draws_cp010() {
+        let mut g = base();
+        g.add_spe_process("a", 0, 0);
+        g.add_spe_process("b", 0, 0);
+        assert_eq!(codes(&verify(&g)), vec!["CP010"]);
+    }
+
+    #[test]
+    fn mixed_bundle_draws_cp008_warning() {
+        let mut g = base();
+        let s0a = g.add_spe_process("s0a", 0, 0);
+        let s0b = g.add_spe_process("s0b", 0, 1);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let pair = g.add_channel(s0a, s0b); // type 4
+        let remote = g.add_channel(s0a, xeon); // type 3
+        g.add_bundle(GraphBundleUsage::Broadcast, &[pair, remote], s0a);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP008"]);
+        assert!(!d[0].is_error(), "CP008 is a warning");
+        assert!(d[0].message.contains("{3,4}"));
+    }
+}

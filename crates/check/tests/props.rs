@@ -1,0 +1,93 @@
+//! Property: the wiring verifier never cries wolf. Any well-formed graph
+//! — processes on existing ranks and Cell slots, fully wired channels
+//! between distinct processes, bundles held by their common endpoint on
+//! one rendezvous class — must verify with zero diagnostics.
+
+use cp_check::{GraphBundleUsage, WiringGraph};
+use proptest::prelude::*;
+
+/// A recipe for a well-formed graph, drawn from small index spaces and
+/// normalized into validity by construction in [`build`].
+#[derive(Debug, Clone)]
+struct Recipe {
+    ranks: usize,
+    /// SPE capacity per Cell node (node ids 0..len).
+    cells: Vec<usize>,
+    /// SPE processes as (cell_index, slot_seed); slots are deduplicated
+    /// and wrapped into capacity so placements stay legal.
+    spes: Vec<(usize, usize)>,
+    /// Channel endpoint seeds, resolved to distinct process indices.
+    chans: Vec<(usize, usize)>,
+    /// Broadcast fan-out from rank 0's process (member count seed).
+    bundle_fanout: usize,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..4,
+        proptest::collection::vec(1usize..9, 1..3),
+        proptest::collection::vec((0usize..2, 0usize..16), 0..10),
+        proptest::collection::vec((0usize..32, 0usize..32), 0..12),
+        0usize..4,
+    )
+        .prop_map(|(ranks, cells, spes, chans, bundle_fanout)| Recipe {
+            ranks,
+            cells,
+            spes,
+            chans,
+            bundle_fanout,
+        })
+}
+
+/// Materialize the recipe as a graph that is well-formed by construction:
+/// every defect class the verifier hunts is impossible here.
+fn build(r: &Recipe) -> WiringGraph {
+    let mut g = WiringGraph::new(r.ranks);
+    for (node, &cap) in r.cells.iter().enumerate() {
+        g.add_cell_node(node, cap);
+        g.add_copilot(node);
+    }
+    let mut procs = Vec::new();
+    for rank in 0..r.ranks {
+        // Rank processes may sit on any node, Cell or not.
+        procs.push(g.add_rank_process(&format!("r{rank}"), rank, rank % (r.cells.len() + 1)));
+    }
+    let mut used = std::collections::BTreeSet::new();
+    for &(cell_seed, slot_seed) in &r.spes {
+        let node = cell_seed % r.cells.len();
+        let slot = slot_seed % r.cells[node];
+        if used.insert((node, slot)) {
+            procs.push(g.add_spe_process(&format!("s{node}_{slot}"), node, slot));
+        }
+    }
+    for &(a, b) in &r.chans {
+        let w = a % procs.len();
+        let rd = b % procs.len();
+        if w != rd {
+            g.add_channel(procs[w], procs[rd]);
+        }
+    }
+    // A broadcast from rank 0 to the others: all members written by the
+    // common endpoint, all rank↔rank (one rendezvous class).
+    if r.bundle_fanout > 0 && r.ranks > 1 {
+        let members: Vec<usize> = (1..r.ranks)
+            .cycle()
+            .take(r.bundle_fanout)
+            .map(|peer| g.add_channel(procs[0], procs[peer]))
+            .collect();
+        g.add_bundle(GraphBundleUsage::Broadcast, &members, procs[0]);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Zero false positives on well-formed graphs.
+    #[test]
+    fn well_formed_graphs_verify_clean(recipe in arb_recipe()) {
+        let g = build(&recipe);
+        let d = cp_check::verify(&g);
+        prop_assert!(d.is_empty(), "false positives on {recipe:?}: {d:?}");
+    }
+}

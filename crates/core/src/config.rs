@@ -20,7 +20,7 @@ use crate::runtime::{AppShared, CellPilot};
 use crate::tables::{
     CpBundleEntry, CpBundleUsage, CpChanEntry, CpProcEntry, CpTables, NodeShared, ProcKind,
 };
-use cp_des::{SimDuration, SimError, SimReport, Simulation};
+use cp_des::{Incident, IncidentCategory, SimDuration, SimError, SimReport, Simulation};
 use cp_mpisim::{MpiCosts, MpiWorld};
 use cp_pilot::PilotCosts;
 use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
@@ -85,6 +85,16 @@ pub struct CellPilotOpts {
     /// operation. Recording never consumes virtual time, so enabling it
     /// does not perturb the schedule.
     pub tracing: Recorder,
+    /// Run the `cp-check` static passes: the configure-time wiring
+    /// verifier (findings become [`cp_des::IncidentCategory::WiringLint`]
+    /// incidents) and the happens-before DMA race detector (findings
+    /// become [`cp_des::IncidentCategory::DmaRace`] incidents). Neither
+    /// pass consumes virtual time.
+    pub checks: bool,
+    /// Escalate wiring-verifier *errors* to a pre-run abort
+    /// ([`cp_des::SimError::Aborted`] naming every finding) instead of
+    /// incidents. Implies [`CellPilotOpts::checks`].
+    pub strict_checks: bool,
 }
 
 impl CellPilotOpts {
@@ -146,6 +156,23 @@ impl CellPilotOpts {
     /// [`Recorder::chrome_trace`] a Chrome `trace_event` JSON export.
     pub fn with_tracing(mut self, recorder: Recorder) -> CellPilotOpts {
         self.tracing = recorder;
+        self
+    }
+
+    /// Run the `cp-check` wiring verifier and DMA race detector, reporting
+    /// findings as `wiring-lint` / `dma-race` incidents in the
+    /// [`SimReport`].
+    pub fn with_checks(mut self) -> CellPilotOpts {
+        self.checks = true;
+        self
+    }
+
+    /// Like [`CellPilotOpts::with_checks`], but wiring-verifier errors
+    /// abort before the run starts (races are always post-run findings and
+    /// never abort).
+    pub fn with_strict_checks(mut self) -> CellPilotOpts {
+        self.checks = true;
+        self.strict_checks = true;
         self
     }
 }
@@ -425,6 +452,48 @@ impl CellPilotConfig {
             .collect()
     }
 
+    /// Run the `cp-check` configure-time wiring verifier over the
+    /// architecture configured so far. The typed API already rules much of
+    /// the CP0xx catalogue out by construction (dangling endpoints,
+    /// self-channels, bundle-common mismatches), so what can surface here
+    /// is what only a whole-graph view sees — SPE slot oversubscription
+    /// (CP006), bundles mixing rendezvous classes (CP008). Called
+    /// automatically by `run` when [`CellPilotOpts::checks`] is set;
+    /// public so harnesses can lint without running.
+    pub fn check(&self) -> Vec<cp_check::Diagnostic> {
+        let mut g = cp_check::WiringGraph::new(self.placement.len());
+        for (i, kind) in self.spec.nodes.iter().enumerate() {
+            if let cp_simnet::NodeKind::Cell { spes } = kind {
+                g.add_cell_node(i, *spes);
+                // The runtime launches one Co-Pilot per Cell node, so
+                // every Cell node can proxy SPE traffic.
+                g.add_copilot(i);
+            }
+        }
+        for e in &self.processes {
+            match e.location {
+                Location::Rank { rank, node } => {
+                    g.add_rank_process(&e.name, rank, node.0);
+                }
+                Location::Spe { node, slot } => {
+                    g.add_spe_process(&e.name, node.0, slot);
+                }
+            }
+        }
+        for c in &self.channels {
+            g.add_channel(c.from.0, c.to.0);
+        }
+        for b in &self.bundles {
+            let usage = match b.usage {
+                CpBundleUsage::Broadcast => cp_check::GraphBundleUsage::Broadcast,
+                CpBundleUsage::Gather => cp_check::GraphBundleUsage::Gather,
+            };
+            let members: Vec<usize> = b.channels.iter().map(|c| c.0).collect();
+            g.add_bundle(usage, &members, b.common.0);
+        }
+        cp_check::verify(&g)
+    }
+
     /// `PI_StartAll` + `PI_StopMain` with trace retrieval: like
     /// [`CellPilotConfig::run`] but returns the recorded channel-operation
     /// trace (empty unless [`CellPilotOpts::trace`] was set).
@@ -465,6 +534,18 @@ impl CellPilotConfig {
     where
         M: FnOnce(&CellPilot) + Send + 'static,
     {
+        let lints = if self.opts.checks {
+            self.check()
+        } else {
+            Vec::new()
+        };
+        if self.opts.strict_checks && lints.iter().any(|d| d.is_error()) {
+            return Err(SimError::Aborted {
+                pid: 0,
+                name: "cp-check".into(),
+                message: cp_check::render(&lints),
+            });
+        }
         let CellPilotConfig {
             spec,
             mut placement,
@@ -477,6 +558,18 @@ impl CellPilotConfig {
             next_rank: _,
             spe_slots: _,
         } = self;
+        // The race detector consumes the happens-before stream: piggyback
+        // on the observability recorder when one is attached, otherwise
+        // record on a private one so enabling checks needs no tracing.
+        let hb_rec = if opts.checks {
+            if opts.tracing.is_enabled() {
+                opts.tracing.clone()
+            } else {
+                Recorder::enabled()
+            }
+        } else {
+            Recorder::disabled()
+        };
         let cluster = spec.build();
         let app_ranks = placement.len();
         let faults = opts
@@ -528,6 +621,10 @@ impl CellPilotConfig {
                 let ns = NodeShared::new(cell.clone());
                 if opts.tracing.is_enabled() {
                     ns.hb.set_recorder(opts.tracing.clone());
+                }
+                if hb_rec.is_enabled() {
+                    ns.cell.set_recorder(hb_rec.clone());
+                    ns.set_hb_recorder(hb_rec.clone());
                 }
                 node_shared.insert(NodeId(i), ns);
             }
@@ -584,6 +681,12 @@ impl CellPilotConfig {
         {
             let shared = shared.clone();
             world.launch(&mut sim, 0, "main", move |comm| {
+                // Non-strict wiring findings surface as incidents before
+                // the application body runs, stamped at t=0.
+                for d in &lints {
+                    comm.ctx()
+                        .report_incident(IncidentCategory::WiringLint, &d.to_string());
+                }
                 let cp = CellPilot {
                     comm,
                     shared,
@@ -612,7 +715,21 @@ impl CellPilotConfig {
                 crate::dlsvc::detector_main(comm, tables2, faults2);
             });
         }
-        sim.run()
+        let mut report = sim.run()?;
+        // Post-run race analysis over the recorded happens-before stream.
+        // Races never abort, even in strict mode: they are findings about
+        // the run that just completed.
+        if hb_rec.is_enabled() {
+            for d in cp_check::detect_races(&hb_rec.hb_events()) {
+                report.incidents.push(Incident {
+                    at: report.end_time,
+                    process: "cp-check".into(),
+                    category: IncidentCategory::DmaRace,
+                    detail: d.to_string(),
+                });
+            }
+        }
+        Ok(report)
     }
 }
 

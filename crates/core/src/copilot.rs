@@ -35,7 +35,6 @@ use crate::protocol::{
 use crate::runtime::AppShared;
 use crate::tables::{CoEvent, NodeShared, PendingReq};
 use cp_cellsim::{ls_ea, CellNode};
-use cp_des::sync::MsgQueue;
 use cp_des::{IncidentCategory, ProcCtx, SimDuration};
 use cp_mpisim::{Comm, Datatype, MpiWorld, Msg};
 use cp_simnet::{NodeId, HEARTBEAT_PERIOD, WATCHDOG_TIMEOUT};
@@ -52,12 +51,11 @@ pub(crate) fn copilot_body(
     move |comm: Comm| {
         let ns = shared.node_shared[&node].clone();
         let cell = ns.cell.clone();
-        let queue = ns.queue.clone();
         let ctx = comm.ctx().clone();
         for hw in 0..cell.spe_count() {
-            sim_spawn_watcher(&ctx, cell.clone(), hw, queue.clone());
+            sim_spawn_watcher(&ctx, ns.clone(), hw);
         }
-        spawn_pump(&ctx, &world, rank, node, queue.clone());
+        spawn_pump(&ctx, &world, rank, ns.clone());
         if let Some(kill_at) = shared.faults.copilot_kill_of(node) {
             // The node-local liveness signal: beat every period until the
             // scripted death silences it (or a clean shutdown stops the
@@ -75,10 +73,11 @@ pub(crate) fn copilot_body(
             // event, so the primary retires at the kill time (events queued
             // later stay behind the marker for the standby to service).
             {
-                let queue = queue.clone();
+                let ns = ns.clone();
                 ctx.spawn(&format!("copilot{}-kill", node.0), move |kctx| {
                     kctx.advance(SimDuration::from_nanos(kill_at.as_nanos()));
-                    queue.push(kctx, CoEvent::Die, SimDuration::ZERO);
+                    ns.note_queue_push(&kctx.name(), kctx.now().as_nanos());
+                    ns.queue.push(kctx, CoEvent::Die, SimDuration::ZERO);
                 });
             }
         }
@@ -122,7 +121,7 @@ pub(crate) fn standby_body(
         let primary = shared.tables.copilot_ranks[&node];
         shared.copilot_route.lock().insert(node, rank);
         world.take_over_rank(&ctx, primary, rank);
-        spawn_pump(&ctx, &world, rank, node, ns.queue.clone());
+        spawn_pump(&ctx, &world, rank, ns.clone());
         service_loop(&comm, &shared, &ns, true);
     }
 }
@@ -131,30 +130,27 @@ pub(crate) fn standby_body(
 /// feeding the node's shared event queue. A takeover retires the rank's
 /// mailbox mid-recv; the pump absorbs that unwind and exits — the
 /// standby's own pump owns the wire from then on.
-fn spawn_pump(
-    ctx: &ProcCtx,
-    world: &MpiWorld,
-    rank: usize,
-    node: NodeId,
-    queue: MsgQueue<CoEvent>,
-) {
+fn spawn_pump(ctx: &ProcCtx, world: &MpiWorld, rank: usize, ns: Arc<NodeShared>) {
     let world = world.clone();
-    ctx.spawn(&format!("copilot{}-pump-r{rank}", node.0), move |pctx| {
+    let node = ns.cell.id;
+    ctx.spawn(&format!("copilot{node}-pump-r{rank}"), move |pctx| {
         let _ = cp_mpisim::absorb_rank_death(|| {
             let pcomm = world.attach(pctx, rank);
             loop {
                 let m = pcomm.recv(None, None);
+                ns.note_queue_push(&pctx.name(), pctx.now().as_nanos());
                 if m.tag == CP_SHUTDOWN_TAG {
-                    queue.push(pctx, CoEvent::Shutdown, SimDuration::ZERO);
+                    ns.queue.push(pctx, CoEvent::Shutdown, SimDuration::ZERO);
                     return;
                 }
-                queue.push(pctx, CoEvent::Mpi(m), SimDuration::ZERO);
+                ns.queue.push(pctx, CoEvent::Mpi(m), SimDuration::ZERO);
             }
         });
     });
 }
 
-fn sim_spawn_watcher(ctx: &ProcCtx, cell: Arc<CellNode>, hw: usize, queue: MsgQueue<CoEvent>) {
+fn sim_spawn_watcher(ctx: &ProcCtx, ns: Arc<NodeShared>, hw: usize) {
+    let cell = ns.cell.clone();
     ctx.spawn(
         &format!("copilot{}-watch-spe{}", cell.id, hw),
         move |wctx| {
@@ -172,7 +168,9 @@ fn sim_spawn_watcher(ctx: &ProcCtx, cell: Arc<CellNode>, hw: usize, queue: MsgQu
                     cell.costs.memcpy_us(REQ_BLOCK_BYTES, 1),
                 ));
                 let req = Request::decode(&block);
-                queue.push(wctx, CoEvent::Request { hw, req }, SimDuration::ZERO);
+                ns.note_queue_push(&wctx.name(), wctx.now().as_nanos());
+                ns.queue
+                    .push(wctx, CoEvent::Request { hw, req }, SimDuration::ZERO);
             }
         },
     );
@@ -189,6 +187,7 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
     let stall = shared.faults.stall_of(NodeId(cell.id));
     loop {
         let event = queue.pop(ctx);
+        ns.note_queue_pop(&ctx.name(), ctx.now().as_nanos());
         // Only this service loop touches the proxy tables while it runs —
         // a standby starts only after the primary retired — so holding the
         // guard across an event's (possibly blocking) handling is safe.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cellpilot — seamless communication for hybrid Cell clusters
 //!
 //! A Rust reproduction of **CellPilot** (Girard, Gardner, Carter, Grewal —
@@ -82,3 +83,6 @@ pub use trace::{render_trace, TraceEvent, TraceOp, TraceSink};
 
 // Re-export the pieces users need from the layers below.
 pub use cp_pilot::{PiValue, PilotCosts};
+// Static-analysis surface (see `cp-check`): diagnostics come back through
+// `SimReport` incidents or a strict-mode abort, both rendering these types.
+pub use cp_check::{CheckCode, Diagnostic, Severity};

@@ -286,7 +286,7 @@ impl SpeCtx {
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
         let buf = ls.alloc(data.len().max(1), 16)?;
-        ls.write(buf, &data)?;
+        cell.ls_write_traced(&self.ctx, self.hw, buf, &data)?;
         let result = self.transact(Request {
             op: OP_WRITE,
             chan: chan.0 as u32,
@@ -373,7 +373,7 @@ impl SpeCtx {
             len: cap as u32,
         });
         let result = got.and_then(|n| {
-            let bytes = ls.read(buf, n)?;
+            let bytes = cell.ls_read_traced(&self.ctx, self.hw, buf, n)?;
             let values = unpack_message(&bytes).expect("well-formed channel message");
             let segs: Vec<(Datatype, usize)> =
                 values.iter().map(|v| (v.dtype(), v.len())).collect();

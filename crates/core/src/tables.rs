@@ -7,8 +7,10 @@ use cp_cellsim::CellNode;
 use cp_des::sync::MsgQueue;
 use cp_mpisim::Msg;
 use cp_simnet::{Heartbeat, NodeId};
+use cp_trace::{HbOp, Recorder};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How a process is realized.
@@ -136,6 +138,13 @@ pub(crate) struct NodeShared {
     /// Node-local liveness signal between the primary Co-Pilot and its
     /// standby's watchdog.
     pub hb: Heartbeat,
+    /// Happens-before recorder for the event queue (see `cp-check`):
+    /// pushes and pops become `MsgSend`/`MsgRecv` edges so SPE requests
+    /// are ordered before the Co-Pilot work they trigger.
+    hb_rec: Mutex<Recorder>,
+    /// Sequence numbers pairing queue pushes with pops.
+    queue_sent: AtomicU64,
+    queue_received: AtomicU64,
 }
 
 impl NodeShared {
@@ -151,8 +160,57 @@ impl NodeShared {
                 stall_done: false,
             }),
             hb: Heartbeat::new(),
+            hb_rec: Mutex::new(Recorder::disabled()),
+            queue_sent: AtomicU64::new(0),
+            queue_received: AtomicU64::new(0),
             cell,
         })
+    }
+
+    /// Attach a happens-before recorder to the event queue.
+    pub(crate) fn set_hb_recorder(&self, rec: Recorder) {
+        *self.hb_rec.lock() = rec;
+    }
+
+    fn hb_recorder(&self) -> Option<Recorder> {
+        let r = self.hb_rec.lock();
+        r.is_enabled().then(|| r.clone())
+    }
+
+    /// Record the happens-before send edge for a queue push. Call
+    /// immediately before `queue.push`: the queue is unbounded, so the
+    /// push inserts without yielding and the sequence number matches
+    /// insertion (hence pop) order.
+    pub(crate) fn note_queue_push(&self, actor: &str, ts_ns: u64) {
+        if let Some(r) = self.hb_recorder() {
+            let seq = self.queue_sent.fetch_add(1, Ordering::Relaxed);
+            r.record_hb(
+                actor,
+                ts_ns,
+                HbOp::MsgSend {
+                    queue: format!("co-queue-{}", self.cell.id),
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Record the happens-before receive edge for a queue pop. Call right
+    /// after `queue.pop` returns; the service loop is the queue's only
+    /// consumer (a standby starts only after the primary retired), so pops
+    /// consume sequence numbers in push order.
+    pub(crate) fn note_queue_pop(&self, actor: &str, ts_ns: u64) {
+        if let Some(r) = self.hb_recorder() {
+            let seq = self.queue_received.fetch_add(1, Ordering::Relaxed);
+            r.record_hb(
+                actor,
+                ts_ns,
+                HbOp::MsgRecv {
+                    queue: format!("co-queue-{}", self.cell.id),
+                    seq,
+                },
+            );
+        }
     }
 
     /// Claim the lowest-numbered free SPE, if any.

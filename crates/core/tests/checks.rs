@@ -1,0 +1,115 @@
+//! Integration tests for the `cp-check` passes wired into the CellPilot
+//! runtime: strict-mode pre-run aborts, non-strict `wiring-lint`
+//! incidents, and the happens-before DMA race detector staying silent on
+//! well-synchronized programs across every channel type.
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_des::{IncidentCategory, SimError, SimReport};
+use cp_simnet::ClusterSpec;
+
+/// Nine SPE processes on a node with eight SPEs: the one wiring defect
+/// the typed configure API cannot reject (CP006).
+fn oversubscribed(opts: CellPilotOpts) -> CellPilotConfig {
+    let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+    let prog = SpeProgram::new("idle", 1024, |_, _, _| {});
+    for i in 0..9 {
+        cfg.create_spe_process(&prog, CP_MAIN, i).unwrap();
+    }
+    cfg
+}
+
+#[test]
+fn strict_checks_abort_on_spe_oversubscription() {
+    let cfg = oversubscribed(CellPilotOpts::new().with_strict_checks());
+    match cfg.run(|_| {}) {
+        Err(SimError::Aborted { name, message, .. }) => {
+            assert_eq!(name, "cp-check");
+            assert!(message.contains("CP006"), "{message}");
+            assert!(message.contains("spe(0,8)"), "{message}");
+        }
+        other => panic!("expected a cp-check abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_strict_checks_report_wiring_lint_incidents() {
+    // The SPE processes stay dormant (nobody calls run_spe), so the run
+    // completes and the defect surfaces as an incident instead.
+    let cfg = oversubscribed(CellPilotOpts::new().with_checks());
+    let report = cfg.run(|_| {}).unwrap();
+    let lints: Vec<_> = report
+        .incidents
+        .iter()
+        .filter(|i| i.category == IncidentCategory::WiringLint)
+        .collect();
+    assert_eq!(lints.len(), 1, "{:?}", report.incidents);
+    assert_eq!(lints[0].process, "main");
+    assert!(lints[0].detail.contains("CP006"), "{}", lints[0].detail);
+}
+
+#[test]
+fn config_check_is_callable_without_running() {
+    let cfg = oversubscribed(CellPilotOpts::new());
+    let lints = cfg.check();
+    assert_eq!(lints.len(), 1);
+    assert_eq!(lints[0].code, cellpilot::CheckCode::Cp006);
+}
+
+/// An echo chain main → s0a → s0b → s1a → xeon exercising channel types
+/// 2, 4, 5 and 3 (every SPE-connected transport, including the type-4
+/// `ppe_memcpy` and the type-5 double Co-Pilot relay).
+fn echo_chain(opts: CellPilotOpts) -> SimReport {
+    let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+    let data: Vec<i32> = (0..8).collect();
+    let pa = SpeProgram::new("sa", 2048, |spe, _, _| {
+        let v = spe.read_vec::<i32>(CpChannel(0)).unwrap();
+        spe.write_slice(CpChannel(1), &v).unwrap();
+    });
+    let pb = SpeProgram::new("sb", 2048, |spe, _, _| {
+        let v = spe.read_vec::<i32>(CpChannel(1)).unwrap();
+        spe.write_slice(CpChannel(2), &v).unwrap();
+    });
+    let pc = SpeProgram::new("sc", 2048, |spe, _, _| {
+        let v = spe.read_vec::<i32>(CpChannel(2)).unwrap();
+        spe.write_slice(CpChannel(3), &v).unwrap();
+    });
+    let w1 = cfg
+        .create_process("w1", 0, |cp, _| cp.run_and_wait_my_spes())
+        .unwrap();
+    let expect = data.clone();
+    let _xeon = cfg
+        .create_process("xeon", 0, move |cp, _| {
+            assert_eq!(cp.read_vec::<i32>(CpChannel(3)).unwrap(), expect);
+        })
+        .unwrap();
+    let s0a = cfg.create_spe_process(&pa, CP_MAIN, 0).unwrap();
+    let s0b = cfg.create_spe_process(&pb, CP_MAIN, 1).unwrap();
+    let s1a = cfg.create_spe_process(&pc, w1, 2).unwrap();
+    cfg.create_channel(CP_MAIN, s0a).unwrap(); // c0: type 2
+    cfg.create_channel(s0a, s0b).unwrap(); // c1: type 4
+    cfg.create_channel(s0b, s1a).unwrap(); // c2: type 5
+    cfg.create_channel(s1a, _xeon).unwrap(); // c3: type 3
+    cfg.run(move |cp| {
+        let tasks = cp.run_my_spes();
+        cp.write_slice(CpChannel(0), &data).unwrap();
+        for t in tasks {
+            cp.wait_spe(t);
+        }
+    })
+    .unwrap()
+}
+
+#[test]
+fn checked_clean_run_is_race_free_and_zero_overhead() {
+    let plain = echo_chain(CellPilotOpts::new());
+    let checked = echo_chain(CellPilotOpts::new().with_strict_checks());
+    assert_eq!(
+        checked.end_time, plain.end_time,
+        "enabling checks must not perturb the schedule"
+    );
+    assert_eq!(
+        checked.incidents,
+        Vec::new(),
+        "a well-synchronized run must verify clean across all channel types"
+    );
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-dacs — a DaCS-like hierarchical baseline library
 //!
 //! Reimplements the slice of IBM's Data Communication and Synchronization

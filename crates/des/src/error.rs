@@ -100,6 +100,12 @@ pub enum IncidentCategory {
     /// A standby Co-Pilot adopted a dead primary's node after missed
     /// heartbeats.
     CopilotFailover,
+    /// The configure-time wiring verifier (`cp-check`) flagged an
+    /// ill-formed process/channel/bundle graph in non-strict mode.
+    WiringLint,
+    /// The happens-before race detector (`cp-check`) flagged overlapping
+    /// local-store accesses without an ordering edge.
+    DmaRace,
 }
 
 impl IncidentCategory {
@@ -115,6 +121,8 @@ impl IncidentCategory {
             IncidentCategory::CopilotStall => "copilot-stall",
             IncidentCategory::CopilotDeath => "copilot-death",
             IncidentCategory::CopilotFailover => "copilot-failover",
+            IncidentCategory::WiringLint => "wiring-lint",
+            IncidentCategory::DmaRace => "dma-race",
         }
     }
 }

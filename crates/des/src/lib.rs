@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-des — deterministic discrete-event simulation kernel
 //!
 //! The foundation of the CellPilot reproduction: a virtual-time kernel in

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-mpisim — an MPI-like message-passing layer for the simulated cluster
 //!
 //! Implements the slice of MPI-1 that Pilot (and hence CellPilot) builds on:

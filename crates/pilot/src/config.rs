@@ -61,6 +61,10 @@ pub struct PilotOpts {
     /// permutes same-timestamp event ordering (see
     /// [`cp_des::Simulation::set_schedule_seed`]).
     pub schedule_seed: u64,
+    /// Run the `cp-check` wiring verifier over the configured architecture
+    /// before launching, aborting the run on any error-severity finding
+    /// ([`cp_des::SimError::Aborted`] naming every diagnostic).
+    pub strict_checks: bool,
 }
 
 impl PilotOpts {
@@ -103,6 +107,13 @@ impl PilotOpts {
     /// Run under an alternative (but still deterministic) DES schedule.
     pub fn with_schedule_seed(mut self, seed: u64) -> PilotOpts {
         self.schedule_seed = seed;
+        self
+    }
+
+    /// Abort before launching if the `cp-check` wiring verifier finds an
+    /// error in the configured architecture.
+    pub fn with_strict_checks(mut self) -> PilotOpts {
+        self.strict_checks = true;
         self
     }
 }
@@ -258,6 +269,32 @@ impl PilotConfig {
         Ok(id)
     }
 
+    /// Run the `cp-check` configure-time wiring verifier over the
+    /// architecture configured so far. The typed API already rules the
+    /// dangling-endpoint and bundle-mismatch defects out by construction,
+    /// so a well-formed Pilot configuration verifies clean; the pass is
+    /// the same one CellPilot configurations run, and harnesses can call
+    /// it directly to lint without launching.
+    pub fn check(&self) -> Vec<cp_check::Diagnostic> {
+        let mut g = cp_check::WiringGraph::new(self.placement.len());
+        for e in &self.tables.processes {
+            g.add_rank_process(&e.name, e.rank, self.placement[e.rank].0);
+        }
+        for c in &self.tables.channels {
+            g.add_channel(c.from.0, c.to.0);
+        }
+        for b in &self.tables.bundles {
+            let usage = match b.usage {
+                BundleUsage::Broadcast => cp_check::GraphBundleUsage::Broadcast,
+                // Gather and Select share the single-reader shape.
+                BundleUsage::Gather | BundleUsage::Select => cp_check::GraphBundleUsage::Gather,
+            };
+            let members: Vec<usize> = b.channels.iter().map(|c| c.0).collect();
+            g.add_bundle(usage, &members, b.common.0);
+        }
+        cp_check::verify(&g)
+    }
+
     /// `PI_StartAll` + `PI_StopMain` with call-log retrieval: like
     /// [`PilotConfig::run`] but also returns the channel-call log (empty
     /// unless [`PilotOpts::call_log`] is set).
@@ -288,6 +325,16 @@ impl PilotConfig {
     where
         M: FnOnce(&Pilot) + Send + 'static,
     {
+        if self.opts.strict_checks {
+            let lints = self.check();
+            if lints.iter().any(|d| d.is_error()) {
+                return Err(SimError::Aborted {
+                    pid: 0,
+                    name: "cp-check".into(),
+                    message: cp_check::render(&lints),
+                });
+            }
+        }
         let PilotConfig {
             spec,
             placement,
@@ -445,6 +492,27 @@ mod tests {
             c.create_bundle(BundleUsage::Select, &[]),
             Err(PilotError::EmptyBundle)
         ));
+    }
+
+    #[test]
+    fn strict_checks_pass_a_well_formed_config() {
+        let mut c = PilotConfig::one_rank_per_node(
+            ClusterSpec::two_cells_one_xeon(),
+            PilotOpts::new().with_strict_checks(),
+        );
+        let a = c
+            .create_process("a", 0, |p, _| {
+                let v = p.read(crate::PiChannel(0), "%d").unwrap();
+                assert_eq!(v.len(), 1);
+            })
+            .unwrap();
+        let _b = c.create_process("b", 1, |_, _| {}).unwrap();
+        let ch = c.create_channel(crate::PI_MAIN, a).unwrap();
+        assert!(c.check().is_empty(), "{:?}", c.check());
+        c.run(move |p| {
+            p.write(ch, "%d", &[crate::PiValue::from(7i32)]).unwrap();
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-pilot — the Pilot library
 //!
 //! A from-scratch reimplementation of Pilot (Carter, Gardner, Grewal —

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-scatter — scatter-search case study on CellPilot
 //!
 //! The paper's Section VI case study: "the parallelization and

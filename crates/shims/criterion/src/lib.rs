@@ -7,6 +7,8 @@
 //! prints one line per benchmark — enough to compare runs by eye, with no
 //! statistical analysis, plotting, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Entry point handed to `criterion_group!` target functions.

@@ -12,6 +12,8 @@
 //! Internally everything is backed by `std::sync`; poison errors are
 //! swallowed by recovering the inner guard.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 

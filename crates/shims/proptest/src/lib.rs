@@ -13,6 +13,8 @@
 //! assert bit-for-bit reproducibility, and a deterministic driver makes CI
 //! failures replayable by construction.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

@@ -8,6 +8,8 @@
 //! every platform, which is all the simulation code relies on (nothing in
 //! the repo depends on matching upstream `StdRng`'s exact stream).
 
+#![forbid(unsafe_code)]
+
 /// A source of random `u64`s.
 pub trait RngCore {
     /// Returns the next 64 random bits.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # cp-simnet — cluster topology and interconnect model
 //!
 //! Assembles simulated Cell and commodity (Xeon-class) nodes into the hybrid

@@ -1,0 +1,102 @@
+//! Happens-before event stream consumed by the `cp-check` DMA race
+//! detector.
+//!
+//! The instrumented layers (cellsim's MFC, local store and mailboxes; the
+//! CellPilot runtime's Co-Pilot queue) append one [`HbEvent`] per
+//! ordering-relevant operation. Record order is the DES kernel's global
+//! execution order (the simulation is cooperative — exactly one process
+//! runs at a time), so a matching `MsgRecv` always appears *after* its
+//! `MsgSend` and the analysis can replay the stream front to back.
+//!
+//! Like every other recording path, the stream costs a single branch when
+//! the recorder is disabled and never consumes virtual time.
+
+/// One ordering-relevant operation in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbOp {
+    /// An MFC DMA command was issued on SPE `spe` of Cell node `node`.
+    /// The transfer itself is asynchronous: it touches local-store bytes
+    /// `[ls_start, ls_start + len)` (a *write* for a get, a *read* for a
+    /// put) concurrently with the issuing program until a covering
+    /// [`HbOp::DmaWait`] orders it.
+    DmaIssue {
+        /// Cell node id.
+        node: usize,
+        /// Hardware SPE index on the node.
+        spe: usize,
+        /// `true` for a put (LS → EA, reads local store), `false` for a
+        /// get (EA → LS, writes local store).
+        put: bool,
+        /// MFC tag group the command was issued under.
+        tag: u32,
+        /// First local-store byte the transfer touches.
+        ls_start: u32,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// The program on SPE `spe` blocked until every DMA issued under a
+    /// tag in `mask` completed — an ordering edge from all covered
+    /// transfers into the waiter.
+    DmaWait {
+        /// Cell node id.
+        node: usize,
+        /// Hardware SPE index on the node.
+        spe: usize,
+        /// Tag-group mask (bit `t` covers tag `t`).
+        mask: u32,
+    },
+    /// A value entered the FIFO queue `queue` as its `seq`-th message
+    /// (per-queue counter, starting at 0).
+    MsgSend {
+        /// Queue identity (mailbox label or Co-Pilot event-queue label).
+        queue: String,
+        /// Per-queue send sequence number.
+        seq: u64,
+    },
+    /// The `seq`-th message of `queue` was consumed: an ordering edge
+    /// from the matching [`HbOp::MsgSend`] into the receiver.
+    MsgRecv {
+        /// Queue identity (mailbox label or Co-Pilot event-queue label).
+        queue: String,
+        /// Per-queue receive sequence number.
+        seq: u64,
+    },
+    /// The acting process read local-store bytes
+    /// `[start, start + len)` of SPE `spe` on node `node` directly
+    /// (program load or PPE-side copy).
+    LsRead {
+        /// Cell node id.
+        node: usize,
+        /// Hardware SPE index on the node.
+        spe: usize,
+        /// First byte read.
+        start: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// The acting process wrote local-store bytes
+    /// `[start, start + len)` of SPE `spe` on node `node` directly
+    /// (program store or PPE/Co-Pilot-side copy).
+    LsWrite {
+        /// Cell node id.
+        node: usize,
+        /// Hardware SPE index on the node.
+        spe: usize,
+        /// First byte written.
+        start: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+}
+
+/// One recorded happens-before event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbEvent {
+    /// The DES process that performed the operation (its `ProcCtx` name).
+    pub actor: String,
+    /// Virtual timestamp, nanoseconds (diagnostic only — the analysis
+    /// orders by record position, not by timestamp).
+    pub ts_ns: u64,
+    /// What happened.
+    pub op: HbOp,
+}

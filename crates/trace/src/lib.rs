@@ -24,14 +24,17 @@
 //! because the offline build environment has no serde.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod hb;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 
 pub use chrome::chrome_trace;
+pub use hb::{HbEvent, HbOp};
 pub use json::Json;
 pub use metrics::{
     ChannelTypeMetrics, DesMetrics, LatencyStats, MetricsSnapshot, MpiMetrics, NetMetrics,

@@ -1,6 +1,7 @@
 //! The span/event recorder every layer of the stack reports into.
 
 use crate::chrome;
+use crate::hb::{HbEvent, HbOp};
 use crate::metrics::{MetricsSnapshot, MetricsState, CHANNEL_TYPE_COUNT};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -44,6 +45,7 @@ struct State {
     lane_ids: BTreeMap<String, u32>,
     events: Vec<Event>,
     metrics: MetricsState,
+    hb: Vec<HbEvent>,
 }
 
 impl State {
@@ -302,6 +304,26 @@ impl Recorder {
         inner.lock().metrics.channel[(chan_type - 1) as usize].proxy_hops += 1;
     }
 
+    /// Happens-before stream: `actor` performed `op` at virtual time
+    /// `ts_ns`. Consumed by the `cp-check` race detector; see
+    /// [`crate::hb`] for the event model.
+    pub fn record_hb(&self, actor: &str, ts_ns: u64, op: HbOp) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().hb.push(HbEvent {
+            actor: actor.to_string(),
+            ts_ns,
+            op,
+        });
+    }
+
+    /// The recorded happens-before stream, in execution (record) order.
+    pub fn hb_events(&self) -> Vec<HbEvent> {
+        match &self.inner {
+            Some(inner) => inner.lock().hb.clone(),
+            None => Vec::new(),
+        }
+    }
+
     /// Collapse the counters into a [`MetricsSnapshot`] (all zero when the
     /// recorder is disabled).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -348,7 +370,17 @@ mod tests {
         r.record_dispatch(10, 3);
         r.record_channel_op(5, true, 100, 1000);
         r.record_incident(10, "main", "spe-crash", "x");
+        r.record_hb(
+            "node0.spe0:w",
+            10,
+            HbOp::DmaWait {
+                node: 0,
+                spe: 0,
+                mask: 1,
+            },
+        );
         assert_eq!(r.lane("main"), 0);
+        assert!(r.hb_events().is_empty());
         assert!(r.events().is_empty());
         assert!(r.lanes().is_empty());
         let snap = r.snapshot();
@@ -420,6 +452,32 @@ mod tests {
         assert_eq!(snap.channel_types[3].bytes, 3200);
         assert_eq!(snap.channel_types[3].latency_us.median, 112.0);
         assert_eq!(snap.channel_types[4].proxy_hops, 2);
+    }
+
+    #[test]
+    fn hb_stream_keeps_record_order() {
+        let r = Recorder::enabled();
+        r.record_hb(
+            "copilot0",
+            2_000,
+            HbOp::MsgSend {
+                queue: "node0.spe1".into(),
+                seq: 0,
+            },
+        );
+        r.record_hb(
+            "node0.spe1:w",
+            1_000, // earlier virtual time, recorded later: order must hold
+            HbOp::MsgRecv {
+                queue: "node0.spe1".into(),
+                seq: 0,
+            },
+        );
+        let hb = r.hb_events();
+        assert_eq!(hb.len(), 2);
+        assert!(matches!(hb[0].op, HbOp::MsgSend { .. }));
+        assert!(matches!(hb[1].op, HbOp::MsgRecv { .. }));
+        assert_eq!(hb[1].actor, "node0.spe1:w");
     }
 
     #[test]
