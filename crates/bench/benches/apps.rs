@@ -36,7 +36,7 @@ fn broadcast_app(n: usize, linear: bool) -> f64 {
     let mut chans = Vec::new();
     for i in 0..n {
         let s = cfg.create_spe_process(&recv, ppe1, i as i32).unwrap();
-        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+        chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
     }
     let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
     let report = cfg

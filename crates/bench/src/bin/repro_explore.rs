@@ -37,8 +37,8 @@ fn deadlock_diagnostic(seed: u64) -> String {
         .unwrap();
     let px = cfg.create_spe_process(&x, CP_MAIN, 0).unwrap();
     let py = cfg.create_spe_process(&y, parent, 0).unwrap();
-    let _xy = cfg.create_channel(px, py).unwrap();
-    let _yx = cfg.create_channel(py, px).unwrap();
+    let _xy = cfg.channel(px, py).build().unwrap();
+    let _yx = cfg.channel(py, px).build().unwrap();
     match cfg.run(move |cp| cp.run_and_wait_my_spes()) {
         Err(SimError::Aborted { message, .. }) => message,
         other => panic!("seed {seed}: expected detector abort, got {other:?}"),

@@ -44,7 +44,7 @@ fn run_once() -> (cp_des::SimReport, String) {
         .unwrap();
     let a = cfg.create_spe_process(&sender, CP_MAIN, 0).unwrap();
     let b = cfg.create_spe_process(&receiver, parent, 0).unwrap();
-    let chan = cfg.create_channel(a, b).unwrap();
+    let chan = cfg.channel(a, b).build().unwrap();
     assert_eq!(
         cfg.channel_kind(chan).unwrap(),
         ChannelKind::Type5,

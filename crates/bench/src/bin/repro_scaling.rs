@@ -40,7 +40,7 @@ fn broadcast_time(n: usize, linear: bool) -> f64 {
         let s = cfg
             .create_spe_process(&recv, hosts[i % hosts.len()], i as i32)
             .unwrap();
-        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+        chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
     }
     let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
     let report = cfg

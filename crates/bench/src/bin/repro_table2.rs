@@ -9,18 +9,20 @@
 
 use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag};
 
-const USAGE: &str = "repro_table2 [--reps N] [--json PATH] [--label L]";
+const USAGE: &str = "repro_table2 [--reps N] [--json PATH] [--label L] [--ablate-one-sided]";
 
 fn main() {
     let mut reps: usize = 50;
     let mut json_path: Option<String> = None;
     let mut label = "local".to_string();
+    let mut ablate_one_sided = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--reps" => reps = parse_int_flag(USAGE, "--reps", args.next(), 1, 100_000) as usize,
             "--json" => json_path = Some(parse_str_flag(USAGE, "--json", args.next())),
             "--label" => label = parse_str_flag(USAGE, "--label", args.next()),
+            "--ablate-one-sided" => ablate_one_sided = true,
             other => unknown_flag(USAGE, other),
         }
     }
@@ -49,8 +51,37 @@ fn main() {
         worst.1
     );
 
+    let one_sided = if ablate_one_sided {
+        let rows = cp_bench::one_sided_rows(reps);
+        println!("\nOne-sided (window fabric) vs relay, CellPilot medians:");
+        println!("  type   1B relay  1B 1-sided  1600B relay  1600B 1-sided  speedup");
+        for row in &rows {
+            let relay = cells
+                .iter()
+                .find(|c| c.chan_type == row.chan_type && c.bytes == 1600)
+                .expect("Table II covers every type at 1600 B");
+            let relay_small = cells
+                .iter()
+                .find(|c| c.chan_type == row.chan_type && c.bytes == 1)
+                .expect("Table II covers every type at 1 B");
+            println!(
+                "  {:>4} {:>9.2} {:>11.2} {:>12.2} {:>14.2} {:>7.2}x",
+                row.chan_type,
+                relay_small.cellpilot_us,
+                row.latency_us_small,
+                relay.cellpilot_us,
+                row.latency_us_large,
+                relay.cellpilot_us / row.latency_us_large,
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = json_path {
-        let report = cp_bench::bench_report(&label, reps);
+        let mut report = cp_bench::bench_report(&label, reps);
+        report.one_sided = one_sided;
         if let Err(e) = std::fs::write(&path, report.to_json_string()) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

@@ -25,7 +25,7 @@ fn main() {
         .unwrap();
     let a = cfg.create_spe_process(&sender, CP_MAIN, 0).unwrap();
     let b = cfg.create_spe_process(&receiver, parent, 0).unwrap();
-    let chan = cfg.create_channel(a, b).unwrap();
+    let chan = cfg.channel(a, b).build().unwrap();
     println!(
         "one {} transfer of 400 bytes, traced:\n",
         cfg.channel_kind(chan).unwrap()

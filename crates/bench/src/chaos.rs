@@ -188,12 +188,12 @@ fn run_workload(opts: CellPilotOpts) -> Result<(ChaosOutcome, SimTime, cp_des::S
         "chaos plans target these process ids"
     );
 
-    let t1 = cfg.create_channel(CP_MAIN, xeon).unwrap();
-    let t2 = cfg.create_channel(CP_MAIN, s0a).unwrap();
-    let t2b = cfg.create_channel(s0a, CP_MAIN).unwrap();
-    let t3 = cfg.create_channel(xeon, s1a).unwrap();
-    let t4 = cfg.create_channel(s0b, s0a).unwrap();
-    let t5 = cfg.create_channel(s1a, s0b).unwrap();
+    let t1 = cfg.channel(CP_MAIN, xeon).build().unwrap();
+    let t2 = cfg.channel(CP_MAIN, s0a).build().unwrap();
+    let t2b = cfg.channel(s0a, CP_MAIN).build().unwrap();
+    let t3 = cfg.channel(xeon, s1a).build().unwrap();
+    let t4 = cfg.channel(s0b, s0a).build().unwrap();
+    let t5 = cfg.channel(s1a, s0b).build().unwrap();
     for (c, kind) in [
         (t1, ChannelKind::Type1),
         (t2, ChannelKind::Type2),

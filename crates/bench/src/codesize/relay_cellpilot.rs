@@ -45,9 +45,9 @@ pub fn run() -> Vec<i32> {
     let src_spe = cfg.create_spe_process(&source, CP_MAIN, 0).unwrap();
     let sink_spe = cfg.create_spe_process(&sink, far_ppe, 0).unwrap();
 
-    cfg.create_channel(src_spe, CP_MAIN).unwrap(); // hop 1: SPE -> parent PPE
-    cfg.create_channel(CP_MAIN, far_ppe).unwrap(); // hop 2: PPE -> remote PPE
-    cfg.create_channel(far_ppe, sink_spe).unwrap(); // hop 3: PPE -> its SPE
+    cfg.channel(src_spe, CP_MAIN).build().unwrap(); // hop 1: SPE -> parent PPE
+    cfg.channel(CP_MAIN, far_ppe).build().unwrap(); // hop 2: PPE -> remote PPE
+    cfg.channel(far_ppe, sink_spe).build().unwrap(); // hop 3: PPE -> its SPE
 
     cfg.run(move |cp| {
         let t = cp.run_spe(src_spe, 0, 0).unwrap();

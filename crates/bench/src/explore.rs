@@ -108,7 +108,7 @@ pub fn fault_replay_outcome(seed: u64) -> FaultReplayOutcome {
         .unwrap();
     let a = cfg.create_spe_process(&sender, CP_MAIN, 0).unwrap();
     let b = cfg.create_spe_process(&receiver, parent, 0).unwrap();
-    let chan = cfg.create_channel(a, b).unwrap();
+    let chan = cfg.channel(a, b).build().unwrap();
     assert_eq!(cfg.channel_kind(chan).unwrap(), ChannelKind::Type5);
     let completed = cfg.run(move |cp| cp.run_and_wait_my_spes()).is_ok();
     let sum = received.lock().unwrap().unwrap_or(-1);

@@ -48,8 +48,8 @@ pub fn pingping(chan_type: u8, bytes: usize, reps: usize) -> f64 {
                     );
                 })
                 .unwrap();
-            cfg.create_channel(CP_MAIN, peer).unwrap();
-            cfg.create_channel(peer, CP_MAIN).unwrap();
+            cfg.channel(CP_MAIN, peer).build().unwrap();
+            cfg.channel(peer, CP_MAIN).build().unwrap();
         }
         2 | 3 => {
             let fmt2 = fmt.clone();
@@ -70,8 +70,8 @@ pub fn pingping(chan_type: u8, bytes: usize, reps: usize) -> f64 {
                 .unwrap()
             };
             let s = cfg.create_spe_process(&spe_peer, parent, 0).unwrap();
-            cfg.create_channel(CP_MAIN, s).unwrap();
-            cfg.create_channel(s, CP_MAIN).unwrap();
+            cfg.channel(CP_MAIN, s).build().unwrap();
+            cfg.channel(s, CP_MAIN).build().unwrap();
         }
         _ => unreachable!(),
     }
@@ -152,8 +152,8 @@ pub fn exchange(n: usize, bytes: usize, reps: usize) -> f64 {
     for i in 0..n {
         let right = (i + 1) % n;
         let left = (i + n - 1) % n;
-        let c_right = cfg.create_channel(procs[i], procs[right]).unwrap();
-        let c_left = cfg.create_channel(procs[i], procs[left]).unwrap();
+        let c_right = cfg.channel(procs[i], procs[right]).build().unwrap();
+        let c_left = cfg.channel(procs[i], procs[left]).build().unwrap();
         assert_eq!((c_right.0, c_left.0), (2 * i, 2 * i + 1));
     }
     let el = elapsed.clone();
@@ -213,8 +213,8 @@ mod tests {
         });
         let a = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
         let b = cfg.create_spe_process(&prog, CP_MAIN, 1).unwrap();
-        cfg.create_channel(a, b).unwrap();
-        cfg.create_channel(b, a).unwrap();
+        cfg.channel(a, b).build().unwrap();
+        cfg.channel(b, a).build().unwrap();
         match cfg.run(move |cp| {
             let t1 = cp.run_spe(a, 0, 0).unwrap();
             let t2 = cp.run_spe(b, 0, 0).unwrap();

@@ -31,10 +31,10 @@ pub use chaos::{
 pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};
 pub use pingpong::{
-    cellpilot_pingpong, cellpilot_pingpong_with, cellpilot_pingpong_xeon_initiator, PingPong,
-    WARMUP,
+    cellpilot_pingpong, cellpilot_pingpong_one_sided, cellpilot_pingpong_with,
+    cellpilot_pingpong_xeon_initiator, PingPong, WARMUP,
 };
-pub use report::bench_report;
+pub use report::{bench_report, one_sided_rows};
 pub use sweep::{dma_copy_crossover, render_sweep, sweep, SweepPoint, DEFAULT_SIZES};
 pub use table2::{
     measure_table2, render_fig5, render_fig6, render_table2, Cell, PAPER_TABLE2, SIZES,

@@ -78,8 +78,8 @@ pub fn cellpilot_pingpong_xeon_initiator(chan_type: u8, bytes: usize, reps: usiz
                     }
                 })
                 .unwrap();
-            cfg.create_channel(CP_MAIN, peer).unwrap();
-            cfg.create_channel(peer, CP_MAIN).unwrap();
+            cfg.channel(CP_MAIN, peer).build().unwrap();
+            cfg.channel(peer, CP_MAIN).build().unwrap();
         }
         3 => {
             let fmt_se = fmt.clone();
@@ -93,8 +93,8 @@ pub fn cellpilot_pingpong_xeon_initiator(chan_type: u8, bytes: usize, reps: usiz
                 .create_process("parent", 0, |cp, _| cp.run_and_wait_my_spes())
                 .unwrap();
             let spe = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
-            cfg.create_channel(CP_MAIN, spe).unwrap();
-            cfg.create_channel(spe, CP_MAIN).unwrap();
+            cfg.channel(CP_MAIN, spe).build().unwrap();
+            cfg.channel(spe, CP_MAIN).build().unwrap();
         }
         _ => unreachable!(),
     }
@@ -108,6 +108,22 @@ pub fn cellpilot_pingpong_xeon_initiator(chan_type: u8, bytes: usize, reps: usiz
     }
 }
 
+/// [`cellpilot_pingpong`] over one-sided (window-fabric) channels: every
+/// SPE-read channel is built with [`ChannelBuilder::one_sided`], so the
+/// writer's data lands directly in the reader's local-store window
+/// instead of being relayed through the Co-Pilots. Only types 2–5 have
+/// an SPE reader somewhere in the round trip; type 1 is rank↔rank and
+/// has no window to target.
+///
+/// [`ChannelBuilder::one_sided`]: cellpilot::ChannelBuilder::one_sided
+pub fn cellpilot_pingpong_one_sided(chan_type: u8, bytes: usize, reps: usize) -> PingPong {
+    assert!(
+        (2..=5).contains(&chan_type),
+        "one-sided needs an SPE reader; type {chan_type} has none"
+    );
+    pingpong_impl(chan_type, bytes, reps, CellPilotOpts::default(), true)
+}
+
 /// [`cellpilot_pingpong`] with explicit cost options — used by the
 /// ablation study to decompose the Co-Pilot's overhead.
 pub fn cellpilot_pingpong_with(
@@ -115,6 +131,16 @@ pub fn cellpilot_pingpong_with(
     bytes: usize,
     reps: usize,
     opts: CellPilotOpts,
+) -> PingPong {
+    pingpong_impl(chan_type, bytes, reps, opts, false)
+}
+
+fn pingpong_impl(
+    chan_type: u8,
+    bytes: usize,
+    reps: usize,
+    opts: CellPilotOpts,
+    one_sided: bool,
 ) -> PingPong {
     let spec = ClusterSpec::two_cells_one_xeon();
     let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
@@ -160,19 +186,31 @@ pub fn cellpilot_pingpong_with(
         *el2.lock() = (spe.ctx().now() - t0).as_micros_f64();
     });
 
+    // Build a channel, one-sided when the ablation asks for it and the
+    // reader is an SPE (rank readers have no local-store window).
+    let chan = |cfg: &mut CellPilotConfig, from, to, spe_reader: bool| {
+        let b = cfg.channel(from, to);
+        let b = if one_sided && spe_reader {
+            b.one_sided()
+        } else {
+            b
+        };
+        b.build().unwrap();
+    };
+
     // Main initiates for types 1-3 (PPE endpoint); an SPE initiates for
     // types 4 and 5.
     let main_initiates = chan_type <= 3;
     match chan_type {
         1 => {
             let peer = cfg.create_process("echo-ppe", 0, rank_echo).unwrap();
-            cfg.create_channel(CP_MAIN, peer).unwrap();
-            cfg.create_channel(peer, CP_MAIN).unwrap();
+            chan(&mut cfg, CP_MAIN, peer, false);
+            chan(&mut cfg, peer, CP_MAIN, false);
         }
         2 => {
             let spe = cfg.create_spe_process(&spe_echo, CP_MAIN, 0).unwrap();
-            cfg.create_channel(CP_MAIN, spe).unwrap();
-            cfg.create_channel(spe, CP_MAIN).unwrap();
+            chan(&mut cfg, CP_MAIN, spe, true);
+            chan(&mut cfg, spe, CP_MAIN, false);
         }
         3 => {
             // The echo SPE lives on the *other* Cell node, parented by a
@@ -184,14 +222,14 @@ pub fn cellpilot_pingpong_with(
                 })
                 .unwrap();
             let spe = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
-            cfg.create_channel(CP_MAIN, spe).unwrap();
-            cfg.create_channel(spe, CP_MAIN).unwrap();
+            chan(&mut cfg, CP_MAIN, spe, true);
+            chan(&mut cfg, spe, CP_MAIN, false);
         }
         4 => {
             let a = cfg.create_spe_process(&spe_init, CP_MAIN, 0).unwrap();
             let b = cfg.create_spe_process(&spe_echo, CP_MAIN, 1).unwrap();
-            cfg.create_channel(a, b).unwrap();
-            cfg.create_channel(b, a).unwrap();
+            chan(&mut cfg, a, b, true);
+            chan(&mut cfg, b, a, true);
         }
         5 => {
             let parent = cfg
@@ -202,8 +240,8 @@ pub fn cellpilot_pingpong_with(
                 .unwrap();
             let a = cfg.create_spe_process(&spe_init, CP_MAIN, 0).unwrap();
             let b = cfg.create_spe_process(&spe_echo, parent, 0).unwrap();
-            cfg.create_channel(a, b).unwrap();
-            cfg.create_channel(b, a).unwrap();
+            chan(&mut cfg, a, b, true);
+            chan(&mut cfg, b, a, true);
         }
         other => panic!("no such channel type {other}"),
     }
@@ -314,6 +352,33 @@ mod tests {
                 xeon < ppe - 5.0,
                 "type {t}: xeon {xeon} should beat ppe {ppe} clearly"
             );
+        }
+    }
+
+    #[test]
+    fn one_sided_type5_halves_the_relay_latency() {
+        // The headline number of the window fabric: a 1600-byte type-5
+        // message lands in one hop instead of two Co-Pilot relays.
+        let relay = cellpilot_pingpong(5, 1600, REPS).one_way_us;
+        let os = cellpilot_pingpong_one_sided(5, 1600, REPS).one_way_us;
+        assert!(os <= 125.0, "one-sided type-5 1600B: {os}us > 125us");
+        assert!(
+            os * 2.0 <= relay,
+            "one-sided {os}us not 2x better than relay {relay}us"
+        );
+    }
+
+    #[test]
+    fn one_sided_beats_relay_on_every_spe_read_type() {
+        for t in 2..=5u8 {
+            for bytes in [1usize, 1600] {
+                let relay = cellpilot_pingpong(t, bytes, REPS).one_way_us;
+                let os = cellpilot_pingpong_one_sided(t, bytes, REPS).one_way_us;
+                assert!(
+                    os < relay,
+                    "type {t} {bytes}B: one-sided {os} >= relay {relay}"
+                );
+            }
         }
     }
 

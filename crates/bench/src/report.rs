@@ -1,9 +1,28 @@
 //! Builders for the machine-readable `BENCH_<label>.json` reports the CI
 //! perf gate diffs (see [`cp_trace::BenchReport`] for the schema).
 
+use crate::pingpong::cellpilot_pingpong_one_sided;
 use crate::sweep::{sweep, DEFAULT_SIZES};
 use crate::table2::measure_table2;
 use cp_trace::{BenchChannelType, BenchReport, SweepRow};
+
+/// Re-measure the SPE-read channel scenarios (types 2–5) over one-sided
+/// window-fabric channels — the ablation rows of the `one_sided` section
+/// in `BENCH_*.json`. Type 1 is rank↔rank and has no window to target.
+pub fn one_sided_rows(reps: usize) -> Vec<BenchChannelType> {
+    (2..=5u8)
+        .map(|ty| {
+            let small = cellpilot_pingpong_one_sided(ty, 1, reps);
+            let large = cellpilot_pingpong_one_sided(ty, 1600, reps);
+            BenchChannelType {
+                chan_type: ty,
+                latency_us_small: small.one_way_us,
+                latency_us_large: large.one_way_us,
+                throughput_mb_s: large.bytes as f64 / large.one_way_us,
+            }
+        })
+        .collect()
+}
 
 /// Measure Table II plus the type-2 PingPong payload sweep and package the
 /// medians as a [`BenchReport`]. The simulator is deterministic, so the

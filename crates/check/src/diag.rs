@@ -33,6 +33,15 @@ pub enum CheckCode {
     Cp009,
     /// Two SPE processes bound to the same `spe(node,slot)`.
     Cp010,
+    /// Overlapping or duplicate one-sided window registration: two
+    /// windows claim the same local-store bytes of one SPE, or one
+    /// channel registers two windows.
+    Cp011,
+    /// One-sided put/get targeting an unregistered or wrong-direction
+    /// window: a one-sided channel with no window, a window for a
+    /// channel that is not one-sided, or a window that is not in the
+    /// reading SPE's local store.
+    Cp012,
     /// Race detector: overlapping local-store byte ranges accessed
     /// without a happens-before edge.
     Cp101,
@@ -52,6 +61,8 @@ impl CheckCode {
             CheckCode::Cp008 => "CP008",
             CheckCode::Cp009 => "CP009",
             CheckCode::Cp010 => "CP010",
+            CheckCode::Cp011 => "CP011",
+            CheckCode::Cp012 => "CP012",
             CheckCode::Cp101 => "CP101",
         }
     }

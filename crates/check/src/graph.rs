@@ -58,6 +58,28 @@ pub struct GraphChannel {
     pub writer: Option<usize>,
     /// Reading process (index into [`WiringGraph::processes`]).
     pub reader: Option<usize>,
+    /// Whether the channel uses the one-sided put/get path: the writer
+    /// lands data directly in a window of the reading SPE's local store
+    /// instead of relaying through Co-Pilots.
+    pub one_sided: bool,
+}
+
+/// A one-sided window registration: local-store bytes
+/// `[start, start + len)` of `spe(node,slot)` serve as the landing region
+/// for puts on channel `chan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphWindow {
+    /// Channel the window belongs to (index into
+    /// [`WiringGraph::channels`]).
+    pub chan: usize,
+    /// Cell node id.
+    pub node: usize,
+    /// Virtual SPE slot holding the window.
+    pub slot: usize,
+    /// First local-store byte of the window.
+    pub start: u32,
+    /// Window length in bytes.
+    pub len: u32,
 }
 
 /// What a bundle's collective does.
@@ -105,6 +127,8 @@ pub struct WiringGraph {
     pub channels: Vec<GraphChannel>,
     /// All bundles.
     pub bundles: Vec<GraphBundle>,
+    /// All one-sided window registrations.
+    pub windows: Vec<GraphWindow>,
 }
 
 impl WiringGraph {
@@ -150,6 +174,7 @@ impl WiringGraph {
         self.channels.push(GraphChannel {
             writer: Some(writer),
             reader: Some(reader),
+            one_sided: false,
         });
         self.channels.len() - 1
     }
@@ -157,8 +182,40 @@ impl WiringGraph {
     /// Add a channel with possibly missing endpoints (to seed orphan
     /// defects); returns its index.
     pub fn add_half_channel(&mut self, writer: Option<usize>, reader: Option<usize>) -> usize {
-        self.channels.push(GraphChannel { writer, reader });
+        self.channels.push(GraphChannel {
+            writer,
+            reader,
+            one_sided: false,
+        });
         self.channels.len() - 1
+    }
+
+    /// Mark channel `c` as using the one-sided put/get path. No-op for an
+    /// out-of-range index (the orphan checks already flag those).
+    pub fn mark_one_sided(&mut self, c: usize) {
+        if let Some(ch) = self.channels.get_mut(c) {
+            ch.one_sided = true;
+        }
+    }
+
+    /// Register a one-sided window of `len` bytes at local-store offset
+    /// `start` of `spe(node,slot)` for channel `chan`; returns its index.
+    pub fn add_window(
+        &mut self,
+        chan: usize,
+        node: usize,
+        slot: usize,
+        start: u32,
+        len: u32,
+    ) -> usize {
+        self.windows.push(GraphWindow {
+            chan,
+            node,
+            slot,
+            start,
+            len,
+        });
+        self.windows.len() - 1
     }
 
     /// Add a bundle; returns its index.

@@ -10,6 +10,12 @@
 //!   queues, channel rendezvous);
 //! * **DMA completion edges** — a [`HbOp::DmaWait`] joins the clocks of
 //!   every transfer issued so far on that SPE under a tag in the mask;
+//! * **one-sided fabric edges** — a [`HbOp::OneSidedGet`] joins the clock
+//!   of the matching [`HbOp::OneSidedPut`] (same channel and sequence
+//!   number), exactly like a queue edge; a put is also a remote *write*
+//!   of the window's local-store bytes and a get a *read* of them, so an
+//!   SPE program touching its own window region without the fabric
+//!   handshake in between races with the remote writer;
 //! * **program order** — an actor's own clock only grows.
 //!
 //! An MFC transfer is *not* part of its issuer's program order: it gets
@@ -158,6 +164,52 @@ pub fn detect_races(events: &[HbEvent]) -> Vec<Diagnostic> {
                     write: matches!(ev.op, HbOp::LsWrite { .. }),
                     vc: clock.clone(),
                     who: ev.actor.clone(),
+                    ts_ns: ev.ts_ns,
+                });
+            }
+            HbOp::OneSidedPut {
+                chan,
+                node,
+                spe,
+                start,
+                len,
+                seq,
+            } => {
+                // The put is the send half of a fabric edge keyed on
+                // (channel, seq) — the "one-sided:" prefix keeps the key
+                // space disjoint from real queue labels — and a remote
+                // write of the window bytes.
+                sends.insert((format!("one-sided:{chan}"), *seq), clock.clone());
+                accesses.push(Access {
+                    node: *node,
+                    spe: *spe,
+                    start: *start,
+                    len: *len,
+                    write: true,
+                    vc: clock.clone(),
+                    who: format!("{} put c{chan} seq {seq}", ev.actor),
+                    ts_ns: ev.ts_ns,
+                });
+            }
+            HbOp::OneSidedGet {
+                chan,
+                node,
+                spe,
+                start,
+                len,
+                seq,
+            } => {
+                if let Some(sv) = sends.get(&(format!("one-sided:{chan}"), *seq)) {
+                    vc_join(clock, sv);
+                }
+                accesses.push(Access {
+                    node: *node,
+                    spe: *spe,
+                    start: *start,
+                    len: *len,
+                    write: false,
+                    vc: clock.clone(),
+                    who: format!("{} get c{chan} seq {seq}", ev.actor),
                     ts_ns: ev.ts_ns,
                 });
             }
@@ -355,6 +407,78 @@ mod tests {
         let racy = detect_races(&[store("ppe", 0), store("spe1", 3)]);
         assert_eq!(racy.len(), 1);
         assert_eq!(racy[0].endpoints, vec!["spe(0,1)"]);
+    }
+
+    #[test]
+    fn one_sided_put_get_edge_orders_window_accesses() {
+        let put = |ts: u64, seq: u64| HbEvent {
+            actor: "copilot0".into(),
+            ts_ns: ts,
+            op: HbOp::OneSidedPut {
+                chan: 2,
+                node: 1,
+                spe: 0,
+                start: 0x400,
+                len: 256,
+                seq,
+            },
+        };
+        let get = |ts: u64, seq: u64| HbEvent {
+            actor: "copilot1".into(),
+            ts_ns: ts,
+            op: HbOp::OneSidedGet {
+                chan: 2,
+                node: 1,
+                spe: 0,
+                start: 0x400,
+                len: 256,
+                seq,
+            },
+        };
+        let touch = |ts: u64| HbEvent {
+            actor: "node1.spe0".into(),
+            ts_ns: ts,
+            op: HbOp::LsWrite {
+                node: 1,
+                spe: 0,
+                start: 0x410,
+                len: 16,
+            },
+        };
+        // put -> get -> (queue edge to the SPE) -> program store: ordered.
+        let handoff_send = HbEvent {
+            actor: "copilot1".into(),
+            ts_ns: 25,
+            op: HbOp::MsgSend {
+                queue: "node1.spe0".into(),
+                seq: 0,
+            },
+        };
+        let handoff_recv = HbEvent {
+            actor: "node1.spe0".into(),
+            ts_ns: 26,
+            op: HbOp::MsgRecv {
+                queue: "node1.spe0".into(),
+                seq: 0,
+            },
+        };
+        let clean = detect_races(&[put(0, 0), get(20, 0), handoff_send, handoff_recv, touch(30)]);
+        assert_eq!(clean, Vec::new());
+        // The SPE scribbling over its own window region with no fabric
+        // handshake races with the remote put.
+        let racy = detect_races(&[put(0, 0), touch(5)]);
+        assert_eq!(racy.len(), 1, "{racy:?}");
+        assert_eq!(racy[0].code, CheckCode::Cp101);
+        assert!(
+            racy[0].message.contains("put c2 seq 0"),
+            "{}",
+            racy[0].message
+        );
+        assert_eq!(racy[0].endpoints, vec!["spe(1,0)"]);
+        // A get with no matching put stays concurrent with the put of a
+        // different sequence number (read vs write of the window).
+        let unmatched = detect_races(&[put(0, 1), get(20, 0)]);
+        assert_eq!(unmatched.len(), 1, "{unmatched:?}");
     }
 
     #[test]

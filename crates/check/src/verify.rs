@@ -1,4 +1,4 @@
-//! The configure-time wiring verifier: CP001–CP010 over a
+//! The configure-time wiring verifier: CP001–CP012 over a
 //! [`WiringGraph`].
 
 use crate::diag::{CheckCode, Diagnostic, Severity};
@@ -244,6 +244,101 @@ pub fn verify(g: &WiringGraph) -> Vec<Diagnostic> {
         }
     }
 
+    // One-sided checks, appended after the classic groups so existing
+    // diagnostic orderings are unchanged: per-channel CP012 (one-sided
+    // channel without a usable window), then per-window CP011
+    // (duplicate/overlapping registration) and CP012 (stray or
+    // wrong-direction window), each in index order.
+    for (c, ch) in g.channels.iter().enumerate() {
+        if !ch.one_sided {
+            continue;
+        }
+        let reader_at = ch.reader.and_then(|p| g.processes.get(p)).map(|p| p.at);
+        match reader_at {
+            Some(GraphEndpoint::Spe { node, slot }) => {
+                let has_window = g
+                    .windows
+                    .iter()
+                    .any(|w| w.chan == c && w.node == node && w.slot == slot);
+                if !has_window {
+                    out.push(Diagnostic::new(
+                        CheckCode::Cp012,
+                        Severity::Error,
+                        format!(
+                            "one-sided channel {c} has no window registered in its \
+                             reader's local store: puts would target unregistered memory"
+                        ),
+                        vec![GraphEndpoint::Spe { node, slot }.to_string()],
+                    ));
+                }
+            }
+            Some(at @ GraphEndpoint::Rank { .. }) => {
+                out.push(Diagnostic::new(
+                    CheckCode::Cp012,
+                    Severity::Error,
+                    format!(
+                        "one-sided channel {c} is read at {at}: windows live in SPE \
+                         local stores, so the reader must be an SPE process"
+                    ),
+                    vec![at.to_string()],
+                ));
+            }
+            // No reader at all: CP002 already covers the orphan.
+            None => {}
+        }
+    }
+    for (i, w) in g.windows.iter().enumerate() {
+        for prev in &g.windows[..i] {
+            if prev.chan == w.chan
+                || (prev.node == w.node
+                    && prev.slot == w.slot
+                    && u64::from(prev.start) < u64::from(w.start) + u64::from(w.len)
+                    && u64::from(w.start) < u64::from(prev.start) + u64::from(prev.len))
+            {
+                let how = if prev.chan == w.chan {
+                    format!("duplicates channel {}'s window", w.chan)
+                } else {
+                    format!("overlaps channel {}'s window", prev.chan)
+                };
+                out.push(Diagnostic::new(
+                    CheckCode::Cp011,
+                    Severity::Error,
+                    format!(
+                        "window [{:#x}..{:#x}) for channel {} {how}",
+                        w.start,
+                        u64::from(w.start) + u64::from(w.len),
+                        w.chan
+                    ),
+                    vec![GraphEndpoint::Spe {
+                        node: w.node,
+                        slot: w.slot,
+                    }
+                    .to_string()],
+                ));
+                break;
+            }
+        }
+        let one_sided = g.channels.get(w.chan).is_some_and(|ch| ch.one_sided);
+        if !one_sided {
+            out.push(Diagnostic::new(
+                CheckCode::Cp012,
+                Severity::Error,
+                format!(
+                    "window [{:#x}..{:#x}) registered for channel {}, which is not \
+                     a one-sided channel: nothing will ever put into it",
+                    w.start,
+                    u64::from(w.start) + u64::from(w.len),
+                    w.chan
+                ),
+                vec![GraphEndpoint::Spe {
+                    node: w.node,
+                    slot: w.slot,
+                }
+                .to_string()],
+            ));
+        }
+    }
+
     out
 }
 
@@ -348,6 +443,83 @@ mod tests {
         g.add_spe_process("a", 0, 0);
         g.add_spe_process("b", 0, 0);
         assert_eq!(codes(&verify(&g)), vec!["CP010"]);
+    }
+
+    #[test]
+    fn one_sided_channel_with_window_is_clean() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let c = g.add_channel(main, s1a); // type 3
+        g.mark_one_sided(c);
+        g.add_window(c, 1, 0, 0x400, 2048);
+        assert_eq!(verify(&g), Vec::new());
+    }
+
+    #[test]
+    fn overlapping_and_duplicate_windows_draw_cp011() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let s1b = g.add_spe_process("s1b", 1, 1);
+        let c0 = g.add_channel(main, s1a);
+        let c1 = g.add_channel(main, s1b);
+        g.mark_one_sided(c0);
+        g.mark_one_sided(c1);
+        g.add_window(c0, 1, 0, 0x400, 2048);
+        g.add_window(c1, 1, 1, 0x400, 2048); // other SPE: fine
+        g.add_window(c1, 1, 1, 0x800, 64); // same channel again: duplicate
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP011"]);
+        assert!(d[0].message.contains("duplicates"), "{}", d[0].message);
+        // Overlap on the same SPE (distinct channels) is also CP011.
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let s1b = g.add_spe_process("s1b", 1, 1);
+        let c0 = g.add_channel(main, s1a);
+        let c1 = g.add_channel(main, s1b);
+        g.mark_one_sided(c0);
+        g.mark_one_sided(c1);
+        g.add_window(c0, 1, 0, 0x400, 2048);
+        g.add_window(c1, 1, 0, 0xbff, 64); // last byte of c0's window
+        let d = verify(&g);
+        // The misplaced window also leaves c1 without one in its own
+        // reader's store, so CP012 precedes the CP011 overlap.
+        assert_eq!(codes(&d), vec!["CP012", "CP011"]);
+        assert!(d[1].message.contains("overlaps"), "{}", d[1].message);
+        assert_eq!(d[1].endpoints, vec!["spe(1,0)"]);
+    }
+
+    #[test]
+    fn unregistered_or_wrong_direction_window_draws_cp012() {
+        // One-sided channel with no window at all.
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let c = g.add_channel(main, s1a);
+        g.mark_one_sided(c);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP012"]);
+        assert!(d[0].message.contains("no window"), "{}", d[0].message);
+        // One-sided channel read by a rank: wrong direction.
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let c = g.add_channel(s1a, main);
+        g.mark_one_sided(c);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP012"]);
+        assert!(d[0].message.contains("rank 0"), "{}", d[0].message);
+        // Window registered for a channel that never puts one-sided.
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s1a = g.add_spe_process("s1a", 1, 0);
+        let c = g.add_channel(main, s1a);
+        g.add_window(c, 1, 0, 0x400, 2048);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP012"]);
+        assert!(d[0].message.contains("not"), "{}", d[0].message);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::collective::CpBundle;
 use crate::copilot;
 use crate::costs::CellPilotCosts;
 use crate::error::CpError;
-use crate::location::{classify, CpChannel, CpProcess, Location};
+use crate::location::{classify, ChannelMode, CpChannel, CpProcess, Location};
 use crate::program::SpeProgram;
 use crate::runtime::{AppShared, CellPilot};
 use crate::tables::{
@@ -340,10 +340,47 @@ impl CellPilotConfig {
         Ok(id)
     }
 
-    /// `PI_CreateChannel`: a unidirectional channel between any two
-    /// processes, whatever their locations. Its Table-I type is classified
-    /// here and routed transparently at run time.
+    /// `PI_CreateChannel`: a unidirectional rendezvous channel between any
+    /// two processes, whatever their locations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the ChannelBuilder: `cfg.channel(from, to).build()`"
+    )]
     pub fn create_channel(&mut self, from: CpProcess, to: CpProcess) -> Result<CpChannel, CpError> {
+        self.channel(from, to).build()
+    }
+
+    /// Begin declaring a unidirectional channel between any two processes,
+    /// whatever their locations — the single entry point for every Table-I
+    /// type and both transports. Finish with [`ChannelBuilder::build`] (or
+    /// [`ChannelBuilder::typed`] for an element-typed handle):
+    ///
+    /// ```no_run
+    /// # fn demo(cfg: &mut cellpilot::CellPilotConfig,
+    /// #         a: cellpilot::CpProcess, s: cellpilot::CpProcess)
+    /// #         -> Result<(), cellpilot::CpError> {
+    /// let relay = cfg.channel(a, s).build()?; // rendezvous (default)
+    /// let fast = cfg.channel(a, s).one_sided().build()?; // window fabric
+    /// let typed = cfg.channel(a, s).one_sided().typed::<f64>()?;
+    /// # Ok(()) }
+    /// ```
+    pub fn channel(&mut self, from: CpProcess, to: CpProcess) -> ChannelBuilder<'_> {
+        ChannelBuilder {
+            cfg: self,
+            from,
+            to,
+            mode: ChannelMode::Rendezvous,
+            window: None,
+        }
+    }
+
+    fn finish_channel(
+        &mut self,
+        from: CpProcess,
+        to: CpProcess,
+        mode: ChannelMode,
+        window: Option<(u32, u32)>,
+    ) -> Result<CpChannel, CpError> {
         let fe = self
             .processes
             .get(from.0)
@@ -357,7 +394,39 @@ impl CellPilotConfig {
         }
         let kind = classify(fe.location, te.location);
         let id = CpChannel(self.channels.len());
-        self.channels.push(CpChanEntry { from, to, kind });
+        if mode == ChannelMode::OneSided && !te.location.is_spe() {
+            return Err(CpError::WindowMisuse {
+                channel: id.0,
+                detail: format!(
+                    "one-sided channels land data in the reader's local store, \
+                     but reader '{}' is rank-resident",
+                    te.name
+                ),
+            });
+        }
+        if window.is_some() && mode != ChannelMode::OneSided {
+            return Err(CpError::WindowMisuse {
+                channel: id.0,
+                detail: "window_at is only meaningful for one-sided channels \
+                         (add .one_sided())"
+                    .into(),
+            });
+        }
+        if let Some((_, len)) = window {
+            if len == 0 {
+                return Err(CpError::WindowMisuse {
+                    channel: id.0,
+                    detail: "window length must be nonzero".into(),
+                });
+            }
+        }
+        self.channels.push(CpChanEntry {
+            from,
+            to,
+            kind,
+            mode,
+            window,
+        });
         Ok(id)
     }
 
@@ -415,6 +484,12 @@ impl CellPilotConfig {
     /// The Table-I classification of a configured channel.
     pub fn channel_kind(&self, c: CpChannel) -> Option<crate::location::ChannelKind> {
         self.channels.get(c.0).map(|e| e.kind)
+    }
+
+    /// The transport mode of a configured channel (rendezvous relay or
+    /// one-sided window fabric).
+    pub fn channel_mode(&self, c: CpChannel) -> Option<ChannelMode> {
+        self.channels.get(c.0).map(|e| e.mode)
     }
 
     /// Number of channels configured so far.
@@ -482,6 +557,36 @@ impl CellPilotConfig {
         }
         for c in &self.channels {
             g.add_channel(c.from.0, c.to.0);
+        }
+        // One-sided channels and their windows. Explicit `window_at`
+        // placements are declared verbatim (CP011 catches user-chosen
+        // overlaps); runtime-allocated windows get synthetic stacked
+        // placements high above any plausible explicit offset — the
+        // allocator cannot overlap by construction, and CP012 still sees
+        // that the reader has a window.
+        const AUTO_WINDOW_BASE: u32 = 0x1000_0000;
+        let mut auto_next: HashMap<(usize, usize), u32> = HashMap::new();
+        for (i, c) in self.channels.iter().enumerate() {
+            if c.mode != ChannelMode::OneSided {
+                continue;
+            }
+            g.mark_one_sided(i);
+            if let Location::Spe { node, slot } = self.processes[c.to.0].location {
+                let len = c
+                    .window
+                    .map(|(_, l)| l)
+                    .unwrap_or(self.opts.costs.spe_read_buffer as u32);
+                let start = match c.window {
+                    Some((s, _)) => s,
+                    None => {
+                        let next = auto_next.entry((node.0, slot)).or_insert(AUTO_WINDOW_BASE);
+                        let s = *next;
+                        *next += len;
+                        s
+                    }
+                };
+                g.add_window(i, node.0, slot, start, len);
+            }
         }
         for b in &self.bundles {
             let usage = match b.usage {
@@ -633,6 +738,8 @@ impl CellPilotConfig {
             tables: tables.clone(),
             trace,
             cluster: cluster.clone(),
+            fabric: cp_simnet::WindowFabric::new(),
+            put_seqs: Mutex::new(HashMap::new()),
             node_shared,
             costs: opts.costs.clone(),
             pilot_costs: opts.pilot_costs.clone(),
@@ -733,6 +840,94 @@ impl CellPilotConfig {
     }
 }
 
+/// In-progress channel declaration returned by [`CellPilotConfig::channel`]
+/// — the unified construction API covering every Table-I endpoint pairing
+/// and both transports.
+///
+/// Defaults to [`ChannelMode::Rendezvous`] (the Co-Pilot relay every
+/// channel supports). Switch to the one-sided window fabric with
+/// [`ChannelBuilder::one_sided`], optionally pinning the reader-side
+/// window placement with [`ChannelBuilder::window_at`], and finish with
+/// [`ChannelBuilder::build`] or [`ChannelBuilder::typed`].
+#[must_use = "a ChannelBuilder does nothing until .build() or .typed()"]
+pub struct ChannelBuilder<'a> {
+    cfg: &'a mut CellPilotConfig,
+    from: CpProcess,
+    to: CpProcess,
+    mode: ChannelMode,
+    window: Option<(u32, u32)>,
+}
+
+impl ChannelBuilder<'_> {
+    /// Select the transport mode explicitly.
+    pub fn kind(mut self, mode: ChannelMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.kind(ChannelMode::OneSided)`: writes land directly
+    /// in a window of the reading SPE's EA-mapped local store over the
+    /// window fabric — one hop, no Co-Pilot relay buffering. The reader
+    /// must be an SPE process.
+    pub fn one_sided(self) -> Self {
+        self.kind(ChannelMode::OneSided)
+    }
+
+    /// Pin the one-sided window to an explicit local-store placement
+    /// `(ls_offset, len)` instead of letting the runtime allocate it.
+    /// Explicit placements are checked for overlap by the `cp-check`
+    /// wiring verifier (CP011).
+    pub fn window_at(mut self, ls_offset: u32, len: u32) -> Self {
+        self.window = Some((ls_offset, len));
+        self
+    }
+
+    /// Validate and register the channel.
+    pub fn build(self) -> Result<CpChannel, CpError> {
+        self.cfg
+            .finish_channel(self.from, self.to, self.mode, self.window)
+    }
+
+    /// Validate and register the channel, returning an element-typed
+    /// handle whose [`crate::CellPilot::send`]/[`crate::CellPilot::recv`]
+    /// (and the SPE-side equivalents) fix the element type at compile
+    /// time.
+    pub fn typed<T: cp_pilot::PiScalar>(self) -> Result<TypedChannel<T>, CpError> {
+        Ok(TypedChannel {
+            chan: self.build()?,
+            _elem: std::marker::PhantomData,
+        })
+    }
+}
+
+/// An element-typed channel handle from [`ChannelBuilder::typed`]: the
+/// same [`CpChannel`] underneath, plus a compile-time element type so
+/// `send`/`recv` cannot disagree about the payload scalar.
+pub struct TypedChannel<T> {
+    chan: CpChannel,
+    _elem: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for TypedChannel<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TypedChannel<T> {}
+
+impl<T> std::fmt::Debug for TypedChannel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TypedChannel({})", self.chan.0)
+    }
+}
+
+impl<T> TypedChannel<T> {
+    /// The untyped channel handle underneath.
+    pub fn channel(&self) -> CpChannel {
+        self.chan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,16 +975,119 @@ mod tests {
         let s_main2 = c.create_spe_process(&prog, crate::CP_MAIN, 1).unwrap(); // node0
         let s_ppe1 = c.create_spe_process(&prog, ppe1, 0).unwrap(); // node1
 
-        let t1 = c.create_channel(crate::CP_MAIN, ppe1).unwrap();
-        let t2 = c.create_channel(crate::CP_MAIN, s_main).unwrap();
-        let t3 = c.create_channel(xeon, s_main2).unwrap();
-        let t4 = c.create_channel(s_main, s_main2).unwrap();
-        let t5 = c.create_channel(s_main, s_ppe1).unwrap();
+        let t1 = c.channel(crate::CP_MAIN, ppe1).build().unwrap();
+        let t2 = c.channel(crate::CP_MAIN, s_main).build().unwrap();
+        let t3 = c.channel(xeon, s_main2).build().unwrap();
+        let t4 = c.channel(s_main, s_main2).build().unwrap();
+        let t5 = c.channel(s_main, s_ppe1).build().unwrap();
         assert_eq!(c.channel_kind(t1), Some(ChannelKind::Type1));
         assert_eq!(c.channel_kind(t2), Some(ChannelKind::Type2));
         assert_eq!(c.channel_kind(t3), Some(ChannelKind::Type3));
         assert_eq!(c.channel_kind(t4), Some(ChannelKind::Type4));
         assert_eq!(c.channel_kind(t5), Some(ChannelKind::Type5));
+        // Every channel defaults to the rendezvous relay.
+        for t in [t1, t2, t3, t4, t5] {
+            assert_eq!(c.channel_mode(t), Some(ChannelMode::Rendezvous));
+        }
+    }
+
+    #[test]
+    fn deprecated_create_channel_still_works() {
+        let mut c = cfg();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        #[allow(deprecated)]
+        let ch = c.create_channel(crate::CP_MAIN, ppe1).unwrap();
+        assert_eq!(c.channel_kind(ch), Some(ChannelKind::Type1));
+        assert_eq!(c.channel_mode(ch), Some(ChannelMode::Rendezvous));
+    }
+
+    #[test]
+    fn builder_constructs_one_sided_channels() {
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        let ch = c.channel(crate::CP_MAIN, s).one_sided().build().unwrap();
+        assert_eq!(c.channel_mode(ch), Some(ChannelMode::OneSided));
+        assert_eq!(c.channel_kind(ch), Some(ChannelKind::Type2));
+        let typed = c
+            .channel(crate::CP_MAIN, s)
+            .one_sided()
+            .typed::<f64>()
+            .unwrap();
+        assert_eq!(c.channel_mode(typed.channel()), Some(ChannelMode::OneSided));
+    }
+
+    #[test]
+    fn one_sided_reader_must_be_an_spe() {
+        let mut c = cfg();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        match c.channel(s, ppe1).one_sided().build() {
+            Err(CpError::WindowMisuse { detail, .. }) => {
+                assert!(detail.contains("rank-resident"), "{detail}")
+            }
+            other => panic!("expected WindowMisuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_at_requires_one_sided_and_nonzero_len() {
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        assert!(matches!(
+            c.channel(crate::CP_MAIN, s).window_at(0, 256).build(),
+            Err(CpError::WindowMisuse { .. })
+        ));
+        assert!(matches!(
+            c.channel(crate::CP_MAIN, s)
+                .one_sided()
+                .window_at(0, 0)
+                .build(),
+            Err(CpError::WindowMisuse { .. })
+        ));
+        let ch = c
+            .channel(crate::CP_MAIN, s)
+            .one_sided()
+            .window_at(4096, 256)
+            .build()
+            .unwrap();
+        assert_eq!(c.channel_mode(ch), Some(ChannelMode::OneSided));
+    }
+
+    #[test]
+    fn check_flags_overlapping_explicit_windows() {
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        c.channel(crate::CP_MAIN, s)
+            .one_sided()
+            .window_at(4096, 512)
+            .build()
+            .unwrap();
+        c.channel(ppe1, s)
+            .one_sided()
+            .window_at(4300, 512)
+            .build()
+            .unwrap();
+        let diags = c.check();
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "CP011"),
+            "expected CP011 among {diags:?}"
+        );
+    }
+
+    #[test]
+    fn check_is_clean_for_auto_allocated_windows() {
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        c.channel(crate::CP_MAIN, s).one_sided().build().unwrap();
+        c.channel(ppe1, s).one_sided().build().unwrap();
+        assert!(c.check().is_empty(), "{:?}", c.check());
     }
 
     #[test]
@@ -798,8 +1096,8 @@ mod tests {
         let ppe1 = c.create_process("worker", 0, |_, _| {}).unwrap();
         let prog = SpeProgram::new("w", 1024, |_, _, _| {});
         let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
-        c.create_channel(crate::CP_MAIN, ppe1).unwrap();
-        c.create_channel(s, ppe1).unwrap();
+        c.channel(crate::CP_MAIN, ppe1).build().unwrap();
+        c.channel(s, ppe1).build().unwrap();
         assert_eq!(c.process_count(), 3);
         assert_eq!(c.channel_count(), 2);
         assert_eq!(c.process_name(ppe1), Some("worker"));

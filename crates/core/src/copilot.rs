@@ -120,6 +120,10 @@ pub(crate) fn standby_body(
         );
         let primary = shared.tables.copilot_ranks[&node];
         shared.copilot_route.lock().insert(node, rank);
+        // Window ownership migrates with the node: one-sided writers that
+        // consult the table from here on see the standby as the servicing
+        // rank, and landed-but-undelivered puts stay queued for it.
+        shared.fabric.take_over_node(node.0, rank);
         world.take_over_rank(&ctx, primary, rank);
         spawn_pump(&ctx, &world, rank, ns.clone());
         service_loop(&comm, &shared, &ns, true);

@@ -130,7 +130,7 @@ pub(crate) fn detector_main(comm: Comm, tables: Arc<CpTables>, faults: Arc<Fault
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::location::{ChannelKind, CpProcess};
+    use crate::location::{ChannelKind, ChannelMode, CpProcess};
     use crate::tables::{CpChanEntry, CpProcEntry};
     use cp_pilot::{EV_READWAIT, EV_WRITE};
     use cp_simnet::NodeId;
@@ -163,11 +163,15 @@ mod tests {
                 from: CpProcess(0),
                 to: CpProcess(1),
                 kind: ChannelKind::Type3,
+                mode: ChannelMode::Rendezvous,
+                window: None,
             },
             CpChanEntry {
                 from: CpProcess(1),
                 to: CpProcess(0),
                 kind: ChannelKind::Type3,
+                mode: ChannelMode::Rendezvous,
+                window: None,
             },
         ];
         CpTables {

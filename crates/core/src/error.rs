@@ -122,6 +122,15 @@ pub enum CpError {
         /// What was wrong.
         detail: String,
     },
+    /// A one-sided channel or its window was declared or used incorrectly
+    /// (rank-resident reader, window placement on a non-one-sided channel,
+    /// fence on a rendezvous channel, ...).
+    WindowMisuse {
+        /// The channel id.
+        channel: usize,
+        /// What was wrong.
+        detail: String,
+    },
     /// Local-store management failed (e.g. out of the 256 KB).
     LocalStore(LsError),
     /// SPE context management failed.
@@ -165,7 +174,8 @@ impl CpError {
             | CpError::NoSuchBundle(_)
             | CpError::EmptyBundle
             | CpError::BundleCommonEndpoint
-            | CpError::ChannelAlreadyBundled(_) => ErrorKind::Config,
+            | CpError::ChannelAlreadyBundled(_)
+            | CpError::WindowMisuse { .. } => ErrorKind::Config,
             CpError::NotParent { .. }
             | CpError::NotSpeProcess(_)
             | CpError::AlreadyRunning(_)
@@ -257,6 +267,9 @@ impl fmt::Display for CpError {
             }
             CpError::BundleMisuse { bundle, detail } => {
                 write!(f, "bundle {bundle} misuse: {detail}")
+            }
+            CpError::WindowMisuse { channel, detail } => {
+                write!(f, "channel {channel} window misuse: {detail}")
             }
             CpError::LocalStore(e) => write!(f, "{e}"),
             CpError::SpeRun(e) => write!(f, "{e}"),

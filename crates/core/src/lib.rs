@@ -45,7 +45,7 @@
 //! }).unwrap();
 //! let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
 //! let _recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
-//! let _between_spes = cfg.create_channel(send_spe, _recv_spe).unwrap();
+//! let _between_spes = cfg.channel(send_spe, _recv_spe).build().unwrap();
 //!
 //! cfg.run(move |cp| {
 //!     let t = cp.run_spe(send_spe, 0, 0).unwrap();
@@ -70,10 +70,10 @@ mod tables;
 pub mod trace;
 
 pub use collective::{reduce_f64, CpBundle};
-pub use config::{CellPilotConfig, CellPilotOpts, SupervisionPolicy};
+pub use config::{CellPilotConfig, CellPilotOpts, ChannelBuilder, SupervisionPolicy, TypedChannel};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
 pub use error::{CpError, ErrorKind};
-pub use location::{classify, ChannelKind, CpChannel, CpProcess, Location, CP_MAIN};
+pub use location::{classify, ChannelKind, ChannelMode, CpChannel, CpProcess, Location, CP_MAIN};
 pub use program::SpeProgram;
 pub use runtime::{CellPilot, SpeTask};
 pub use spe_rt::SpeCtx;

@@ -67,6 +67,31 @@ impl Location {
     }
 }
 
+/// How a channel moves its data at run time — orthogonal to the Table-I
+/// [`ChannelKind`] taxonomy, which is about *where* the endpoints live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelMode {
+    /// Two-sided rendezvous: writes travel through the Co-Pilot relay
+    /// (one proxy hop per Co-Pilot between the endpoints). The default,
+    /// and the fallback every channel supports.
+    #[default]
+    Rendezvous,
+    /// One-sided put/get: the writer lands data directly in a window of
+    /// the reading SPE's EA-mapped local store over the window fabric —
+    /// one hop, no intermediate relay buffering. Requires the reader to
+    /// be an SPE process.
+    OneSided,
+}
+
+impl fmt::Display for ChannelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChannelMode::Rendezvous => "rendezvous",
+            ChannelMode::OneSided => "one-sided",
+        })
+    }
+}
+
 /// The paper's Table I channel classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelKind {

@@ -2,10 +2,10 @@
 //! all five channel types, SPE process control (`PI_RunSPE`), and the
 //! end-of-run synchronization.
 
-use crate::config::SupervisionPolicy;
+use crate::config::{SupervisionPolicy, TypedChannel};
 use crate::costs::CellPilotCosts;
 use crate::error::CpError;
-use crate::location::{ChannelKind, CpChannel, CpProcess, Location};
+use crate::location::{ChannelKind, ChannelMode, CpChannel, CpProcess, Location};
 use crate::spe_rt::JournalEntry;
 use crate::tables::{CpTables, NodeShared, ProcKind};
 use cp_des::{IncidentCategory, Pid, ProcCtx, SimDuration, SimTime};
@@ -27,9 +27,17 @@ const TAG_FINI: i32 = -600;
 pub(crate) struct AppShared {
     pub tables: Arc<CpTables>,
     pub trace: crate::trace::TraceSink,
-    /// Cluster hardware (used by the hand-coded baselines and extensions).
-    #[allow(dead_code)]
+    /// Cluster hardware: node handles plus the interconnect cost model the
+    /// one-sided fabric charges its transfers against.
     pub cluster: Arc<Cluster>,
+    /// The one-sided window fabric: the cluster-wide table of EA-mapped
+    /// local-store windows plus their landed-put queues (see
+    /// [`cp_simnet::WindowFabric`]).
+    pub fabric: cp_simnet::WindowFabric,
+    /// Next put sequence number per one-sided channel. Monotonic across
+    /// the whole run so the fabric's wire-seq dedup delivers exactly once
+    /// through crash-restarts and Co-Pilot failovers.
+    pub put_seqs: Mutex<HashMap<usize, u64>>,
     pub node_shared: HashMap<NodeId, Arc<NodeShared>>,
     pub costs: CellPilotCosts,
     pub pilot_costs: PilotCosts,
@@ -92,6 +100,150 @@ impl AppShared {
             t0.0,
             dur,
         );
+    }
+
+    /// Allocate the next put sequence number for one-sided channel `chan`.
+    pub(crate) fn next_put_seq(&self, chan: usize) -> u64 {
+        let mut seqs = self.put_seqs.lock();
+        let s = seqs.entry(chan).or_insert(0);
+        let seq = *s;
+        *s += 1;
+        seq
+    }
+
+    /// Record one completed one-sided fabric operation (put or get) in the
+    /// observability recorder: per-op latency histogram plus a span on the
+    /// acting process's lane.
+    pub(crate) fn record_one_sided(
+        &self,
+        who: &str,
+        put: bool,
+        chan: usize,
+        bytes: usize,
+        t0: SimTime,
+        now: SimTime,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let dur = now.since(t0).as_nanos();
+        self.recorder.record_one_sided_op(put, bytes as u64, dur);
+        let lane = self.recorder.lane(who);
+        let verb = if put { "put" } else { "get" };
+        self.recorder
+            .span(lane, "one-sided", &format!("{verb} c{chan}"), t0.0, dur);
+    }
+
+    /// Execute one one-sided put on `chan` from the process `who` running
+    /// on `from_node`: wait for the reader to register its window, charge
+    /// the fabric transport for the hop, land the bytes in the window's
+    /// local store, and apply the exactly-once fabric put — the reader
+    /// finds the payload by its own doorbell, no Co-Pilot is interrupted.
+    /// One hop, no relay buffering. Returns the window capacity on
+    /// overflow.
+    pub(crate) fn one_sided_put(
+        &self,
+        ctx: &ProcCtx,
+        who: &str,
+        chan: usize,
+        from_node: NodeId,
+        data: Vec<u8>,
+    ) -> Result<usize, u32> {
+        // The reader registers its window when its SPE process starts; a
+        // writer that gets here first polls deterministically, modelling
+        // the one-time window-handle exchange of an RDMA setup.
+        let desc = loop {
+            if let Some(d) = self.fabric.window(chan as u32) {
+                break d;
+            }
+            ctx.advance(SimDuration::from_micros(1));
+        };
+        if data.len() as u64 > u64::from(desc.len) {
+            return Err(desc.len);
+        }
+        let n = data.len();
+        let t0 = ctx.now();
+        let seq = self.next_put_seq(chan);
+        let to_node = NodeId(desc.node);
+        ctx.advance(
+            self.cluster
+                .transfer_delay(ctx.now(), from_node, to_node, n),
+        );
+        let ns = &self.node_shared[&to_node];
+        let cell = &ns.cell;
+        cell.ea_write(
+            cell.ls_effective_address(desc.spe, desc.start as usize),
+            &data,
+        )
+        .expect("window within local store");
+        ns.record_hb(
+            &ctx.name(),
+            ctx.now().as_nanos(),
+            cp_trace::HbOp::OneSidedPut {
+                chan: chan as u32,
+                node: desc.node,
+                spe: desc.spe,
+                start: desc.start,
+                len: n as u32,
+                seq,
+            },
+        );
+        // `Duplicate` means a failover replay re-applied a put the fabric
+        // already saw: the wire-seq dedup swallows it and the reader will
+        // never observe the payload twice.
+        let _status = self
+            .fabric
+            .put(chan as u32, seq, data)
+            .expect("window stays registered for the run");
+        self.trace
+            .record(ctx.now(), who, crate::trace::TraceOp::OneSidedPut, chan, n);
+        self.record_one_sided(who, true, chan, n, t0, ctx.now());
+        Ok(n)
+    }
+
+    /// Whether the writer of channel `chan` is permanently gone — the
+    /// liveness check behind blocking reads (a reader must fail with
+    /// `PeerLost` rather than wait forever on a dead writer).
+    pub(crate) fn chan_writer_gone(&self, chan: usize, now: SimTime) -> bool {
+        let from = self.tables.channels[chan].from;
+        match self.tables.processes[from.0].location {
+            crate::location::Location::Rank { rank, .. } => {
+                self.faults.death_of(rank).is_some_and(|at| now >= at)
+            }
+            crate::location::Location::Spe { .. } => self.spe_gone(from.0, now),
+        }
+    }
+
+    /// Whether channel `chan` is one-sided.
+    pub(crate) fn one_sided_chan(&self, chan: usize) -> bool {
+        self.tables
+            .channels
+            .get(chan)
+            .is_some_and(|e| e.mode == ChannelMode::OneSided)
+    }
+
+    /// One-sided fence body shared by the rank- and SPE-side handles:
+    /// block (in virtual time) until every put applied on `chan` has been
+    /// taken by the reader, i.e. the window is drained.
+    pub(crate) fn fence_on(&self, ctx: &ProcCtx, chan: CpChannel) -> Result<(), CpError> {
+        let entry = self
+            .tables
+            .channels
+            .get(chan.0)
+            .ok_or(CpError::NoSuchChannel(chan.0))?;
+        if entry.mode != ChannelMode::OneSided {
+            return Err(CpError::WindowMisuse {
+                channel: chan.0,
+                detail: "fence is only meaningful on one-sided channels".into(),
+            });
+        }
+        loop {
+            match self.fabric.pending(chan.0 as u32) {
+                // No window yet means no put ever waited on one: drained.
+                Err(_) | Ok(0) => return Ok(()),
+                Ok(_) => ctx.advance(SimDuration::from_micros(1)),
+            }
+        }
     }
 
     /// Whether the SPE process behind `proc` is permanently gone. Under
@@ -192,6 +344,31 @@ impl CellPilot {
         let data = pack_message(values);
         let t0 = self.ctx().now();
         self.charge(payload_bytes(values));
+        if entry.mode == ChannelMode::OneSided {
+            // One-sided transport: land the message directly in the reader
+            // SPE's window over the fabric — no Co-Pilot relay hop.
+            self.shared
+                .one_sided_put(self.ctx(), &self.name(), chan.0, self.node(), data)
+                .map_err(|cap| CpError::SpeBufferOverflow {
+                    channel: chan.0,
+                    capacity: cap as usize,
+                })?;
+            crate::dlsvc::report(
+                &self.comm,
+                &self.shared.tables,
+                crate::dlsvc::chan_event(&self.shared.tables, cp_pilot::EV_WRITE, chan.0),
+            );
+            self.shared.record_chan_op(
+                &self.name(),
+                entry.kind,
+                chan.0,
+                true,
+                payload_bytes(values),
+                t0,
+                self.ctx().now(),
+            );
+            return Ok(());
+        }
         let dest_rank = match self.shared.tables.processes[entry.to.0].location {
             Location::Rank { rank, .. } => rank,
             Location::Spe { node, .. } => self.shared.copilot_rank(node),
@@ -282,6 +459,26 @@ impl CellPilot {
         let mut values = self.read(chan, &format)?;
         let v = values.pop().expect("format has exactly one segment");
         Ok(T::unwrap(v).expect("segment dtype verified against format"))
+    }
+
+    /// Typed write on a [`TypedChannel`]: the element type is fixed at
+    /// configure time by [`crate::config::ChannelBuilder::typed`], so
+    /// writer and reader cannot disagree about the payload scalar.
+    pub fn send<T: PiScalar>(&self, chan: TypedChannel<T>, data: &[T]) -> Result<(), CpError> {
+        self.write_slice(chan.channel(), data)
+    }
+
+    /// Typed read on a [`TypedChannel`] (see [`CellPilot::send`]).
+    pub fn recv<T: PiScalar>(&self, chan: TypedChannel<T>) -> Result<Vec<T>, CpError> {
+        self.read_vec(chan.channel())
+    }
+
+    /// One-sided fence: block (in virtual time) until every put applied on
+    /// `chan` so far has been taken by the reader — the window is drained.
+    /// Errors on rendezvous channels, where delivery is already
+    /// synchronous.
+    pub fn fence(&self, chan: CpChannel) -> Result<(), CpError> {
+        self.shared.fence_on(self.ctx(), chan)
     }
 
     /// `PI_Read` from a PPE / non-Cell process.

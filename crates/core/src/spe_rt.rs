@@ -9,7 +9,7 @@
 //! deposits. All routing, MPI and pairing lives on the PPE side.
 
 use crate::error::CpError;
-use crate::location::{CpChannel, CpProcess};
+use crate::location::{ChannelMode, CpChannel, CpProcess};
 use crate::protocol::{
     decode_completion, CompletionError, Request, OP_POLL, OP_READ, OP_WRITE, REQ_BLOCK_BYTES,
 };
@@ -76,6 +76,41 @@ impl SpeCtx {
             .ls
             .alloc(REQ_BLOCK_BYTES, 16)
             .expect("room for the request block");
+        // Register this process's one-sided windows (it is the reader of
+        // those channels): allocate the landing region in the local store
+        // and publish it in the cluster-wide window table. The physical
+        // SPE is only known now, which is why registration happens at
+        // launch rather than configure time. A crash-restart finds its
+        // windows already registered and reuses them — landed-but-untaken
+        // data survives the restart, and window regions are deliberately
+        // never freed at teardown for the same reason.
+        for (c, e) in shared.tables.channels.iter().enumerate() {
+            if e.mode != ChannelMode::OneSided || e.to != me {
+                continue;
+            }
+            if shared.fabric.window(c as u32).is_some() {
+                continue;
+            }
+            let len = e
+                .window
+                .map(|(_, l)| l as usize)
+                .unwrap_or(shared.costs.spe_read_buffer);
+            let start = cell.spes[hw]
+                .ls
+                .alloc(len, 16)
+                .expect("room for the one-sided window");
+            shared
+                .fabric
+                .register(cp_simnet::WindowDesc {
+                    chan: c as u32,
+                    node: node.0,
+                    spe: hw,
+                    start: start as u32,
+                    len: len as u32,
+                    owner_rank: shared.copilot_rank(node),
+                })
+                .expect("allocator-placed windows cannot overlap");
+        }
         SpeCtx {
             ctx,
             shared,
@@ -287,12 +322,28 @@ impl SpeCtx {
         let ls = &cell.spes[self.hw].ls;
         let buf = ls.alloc(data.len().max(1), 16)?;
         cell.ls_write_traced(&self.ctx, self.hw, buf, &data)?;
-        let result = self.transact(Request {
-            op: OP_WRITE,
-            chan: chan.0 as u32,
-            addr: buf as u32,
-            len: data.len() as u32,
-        });
+        let result = if self.shared.one_sided_chan(chan.0) {
+            // One-sided channel: the SPE issues the MFC put itself and the
+            // staged buffer lands straight in the reader's local-store
+            // window — no Co-Pilot proxying, no relay leg. Only the DMA
+            // issue is charged locally; the fabric hop is charged inside
+            // the put.
+            self.ctx
+                .advance(SimDuration::from_micros_f64(cell.costs.dma_setup_us));
+            self.shared
+                .one_sided_put(&self.ctx, &self.name(), chan.0, self.node, data.clone())
+                .map_err(|cap| CpError::SpeBufferOverflow {
+                    channel: chan.0,
+                    capacity: cap as usize,
+                })
+        } else {
+            self.transact(Request {
+                op: OP_WRITE,
+                chan: chan.0 as u32,
+                addr: buf as u32,
+                len: data.len() as u32,
+            })
+        };
         let _ = ls.free(buf);
         if result.is_ok() {
             self.journal(JournalEntry::Write { chan: chan.0 });
@@ -366,12 +417,16 @@ impl SpeCtx {
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
         let buf = ls.alloc(cap.max(1), 16)?;
-        let got = self.transact(Request {
-            op: OP_READ,
-            chan: chan.0 as u32,
-            addr: buf as u32,
-            len: cap as u32,
-        });
+        let got = if self.shared.one_sided_chan(chan.0) {
+            self.one_sided_recv(chan.0, buf, cap)
+        } else {
+            self.transact(Request {
+                op: OP_READ,
+                chan: chan.0 as u32,
+                addr: buf as u32,
+                len: cap as u32,
+            })
+        };
         let result = got.and_then(|n| {
             let bytes = cell.ls_read_traced(&self.ctx, self.hw, buf, n)?;
             let values = unpack_message(&bytes).expect("well-formed channel message");
@@ -408,6 +463,79 @@ impl SpeCtx {
         result
     }
 
+    /// One-sided read body: the window lives in *this* SPE's own local
+    /// store, so the reader spins on its doorbell — a local load, polled
+    /// at 1 µs granularity, deterministic under the DES — until a put
+    /// lands, then moves the payload into the posted buffer with a local
+    /// MFC transfer. The Co-Pilot never touches the data.
+    fn one_sided_recv(&self, chan: usize, buf: usize, cap: usize) -> Result<usize, CpError> {
+        let landed = loop {
+            match self.shared.fabric.take(chan as u32) {
+                Ok(Some(l)) => break l,
+                _ => {
+                    if self.shared.chan_writer_gone(chan, self.ctx.now()) {
+                        let peer = self.shared.tables.processes
+                            [self.shared.tables.channels[chan].from.0]
+                            .name
+                            .clone();
+                        self.ctx.report_incident(
+                            IncidentCategory::PeerLost,
+                            &format!(
+                                "SPE process '{}' failing one-sided read on channel {chan}: \
+                                 writer '{peer}' is lost",
+                                self.name()
+                            ),
+                        );
+                        return Err(CpError::PeerLost {
+                            channel: chan,
+                            peer,
+                        });
+                    }
+                    self.ctx.advance(SimDuration::from_micros(1));
+                }
+            }
+        };
+        let n = landed.bytes.len();
+        if n > cap {
+            return Err(CpError::SpeBufferOverflow {
+                channel: chan,
+                capacity: cap,
+            });
+        }
+        let t0 = self.ctx.now();
+        let cell = &self.shared.node_shared[&self.node].cell;
+        let desc = self
+            .shared
+            .fabric
+            .window(chan as u32)
+            .expect("payload taken from a registered window");
+        self.shared.node_shared[&self.node].record_hb(
+            &self.name(),
+            self.ctx.now().as_nanos(),
+            cp_trace::HbOp::OneSidedGet {
+                chan: chan as u32,
+                node: desc.node,
+                spe: desc.spe,
+                start: desc.start,
+                len: n as u32,
+                seq: landed.seq,
+            },
+        );
+        self.ctx
+            .advance(SimDuration::from_micros_f64(cell.costs.dma_transfer_us(n)));
+        cell.ls_write_traced(&self.ctx, self.hw, buf, &landed.bytes)?;
+        self.shared.trace.record(
+            self.ctx.now(),
+            &self.name(),
+            crate::trace::TraceOp::OneSidedDeliver,
+            chan,
+            n,
+        );
+        self.shared
+            .record_one_sided(&self.name(), false, chan, n, t0, self.ctx.now());
+        Ok(n)
+    }
+
     /// Typed single-segment write: sends `data` as one runtime-counted
     /// segment of `T`'s wire type, with the Pilot format string derived
     /// from `T` (`%*d` for `i32`, `%*lf` for `f64`, ...). The SPE twin of
@@ -427,9 +555,37 @@ impl SpeCtx {
         Ok(T::unwrap(v).expect("segment dtype verified against format"))
     }
 
+    /// Typed write on a [`crate::TypedChannel`] — the SPE twin of
+    /// [`crate::CellPilot::send`].
+    pub fn send<T: PiScalar>(
+        &self,
+        chan: crate::config::TypedChannel<T>,
+        data: &[T],
+    ) -> Result<(), CpError> {
+        self.write_slice(chan.channel(), data)
+    }
+
+    /// Typed read on a [`crate::TypedChannel`] — the SPE twin of
+    /// [`crate::CellPilot::recv`].
+    pub fn recv<T: PiScalar>(
+        &self,
+        chan: crate::config::TypedChannel<T>,
+    ) -> Result<Vec<T>, CpError> {
+        self.read_vec(chan.channel())
+    }
+
+    /// One-sided fence from an SPE process: block (in virtual time) until
+    /// every put applied on `chan` has been taken by the reader. The SPE
+    /// twin of [`crate::CellPilot::fence`].
+    pub fn fence(&self, chan: CpChannel) -> Result<(), CpError> {
+        self.crash_checkpoint();
+        self.shared.fence_on(&self.ctx, chan)
+    }
+
     /// `PI_ChannelHasData` from an SPE (extension): non-blocking check
     /// whether a read on `chan` would find a message already at the
-    /// Co-Pilot. Costs one mailbox round trip.
+    /// Co-Pilot. Costs one mailbox round trip on relay channels; on
+    /// one-sided channels it is a local doorbell load.
     pub fn channel_has_data(&self, chan: CpChannel) -> Result<bool, CpError> {
         self.crash_checkpoint();
         let entry = self
@@ -450,17 +606,24 @@ impl SpeCtx {
                 other => self.replay_diverged(&other, &format!("poll on channel {}", chan.0)),
             }
         }
-        let n = self.transact(Request {
-            op: OP_POLL,
-            chan: chan.0 as u32,
-            addr: 0,
-            len: 0,
-        })?;
-        self.journal(JournalEntry::Poll {
-            chan: chan.0,
-            has: n != 0,
-        });
-        Ok(n != 0)
+        let has = if self.shared.one_sided_chan(chan.0) {
+            // The window is in this SPE's own local store: checking the
+            // doorbell is a local load, no mailbox round trip needed.
+            self.charge(0);
+            self.shared
+                .fabric
+                .pending(chan.0 as u32)
+                .is_ok_and(|pending| pending > 0)
+        } else {
+            self.transact(Request {
+                op: OP_POLL,
+                chan: chan.0 as u32,
+                addr: 0,
+                len: 0,
+            })? != 0
+        };
+        self.journal(JournalEntry::Poll { chan: chan.0, has });
+        Ok(has)
     }
 
     /// Abort the application with a diagnostic carrying the source

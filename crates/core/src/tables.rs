@@ -1,6 +1,6 @@
 //! Internal tables and per-node shared state.
 
-use crate::location::{ChannelKind, CpProcess, Location};
+use crate::location::{ChannelKind, ChannelMode, CpProcess, Location};
 use crate::program::SpeProgram;
 use crate::protocol::Request;
 use cp_cellsim::CellNode;
@@ -35,6 +35,14 @@ pub(crate) struct CpChanEntry {
     pub from: CpProcess,
     pub to: CpProcess,
     pub kind: ChannelKind,
+    /// Transport selected at construction: Co-Pilot relay (default) or
+    /// the one-sided window fabric.
+    pub mode: ChannelMode,
+    /// Explicit window placement `(ls_offset, len)` from
+    /// `ChannelBuilder::window_at`; `None` lets the runtime allocate the
+    /// window in the reader SPE's local store. Only meaningful for
+    /// one-sided channels.
+    pub window: Option<(u32, u32)>,
 }
 
 /// What a CellPilot bundle is for.
@@ -170,6 +178,15 @@ impl NodeShared {
     /// Attach a happens-before recorder to the event queue.
     pub(crate) fn set_hb_recorder(&self, rec: Recorder) {
         *self.hb_rec.lock() = rec;
+    }
+
+    /// Record a happens-before event against this node's recorder (the
+    /// one-sided fabric's put/get edges use this so they reach the race
+    /// detector even when checks run without the observability recorder).
+    pub(crate) fn record_hb(&self, actor: &str, ts_ns: u64, op: HbOp) {
+        if let Some(r) = self.hb_recorder() {
+            r.record_hb(actor, ts_ns, op);
+        }
     }
 
     fn hb_recorder(&self) -> Option<Recorder> {

@@ -34,6 +34,13 @@ pub enum TraceOp {
     CopilotDeliver,
     /// The Co-Pilot paired a type-4 write/read couple.
     CopilotPair,
+    /// A one-sided put landed in the reader's window (writer side of the
+    /// fabric; the acting process is the writing rank or the writer's
+    /// Co-Pilot).
+    OneSidedPut,
+    /// The owning Co-Pilot moved a landed one-sided payload from the
+    /// window into the reader SPE's posted buffer.
+    OneSidedDeliver,
     /// An SPE process was launched (`PI_RunSPE`).
     RunSpe,
     /// A bundle broadcast was issued by its common endpoint.
@@ -52,6 +59,8 @@ impl fmt::Display for TraceOp {
             TraceOp::CopilotWrite => "copilot-write",
             TraceOp::CopilotDeliver => "copilot-deliver",
             TraceOp::CopilotPair => "copilot-pair",
+            TraceOp::OneSidedPut => "one-sided-put",
+            TraceOp::OneSidedDeliver => "one-sided-deliver",
             TraceOp::RunSpe => "run-spe",
             TraceOp::Broadcast => "broadcast",
             TraceOp::Gather => "gather",

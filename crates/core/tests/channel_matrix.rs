@@ -84,7 +84,7 @@ fn run_matrix_case(kind: ChannelKind, spe_writer: bool) {
                 to = cfg.create_spe_process(&reader_prog, ppe1, 0).unwrap();
             }
         }
-        let chan = cfg.create_channel(from, to).unwrap();
+        let chan = cfg.channel(from, to).build().unwrap();
         assert_eq!(chan, CpChannel(0));
         assert_eq!(cfg.channel_kind(chan), Some(kind), "classification");
 
@@ -149,7 +149,7 @@ fn type1_rank_to_rank() {
             assert_eq!(vals[0].len(), 100);
         })
         .unwrap();
-    let chan = cfg.create_channel(CP_MAIN, reader).unwrap();
+    let chan = cfg.channel(CP_MAIN, reader).build().unwrap();
     assert_eq!(cfg.channel_kind(chan), Some(ChannelKind::Type1));
     cfg.run(move |cp| {
         cp.write(chan, "%100Lf", &payload_array()).unwrap();
@@ -176,7 +176,7 @@ fn xeon_to_spe_is_type3_and_works() {
         })
         .unwrap();
     let spe = cfg.create_spe_process(&reader_prog, ppe, 0).unwrap();
-    let chan = cfg.create_channel(CP_MAIN, spe).unwrap();
+    let chan = cfg.channel(CP_MAIN, spe).build().unwrap();
     assert_eq!(cfg.channel_kind(chan), Some(ChannelKind::Type3));
     cfg.run(move |cp| {
         cp.write(chan, "%3d", &[PiValue::Int32(vec![7, 8, 9])])
@@ -211,8 +211,8 @@ fn spe_ping_pong_many_rounds() {
     });
     let a = cfg.create_spe_process(&ping, CP_MAIN, 0).unwrap();
     let b = cfg.create_spe_process(&pong, CP_MAIN, 1).unwrap();
-    let c0 = cfg.create_channel(a, b).unwrap();
-    let c1 = cfg.create_channel(b, a).unwrap();
+    let c0 = cfg.channel(a, b).build().unwrap();
+    let c1 = cfg.channel(b, a).build().unwrap();
     assert_eq!((c0, c1), (CpChannel(0), CpChannel(1)));
     cfg.run(move |cp| {
         let t1 = cp.run_spe(a, 0, 0).unwrap();
@@ -236,7 +236,7 @@ fn spe_buffer_overflow_reported() {
         }
     });
     let spe = cfg.create_spe_process(&reader, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(CP_MAIN, spe).unwrap();
+    let chan = cfg.channel(CP_MAIN, spe).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(cellpilot::CpProcess(1), 0, 0).unwrap();
         let big: Vec<i32> = vec![0; 8192];
@@ -260,7 +260,7 @@ fn wrong_spe_writer_aborts() {
     let a = cfg.create_spe_process(&intruder, CP_MAIN, 0).unwrap();
     let ppe1 = cfg.create_process("ppe1", 0, |_, _| {}).unwrap();
     // Channel 0 belongs to main -> ppe1, not the SPE.
-    let _chan = cfg.create_channel(CP_MAIN, ppe1).unwrap();
+    let _chan = cfg.channel(CP_MAIN, ppe1).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(a, 0, 0).unwrap();
         cp.wait_spe(t);
@@ -323,7 +323,7 @@ fn spe_args_are_delivered() {
         .unwrap();
     });
     let spe = cfg.create_spe_process(&prog, CP_MAIN, 7).unwrap();
-    let chan = cfg.create_channel(spe, CP_MAIN).unwrap();
+    let chan = cfg.channel(spe, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(spe, 1234, 0xDEAD_BEEF).unwrap();
         let vals = cp.read(chan, "%d %ld").unwrap();
@@ -389,8 +389,8 @@ fn spe_channel_has_data_poll() {
         ));
     });
     let s = cfg.create_spe_process(&poller, CP_MAIN, 0).unwrap();
-    let to_spe = cfg.create_channel(CP_MAIN, s).unwrap();
-    let from_spe = cfg.create_channel(s, CP_MAIN).unwrap();
+    let to_spe = cfg.channel(CP_MAIN, s).build().unwrap();
+    let from_spe = cfg.channel(s, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         let _ = cp.read(from_spe, "%b").unwrap();
@@ -422,7 +422,7 @@ fn run_my_spes_launches_only_my_children() {
     for i in 0..3 {
         let parent = if i < 2 { CP_MAIN } else { host };
         let s = cfg.create_spe_process(&worker, parent, i).unwrap();
-        chans.push(cfg.create_channel(s, CP_MAIN).unwrap());
+        chans.push(cfg.channel(s, CP_MAIN).build().unwrap());
     }
     cfg.run(move |cp| {
         let tasks = cp.run_my_spes();

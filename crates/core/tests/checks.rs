@@ -85,10 +85,10 @@ fn echo_chain(opts: CellPilotOpts) -> SimReport {
     let s0a = cfg.create_spe_process(&pa, CP_MAIN, 0).unwrap();
     let s0b = cfg.create_spe_process(&pb, CP_MAIN, 1).unwrap();
     let s1a = cfg.create_spe_process(&pc, w1, 2).unwrap();
-    cfg.create_channel(CP_MAIN, s0a).unwrap(); // c0: type 2
-    cfg.create_channel(s0a, s0b).unwrap(); // c1: type 4
-    cfg.create_channel(s0b, s1a).unwrap(); // c2: type 5
-    cfg.create_channel(s1a, _xeon).unwrap(); // c3: type 3
+    cfg.channel(CP_MAIN, s0a).build().unwrap(); // c0: type 2
+    cfg.channel(s0a, s0b).build().unwrap(); // c1: type 4
+    cfg.channel(s0b, s1a).build().unwrap(); // c2: type 5
+    cfg.channel(s1a, _xeon).build().unwrap(); // c3: type 3
     cfg.run(move |cp| {
         let tasks = cp.run_my_spes();
         cp.write_slice(CpChannel(0), &data).unwrap();

@@ -43,13 +43,13 @@ fn broadcast_to_mixed_spe_and_rank_receivers() {
     let mut chans = Vec::new();
     for i in 0..2 {
         let s = cfg.create_spe_process(&recv_prog, CP_MAIN, i).unwrap();
-        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+        chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
     }
     for i in 2..4 {
         let s = cfg.create_spe_process(&recv_prog, ppe1, i).unwrap();
-        chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+        chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
     }
-    chans.push(cfg.create_channel(CP_MAIN, ppe1).unwrap());
+    chans.push(cfg.channel(CP_MAIN, ppe1).build().unwrap());
     let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
     cfg.run(move |cp| {
         let mut ts = Vec::new();
@@ -84,7 +84,7 @@ fn gather_from_spe_writers() {
     let mut chans = Vec::new();
     for i in 0..4 {
         let s = cfg.create_spe_process(&send_prog, CP_MAIN, i).unwrap();
-        chans.push(cfg.create_channel(s, CP_MAIN).unwrap());
+        chans.push(cfg.channel(s, CP_MAIN).build().unwrap());
     }
     let bundle = cfg.create_bundle(CpBundleUsage::Gather, &chans).unwrap();
     cfg.run(move |cp| {
@@ -136,7 +136,7 @@ fn spe_common_endpoint_gathers_from_siblings() {
     let mut chans = Vec::new();
     for i in 0..2 {
         let s = cfg.create_spe_process(&send_prog, CP_MAIN, i).unwrap();
-        chans.push(cfg.create_channel(s, hub).unwrap());
+        chans.push(cfg.channel(s, hub).build().unwrap());
     }
     cfg.create_bundle(CpBundleUsage::Gather, &chans).unwrap();
     cfg.run(move |cp| {
@@ -182,7 +182,7 @@ fn hierarchical_broadcast_beats_linear_writes() {
         let mut chans = Vec::new();
         for i in 0..n {
             let s = cfg.create_spe_process(&recv_prog, ppe1, i).unwrap();
-            chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
+            chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
         }
         let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &chans).unwrap();
         let elapsed = Arc::new(Mutex::new(0.0f64));
@@ -217,9 +217,9 @@ fn bundle_misuse_is_reported() {
     let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
     let a = cfg.create_process("a", 0, |_, _| {}).unwrap();
     let b = cfg.create_process("b", 0, |_, _| {}).unwrap();
-    let c1 = cfg.create_channel(CP_MAIN, a).unwrap();
-    let c2 = cfg.create_channel(CP_MAIN, b).unwrap();
-    let c3 = cfg.create_channel(a, b).unwrap();
+    let c1 = cfg.channel(CP_MAIN, a).build().unwrap();
+    let c2 = cfg.channel(CP_MAIN, b).build().unwrap();
+    let c3 = cfg.channel(a, b).build().unwrap();
     // Mixed writers cannot form a broadcast bundle.
     assert!(matches!(
         cfg.create_bundle(CpBundleUsage::Broadcast, &[c1, c3]),
@@ -257,8 +257,8 @@ fn trace_records_channel_legs() {
         spe.write(CpChannel(1), "%d", &v).unwrap();
     });
     let s = cfg.create_spe_process(&echo, CP_MAIN, 0).unwrap();
-    cfg.create_channel(CP_MAIN, s).unwrap();
-    cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.channel(CP_MAIN, s).build().unwrap();
+    cfg.channel(s, CP_MAIN).build().unwrap();
     let (_report, trace) = cfg
         .run_traced(move |cp| {
             let t = cp.run_spe(s, 0, 0).unwrap();
@@ -301,8 +301,8 @@ fn select_over_mixed_writers() {
         })
         .unwrap();
     let s = cfg.create_spe_process(&slow_spe, CP_MAIN, 0).unwrap();
-    let c0 = cfg.create_channel(s, CP_MAIN).unwrap();
-    let c1 = cfg.create_channel(fast_rank, CP_MAIN).unwrap();
+    let c0 = cfg.channel(s, CP_MAIN).build().unwrap();
+    let c1 = cfg.channel(fast_rank, CP_MAIN).build().unwrap();
     let bundle = cfg.create_bundle(CpBundleUsage::Gather, &[c0, c1]).unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
@@ -326,7 +326,7 @@ fn select_misuse_rejected() {
     let spec = ClusterSpec::two_cells_one_xeon();
     let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
     let a = cfg.create_process("a", 0, |_, _| {}).unwrap();
-    let c = cfg.create_channel(CP_MAIN, a).unwrap();
+    let c = cfg.channel(CP_MAIN, a).build().unwrap();
     let bundle = cfg.create_bundle(CpBundleUsage::Broadcast, &[c]).unwrap();
     cfg.run(move |cp| {
         // select on a broadcast bundle is misuse.
@@ -365,7 +365,7 @@ fn type5_traverses_both_copilots_three_hops() {
         .unwrap();
     let a = cfg.create_spe_process(&sender, CP_MAIN, 0).unwrap();
     let b = cfg.create_spe_process(&receiver, parent, 0).unwrap();
-    cfg.create_channel(a, b).unwrap();
+    cfg.channel(a, b).build().unwrap();
     let (_r, trace) = cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap();
     let hop_senders: Vec<&str> = trace
         .iter()

@@ -104,9 +104,9 @@ fn run_type(chan_type: u8) {
             };
             let a = cfg.create_spe_process(&relay_a, CP_MAIN, 0).unwrap();
             let b = cfg.create_spe_process(&relay_b, parent_b, 1).unwrap();
-            let c0 = cfg.create_channel(CP_MAIN, a).unwrap();
-            let c1 = cfg.create_channel(b, CP_MAIN).unwrap();
-            let c2 = cfg.create_channel(a, b).unwrap();
+            let c0 = cfg.channel(CP_MAIN, a).build().unwrap();
+            let c1 = cfg.channel(b, CP_MAIN).build().unwrap();
+            let c2 = cfg.channel(a, b).build().unwrap();
             assert_eq!((c0.0, c1.0, c2.0), (0, 1, 2));
             let want = if chan_type == 4 {
                 cellpilot::ChannelKind::Type4
@@ -144,8 +144,8 @@ fn run_type(chan_type: u8) {
         }
         other => panic!("no such channel type {other}"),
     }
-    let c0 = cfg.create_channel(CP_MAIN, from).unwrap();
-    let c1 = cfg.create_channel(to, CP_MAIN).unwrap();
+    let c0 = cfg.channel(CP_MAIN, from).build().unwrap();
+    let c1 = cfg.channel(to, CP_MAIN).build().unwrap();
     assert_eq!((c0.0, c1.0), (0, 1));
     let got = echoed.clone();
     cfg.run(move |cp| {

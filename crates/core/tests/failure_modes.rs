@@ -40,7 +40,7 @@ fn spe_crash_mid_protocol_does_not_hang() {
         panic!("died after the write completed");
     });
     let s = cfg.create_spe_process(&crasher, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let chan = cfg.channel(s, CP_MAIN).build().unwrap();
     match cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         // The message itself was delivered before the crash.
@@ -68,7 +68,7 @@ fn spe_misuse_abort_carries_location() {
         spe.abort_loc(&err, file!(), line!());
     });
     let other = cfg.create_process("other", 0, |_, _| {}).unwrap();
-    let _chan = cfg.create_channel(CP_MAIN, other).unwrap();
+    let _chan = cfg.channel(CP_MAIN, other).build().unwrap();
     let s = cfg.create_spe_process(&bad, CP_MAIN, 0).unwrap();
     match cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
@@ -92,7 +92,7 @@ fn orphaned_spe_read_is_reported_as_deadlock() {
         let _ = spe.read(CpChannel(0), "%d").unwrap();
     });
     let s = cfg.create_spe_process(&orphan, CP_MAIN, 0).unwrap();
-    let _chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    let _chan = cfg.channel(CP_MAIN, s).build().unwrap();
     match cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         cp.wait_spe(t); // main waits forever for the orphan

@@ -52,9 +52,9 @@ fn type4_spe_crash_fails_only_touching_channels() {
     let reader = cfg.create_spe_process(&bereft, CP_MAIN, 1).unwrap();
     let w2 = cfg.create_spe_process(&healthy_w, CP_MAIN, 2).unwrap();
     let r2 = cfg.create_spe_process(&healthy_r, CP_MAIN, 3).unwrap();
-    let broken = cfg.create_channel(victim, reader).unwrap();
+    let broken = cfg.channel(victim, reader).build().unwrap();
     assert_eq!(broken.0, 0);
-    let _healthy = cfg.create_channel(w2, r2).unwrap();
+    let _healthy = cfg.channel(w2, r2).build().unwrap();
 
     let report = cfg
         .run(move |cp| {
@@ -123,9 +123,9 @@ fn type5_spe_crash_blast_radius_spans_nodes() {
     let reader = cfg.create_spe_process(&bereft, recv_ppe, 0).unwrap();
     let w2 = cfg.create_spe_process(&healthy_w, CP_MAIN, 1).unwrap();
     let r2 = cfg.create_spe_process(&healthy_r, recv_ppe, 1).unwrap();
-    let broken = cfg.create_channel(victim, reader).unwrap();
+    let broken = cfg.channel(victim, reader).build().unwrap();
     assert_eq!(broken.0, 0);
-    let _healthy = cfg.create_channel(w2, r2).unwrap();
+    let _healthy = cfg.channel(w2, r2).build().unwrap();
 
     let report = cfg
         .run(move |cp| {
@@ -162,7 +162,7 @@ fn copilot_stall_delays_but_preserves_delivery() {
             spe.write_slice(CpChannel(0), &[1i32, 2, 3, 4]).unwrap();
         });
         let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
-        let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+        let chan = cfg.channel(s, CP_MAIN).build().unwrap();
         cfg.run(move |cp| {
             let t = cp.run_spe(s, 0, 0).unwrap();
             assert_eq!(cp.read_vec::<i32>(chan).unwrap(), vec![1, 2, 3, 4]);
@@ -240,8 +240,8 @@ fn fault_plan_replays_identically() {
         let d = cfg.create_spe_process(&doomed, CP_MAIN, 1).unwrap();
         assert_eq!(d.0, 4, "the fault plan targets process id 4");
         let b = cfg.create_spe_process(&bereft, recv_ppe, 1).unwrap();
-        cfg.create_channel(w, r).unwrap();
-        cfg.create_channel(d, b).unwrap();
+        cfg.channel(w, r).build().unwrap();
+        cfg.channel(d, b).build().unwrap();
         cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap()
     };
 
@@ -289,8 +289,8 @@ fn ping_pong(
     });
     let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
     assert_eq!(s.0, 1, "fault plans in these tests target process id 1");
-    let data = cfg.create_channel(s, CP_MAIN).unwrap();
-    let ack = cfg.create_channel(CP_MAIN, s).unwrap();
+    let data = cfg.channel(s, CP_MAIN).build().unwrap();
+    let ack = cfg.channel(CP_MAIN, s).build().unwrap();
     let collected = Arc::new(Mutex::new(Vec::new()));
     let sink = collected.clone();
     let (report, trace) = cfg
@@ -395,7 +395,7 @@ fn restart_exhaustion_abandons_spe_and_degrades_to_peer_lost() {
         unreachable!("every attempt dies at its first write");
     });
     let s = cfg.create_spe_process(&doomed, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let chan = cfg.channel(s, CP_MAIN).build().unwrap();
     let report = cfg
         .run(move |cp| {
             let t = cp.run_spe(s, 0, 0).unwrap();

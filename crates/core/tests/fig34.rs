@@ -29,7 +29,7 @@ fn figure_3_4_type5_transfer() {
     let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
     let recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
     assert_eq!(recv_spe, cellpilot::CpProcess(3));
-    let between = cfg.create_channel(send_spe, recv_spe).unwrap();
+    let between = cfg.channel(send_spe, recv_spe).build().unwrap();
     assert_eq!(between, CpChannel(0));
 
     cfg.run(move |cp| {

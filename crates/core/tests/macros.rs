@@ -23,8 +23,8 @@ fn macros_round_trip_both_sides() {
         spe_write!(spe, CpChannel(1), "%4d", doubled);
     });
     let s = cfg.create_spe_process(&echo, CP_MAIN, 0).unwrap();
-    cfg.create_channel(CP_MAIN, s).unwrap();
-    cfg.create_channel(s, CP_MAIN).unwrap();
+    cfg.channel(CP_MAIN, s).build().unwrap();
+    cfg.channel(s, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         cp_write!(cp, CpChannel(0), "%4d", vec![1i32, 2, 3, 4]);
@@ -40,7 +40,7 @@ fn cp_write_macro_aborts_with_this_file() {
     let spec = ClusterSpec::two_cells_one_xeon();
     let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
     let a = cfg.create_process("a", 0, |_, _| {}).unwrap();
-    let _chan = cfg.create_channel(a, CP_MAIN).unwrap(); // main is the READER
+    let _chan = cfg.channel(a, CP_MAIN).build().unwrap(); // main is the READER
     match cfg.run(move |cp| {
         // Writing a channel main only reads must abort through the macro.
         cp_write!(cp, CpChannel(0), "%b", 1u8);
@@ -62,7 +62,7 @@ fn spe_read_macro_aborts_on_format_mismatch() {
         let _ = spe_read!(spe, CpChannel(0), "%4d");
     });
     let s = cfg.create_spe_process(&reader, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    let chan = cfg.channel(CP_MAIN, s).build().unwrap();
     match cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         cp_write!(cp, chan, "%4b", vec![1u8, 2, 3, 4]);
@@ -88,7 +88,7 @@ fn macro_accepts_scalars_slices_and_vecs() {
             assert_eq!(vals[2], PiValue::Byte(vec![8, 9]));
         })
         .unwrap();
-    let chan = cfg.create_channel(CP_MAIN, sink).unwrap();
+    let chan = cfg.channel(CP_MAIN, sink).build().unwrap();
     cfg.run(move |cp| {
         let doubles = [1.0f64, 2.0, 3.0];
         cp_write!(cp, chan, "%d %3lf %2b", 7i32, &doubles[..], vec![8u8, 9]);

@@ -78,8 +78,8 @@ proptest! {
         for (w, s) in specs.iter().enumerate() {
             let parent = if s.remote { host } else { CP_MAIN };
             let sp = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
-            let task = cfg.create_channel(CP_MAIN, sp).unwrap();
-            let result = cfg.create_channel(sp, CP_MAIN).unwrap();
+            let task = cfg.channel(CP_MAIN, sp).build().unwrap();
+            let result = cfg.channel(sp, CP_MAIN).build().unwrap();
             prop_assert_eq!((task.0, result.0), (2 * w, 2 * w + 1));
         }
         let specs2 = specs.clone();
@@ -140,8 +140,8 @@ proptest! {
             for w in 0..n_workers {
                 let parent = if remote { host } else { CP_MAIN };
                 let sp = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
-                cfg.create_channel(CP_MAIN, sp).unwrap();
-                cfg.create_channel(sp, CP_MAIN).unwrap();
+                cfg.channel(CP_MAIN, sp).build().unwrap();
+                cfg.channel(sp, CP_MAIN).build().unwrap();
             }
             let report = cfg
                 .run(move |cp| {

@@ -25,7 +25,7 @@ fn large_message_rendezvous_to_spe() {
         assert!(v.iter().enumerate().all(|(i, &b)| b == i as u8));
     });
     let s = cfg.create_spe_process(&reader, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    let chan = cfg.channel(CP_MAIN, s).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         let data: Vec<u8> = (0..N).map(|i| i as u8).collect();
@@ -49,7 +49,7 @@ fn large_message_rendezvous_from_spe() {
             .unwrap();
     });
     let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let chan = cfg.channel(s, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         let vals = cp.read(chan, "%*b").unwrap();
@@ -83,7 +83,7 @@ fn local_store_exhaustion_is_a_clean_error() {
             .unwrap();
     });
     let s = cfg.create_spe_process(&writer, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let chan = cfg.channel(s, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         let v = cp.read(chan, "%b").unwrap();
@@ -113,7 +113,7 @@ fn sixty_four_channels_interleaved() {
     for w in 0..WORKERS {
         let s = cfg.create_spe_process(&worker, CP_MAIN, w as i32).unwrap();
         for _ in 0..PER {
-            cfg.create_channel(s, CP_MAIN).unwrap();
+            cfg.channel(s, CP_MAIN).build().unwrap();
         }
     }
     cfg.run(move |cp| {
@@ -152,7 +152,7 @@ fn thousand_messages_sustained_type2() {
         }
     });
     let s = cfg.create_spe_process(&sink, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(CP_MAIN, s).unwrap();
+    let chan = cfg.channel(CP_MAIN, s).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(s, 0, 0).unwrap();
         for i in 0..N {
@@ -175,7 +175,7 @@ fn spe_reload_cycles() {
             .unwrap();
     });
     let s = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-    let chan = cfg.create_channel(s, CP_MAIN).unwrap();
+    let chan = cfg.channel(s, CP_MAIN).build().unwrap();
     cfg.run(move |cp| {
         for run_no in 0..10 {
             let t = cp.run_spe(s, run_no, 0).unwrap();
@@ -219,8 +219,8 @@ fn contention_models_change_timing_not_results() {
         for w in 0..W {
             let parent = if w % 2 == 0 { CP_MAIN } else { host };
             let s = cfg.create_spe_process(&echo, parent, w as i32).unwrap();
-            cfg.create_channel(CP_MAIN, s).unwrap();
-            cfg.create_channel(s, CP_MAIN).unwrap();
+            cfg.channel(CP_MAIN, s).build().unwrap();
+            cfg.channel(s, CP_MAIN).build().unwrap();
         }
         let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let out2 = out.clone();

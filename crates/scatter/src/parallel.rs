@@ -111,8 +111,8 @@ pub fn parallel_scatter_search<P: BinaryProblem>(
         let s = cfg
             .create_spe_process(&worker_prog, parent, w as i32)
             .unwrap();
-        let task = cfg.create_channel(CP_MAIN, s).unwrap();
-        let result = cfg.create_channel(s, CP_MAIN).unwrap();
+        let task = cfg.channel(CP_MAIN, s).build().unwrap();
+        let result = cfg.channel(s, CP_MAIN).build().unwrap();
         assert_eq!((task, result), (CpChannel(2 * w), CpChannel(2 * w + 1)));
         chans.push((task, result));
     }

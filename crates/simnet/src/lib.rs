@@ -13,8 +13,10 @@ mod cluster;
 pub mod faults;
 pub mod heartbeat;
 mod netcosts;
+mod window;
 
 pub use cluster::{Cluster, ClusterSpec, NodeHw, NodeId, NodeKind};
 pub use faults::{CopilotKill, FaultPlan, LinkVerdict, RetryPolicy};
 pub use heartbeat::{Heartbeat, HEARTBEAT_PERIOD, WATCHDOG_TIMEOUT};
 pub use netcosts::NetCosts;
+pub use window::{LandedPut, PutStatus, WindowCounters, WindowDesc, WindowError, WindowFabric};

@@ -87,6 +87,43 @@ pub enum HbOp {
         /// Length in bytes.
         len: u32,
     },
+    /// A one-sided `put` landed `len` bytes in the registered window of
+    /// channel `chan` — local-store bytes `[start, start + len)` of SPE
+    /// `spe` on node `node` — written remotely over the window fabric,
+    /// bypassing the reader-side relay. Doubles as the send half of a
+    /// per-channel ordering edge into the matching [`HbOp::OneSidedGet`].
+    OneSidedPut {
+        /// CellPilot channel id the window belongs to.
+        chan: u32,
+        /// Cell node id of the window.
+        node: usize,
+        /// Hardware SPE index holding the window.
+        spe: usize,
+        /// First window byte written.
+        start: u32,
+        /// Length in bytes.
+        len: u32,
+        /// Fabric put sequence number (exactly-once dedup key).
+        seq: u64,
+    },
+    /// The owning Co-Pilot took the `seq`-th landed put out of channel
+    /// `chan`'s window (local-store bytes `[start, start + len)` of SPE
+    /// `spe` on node `node`): an ordering edge from the matching
+    /// [`HbOp::OneSidedPut`] into the consumer.
+    OneSidedGet {
+        /// CellPilot channel id the window belongs to.
+        chan: u32,
+        /// Cell node id of the window.
+        node: usize,
+        /// Hardware SPE index holding the window.
+        spe: usize,
+        /// First window byte read.
+        start: u32,
+        /// Length in bytes.
+        len: u32,
+        /// Fabric put sequence number consumed.
+        seq: u64,
+    },
 }
 
 /// One recorded happens-before event.

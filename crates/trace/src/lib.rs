@@ -38,6 +38,7 @@ pub use hb::{HbEvent, HbOp};
 pub use json::Json;
 pub use metrics::{
     ChannelTypeMetrics, DesMetrics, LatencyStats, MetricsSnapshot, MpiMetrics, NetMetrics,
+    OneSidedMetrics,
 };
 pub use recorder::{Event, Phase, Recorder};
 pub use report::{gate, BenchChannelType, BenchReport, GateOutcome, SweepRow, BENCH_SCHEMA};

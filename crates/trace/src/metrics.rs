@@ -11,6 +11,7 @@ pub const CHANNEL_TYPE_COUNT: usize = 5;
 #[derive(Debug, Default)]
 pub(crate) struct MetricsState {
     pub(crate) channel: [ChannelState; CHANNEL_TYPE_COUNT],
+    pub(crate) one_sided: OneSidedState,
     pub(crate) mpi: MpiState,
     pub(crate) net: NetState,
     pub(crate) des: DesState,
@@ -24,6 +25,15 @@ pub(crate) struct ChannelState {
     pub(crate) bytes: u64,
     pub(crate) proxy_hops: u64,
     pub(crate) latencies_ns: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct OneSidedState {
+    pub(crate) puts: u64,
+    pub(crate) gets: u64,
+    pub(crate) bytes: u64,
+    pub(crate) put_latencies_ns: Vec<u64>,
+    pub(crate) get_latencies_ns: Vec<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -67,6 +77,17 @@ impl MetricsState {
                     throughput_mb_s: throughput_mb_s(c.bytes, &c.latencies_ns),
                 })
                 .collect(),
+            one_sided: OneSidedMetrics {
+                puts: self.one_sided.puts,
+                gets: self.one_sided.gets,
+                bytes: self.one_sided.bytes,
+                put_latency_us: LatencyStats::from_ns_samples(&self.one_sided.put_latencies_ns),
+                get_latency_us: LatencyStats::from_ns_samples(&self.one_sided.get_latencies_ns),
+                throughput_mb_s: throughput_mb_s(
+                    self.one_sided.bytes,
+                    &self.one_sided.put_latencies_ns,
+                ),
+            },
             mpi: MpiMetrics {
                 sends: self.mpi.sends,
                 recvs: self.mpi.recvs,
@@ -185,6 +206,54 @@ pub struct ChannelTypeMetrics {
     pub throughput_mb_s: f64,
 }
 
+/// Aggregated one-sided window-fabric counters (put/get channels).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OneSidedMetrics {
+    /// Completed one-sided `put` operations (writer side, end to end).
+    pub puts: u64,
+    /// Completed one-sided `get` deliveries (window → reader buffer).
+    pub gets: u64,
+    /// Payload bytes across all recorded puts and gets (a message counts
+    /// on both sides, mirroring the channel-type accounting).
+    pub bytes: u64,
+    /// Per-put latency order statistics, µs.
+    pub put_latency_us: LatencyStats,
+    /// Per-get latency order statistics, µs.
+    pub get_latency_us: LatencyStats,
+    /// Put payload bytes over summed put latency, MB/s.
+    pub throughput_mb_s: f64,
+}
+
+impl OneSidedMetrics {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("puts", self.puts);
+        o.set("gets", self.gets);
+        o.set("bytes", self.bytes);
+        o.set("put_latency_us", self.put_latency_us.to_json());
+        o.set("get_latency_us", self.get_latency_us.to_json());
+        o.set("throughput_mb_s", self.throughput_mb_s);
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<OneSidedMetrics, String> {
+        Ok(OneSidedMetrics {
+            puts: req_u64(j, "puts")?,
+            gets: req_u64(j, "gets")?,
+            bytes: req_u64(j, "bytes")?,
+            put_latency_us: LatencyStats::from_json(
+                j.get("put_latency_us")
+                    .ok_or("metrics: missing put_latency_us")?,
+            )?,
+            get_latency_us: LatencyStats::from_json(
+                j.get("get_latency_us")
+                    .ok_or("metrics: missing get_latency_us")?,
+            )?,
+            throughput_mb_s: req_f64(j, "throughput_mb_s")?,
+        })
+    }
+}
+
 /// Aggregated MPI-layer counters.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MpiMetrics {
@@ -231,6 +300,9 @@ pub struct DesMetrics {
 pub struct MetricsSnapshot {
     /// One entry per channel type, ordered type 1 → 5.
     pub channel_types: Vec<ChannelTypeMetrics>,
+    /// One-sided window-fabric counters; all-zero when no channel used
+    /// the one-sided path (older snapshots omit the section entirely).
+    pub one_sided: OneSidedMetrics,
     /// MPI-layer counters.
     pub mpi: MpiMetrics,
     /// Interconnect counters.
@@ -261,6 +333,7 @@ impl MetricsSnapshot {
             })
             .collect();
         o.set("channel_types", types);
+        o.set("one_sided", self.one_sided.to_json());
         let mut mpi = Json::obj();
         mpi.set("sends", self.mpi.sends);
         mpi.set("recvs", self.mpi.recvs);
@@ -308,8 +381,15 @@ impl MetricsSnapshot {
         let mpi = j.get("mpi").ok_or("metrics: missing mpi")?;
         let net = j.get("net").ok_or("metrics: missing net")?;
         let des = j.get("des").ok_or("metrics: missing des")?;
+        // Tolerate snapshots written before the one-sided fabric existed:
+        // a missing section reads back as the all-zero default.
+        let one_sided = match j.get("one_sided") {
+            Some(os) => OneSidedMetrics::from_json(os)?,
+            None => OneSidedMetrics::default(),
+        };
         Ok(MetricsSnapshot {
             channel_types,
+            one_sided,
             mpi: MpiMetrics {
                 sends: req_u64(mpi, "sends")?,
                 recvs: req_u64(mpi, "recvs")?,
@@ -410,6 +490,11 @@ mod tests {
         state.des.dispatches = 1234;
         state.des.max_queue_depth = 17;
         state.incidents.insert("copilot-failover".to_string(), 1);
+        state.one_sided.puts = 4;
+        state.one_sided.gets = 4;
+        state.one_sided.bytes = 12800;
+        state.one_sided.put_latencies_ns = vec![80_000, 81_000, 82_000, 83_000];
+        state.one_sided.get_latencies_ns = vec![5_000, 6_000, 7_000, 8_000];
         let snap = state.snapshot();
         assert_eq!(snap.channel_types.len(), CHANNEL_TYPE_COUNT);
         assert_eq!(snap.channel_types[4].chan_type, 5);
@@ -431,5 +516,21 @@ mod tests {
         let j = Json::parse("{\"channel_types\":[]}").unwrap();
         let err = MetricsSnapshot::from_json(&j).unwrap_err();
         assert!(err.contains("mpi"), "{err}");
+    }
+
+    #[test]
+    fn missing_one_sided_section_parses_as_default() {
+        // Snapshots committed before the window fabric existed have no
+        // one_sided key; they must keep parsing (BENCH_baseline.json).
+        let snap = MetricsState::default().snapshot();
+        let stripped = match snap.to_json() {
+            Json::Obj(map) => {
+                Json::Obj(map.into_iter().filter(|(k, _)| k != "one_sided").collect())
+            }
+            other => panic!("snapshot must serialize to an object, got {other:?}"),
+        };
+        assert!(stripped.get("one_sided").is_none());
+        let back = MetricsSnapshot::from_json(&stripped).unwrap();
+        assert_eq!(back.one_sided, OneSidedMetrics::default());
     }
 }

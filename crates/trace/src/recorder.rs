@@ -304,6 +304,25 @@ impl Recorder {
         inner.lock().metrics.channel[(chan_type - 1) as usize].proxy_hops += 1;
     }
 
+    /// CellPilot runtime: a completed one-sided window-fabric operation —
+    /// a `put` landing bytes in a remote window (`put == true`) or a `get`
+    /// delivering a landed put to the reader (`put == false`);
+    /// `latency_ns` is the virtual time the acting side spent inside the
+    /// operation.
+    pub fn record_one_sided_op(&self, put: bool, bytes: u64, latency_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        let os = &mut st.metrics.one_sided;
+        if put {
+            os.puts += 1;
+            os.put_latencies_ns.push(latency_ns);
+        } else {
+            os.gets += 1;
+            os.get_latencies_ns.push(latency_ns);
+        }
+        os.bytes += bytes;
+    }
+
     /// Happens-before stream: `actor` performed `op` at virtual time
     /// `ts_ns`. Consumed by the `cp-check` race detector; see
     /// [`crate::hb`] for the event model.
@@ -452,6 +471,23 @@ mod tests {
         assert_eq!(snap.channel_types[3].bytes, 3200);
         assert_eq!(snap.channel_types[3].latency_us.median, 112.0);
         assert_eq!(snap.channel_types[4].proxy_hops, 2);
+    }
+
+    #[test]
+    fn one_sided_ops_aggregate() {
+        let r = Recorder::enabled();
+        r.record_one_sided_op(true, 1600, 80_000);
+        r.record_one_sided_op(true, 1600, 82_000);
+        r.record_one_sided_op(false, 1600, 6_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.one_sided.puts, 2);
+        assert_eq!(snap.one_sided.gets, 1);
+        assert_eq!(snap.one_sided.bytes, 4800);
+        assert_eq!(snap.one_sided.put_latency_us.median, 82.0);
+        assert_eq!(snap.one_sided.get_latency_us.max, 6.0);
+        assert!(snap.one_sided.throughput_mb_s > 0.0);
+        // Disabled recorder: single-branch no-op.
+        Recorder::default().record_one_sided_op(true, 1, 1);
     }
 
     #[test]

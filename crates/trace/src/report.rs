@@ -5,7 +5,7 @@ use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
 /// Schema identifier carried by every report; bump on breaking change.
-pub const BENCH_SCHEMA: &str = "cellpilot-bench/1";
+pub const BENCH_SCHEMA: &str = "cellpilot-bench/2";
 
 /// Median one-way latency and throughput for one channel type.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +47,11 @@ pub struct BenchReport {
     /// Per-channel-type medians, ordered type 1 → 5. May be empty for
     /// reports that only carry [`BenchReport::metrics`] (e.g. chaos runs).
     pub channel_types: Vec<BenchChannelType>,
+    /// One-sided (window-fabric) ablation rows: the same channel-type
+    /// scenarios re-measured with the put/get path instead of the relay.
+    /// Empty for reports taken before the fabric existed or when the
+    /// ablation was not run; the gate only checks rows the baseline has.
+    pub one_sided: Vec<BenchChannelType>,
     /// PingPong payload sweep (may be empty).
     pub pingpong_sweep: Vec<SweepRow>,
     /// Full metrics snapshot of an instrumented run, when one was taken.
@@ -61,6 +66,7 @@ impl BenchReport {
             label: label.to_string(),
             reps,
             channel_types: Vec::new(),
+            one_sided: Vec::new(),
             pingpong_sweep: Vec::new(),
             metrics: None,
         }
@@ -72,21 +78,20 @@ impl BenchReport {
         o.set("schema", self.schema.as_str());
         o.set("label", self.label.as_str());
         o.set("reps", self.reps);
-        let types: Vec<Json> = self
-            .channel_types
-            .iter()
-            .map(|c| {
-                let mut t = Json::obj();
-                t.set("type", c.chan_type);
-                let mut lat = Json::obj();
-                lat.set("small", c.latency_us_small);
-                lat.set("large", c.latency_us_large);
-                t.set("latency_us", lat);
-                t.set("throughput_mb_s", c.throughput_mb_s);
-                t
-            })
-            .collect();
+        let row = |c: &BenchChannelType| {
+            let mut t = Json::obj();
+            t.set("type", c.chan_type);
+            let mut lat = Json::obj();
+            lat.set("small", c.latency_us_small);
+            lat.set("large", c.latency_us_large);
+            t.set("latency_us", lat);
+            t.set("throughput_mb_s", c.throughput_mb_s);
+            t
+        };
+        let types: Vec<Json> = self.channel_types.iter().map(row).collect();
         o.set("channel_types", types);
+        let one_sided: Vec<Json> = self.one_sided.iter().map(row).collect();
+        o.set("one_sided", one_sided);
         let sweep: Vec<Json> = self
             .pingpong_sweep
             .iter()
@@ -124,23 +129,32 @@ impl BenchReport {
                 "bench report: schema {schema:?} (this tool reads {BENCH_SCHEMA:?})"
             ));
         }
-        let channel_types = j
-            .get("channel_types")
-            .and_then(Json::as_arr)
-            .ok_or("bench report: missing channel_types")?
-            .iter()
-            .map(|t| {
-                let lat = t
-                    .get("latency_us")
-                    .ok_or("bench report: missing latency_us")?;
-                Ok(BenchChannelType {
-                    chan_type: field_u64(t, "type")? as u8,
-                    latency_us_small: field_f64(lat, "small")?,
-                    latency_us_large: field_f64(lat, "large")?,
-                    throughput_mb_s: field_f64(t, "throughput_mb_s")?,
+        let parse_rows = |rows: &[Json]| {
+            rows.iter()
+                .map(|t| {
+                    let lat = t
+                        .get("latency_us")
+                        .ok_or("bench report: missing latency_us")?;
+                    Ok(BenchChannelType {
+                        chan_type: field_u64(t, "type")? as u8,
+                        latency_us_small: field_f64(lat, "small")?,
+                        latency_us_large: field_f64(lat, "large")?,
+                        throughput_mb_s: field_f64(t, "throughput_mb_s")?,
+                    })
                 })
-            })
-            .collect::<Result<Vec<_>, String>>()?;
+                .collect::<Result<Vec<_>, String>>()
+        };
+        let channel_types = parse_rows(
+            j.get("channel_types")
+                .and_then(Json::as_arr)
+                .ok_or("bench report: missing channel_types")?,
+        )?;
+        // Reports written before the window fabric existed have no
+        // one_sided section; read those back as an empty ablation.
+        let one_sided = match j.get("one_sided").and_then(Json::as_arr) {
+            Some(rows) => parse_rows(rows)?,
+            None => Vec::new(),
+        };
         let pingpong_sweep = j
             .get("pingpong_sweep")
             .and_then(Json::as_arr)
@@ -168,6 +182,7 @@ impl BenchReport {
                 .to_string(),
             reps: field_u64(&j, "reps")?,
             channel_types,
+            one_sided,
             pingpong_sweep,
             metrics,
         })
@@ -204,18 +219,39 @@ impl GateOutcome {
 
 /// Compare `candidate` against `baseline`: any channel-type median latency
 /// (1-byte or 1600-byte) more than `tolerance_pct` percent *above* the
-/// baseline is a regression. Getting faster never fails the gate, and
-/// throughput is reported informationally only.
+/// baseline is a regression — in the relay rows and, when the baseline
+/// carries them, the one-sided ablation rows too. Getting faster never
+/// fails the gate, and throughput is reported informationally only.
 pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
-    for base in &baseline.channel_types {
-        let Some(cand) = candidate
-            .channel_types
-            .iter()
-            .find(|c| c.chan_type == base.chan_type)
-        else {
+    gate_rows(
+        &mut out,
+        "type",
+        &baseline.channel_types,
+        &candidate.channel_types,
+        tolerance_pct,
+    );
+    gate_rows(
+        &mut out,
+        "one-sided type",
+        &baseline.one_sided,
+        &candidate.one_sided,
+        tolerance_pct,
+    );
+    out
+}
+
+fn gate_rows(
+    out: &mut GateOutcome,
+    prefix: &str,
+    baseline: &[BenchChannelType],
+    candidate: &[BenchChannelType],
+    tolerance_pct: f64,
+) {
+    for base in baseline {
+        let Some(cand) = candidate.iter().find(|c| c.chan_type == base.chan_type) else {
             out.regressions.push(format!(
-                "type {}: missing from candidate report",
+                "{prefix} {}: missing from candidate report",
                 base.chan_type
             ));
             continue;
@@ -226,7 +262,7 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64)
         ] {
             let delta_pct = if b > 0.0 { (c / b - 1.0) * 100.0 } else { 0.0 };
             let line = format!(
-                "type {} {:>5} median: {:>8.2} -> {:>8.2} us ({:+.1}%)",
+                "{prefix} {} {:>5} median: {:>8.2} -> {:>8.2} us ({:+.1}%)",
                 base.chan_type, name, b, c, delta_pct
             );
             if delta_pct > tolerance_pct {
@@ -236,11 +272,10 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64)
             out.lines.push(line);
         }
         out.lines.push(format!(
-            "type {} throughput:   {:>8.2} -> {:>8.2} MB/s",
+            "{prefix} {} throughput:   {:>8.2} -> {:>8.2} MB/s",
             base.chan_type, base.throughput_mb_s, cand.throughput_mb_s
         ));
     }
-    out
 }
 
 #[cfg(test)]
@@ -271,8 +306,27 @@ mod tests {
     fn report_round_trips_through_json() {
         let mut r = sample_report();
         r.metrics = Some(MetricsSnapshot::default());
+        r.one_sided = vec![BenchChannelType {
+            chan_type: 5,
+            latency_us_small: 70.0,
+            latency_us_large: 110.0,
+            throughput_mb_s: 14.5,
+        }];
         let back = BenchReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_without_one_sided_section_parses_as_empty() {
+        // A pre-fabric BENCH_*.json has no one_sided key at all.
+        let stripped = match sample_report().to_json() {
+            Json::Obj(map) => {
+                Json::Obj(map.into_iter().filter(|(k, _)| k != "one_sided").collect())
+            }
+            other => panic!("report must serialize to an object, got {other:?}"),
+        };
+        let back = BenchReport::parse(&stripped.to_pretty()).unwrap();
+        assert!(back.one_sided.is_empty());
     }
 
     #[test]
@@ -292,6 +346,43 @@ mod tests {
         cand.channel_types[0].latency_us_large *= 0.5; // faster is fine
         let outcome = gate(&base, &cand, 20.0);
         assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.lines.len(), 15);
+    }
+
+    #[test]
+    fn gate_checks_one_sided_rows_when_baseline_has_them() {
+        let one_sided_row = BenchChannelType {
+            chan_type: 5,
+            latency_us_small: 70.0,
+            latency_us_large: 110.0,
+            throughput_mb_s: 14.5,
+        };
+        let mut base = sample_report();
+        base.one_sided = vec![one_sided_row.clone()];
+        // Candidate regresses the one-sided large-message latency by 30%.
+        let mut cand = sample_report();
+        cand.one_sided = vec![BenchChannelType {
+            latency_us_large: 143.0,
+            ..one_sided_row.clone()
+        }];
+        let outcome = gate(&base, &cand, 20.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.lines.len(), 18);
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("one-sided type 5") && r.contains("1600B")));
+        // A candidate with no one-sided section at all is a regression...
+        let outcome = gate(&base, &sample_report(), 20.0);
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("one-sided type 5") && r.contains("missing")));
+        // ...but a baseline without one is gated on relay rows only.
+        let mut cand = sample_report();
+        cand.one_sided = vec![one_sided_row];
+        let outcome = gate(&sample_report(), &cand, 20.0);
+        assert!(outcome.passed());
         assert_eq!(outcome.lines.len(), 15);
     }
 

@@ -165,13 +165,13 @@ fn main() {
         result: Vec::new(),
     };
     for w in 1..WORKERS {
-        lay.to_left[w] = Some(cfg.create_channel(spes[w], spes[w - 1]).unwrap());
+        lay.to_left[w] = Some(cfg.channel(spes[w], spes[w - 1]).build().unwrap());
     }
     for w in 0..WORKERS - 1 {
-        lay.to_right[w] = Some(cfg.create_channel(spes[w], spes[w + 1]).unwrap());
+        lay.to_right[w] = Some(cfg.channel(spes[w], spes[w + 1]).build().unwrap());
     }
     for &spe in &spes {
-        lay.result.push(cfg.create_channel(spe, CP_MAIN).unwrap());
+        lay.result.push(cfg.channel(spe, CP_MAIN).build().unwrap());
     }
     // The w=3 / w=4 halo channels cross the two Cell nodes.
     println!(

@@ -85,8 +85,8 @@ fn main() {
     for w in 0..WORKERS {
         let parent = if w < WORKERS / 2 { CP_MAIN } else { host };
         let s = cfg.create_spe_process(&worker, parent, w as i32).unwrap();
-        let task = cfg.create_channel(CP_MAIN, s).unwrap();
-        let result = cfg.create_channel(s, CP_MAIN).unwrap();
+        let task = cfg.channel(CP_MAIN, s).build().unwrap();
+        let result = cfg.channel(s, CP_MAIN).build().unwrap();
         chans.push((task, result));
     }
 

@@ -127,8 +127,8 @@ fn main() {
 
     let p = cfg.create_spe_process(&producer, CP_MAIN, 0).unwrap();
     let w = cfg.create_spe_process(&worker, CP_MAIN, 1).unwrap();
-    cfg.create_channel(p, w).unwrap();
-    cfg.create_channel(w, CP_MAIN).unwrap();
+    cfg.channel(p, w).build().unwrap();
+    cfg.channel(w, CP_MAIN).build().unwrap();
 
     let report = cfg
         .run(move |cp| {

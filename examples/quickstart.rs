@@ -44,7 +44,7 @@ fn main() {
         .unwrap();
     let send_spe = cfg.create_spe_process(&spe_send, CP_MAIN, 0).unwrap();
     let recv_spe = cfg.create_spe_process(&spe_recv, recv_ppe, 0).unwrap();
-    let between_spes = cfg.create_channel(send_spe, recv_spe).unwrap();
+    let between_spes = cfg.channel(send_spe, recv_spe).build().unwrap();
     println!(
         "channel 'betweenSPEs' classified as {} (paper Table I)",
         cfg.channel_kind(between_spes).unwrap()

@@ -49,7 +49,7 @@ fn main() {
         (1, (CP_MAIN, far_ppe)),
         (2, (far_ppe, sink_spe)),
     ] {
-        let chan = cfg.create_channel(from, to).unwrap();
+        let chan = cfg.channel(from, to).build().unwrap();
         assert_eq!(chan.0, c);
         println!(
             "hop {} is a {} channel",

@@ -69,8 +69,8 @@ fn main() {
     for w in 0..WORKERS {
         let parent = if w < WORKERS / 2 { CP_MAIN } else { host };
         let s = cfg.create_spe_process(&worker, parent, w as i32).unwrap();
-        task_chans.push(cfg.create_channel(CP_MAIN, s).unwrap());
-        result_chans.push(cfg.create_channel(s, CP_MAIN).unwrap());
+        task_chans.push(cfg.channel(CP_MAIN, s).build().unwrap());
+        result_chans.push(cfg.channel(s, CP_MAIN).build().unwrap());
     }
     let bcast = cfg
         .create_bundle(CpBundleUsage::Broadcast, &task_chans)

@@ -116,8 +116,8 @@ fn golden_trace_type1_rank_to_rank() {
                 cp.write_slice(CpChannel(1), &v).unwrap();
             })
             .unwrap();
-        let out = cfg.create_channel(CP_MAIN, worker).unwrap();
-        let back = cfg.create_channel(worker, CP_MAIN).unwrap();
+        let out = cfg.channel(CP_MAIN, worker).build().unwrap();
+        let back = cfg.channel(worker, CP_MAIN).build().unwrap();
         assert_eq!(cfg.channel_kind(out).unwrap(), ChannelKind::Type1);
         let (_r, t) = cfg
             .run_traced(move |cp| {
@@ -140,8 +140,8 @@ fn golden_trace_type2_rank_to_local_spe() {
             spe.write_slice(CpChannel(1), &v).unwrap();
         });
         let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-        let to_spe = cfg.create_channel(CP_MAIN, spe).unwrap();
-        let back = cfg.create_channel(spe, CP_MAIN).unwrap();
+        let to_spe = cfg.channel(CP_MAIN, spe).build().unwrap();
+        let back = cfg.channel(spe, CP_MAIN).build().unwrap();
         assert_eq!(cfg.channel_kind(to_spe).unwrap(), ChannelKind::Type2);
         let (_r, t) = cfg
             .run_traced(move |cp| {
@@ -171,8 +171,8 @@ fn golden_trace_type3_rank_to_remote_spe() {
             })
             .unwrap();
         let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-        let out = cfg.create_channel(spe, worker).unwrap();
-        let _back = cfg.create_channel(worker, spe).unwrap();
+        let out = cfg.channel(spe, worker).build().unwrap();
+        let _back = cfg.channel(worker, spe).build().unwrap();
         assert_eq!(cfg.channel_kind(out).unwrap(), ChannelKind::Type3);
         let (_r, t) = cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap();
         render_trace(&t)
@@ -195,8 +195,8 @@ fn golden_trace_type4_spe_to_local_spe() {
         });
         let pa = cfg.create_spe_process(&a, CP_MAIN, 0).unwrap();
         let pb = cfg.create_spe_process(&b, CP_MAIN, 0).unwrap();
-        let ab = cfg.create_channel(pa, pb).unwrap();
-        let _ba = cfg.create_channel(pb, pa).unwrap();
+        let ab = cfg.channel(pa, pb).build().unwrap();
+        let _ba = cfg.channel(pb, pa).build().unwrap();
         assert_eq!(cfg.channel_kind(ab).unwrap(), ChannelKind::Type4);
         let (_r, t) = cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap();
         render_trace(&t)
@@ -221,8 +221,8 @@ fn golden_trace_type5_spe_to_remote_spe() {
             .unwrap();
         let px = cfg.create_spe_process(&x, CP_MAIN, 0).unwrap();
         let py = cfg.create_spe_process(&y, parent, 0).unwrap();
-        let xy = cfg.create_channel(px, py).unwrap();
-        let _yx = cfg.create_channel(py, px).unwrap();
+        let xy = cfg.channel(px, py).build().unwrap();
+        let _yx = cfg.channel(py, px).build().unwrap();
         assert_eq!(cfg.channel_kind(xy).unwrap(), ChannelKind::Type5);
         let (_r, t) = cfg.run_traced(move |cp| cp.run_and_wait_my_spes()).unwrap();
         render_trace(&t)

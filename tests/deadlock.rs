@@ -38,8 +38,8 @@ fn type2_rank_spe_same_node_cycle_aborts() {
             spe.write_slice(CpChannel(1), &[1i32]).unwrap();
         });
         let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-        let to_spe = cfg.create_channel(CP_MAIN, spe).unwrap();
-        let to_main = cfg.create_channel(spe, CP_MAIN).unwrap();
+        let to_spe = cfg.channel(CP_MAIN, spe).build().unwrap();
+        let to_main = cfg.channel(spe, CP_MAIN).build().unwrap();
         assert_eq!(cfg.channel_kind(to_spe).unwrap(), ChannelKind::Type2);
         cfg.run(move |cp| {
             let t = cp.run_spe(spe, 0, 0).unwrap();
@@ -81,8 +81,8 @@ fn type3_rank_remote_spe_cycle_aborts() {
             })
             .unwrap();
         let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-        let to_spe = cfg.create_channel(worker, spe).unwrap();
-        let _to_worker = cfg.create_channel(spe, worker).unwrap();
+        let to_spe = cfg.channel(worker, spe).build().unwrap();
+        let _to_worker = cfg.channel(spe, worker).build().unwrap();
         assert_eq!(cfg.channel_kind(to_spe).unwrap(), ChannelKind::Type3);
         cfg.run(move |cp| {
             let t = cp.run_spe(spe, 0, 0).unwrap();
@@ -114,8 +114,8 @@ fn type4_spe_spe_same_node_cycle_aborts() {
         });
         let pa = cfg.create_spe_process(&a, CP_MAIN, 0).unwrap();
         let pb = cfg.create_spe_process(&b, CP_MAIN, 0).unwrap();
-        let ab = cfg.create_channel(pa, pb).unwrap();
-        let _ba = cfg.create_channel(pb, pa).unwrap();
+        let ab = cfg.channel(pa, pb).build().unwrap();
+        let _ba = cfg.channel(pb, pa).build().unwrap();
         assert_eq!(cfg.channel_kind(ab).unwrap(), ChannelKind::Type4);
         cfg.run(move |cp| cp.run_and_wait_my_spes()).map(|_| ())
     });
@@ -148,8 +148,8 @@ fn type5_remote_spe_cycle_aborts_naming_full_chain() {
             .unwrap();
         let px = cfg.create_spe_process(&x, CP_MAIN, 0).unwrap();
         let py = cfg.create_spe_process(&y, parent, 0).unwrap();
-        let xy = cfg.create_channel(px, py).unwrap();
-        let _yx = cfg.create_channel(py, px).unwrap();
+        let xy = cfg.channel(px, py).build().unwrap();
+        let _yx = cfg.channel(py, px).build().unwrap();
         assert_eq!(cfg.channel_kind(xy).unwrap(), ChannelKind::Type5);
         cfg.run(move |cp| cp.run_and_wait_my_spes()).map(|_| ())
     });
@@ -176,8 +176,8 @@ fn slow_writer_within_grace_is_not_a_deadlock() {
         assert_eq!(v, vec![8]);
     });
     let spe = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
-    let to_main = cfg.create_channel(spe, CP_MAIN).unwrap();
-    let to_spe = cfg.create_channel(CP_MAIN, spe).unwrap();
+    let to_main = cfg.channel(spe, CP_MAIN).build().unwrap();
+    let to_spe = cfg.channel(CP_MAIN, spe).build().unwrap();
     cfg.run(move |cp| {
         let t = cp.run_spe(spe, 0, 0).unwrap();
         let v = cp.read_vec::<i32>(to_main).unwrap();

@@ -67,12 +67,12 @@ fn run_cluster_app() -> (i64, u64) {
     // One worker SPE per Cell node; channels 2i (task) / 2i+1 (result).
     for (i, &host) in hosts.iter().enumerate() {
         let s = cfg.create_spe_process(&worker, host, i as i32).unwrap();
-        let t = cfg.create_channel(CP_MAIN, s).unwrap();
-        let r = cfg.create_channel(s, CP_MAIN).unwrap();
+        let t = cfg.channel(CP_MAIN, s).build().unwrap();
+        let r = cfg.channel(s, CP_MAIN).build().unwrap();
         assert_eq!((t.0, r.0), (2 * i, 2 * i + 1));
     }
-    let to_xeon = cfg.create_channel(CP_MAIN, xeon).unwrap();
-    let from_xeon = cfg.create_channel(xeon, CP_MAIN).unwrap();
+    let to_xeon = cfg.channel(CP_MAIN, xeon).build().unwrap();
+    let from_xeon = cfg.channel(xeon, CP_MAIN).build().unwrap();
     assert_eq!((to_xeon.0, from_xeon.0), (16, 17));
 
     // A type-4 + type-5 pipeline: stage1 (blade 0) -> stage2 (blade 0) ->
@@ -101,9 +101,9 @@ fn run_cluster_app() -> (i64, u64) {
     let s2 = cfg.create_spe_process(&stage2, CP_MAIN, 101).unwrap();
     let s3 = cfg.create_spe_process(&stage3, hosts[1], 102).unwrap();
     use cellpilot::ChannelKind;
-    let c18 = cfg.create_channel(s1, s2).unwrap();
-    let c19 = cfg.create_channel(s2, s3).unwrap();
-    let c20 = cfg.create_channel(s3, CP_MAIN).unwrap();
+    let c18 = cfg.channel(s1, s2).build().unwrap();
+    let c19 = cfg.channel(s2, s3).build().unwrap();
+    let c20 = cfg.channel(s3, CP_MAIN).build().unwrap();
     assert_eq!(cfg.channel_kind(c18), Some(ChannelKind::Type4));
     assert_eq!(cfg.channel_kind(c19), Some(ChannelKind::Type5));
     assert_eq!(cfg.channel_kind(c20), Some(ChannelKind::Type3));

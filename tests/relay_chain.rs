@@ -64,7 +64,7 @@ fn seven_hop_chain_across_all_kinds() {
         (ppe1, CP_MAIN, ChannelKind::Type1),
     ];
     for (i, &(from, to, kind)) in hops.iter().enumerate() {
-        let c = cfg.create_channel(from, to).unwrap();
+        let c = cfg.channel(from, to).build().unwrap();
         assert_eq!(c.0, i);
         assert_eq!(cfg.channel_kind(c), Some(kind), "hop {i}");
     }
@@ -103,9 +103,9 @@ fn chain_is_deterministic_end_to_end() {
             })
             .unwrap();
         let s = cfg.create_spe_process(&spe, ppe, 0).unwrap();
-        cfg.create_channel(CP_MAIN, ppe).unwrap();
-        cfg.create_channel(ppe, s).unwrap();
-        cfg.create_channel(s, CP_MAIN).unwrap();
+        cfg.channel(CP_MAIN, ppe).build().unwrap();
+        cfg.channel(ppe, s).build().unwrap();
+        cfg.channel(s, CP_MAIN).build().unwrap();
         cfg.run(move |cp| {
             cp.write(CpChannel(0), "%4ld", &[PiValue::Int64(vec![1, 2, 3, 4])])
                 .unwrap();
