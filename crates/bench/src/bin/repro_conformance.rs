@@ -1,0 +1,104 @@
+//! Cross-backend conformance sweep for CI: run `--seeds N` seeded wiring
+//! plans (see `cellpilot::conformance`) on the sim backend (the oracle)
+//! and the native threads backend, diff every observable, and report the
+//! native backend's wall-clock event/message rates as an informational
+//! BENCH section.
+//!
+//! Usage: `repro_conformance [--seeds N] [--out DIR]`
+//!
+//! Exit contract (mirrors `repro_check`): 0 when every seed agrees, 3 on
+//! any divergence — with a replayable artifact written per diverging seed
+//! (`conformance_seed_<seed>.txt` under `--out`, default `.`) carrying the
+//! plan and both observation dumps — and 2 on usage errors.
+
+use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag};
+use cp_trace::{BenchReport, NativeRates, Recorder};
+
+use cellpilot::conformance::{diff, run_plan, run_plan_traced, WiringPlan};
+use cellpilot::Backend;
+
+const USAGE: &str = "repro_conformance [--seeds N] [--out DIR]";
+
+fn main() {
+    let mut seeds = 8u64;
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => seeds = parse_int_flag(USAGE, "--seeds", args.next(), 1, 4096),
+            "--out" => out_dir = parse_str_flag(USAGE, "--out", args.next()),
+            other => unknown_flag(USAGE, other),
+        }
+    }
+
+    println!("cross-backend conformance — {seeds} seeded wiring plans, sim is the oracle\n");
+
+    let mut divergences = 0usize;
+    let mut native_wall = std::time::Duration::ZERO;
+    let mut native_events = 0u64;
+    let mut native_msgs = 0u64;
+
+    for seed in 0..seeds {
+        let plan = WiringPlan::from_seed(seed);
+        let oracle = run_plan(&plan, Backend::Sim);
+
+        let recorder = Recorder::enabled();
+        let t0 = std::time::Instant::now();
+        let candidate = run_plan_traced(&plan, Backend::Native, recorder.clone());
+        native_wall += t0.elapsed();
+        let snap = recorder.snapshot();
+        native_events += snap.des.dispatches;
+        native_msgs += snap.channel_types.iter().map(|c| c.writes).sum::<u64>();
+
+        match diff(&oracle, &candidate) {
+            None => {
+                let chans = oracle.payloads.len();
+                println!(
+                    "seed {seed:>4}: agree ({} targets, {chans} observed channels)",
+                    plan.targets.len()
+                );
+            }
+            Some(why) => {
+                divergences += 1;
+                println!("seed {seed:>4}: DIVERGED — {why}");
+                let artifact = format!(
+                    "replay: WiringPlan::from_seed({seed})\n\nplan: {plan:#?}\n\n\
+                     --- sim (oracle) ---\n{oracle}\n--- native (candidate) ---\n{candidate}\n\
+                     --- divergence ---\n{why}\n"
+                );
+                let path = format!("{out_dir}/conformance_seed_{seed}.txt");
+                match std::fs::write(&path, artifact) {
+                    Ok(()) => eprintln!("  artifact written to {path}"),
+                    Err(e) => eprintln!("  could not write artifact {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    // Informational BENCH section: how fast the native backend replays the
+    // sweep in wall-clock terms. The perf gate ignores it.
+    let wall_s = native_wall.as_secs_f64().max(1e-9);
+    let rates = NativeRates {
+        wall_ms: native_wall.as_secs_f64() * 1e3,
+        events_per_sec: native_events as f64 / wall_s,
+        msgs_per_sec: native_msgs as f64 / wall_s,
+    };
+    println!("\nnative backend rates over the sweep:");
+    println!("  wall time     : {:>10.2} ms", rates.wall_ms);
+    println!("  events/sec    : {:>10.0}", rates.events_per_sec);
+    println!("  messages/sec  : {:>10.0}", rates.msgs_per_sec);
+    let mut report = BenchReport::new("conformance", seeds);
+    report.native_rates = Some(rates);
+    let path = format!("{out_dir}/BENCH_conformance.json");
+    match std::fs::write(&path, report.to_json_string()) {
+        Ok(()) => println!("  report        : {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+
+    if divergences == 0 {
+        println!("\nverdict: all {seeds} seeds agree");
+        std::process::exit(0);
+    }
+    println!("\nverdict: {divergences} seed(s) diverged");
+    std::process::exit(3);
+}

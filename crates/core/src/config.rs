@@ -20,8 +20,9 @@ use crate::runtime::{AppShared, CellPilot};
 use crate::tables::{
     CpBundleEntry, CpBundleUsage, CpChanEntry, CpProcEntry, CpTables, NodeShared, ProcKind,
 };
-use cp_des::{Incident, IncidentCategory, SimDuration, SimError, SimReport, Simulation};
+use cp_des::{Backend, Incident, IncidentCategory, SimDuration, SimError, SimReport};
 use cp_mpisim::{MpiCosts, MpiWorld};
+use cp_native::Runner;
 use cp_pilot::PilotCosts;
 use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
 use cp_trace::Recorder;
@@ -95,6 +96,15 @@ pub struct CellPilotOpts {
     /// ([`cp_des::SimError::Aborted`] naming every finding) instead of
     /// incidents. Implies [`CellPilotOpts::checks`].
     pub strict_checks: bool,
+    /// Execution substrate: the deterministic DES kernel
+    /// ([`Backend::Sim`], the default) or free-running OS threads
+    /// ([`Backend::Native`]). The program body and the configure-time
+    /// wiring verifier are identical on both. Native rejects fault plans
+    /// and supervision (their faults are scripted in virtual time) and
+    /// ignores `schedule_seed`; the CP101 DMA race detector is likewise
+    /// sim-only — its happens-before timestamps are only meaningful under
+    /// the virtual clock.
+    pub backend: Backend,
 }
 
 impl CellPilotOpts {
@@ -175,6 +185,21 @@ impl CellPilotOpts {
         self.strict_checks = true;
         self
     }
+
+    /// Select the execution substrate (see [`CellPilotOpts::backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> CellPilotOpts {
+        self.backend = backend;
+        self
+    }
+
+    /// Select the substrate from the `CP_BACKEND` environment variable
+    /// (`native` selects OS threads; anything else, or unset, the sim) —
+    /// how the conformance harness runs one example binary on both
+    /// backends without recompiling.
+    pub fn with_backend_from_env(mut self) -> CellPilotOpts {
+        self.backend = Backend::from_env();
+        self
+    }
 }
 
 /// How the runtime reacts when a supervised SPE work function crashes
@@ -204,6 +229,29 @@ impl Default for SupervisionPolicy {
             max_restarts: 2,
             restart_delay: SimDuration::from_micros(50),
         }
+    }
+}
+
+/// Emit a deprecation note for `api` on stderr — once per process, not per
+/// call site. Large test suites hit the deprecated shims hundreds of times;
+/// one line per API is signal, 153 copies is noise.
+fn deprecation_note(api: &'static str, hint: &str) {
+    if deprecation_note_should_emit(api) {
+        eprintln!("cellpilot: `{api}` is deprecated: {hint}");
+    }
+}
+
+/// Whether `api`'s once-per-process deprecation note is still unsent
+/// (consuming the send). Split from [`deprecation_note`] so the
+/// once-semantics are unit-testable without capturing stderr.
+fn deprecation_note_should_emit(api: &'static str) -> bool {
+    static EMITTED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut emitted = EMITTED.lock();
+    if emitted.contains(&api) {
+        false
+    } else {
+        emitted.push(api);
+        true
     }
 }
 
@@ -347,6 +395,31 @@ impl CellPilotConfig {
         note = "use the ChannelBuilder: `cfg.channel(from, to).build()`"
     )]
     pub fn create_channel(&mut self, from: CpProcess, to: CpProcess) -> Result<CpChannel, CpError> {
+        deprecation_note(
+            "create_channel",
+            "use the ChannelBuilder: `cfg.channel(from, to).build()`",
+        );
+        self.channel(from, to).build()
+    }
+
+    /// `PI_CreateChannel` with a legacy buffer-size hint. The rendezvous
+    /// relay does not buffer, so `len` is accepted and ignored.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the relay does not buffer; use `cfg.channel(from, to).build()`, or \
+                `.one_sided().window_at(..)` to size a real window"
+    )]
+    pub fn create_channel_sized(
+        &mut self,
+        from: CpProcess,
+        to: CpProcess,
+        _len: usize,
+    ) -> Result<CpChannel, CpError> {
+        deprecation_note(
+            "create_channel_sized",
+            "the relay does not buffer; use `cfg.channel(from, to).build()`, or \
+             `.one_sided().window_at(..)` to size a real window",
+        );
         self.channel(from, to).build()
     }
 
@@ -651,6 +724,18 @@ impl CellPilotConfig {
                 message: cp_check::render(&lints),
             });
         }
+        if self.opts.backend == Backend::Native
+            && (self.opts.faults.is_some() || self.opts.supervision.is_some())
+        {
+            return Err(SimError::Aborted {
+                pid: 0,
+                name: "cellpilot-config".into(),
+                message: "fault injection and supervision are sim-only: fault plans script \
+                          virtual-time events the native backend has no clock for \
+                          (run with Backend::Sim)"
+                    .into(),
+            });
+        }
         let CellPilotConfig {
             spec,
             mut placement,
@@ -760,7 +845,7 @@ impl CellPilotConfig {
             opts.retry,
         );
         world.set_recorder(opts.tracing.clone());
-        let mut sim = Simulation::new();
+        let mut sim = Runner::for_backend(opts.backend);
         sim.set_schedule_seed(opts.schedule_seed);
         sim.set_recorder(opts.tracing.clone());
         // Application rank processes.
@@ -825,8 +910,10 @@ impl CellPilotConfig {
         let mut report = sim.run()?;
         // Post-run race analysis over the recorded happens-before stream.
         // Races never abort, even in strict mode: they are findings about
-        // the run that just completed.
-        if hb_rec.is_enabled() {
+        // the run that just completed. Sim-only (CP101): the detector
+        // orders accesses by virtual timestamps, which the native backend
+        // does not have — wall-clock stamps would fabricate orderings.
+        if hb_rec.is_enabled() && opts.backend == Backend::Sim {
             for d in cp_check::detect_races(&hb_rec.hb_events()) {
                 report.incidents.push(Incident {
                     at: report.end_time,
@@ -883,6 +970,22 @@ impl ChannelBuilder<'_> {
     }
 
     /// Validate and register the channel.
+    ///
+    /// Consumes the builder, so a declaration cannot be registered twice
+    /// — build-after-build is a compile error, not a runtime one:
+    ///
+    /// ```compile_fail
+    /// # use cellpilot::{CellPilotConfig, CellPilotOpts, CP_MAIN};
+    /// # use cp_simnet::ClusterSpec;
+    /// let mut cfg = CellPilotConfig::one_rank_per_node(
+    ///     ClusterSpec::two_cells_one_xeon(),
+    ///     CellPilotOpts::default(),
+    /// );
+    /// let peer = cfg.create_process("peer", 0, |_, _| {}).unwrap();
+    /// let b = cfg.channel(CP_MAIN, peer);
+    /// let first = b.build();
+    /// let second = b.build(); // error: use of moved value `b`
+    /// ```
     pub fn build(self) -> Result<CpChannel, CpError> {
         self.cfg
             .finish_channel(self.from, self.to, self.mode, self.window)
@@ -938,6 +1041,30 @@ mod tests {
             ClusterSpec::two_cells_one_xeon(),
             CellPilotOpts::default(),
         )
+    }
+
+    #[test]
+    fn deprecation_notes_emit_once_per_process_per_api() {
+        // First sighting of each API name emits; every later call — from
+        // any config in the process — is silent. (The note itself goes to
+        // stderr via `deprecation_note`; the predicate is what's testable.)
+        assert!(deprecation_note_should_emit("test-api-alpha"));
+        assert!(!deprecation_note_should_emit("test-api-alpha"));
+        assert!(deprecation_note_should_emit("test-api-beta"));
+        assert!(!deprecation_note_should_emit("test-api-beta"));
+        assert!(!deprecation_note_should_emit("test-api-alpha"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_build_working_channels() {
+        let mut c = cfg();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        let a = c.create_channel(crate::CP_MAIN, ppe1).unwrap();
+        // `create_channel_sized`'s length hint is ignored: the relay does
+        // not buffer, so it must behave exactly like `create_channel`.
+        let b = c.create_channel_sized(ppe1, crate::CP_MAIN, 4096).unwrap();
+        assert_eq!((a, b), (CpChannel(0), CpChannel(1)));
     }
 
     #[test]
@@ -1054,6 +1181,38 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.channel_mode(ch), Some(ChannelMode::OneSided));
+    }
+
+    #[test]
+    fn builder_negative_paths_have_stable_error_kinds() {
+        // Downstream code dispatches on `CpError::kind()`, not the variant
+        // — every builder misuse must keep classifying as Config.
+        let mut c = cfg();
+        let prog = SpeProgram::new("w", 1024, |_, _, _| {});
+        let s = c.create_spe_process(&prog, crate::CP_MAIN, 0).unwrap();
+        let ppe1 = c.create_process("ppe1", 0, |_, _| {}).unwrap();
+        let cases: [Result<CpChannel, CpError>; 3] = [
+            // one-sided with a rank-resident reader
+            c.channel(s, ppe1).one_sided().build(),
+            // window placement on a rendezvous channel
+            c.channel(crate::CP_MAIN, s).window_at(0, 256).build(),
+            // zero-length window
+            c.channel(crate::CP_MAIN, s)
+                .one_sided()
+                .window_at(0, 0)
+                .build(),
+        ];
+        for (i, case) in cases.into_iter().enumerate() {
+            let err = case.expect_err("case {i} must be rejected");
+            assert!(
+                matches!(err, CpError::WindowMisuse { .. }),
+                "case {i}: expected WindowMisuse, got {err:?}"
+            );
+            assert_eq!(err.kind(), crate::ErrorKind::Config, "case {i}");
+        }
+        // Misuse does not consume a channel id: the next declaration still
+        // gets id 0.
+        assert_eq!(c.channel(crate::CP_MAIN, s).build().unwrap(), CpChannel(0));
     }
 
     #[test]

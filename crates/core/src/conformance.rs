@@ -1,0 +1,397 @@
+//! Cross-backend conformance harness: seeded random wiring plans whose
+//! observable behaviour must be identical on the DES simulator and the
+//! native threads backend.
+//!
+//! The simulator is the oracle — it is deterministic, its golden traces are
+//! pinned, and its semantics define the library. The native backend
+//! ([`Backend::Native`]) must *agree on every observable*: per-channel
+//! payload FIFOs, incident categories, outcome, and process census. What it
+//! legitimately differs on — wall-clock timestamps, dispatch counts, thread
+//! interleavings between independent channels — is exactly what
+//! [`Observed`] does not record.
+//!
+//! Used by `tests/conformance.rs` (proptest over seeds) and the
+//! `repro_conformance` bench binary (fixed seed sweep for CI, with
+//! divergence artifacts). Both share [`WiringPlan::from_seed`] so a failing
+//! seed reported by either is replayable in the other.
+
+use crate::config::{CellPilotConfig, CellPilotOpts};
+use crate::location::{CpChannel, CpProcess, CP_MAIN};
+use crate::program::SpeProgram;
+use cp_des::Backend;
+use cp_simnet::ClusterSpec;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// What one conformance target does with the payloads main sends it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// A rank process that echoes each payload back (ping-pong: two
+    /// channels, strict alternation).
+    RankEcho,
+    /// A rank process that only consumes (burst: messages queue in its
+    /// mailbox, FIFO order is the observable).
+    RankSink,
+    /// An SPE process that echoes each payload back through its Co-Pilot.
+    SpeEcho,
+    /// An SPE process that only consumes.
+    SpeSink,
+}
+
+/// One spoke of the star: a peer process, its channel(s) from/to main, and
+/// the payload schedule.
+#[derive(Debug, Clone)]
+pub struct TargetPlan {
+    /// What the peer does.
+    pub kind: TargetKind,
+    /// Carry the inbound channel over the one-sided window fabric instead
+    /// of the Co-Pilot relay (SPE targets only — one-sided readers must be
+    /// SPE-resident).
+    pub one_sided: bool,
+    /// The payloads main writes, in order.
+    pub msgs: Vec<Vec<i32>>,
+}
+
+/// A seeded random wiring graph: main plus 1–4 peers, mixed rank/SPE
+/// endpoints, mixed rendezvous/one-sided transports, seeded payloads.
+#[derive(Debug, Clone)]
+pub struct WiringPlan {
+    /// The generating seed ([`WiringPlan::from_seed`]) — quote it to replay.
+    pub seed: u64,
+    /// The spokes, in channel-declaration order.
+    pub targets: Vec<TargetPlan>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl WiringPlan {
+    /// Derive a plan deterministically from `seed`. The same seed always
+    /// yields the same plan, on any host — the replay contract divergence
+    /// reports depend on.
+    pub fn from_seed(seed: u64) -> WiringPlan {
+        let mut s = seed ^ 0xc0ff_ee11_d00d_f00d;
+        let n_targets = 1 + (splitmix64(&mut s) % 4) as usize;
+        let mut rank_left = 2; // app ranks 1 and 2 on two_cells_one_xeon
+        let mut targets = Vec::with_capacity(n_targets);
+        for _ in 0..n_targets {
+            let roll = splitmix64(&mut s) % 4;
+            let kind = match roll {
+                0 if rank_left > 0 => TargetKind::RankEcho,
+                1 if rank_left > 0 => TargetKind::RankSink,
+                2 => TargetKind::SpeEcho,
+                _ => TargetKind::SpeSink,
+            };
+            if matches!(kind, TargetKind::RankEcho | TargetKind::RankSink) {
+                rank_left -= 1;
+            }
+            let one_sided = matches!(kind, TargetKind::SpeEcho | TargetKind::SpeSink)
+                && splitmix64(&mut s).is_multiple_of(2);
+            let n_msgs = 1 + (splitmix64(&mut s) % 3) as usize;
+            let msgs = (0..n_msgs)
+                .map(|_| {
+                    let len = 1 + (splitmix64(&mut s) % 6) as usize;
+                    (0..len).map(|_| splitmix64(&mut s) as i32).collect()
+                })
+                .collect();
+            targets.push(TargetPlan {
+                kind,
+                one_sided,
+                msgs,
+            });
+        }
+        WiringPlan { seed, targets }
+    }
+}
+
+/// The backend-independent observables of one plan execution.
+///
+/// Everything here must match between backends; anything timing-dependent
+/// (virtual vs wall timestamps, dispatch counts, cross-channel
+/// interleaving) is deliberately absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observed {
+    /// Per-channel payload sequences in completion order, recorded at each
+    /// reader (channel id → FIFO of payloads).
+    pub payloads: BTreeMap<usize, Vec<Vec<i32>>>,
+    /// Sorted multiset of incident category strings from the report.
+    pub incidents: Vec<String>,
+    /// `Ok(())` or the coarse error class (`"deadlock"`, `"panicked"`,
+    /// `"aborted"`, `"time-limit"`) — error *messages* embed timestamps.
+    pub outcome: Result<(), String>,
+    /// Total process census from the report (0 when the run failed).
+    pub processes: usize,
+}
+
+impl fmt::Display for Observed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            Ok(()) => writeln!(f, "outcome: ok ({} processes)", self.processes)?,
+            Err(class) => writeln!(f, "outcome: error ({class})")?,
+        }
+        for (ch, fifo) in &self.payloads {
+            writeln!(f, "channel {ch}: {} messages", fifo.len())?;
+            for (i, p) in fifo.iter().enumerate() {
+                writeln!(f, "  [{i}] {p:?}")?;
+            }
+        }
+        for inc in &self.incidents {
+            writeln!(f, "incident: {inc}")?;
+        }
+        Ok(())
+    }
+}
+
+type Sink = Arc<Mutex<BTreeMap<usize, Vec<Vec<i32>>>>>;
+
+fn record(sink: &Sink, channel: usize, payload: Vec<i32>) {
+    sink.lock().entry(channel).or_default().push(payload);
+}
+
+/// Execute `plan` on `backend` and collect its observables.
+pub fn run_plan(plan: &WiringPlan, backend: Backend) -> Observed {
+    run_plan_traced(plan, backend, cp_trace::Recorder::disabled())
+}
+
+/// [`run_plan`] with an observability recorder attached — the
+/// `repro_conformance` driver uses an enabled recorder's snapshot to
+/// compute the native backend's wall-clock event and message rates.
+pub fn run_plan_traced(
+    plan: &WiringPlan,
+    backend: Backend,
+    recorder: cp_trace::Recorder,
+) -> Observed {
+    let sink: Sink = Arc::new(Mutex::new(BTreeMap::new()));
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        ClusterSpec::two_cells_one_xeon(),
+        CellPilotOpts::new()
+            .with_backend(backend)
+            .with_tracing(recorder),
+    );
+
+    // main's execution script: per target, the channel ids to drive and
+    // whether to ping-pong or burst; SPE targets carry the process to start.
+    struct MainStep {
+        inbound: CpChannel,
+        outbound: Option<CpChannel>,
+        spe: Option<CpProcess>,
+        msgs: Vec<Vec<i32>>,
+    }
+    let mut script = Vec::new();
+    let mut next_chan = 0usize;
+
+    for (t_idx, t) in plan.targets.iter().enumerate() {
+        let inbound = CpChannel(next_chan);
+        let echo = matches!(t.kind, TargetKind::RankEcho | TargetKind::SpeEcho);
+        let outbound = echo.then_some(CpChannel(next_chan + 1));
+        next_chan += 1 + usize::from(echo);
+        let n_msgs = t.msgs.len();
+
+        let peer = match t.kind {
+            TargetKind::RankEcho | TargetKind::RankSink => {
+                let sink = sink.clone();
+                cfg.create_process(&format!("peer{t_idx}"), t_idx as i32, move |cp, _| {
+                    for _ in 0..n_msgs {
+                        let v = cp.read_vec::<i32>(inbound).unwrap();
+                        record(&sink, inbound.0, v.clone());
+                        if let Some(out) = outbound {
+                            cp.write_slice(out, &v).unwrap();
+                        }
+                    }
+                })
+                .expect("rank budget respected by the generator")
+            }
+            TargetKind::SpeEcho | TargetKind::SpeSink => {
+                let sink = sink.clone();
+                let prog = SpeProgram::new(&format!("spe{t_idx}"), 2048, move |spe, _, _| {
+                    for _ in 0..n_msgs {
+                        let v = spe.read_vec::<i32>(inbound).unwrap();
+                        record(&sink, inbound.0, v.clone());
+                        if let Some(out) = outbound {
+                            spe.write_slice(out, &v).unwrap();
+                        }
+                    }
+                });
+                cfg.create_spe_process(&prog, CP_MAIN, t_idx as i32)
+                    .expect("SPE slots plentiful on two_cells_one_xeon")
+            }
+        };
+
+        let built_in = {
+            let b = cfg.channel(CP_MAIN, peer);
+            if t.one_sided {
+                b.one_sided().build()
+            } else {
+                b.build()
+            }
+        }
+        .expect("generator emits only well-formed channels");
+        assert_eq!(
+            built_in, inbound,
+            "channel ids must follow declaration order"
+        );
+        if let Some(out) = outbound {
+            let built_out = cfg.channel(peer, CP_MAIN).build().unwrap();
+            assert_eq!(built_out, out);
+        }
+
+        script.push(MainStep {
+            inbound,
+            outbound,
+            spe: matches!(t.kind, TargetKind::SpeEcho | TargetKind::SpeSink).then_some(peer),
+            msgs: t.msgs.clone(),
+        });
+    }
+
+    let main_sink = sink.clone();
+    let result = cfg.run(move |cp| {
+        let mut tasks = Vec::new();
+        for step in &script {
+            if let Some(spe) = step.spe {
+                tasks.push(cp.run_spe(spe, 0, 0).unwrap());
+            }
+        }
+        for step in &script {
+            for msg in &step.msgs {
+                cp.write_slice(step.inbound, msg).unwrap();
+                if let Some(out) = step.outbound {
+                    // Ping-pong: the echo must round-trip before the next
+                    // write, or rendezvous legs would cross-block.
+                    let back = cp.read_vec::<i32>(out).unwrap();
+                    record(&main_sink, out.0, back);
+                }
+            }
+        }
+        for t in tasks {
+            cp.wait_spe(t);
+        }
+    });
+
+    let payloads = sink.lock().clone();
+    match result {
+        Ok(report) => Observed {
+            payloads,
+            incidents: {
+                let mut cats: Vec<String> = report
+                    .incidents
+                    .iter()
+                    .map(|i| i.category.as_str().to_string())
+                    .collect();
+                cats.sort();
+                cats
+            },
+            outcome: Ok(()),
+            processes: report.processes,
+        },
+        Err(e) => Observed {
+            payloads,
+            incidents: Vec::new(),
+            outcome: Err(match e {
+                cp_des::SimError::Deadlock { .. } => "deadlock".into(),
+                cp_des::SimError::ProcessPanicked { .. } => "panicked".into(),
+                cp_des::SimError::Aborted { .. } => "aborted".into(),
+                cp_des::SimError::TimeLimitExceeded { .. } => "time-limit".into(),
+            }),
+            processes: 0,
+        },
+    }
+}
+
+/// Compare two executions of the same plan; `None` means they agree,
+/// `Some` describes the first divergence.
+pub fn diff(oracle: &Observed, candidate: &Observed) -> Option<String> {
+    if oracle.outcome != candidate.outcome {
+        return Some(format!(
+            "outcome diverged: oracle {:?}, candidate {:?}",
+            oracle.outcome, candidate.outcome
+        ));
+    }
+    if oracle.processes != candidate.processes {
+        return Some(format!(
+            "process census diverged: oracle {}, candidate {}",
+            oracle.processes, candidate.processes
+        ));
+    }
+    if oracle.incidents != candidate.incidents {
+        return Some(format!(
+            "incident categories diverged: oracle {:?}, candidate {:?}",
+            oracle.incidents, candidate.incidents
+        ));
+    }
+    let channels: std::collections::BTreeSet<usize> = oracle
+        .payloads
+        .keys()
+        .chain(candidate.payloads.keys())
+        .copied()
+        .collect();
+    for ch in channels {
+        let a = oracle.payloads.get(&ch);
+        let b = candidate.payloads.get(&ch);
+        if a != b {
+            return Some(format!(
+                "channel {ch} FIFO diverged:\n  oracle:    {a:?}\n  candidate: {b:?}"
+            ));
+        }
+    }
+    None
+}
+
+/// Run `plan` on both backends (sim first, as the oracle) and return the
+/// divergence report, if any, alongside both observations.
+pub fn check_plan(plan: &WiringPlan) -> (Observed, Observed, Option<String>) {
+    let oracle = run_plan(plan, Backend::Sim);
+    let candidate = run_plan(plan, Backend::Native);
+    let verdict = diff(&oracle, &candidate);
+    (oracle, candidate, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = WiringPlan::from_seed(seed);
+            let b = WiringPlan::from_seed(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert!(!a.targets.is_empty() && a.targets.len() <= 4);
+            let ranks = a
+                .targets
+                .iter()
+                .filter(|t| matches!(t.kind, TargetKind::RankEcho | TargetKind::RankSink))
+                .count();
+            assert!(ranks <= 2, "seed {seed} overcommits app ranks");
+        }
+    }
+
+    #[test]
+    fn sim_run_is_reproducible() {
+        let plan = WiringPlan::from_seed(7);
+        let a = run_plan(&plan, Backend::Sim);
+        let b = run_plan(&plan, Backend::Sim);
+        assert_eq!(a, b, "the oracle must be deterministic");
+        assert_eq!(a.outcome, Ok(()));
+        assert!(!a.payloads.is_empty());
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_plan() {
+        // Seed 3 exercises both transports; any divergence fails loudly
+        // with the full observation dump.
+        let plan = WiringPlan::from_seed(3);
+        let (oracle, candidate, verdict) = check_plan(&plan);
+        assert!(
+            verdict.is_none(),
+            "seed 3 diverged: {}\n--- sim ---\n{oracle}\n--- native ---\n{candidate}",
+            verdict.unwrap()
+        );
+    }
+}

@@ -56,6 +56,7 @@
 pub mod baseline;
 mod collective;
 mod config;
+pub mod conformance;
 mod copilot;
 mod costs;
 mod dlsvc;
@@ -72,6 +73,7 @@ pub mod trace;
 pub use collective::{reduce_f64, CpBundle};
 pub use config::{CellPilotConfig, CellPilotOpts, ChannelBuilder, SupervisionPolicy, TypedChannel};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
+pub use cp_des::Backend;
 pub use error::{CpError, ErrorKind};
 pub use location::{classify, ChannelKind, ChannelMode, CpChannel, CpProcess, Location, CP_MAIN};
 pub use program::SpeProgram;

@@ -1,0 +1,102 @@
+//! Golden sim-trace digest for the `dacs_tour` example scenario: the
+//! DaCS baseline's remote-memory roundtrip, scatter/gather collectives,
+//! and footprint rejection replayed under `Simulation::with_trace`, with
+//! the `(time, pid)` dispatch trace pinned by an FNV-1a digest. Any change
+//! to DaCS costs or event ordering drifts the digest here first.
+
+use cp_cellsim::{CellCosts, CellNode, LS_SIZE};
+use cp_dacs::{DacsHost, MemPerm, SPE_LIB_FOOTPRINT};
+use cp_des::Simulation;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn tour_trace() -> String {
+    let cell = CellNode::new(0, 8, 1 << 20, CellCosts::default());
+    let mut sim = Simulation::with_trace();
+    let cell2 = cell.clone();
+    sim.spawn("host-element", move |ctx| {
+        let dacs = DacsHost::init(cell2.clone());
+        assert_eq!(dacs.num_available_children(), 8);
+
+        // Remote-memory roundtrip: an AE gets, transforms, puts back.
+        let base = cell2.mem.alloc(256, 16).unwrap();
+        cell2.mem.write(base.0 as usize, &[3u8; 128]).unwrap();
+        let mem = dacs.remote_mem_create(base, 256, MemPerm::ReadWrite);
+        let pid = dacs
+            .de_start(ctx, 0, "transform", 8192, move |ae| {
+                let len = ae.remote_mem_query(mem).unwrap();
+                let ls = ae.local_store().alloc(128, 16).unwrap();
+                ae.get(mem, 0, ls, 128, 0).unwrap();
+                ae.wait(0);
+                let data = ae.local_store().read(ls, 128).unwrap();
+                let tripled: Vec<u8> = data.iter().map(|&b| b * 3).collect();
+                ae.local_store().write(ls, &tripled).unwrap();
+                ae.put(mem, 128, ls, 128, 1).unwrap();
+                ae.wait(1);
+                ae.local_store().free(ls).unwrap();
+                ae.mailbox_write(len as u32);
+            })
+            .unwrap();
+        assert_eq!(dacs.mailbox_read(ctx, 0), 256);
+        let out = cell2.mem.read(base.0 as usize + 128, 128).unwrap();
+        assert_eq!(out, vec![9u8; 128]);
+        ctx.join(pid);
+        dacs.remote_mem_release(mem).unwrap();
+
+        // Scatter/gather over three AEs.
+        let aes = [1usize, 2, 3];
+        let mut pids = Vec::new();
+        for &hw in &aes {
+            pids.push(
+                dacs.de_start(ctx, hw, "collect", 4096, move |ae| {
+                    let part = ae.scatter_recv().unwrap();
+                    let sum: u32 = part.iter().map(|&b| u32::from(b)).sum();
+                    ae.gather_send(&sum.to_be_bytes()).unwrap();
+                })
+                .unwrap(),
+            );
+        }
+        let parts: Vec<Vec<u8>> = (0..3).map(|k| vec![k as u8 + 1; 64]).collect();
+        dacs.scatter(ctx, &aes, &parts).unwrap();
+        let sums = dacs.gather(ctx, &aes, 4).unwrap();
+        for (k, s) in sums.iter().enumerate() {
+            let v = u32::from_be_bytes(s[..4].try_into().unwrap());
+            assert_eq!(v, (k as u32 + 1) * 64);
+        }
+        for p in pids {
+            ctx.join(p);
+        }
+
+        // The footprint squeeze must reject an image CellPilot could load.
+        let big = LS_SIZE - SPE_LIB_FOOTPRINT + 1;
+        assert!(dacs.de_start(ctx, 0, "too-big", big, |_| {}).is_err());
+    });
+    let report = sim.run().unwrap();
+    let trace = report.trace.expect("with_trace records dispatches");
+    let mut rendered = String::new();
+    for (at, pid) in trace {
+        rendered.push_str(&format!("t={} pid={}\n", at.as_nanos(), pid));
+    }
+    rendered
+}
+
+#[test]
+fn golden_trace_dacs_tour() {
+    let a = tour_trace();
+    let b = tour_trace();
+    assert!(!a.is_empty(), "tour produced no dispatch trace");
+    assert_eq!(a, b, "dacs_tour replay must be byte-identical");
+    assert_eq!(
+        fnv1a(&a),
+        0x2345_c6b1_e6b7_cfb8,
+        "dacs_tour trace digest drifted (got {:#018x})",
+        fnv1a(&a)
+    );
+}

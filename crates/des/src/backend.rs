@@ -1,0 +1,117 @@
+//! The execution-backend seam: [`Backend`] selection, the [`Executor`]
+//! trait a scheduling substrate implements, and the [`Spawner`] trait
+//! launch helpers are generic over.
+//!
+//! The DES kernel ([`crate::Simulation`]) is one implementation: processes
+//! run under a virtual clock, serialized in `(time, sequence)` order, fully
+//! deterministic. A second implementation (`cp-native`) runs the identical
+//! process/channel program on free-running OS threads under the wall
+//! clock. Everything above this seam — mailboxes, the window fabric,
+//! Co-Pilots, channels — talks only to [`crate::ProcCtx`], so a program
+//! body never knows which substrate it is on.
+
+use crate::error::{IncidentCategory, Pid};
+use crate::kernel::ProcCtx;
+use crate::time::{SimDuration, SimTime};
+
+/// Which execution substrate runs the process/channel program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator (the oracle).
+    #[default]
+    Sim,
+    /// Free-running OS threads under the wall clock (`cp-native`).
+    Native,
+}
+
+impl Backend {
+    /// Read the backend from the `CP_BACKEND` environment variable:
+    /// `native` selects [`Backend::Native`], anything else (including an
+    /// unset variable) selects [`Backend::Sim`]. Lets examples and
+    /// conformance drivers switch substrate without touching program
+    /// bodies.
+    pub fn from_env() -> Backend {
+        match std::env::var("CP_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("native") => Backend::Native,
+            _ => Backend::Sim,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        })
+    }
+}
+
+/// A process body as handed to an executor: the type-erased form of the
+/// closures passed to [`crate::Simulation::spawn`].
+pub type ProcBody = Box<dyn FnOnce(&ProcCtx) + Send + 'static>;
+
+/// The substrate beneath [`ProcCtx`]: everything a simulated (or native)
+/// process can ask of its scheduler.
+///
+/// Implementations must uphold the `ProcCtx` contract exactly — in
+/// particular the pending-wake semantics of [`Executor::block`] /
+/// [`Executor::unblock`] (a wake delivered while the target is not blocked
+/// is banked and consumed by its next block without parking), because the
+/// channel layers' check-then-block protocols rely on it to never lose a
+/// signal.
+pub trait Executor: Send + Sync {
+    /// Which substrate this is.
+    fn backend(&self) -> Backend;
+    /// Registered name of process `pid`.
+    fn proc_name(&self, pid: Pid) -> String;
+    /// Current time (virtual on [`Backend::Sim`], wall-clock nanoseconds
+    /// since launch on [`Backend::Native`]).
+    fn now(&self) -> SimTime;
+    /// Let `pid` spend `d` of time computing.
+    fn advance(&self, pid: Pid, d: SimDuration);
+    /// Park `pid` until somebody unblocks it (or consume a pending wake).
+    fn block(&self, pid: Pid, reason: &str);
+    /// Park `pid` until an unblock or the deadline, whichever first;
+    /// `true` means woken (or pending wake consumed), `false` timed out.
+    fn block_timeout(&self, pid: Pid, reason: &str, timeout: SimDuration) -> bool;
+    /// Wake `pid` no earlier than `delay` from now (banked if not blocked).
+    fn unblock(&self, pid: Pid, delay: SimDuration);
+    /// Record a non-fatal degradation incident on behalf of `pid`.
+    fn report_incident(&self, pid: Pid, category: IncidentCategory, detail: &str);
+    /// Spawn a new process runnable now; returns its pid.
+    fn spawn_boxed(&self, name: &str, body: ProcBody) -> Pid;
+    /// Block `me` until `target` finishes.
+    fn join(&self, me: Pid, target: Pid);
+    /// Abort the whole run with a diagnostic; unwinds the calling process.
+    fn abort(&self, pid: Pid, message: &str) -> !;
+}
+
+/// Anything root processes can be launched onto: the DES [`Simulation`],
+/// `cp-native`'s thread runner, or the backend-selected wrapper around
+/// either. `MpiWorld::launch` and the config layers are generic over this,
+/// which is what lets one configuration run on every backend.
+///
+/// [`Simulation`]: crate::Simulation
+pub trait Spawner {
+    /// Spawn a root process.
+    fn spawn_boxed(&mut self, name: &str, body: ProcBody) -> Pid;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_default_and_display() {
+        assert_eq!(Backend::default(), Backend::Sim);
+        assert_eq!(Backend::Sim.to_string(), "sim");
+        assert_eq!(Backend::Native.to_string(), "native");
+    }
+
+    #[test]
+    fn executor_is_object_safe() {
+        fn _takes(_: &dyn Executor) {}
+        fn _takes_spawner(_: &mut dyn Spawner) {}
+    }
+}

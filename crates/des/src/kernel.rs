@@ -14,7 +14,12 @@
 //! If the event queue drains while unfinished processes remain, every one of
 //! them is blocked with no possible waker: the kernel reports a
 //! [`SimError::Deadlock`] naming each process and its blocking reason.
+//!
+//! The kernel is one implementation of the [`Executor`] seam; `cp-native`
+//! provides a wall-clock thread implementation of the same trait, and
+//! [`ProcCtx`] dispatches to whichever substrate spawned the process.
 
+use crate::backend::{Backend, Executor, ProcBody, Spawner};
 use crate::error::{Incident, IncidentCategory, Pid, SimError, SimReport};
 use crate::time::{SimDuration, SimTime};
 use cp_trace::Recorder;
@@ -22,7 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 /// Payload used to unwind a simulated process when the simulation is torn
@@ -107,11 +112,14 @@ pub(crate) struct Kernel {
     state: Mutex<KState>,
     done_cv: Condvar,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Self-reference so `Executor::spawn_boxed` can hand each new process a
+    /// `ProcCtx` holding an owning handle on this kernel.
+    me: Weak<Kernel>,
 }
 
 impl Kernel {
-    fn new(trace: bool) -> Kernel {
-        Kernel {
+    fn new(trace: bool) -> Arc<Kernel> {
+        Arc::new_cyclic(|me| Kernel {
             state: Mutex::new(KState {
                 now: SimTime::ZERO,
                 limit: None,
@@ -129,7 +137,8 @@ impl Kernel {
             }),
             done_cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
-        }
+            me: me.clone(),
+        })
     }
 
     /// Push an event waking `pid` at time `at`. The new event supersedes any
@@ -264,13 +273,138 @@ impl Kernel {
     }
 }
 
+impl Executor for Kernel {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn proc_name(&self, pid: Pid) -> String {
+        self.state.lock().procs[pid].name.clone()
+    }
+
+    fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    fn advance(&self, pid: Pid, d: SimDuration) {
+        {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.procs[pid].status, Status::Running);
+            let at = st.now + d;
+            Kernel::push_event(&mut st, at, pid);
+            st.procs[pid].status = Status::Waiting;
+            st.cpu_busy = false;
+            self.dispatch(&mut st);
+        }
+        self.park(pid);
+    }
+
+    fn block(&self, pid: Pid, reason: &str) {
+        {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.procs[pid].status, Status::Running);
+            if st.procs[pid].pending_wakes > 0 {
+                st.procs[pid].pending_wakes -= 1;
+                return;
+            }
+            st.procs[pid].status = Status::Blocked(reason.to_string());
+            st.cpu_busy = false;
+            self.dispatch(&mut st);
+        }
+        self.park(pid);
+    }
+
+    fn block_timeout(&self, pid: Pid, reason: &str, timeout: SimDuration) -> bool {
+        {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.procs[pid].status, Status::Running);
+            if st.procs[pid].pending_wakes > 0 {
+                st.procs[pid].pending_wakes -= 1;
+                return true;
+            }
+            let at = st.now + timeout;
+            st.procs[pid].status = Status::Blocked(reason.to_string());
+            st.procs[pid].timed_out = false;
+            Kernel::push_event(&mut st, at, pid);
+            st.cpu_busy = false;
+            self.dispatch(&mut st);
+        }
+        self.park(pid);
+        let mut st = self.state.lock();
+        let timed_out = st.procs[pid].timed_out;
+        st.procs[pid].timed_out = false;
+        !timed_out
+    }
+
+    fn unblock(&self, pid: Pid, delay: SimDuration) {
+        let mut st = self.state.lock();
+        let at = st.now + delay;
+        match st.procs[pid].status {
+            Status::Blocked(_) => {
+                st.procs[pid].status = Status::Waiting;
+                Kernel::push_event(&mut st, at, pid);
+            }
+            Status::Finished | Status::Poisoned => {}
+            _ => st.procs[pid].pending_wakes += 1,
+        }
+    }
+
+    fn report_incident(&self, pid: Pid, category: IncidentCategory, detail: &str) {
+        let mut st = self.state.lock();
+        let at = st.now;
+        let process = st.procs[pid].name.clone();
+        st.recorder
+            .record_incident(at.0, &process, category.as_str(), detail);
+        st.incidents.push(Incident {
+            at,
+            process,
+            category,
+            detail: detail.to_string(),
+        });
+    }
+
+    fn spawn_boxed(&self, name: &str, body: ProcBody) -> Pid {
+        let kernel = self.me.upgrade().expect("kernel alive while spawning");
+        spawn_process(&kernel, name, body)
+    }
+
+    fn join(&self, me: Pid, target: Pid) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.procs[target].status == Status::Finished {
+                    return;
+                }
+                st.procs[target].join_waiters.push(me);
+            }
+            self.block(me, &format!("join(pid={target})"));
+        }
+    }
+
+    fn abort(&self, pid: Pid, message: &str) -> ! {
+        {
+            let mut st = self.state.lock();
+            let err = SimError::Aborted {
+                pid,
+                name: st.procs[pid].name.clone(),
+                message: message.to_string(),
+            };
+            self.fail(&mut st, err);
+        }
+        panic::resume_unwind(Box::new(SimUnwind));
+    }
+}
+
 /// Handle a simulated process uses to interact with the virtual world.
 ///
 /// A `ProcCtx` is passed by reference into every process closure. It is also
 /// `Clone` so library layers can stash copies inside connection objects.
+/// All calls dispatch through the [`Executor`] that spawned the process, so
+/// the same program body runs unchanged on the DES kernel and on
+/// `cp-native`'s wall-clock threads.
 #[derive(Clone)]
 pub struct ProcCtx {
-    kernel: Arc<Kernel>,
+    exec: Arc<dyn Executor>,
     pid: Pid,
 }
 
@@ -281,6 +415,17 @@ impl std::fmt::Debug for ProcCtx {
 }
 
 impl ProcCtx {
+    /// Build the context handed to process `pid` of `exec`. Only backend
+    /// implementations ([`Simulation`], `cp-native`) need this.
+    pub fn from_executor(exec: Arc<dyn Executor>, pid: Pid) -> ProcCtx {
+        ProcCtx { exec, pid }
+    }
+
+    /// Which execution substrate this process runs on.
+    pub fn backend(&self) -> Backend {
+        self.exec.backend()
+    }
+
     /// This process's identifier.
     pub fn pid(&self) -> Pid {
         self.pid
@@ -288,27 +433,19 @@ impl ProcCtx {
 
     /// This process's registered name.
     pub fn name(&self) -> String {
-        self.kernel.state.lock().procs[self.pid].name.clone()
+        self.exec.proc_name(self.pid)
     }
 
-    /// Current virtual time.
+    /// Current time: virtual on the DES backend, wall-clock nanoseconds
+    /// since launch on the native backend.
     pub fn now(&self) -> SimTime {
-        self.kernel.state.lock().now
+        self.exec.now()
     }
 
     /// Spend `d` of virtual time (the process "computes" for that long).
     /// Other processes with earlier events run meanwhile.
     pub fn advance(&self, d: SimDuration) {
-        {
-            let mut st = self.kernel.state.lock();
-            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
-            let at = st.now + d;
-            Kernel::push_event(&mut st, at, self.pid);
-            st.procs[self.pid].status = Status::Waiting;
-            st.cpu_busy = false;
-            self.kernel.dispatch(&mut st);
-        }
-        self.kernel.park(self.pid);
+        self.exec.advance(self.pid, d);
     }
 
     /// Yield the CPU without consuming virtual time. Any same-time events
@@ -323,18 +460,7 @@ impl ProcCtx {
     /// If an unblock was already delivered while this process was running
     /// (a "pending wake"), the call consumes it and returns immediately.
     pub fn block(&self, reason: &str) {
-        {
-            let mut st = self.kernel.state.lock();
-            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
-            if st.procs[self.pid].pending_wakes > 0 {
-                st.procs[self.pid].pending_wakes -= 1;
-                return;
-            }
-            st.procs[self.pid].status = Status::Blocked(reason.to_string());
-            st.cpu_busy = false;
-            self.kernel.dispatch(&mut st);
-        }
-        self.kernel.park(self.pid);
+        self.exec.block(self.pid, reason);
     }
 
     /// Park this process until another process calls [`ProcCtx::unblock`] on
@@ -345,25 +471,7 @@ impl ProcCtx {
     /// timeout the clock reads exactly `block-time + timeout`. A stale
     /// deadline left behind by an early wake is discarded, never delivered.
     pub fn block_timeout(&self, reason: &str, timeout: SimDuration) -> bool {
-        {
-            let mut st = self.kernel.state.lock();
-            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
-            if st.procs[self.pid].pending_wakes > 0 {
-                st.procs[self.pid].pending_wakes -= 1;
-                return true;
-            }
-            let at = st.now + timeout;
-            st.procs[self.pid].status = Status::Blocked(reason.to_string());
-            st.procs[self.pid].timed_out = false;
-            Kernel::push_event(&mut st, at, self.pid);
-            st.cpu_busy = false;
-            self.kernel.dispatch(&mut st);
-        }
-        self.kernel.park(self.pid);
-        let mut st = self.kernel.state.lock();
-        let timed_out = st.procs[self.pid].timed_out;
-        st.procs[self.pid].timed_out = false;
-        !timed_out
+        self.exec.block_timeout(self.pid, reason, timeout)
     }
 
     /// Record a non-fatal degradation [`Incident`] (e.g. "peer rank died,
@@ -371,17 +479,7 @@ impl ProcCtx {
     /// [`SimReport::incidents`] so fault-injection harnesses can assert on
     /// exactly what degraded.
     pub fn report_incident(&self, category: IncidentCategory, detail: &str) {
-        let mut st = self.kernel.state.lock();
-        let at = st.now;
-        let process = st.procs[self.pid].name.clone();
-        st.recorder
-            .record_incident(at.0, &process, category.as_str(), detail);
-        st.incidents.push(Incident {
-            at,
-            process,
-            category,
-            detail: detail.to_string(),
-        });
+        self.exec.report_incident(self.pid, category, detail);
     }
 
     /// Wake `pid` no earlier than `delay` from now. If `pid` is not currently
@@ -389,16 +487,7 @@ impl ProcCtx {
     /// the target was busy, so the waker's latency has already been absorbed
     /// by whatever the target was doing).
     pub fn unblock(&self, pid: Pid, delay: SimDuration) {
-        let mut st = self.kernel.state.lock();
-        let at = st.now + delay;
-        match st.procs[pid].status {
-            Status::Blocked(_) => {
-                st.procs[pid].status = Status::Waiting;
-                Kernel::push_event(&mut st, at, pid);
-            }
-            Status::Finished | Status::Poisoned => {}
-            _ => st.procs[pid].pending_wakes += 1,
-        }
+        self.exec.unblock(pid, delay);
     }
 
     /// Spawn a new simulated process. It becomes runnable at the current
@@ -407,46 +496,23 @@ impl ProcCtx {
     where
         F: FnOnce(&ProcCtx) + Send + 'static,
     {
-        let kernel = self.kernel.clone();
-        spawn_process(&kernel, name, f)
+        self.exec.spawn_boxed(name, Box::new(f))
     }
 
     /// Block until process `pid` finishes.
     pub fn join(&self, pid: Pid) {
-        loop {
-            {
-                let mut st = self.kernel.state.lock();
-                if st.procs[pid].status == Status::Finished {
-                    return;
-                }
-                let me = self.pid;
-                st.procs[pid].join_waiters.push(me);
-            }
-            self.block(&format!("join(pid={pid})"));
-        }
+        self.exec.join(self.pid, pid);
     }
 
     /// Abort the whole simulation with a diagnostic (used for fatal API
     /// misuse, mirroring Pilot's abort-with-message behaviour). Unwinds the
     /// calling process and never returns.
     pub fn abort(&self, message: &str) -> ! {
-        {
-            let mut st = self.kernel.state.lock();
-            let err = SimError::Aborted {
-                pid: self.pid,
-                name: st.procs[self.pid].name.clone(),
-                message: message.to_string(),
-            };
-            self.kernel.fail(&mut st, err);
-        }
-        panic::resume_unwind(Box::new(SimUnwind));
+        self.exec.abort(self.pid, message)
     }
 }
 
-fn spawn_process<F>(kernel: &Arc<Kernel>, name: &str, f: F) -> Pid
-where
-    F: FnOnce(&ProcCtx) + Send + 'static,
-{
+fn spawn_process(kernel: &Arc<Kernel>, name: &str, f: ProcBody) -> Pid {
     let pid;
     {
         let mut st = kernel.state.lock();
@@ -469,10 +535,7 @@ where
     let handle = std::thread::Builder::new()
         .name(format!("sim-{tname}"))
         .spawn(move || {
-            let ctx = ProcCtx {
-                kernel: kern.clone(),
-                pid,
-            };
+            let ctx = ProcCtx::from_executor(kern.clone(), pid);
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 kern.park(pid);
                 f(&ctx)
@@ -542,7 +605,7 @@ impl Simulation {
     /// A fresh simulation with the clock at zero.
     pub fn new() -> Simulation {
         Simulation {
-            kernel: Arc::new(Kernel::new(false)),
+            kernel: Kernel::new(false),
         }
     }
 
@@ -550,7 +613,7 @@ impl Simulation {
     /// determinism checks.
     pub fn with_trace() -> Simulation {
         Simulation {
-            kernel: Arc::new(Kernel::new(true)),
+            kernel: Kernel::new(true),
         }
     }
 
@@ -584,7 +647,7 @@ impl Simulation {
     where
         F: FnOnce(&ProcCtx) + Send + 'static,
     {
-        spawn_process(&self.kernel, name, f)
+        spawn_process(&self.kernel, name, Box::new(f))
     }
 
     /// Drive the simulation to completion, returning the report or the first
@@ -616,6 +679,12 @@ impl Simulation {
     }
 }
 
+impl Spawner for Simulation {
+    fn spawn_boxed(&mut self, name: &str, body: ProcBody) -> Pid {
+        spawn_process(&self.kernel, name, body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,6 +702,15 @@ mod tests {
         let r = sim.run().unwrap();
         assert_eq!(r.end_time.as_nanos(), 3_000);
         assert_eq!(r.processes, 1);
+    }
+
+    #[test]
+    fn sim_backend_identifies_itself() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |ctx| {
+            assert_eq!(ctx.backend(), Backend::Sim);
+        });
+        sim.run().unwrap();
     }
 
     #[test]
@@ -984,5 +1062,20 @@ mod tests {
             assert_eq!(ctx.now(), SimTime::ZERO);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn spawner_trait_matches_inherent_spawn() {
+        fn generic_spawn<S: Spawner>(s: &mut S) -> Pid {
+            s.spawn_boxed(
+                "via-trait",
+                Box::new(|ctx| ctx.advance(SimDuration::from_micros(1))),
+            )
+        }
+        let mut sim = Simulation::new();
+        let pid = generic_spawn(&mut sim);
+        assert_eq!(pid, 0);
+        let r = sim.run().unwrap();
+        assert_eq!(r.end_time.as_nanos(), 1_000);
     }
 }

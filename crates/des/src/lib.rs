@@ -36,11 +36,13 @@
 //! sim.run().unwrap();
 //! ```
 
+mod backend;
 mod error;
 mod kernel;
 pub mod sync;
 mod time;
 
+pub use backend::{Backend, Executor, ProcBody, Spawner};
 pub use error::{Incident, IncidentCategory, Pid, SimError, SimReport};
 pub use kernel::{ProcCtx, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -4,7 +4,7 @@
 use crate::costs::MpiCosts;
 use crate::datatype::{decode_slice, encode_slice, Datatype, MpiScalar};
 use crate::message::{Envelope, MailStore, Payload, Rank, RankDeadUnwind, SrcSel, Tag, TagSel};
-use cp_des::{IncidentCategory, ProcCtx, SimDuration, SimError, SimReport, Simulation};
+use cp_des::{IncidentCategory, ProcCtx, SimDuration, SimError, SimReport, Simulation, Spawner};
 use cp_simnet::{Cluster, ClusterSpec, FaultPlan, LinkVerdict, NodeId, NodeKind, RetryPolicy};
 use cp_trace::Recorder;
 use std::fmt;
@@ -235,34 +235,45 @@ impl MpiWorld {
     /// process is spawned that poisons the rank's mailbox at the scripted
     /// instant; the rank's process then retires cleanly (fail-stop) at its
     /// next communication call instead of failing the whole simulation.
-    pub fn launch<F>(&self, sim: &mut Simulation, rank: Rank, name: &str, body: F)
-    where
-        F: FnOnce(Comm) + Send + 'static,
+    pub fn launch<S>(
+        &self,
+        sim: &mut S,
+        rank: Rank,
+        name: &str,
+        body: impl FnOnce(Comm) + Send + 'static,
+    ) where
+        S: Spawner + ?Sized,
     {
         if let Some(at) = self.inner.faults.death_of(rank) {
             let world = self.clone();
-            sim.spawn(&format!("reaper-rank{rank}"), move |ctx| {
-                ctx.advance(SimDuration::from_nanos(at.as_nanos()));
-                world.inner.boxes[rank].poison(ctx);
-                ctx.report_incident(
-                    IncidentCategory::RankDeath,
-                    &format!("rank {rank} killed by fault plan at {at}"),
-                );
-            });
+            sim.spawn_boxed(
+                &format!("reaper-rank{rank}"),
+                Box::new(move |ctx| {
+                    ctx.advance(SimDuration::from_nanos(at.as_nanos()));
+                    world.inner.boxes[rank].poison(ctx);
+                    ctx.report_incident(
+                        IncidentCategory::RankDeath,
+                        &format!("rank {rank} killed by fault plan at {at}"),
+                    );
+                }),
+            );
         }
         let world = self.clone();
-        sim.spawn(name, move |ctx| {
-            let comm = world.attach(ctx, rank);
-            let result = panic::catch_unwind(AssertUnwindSafe(|| body(comm)));
-            if let Err(payload) = result {
-                if payload.downcast_ref::<RankDeadUnwind>().is_some() {
-                    // Scripted fail-stop: the process retires quietly and
-                    // its joiners are released as for a normal exit.
-                    return;
+        sim.spawn_boxed(
+            name,
+            Box::new(move |ctx| {
+                let comm = world.attach(ctx, rank);
+                let result = panic::catch_unwind(AssertUnwindSafe(|| body(comm)));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<RankDeadUnwind>().is_some() {
+                        // Scripted fail-stop: the process retires quietly and
+                        // its joiners are released as for a normal exit.
+                        return;
+                    }
+                    panic::resume_unwind(payload);
                 }
-                panic::resume_unwind(payload);
-            }
-        });
+            }),
+        );
     }
 }
 

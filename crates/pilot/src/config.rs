@@ -16,8 +16,9 @@ use crate::service;
 use crate::table::{
     BundleEntry, BundleUsage, ChannelEntry, PiBundle, PiChannel, PiProcess, ProcessEntry, Tables,
 };
-use cp_des::{SimDuration, SimError, SimReport, Simulation};
+use cp_des::{Backend, SimDuration, SimError, SimReport};
 use cp_mpisim::{MpiCosts, MpiWorld};
+use cp_native::Runner;
 use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
 use std::sync::Arc;
 
@@ -65,6 +66,12 @@ pub struct PilotOpts {
     /// before launching, aborting the run on any error-severity finding
     /// ([`cp_des::SimError::Aborted`] naming every diagnostic).
     pub strict_checks: bool,
+    /// Execution substrate: the deterministic DES kernel
+    /// ([`Backend::Sim`], the default) or free-running OS threads
+    /// ([`Backend::Native`]). The program body is identical on both; the
+    /// native backend rejects fault plans (sim-only) and ignores
+    /// `schedule_seed` (the OS schedules the threads).
+    pub backend: Backend,
 }
 
 impl PilotOpts {
@@ -114,6 +121,20 @@ impl PilotOpts {
     /// error in the configured architecture.
     pub fn with_strict_checks(mut self) -> PilotOpts {
         self.strict_checks = true;
+        self
+    }
+
+    /// Select the execution substrate (see [`PilotOpts::backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> PilotOpts {
+        self.backend = backend;
+        self
+    }
+
+    /// Select the substrate from the `CP_BACKEND` environment variable
+    /// (`native` selects OS threads; anything else, or unset, the sim) —
+    /// how the conformance harness runs one binary on both backends.
+    pub fn with_backend_from_env(mut self) -> PilotOpts {
+        self.backend = Backend::from_env();
         self
     }
 }
@@ -335,6 +356,15 @@ impl PilotConfig {
                 });
             }
         }
+        if self.opts.backend == Backend::Native && self.opts.faults.is_some() {
+            return Err(SimError::Aborted {
+                pid: 0,
+                name: "pilot-config".into(),
+                message: "fault injection is sim-only: fault plans script virtual-time events \
+                          the native backend has no clock for (run with Backend::Sim)"
+                    .into(),
+            });
+        }
         let PilotConfig {
             spec,
             placement,
@@ -356,7 +386,7 @@ impl PilotConfig {
             opts.retry,
         );
         let tables = Arc::new(tables);
-        let mut sim = Simulation::new();
+        let mut sim = Runner::for_backend(opts.backend);
         sim.set_schedule_seed(opts.schedule_seed);
         // Application processes.
         for (pidx, body) in bodies.into_iter().enumerate() {
@@ -513,6 +543,67 @@ mod tests {
             p.write(ch, "%d", &[crate::PiValue::from(7i32)]).unwrap();
         })
         .unwrap();
+    }
+
+    #[test]
+    fn native_backend_runs_the_same_program() {
+        // The exact program from strict_checks_pass_a_well_formed_config,
+        // with only the backend changed: same declarations, same bodies.
+        let mut c = PilotConfig::one_rank_per_node(
+            ClusterSpec::two_cells_one_xeon(),
+            PilotOpts::new().with_backend(Backend::Native),
+        );
+        let a = c
+            .create_process("a", 0, |p, _| {
+                let v = p.read(crate::PiChannel(0), "%d").unwrap();
+                assert_eq!(v[0], crate::PiValue::from(7i32));
+            })
+            .unwrap();
+        let _b = c.create_process("b", 1, |_, _| {}).unwrap();
+        let ch = c.create_channel(crate::PI_MAIN, a).unwrap();
+        c.run(move |p| {
+            p.write(ch, "%d", &[crate::PiValue::from(7i32)]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn native_backend_with_deadlock_service() {
+        // The dlsvc detector polls with timed waits; a clean program must
+        // terminate (EV_FINISH from every endpoint retires the service).
+        let opts = PilotOpts::new()
+            .with_deadlock_service()
+            .with_backend(Backend::Native);
+        let mut c = PilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        let a = c
+            .create_process("echo", 0, |p, _| {
+                let v = p.read(crate::PiChannel(0), "%d").unwrap();
+                p.write(crate::PiChannel(1), "%d", &v).unwrap();
+            })
+            .unwrap();
+        let c_out = c.create_channel(crate::PI_MAIN, a).unwrap();
+        let c_back = c.create_channel(a, crate::PI_MAIN).unwrap();
+        assert_eq!(c_out, crate::PiChannel(0));
+        assert_eq!(c_back, crate::PiChannel(1));
+        c.run(move |p| {
+            p.write(c_out, "%d", &[crate::PiValue::from(41i32)])
+                .unwrap();
+            let v = p.read(c_back, "%d").unwrap();
+            assert_eq!(v[0], crate::PiValue::from(41i32));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn native_backend_rejects_fault_plans() {
+        let opts = PilotOpts::new()
+            .with_faults(Arc::new(FaultPlan::new()))
+            .with_backend(Backend::Native);
+        let c = PilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+        match c.run(|_| {}) {
+            Err(SimError::Aborted { message, .. }) => assert!(message.contains("sim-only")),
+            other => panic!("expected sim-only abort, got {other:?}"),
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod table;
 pub mod value;
 
 pub use config::{PilotConfig, PilotOpts};
+pub use cp_des::Backend;
 pub use error::PilotError;
 pub use fmt::{parse_format, Conversion, CountSpec, FmtError};
 pub use runtime::{CallLog, CallRecord, Pilot, PilotCosts};

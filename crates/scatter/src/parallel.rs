@@ -50,7 +50,12 @@ pub fn parallel_scatter_search<P: BinaryProblem>(
     assert!(workers >= 1, "need at least one worker");
     let problem = Arc::new(problem.clone());
     let params = params.clone();
-    let mut cfg = CellPilotConfig::one_rank_per_node(spec.clone(), CellPilotOpts::default());
+    // Honors CP_BACKEND so the conformance harness can run the search on
+    // the native threads backend; `virtual_us` is then wall-clock µs.
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        spec.clone(),
+        CellPilotOpts::new().with_backend_from_env(),
+    );
 
     // One host process per additional Cell node; it launches its local SPE
     // workers and waits for them.

@@ -138,6 +138,29 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Atomically releases the guard's mutex and blocks until notified or
+    /// `timeout` elapses, re-acquiring the mutex before returning. Matches
+    /// `parking_lot::Condvar::wait_for`: inspect the result with
+    /// [`WaitTimeoutResult::timed_out`].
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poison) => {
+                let (g, r) = poison.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one thread blocked on this condition variable.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -152,6 +175,21 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Result of a [`Condvar::wait_for`], matching
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -183,6 +221,36 @@ mod tests {
             let mut started = lock.lock();
             while !*started {
                 cv.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody notifies: the wait must time out.
+        {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            let res = cv.wait_for(&mut ready, std::time::Duration::from_millis(5));
+            assert!(res.timed_out());
+        }
+        // With a notifier the wait returns without timing out.
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                let res = cv.wait_for(&mut ready, std::time::Duration::from_secs(30));
+                if res.timed_out() {
+                    panic!("notification lost");
+                }
             }
         });
         {

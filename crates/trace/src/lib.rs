@@ -41,4 +41,6 @@ pub use metrics::{
     OneSidedMetrics,
 };
 pub use recorder::{Event, Phase, Recorder};
-pub use report::{gate, BenchChannelType, BenchReport, GateOutcome, SweepRow, BENCH_SCHEMA};
+pub use report::{
+    gate, BenchChannelType, BenchReport, GateOutcome, NativeRates, SweepRow, BENCH_SCHEMA,
+};

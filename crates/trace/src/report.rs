@@ -35,6 +35,19 @@ pub struct SweepRow {
     pub copy_us: f64,
 }
 
+/// Wall-clock throughput of the native threads backend, measured by the
+/// conformance driver. Informational: the perf gate compares virtual-time
+/// medians only, so these rates never fail CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeRates {
+    /// Wall-clock time the native replay took, milliseconds.
+    pub wall_ms: f64,
+    /// Kernel dispatch events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Channel messages delivered per wall-clock second.
+    pub msgs_per_sec: f64,
+}
+
 /// A complete `BENCH_<label>.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -56,6 +69,9 @@ pub struct BenchReport {
     pub pingpong_sweep: Vec<SweepRow>,
     /// Full metrics snapshot of an instrumented run, when one was taken.
     pub metrics: Option<MetricsSnapshot>,
+    /// Native-backend wall-clock rates, when the conformance driver
+    /// measured them. Absent from sim-only reports; the gate ignores it.
+    pub native_rates: Option<NativeRates>,
 }
 
 impl BenchReport {
@@ -69,6 +85,7 @@ impl BenchReport {
             one_sided: Vec::new(),
             pingpong_sweep: Vec::new(),
             metrics: None,
+            native_rates: None,
         }
     }
 
@@ -108,6 +125,13 @@ impl BenchReport {
         match &self.metrics {
             Some(m) => o.set("metrics", m.to_json()),
             None => o.set("metrics", Json::Null),
+        }
+        if let Some(n) = &self.native_rates {
+            let mut nr = Json::obj();
+            nr.set("wall_ms", n.wall_ms);
+            nr.set("events_per_sec", n.events_per_sec);
+            nr.set("msgs_per_sec", n.msgs_per_sec);
+            o.set("native_rates", nr);
         }
         o
     }
@@ -173,6 +197,16 @@ impl BenchReport {
             None | Some(Json::Null) => None,
             Some(m) => Some(MetricsSnapshot::from_json(m)?),
         };
+        // Sim-only reports (and all pre-native ones) carry no native_rates
+        // key; parse it as absent rather than failing.
+        let native_rates = match j.get("native_rates") {
+            None | Some(Json::Null) => None,
+            Some(n) => Some(NativeRates {
+                wall_ms: field_f64(n, "wall_ms")?,
+                events_per_sec: field_f64(n, "events_per_sec")?,
+                msgs_per_sec: field_f64(n, "msgs_per_sec")?,
+            }),
+        };
         Ok(BenchReport {
             schema: schema.to_string(),
             label: j
@@ -185,6 +219,7 @@ impl BenchReport {
             one_sided,
             pingpong_sweep,
             metrics,
+            native_rates,
         })
     }
 }
@@ -312,8 +347,31 @@ mod tests {
             latency_us_large: 110.0,
             throughput_mb_s: 14.5,
         }];
+        r.native_rates = Some(NativeRates {
+            wall_ms: 12.5,
+            events_per_sec: 48_000.0,
+            msgs_per_sec: 9_600.0,
+        });
         let back = BenchReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_without_native_rates_parses_as_none_and_gates_clean() {
+        // Sim-only reports never carry the section; and a candidate that
+        // gains it must not trip the gate against such a baseline.
+        let base = sample_report();
+        let json = base.to_json_string();
+        assert!(!json.contains("native_rates"));
+        let back = BenchReport::parse(&json).unwrap();
+        assert!(back.native_rates.is_none());
+        let mut cand = sample_report();
+        cand.native_rates = Some(NativeRates {
+            wall_ms: 1.0,
+            events_per_sec: 2.0,
+            msgs_per_sec: 3.0,
+        });
+        assert!(gate(&base, &cand, 20.0).passed());
     }
 
     #[test]

@@ -8,88 +8,99 @@
 
 use cp_cellsim::{CellCosts, CellNode, LS_SIZE};
 use cp_dacs::{DacsHost, MemPerm, SPE_LIB_FOOTPRINT};
-use cp_des::Simulation;
+use cp_des::{Backend, Spawner};
+use cp_native::Runner;
 
 fn main() {
     let cell = CellNode::new(0, 8, 1 << 20, CellCosts::default());
-    let mut sim = Simulation::new();
+    let mut sim = Runner::for_backend(Backend::from_env());
     let cell2 = cell.clone();
-    sim.spawn("host-element", move |ctx| {
-        let dacs = DacsHost::init(cell2.clone());
-        println!(
-            "host element with {} accelerator elements available",
-            dacs.num_available_children()
-        );
-
-        // 1. Remote memory: the host shares a region; an AE queries,
-        //    gets, transforms, and puts back.
-        let base = cell2.mem.alloc(256, 16).unwrap();
-        cell2.mem.write(base.0 as usize, &[3u8; 128]).unwrap();
-        let mem = dacs.remote_mem_create(base, 256, MemPerm::ReadWrite);
-        let pid = dacs
-            .de_start(ctx, 0, "transform", 8192, move |ae| {
-                println!(
-                    "  AE{}: local store has {} B free under libdacs ({} B resident)",
-                    ae.index(),
-                    ae.local_store().free_bytes(),
-                    SPE_LIB_FOOTPRINT,
-                );
-                let len = ae.remote_mem_query(mem).unwrap();
-                let ls = ae.local_store().alloc(128, 16).unwrap();
-                ae.get(mem, 0, ls, 128, 0).unwrap();
-                ae.wait(0);
-                let data = ae.local_store().read(ls, 128).unwrap();
-                let tripled: Vec<u8> = data.iter().map(|&b| b * 3).collect();
-                ae.local_store().write(ls, &tripled).unwrap();
-                ae.put(mem, 128, ls, 128, 1).unwrap();
-                ae.wait(1);
-                ae.local_store().free(ls).unwrap();
-                ae.mailbox_write(len as u32);
-            })
-            .unwrap();
-        let announced = dacs.mailbox_read(ctx, 0);
-        assert_eq!(announced, 256);
-        let out = cell2.mem.read(base.0 as usize + 128, 128).unwrap();
-        assert_eq!(out, vec![9u8; 128]);
-        ctx.join(pid);
-        dacs.remote_mem_release(mem).unwrap();
-        println!("  remote-mem roundtrip: host saw the transformed data");
-
-        // 2. The scatter/gather collectives ("limited support for
-        //    collective operations ... between the PPE and a list of
-        //    SPEs").
-        let aes = [1usize, 2, 3];
-        let mut pids = Vec::new();
-        for &hw in &aes {
-            pids.push(
-                dacs.de_start(ctx, hw, "collect", 4096, move |ae| {
-                    let part = ae.scatter_recv().unwrap();
-                    let sum: u32 = part.iter().map(|&b| b as u32).sum();
-                    ae.gather_send(&sum.to_be_bytes()).unwrap();
-                })
-                .unwrap(),
+    sim.spawn_boxed(
+        "host-element",
+        Box::new(move |ctx| {
+            let dacs = DacsHost::init(cell2.clone());
+            println!(
+                "host element with {} accelerator elements available",
+                dacs.num_available_children()
             );
-        }
-        let parts: Vec<Vec<u8>> = (0..3).map(|k| vec![k as u8 + 1; 64]).collect();
-        dacs.scatter(ctx, &aes, &parts).unwrap();
-        let sums = dacs.gather(ctx, &aes, 4).unwrap();
-        for (k, s) in sums.iter().enumerate() {
-            let v = u32::from_be_bytes(s[..4].try_into().unwrap());
-            assert_eq!(v, (k as u32 + 1) * 64);
-        }
-        println!("  scatter/gather over {} AEs: sums verified", aes.len());
-        for p in pids {
-            ctx.join(p);
-        }
 
-        // 3. The footprint squeeze: a program CellPilot can load does not
-        //    fit under DaCS.
-        let big = LS_SIZE - SPE_LIB_FOOTPRINT + 1;
-        match dacs.de_start(ctx, 0, "too-big", big, |_| {}) {
-            Err(e) => println!("  {big}-byte image under DaCS: {e}"),
-            Ok(_) => unreachable!(),
-        }
-    });
+            // 1. Remote memory: the host shares a region; an AE queries,
+            //    gets, transforms, and puts back.
+            let base = cell2.mem.alloc(256, 16).unwrap();
+            cell2.mem.write(base.0 as usize, &[3u8; 128]).unwrap();
+            let mem = dacs.remote_mem_create(base, 256, MemPerm::ReadWrite);
+            let pid = dacs
+                .de_start(ctx, 0, "transform", 8192, move |ae| {
+                    println!(
+                        "  AE{}: local store has {} B free under libdacs ({} B resident)",
+                        ae.index(),
+                        ae.local_store().free_bytes(),
+                        SPE_LIB_FOOTPRINT,
+                    );
+                    let len = ae.remote_mem_query(mem).unwrap();
+                    let ls = ae.local_store().alloc(128, 16).unwrap();
+                    ae.get(mem, 0, ls, 128, 0).unwrap();
+                    ae.wait(0);
+                    let data = ae.local_store().read(ls, 128).unwrap();
+                    let tripled: Vec<u8> = data.iter().map(|&b| b * 3).collect();
+                    ae.local_store().write(ls, &tripled).unwrap();
+                    ae.put(mem, 128, ls, 128, 1).unwrap();
+                    ae.wait(1);
+                    ae.local_store().free(ls).unwrap();
+                    ae.mailbox_write(len as u32);
+                })
+                .unwrap();
+            let announced = dacs.mailbox_read(ctx, 0);
+            assert_eq!(announced, 256);
+            let out = cell2.mem.read(base.0 as usize + 128, 128).unwrap();
+            assert_eq!(out, vec![9u8; 128]);
+            ctx.join(pid);
+            dacs.remote_mem_release(mem).unwrap();
+            println!("  remote-mem roundtrip: host saw the transformed data");
+
+            // 2. The scatter/gather collectives ("limited support for
+            //    collective operations ... between the PPE and a list of
+            //    SPEs").
+            let aes = [1usize, 2, 3];
+            let mut pids = Vec::new();
+            for &hw in &aes {
+                pids.push(
+                    dacs.de_start(ctx, hw, "collect", 4096, move |ae| {
+                        let part = ae.scatter_recv().unwrap();
+                        let sum: u32 = part.iter().map(|&b| b as u32).sum();
+                        ae.gather_send(&sum.to_be_bytes()).unwrap();
+                    })
+                    .unwrap(),
+                );
+            }
+            let parts: Vec<Vec<u8>> = (0..3).map(|k| vec![k as u8 + 1; 64]).collect();
+            dacs.scatter(ctx, &aes, &parts).unwrap();
+            let sums = dacs.gather(ctx, &aes, 4).unwrap();
+            for (k, s) in sums.iter().enumerate() {
+                let v = u32::from_be_bytes(s[..4].try_into().unwrap());
+                assert_eq!(v, (k as u32 + 1) * 64);
+            }
+            println!("  scatter/gather over {} AEs: sums verified", aes.len());
+            for p in pids {
+                ctx.join(p);
+            }
+
+            // 3. The footprint squeeze: a program CellPilot can load does not
+            //    fit under DaCS.
+            let big = LS_SIZE - SPE_LIB_FOOTPRINT + 1;
+            match dacs.de_start(ctx, 0, "too-big", big, |_| {}) {
+                Err(e) => println!("  {big}-byte image under DaCS: {e}"),
+                Ok(_) => unreachable!(),
+            }
+        }),
+    );
     let report = sim.run().unwrap();
-    println!("virtual time: {:.1} us", report.end_time.as_micros_f64());
+    println!(
+        "tour complete across {} simulated processes",
+        report.processes
+    );
+    eprintln!(
+        "finished at t = {:.1} us (virtual on the sim backend, wall-clock on native)",
+        report.end_time.as_micros_f64()
+    );
 }

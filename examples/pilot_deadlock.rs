@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run -p cp-pilot --example pilot_deadlock`
 
-use cp_pilot::{pi_read, pi_write, PiChannel, PilotConfig, PilotOpts};
+use cp_pilot::{pi_read, pi_write, Backend, PiChannel, PilotConfig, PilotOpts};
 use cp_simnet::{ClusterSpec, NodeId, NodeKind};
 
 fn main() {
@@ -16,6 +16,7 @@ fn main() {
     let placement = (0..4).map(NodeId).collect();
     let opts = PilotOpts {
         deadlock_detection: true, // mpirun ... -pisvc=d
+        backend: Backend::from_env(),
         ..Default::default()
     };
     let mut cfg = PilotConfig::new(spec, placement, opts);
@@ -37,7 +38,27 @@ fn main() {
     let _c1 = cfg.create_channel(pong, ping).unwrap();
 
     match cfg.run(|_p| {}) {
-        Err(e) => println!("Pilot service diagnosed the hang:\n  {e}"),
+        Err(e) => {
+            // The full diagnostic names the cycle in wait-for order; which
+            // process the rendering starts from depends on event arrival
+            // order, so it goes to stderr. stdout keeps the stable facts:
+            // the verdict and the sorted set of deadlocked processes.
+            eprintln!("full diagnostic: {e}");
+            let msg = e.to_string();
+            let mut parties: Vec<&str> = msg
+                .rsplit("circular wait detected: ")
+                .next()
+                .unwrap_or("")
+                .trim()
+                .split(" -> ")
+                .collect();
+            parties.sort_unstable();
+            parties.dedup();
+            println!(
+                "DEADLOCK: circular wait detected among: {}",
+                parties.join(", ")
+            );
+        }
         Ok(_) => unreachable!("this program always deadlocks"),
     }
 }

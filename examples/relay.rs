@@ -13,7 +13,8 @@ const N: usize = 100;
 
 fn main() {
     let spec = ClusterSpec::two_cells_one_xeon();
-    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::default());
+    let mut cfg =
+        CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::new().with_backend_from_env());
 
     let source = SpeProgram::new("source", 2048, |spe, _, _| {
         let data: Vec<i32> = (0..N as i32).map(|i| i * i).collect();
@@ -68,7 +69,11 @@ fn main() {
         })
         .unwrap();
     println!(
-        "relay finished at virtual t = {:.1} us",
+        "relay finished across {} simulated processes",
+        report.processes
+    );
+    eprintln!(
+        "finished at t = {:.1} us (virtual on the sim backend, wall-clock on native)",
         report.end_time.as_micros_f64()
     );
 }
