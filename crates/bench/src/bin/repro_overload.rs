@@ -1,0 +1,125 @@
+//! Seeded overload campaign: saturate bounded channels and check that
+//! credit-based flow control degrades the run gracefully.
+//!
+//! Each seed deterministically draws a capacity, a burst three times that
+//! capacity, and an overload policy (seeds rotate Block → Shed →
+//! DeadlineDrop), then drives the fixed two-Cells-one-Xeon workload
+//! through it. Every seed must complete, keep every bounded channel's
+//! queue-depth high watermark at or below its capacity, shed exactly the
+//! writes its policy promises (each surfacing as a distinct
+//! `ErrorKind::Backpressure` with matching `Overload`/`MessageShed`
+//! incidents), and deliver everything it accepted, in order. A failing
+//! seed is a complete bug report: rerun with the same seed to replay it.
+//!
+//! Usage: `repro_overload [--seeds N] [--bench-out PATH] [--trace-out PATH]`
+//! (default: 32 seeds). `--bench-out` writes a `BENCH_overload.json`
+//! whose overload section the CI gate checks (a high watermark above
+//! capacity fails the gate). `--trace-out` writes the Chrome
+//! `trace_event` export of one shedding run — the artifact CI uploads
+//! when the campaign finds something.
+//!
+//! Exit status: 0 when every seed passes, 3 when any invariant is
+//! violated (findings), 2 on usage errors.
+
+use cp_bench::cli::{parse_int_flag, parse_str_flag, unknown_flag};
+use cp_bench::{overload, overload_bench_rows, overload_traced};
+use cp_trace::BenchReport;
+
+const USAGE: &str = "repro_overload [--seeds N] [--bench-out PATH] [--trace-out PATH]";
+
+fn main() {
+    let mut n_seeds: u64 = 32;
+    let mut bench_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => n_seeds = parse_int_flag(USAGE, "--seeds", args.next(), 1, 1_000_000),
+            "--bench-out" => bench_out = Some(parse_str_flag(USAGE, "--bench-out", args.next())),
+            "--trace-out" => trace_out = Some(parse_str_flag(USAGE, "--trace-out", args.next())),
+            other => unknown_flag(USAGE, other),
+        }
+    }
+
+    println!("overload campaign: {n_seeds} seeds (burst = 3x capacity on every bounded channel)\n");
+    let mut failures = 0u64;
+    for seed in 0..n_seeds {
+        match overload(seed) {
+            Ok(r) => {
+                let incidents: Vec<String> = r
+                    .incidents
+                    .iter()
+                    .map(|(c, n)| format!("{c}x{n}"))
+                    .collect();
+                println!(
+                    "  seed {seed:>3}: {:>16} cap {} burst {:>2} accepted {:>2} \
+                     hwm [data {}, spe {}] waits {:>3} incidents [{}] end {}",
+                    format!("{:?}", r.policy),
+                    r.capacity,
+                    r.burst,
+                    r.accepted,
+                    r.data_high_watermark,
+                    r.spe_high_watermark,
+                    r.backpressure_waits,
+                    incidents.join(", "),
+                    r.end_time
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("  seed {seed:>3}: FAILED: {e}");
+            }
+        }
+    }
+    // Artifacts are written even when the campaign found something — a
+    // failing CI run uploads them as the replay evidence.
+    let mut artifacts_failed = false;
+    if let Some(path) = bench_out {
+        match overload_bench_rows() {
+            Ok(rows) => {
+                let mut report = BenchReport::new("overload", 1);
+                report.overload = rows;
+                if let Err(e) = std::fs::write(&path, report.to_json_string()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    artifacts_failed = true;
+                } else {
+                    println!("wrote overload BENCH section to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: bench rows failed: {e}");
+                artifacts_failed = true;
+            }
+        }
+    }
+    if let Some(path) = trace_out {
+        // Seed 1 rotates onto Shed: the interesting trace, with the
+        // backpressure waits and shed incidents marked.
+        match overload_traced(1) {
+            Ok((_, rec)) => {
+                if let Err(e) = std::fs::write(&path, rec.chrome_trace()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    artifacts_failed = true;
+                } else {
+                    println!("wrote Chrome trace of shedding seed 1 to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("traced run failed: {e}");
+                artifacts_failed = true;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures}/{n_seeds} seeds violated an overload invariant");
+        std::process::exit(3);
+    }
+    if artifacts_failed {
+        std::process::exit(3);
+    }
+    println!(
+        "\nall {n_seeds} seeds: completed, queues bounded by their capacity, \
+         sheds exact and accounted, accepted messages delivered ✓"
+    );
+}

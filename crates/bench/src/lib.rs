@@ -19,6 +19,7 @@ pub mod cli;
 pub mod codesize;
 pub mod explore;
 pub mod imb;
+pub mod overload;
 pub mod pingpong;
 pub mod report;
 pub mod sweep;
@@ -30,6 +31,9 @@ pub use chaos::{
 };
 pub use explore::{explore, fault_replay_outcome, FaultReplayOutcome, ScheduleDivergence};
 pub use imb::{exchange, pingping};
+pub use overload::{
+    overload, overload_bench_rows, overload_plan, overload_traced, OverloadFailure, OverloadReport,
+};
 pub use pingpong::{
     cellpilot_pingpong, cellpilot_pingpong_one_sided, cellpilot_pingpong_with,
     cellpilot_pingpong_xeon_initiator, PingPong, WARMUP,

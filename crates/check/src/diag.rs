@@ -42,6 +42,10 @@ pub enum CheckCode {
     /// channel that is not one-sided, or a window that is not in the
     /// reading SPE's local store.
     Cp012,
+    /// Flow-control misconfiguration: a non-Block overload policy on a
+    /// channel with no capacity (the policy is inert), or — in strict
+    /// mode, once any channel is bounded — a channel left unbounded.
+    Cp013,
     /// Race detector: overlapping local-store byte ranges accessed
     /// without a happens-before edge.
     Cp101,
@@ -63,6 +67,7 @@ impl CheckCode {
             CheckCode::Cp010 => "CP010",
             CheckCode::Cp011 => "CP011",
             CheckCode::Cp012 => "CP012",
+            CheckCode::Cp013 => "CP013",
             CheckCode::Cp101 => "CP101",
         }
     }

@@ -82,6 +82,17 @@ pub struct GraphWindow {
     pub len: u32,
 }
 
+/// Flow-control declaration of one channel, as `cp-check` sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphChannelFlow {
+    /// Configured in-flight bound (`ChannelBuilder::capacity`); `None`
+    /// means the channel queue is unbounded.
+    pub capacity: Option<usize>,
+    /// Whether the overload policy is the default `Block` (a non-Block
+    /// policy on an unbounded channel is inert — CP013 flags it).
+    pub blocks: bool,
+}
+
 /// What a bundle's collective does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphBundleUsage {
@@ -129,6 +140,12 @@ pub struct WiringGraph {
     pub bundles: Vec<GraphBundle>,
     /// All one-sided window registrations.
     pub windows: Vec<GraphWindow>,
+    /// Per-channel flow-control declarations (channel index → flow).
+    /// Channels absent from the map declared nothing (unbounded, Block).
+    pub channel_flow: BTreeMap<usize, GraphChannelFlow>,
+    /// Whether strict mode asked for flow-control advisories: the
+    /// unbounded-channel half of CP013 only fires when this is set.
+    pub flow_strict: bool,
 }
 
 impl WiringGraph {
@@ -196,6 +213,21 @@ impl WiringGraph {
         if let Some(ch) = self.channels.get_mut(c) {
             ch.one_sided = true;
         }
+    }
+
+    /// Record channel `c`'s flow-control declaration (capacity bound and
+    /// whether its overload policy is the default `Block`). No-op for an
+    /// out-of-range index (the orphan checks already flag those).
+    pub fn set_channel_flow(&mut self, c: usize, capacity: Option<usize>, blocks: bool) {
+        if self.channels.get(c).is_some() {
+            self.channel_flow
+                .insert(c, GraphChannelFlow { capacity, blocks });
+        }
+    }
+
+    /// Enable the strict-mode-only flow advisories of CP013.
+    pub fn set_flow_strict(&mut self, strict: bool) {
+        self.flow_strict = strict;
     }
 
     /// Register a one-sided window of `len` bytes at local-store offset

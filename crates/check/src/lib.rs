@@ -35,8 +35,8 @@ pub mod verify;
 
 pub use diag::{render, CheckCode, Diagnostic, Severity};
 pub use graph::{
-    GraphBundle, GraphBundleUsage, GraphChannel, GraphEndpoint, GraphProcess, GraphWindow,
-    WiringGraph,
+    GraphBundle, GraphBundleUsage, GraphChannel, GraphChannelFlow, GraphEndpoint, GraphProcess,
+    GraphWindow, WiringGraph,
 };
 pub use race::detect_races;
 pub use verify::verify;

@@ -1,4 +1,4 @@
-//! The configure-time wiring verifier: CP001–CP012 over a
+//! The configure-time wiring verifier: CP001–CP013 over a
 //! [`WiringGraph`].
 
 use crate::diag::{CheckCode, Diagnostic, Severity};
@@ -339,6 +339,43 @@ pub fn verify(g: &WiringGraph) -> Vec<Diagnostic> {
         }
     }
 
+    // Flow-control checks (CP013), appended after every other group so
+    // existing diagnostic orderings are unchanged. Both halves are
+    // warnings — backpressure configuration is advice, never an abort.
+    // An inert policy (non-Block with no capacity) is always flagged; the
+    // unbounded-channel advisory only fires in strict mode and only once
+    // the application has opted into flow control by bounding at least
+    // one channel, so capacity-free configurations stay silent.
+    let any_bounded = g.channel_flow.values().any(|f| f.capacity.is_some());
+    for (c, ch) in g.channels.iter().enumerate() {
+        let flow = g.channel_flow.get(&c);
+        let capacity = flow.and_then(|f| f.capacity);
+        let blocks = flow.map(|f| f.blocks).unwrap_or(true);
+        let endpoints = ch.writer.map(|p| ep(g, p)).unwrap_or_default();
+        if !blocks && capacity.is_none() {
+            out.push(Diagnostic::new(
+                CheckCode::Cp013,
+                Severity::Warning,
+                format!(
+                    "channel {c} declares a non-blocking overload policy but no \
+                     capacity: the policy is inert (an unbounded channel never sheds)"
+                ),
+                endpoints.clone(),
+            ));
+        }
+        if g.flow_strict && any_bounded && capacity.is_none() {
+            out.push(Diagnostic::new(
+                CheckCode::Cp013,
+                Severity::Warning,
+                format!(
+                    "channel {c} is unbounded while other channels declare a \
+                     capacity: an overloaded writer can grow its queue without limit"
+                ),
+                endpoints,
+            ));
+        }
+    }
+
     out
 }
 
@@ -520,6 +557,48 @@ mod tests {
         let d = verify(&g);
         assert_eq!(codes(&d), vec!["CP012"]);
         assert!(d[0].message.contains("not"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn inert_overload_policy_draws_cp013() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let c = g.add_channel(main, xeon);
+        g.set_channel_flow(c, None, false); // Shed policy, no capacity
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP013"]);
+        assert!(!d[0].is_error(), "CP013 is a warning");
+        assert!(d[0].message.contains("inert"), "{}", d[0].message);
+        assert_eq!(d[0].endpoints, vec!["rank 0"]);
+    }
+
+    #[test]
+    fn unbounded_channel_advisory_needs_strict_and_a_bounded_peer() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let bounded = g.add_channel(main, xeon);
+        let unbounded = g.add_channel(xeon, main);
+        g.set_channel_flow(bounded, Some(8), true);
+        g.set_channel_flow(unbounded, None, true);
+        // Not strict: silent.
+        assert_eq!(verify(&g), Vec::new());
+        // Strict with a bounded peer: the unbounded channel is flagged.
+        g.set_flow_strict(true);
+        let d = verify(&g);
+        assert_eq!(codes(&d), vec!["CP013"]);
+        assert!(d[0].message.contains("unbounded"), "{}", d[0].message);
+        assert_eq!(d[0].endpoints, vec!["rank 1"]);
+        // Strict but nothing bounded anywhere: still silent — an
+        // application that never opted into flow control is untouched.
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let c = g.add_channel(main, xeon);
+        g.set_channel_flow(c, None, true);
+        g.set_flow_strict(true);
+        assert_eq!(verify(&g), Vec::new());
     }
 
     #[test]

@@ -74,14 +74,29 @@ impl CellPilot {
         self.charge_collective(payload_bytes(values));
         // Group SPE readers by node; rank readers send individually.
         // BTreeMap: multicast send order must be deterministic.
+        //
+        // Flow control is per member channel: each copy of the message
+        // consumes one credit on its own channel, even when several SPE
+        // members share a single multicast wire message (the Co-Pilot's
+        // fan-out drains each member channel individually). A member whose
+        // policy sheds aborts the broadcast; credits grouped for the
+        // not-yet-sent multicast are unwound so they cannot leak.
         let mut per_node: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        let mut grouped_unsent: Vec<usize> = Vec::new();
         for &c in &entry.channels {
             let chan = &tables.channels[c.0];
+            if let Err(e) = self.shared.acquire_credit(self.ctx(), &self.name(), c.0) {
+                for &u in &grouped_unsent {
+                    self.shared.release_credit(u);
+                }
+                return Err(e);
+            }
             match tables.processes[chan.to.0].location {
                 Location::Rank { rank, .. } => {
                     self.comm_send(rank, c.0 as i32, data.clone());
                 }
                 Location::Spe { node, .. } => {
+                    grouped_unsent.push(c.0);
                     per_node.entry(node).or_default().push(c.0 as u32);
                 }
             }

@@ -14,6 +14,7 @@ use crate::collective::CpBundle;
 use crate::copilot;
 use crate::costs::CellPilotCosts;
 use crate::error::CpError;
+use crate::flow::{FlowControl, OverloadPolicy};
 use crate::location::{classify, ChannelMode, CpChannel, CpProcess, Location};
 use crate::program::SpeProgram;
 use crate::runtime::{AppShared, CellPilot};
@@ -444,6 +445,8 @@ impl CellPilotConfig {
             to,
             mode: ChannelMode::Rendezvous,
             window: None,
+            capacity: None,
+            policy: OverloadPolicy::Block,
         }
     }
 
@@ -453,6 +456,8 @@ impl CellPilotConfig {
         to: CpProcess,
         mode: ChannelMode,
         window: Option<(u32, u32)>,
+        capacity: Option<usize>,
+        policy: OverloadPolicy,
     ) -> Result<CpChannel, CpError> {
         let fe = self
             .processes
@@ -493,12 +498,22 @@ impl CellPilotConfig {
                 });
             }
         }
+        if capacity == Some(0) {
+            return Err(CpError::BadCapacity {
+                channel: id.0,
+                detail: "capacity must be nonzero (a zero-credit channel can never \
+                         accept a write)"
+                    .into(),
+            });
+        }
         self.channels.push(CpChanEntry {
             from,
             to,
             kind,
             mode,
             window,
+            capacity,
+            policy,
         });
         Ok(id)
     }
@@ -630,6 +645,17 @@ impl CellPilotConfig {
         }
         for c in &self.channels {
             g.add_channel(c.from.0, c.to.0);
+        }
+        // Flow-control declarations for the CP013 lint. Strict runs opt
+        // into the unbounded-channel advisory (it is only a warning, never
+        // an abort).
+        g.set_flow_strict(self.opts.strict_checks);
+        for (i, c) in self.channels.iter().enumerate() {
+            g.set_channel_flow(
+                i,
+                c.capacity,
+                c.policy == crate::flow::OverloadPolicy::Block,
+            );
         }
         // One-sided channels and their windows. Explicit `window_at`
         // placements are declared verbatim (CP011 catches user-chosen
@@ -820,6 +846,7 @@ impl CellPilotConfig {
             }
         }
         let shared = Arc::new(AppShared {
+            flow: FlowControl::new(tables.channels.iter().map(|c| c.capacity)),
             tables: tables.clone(),
             trace,
             cluster: cluster.clone(),
@@ -943,6 +970,8 @@ pub struct ChannelBuilder<'a> {
     to: CpProcess,
     mode: ChannelMode,
     window: Option<(u32, u32)>,
+    capacity: Option<usize>,
+    policy: OverloadPolicy,
 }
 
 impl ChannelBuilder<'_> {
@@ -969,6 +998,40 @@ impl ChannelBuilder<'_> {
         self
     }
 
+    /// Bound the channel to at most `max_in_flight` undrained messages.
+    ///
+    /// A write that would exceed the bound engages the channel's
+    /// [`OverloadPolicy`] (default [`OverloadPolicy::Block`]: the sender
+    /// waits for the reader to drain a message and return a send credit).
+    /// The bound covers the whole pipeline — relay queues, mailboxes, the
+    /// one-sided window fabric — not any single hop. Unbounded without
+    /// this call. `max_in_flight` must be nonzero.
+    ///
+    /// ```no_run
+    /// # fn demo(cfg: &mut cellpilot::CellPilotConfig,
+    /// #         a: cellpilot::CpProcess, s: cellpilot::CpProcess)
+    /// #         -> Result<(), cellpilot::CpError> {
+    /// use cellpilot::OverloadPolicy;
+    /// let bounded = cfg.channel(a, s)
+    ///     .capacity(8)                          // ≤ 8 messages in flight
+    ///     .overload_policy(OverloadPolicy::Shed) // senders shed when full
+    ///     .build()?;
+    /// # Ok(()) }
+    /// ```
+    pub fn capacity(mut self, max_in_flight: usize) -> Self {
+        self.capacity = Some(max_in_flight);
+        self
+    }
+
+    /// Select what a sender does when the channel is at its
+    /// [`ChannelBuilder::capacity`] (default [`OverloadPolicy::Block`]).
+    /// Meaningless without a capacity — the `cp-check` wiring verifier
+    /// flags that combination as CP013.
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Validate and register the channel.
     ///
     /// Consumes the builder, so a declaration cannot be registered twice
@@ -987,8 +1050,14 @@ impl ChannelBuilder<'_> {
     /// let second = b.build(); // error: use of moved value `b`
     /// ```
     pub fn build(self) -> Result<CpChannel, CpError> {
-        self.cfg
-            .finish_channel(self.from, self.to, self.mode, self.window)
+        self.cfg.finish_channel(
+            self.from,
+            self.to,
+            self.mode,
+            self.window,
+            self.capacity,
+            self.policy,
+        )
     }
 
     /// Validate and register the channel, returning an element-typed

@@ -275,6 +275,15 @@ pub fn run_plan_traced(
     });
 
     let payloads = sink.lock().clone();
+    observe_outcome(result, payloads)
+}
+
+/// Collapse a run result plus the recorded payload FIFOs into the
+/// backend-independent [`Observed`] record.
+fn observe_outcome(
+    result: Result<cp_des::SimReport, cp_des::SimError>,
+    payloads: BTreeMap<usize, Vec<Vec<i32>>>,
+) -> Observed {
     match result {
         Ok(report) => Observed {
             payloads,
@@ -302,6 +311,97 @@ pub fn run_plan_traced(
             processes: 0,
         },
     }
+}
+
+/// Number of in-flight messages the saturated scenario's data channel
+/// admits before its [`crate::OverloadPolicy::Shed`] policy starts refusing
+/// writes.
+pub const SATURATED_CAPACITY: usize = 3;
+/// Messages the saturated scenario's writer bursts — three times the
+/// capacity, so exactly `2 * SATURATED_CAPACITY` writes must shed.
+pub const SATURATED_BURST: usize = 3 * SATURATED_CAPACITY;
+
+/// Execute the fixed saturated-channel scenario on `backend`.
+///
+/// Main bursts [`SATURATED_BURST`] messages into a channel bounded at
+/// [`SATURATED_CAPACITY`] with [`crate::OverloadPolicy::Shed`], while the reader
+/// is parked on a control channel — nothing drains during the burst, so
+/// exactly `burst - capacity` writes shed *regardless of backend timing*
+/// (the race the gate closes: a wall-clock reader that drained mid-burst
+/// would make native shed counts nondeterministic). Every shed must
+/// surface as [`crate::ErrorKind::Backpressure`] with a `source()` chain, and
+/// both backends must agree on the accepted-payload FIFO and the
+/// `overload` / `message-shed` incident multiset.
+pub fn run_saturated(backend: Backend) -> Observed {
+    use crate::error::ErrorKind;
+    use crate::flow::OverloadPolicy;
+    use std::error::Error as _;
+
+    let sink: Sink = Arc::new(Mutex::new(BTreeMap::new()));
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        ClusterSpec::two_cells_one_xeon(),
+        CellPilotOpts::new().with_backend(backend),
+    );
+
+    const DATA: CpChannel = CpChannel(0);
+    const COUNT: CpChannel = CpChannel(1);
+
+    let reader_sink = sink.clone();
+    let reader = cfg
+        .create_process("reader", 0, move |cp, _| {
+            // Parked here until the burst is over: the writer publishes how
+            // many messages were accepted only after its last write.
+            let n = cp.read_vec::<i32>(COUNT).unwrap()[0] as usize;
+            for _ in 0..n {
+                let v = cp.read_vec::<i32>(DATA).unwrap();
+                record(&reader_sink, DATA.0, v);
+            }
+        })
+        .expect("two_cells_one_xeon has an app rank free");
+
+    let data = cfg
+        .channel(CP_MAIN, reader)
+        .capacity(SATURATED_CAPACITY)
+        .overload_policy(OverloadPolicy::Shed)
+        .build()
+        .unwrap();
+    assert_eq!(data, DATA);
+    let count = cfg.channel(CP_MAIN, reader).build().unwrap();
+    assert_eq!(count, COUNT);
+
+    let result = cfg.run(move |cp| {
+        let mut accepted = 0i32;
+        for i in 0..SATURATED_BURST as i32 {
+            match cp.write_slice(DATA, &[i, i * 3]) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert_eq!(
+                        e.kind(),
+                        ErrorKind::Backpressure,
+                        "a saturated Shed channel must refuse with Backpressure, got: {e}"
+                    );
+                    assert!(
+                        e.source().is_some(),
+                        "Backpressure must chain its OverloadError cause"
+                    );
+                }
+            }
+        }
+        cp.write_slice(COUNT, &[accepted]).unwrap();
+    });
+
+    let payloads = sink.lock().clone();
+    observe_outcome(result, payloads)
+}
+
+/// Run the saturated-channel scenario on both backends (sim first, as the
+/// oracle) and return the divergence report, if any, alongside both
+/// observations.
+pub fn check_saturated() -> (Observed, Observed, Option<String>) {
+    let oracle = run_saturated(Backend::Sim);
+    let candidate = run_saturated(Backend::Native);
+    let verdict = diff(&oracle, &candidate);
+    (oracle, candidate, verdict)
 }
 
 /// Compare two executions of the same plan; `None` means they agree,
@@ -380,6 +480,28 @@ mod tests {
         assert_eq!(a, b, "the oracle must be deterministic");
         assert_eq!(a.outcome, Ok(()));
         assert!(!a.payloads.is_empty());
+    }
+
+    #[test]
+    fn saturated_oracle_sheds_exactly_and_delivers_the_rest() {
+        let obs = run_saturated(Backend::Sim);
+        assert_eq!(obs.outcome, Ok(()));
+        let fifo = &obs.payloads[&0];
+        assert_eq!(
+            fifo.len(),
+            SATURATED_CAPACITY,
+            "with the reader parked, exactly `capacity` writes may land"
+        );
+        for (i, p) in fifo.iter().enumerate() {
+            let i = i as i32;
+            assert_eq!(p, &vec![i, i * 3], "accepted messages keep FIFO order");
+        }
+        let sheds = SATURATED_BURST - SATURATED_CAPACITY;
+        let expect: Vec<String> = std::iter::repeat_n("message-shed", sheds)
+            .chain(std::iter::repeat_n("overload", sheds))
+            .map(str::to_string)
+            .collect();
+        assert_eq!(obs.incidents, expect, "each shed reports both categories");
     }
 
     #[test]

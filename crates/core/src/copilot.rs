@@ -462,6 +462,11 @@ fn deliver_to_spe(
     rr: PendingReq,
 ) {
     let _ = shared;
+    // This is the channel's final drain point (rank→SPE types 2/3, the
+    // reader-side leg of a type 5, mcast fan-out): the message leaves the
+    // pipeline here whether it fits the buffer or not, so its flow-control
+    // send credit returns either way.
+    shared.release_credit(_chan);
     charge(ctx, cell.costs.ea_translate_us);
     if data.len() > rr.len as usize {
         complete(ctx, cell, rr.hw, completion_err(CompletionError::Overflow));
@@ -515,6 +520,9 @@ fn pair_type4(
     w: PendingReq,
     r: PendingReq,
 ) {
+    // The pairing drains the write whatever its outcome — return its
+    // flow-control send credit.
+    shared.release_credit(_chan);
     charge(ctx, shared.costs.copilot_pair_poll_us);
     charge(ctx, 2.0 * cell.costs.ea_translate_us);
     if w.len > r.len {

@@ -165,6 +165,8 @@ mod tests {
                 kind: ChannelKind::Type3,
                 mode: ChannelMode::Rendezvous,
                 window: None,
+                capacity: None,
+                policy: crate::OverloadPolicy::Block,
             },
             CpChanEntry {
                 from: CpProcess(1),
@@ -172,6 +174,8 @@ mod tests {
                 kind: ChannelKind::Type3,
                 mode: ChannelMode::Rendezvous,
                 window: None,
+                capacity: None,
+                policy: crate::OverloadPolicy::Block,
             },
         ];
         CpTables {

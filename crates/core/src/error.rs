@@ -31,11 +31,46 @@ pub enum ErrorKind {
     Resource,
     /// Injected-fault outcomes: deadlines missed, peers lost.
     Fault,
+    /// Credit-based flow control pushed back: a bounded channel was at
+    /// capacity and its overload policy shed the message or gave up on a
+    /// bounded wait. Distinct from [`ErrorKind::Fault`]: nothing failed —
+    /// the receiver is merely slower than the sender.
+    Backpressure,
     /// An error from the Pilot layer underneath.
     Pilot,
     /// An error from the simulation kernel.
     Sim,
 }
+
+/// The structured cause carried by [`CpError::Backpressure`]: which
+/// channel was overloaded, its configured capacity, the policy that
+/// engaged, and what the policy did. Reachable through
+/// [`std::error::Error::source`] so callers can introspect the overload
+/// without string-matching the display text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadError {
+    /// The saturated channel's id.
+    pub channel: usize,
+    /// The channel's configured capacity (messages in flight).
+    pub capacity: usize,
+    /// Stable label of the policy that engaged: `"shed"` or
+    /// `"deadline-drop"`.
+    pub policy: &'static str,
+    /// What happened (shed immediately, or waited how long before drop).
+    pub detail: String,
+}
+
+impl fmt::Display for OverloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {} at capacity ({} in flight, policy {}): {}",
+            self.channel, self.capacity, self.policy, self.detail
+        )
+    }
+}
+
+impl std::error::Error for OverloadError {}
 
 /// Everything a CellPilot call can report.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +157,13 @@ pub enum CpError {
         /// What was wrong.
         detail: String,
     },
+    /// A flow-control capacity was declared incorrectly (zero).
+    BadCapacity {
+        /// The channel id.
+        channel: usize,
+        /// What was wrong.
+        detail: String,
+    },
     /// A one-sided channel or its window was declared or used incorrectly
     /// (rank-resident reader, window placement on a non-one-sided channel,
     /// fence on a rendezvous channel, ...).
@@ -143,6 +185,12 @@ pub enum CpError {
         /// What ran out of time (operation and bound).
         detail: String,
     },
+    /// Credit-based flow control refused the send: the channel was at its
+    /// configured capacity and the overload policy shed the message
+    /// (`Shed`) or abandoned a bounded wait (`DeadlineDrop`). The wrapped
+    /// [`OverloadError`] is reachable through
+    /// [`std::error::Error::source`].
+    Backpressure(OverloadError),
     /// The channel's peer process was lost to an injected fault.
     PeerLost {
         /// The channel id.
@@ -175,6 +223,7 @@ impl CpError {
             | CpError::EmptyBundle
             | CpError::BundleCommonEndpoint
             | CpError::ChannelAlreadyBundled(_)
+            | CpError::BadCapacity { .. }
             | CpError::WindowMisuse { .. } => ErrorKind::Config,
             CpError::NotParent { .. }
             | CpError::NotSpeProcess(_)
@@ -191,6 +240,7 @@ impl CpError {
             | CpError::LocalStore(_)
             | CpError::SpeRun(_) => ErrorKind::Resource,
             CpError::Timeout { .. } | CpError::PeerLost { .. } => ErrorKind::Fault,
+            CpError::Backpressure(_) => ErrorKind::Backpressure,
             CpError::Pilot(_) => ErrorKind::Pilot,
             CpError::Sim(_) => ErrorKind::Sim,
         }
@@ -268,6 +318,9 @@ impl fmt::Display for CpError {
             CpError::BundleMisuse { bundle, detail } => {
                 write!(f, "bundle {bundle} misuse: {detail}")
             }
+            CpError::BadCapacity { channel, detail } => {
+                write!(f, "channel {channel} capacity misuse: {detail}")
+            }
             CpError::WindowMisuse { channel, detail } => {
                 write!(f, "channel {channel} window misuse: {detail}")
             }
@@ -275,6 +328,9 @@ impl fmt::Display for CpError {
             CpError::SpeRun(e) => write!(f, "{e}"),
             CpError::Timeout { channel, detail } => {
                 write!(f, "channel {channel} operation timed out: {detail}")
+            }
+            CpError::Backpressure(e) => {
+                write!(f, "PI_Write backpressure: {e}")
             }
             CpError::PeerLost { channel, peer } => {
                 write!(f, "channel {channel}: peer process '{peer}' was lost")
@@ -302,6 +358,7 @@ impl std::error::Error for CpError {
             CpError::SpeRun(e) => Some(e),
             CpError::Pilot(e) => Some(e),
             CpError::Sim(e) => Some(e),
+            CpError::Backpressure(e) => Some(e),
             _ => None,
         }
     }
@@ -409,5 +466,31 @@ mod tests {
         let e: CpError = LsError::BadFree(4).into();
         assert!(e.source().is_some());
         assert!(CpError::SelfChannel.source().is_none());
+    }
+
+    #[test]
+    fn backpressure_is_its_own_kind_with_a_source_chain() {
+        use std::error::Error;
+        let e = CpError::Backpressure(OverloadError {
+            channel: 4,
+            capacity: 8,
+            policy: "shed",
+            detail: "message shed without waiting".into(),
+        });
+        // Backpressure must classify as its own kind — a saturated channel
+        // is not a fault, and harnesses dispatch on the distinction.
+        assert_eq!(e.kind(), ErrorKind::Backpressure);
+        assert_ne!(
+            e.kind(),
+            CpError::Timeout {
+                channel: 4,
+                detail: "x".into()
+            }
+            .kind()
+        );
+        let src = e.source().expect("overload source");
+        assert!(src.to_string().contains("capacity"), "{src}");
+        assert!(src.downcast_ref::<OverloadError>().is_some());
+        assert!(e.to_string().contains("backpressure"), "{e}");
     }
 }

@@ -1,0 +1,315 @@
+//! Credit-based flow control for bounded channels.
+//!
+//! Every queue a CellPilot message can sit in — a Co-Pilot's per-channel
+//! `pending_mpi`/`pending_writes` tables, an MPI rank's mailbox, the
+//! one-sided window fabric's landed-put queues — is bounded by the same
+//! mechanism: a per-channel **credit ledger** shared by every process of
+//! the application. A sender consumes one credit when its write enters the
+//! pipeline and the credit returns when the message is finally drained by
+//! the reader (a rank-side `read`, a Co-Pilot delivery into an SPE buffer,
+//! a type-4 pairing, or a one-sided `take`). In-flight messages on a
+//! channel therefore never exceed its configured capacity, whatever mix of
+//! relay hops the channel type routes through.
+//!
+//! The ledger is deliberately *central* (one table in `AppShared`, not
+//! per-process copies): a Co-Pilot failover hands the standby the same
+//! ledger the primary was using, so credits consumed by messages still
+//! parked in the dead primary's queues are returned when the standby
+//! drains them — credit state migrates with the node exactly like the
+//! wire-seq dedup state. The upstream exactly-once machinery (wire-seq
+//! dedup in `cp-mpisim`, `next_seq` dedup in the window fabric) guarantees
+//! each logical message is drained at most once, which is what keeps the
+//! ledger conserved: never negative, never above capacity (the proptest in
+//! this module drives that invariant through retransmission, duplication
+//! and takeover schedules).
+//!
+//! Acquiring a credit on a channel below capacity is a single lock-guarded
+//! check with **no** virtual-time charge and no kernel events — so runs
+//! whose capacities are never reached (including every unbounded channel)
+//! are byte-identical to runs without flow control at all.
+
+use cp_des::SimDuration;
+use parking_lot::Mutex;
+
+/// What a sender does when its bounded channel is at capacity.
+///
+/// Selected per channel with
+/// [`crate::ChannelBuilder::overload_policy`]; meaningless (and flagged by
+/// the `cp-check` CP013 lint) without a
+/// [`crate::ChannelBuilder::capacity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block (virtual time in the sim, wall-clock on the native backend)
+    /// until the reader drains a message and a credit returns. The
+    /// default: lossless backpressure.
+    #[default]
+    Block,
+    /// Fail the write immediately with
+    /// [`crate::CpError::Backpressure`] and drop the message — load
+    /// shedding for senders that would rather lose work than wait.
+    Shed,
+    /// Block up to the given (virtual-time) deadline waiting for a credit,
+    /// then shed the message with [`crate::CpError::Backpressure`].
+    DeadlineDrop(SimDuration),
+}
+
+impl OverloadPolicy {
+    /// Stable kebab-case label (used in diagnostics and CP013 lint text).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::DeadlineDrop(_) => "deadline-drop",
+        }
+    }
+}
+
+/// Outcome of a non-blocking credit acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Acquire {
+    /// A credit was consumed; `depth` is the channel's in-flight count
+    /// including this message (its queue depth the moment it was sent).
+    Granted { depth: usize },
+    /// The channel is at its configured capacity.
+    Full { capacity: usize },
+}
+
+/// One channel's credit state.
+#[derive(Debug, Default)]
+struct CreditState {
+    /// `None` = unbounded (credits always granted, depth still tracked).
+    capacity: Option<usize>,
+    /// Messages sent but not yet drained by the reader.
+    in_flight: usize,
+    /// Deepest the in-flight count ever got.
+    high_watermark: usize,
+    /// Messages dropped by a `Shed`/`DeadlineDrop` policy.
+    shed: u64,
+}
+
+/// The application-wide credit ledger: one [`CreditState`] per channel,
+/// indexed by channel id. Shared via `AppShared` so every rank, SPE and
+/// Co-Pilot (primary or standby) sees the same accounting.
+pub(crate) struct FlowControl {
+    chans: Vec<Mutex<CreditState>>,
+}
+
+impl FlowControl {
+    /// Build the ledger from the configured per-channel capacities.
+    pub(crate) fn new(capacities: impl IntoIterator<Item = Option<usize>>) -> FlowControl {
+        FlowControl {
+            chans: capacities
+                .into_iter()
+                .map(|capacity| {
+                    Mutex::new(CreditState {
+                        capacity,
+                        ..CreditState::default()
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Try to consume one send credit on `chan`. Atomic check-and-claim:
+    /// concurrent native-backend writers can never jointly exceed the
+    /// capacity. Never blocks and never touches virtual time.
+    pub(crate) fn try_acquire(&self, chan: usize) -> Acquire {
+        let mut st = self.chans[chan].lock();
+        if let Some(cap) = st.capacity {
+            if st.in_flight >= cap {
+                return Acquire::Full { capacity: cap };
+            }
+        }
+        st.in_flight += 1;
+        st.high_watermark = st.high_watermark.max(st.in_flight);
+        Acquire::Granted {
+            depth: st.in_flight,
+        }
+    }
+
+    /// Return one credit on `chan` (the reader drained a message, or a
+    /// failed send is unwinding). Saturates at zero: the exactly-once
+    /// dedup layers upstream drain each message at most once, and a
+    /// defensive duplicate release must not mint extra credits.
+    pub(crate) fn release(&self, chan: usize) {
+        if let Some(slot) = self.chans.get(chan) {
+            let mut st = slot.lock();
+            st.in_flight = st.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Count one message dropped by an overload policy on `chan`.
+    pub(crate) fn note_shed(&self, chan: usize) {
+        self.chans[chan].lock().shed += 1;
+    }
+
+    /// The channel's configured capacity (`None` = unbounded).
+    pub(crate) fn capacity(&self, chan: usize) -> Option<usize> {
+        self.chans[chan].lock().capacity
+    }
+
+    /// Messages currently in flight on `chan`.
+    #[cfg(test)]
+    pub(crate) fn depth(&self, chan: usize) -> usize {
+        self.chans[chan].lock().in_flight
+    }
+
+    /// The deepest the channel's in-flight count ever got.
+    #[cfg(test)]
+    pub(crate) fn high_watermark(&self, chan: usize) -> usize {
+        self.chans[chan].lock().high_watermark
+    }
+
+    /// Messages dropped by the channel's overload policy so far.
+    #[cfg(test)]
+    pub(crate) fn sheds(&self, chan: usize) -> u64 {
+        self.chans[chan].lock().shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_channels_always_grant_and_track_watermark() {
+        let f = FlowControl::new([None]);
+        for i in 1..=100 {
+            assert_eq!(f.try_acquire(0), Acquire::Granted { depth: i });
+        }
+        assert_eq!(f.high_watermark(0), 100);
+        f.release(0);
+        assert_eq!(f.depth(0), 99);
+    }
+
+    #[test]
+    fn bounded_channel_refuses_past_capacity_and_recovers_on_release() {
+        let f = FlowControl::new([Some(2)]);
+        assert_eq!(f.try_acquire(0), Acquire::Granted { depth: 1 });
+        assert_eq!(f.try_acquire(0), Acquire::Granted { depth: 2 });
+        assert_eq!(f.try_acquire(0), Acquire::Full { capacity: 2 });
+        f.note_shed(0);
+        f.release(0);
+        assert_eq!(f.try_acquire(0), Acquire::Granted { depth: 2 });
+        assert_eq!(f.high_watermark(0), 2);
+        assert_eq!(f.sheds(0), 1, "the refused acquire was counted as a shed");
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let f = FlowControl::new([Some(1)]);
+        f.release(0);
+        f.release(0);
+        assert_eq!(f.depth(0), 0);
+        assert_eq!(f.try_acquire(0), Acquire::Granted { depth: 1 });
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(OverloadPolicy::Block.as_str(), "block");
+        assert_eq!(OverloadPolicy::Shed.as_str(), "shed");
+        assert_eq!(
+            OverloadPolicy::DeadlineDrop(SimDuration::from_micros(5)).as_str(),
+            "deadline-drop"
+        );
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::Block);
+    }
+
+    // ---- credit-conservation proptest --------------------------------
+    //
+    // Model the whole delivery pipeline the ledger sits behind: senders
+    // acquire a credit per logical message, the wire may duplicate or
+    // retransmit envelopes, a Co-Pilot takeover may re-deliver everything
+    // still parked in the dead primary's queues — but the exactly-once
+    // dedup layer drains each logical message at most once, and that
+    // single drain is what returns the credit. Under every schedule the
+    // ledger must conserve: never negative, never above capacity.
+
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// A sender attempts a write (acquire; sheds when full).
+        Send,
+        /// The wire duplicates the oldest undelivered envelope.
+        Duplicate,
+        /// The sender retransmits the oldest undelivered envelope.
+        Retransmit,
+        /// The reader drains the next envelope (dedup decides whether it
+        /// is a fresh logical message).
+        Deliver,
+        /// Co-Pilot takeover: the standby adopts the shared ledger and
+        /// re-queues every parked envelope (at-least-once redelivery).
+        TakeOver,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Uniform choice; Send and Deliver are repeated to weight the
+        // schedule toward actual traffic over fault injection.
+        prop_oneof![
+            Just(Op::Send),
+            Just(Op::Send),
+            Just(Op::Send),
+            Just(Op::Duplicate),
+            Just(Op::Retransmit),
+            Just(Op::Deliver),
+            Just(Op::Deliver),
+            Just(Op::Deliver),
+            Just(Op::TakeOver),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn credits_are_conserved_across_duplication_and_takeover(
+            cap in 1usize..6,
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            let f = FlowControl::new([Some(cap)]);
+            let mut next_seq = 0u64;      // sender-side wire sequence
+            let mut wire: Vec<u64> = Vec::new(); // envelopes in flight
+            let mut delivered_below = 0u64; // dedup cursor (fabric-style)
+            for op in ops {
+                match op {
+                    Op::Send => match f.try_acquire(0) {
+                        Acquire::Granted { depth } => {
+                            prop_assert!(depth <= cap, "depth {depth} > cap {cap}");
+                            wire.push(next_seq);
+                            next_seq += 1;
+                        }
+                        Acquire::Full { capacity } => {
+                            prop_assert_eq!(capacity, cap);
+                            f.note_shed(0);
+                        }
+                    },
+                    Op::Duplicate | Op::Retransmit => {
+                        if let Some(&seq) = wire.first() {
+                            wire.push(seq);
+                        }
+                    }
+                    Op::TakeOver => {
+                        // The standby inherits the same ledger (no reset)
+                        // and replays everything still parked.
+                        let parked = wire.clone();
+                        wire.extend(parked);
+                    }
+                    Op::Deliver => {
+                        if wire.is_empty() {
+                            continue;
+                        }
+                        let seq = wire.remove(0);
+                        // Wire-seq dedup: only a first sighting drains the
+                        // logical message and returns its credit.
+                        if seq >= delivered_below {
+                            delivered_below = seq + 1;
+                            f.release(0);
+                        }
+                    }
+                }
+                let depth = f.depth(0);
+                prop_assert!(depth <= cap, "in-flight {depth} exceeds capacity {cap}");
+                prop_assert!(f.high_watermark(0) <= cap);
+            }
+        }
+    }
+}

@@ -61,6 +61,7 @@ mod copilot;
 mod costs;
 mod dlsvc;
 mod error;
+mod flow;
 pub mod guide;
 mod location;
 mod program;
@@ -74,7 +75,8 @@ pub use collective::{reduce_f64, CpBundle};
 pub use config::{CellPilotConfig, CellPilotOpts, ChannelBuilder, SupervisionPolicy, TypedChannel};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};
 pub use cp_des::Backend;
-pub use error::{CpError, ErrorKind};
+pub use error::{CpError, ErrorKind, OverloadError};
+pub use flow::OverloadPolicy;
 pub use location::{classify, ChannelKind, ChannelMode, CpChannel, CpProcess, Location, CP_MAIN};
 pub use program::SpeProgram;
 pub use runtime::{CellPilot, SpeTask};

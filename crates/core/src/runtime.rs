@@ -25,6 +25,11 @@ const TAG_FINI: i32 = -600;
 
 /// State shared by every process of a CellPilot application.
 pub(crate) struct AppShared {
+    /// The per-channel credit ledger (see [`crate::flow`]): bounds
+    /// in-flight messages on every bounded channel, whatever hops the
+    /// channel type routes through. Application-wide (not per-node) so a
+    /// standby Co-Pilot inherits the accounting across a failover.
+    pub flow: crate::flow::FlowControl,
     pub tables: Arc<CpTables>,
     pub trace: crate::trace::TraceSink,
     /// Cluster hardware: node handles plus the interconnect cost model the
@@ -201,6 +206,113 @@ impl AppShared {
         Ok(n)
     }
 
+    /// Consume one send credit on `chan` before a write enters the
+    /// pipeline, engaging the channel's [`crate::OverloadPolicy`] when the
+    /// channel is at capacity.
+    ///
+    /// Below capacity (and on every unbounded channel) this is a pure
+    /// lock-guarded check — no virtual time, no kernel events — so runs
+    /// that never saturate a channel are schedule-identical to runs
+    /// without flow control. At capacity:
+    ///
+    /// * `Block` polls (virtual time in the sim, wall-clock on the native
+    ///   backend, same idiom as [`AppShared::fence_on`]) until the reader
+    ///   drains a message; no incidents — backpressure is the contract.
+    /// * `Shed` reports `overload` + `message-shed` incidents and fails
+    ///   with [`CpError::Backpressure`] without waiting.
+    /// * `DeadlineDrop(d)` polls like `Block` up to `d`, then sheds.
+    pub(crate) fn acquire_credit(
+        &self,
+        ctx: &ProcCtx,
+        who: &str,
+        chan: usize,
+    ) -> Result<(), CpError> {
+        use crate::flow::{Acquire, OverloadPolicy};
+        let capacity = match self.flow.try_acquire(chan) {
+            Acquire::Granted { depth } => {
+                self.record_queue_depth(chan, depth);
+                return Ok(());
+            }
+            Acquire::Full { capacity } => capacity,
+        };
+        let policy = self.tables.channels[chan].policy;
+        let t0 = ctx.now();
+        let deadline = match policy {
+            OverloadPolicy::Shed => None,
+            OverloadPolicy::DeadlineDrop(d) => Some(t0 + d),
+            OverloadPolicy::Block => {
+                if self.recorder.is_enabled() {
+                    self.recorder.record_backpressure_wait(chan as u32);
+                }
+                loop {
+                    ctx.advance(SimDuration::from_micros(1));
+                    if let Acquire::Granted { depth } = self.flow.try_acquire(chan) {
+                        self.record_queue_depth(chan, depth);
+                        return Ok(());
+                    }
+                }
+            }
+        };
+        if let Some(deadline) = deadline {
+            if self.recorder.is_enabled() {
+                self.recorder.record_backpressure_wait(chan as u32);
+            }
+            while ctx.now() < deadline {
+                ctx.advance(SimDuration::from_micros(1));
+                if let Acquire::Granted { depth } = self.flow.try_acquire(chan) {
+                    self.record_queue_depth(chan, depth);
+                    return Ok(());
+                }
+            }
+        }
+        // Shed (immediately, or after an expired deadline wait).
+        let detail = match policy {
+            OverloadPolicy::Shed => "message shed without waiting".to_string(),
+            OverloadPolicy::DeadlineDrop(d) => {
+                format!("message shed after waiting its {d} credit deadline")
+            }
+            OverloadPolicy::Block => unreachable!("Block never sheds"),
+        };
+        self.flow.note_shed(chan);
+        if self.recorder.is_enabled() {
+            self.recorder.record_shed(chan as u32);
+        }
+        let err = CpError::Backpressure(crate::error::OverloadError {
+            channel: chan,
+            capacity,
+            policy: policy.as_str(),
+            detail,
+        });
+        ctx.report_incident(
+            IncidentCategory::Overload,
+            &format!(
+                "process '{who}': channel {chan} at capacity ({capacity} in flight, \
+                 policy {})",
+                policy.as_str()
+            ),
+        );
+        ctx.report_incident(
+            IncidentCategory::MessageShed,
+            &format!("process '{who}': {err}"),
+        );
+        Err(err)
+    }
+
+    /// Return the send credit of one drained (or unwound) message on
+    /// `chan`. Saturating and tolerant of out-of-range ids, so relay-side
+    /// callers can release unconditionally.
+    pub(crate) fn release_credit(&self, chan: usize) {
+        self.flow.release(chan);
+    }
+
+    /// Record a bounded channel's queue depth (in-flight count at send
+    /// time) in the observability recorder.
+    fn record_queue_depth(&self, chan: usize, depth: usize) {
+        if self.recorder.is_enabled() && self.flow.capacity(chan).is_some() {
+            self.recorder.record_queue_depth(chan as u32, depth as u64);
+        }
+    }
+
     /// Whether the writer of channel `chan` is permanently gone — the
     /// liveness check behind blocking reads (a reader must fail with
     /// `PeerLost` rather than wait forever on a dead writer).
@@ -343,15 +455,22 @@ impl CellPilot {
         check_against_format(&conv, values)?;
         let data = pack_message(values);
         let t0 = self.ctx().now();
+        self.shared
+            .acquire_credit(self.ctx(), &self.name(), chan.0)?;
         self.charge(payload_bytes(values));
         if entry.mode == ChannelMode::OneSided {
             // One-sided transport: land the message directly in the reader
             // SPE's window over the fabric — no Co-Pilot relay hop.
             self.shared
                 .one_sided_put(self.ctx(), &self.name(), chan.0, self.node(), data)
-                .map_err(|cap| CpError::SpeBufferOverflow {
-                    channel: chan.0,
-                    capacity: cap as usize,
+                .map_err(|cap| {
+                    // The message never entered the pipeline: unwind its
+                    // credit so a failed send does not leak capacity.
+                    self.shared.release_credit(chan.0);
+                    CpError::SpeBufferOverflow {
+                        channel: chan.0,
+                        capacity: cap as usize,
+                    }
                 })?;
             crate::dlsvc::report(
                 &self.comm,
@@ -382,7 +501,12 @@ impl CellPilot {
                 n,
                 data,
             )
-            .map_err(|fault| self.fault_to_cp(chan, entry.to, fault))?;
+            .map_err(|fault| {
+                // The send never took: unwind the credit (credit leaks on
+                // failed sends would slowly strangle a bounded channel).
+                self.shared.release_credit(chan.0);
+                self.fault_to_cp(chan, entry.to, fault)
+            })?;
         crate::dlsvc::report(
             &self.comm,
             &self.shared.tables,
@@ -516,6 +640,9 @@ impl CellPilot {
                 .try_recv_deadline(src_sel, tag, d)
                 .map_err(|fault| self.fault_to_cp(chan, entry.from, fault))?,
         };
+        // The message left the pipeline the moment it was received —
+        // return its send credit even if the format check below fails.
+        self.shared.release_credit(chan.0);
         let values = unpack_message(&msg.data).expect("well-formed channel message");
         let segs: Vec<(Datatype, usize)> = values.iter().map(|v| (v.dtype(), v.len())).collect();
         check_read_format(&conv, &segs).map_err(|detail| CpError::FormatMismatch {

@@ -317,11 +317,28 @@ impl SpeCtx {
         check_against_format(&conv, values)?;
         let data = pack_message(values);
         let t0 = self.ctx.now();
+        // Flow control: consume a send credit before the message enters
+        // the pipeline (a replayed write above skipped this — its credit
+        // was consumed by the acknowledged original).
+        self.shared
+            .acquire_credit(&self.ctx, &self.name(), chan.0)?;
         self.charge(payload_bytes(values));
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
-        let buf = ls.alloc(data.len().max(1), 16)?;
-        cell.ls_write_traced(&self.ctx, self.hw, buf, &data)?;
+        let buf = match ls.alloc(data.len().max(1), 16) {
+            Ok(buf) => buf,
+            Err(e) => {
+                // Staging failed before the message entered the pipeline:
+                // unwind the credit.
+                self.shared.release_credit(chan.0);
+                return Err(e.into());
+            }
+        };
+        if let Err(e) = cell.ls_write_traced(&self.ctx, self.hw, buf, &data) {
+            let _ = ls.free(buf);
+            self.shared.release_credit(chan.0);
+            return Err(e.into());
+        }
         let result = if self.shared.one_sided_chan(chan.0) {
             // One-sided channel: the SPE issues the MFC put itself and the
             // staged buffer lands straight in the reader's local-store
@@ -332,11 +349,18 @@ impl SpeCtx {
                 .advance(SimDuration::from_micros_f64(cell.costs.dma_setup_us));
             self.shared
                 .one_sided_put(&self.ctx, &self.name(), chan.0, self.node, data.clone())
-                .map_err(|cap| CpError::SpeBufferOverflow {
-                    channel: chan.0,
-                    capacity: cap as usize,
+                .map_err(|cap| {
+                    // The put never landed: unwind the credit.
+                    self.shared.release_credit(chan.0);
+                    CpError::SpeBufferOverflow {
+                        channel: chan.0,
+                        capacity: cap as usize,
+                    }
                 })
         } else {
+            // Relay errors need no unwind here: a write the Co-Pilot
+            // failed (e.g. a type-4 overflow) was still drained by it, and
+            // the drain point already returned the credit.
             self.transact(Request {
                 op: OP_WRITE,
                 chan: chan.0 as u32,
@@ -495,6 +519,10 @@ impl SpeCtx {
                 }
             }
         };
+        // The payload left the fabric with the `take` above — the channel
+        // is drained by that amount even if the posted buffer turns out
+        // too small, so its send credit returns here.
+        self.shared.release_credit(chan);
         let n = landed.bytes.len();
         if n > cap {
             return Err(CpError::SpeBufferOverflow {

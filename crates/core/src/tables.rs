@@ -43,6 +43,11 @@ pub(crate) struct CpChanEntry {
     /// window in the reader SPE's local store. Only meaningful for
     /// one-sided channels.
     pub window: Option<(u32, u32)>,
+    /// Bound on in-flight messages (send accepted, not yet drained by the
+    /// reader) from `ChannelBuilder::capacity`; `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// What a sender does when the channel is at capacity.
+    pub policy: crate::flow::OverloadPolicy,
 }
 
 /// What a CellPilot bundle is for.

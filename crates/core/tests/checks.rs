@@ -113,3 +113,72 @@ fn checked_clean_run_is_race_free_and_zero_overhead() {
         "a well-synchronized run must verify clean across all channel types"
     );
 }
+
+/// CP013 flow-control lints surface through [`CellPilotConfig::check`]:
+/// a non-Block overload policy on an unbounded channel is inert (always
+/// flagged), and strict mode adds the unbounded-channel advisory once any
+/// channel declares a capacity. Both are warnings — even a strict run
+/// completes, because backpressure misconfiguration is advice, not an
+/// abort.
+#[test]
+fn flow_lints_surface_through_config_check() {
+    use cellpilot::OverloadPolicy;
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        ClusterSpec::two_cells_one_xeon(),
+        CellPilotOpts::new().with_strict_checks(),
+    );
+    let peer = cfg
+        .create_process("peer", 0, |cp, _| {
+            assert_eq!(cp.read_vec::<i32>(CpChannel(0)).unwrap(), vec![1]);
+            assert_eq!(cp.read_vec::<i32>(CpChannel(1)).unwrap(), vec![2]);
+        })
+        .unwrap();
+    // c0: a Shed policy with no capacity — the policy can never engage.
+    cfg.channel(CP_MAIN, peer)
+        .overload_policy(OverloadPolicy::Shed)
+        .build()
+        .unwrap();
+    // c1: bounded — its presence triggers the strict advisory on c0.
+    cfg.channel(CP_MAIN, peer).capacity(4).build().unwrap();
+
+    let lints = cfg.check();
+    let cp13: Vec<_> = lints
+        .iter()
+        .filter(|d| d.code == cellpilot::CheckCode::Cp013)
+        .collect();
+    assert_eq!(cp13.len(), 2, "{lints:?}");
+    assert!(
+        cp13.iter().all(|d| !d.is_error()),
+        "CP013 is advisory: it must never abort a strict run"
+    );
+    assert!(cp13.iter().any(|d| d.message.contains("inert")), "{cp13:?}");
+    assert!(
+        cp13.iter().any(|d| d.message.contains("unbounded")),
+        "{cp13:?}"
+    );
+
+    // And indeed: the strict run completes despite both warnings.
+    cfg.run(move |cp| {
+        cp.write_slice(CpChannel(0), &[1i32]).unwrap();
+        cp.write_slice(CpChannel(1), &[2i32]).unwrap();
+    })
+    .expect("warnings never abort, even under strict checks");
+}
+
+/// Without strict mode (and with nothing bounded) flow lints stay silent:
+/// a plain unbounded wiring is exactly as clean as before flow control
+/// existed.
+#[test]
+fn unbounded_wiring_stays_cp013_silent() {
+    let mut cfg =
+        CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), CellPilotOpts::new());
+    let peer = cfg
+        .create_process("peer", 0, |cp, _| {
+            assert_eq!(cp.read_vec::<i32>(CpChannel(0)).unwrap(), vec![7]);
+        })
+        .unwrap();
+    cfg.channel(CP_MAIN, peer).build().unwrap();
+    assert_eq!(cfg.check(), Vec::new());
+    cfg.run(move |cp| cp.write_slice(CpChannel(0), &[7i32]).unwrap())
+        .unwrap();
+}

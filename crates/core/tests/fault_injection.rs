@@ -418,3 +418,115 @@ fn restart_exhaustion_abandons_spe_and_degrades_to_peer_lost() {
     assert!(cats.contains(&IncidentCategory::SpeAbandoned), "{cats:?}");
     assert!(cats.contains(&IncidentCategory::PeerLost), "{cats:?}");
 }
+
+/// Error-matrix: an injected fault and a saturated channel, in the same
+/// run, classify under *different* [`ErrorKind`]s — the crashed peer's
+/// read fails as `Fault`, the shed write as `Backpressure` — and the
+/// backpressure error chains its structured [`OverloadError`] cause
+/// through `source()`, so callers can introspect the overload (channel,
+/// capacity, policy) without string-matching. Both degradations also land
+/// in the incident report under their own categories.
+#[test]
+fn backpressure_and_faults_classify_distinctly() {
+    use cellpilot::{ErrorKind, OverloadError, OverloadPolicy};
+    use std::error::Error as _;
+
+    let spec = ClusterSpec::two_cells_one_xeon();
+    let plan = Arc::new(FaultPlan::new().crash_spe(1, SimTime::ZERO));
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, CellPilotOpts::new().with_faults(plan));
+
+    let dying = SpeProgram::new("dying", 2048, |spe, _, _| {
+        let _ = spe.write_slice(CpChannel(0), &[1i32]);
+        unreachable!("the fault plan kills this SPE at its first write");
+    });
+    let victim = cfg.create_spe_process(&dying, CP_MAIN, 0).unwrap();
+    assert_eq!(victim.0, 1, "the fault plan targets process id 1");
+
+    // Fault leg: the bereft reader's channel fails with PeerLost — the
+    // `Fault` row of the matrix.
+    let bereft = SpeProgram::new("bereft", 2048, |spe, _, _| {
+        let fault = spe.read_vec::<i32>(CpChannel(0)).unwrap_err();
+        assert_eq!(fault.kind(), ErrorKind::Fault, "got: {fault}");
+    });
+    let reader = cfg.create_spe_process(&bereft, CP_MAIN, 1).unwrap();
+
+    // Parked sink: it reads its go-signal only after main's burst is over,
+    // so nothing drains the bounded channel while main saturates it and
+    // the shed count is exact.
+    let sink = SpeProgram::new("sink", 2048, |spe, _, _| {
+        let n = spe.read_vec::<i32>(CpChannel(2)).unwrap()[0] as usize;
+        for _ in 0..n {
+            spe.read_vec::<i32>(CpChannel(1)).unwrap();
+        }
+    });
+    let parked = cfg.create_spe_process(&sink, CP_MAIN, 2).unwrap();
+
+    let broken = cfg.channel(victim, reader).build().unwrap();
+    assert_eq!(broken.0, 0);
+    let bounded = cfg
+        .channel(CP_MAIN, parked)
+        .capacity(2)
+        .overload_policy(OverloadPolicy::Shed)
+        .build()
+        .unwrap();
+    assert_eq!(bounded.0, 1);
+    let gate = cfg.channel(CP_MAIN, parked).build().unwrap();
+    assert_eq!(gate.0, 2);
+
+    let report = cfg
+        .run(move |cp| {
+            let t_victim = cp.run_spe(victim, 0, 0).unwrap();
+            let t_reader = cp.run_spe(reader, 0, 0).unwrap();
+            let t_sink = cp.run_spe(parked, 0, 0).unwrap();
+
+            // Backpressure leg: burst 6 into capacity 2 with the reader
+            // parked — exactly 4 writes shed.
+            let mut accepted = 0i32;
+            let mut shed_errs = Vec::new();
+            for i in 0..6i32 {
+                match cp.write_slice(bounded, &[i]) {
+                    Ok(()) => accepted += 1,
+                    Err(e) => shed_errs.push(e),
+                }
+            }
+            assert_eq!(accepted, 2);
+            assert_eq!(shed_errs.len(), 4);
+            for shed in &shed_errs {
+                assert_eq!(shed.kind(), ErrorKind::Backpressure, "got: {shed}");
+                assert_ne!(
+                    shed.kind(),
+                    ErrorKind::Fault,
+                    "the matrix must keep overload distinct from faults"
+                );
+                let cause = shed
+                    .source()
+                    .expect("Backpressure chains its cause through source()")
+                    .downcast_ref::<OverloadError>()
+                    .expect("the cause is the structured OverloadError");
+                assert_eq!(cause.channel, bounded.0);
+                assert_eq!(cause.capacity, 2);
+                assert_eq!(cause.policy, "shed");
+            }
+
+            cp.write_slice(gate, &[accepted]).unwrap();
+            cp.wait_spe(t_sink);
+            cp.wait_spe(t_reader);
+            cp.wait_spe(t_victim);
+        })
+        .expect("both degradations are graceful: the run still completes");
+
+    let cats: Vec<IncidentCategory> = report.incidents.iter().map(|i| i.category).collect();
+    for needed in [
+        IncidentCategory::SpeCrash,
+        IncidentCategory::PeerLost,
+        IncidentCategory::Overload,
+        IncidentCategory::MessageShed,
+    ] {
+        assert!(cats.contains(&needed), "missing {needed:?} in {cats:?}");
+    }
+    let sheds = cats
+        .iter()
+        .filter(|&&c| c == IncidentCategory::MessageShed)
+        .count();
+    assert_eq!(sheds, 4, "one message-shed incident per refused write");
+}

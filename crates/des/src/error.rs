@@ -106,6 +106,12 @@ pub enum IncidentCategory {
     /// The happens-before race detector (`cp-check`) flagged overlapping
     /// local-store accesses without an ordering edge.
     DmaRace,
+    /// A bounded channel hit its configured capacity and its overload
+    /// policy engaged (a sender was shed or deadline-dropped).
+    Overload,
+    /// A message was dropped by a `Shed` or `DeadlineDrop` overload policy
+    /// instead of being queued past the channel's capacity.
+    MessageShed,
 }
 
 impl IncidentCategory {
@@ -123,6 +129,8 @@ impl IncidentCategory {
             IncidentCategory::CopilotFailover => "copilot-failover",
             IncidentCategory::WiringLint => "wiring-lint",
             IncidentCategory::DmaRace => "dma-race",
+            IncidentCategory::Overload => "overload",
+            IncidentCategory::MessageShed => "message-shed",
         }
     }
 }
@@ -174,8 +182,25 @@ pub struct SimReport {
     /// Dispatch trace `(time, pid)` if tracing was enabled.
     pub trace: Option<Vec<(SimTime, Pid)>>,
     /// Degradation incidents reported via
-    /// [`crate::ProcCtx::report_incident`], in report order.
+    /// [`crate::ProcCtx::report_incident`], sorted deterministically by
+    /// virtual time, then category, then reporting process, then detail —
+    /// so golden incident digests are stable regardless of the order in
+    /// which detectors happened to report (see [`sort_incidents`]).
     pub incidents: Vec<Incident>,
+}
+
+/// Sort `incidents` into the canonical deterministic order golden digests
+/// rely on: virtual time first, then category (by its stable kebab-case
+/// string), then reporting process, then detail text. Both the DES kernel
+/// and the native backend apply this before returning a [`SimReport`], so
+/// detector arrival order never leaks into the report.
+pub fn sort_incidents(incidents: &mut [Incident]) {
+    incidents.sort_by(|a, b| {
+        a.at.cmp(&b.at)
+            .then_with(|| a.category.as_str().cmp(b.category.as_str()))
+            .then_with(|| a.process.cmp(&b.process))
+            .then_with(|| a.detail.cmp(&b.detail))
+    });
 }
 
 #[cfg(test)]

@@ -667,13 +667,17 @@ impl Simulation {
         }
         let mut st = self.kernel.state.lock();
         match st.outcome.take().expect("outcome present") {
-            Outcome::Completed => Ok(SimReport {
-                end_time: st.now,
-                processes: st.procs.len(),
-                dispatches: st.dispatches,
-                trace: st.trace.take(),
-                incidents: std::mem::take(&mut st.incidents),
-            }),
+            Outcome::Completed => {
+                let mut incidents = std::mem::take(&mut st.incidents);
+                crate::error::sort_incidents(&mut incidents);
+                Ok(SimReport {
+                    end_time: st.now,
+                    processes: st.procs.len(),
+                    dispatches: st.dispatches,
+                    trace: st.trace.take(),
+                    incidents,
+                })
+            }
             Outcome::Failed(e) => Err(e),
         }
     }

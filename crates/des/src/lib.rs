@@ -43,6 +43,6 @@ pub mod sync;
 mod time;
 
 pub use backend::{Backend, Executor, ProcBody, Spawner};
-pub use error::{Incident, IncidentCategory, Pid, SimError, SimReport};
+pub use error::{sort_incidents, Incident, IncidentCategory, Pid, SimError, SimReport};
 pub use kernel::{ProcCtx, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -505,13 +505,17 @@ impl NativeRun {
         }
         let mut st = self.kernel.state.lock();
         match st.outcome.take().expect("outcome present") {
-            Outcome::Completed => Ok(SimReport {
-                end_time: SimTime(self.kernel.now_ns()),
-                processes: st.procs.len(),
-                dispatches: st.dispatches,
-                trace: None,
-                incidents: std::mem::take(&mut st.incidents),
-            }),
+            Outcome::Completed => {
+                let mut incidents = std::mem::take(&mut st.incidents);
+                cp_des::sort_incidents(&mut incidents);
+                Ok(SimReport {
+                    end_time: SimTime(self.kernel.now_ns()),
+                    processes: st.procs.len(),
+                    dispatches: st.dispatches,
+                    trace: None,
+                    incidents,
+                })
+            }
             Outcome::Failed(e) => Err(e),
         }
     }

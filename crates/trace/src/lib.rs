@@ -37,10 +37,11 @@ pub use chrome::chrome_trace;
 pub use hb::{HbEvent, HbOp};
 pub use json::Json;
 pub use metrics::{
-    ChannelTypeMetrics, DesMetrics, LatencyStats, MetricsSnapshot, MpiMetrics, NetMetrics,
-    OneSidedMetrics,
+    ChannelTypeMetrics, DesMetrics, FlowMetrics, LatencyStats, MetricsSnapshot, MpiMetrics,
+    NetMetrics, OneSidedMetrics,
 };
 pub use recorder::{Event, Phase, Recorder};
 pub use report::{
-    gate, BenchChannelType, BenchReport, GateOutcome, NativeRates, SweepRow, BENCH_SCHEMA,
+    gate, BenchChannelType, BenchReport, GateOutcome, NativeRates, OverloadChannel, SweepRow,
+    BENCH_SCHEMA,
 };

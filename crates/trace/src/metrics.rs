@@ -15,6 +15,7 @@ pub(crate) struct MetricsState {
     pub(crate) mpi: MpiState,
     pub(crate) net: NetState,
     pub(crate) des: DesState,
+    pub(crate) flow: FlowState,
     pub(crate) incidents: BTreeMap<String, u64>,
 }
 
@@ -58,6 +59,24 @@ pub(crate) struct NetState {
 pub(crate) struct DesState {
     pub(crate) dispatches: u64,
     pub(crate) max_queue_depth: u64,
+}
+
+/// Per-channel flow-control counters, keyed by channel index. Only
+/// channels with a configured capacity record here, so the maps stay
+/// empty (and the section all-default) for unbounded configurations —
+/// which keeps pre-flow-control golden traces byte-identical.
+#[derive(Debug, Default)]
+pub(crate) struct FlowState {
+    pub(crate) queue_high_watermark: BTreeMap<u32, u64>,
+    pub(crate) sheds: BTreeMap<u32, u64>,
+    pub(crate) backpressure_waits: BTreeMap<u32, u64>,
+}
+
+impl FlowState {
+    pub(crate) fn note_depth(&mut self, chan: u32, depth: u64) {
+        let hwm = self.queue_high_watermark.entry(chan).or_insert(0);
+        *hwm = (*hwm).max(depth);
+    }
 }
 
 impl MetricsState {
@@ -105,6 +124,11 @@ impl MetricsState {
             des: DesMetrics {
                 dispatches: self.des.dispatches,
                 max_queue_depth: self.des.max_queue_depth,
+            },
+            flow: FlowMetrics {
+                queue_high_watermark: self.flow.queue_high_watermark.clone(),
+                sheds: self.flow.sheds.clone(),
+                backpressure_waits: self.flow.backpressure_waits.clone(),
             },
             incidents: self.incidents.clone(),
         }
@@ -294,6 +318,51 @@ pub struct DesMetrics {
     pub max_queue_depth: u64,
 }
 
+/// Per-channel flow-control counters, keyed by channel index. Empty for
+/// runs where no channel declared a capacity (older snapshots omit the
+/// section entirely).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlowMetrics {
+    /// Largest observed in-flight depth per bounded channel — the number
+    /// the overload bench gate compares against the configured capacity.
+    pub queue_high_watermark: BTreeMap<u32, u64>,
+    /// Messages shed (Shed or expired DeadlineDrop) per channel.
+    pub sheds: BTreeMap<u32, u64>,
+    /// Writes that entered a credit wait (Block or DeadlineDrop) per
+    /// channel, whether or not they eventually succeeded.
+    pub backpressure_waits: BTreeMap<u32, u64>,
+}
+
+impl FlowMetrics {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set(
+            "queue_high_watermark",
+            chan_counts_to_json(&self.queue_high_watermark),
+        );
+        o.set("sheds", chan_counts_to_json(&self.sheds));
+        o.set(
+            "backpressure_waits",
+            chan_counts_to_json(&self.backpressure_waits),
+        );
+        o
+    }
+
+    fn from_json(j: &Json) -> Result<FlowMetrics, String> {
+        Ok(FlowMetrics {
+            queue_high_watermark: chan_counts_from_json(
+                j.get("queue_high_watermark")
+                    .ok_or("metrics: missing queue_high_watermark")?,
+            )?,
+            sheds: chan_counts_from_json(j.get("sheds").ok_or("metrics: missing sheds")?)?,
+            backpressure_waits: chan_counts_from_json(
+                j.get("backpressure_waits")
+                    .ok_or("metrics: missing backpressure_waits")?,
+            )?,
+        })
+    }
+}
+
 /// One run's aggregated metrics, with a stable JSON schema (see
 /// `DESIGN.md` §14).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -309,6 +378,9 @@ pub struct MetricsSnapshot {
     pub net: NetMetrics,
     /// DES-kernel counters.
     pub des: DesMetrics,
+    /// Flow-control counters; empty when no channel declared a capacity
+    /// (older snapshots omit the section entirely).
+    pub flow: FlowMetrics,
     /// Incident counts by `IncidentCategory` kebab-case name.
     pub incidents: BTreeMap<String, u64>,
 }
@@ -352,6 +424,7 @@ impl MetricsSnapshot {
         des.set("dispatches", self.des.dispatches);
         des.set("max_queue_depth", self.des.max_queue_depth);
         o.set("des", des);
+        o.set("flow", self.flow.to_json());
         o.set("incidents", counts_to_json(&self.incidents));
         o
     }
@@ -387,6 +460,12 @@ impl MetricsSnapshot {
             Some(os) => OneSidedMetrics::from_json(os)?,
             None => OneSidedMetrics::default(),
         };
+        // Same tolerance for the flow-control section (pre-backpressure
+        // snapshots omit it).
+        let flow = match j.get("flow") {
+            Some(f) => FlowMetrics::from_json(f)?,
+            None => FlowMetrics::default(),
+        };
         Ok(MetricsSnapshot {
             channel_types,
             one_sided,
@@ -411,6 +490,7 @@ impl MetricsSnapshot {
                 dispatches: req_u64(des, "dispatches")?,
                 max_queue_depth: req_u64(des, "max_queue_depth")?,
             },
+            flow,
             incidents: counts_from_json(j.get("incidents").ok_or("metrics: missing incidents")?)?,
         })
     }
@@ -422,6 +502,25 @@ fn counts_to_json(counts: &BTreeMap<String, u64>) -> Json {
         o.set(k, *v);
     }
     o
+}
+
+fn chan_counts_to_json(counts: &BTreeMap<u32, u64>) -> Json {
+    let mut o = Json::obj();
+    for (k, v) in counts {
+        o.set(&k.to_string(), *v);
+    }
+    o
+}
+
+fn chan_counts_from_json(j: &Json) -> Result<BTreeMap<u32, u64>, String> {
+    counts_from_json(j)?
+        .into_iter()
+        .map(|(k, v)| {
+            k.parse::<u32>()
+                .map(|chan| (chan, v))
+                .map_err(|_| format!("metrics: channel key {k:?} is not an index"))
+        })
+        .collect()
 }
 
 fn counts_from_json(j: &Json) -> Result<BTreeMap<String, u64>, String> {
@@ -495,10 +594,17 @@ mod tests {
         state.one_sided.bytes = 12800;
         state.one_sided.put_latencies_ns = vec![80_000, 81_000, 82_000, 83_000];
         state.one_sided.get_latencies_ns = vec![5_000, 6_000, 7_000, 8_000];
+        state.flow.note_depth(0, 3);
+        state.flow.note_depth(0, 7);
+        state.flow.note_depth(0, 5); // high watermark keeps the max
+        *state.flow.sheds.entry(2).or_insert(0) += 4;
+        *state.flow.backpressure_waits.entry(0).or_insert(0) += 11;
         let snap = state.snapshot();
         assert_eq!(snap.channel_types.len(), CHANNEL_TYPE_COUNT);
         assert_eq!(snap.channel_types[4].chan_type, 5);
         assert_eq!(snap.channel_types[4].latency_us.median, 190.0);
+        assert_eq!(snap.flow.queue_high_watermark.get(&0), Some(&7));
+        assert_eq!(snap.flow.sheds.get(&2), Some(&4));
         let text = snap.to_json().to_pretty();
         let back = MetricsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, snap);
@@ -532,5 +638,18 @@ mod tests {
         assert!(stripped.get("one_sided").is_none());
         let back = MetricsSnapshot::from_json(&stripped).unwrap();
         assert_eq!(back.one_sided, OneSidedMetrics::default());
+    }
+
+    #[test]
+    fn missing_flow_section_parses_as_default() {
+        // Snapshots committed before flow control existed have no flow
+        // key; they must keep parsing (BENCH_baseline.json).
+        let snap = MetricsState::default().snapshot();
+        let stripped = match snap.to_json() {
+            Json::Obj(map) => Json::Obj(map.into_iter().filter(|(k, _)| k != "flow").collect()),
+            other => panic!("snapshot must serialize to an object, got {other:?}"),
+        };
+        let back = MetricsSnapshot::from_json(&stripped).unwrap();
+        assert_eq!(back.flow, FlowMetrics::default());
     }
 }

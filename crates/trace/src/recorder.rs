@@ -323,6 +323,35 @@ impl Recorder {
         os.bytes += bytes;
     }
 
+    /// CellPilot runtime: a write on bounded channel `chan` was granted a
+    /// credit at in-flight `depth`; tracks the per-channel queue-depth
+    /// high watermark the overload bench gate compares against capacity.
+    pub fn record_queue_depth(&self, chan: u32, depth: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.flow.note_depth(chan, depth);
+    }
+
+    /// CellPilot runtime: a write on channel `chan` was shed — refused
+    /// under `OverloadPolicy::Shed` or expired under `DeadlineDrop`.
+    pub fn record_shed(&self, chan: u32) {
+        let Some(inner) = &self.inner else { return };
+        *inner.lock().metrics.flow.sheds.entry(chan).or_insert(0) += 1;
+    }
+
+    /// CellPilot runtime: a write on channel `chan` found the channel at
+    /// capacity and entered a credit wait (whether or not it eventually
+    /// got through).
+    pub fn record_backpressure_wait(&self, chan: u32) {
+        let Some(inner) = &self.inner else { return };
+        *inner
+            .lock()
+            .metrics
+            .flow
+            .backpressure_waits
+            .entry(chan)
+            .or_insert(0) += 1;
+    }
+
     /// Happens-before stream: `actor` performed `op` at virtual time
     /// `ts_ns`. Consumed by the `cp-check` race detector; see
     /// [`crate::hb`] for the event model.
@@ -488,6 +517,25 @@ mod tests {
         assert!(snap.one_sided.throughput_mb_s > 0.0);
         // Disabled recorder: single-branch no-op.
         Recorder::default().record_one_sided_op(true, 1, 1);
+    }
+
+    #[test]
+    fn flow_counters_aggregate() {
+        let r = Recorder::enabled();
+        r.record_queue_depth(3, 2);
+        r.record_queue_depth(3, 5);
+        r.record_queue_depth(3, 4);
+        r.record_backpressure_wait(3);
+        r.record_shed(7);
+        r.record_shed(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.flow.queue_high_watermark.get(&3), Some(&5));
+        assert_eq!(snap.flow.backpressure_waits.get(&3), Some(&1));
+        assert_eq!(snap.flow.sheds.get(&7), Some(&2));
+        // Disabled recorder: single-branch no-op.
+        Recorder::default().record_queue_depth(0, 1);
+        Recorder::default().record_shed(0);
+        Recorder::default().record_backpressure_wait(0);
     }
 
     #[test]

@@ -35,6 +35,24 @@ pub struct SweepRow {
     pub copy_us: f64,
 }
 
+/// One bounded channel's overload outcome: what the flow-control ledger
+/// saw on a saturation run. The gate checks the queue-depth high
+/// watermark against the configured capacity — a watermark above
+/// capacity means the credit ledger failed to bound the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadChannel {
+    /// Channel index in the run's configuration.
+    pub chan: u32,
+    /// Configured in-flight bound (`ChannelBuilder::capacity`).
+    pub capacity: u64,
+    /// Deepest observed in-flight count (from the trace flow metrics).
+    pub queue_high_watermark: u64,
+    /// Messages shed by the channel's overload policy.
+    pub sheds: u64,
+    /// Writes that entered a credit wait.
+    pub backpressure_waits: u64,
+}
+
 /// Wall-clock throughput of the native threads backend, measured by the
 /// conformance driver. Informational: the perf gate compares virtual-time
 /// medians only, so these rates never fail CI.
@@ -67,6 +85,11 @@ pub struct BenchReport {
     pub one_sided: Vec<BenchChannelType>,
     /// PingPong payload sweep (may be empty).
     pub pingpong_sweep: Vec<SweepRow>,
+    /// Per-bounded-channel overload outcomes from a saturation campaign
+    /// (`repro_overload`). Empty for ordinary bench runs and for reports
+    /// taken before flow control existed; the gate fails any row whose
+    /// queue high watermark exceeds its capacity.
+    pub overload: Vec<OverloadChannel>,
     /// Full metrics snapshot of an instrumented run, when one was taken.
     pub metrics: Option<MetricsSnapshot>,
     /// Native-backend wall-clock rates, when the conformance driver
@@ -84,6 +107,7 @@ impl BenchReport {
             channel_types: Vec::new(),
             one_sided: Vec::new(),
             pingpong_sweep: Vec::new(),
+            overload: Vec::new(),
             metrics: None,
             native_rates: None,
         }
@@ -122,6 +146,20 @@ impl BenchReport {
             })
             .collect();
         o.set("pingpong_sweep", sweep);
+        let overload: Vec<Json> = self
+            .overload
+            .iter()
+            .map(|row| {
+                let mut r = Json::obj();
+                r.set("chan", row.chan);
+                r.set("capacity", row.capacity);
+                r.set("queue_high_watermark", row.queue_high_watermark);
+                r.set("sheds", row.sheds);
+                r.set("backpressure_waits", row.backpressure_waits);
+                r
+            })
+            .collect();
+        o.set("overload", overload);
         match &self.metrics {
             Some(m) => o.set("metrics", m.to_json()),
             None => o.set("metrics", Json::Null),
@@ -193,6 +231,23 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Reports written before flow control existed have no overload
+        // section; read those back as an empty campaign.
+        let overload = match j.get("overload").and_then(Json::as_arr) {
+            Some(rows) => rows
+                .iter()
+                .map(|r| {
+                    Ok(OverloadChannel {
+                        chan: field_u64(r, "chan")? as u32,
+                        capacity: field_u64(r, "capacity")?,
+                        queue_high_watermark: field_u64(r, "queue_high_watermark")?,
+                        sheds: field_u64(r, "sheds")?,
+                        backpressure_waits: field_u64(r, "backpressure_waits")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         let metrics = match j.get("metrics") {
             None | Some(Json::Null) => None,
             Some(m) => Some(MetricsSnapshot::from_json(m)?),
@@ -218,6 +273,7 @@ impl BenchReport {
             channel_types,
             one_sided,
             pingpong_sweep,
+            overload,
             metrics,
             native_rates,
         })
@@ -257,6 +313,11 @@ impl GateOutcome {
 /// baseline is a regression — in the relay rows and, when the baseline
 /// carries them, the one-sided ablation rows too. Getting faster never
 /// fails the gate, and throughput is reported informationally only.
+///
+/// The candidate's overload section (when present) is checked on its own,
+/// with no baseline needed: a bounded channel whose queue-depth high
+/// watermark exceeds its capacity means the flow-control ledger let the
+/// queue grow without limit, and that always fails the gate.
 pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
     gate_rows(
@@ -273,6 +334,17 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64)
         &candidate.one_sided,
         tolerance_pct,
     );
+    for row in &candidate.overload {
+        let line = format!(
+            "overload chan {}: depth high-watermark {}/{} capacity, {} shed, {} waits",
+            row.chan, row.queue_high_watermark, row.capacity, row.sheds, row.backpressure_waits
+        );
+        if row.queue_high_watermark > row.capacity {
+            out.regressions
+                .push(format!("{line}  unbounded queue growth"));
+        }
+        out.lines.push(line);
+    }
     out
 }
 
@@ -442,6 +514,62 @@ mod tests {
         let outcome = gate(&sample_report(), &cand, 20.0);
         assert!(outcome.passed());
         assert_eq!(outcome.lines.len(), 15);
+    }
+
+    #[test]
+    fn report_without_overload_section_parses_as_empty_and_round_trips() {
+        // A pre-flow-control BENCH_*.json has no overload key at all.
+        let stripped = match sample_report().to_json() {
+            Json::Obj(map) => Json::Obj(map.into_iter().filter(|(k, _)| k != "overload").collect()),
+            other => panic!("report must serialize to an object, got {other:?}"),
+        };
+        let back = BenchReport::parse(&stripped.to_pretty()).unwrap();
+        assert!(back.overload.is_empty());
+        // And a populated section round-trips.
+        let mut r = sample_report();
+        r.overload = vec![OverloadChannel {
+            chan: 2,
+            capacity: 4,
+            queue_high_watermark: 4,
+            sheds: 17,
+            backpressure_waits: 31,
+        }];
+        let back = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn gate_fails_on_unbounded_queue_growth() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.overload = vec![
+            OverloadChannel {
+                chan: 0,
+                capacity: 8,
+                queue_high_watermark: 8,
+                sheds: 0,
+                backpressure_waits: 12,
+            },
+            OverloadChannel {
+                chan: 1,
+                capacity: 8,
+                queue_high_watermark: 9, // ledger failed to bound the queue
+                sheds: 0,
+                backpressure_waits: 0,
+            },
+        ];
+        let outcome = gate(&base, &cand, 20.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(
+            outcome.regressions[0].contains("chan 1")
+                && outcome.regressions[0].contains("unbounded"),
+            "{}",
+            outcome.regressions[0]
+        );
+        // At-capacity watermark is the expected saturation outcome.
+        cand.overload.pop();
+        assert!(gate(&base, &cand, 20.0).passed());
     }
 
     #[test]

@@ -129,6 +129,34 @@ fn golden_trace_type1_rank_to_rank() {
     });
 }
 
+/// The Type-1 golden scenario with both channels bounded far above their
+/// actual traffic: below capacity the credit check is a pure lock-guarded
+/// branch (no virtual time, no kernel events), so the trace must match
+/// the unbounded scenario's pinned digest *byte for byte*. This is the
+/// determinism contract of flow control — bounding a channel you never
+/// saturate changes nothing.
+#[test]
+fn golden_trace_unchanged_by_large_capacities() {
+    assert_golden(ChannelKind::Type1, 0xcb00_3640_5a3d_da16, || {
+        let mut cfg = traced_cfg();
+        let worker = cfg
+            .create_process("worker", 0, |cp, _| {
+                let v = cp.read_vec::<i32>(CpChannel(0)).unwrap();
+                cp.write_slice(CpChannel(1), &v).unwrap();
+            })
+            .unwrap();
+        let out = cfg.channel(CP_MAIN, worker).capacity(1024).build().unwrap();
+        let back = cfg.channel(worker, CP_MAIN).capacity(1024).build().unwrap();
+        let (_r, t) = cfg
+            .run_traced(move |cp| {
+                cp.write_slice(out, &data()).unwrap();
+                assert_eq!(cp.read_vec::<i32>(back).unwrap(), data());
+            })
+            .unwrap();
+        render_trace(&t)
+    });
+}
+
 /// Type 2: PPE rank <-> SPE on the same Cell node, via that node's
 /// Co-Pilot.
 #[test]

@@ -18,7 +18,7 @@
 //! guarantees are per-channel FIFO and payload integrity, not a global
 //! total order.
 
-use cellpilot::conformance::{check_plan, WiringPlan};
+use cellpilot::conformance::{check_plan, check_saturated, WiringPlan};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::process::Command;
@@ -37,6 +37,25 @@ proptest! {
             divergence.unwrap(),
         );
     }
+}
+
+/// A channel saturated past its capacity degrades identically on both
+/// backends: the reader is parked during the burst, so exactly
+/// `burst - capacity` writes shed (each an `ErrorKind::Backpressure`),
+/// and the accepted-payload FIFO plus the `overload`/`message-shed`
+/// incident multiset must match between sim and native.
+#[test]
+fn backends_agree_on_a_saturated_channel() {
+    let (oracle, candidate, verdict) = check_saturated();
+    assert!(
+        verdict.is_none(),
+        "saturated channel diverged: {}\n--- sim (oracle) ---\n{oracle}\n--- native ---\n{candidate}",
+        verdict.unwrap(),
+    );
+    assert!(
+        oracle.incidents.iter().any(|c| c == "message-shed"),
+        "the scenario must actually shed, or it proves nothing"
+    );
 }
 
 /// The full example suite, in dependency-crate order.
