@@ -22,6 +22,7 @@ pub mod imb;
 pub mod overload;
 pub mod pingpong;
 pub mod report;
+pub mod service;
 pub mod sweep;
 pub mod table2;
 
@@ -39,6 +40,10 @@ pub use pingpong::{
     cellpilot_pingpong_xeon_initiator, PingPong, WARMUP,
 };
 pub use report::{bench_report, one_sided_rows};
+pub use service::{
+    ablation, service, service_bench_rows, service_mpi_costs, service_spec, service_traced,
+    AblationReport, ServiceFailure, ServiceReport, ServiceScenario, POOL_WORKERS,
+};
 pub use sweep::{dma_copy_crossover, render_sweep, sweep, SweepPoint, DEFAULT_SIZES};
 pub use table2::{
     measure_table2, render_fig5, render_fig6, render_table2, Cell, PAPER_TABLE2, SIZES,

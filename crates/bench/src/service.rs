@@ -1,0 +1,564 @@
+//! Heavy-traffic service workload: a non-Cell front tier fans seeded
+//! request/response traffic at SPE worker pools and judges the runtime by
+//! its tail latency.
+//!
+//! The front tier is a rank on the commodity (Xeon) node of the
+//! two-Cells-one-Xeon cluster. Each request is a single word `x` drawn
+//! from a splitmix64 stream and routed to a seeded-random member of a
+//! fixed SPE worker pool; the worker answers `x ^ REPLY_SALT` and the
+//! front tier checks every reply. (One i32 packs to 13 bytes on the
+//! wire — within the 16-byte mailbox-word budget; two would be 17 and
+//! fall off the inline path.) Three routes cover channel types 2–5:
+//!
+//! * **`type2-direct`** — front → SPE (type 2) and SPE → front (type 3);
+//! * **`type4-local-hop`** — front → gateway SPE (type 2), gateway →
+//!   worker SPE on the same Cell (type 4), worker → front (type 3);
+//! * **`type5-remote-hop`** — as above but the worker lives on the *other*
+//!   Cell node, so the middle hop is a type-5 two-Co-Pilot relay;
+//! * **`chaos-failover`** — the direct route with a scripted Co-Pilot
+//!   kill mid-sweep: the standby adopts the node and the run's tail
+//!   (p999) absorbs the failover pause while every request still
+//!   completes exactly once.
+//!
+//! Per-request end-to-end latency is recorded through
+//! [`cp_trace::Recorder::record_service_request`]; the snapshot's
+//! `service` section supplies the p50/p99/p999 percentiles and the
+//! sustained request rate that the `repro_service` binary prints and the
+//! CI perf gate diffs against the committed baseline.
+//!
+//! All request payloads sit at or below the 16-byte mailbox-word budget,
+//! so with eager inlining enabled (the default here) every hop rides the
+//! mailbox fast path; [`ablation`] re-runs a scenario with eager disabled
+//! and reports the median-latency speedup. On the local-hop route —
+//! where per-message Co-Pilot protocol cost, not MPI transit, dominates
+//! the round trip — the `--ablate-eager` mode of `repro_service` asserts
+//! the speedup to be at least 2x.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cellpilot::{CellPilotConfig, CellPilotOpts, CpChannel, SpeProgram, CP_MAIN};
+use cp_des::{IncidentCategory, SimDuration, SimTime};
+use cp_mpisim::MpiCosts;
+use cp_simnet::{ClusterSpec, FaultPlan, NodeId, RetryPolicy};
+use cp_trace::{PercentileStats, ServiceRow};
+
+/// Workers in each scenario's SPE pool. Hop routes pair every worker
+/// with a gateway SPE, so 4 keeps the busiest layout (8 SPEs) within one
+/// Cell node's complement.
+pub const POOL_WORKERS: usize = 4;
+
+/// splitmix64, as in the chaos and overload modules: tiny,
+/// dependency-free, deterministic across platforms.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The four service scenarios the sweep and the BENCH artifact cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceScenario {
+    /// Front rank ↔ SPE pool directly (channel types 2 and 3).
+    Type2Direct,
+    /// Requests relayed through a same-node gateway SPE (adds type 4).
+    Type4LocalHop,
+    /// Requests relayed to workers on the *other* Cell node (adds type 5).
+    Type5RemoteHop,
+    /// [`ServiceScenario::Type2Direct`] with a scripted Co-Pilot kill
+    /// mid-sweep, served through the standby failover.
+    ChaosFailover,
+}
+
+impl ServiceScenario {
+    /// Every scenario, in sweep (and BENCH row) order.
+    pub fn all() -> [ServiceScenario; 4] {
+        [
+            ServiceScenario::Type2Direct,
+            ServiceScenario::Type4LocalHop,
+            ServiceScenario::Type5RemoteHop,
+            ServiceScenario::ChaosFailover,
+        ]
+    }
+
+    /// The stable name used in BENCH rows and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceScenario::Type2Direct => "type2-direct",
+            ServiceScenario::Type4LocalHop => "type4-local-hop",
+            ServiceScenario::Type5RemoteHop => "type5-remote-hop",
+            ServiceScenario::ChaosFailover => "chaos-failover",
+        }
+    }
+
+    /// Parse a CLI scenario name.
+    pub fn from_name(name: &str) -> Option<ServiceScenario> {
+        ServiceScenario::all()
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for ServiceScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a service run failed its invariants.
+#[derive(Debug, Clone)]
+pub enum ServiceFailure {
+    /// The run aborted or deadlocked instead of completing.
+    Sunk {
+        /// The failing scenario.
+        scenario: &'static str,
+        /// The generating seed.
+        seed: u64,
+        /// The simulator's error rendering.
+        error: String,
+    },
+    /// A delivery-, accounting- or failover-invariant did not hold.
+    Invariant {
+        /// The failing scenario.
+        scenario: &'static str,
+        /// The generating seed.
+        seed: u64,
+        /// What was expected and what happened.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServiceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceFailure::Sunk {
+                scenario,
+                seed,
+                error,
+            } => write!(f, "{scenario} seed {seed}: run sank: {error}"),
+            ServiceFailure::Invariant {
+                scenario,
+                seed,
+                detail,
+            } => write!(f, "{scenario} seed {seed}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceFailure {}
+
+/// What one passing service run measured.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The scenario that ran.
+    pub scenario: ServiceScenario,
+    /// The generating seed.
+    pub seed: u64,
+    /// Whether eager inlining was enabled on the request path.
+    pub eager: bool,
+    /// Completed end-to-end requests.
+    pub requests: u64,
+    /// Request-latency percentiles, µs.
+    pub latency_us: PercentileStats,
+    /// Completed requests over the completion window, req/s.
+    pub sustained_req_s: f64,
+    /// Virtual completion time.
+    pub end_time: SimTime,
+}
+
+impl ServiceReport {
+    /// The BENCH-artifact row for this run.
+    pub fn to_row(&self) -> ServiceRow {
+        ServiceRow {
+            scenario: self.scenario.name().to_string(),
+            requests: self.requests,
+            p50_us: self.latency_us.p50,
+            p99_us: self.latency_us.p99,
+            p999_us: self.latency_us.p999,
+            sustained_req_s: self.sustained_req_s,
+        }
+    }
+}
+
+/// Eager-vs-DMA ablation of one scenario: the same seeded sweep run
+/// twice, once with eager inlining and once forced onto the staging-DMA
+/// path. All payloads are at or below the 16-byte inline budget, so the
+/// median speedup isolates exactly what eager inlining buys.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// The ablated scenario.
+    pub scenario: ServiceScenario,
+    /// The generating seed.
+    pub seed: u64,
+    /// Requests per run.
+    pub requests: u64,
+    /// Median latency with eager inlining, µs.
+    pub eager_p50_us: f64,
+    /// Median latency over the staging-DMA path, µs.
+    pub ablate_p50_us: f64,
+    /// `ablate_p50_us / eager_p50_us` — how much eager inlining wins.
+    pub speedup: f64,
+}
+
+/// Workers answer `x` with `x ^ REPLY_SALT` — cheap to verify at the
+/// front tier, impossible to fake with an echo.
+const REPLY_SALT: i32 = 0x2A5A_5A5A;
+
+/// Channels per worker on the direct route (request, response).
+const DIRECT_STRIDE: usize = 2;
+/// Channels per worker on the hop routes (request, hop, response).
+const HOP_STRIDE: usize = 3;
+
+/// The service deployment: the paper's two-Cells-one-Xeon layout on a
+/// 10GbE-class datacenter fabric (3 µs wire latency, 1250 B/µs) instead
+/// of the paper-era GigE the repro benches keep. A heavy-traffic service
+/// tier behind 60 µs wire hops would be wire-bound whatever the
+/// protocol does; on a modern fabric the per-message protocol cost this
+/// workload studies is what dominates.
+pub fn service_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::two_cells_one_xeon();
+    spec.net.wire_latency_us = 3.0;
+    spec.net.wire_bytes_per_us = 1250.0;
+    spec
+}
+
+/// The service fabric's MPI stack: a kernel-bypass messaging layer to
+/// match the [`service_spec`] interconnect. Per-message software latency
+/// drops to the shared-memory path's figure on PPEs (no packetization or
+/// NIC driver in the way) and to user-space-NIC cost on commodity nodes;
+/// everything else keeps the calibrated defaults.
+pub fn service_mpi_costs() -> MpiCosts {
+    MpiCosts {
+        ppe_sw_latency_us: 6.0,
+        commodity_sw_latency_us: 3.0,
+        ..MpiCosts::default()
+    }
+}
+
+fn run_workload(
+    scenario: ServiceScenario,
+    seed: u64,
+    requests: usize,
+    eager: bool,
+    recorder: cp_trace::Recorder,
+) -> Result<cp_des::SimReport, String> {
+    let spec = service_spec();
+    let mut opts = CellPilotOpts::new().with_tracing(recorder.clone());
+    opts.mpi_costs = service_mpi_costs();
+    if scenario == ServiceScenario::ChaosFailover {
+        // Kill the primary Co-Pilot roughly a quarter of the way through
+        // the sweep (an eager round trip is ~44 µs of virtual time), so
+        // the failover lands while requests are in flight. The runtime
+        // provisions the standby automatically.
+        let kill_at = SimTime::ZERO + SimDuration::from_micros((requests as u64 * 10).max(200));
+        opts = opts
+            .with_faults(Arc::new(FaultPlan::new().kill_copilot(NodeId(0), kill_at)))
+            .with_retry(RetryPolicy::default());
+    }
+    let mut cfg = CellPilotConfig::one_rank_per_node(spec, opts);
+
+    // Rank placement follows creation order: CP_MAIN is rank 0 on Cell
+    // node 0, "ppe1" rank 1 on Cell node 1, and "front" rank 2 on the
+    // commodity node — the non-Cell front tier the workload is about.
+    let ppe1 = cfg
+        .create_process("ppe1", 1, |cp, _| cp.run_and_wait_my_spes())
+        .map_err(|e| e.to_string())?;
+
+    let stride = match scenario {
+        ServiceScenario::Type2Direct | ServiceScenario::ChaosFailover => DIRECT_STRIDE,
+        ServiceScenario::Type4LocalHop | ServiceScenario::Type5RemoteHop => HOP_STRIDE,
+    };
+    let rec = recorder.clone();
+    let front = cfg
+        .create_process("front", 2, move |cp, _| {
+            let mut rng = SplitMix64(seed ^ 0x5EC7_1CE5_u64);
+            for _ in 0..requests {
+                let base = stride * rng.below(POOL_WORKERS as u64) as usize;
+                let x = (rng.next() & 0x3FFF_FFFF) as i32;
+                let t0 = cp.ctx().now();
+                cp.write_slice(CpChannel(base), &[x]).unwrap();
+                let v = cp.read_vec::<i32>(CpChannel(base + stride - 1)).unwrap();
+                let t1 = cp.ctx().now();
+                assert_eq!(v, [x ^ REPLY_SALT], "worker reply corrupted");
+                rec.record_service_request(t1.as_nanos(), (t1 - t0).as_nanos());
+            }
+            // A negative request retires each pool member.
+            for w in 0..POOL_WORKERS {
+                cp.write_slice(CpChannel(stride * w), &[-1]).unwrap();
+            }
+        })
+        .map_err(|e| e.to_string())?;
+
+    // SPE programs receive their first channel id as `arg` (the process
+    // index, forwarded by `run_my_spes`).
+    let direct_worker = SpeProgram::new("svc-worker", 2048, |spe, arg, _| {
+        let (req, rsp) = (CpChannel(arg as usize), CpChannel(arg as usize + 1));
+        loop {
+            let v = spe.read_vec::<i32>(req).unwrap();
+            if v[0] < 0 {
+                break;
+            }
+            spe.write_slice(rsp, &[v[0] ^ REPLY_SALT]).unwrap();
+        }
+    });
+    let gateway = SpeProgram::new("svc-gateway", 2048, |spe, arg, _| {
+        let (req, hop) = (CpChannel(arg as usize), CpChannel(arg as usize + 1));
+        loop {
+            let v = spe.read_vec::<i32>(req).unwrap();
+            let stop = v[0] < 0;
+            spe.write_slice(hop, &v).unwrap();
+            if stop {
+                break;
+            }
+        }
+    });
+    let hop_worker = SpeProgram::new("svc-worker", 2048, |spe, arg, _| {
+        let (hop, rsp) = (CpChannel(arg as usize + 1), CpChannel(arg as usize + 2));
+        loop {
+            let v = spe.read_vec::<i32>(hop).unwrap();
+            if v[0] < 0 {
+                break;
+            }
+            spe.write_slice(rsp, &[v[0] ^ REPLY_SALT]).unwrap();
+        }
+    });
+
+    let build = |cfg: &mut CellPilotConfig, from, to| {
+        let b = cfg.channel(from, to);
+        let b = if eager { b.eager() } else { b };
+        b.build().map_err(|e| e.to_string())
+    };
+    for w in 0..POOL_WORKERS {
+        let base = (stride * w) as i32;
+        match scenario {
+            ServiceScenario::Type2Direct | ServiceScenario::ChaosFailover => {
+                let wk = cfg
+                    .create_spe_process(&direct_worker, CP_MAIN, base)
+                    .map_err(|e| e.to_string())?;
+                let req = build(&mut cfg, front, wk)?;
+                let rsp = build(&mut cfg, wk, front)?;
+                assert_eq!((req.0, rsp.0), (stride * w, stride * w + 1));
+            }
+            ServiceScenario::Type4LocalHop | ServiceScenario::Type5RemoteHop => {
+                let wk_parent = if scenario == ServiceScenario::Type4LocalHop {
+                    CP_MAIN
+                } else {
+                    ppe1
+                };
+                let gw = cfg
+                    .create_spe_process(&gateway, CP_MAIN, base)
+                    .map_err(|e| e.to_string())?;
+                let wk = cfg
+                    .create_spe_process(&hop_worker, wk_parent, base)
+                    .map_err(|e| e.to_string())?;
+                let req = build(&mut cfg, front, gw)?;
+                let hop = build(&mut cfg, gw, wk)?;
+                let rsp = build(&mut cfg, wk, front)?;
+                assert_eq!(
+                    (req.0, hop.0, rsp.0),
+                    (stride * w, stride * w + 1, stride * w + 2)
+                );
+            }
+        }
+    }
+    let _ = front;
+
+    cfg.run(|cp| cp.run_and_wait_my_spes())
+        .map_err(|e| e.to_string())
+}
+
+/// Run one seeded service sweep and check its invariants: every request
+/// answered correctly (asserted in-line), every latency sample recorded,
+/// and the incident log clean (or showing exactly a Co-Pilot death plus
+/// failover for the chaos scenario). Deterministic: the same
+/// `(scenario, seed, requests, eager)` replays timestamp for timestamp.
+pub fn service(
+    scenario: ServiceScenario,
+    seed: u64,
+    requests: usize,
+    eager: bool,
+) -> Result<ServiceReport, ServiceFailure> {
+    service_traced(scenario, seed, requests, eager).map(|(r, _)| r)
+}
+
+/// [`service`] with the run's recorder returned, for Chrome-trace export.
+pub fn service_traced(
+    scenario: ServiceScenario,
+    seed: u64,
+    requests: usize,
+    eager: bool,
+) -> Result<(ServiceReport, cp_trace::Recorder), ServiceFailure> {
+    let rec = cp_trace::Recorder::enabled();
+    let name = scenario.name();
+    let report = run_workload(scenario, seed, requests, eager, rec.clone()).map_err(|error| {
+        ServiceFailure::Sunk {
+            scenario: name,
+            seed,
+            error,
+        }
+    })?;
+    let invariant = |detail: String| ServiceFailure::Invariant {
+        scenario: name,
+        seed,
+        detail,
+    };
+
+    let service = rec.snapshot().service;
+    if service.requests != requests as u64 {
+        return Err(invariant(format!(
+            "recorded {} latency samples for {requests} requests",
+            service.requests
+        )));
+    }
+    if scenario == ServiceScenario::ChaosFailover {
+        // The scripted kill must actually exercise the failover path, and
+        // nothing beyond it may go wrong.
+        for cat in [
+            IncidentCategory::CopilotDeath,
+            IncidentCategory::CopilotFailover,
+        ] {
+            if !report.incidents.iter().any(|i| i.category == cat) {
+                return Err(invariant(format!("expected a {cat:?} incident")));
+            }
+        }
+        if let Some(stray) = report.incidents.iter().find(|i| {
+            i.category != IncidentCategory::CopilotDeath
+                && i.category != IncidentCategory::CopilotFailover
+        }) {
+            return Err(invariant(format!(
+                "unplanned {:?} incident: {}",
+                stray.category, stray.detail
+            )));
+        }
+    } else if let Some(inc) = report.incidents.first() {
+        return Err(invariant(format!(
+            "fault-free run reported {:?}: {}",
+            inc.category, inc.detail
+        )));
+    }
+
+    Ok((
+        ServiceReport {
+            scenario,
+            seed,
+            eager,
+            requests: service.requests,
+            latency_us: service.latency_us,
+            sustained_req_s: service.sustained_req_s,
+            end_time: report.end_time,
+        },
+        rec,
+    ))
+}
+
+/// Run one scenario twice — eager inlining on, then off — over the same
+/// seeded request stream and report the median-latency speedup.
+pub fn ablation(
+    scenario: ServiceScenario,
+    seed: u64,
+    requests: usize,
+) -> Result<AblationReport, ServiceFailure> {
+    let eager = service(scenario, seed, requests, true)?;
+    let ablate = service(scenario, seed, requests, false)?;
+    let speedup = if eager.latency_us.p50 > 0.0 {
+        ablate.latency_us.p50 / eager.latency_us.p50
+    } else {
+        0.0
+    };
+    Ok(AblationReport {
+        scenario,
+        seed,
+        requests: eager.requests,
+        eager_p50_us: eager.latency_us.p50,
+        ablate_p50_us: ablate.latency_us.p50,
+        speedup,
+    })
+}
+
+/// The `service` rows of the `BENCH_<label>.json` artifact: every
+/// scenario at a fixed seed with eager inlining on, `requests` requests
+/// each. The CI gate fails any row whose p99 regresses more than the
+/// tolerance against the committed baseline.
+pub fn service_bench_rows(requests: usize) -> Result<Vec<ServiceRow>, ServiceFailure> {
+    ServiceScenario::all()
+        .into_iter()
+        .map(|s| service(s, 1, requests, true).map(|r| r.to_row()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in ServiceScenario::all() {
+            assert_eq!(ServiceScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ServiceScenario::from_name("type9-warp"), None);
+    }
+
+    #[test]
+    fn direct_route_is_seed_deterministic() {
+        let a = service(ServiceScenario::Type2Direct, 7, 64, true).expect("run passes");
+        let b = service(ServiceScenario::Type2Direct, 7, 64, true).expect("run passes");
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.latency_us.p99, b.latency_us.p99);
+        assert!(a.sustained_req_s > 0.0);
+    }
+
+    #[test]
+    fn hop_routes_answer_every_request() {
+        for s in [
+            ServiceScenario::Type4LocalHop,
+            ServiceScenario::Type5RemoteHop,
+        ] {
+            let r = service(s, 3, 48, true).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(r.requests, 48);
+            assert!(r.latency_us.p50 > 0.0);
+        }
+    }
+
+    #[test]
+    fn failover_spikes_the_tail_but_loses_nothing() {
+        let r =
+            service(ServiceScenario::ChaosFailover, 2, 96, true).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.requests, 96, "failover must not lose requests");
+        assert!(
+            r.latency_us.max >= r.latency_us.p50,
+            "the failover pause shows up in the tail"
+        );
+    }
+
+    #[test]
+    fn eager_halves_small_message_median() {
+        // The local-hop route is the one whose round trip is dominated by
+        // per-message Co-Pilot protocol cost (the ISSUE's premise); there
+        // the mailbox fast path must at least halve the ≤16 B median.
+        let hop = ablation(ServiceScenario::Type4LocalHop, 1, 64).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            hop.speedup >= 2.0,
+            "eager inlining must at least halve the ≤16 B local-hop median: {hop:?}"
+        );
+        // On the MPI-transit-bound routes eager still has to win, just
+        // not by the full 2x (the wire and MPI-software fixed costs are
+        // shared by both paths).
+        for s in [
+            ServiceScenario::Type2Direct,
+            ServiceScenario::Type5RemoteHop,
+        ] {
+            let a = ablation(s, 1, 64).unwrap_or_else(|e| panic!("{e}"));
+            assert!(a.speedup > 1.0, "eager inlining must never lose: {a:?}");
+        }
+    }
+}

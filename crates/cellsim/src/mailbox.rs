@@ -76,6 +76,13 @@ pub struct Mailboxes {
     inbound: MboxQueue,
     outbound: MboxQueue,
     outbound_intr: MboxQueue,
+    /// Inline payloads riding inbound words (see
+    /// [`Mailboxes::ppe_write_inbox_inline`]): the PPE's store-gather
+    /// buffer lets a ≤16-byte payload travel in the same MMIO burst as a
+    /// mailbox word, so eager completions deliver small messages without a
+    /// separate DMA. FIFO per SPE — only inline completions push here and
+    /// the SPU pops in completion order.
+    inline: Mutex<std::collections::VecDeque<Vec<u8>>>,
     recorder: Mutex<Recorder>,
 }
 
@@ -86,6 +93,7 @@ impl Mailboxes {
             inbound: MboxQueue::new(format!("{label}.mbox_in"), 4),
             outbound: MboxQueue::new(format!("{label}.mbox_out"), 1),
             outbound_intr: MboxQueue::new(format!("{label}.mbox_intr"), 1),
+            inline: Mutex::new(std::collections::VecDeque::new()),
             recorder: Mutex::new(Recorder::disabled()),
         }
     }
@@ -192,6 +200,40 @@ impl Mailboxes {
     /// PPE: non-blocking status of the outbound mailbox (word available?).
     pub fn ppe_outbox_status(&self, ctx: &ProcCtx) -> bool {
         self.outbound.q.has_available(ctx)
+    }
+
+    /// PPE: write a word into the SPE's inbound mailbox with a small
+    /// payload riding the same store-gather MMIO burst. Charges one MMIO
+    /// operation (same as [`Mailboxes::ppe_write_inbox`]) plus a per-byte
+    /// copy into the problem-state mapping — no second mailbox word, no
+    /// DMA setup. The payload is queued FIFO for
+    /// [`Mailboxes::spu_take_inline`].
+    pub fn ppe_write_inbox_inline(
+        &self,
+        ctx: &ProcCtx,
+        costs: &CellCosts,
+        word: u32,
+        payload: Vec<u8>,
+    ) {
+        ctx.advance(SimDuration::from_micros_f64(
+            costs.ppe_mmio_op_us + costs.ls_copy_per_byte_us * payload.len() as f64,
+        ));
+        // Stage the payload before the word: by the time the SPU pops the
+        // word, its payload is guaranteed present.
+        self.inline.lock().push_back(payload);
+        self.inbound.note_send(&self.rec(), ctx);
+        self.inbound.q.push(
+            ctx,
+            word,
+            SimDuration::from_micros_f64(costs.mailbox_latency_us),
+        );
+    }
+
+    /// SPU: take the oldest inline payload. Call exactly once per inbound
+    /// word whose completion flags said the payload rode the word (the
+    /// happens-before edge of the word itself orders the payload).
+    pub fn spu_take_inline(&self) -> Option<Vec<u8>> {
+        self.inline.lock().pop_front()
     }
 }
 
@@ -353,6 +395,28 @@ mod tests {
         }
         // The unread inbox word still records its send.
         assert_eq!(recvs.len(), 2);
+    }
+
+    #[test]
+    fn inline_payload_rides_one_mmio_burst() {
+        let mb = Arc::new(Mailboxes::new("spe0"));
+        let mut sim = Simulation::new();
+        let (m1, m2) = (mb.clone(), mb);
+        sim.spawn("ppe", move |ctx| {
+            m1.ppe_write_inbox_inline(ctx, &costs(), 12, vec![7u8; 12]);
+            // One MMIO op + 12 bytes at the LS copy rate — no second
+            // mailbox word, no DMA setup.
+            let want = 2.5 + 12.0 * 0.009375;
+            assert!((ctx.now().as_micros_f64() - want).abs() < 0.002);
+        });
+        sim.spawn("spu", move |ctx| {
+            ctx.advance(SimDuration::from_micros(50));
+            let w = m2.spu_read_inbox(ctx, &costs());
+            assert_eq!(w, 12);
+            assert_eq!(m2.spu_take_inline(), Some(vec![7u8; 12]));
+            assert_eq!(m2.spu_take_inline(), None);
+        });
+        sim.run().unwrap();
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum CheckCode {
     /// channel with no capacity (the policy is inert), or — in strict
     /// mode, once any channel is bounded — a channel left unbounded.
     Cp013,
+    /// Eager/coalescing misconfiguration: an eager threshold larger than
+    /// the mailbox-word capacity (the excess can never go inline), or
+    /// coalescing on a bundle whose member channel's capacity is smaller
+    /// than the batch size (a full batch can never accumulate).
+    Cp014,
     /// Race detector: overlapping local-store byte ranges accessed
     /// without a happens-before edge.
     Cp101,
@@ -68,6 +73,7 @@ impl CheckCode {
             CheckCode::Cp011 => "CP011",
             CheckCode::Cp012 => "CP012",
             CheckCode::Cp013 => "CP013",
+            CheckCode::Cp014 => "CP014",
             CheckCode::Cp101 => "CP101",
         }
     }

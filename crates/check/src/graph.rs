@@ -146,7 +146,18 @@ pub struct WiringGraph {
     /// Whether strict mode asked for flow-control advisories: the
     /// unbounded-channel half of CP013 only fires when this is set.
     pub flow_strict: bool,
+    /// Per-channel eager-inlining thresholds (channel index → configured
+    /// byte threshold). Channels absent from the map are not eager.
+    pub channel_eager: BTreeMap<usize, usize>,
+    /// Per-bundle coalescing batch sizes (bundle index → `max_batch`).
+    /// Bundles absent from the map do not coalesce.
+    pub bundle_coalesce: BTreeMap<usize, usize>,
 }
+
+/// Bytes one mailbox/control-word exchange can carry inline: the 4-deep
+/// inbound mailbox × 4-byte words. An eager threshold above this is inert
+/// for the excess — CP014 flags it.
+pub const MAILBOX_INLINE_CAPACITY: usize = 16;
 
 impl WiringGraph {
     /// An empty graph for an application with `ranks` MPI ranks.
@@ -228,6 +239,22 @@ impl WiringGraph {
     /// Enable the strict-mode-only flow advisories of CP013.
     pub fn set_flow_strict(&mut self, strict: bool) {
         self.flow_strict = strict;
+    }
+
+    /// Record channel `c`'s eager-inlining threshold (bytes). No-op for an
+    /// out-of-range index (the orphan checks already flag those).
+    pub fn set_channel_eager(&mut self, c: usize, threshold: usize) {
+        if self.channels.get(c).is_some() {
+            self.channel_eager.insert(c, threshold);
+        }
+    }
+
+    /// Record bundle `b`'s coalescing batch size. No-op for an
+    /// out-of-range index.
+    pub fn set_bundle_coalesce(&mut self, b: usize, max_batch: usize) {
+        if self.bundles.get(b).is_some() {
+            self.bundle_coalesce.insert(b, max_batch);
+        }
     }
 
     /// Register a one-sided window of `len` bytes at local-store offset

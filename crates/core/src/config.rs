@@ -447,9 +447,11 @@ impl CellPilotConfig {
             window: None,
             capacity: None,
             policy: OverloadPolicy::Block,
+            eager: None,
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one field per builder knob
     fn finish_channel(
         &mut self,
         from: CpProcess,
@@ -458,6 +460,7 @@ impl CellPilotConfig {
         window: Option<(u32, u32)>,
         capacity: Option<usize>,
         policy: OverloadPolicy,
+        eager: Option<usize>,
     ) -> Result<CpChannel, CpError> {
         let fe = self
             .processes
@@ -514,6 +517,7 @@ impl CellPilotConfig {
             window,
             capacity,
             policy,
+            eager,
         });
         Ok(id)
     }
@@ -565,8 +569,53 @@ impl CellPilotConfig {
             usage,
             channels: channels.to_vec(),
             common,
+            coalesce: None,
         });
         Ok(id)
+    }
+
+    /// Enable **vectored coalescing** on a broadcast bundle: consecutive
+    /// small writes made through [`crate::CellPilot::coalescer`] are
+    /// buffered and flushed as one batched wire envelope per destination
+    /// Co-Pilot, either when `max_batch` writes have accumulated or when
+    /// the oldest buffered write is `deadline_us` microseconds old (checked
+    /// at the next write or explicit flush — the coalescer holds no
+    /// timers).
+    pub fn coalesce_bundle(
+        &mut self,
+        b: CpBundle,
+        max_batch: usize,
+        deadline_us: f64,
+    ) -> Result<(), CpError> {
+        let entry = self
+            .bundles
+            .get_mut(b.0)
+            .ok_or(CpError::NoSuchBundle(b.0))?;
+        if entry.usage != CpBundleUsage::Broadcast {
+            return Err(CpError::BundleMisuse {
+                bundle: b.0,
+                detail: "coalescing batches the common writer's outgoing traffic, \
+                         so it only applies to broadcast bundles"
+                    .into(),
+            });
+        }
+        if max_batch == 0 {
+            return Err(CpError::BundleMisuse {
+                bundle: b.0,
+                detail: "coalesce batch size must be nonzero".into(),
+            });
+        }
+        if deadline_us.is_nan() || deadline_us <= 0.0 {
+            return Err(CpError::BundleMisuse {
+                bundle: b.0,
+                detail: "coalesce deadline must be positive".into(),
+            });
+        }
+        entry.coalesce = Some(crate::tables::CoalescePolicy {
+            max_batch,
+            deadline_us,
+        });
+        Ok(())
     }
 
     /// The Table-I classification of a configured channel.
@@ -657,6 +706,12 @@ impl CellPilotConfig {
                 c.policy == crate::flow::OverloadPolicy::Block,
             );
         }
+        // Eager/coalescing declarations for the CP014 lint.
+        for (i, c) in self.channels.iter().enumerate() {
+            if let Some(threshold) = c.eager {
+                g.set_channel_eager(i, threshold);
+            }
+        }
         // One-sided channels and their windows. Explicit `window_at`
         // placements are declared verbatim (CP011 catches user-chosen
         // overlaps); runtime-allocated windows get synthetic stacked
@@ -694,6 +749,11 @@ impl CellPilotConfig {
             };
             let members: Vec<usize> = b.channels.iter().map(|c| c.0).collect();
             g.add_bundle(usage, &members, b.common.0);
+        }
+        for (i, b) in self.bundles.iter().enumerate() {
+            if let Some(cp) = b.coalesce {
+                g.set_bundle_coalesce(i, cp.max_batch);
+            }
         }
         cp_check::verify(&g)
     }
@@ -972,6 +1032,7 @@ pub struct ChannelBuilder<'a> {
     window: Option<(u32, u32)>,
     capacity: Option<usize>,
     policy: OverloadPolicy,
+    eager: Option<usize>,
 }
 
 impl ChannelBuilder<'_> {
@@ -1032,6 +1093,30 @@ impl ChannelBuilder<'_> {
         self
     }
 
+    /// Enable **eager inlining** at the default threshold (the mailbox-word
+    /// capacity, [`crate::protocol::EAGER_INLINE_MAX`] bytes): packed
+    /// payloads at or below the threshold ride the existing mailbox/control
+    /// word instead of a separate DMA round trip, cutting per-message
+    /// protocol cost for small messages. Off by default — existing
+    /// channels keep their rendezvous schedules byte-identical.
+    ///
+    /// Wire-seq exactly-once dedup and credit accounting are unaffected:
+    /// eager transfers acquire and release the same credits and dedup
+    /// state as rendezvous ones.
+    pub fn eager(self) -> Self {
+        let t = crate::protocol::EAGER_INLINE_MAX;
+        self.eager_threshold(t)
+    }
+
+    /// Enable eager inlining with an explicit byte threshold. Values above
+    /// [`crate::protocol::EAGER_INLINE_MAX`] are clamped at run time (one
+    /// mailbox exchange cannot carry more) — the `cp-check` wiring
+    /// verifier flags such configs as CP014.
+    pub fn eager_threshold(mut self, threshold: usize) -> Self {
+        self.eager = Some(threshold);
+        self
+    }
+
     /// Validate and register the channel.
     ///
     /// Consumes the builder, so a declaration cannot be registered twice
@@ -1057,6 +1142,7 @@ impl ChannelBuilder<'_> {
             self.window,
             self.capacity,
             self.policy,
+            self.eager,
         )
     }
 

@@ -29,8 +29,9 @@
 
 use crate::location::Location;
 use crate::protocol::{
-    completion_err, completion_ok, decode_mcast, CompletionError, Request, CP_MCAST_TAG,
-    CP_SHUTDOWN_TAG, OP_POLL, OP_READ, OP_WRITE, POISON_WORD, REQ_BLOCK_BYTES,
+    completion_err, completion_ok, completion_ok_inline, decode_bundle, decode_mcast,
+    CompletionError, Request, CP_BUNDLE_TAG, CP_MCAST_TAG, CP_SHUTDOWN_TAG, OP_POLL, OP_READ,
+    OP_WRITE, OP_WRITE_INLINE, POISON_WORD, REQ_BLOCK_BYTES,
 };
 use crate::runtime::AppShared;
 use crate::tables::{CoEvent, NodeShared, PendingReq};
@@ -172,9 +173,27 @@ fn sim_spawn_watcher(ctx: &ProcCtx, ns: Arc<NodeShared>, hw: usize) {
                     cell.costs.memcpy_us(REQ_BLOCK_BYTES, 1),
                 ));
                 let req = Request::decode(&block);
+                // An eager inline write stages its payload immediately after
+                // the header: fetch it in the same mapped read (the block is
+                // contiguous in the local store), charging only the extra
+                // bytes — no second MMIO exchange.
+                let inline = if req.op == OP_WRITE_INLINE {
+                    let payload = cell
+                        .ea_read(ls_ea(hw, word as usize + REQ_BLOCK_BYTES), req.len as usize)
+                        .expect("inline payload within local store");
+                    wctx.advance(SimDuration::from_micros_f64(
+                        cell.costs.memcpy_us(req.len as usize, 1),
+                    ));
+                    Some(payload)
+                } else {
+                    None
+                };
                 ns.note_queue_push(&wctx.name(), wctx.now().as_nanos());
-                ns.queue
-                    .push(wctx, CoEvent::Request { hw, req }, SimDuration::ZERO);
+                ns.queue.push(
+                    wctx,
+                    CoEvent::Request { hw, req, inline },
+                    SimDuration::ZERO,
+                );
             }
         },
     );
@@ -249,7 +268,7 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                 for chan in chans {
                     let chan = chan as usize;
                     if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
-                        deliver_to_spe(ctx, shared, cell, chan, &data, rr);
+                        deliver(ctx, shared, cell, chan, &data, rr);
                     } else {
                         let mut m = msg.clone();
                         m.tag = chan as i32;
@@ -258,15 +277,98 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                     }
                 }
             }
+            CoEvent::Mpi(msg) if msg.tag == CP_BUNDLE_TAG => {
+                // Coalesced bundle envelope: one wire message carrying
+                // several small writes, each with its own payload. Unpack
+                // and deliver-or-park per entry, exactly as if each had
+                // arrived as its own message.
+                for (chan, data) in decode_bundle(&msg.data) {
+                    let chan = chan as usize;
+                    if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
+                        deliver(ctx, shared, cell, chan, &data, rr);
+                    } else {
+                        let count = data.len();
+                        st.pending_mpi.entry(chan).or_default().push_back(Msg {
+                            src: msg.src,
+                            tag: chan as i32,
+                            dtype: Datatype::Byte,
+                            count,
+                            data,
+                        });
+                    }
+                }
+            }
             CoEvent::Mpi(msg) => {
                 let chan = msg.tag as usize;
                 if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
-                    deliver_to_spe(ctx, shared, cell, chan, &msg.data, rr);
+                    deliver(ctx, shared, cell, chan, &msg.data, rr);
                 } else {
                     st.pending_mpi.entry(chan).or_default().push_back(msg);
                 }
             }
-            CoEvent::Request { hw, req } if req.op == OP_WRITE => {
+            CoEvent::Request {
+                hw,
+                req,
+                inline: Some(data),
+            } if req.op == OP_WRITE_INLINE => {
+                // Eager inline write: the payload arrived with the request,
+                // so the fast dispatch path applies — no buffer-address
+                // translation, no pending-transfer bookkeeping, no DMA reply
+                // setup.
+                charge(ctx, costs.copilot_eager_dispatch_us);
+                let chan = req.chan as usize;
+                crate::dlsvc::report(
+                    comm,
+                    &shared.tables,
+                    crate::dlsvc::chan_event(&shared.tables, cp_pilot::EV_WRITE, chan),
+                );
+                let n = data.len();
+                match reader_side(shared, chan, cell.id) {
+                    ReaderSide::LocalSpe => {
+                        // Buffered send: the writer completes immediately
+                        // (its payload is already in Co-Pilot hands); the
+                        // data waits for the reader like an MPI-borne
+                        // message would, preserving FIFO order against any
+                        // rendezvous write the same (now unblocked) writer
+                        // issues later.
+                        complete(ctx, cell, hw, completion_ok(n));
+                        shared.trace.record(
+                            ctx.now(),
+                            &format!("copilot{}", cell.id),
+                            crate::trace::TraceOp::CopilotWrite,
+                            chan,
+                            n,
+                        );
+                        if let Some(rr) = pop_front(&mut st.pending_reads, chan) {
+                            deliver(ctx, shared, cell, chan, &data, rr);
+                        } else {
+                            st.pending_mpi.entry(chan).or_default().push_back(Msg {
+                                src: comm.rank(),
+                                tag: chan as i32,
+                                dtype: Datatype::Byte,
+                                count: n,
+                                data,
+                            });
+                        }
+                    }
+                    ReaderSide::Mpi(dest_rank) => {
+                        // The payload is in hand: buffered send here too —
+                        // the writer's completion does not wait for the MPI
+                        // call made on its behalf.
+                        complete(ctx, cell, hw, completion_ok(n));
+                        comm.send_bytes(dest_rank, CpTablesTag(chan), Datatype::Byte, n, data);
+                        shared.trace.record(
+                            ctx.now(),
+                            &format!("copilot{}", cell.id),
+                            crate::trace::TraceOp::CopilotWrite,
+                            chan,
+                            n,
+                        );
+                        record_hop(ctx, shared, cell.id, chan, "forward");
+                    }
+                }
+            }
+            CoEvent::Request { hw, req, .. } if req.op == OP_WRITE => {
                 charge(ctx, costs.copilot_dispatch_us);
                 let chan = req.chan as usize;
                 // Proxy report on behalf of the writing SPE (which cannot
@@ -311,21 +413,45 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                     }
                 }
             }
-            CoEvent::Request { hw, req } if req.op == OP_POLL => {
+            CoEvent::Request { hw, req, .. } if req.op == OP_POLL => {
                 charge(ctx, costs.copilot_dispatch_us);
                 let chan = req.chan as usize;
+                let has_mpi = st.pending_mpi.get(&chan).is_some_and(|q| !q.is_empty());
                 let has = match writer_side(shared, chan, cell.id) {
+                    // A local SPE writer may have data parked either as a
+                    // rendezvous request or as a buffered eager payload.
                     WriterSide::LocalSpe => {
-                        st.pending_writes.get(&chan).is_some_and(|q| !q.is_empty())
+                        has_mpi || st.pending_writes.get(&chan).is_some_and(|q| !q.is_empty())
                     }
-                    WriterSide::Mpi => st.pending_mpi.get(&chan).is_some_and(|q| !q.is_empty()),
+                    WriterSide::Mpi => has_mpi,
                 };
                 complete(ctx, cell, hw, completion_ok(usize::from(has)));
             }
-            CoEvent::Request { hw, req } => {
+            CoEvent::Request { hw, req, .. } => {
                 debug_assert_eq!(req.op, OP_READ);
-                charge(ctx, costs.copilot_dispatch_us);
                 let chan = req.chan as usize;
+                // Fast dispatch applies to every read posted on an eager
+                // channel: whether the read is satisfied on the spot or
+                // parked, the Co-Pilot only files the reply-mailbox slot —
+                // no buffer-address translation and no transfer
+                // bookkeeping up front. The DMA-path costs are charged at
+                // delivery time instead (`deliver_to_spe` / `pair_type4`),
+                // and only when the payload exceeds the inline budget.
+                // Non-eager channels keep the exact schedule they had
+                // before eager inlining existed.
+                let fast = shared
+                    .tables
+                    .channels
+                    .get(chan)
+                    .is_some_and(|e| e.eager_limit() > 0);
+                charge(
+                    ctx,
+                    if fast {
+                        costs.copilot_eager_dispatch_us
+                    } else {
+                        costs.copilot_dispatch_us
+                    },
+                );
                 // Proxy report on behalf of the reading SPE. Reported on
                 // *every* read — even one satisfied from a pending queue —
                 // so write credits and read waits stay paired 1:1 in the
@@ -342,7 +468,13 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                 };
                 match writer_side(shared, chan, cell.id) {
                     WriterSide::LocalSpe => {
-                        if let Some(w) = pop_front(&mut st.pending_writes, chan) {
+                        // Buffered eager payloads park in `pending_mpi` and
+                        // always predate any parked rendezvous write (the
+                        // writer blocks on a rendezvous write until it is
+                        // paired), so draining them first preserves FIFO.
+                        if let Some(msg) = pop_front_msg(&mut st.pending_mpi, chan) {
+                            deliver(ctx, shared, cell, chan, &msg.data, rr);
+                        } else if let Some(w) = pop_front(&mut st.pending_writes, chan) {
                             pair_type4(ctx, shared, cell, chan, w, rr);
                         } else if writer_dead(ctx, shared, cell, chan) {
                             complete(ctx, cell, hw, completion_err(CompletionError::PeerLost));
@@ -352,7 +484,7 @@ fn service_loop(comm: &Comm, shared: &Arc<AppShared>, ns: &Arc<NodeShared>, stan
                     }
                     WriterSide::Mpi => {
                         if let Some(msg) = pop_front_msg(&mut st.pending_mpi, chan) {
-                            deliver_to_spe(ctx, shared, cell, chan, &msg.data, rr);
+                            deliver(ctx, shared, cell, chan, &msg.data, rr);
                         } else if writer_dead(ctx, shared, cell, chan) {
                             complete(ctx, cell, hw, completion_err(CompletionError::PeerLost));
                         } else {
@@ -449,6 +581,68 @@ fn writer_side(shared: &AppShared, chan: usize, my_node: usize) -> WriterSide {
             }
         }
     }
+}
+
+/// Whether `data` qualifies for eager inline delivery on `chan`: the
+/// channel opted into eager inlining and the payload fits what one
+/// mailbox/control-word exchange can carry.
+fn eager_small(shared: &AppShared, chan: usize, data: &[u8]) -> bool {
+    shared
+        .tables
+        .channels
+        .get(chan)
+        .is_some_and(|e| e.eager_limit() > 0 && data.len() <= e.eager_limit())
+}
+
+/// Deliver channel data to a waiting SPE reader, picking the eager inline
+/// path when the channel and payload qualify.
+fn deliver(
+    ctx: &ProcCtx,
+    shared: &AppShared,
+    cell: &Arc<CellNode>,
+    chan: usize,
+    data: &[u8],
+    rr: PendingReq,
+) {
+    if eager_small(shared, chan, data) {
+        deliver_to_spe_eager(ctx, shared, cell, chan, data, rr);
+    } else {
+        deliver_to_spe(ctx, shared, cell, chan, data, rr);
+    }
+}
+
+/// Eager inline delivery: the payload rides the completion word itself (a
+/// store-gather burst into the reader's inbound mailbox), skipping the
+/// buffer-address translation and the mapped store of the DMA path.
+fn deliver_to_spe_eager(
+    ctx: &ProcCtx,
+    shared: &AppShared,
+    cell: &Arc<CellNode>,
+    chan: usize,
+    data: &[u8],
+    rr: PendingReq,
+) {
+    // Final drain point, same contract as `deliver_to_spe`: the credit
+    // returns whether or not the payload fits the posted buffer.
+    shared.release_credit(chan);
+    if data.len() > rr.len as usize {
+        complete(ctx, cell, rr.hw, completion_err(CompletionError::Overflow));
+        return;
+    }
+    cell.spes[rr.hw].mbox.ppe_write_inbox_inline(
+        ctx,
+        &cell.costs,
+        completion_ok_inline(data.len()),
+        data.to_vec(),
+    );
+    shared.trace.record(
+        ctx.now(),
+        &format!("copilot{}", cell.id),
+        crate::trace::TraceOp::CopilotDeliver,
+        chan,
+        data.len(),
+    );
+    record_hop(ctx, shared, cell.id, chan, "deliver");
 }
 
 /// Deliver MPI-borne channel data into a waiting SPE's buffer: translate,

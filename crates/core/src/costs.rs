@@ -23,6 +23,13 @@ pub struct CellPilotCosts {
     /// Extra cost of pairing the two requests of a type-4 (SPE↔SPE local)
     /// transfer: the Co-Pilot's poll-until-second-request loop.
     pub copilot_pair_poll_us: f64,
+    /// Co-Pilot fast-path handling of an **eager** request (inline write,
+    /// or a read whose data is already buffered and fits the inline
+    /// window). The fast path skips what dominates `copilot_dispatch_us`:
+    /// buffer-address translation, pending-transfer bookkeeping, and DMA
+    /// reply setup — the payload is already in hand (or goes straight out
+    /// with the completion word), leaving dequeue + a channel-table probe.
+    pub copilot_eager_dispatch_us: f64,
     /// SPE-resident runtime: fixed cost of one `PI_Write`/`PI_Read`
     /// (format interpretation + request-block setup).
     pub spu_op_us: f64,
@@ -39,6 +46,7 @@ impl Default for CellPilotCosts {
         CellPilotCosts {
             copilot_dispatch_us: 37.0,
             copilot_pair_poll_us: 20.0,
+            copilot_eager_dispatch_us: 5.0,
             spu_op_us: 2.0,
             spu_per_byte_us: 0.000_5,
             spe_read_buffer: 16 * 1024,
@@ -66,6 +74,11 @@ mod tests {
         let c = CellPilotCosts::default();
         assert!(c.copilot_dispatch_us > 0.0);
         assert!(c.copilot_pair_poll_us > 0.0);
+        assert!(
+            c.copilot_eager_dispatch_us > 0.0
+                && c.copilot_eager_dispatch_us < c.copilot_dispatch_us,
+            "the eager fast path must be cheaper than full dispatch"
+        );
         assert!(
             c.spe_read_buffer >= 1600,
             "must hold the paper's array case"

@@ -167,6 +167,7 @@ mod tests {
                 window: None,
                 capacity: None,
                 policy: crate::OverloadPolicy::Block,
+                eager: None,
             },
             CpChanEntry {
                 from: CpProcess(1),
@@ -176,6 +177,7 @@ mod tests {
                 window: None,
                 capacity: None,
                 policy: crate::OverloadPolicy::Block,
+                eager: None,
             },
         ];
         CpTables {

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod baseline;
+mod coalesce;
 mod collective;
 mod config;
 pub mod conformance;
@@ -71,6 +72,7 @@ mod spe_rt;
 mod tables;
 pub mod trace;
 
+pub use coalesce::BundleCoalescer;
 pub use collective::{reduce_f64, CpBundle};
 pub use config::{CellPilotConfig, CellPilotOpts, ChannelBuilder, SupervisionPolicy, TypedChannel};
 pub use costs::{CellPilotCosts, SPE_RUNTIME_FOOTPRINT};

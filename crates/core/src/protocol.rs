@@ -18,6 +18,17 @@ pub const OP_READ: u32 = 2;
 /// SPE request opcode: non-blocking poll — "does the channel have data
 /// ready for me?" (the SPE-side `PI_ChannelHasData` extension).
 pub const OP_POLL: u32 = 3;
+/// SPE request opcode: an **eager inline write** — the payload travels in
+/// the request block itself (immediately after the 16-byte header), so the
+/// Co-Pilot needs no separate buffer translation + DMA round trip. Only
+/// legal for payloads of at most [`EAGER_INLINE_MAX`] bytes.
+pub const OP_WRITE_INLINE: u32 = 4;
+
+/// Largest payload an eager inline transfer can carry: the inbound mailbox
+/// is 4 words deep × 4 bytes, so 16 bytes is what one mailbox/control-word
+/// exchange can move without falling back to a DMA round trip. This is
+/// also the default `eager_threshold` of an eager-enabled channel.
+pub const EAGER_INLINE_MAX: usize = 16;
 
 /// Mailbox word that tells a Co-Pilot mailbox watcher to shut down.
 pub const POISON_WORD: u32 = 0xFFFF_FFFF;
@@ -31,6 +42,46 @@ pub const CP_SHUTDOWN_TAG: i32 = i32::MAX;
 /// locally by the Co-Pilot (the hierarchical broadcast extension; the
 /// paper lists SPE collectives as future work).
 pub const CP_MCAST_TAG: i32 = i32::MAX - 1;
+
+/// MPI tag of a coalesced bundle envelope: several small writes on the
+/// channels of one bundle, batched into a single wire message and unpacked
+/// by the destination Co-Pilot (the vectored-coalescing extension; unlike
+/// [`CP_MCAST_TAG`] each entry carries its own payload).
+pub const CP_BUNDLE_TAG: i32 = i32::MAX - 2;
+
+/// Encode a coalesced bundle envelope:
+/// `[u32 n][u32 chan; n][u32 len; n][data...]` (all big-endian, payloads
+/// concatenated in entry order).
+pub fn encode_bundle(entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|(_, d)| d.len()).sum();
+    let mut out = Vec::with_capacity(4 + 8 * entries.len() + total);
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (c, _) in entries {
+        out.extend_from_slice(&c.to_be_bytes());
+    }
+    for (_, d) in entries {
+        out.extend_from_slice(&(d.len() as u32).to_be_bytes());
+    }
+    for (_, d) in entries {
+        out.extend_from_slice(d);
+    }
+    out
+}
+
+/// Decode a coalesced bundle envelope into `(channel, payload)` entries.
+pub fn decode_bundle(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    let w = |i: usize| u32::from_be_bytes(bytes[i..i + 4].try_into().expect("bundle header"));
+    let n = w(0) as usize;
+    let mut entries = Vec::with_capacity(n);
+    let mut off = 4 + 8 * n;
+    for i in 0..n {
+        let chan = w(4 + 4 * i);
+        let len = w(4 + 4 * n + 4 * i) as usize;
+        entries.push((chan, bytes[off..off + len].to_vec()));
+        off += len;
+    }
+    entries
+}
 
 /// Encode a multicast payload: `[u32 n][u32 chan; n][data]`.
 pub fn encode_mcast(chans: &[u32], data: &[u8]) -> Vec<u8> {
@@ -107,10 +158,28 @@ pub enum CompletionError {
     PeerLost,
 }
 
+/// Completion-word flag: the payload of this (successful) completion was
+/// delivered **inline** — it rides the same mailbox exchange as the
+/// completion word instead of having been DMAed into the reader's
+/// local-store buffer.
+pub const COMPLETION_INLINE_FLAG: u32 = 0x4000_0000;
+
 /// Encode a successful completion carrying the transferred byte count.
 pub fn completion_ok(bytes: usize) -> u32 {
-    debug_assert!(bytes < (1 << 31), "transfer too large for completion word");
+    debug_assert!(bytes < (1 << 30), "transfer too large for completion word");
     bytes as u32
+}
+
+/// Encode a successful completion whose payload was delivered inline
+/// through the mailbox (see [`COMPLETION_INLINE_FLAG`]).
+pub fn completion_ok_inline(bytes: usize) -> u32 {
+    debug_assert!(bytes <= EAGER_INLINE_MAX, "inline payload too large");
+    COMPLETION_INLINE_FLAG | bytes as u32
+}
+
+/// Was this (successful) completion's payload delivered inline?
+pub fn completion_is_inline(word: u32) -> bool {
+    word & 0x8000_0000 == 0 && word & COMPLETION_INLINE_FLAG != 0
 }
 
 /// Encode an error completion.
@@ -123,10 +192,11 @@ pub fn completion_err(e: CompletionError) -> u32 {
         }
 }
 
-/// Decode a completion word.
+/// Decode a completion word (the inline flag, if set, is masked out of the
+/// byte count — check it separately with [`completion_is_inline`]).
 pub fn decode_completion(word: u32) -> Result<usize, CompletionError> {
     if word & 0x8000_0000 == 0 {
-        Ok(word as usize)
+        Ok((word & !COMPLETION_INLINE_FLAG) as usize)
     } else {
         match word & 0x7FFF_FFFF {
             1 => Err(CompletionError::Overflow),
@@ -181,5 +251,41 @@ mod tests {
     #[test]
     fn poison_is_not_a_plausible_ls_address() {
         assert!(POISON_WORD as usize > cp_cellsim::LS_SIZE);
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let entries = vec![
+            (3u32, vec![1u8, 2, 3]),
+            (7u32, Vec::new()),
+            (9u32, vec![0xAA; 16]),
+        ];
+        assert_eq!(decode_bundle(&encode_bundle(&entries)), entries);
+        assert!(decode_bundle(&encode_bundle(&[])).is_empty());
+    }
+
+    #[test]
+    fn inline_completion_roundtrip() {
+        let w = completion_ok_inline(12);
+        assert!(completion_is_inline(w));
+        assert_eq!(decode_completion(w), Ok(12));
+        assert!(!completion_is_inline(completion_ok(12)));
+        assert!(!completion_is_inline(completion_err(
+            CompletionError::Overflow
+        )));
+        assert_eq!(decode_completion(completion_ok(12)), Ok(12));
+    }
+
+    #[test]
+    fn inline_max_matches_mailbox_depth() {
+        // 4-deep inbound mailbox × 4-byte words: what one control-word
+        // exchange can carry.
+        assert_eq!(EAGER_INLINE_MAX, 4 * 4);
+    }
+
+    #[test]
+    fn bundle_tag_below_other_reserved_tags() {
+        let order = [CP_BUNDLE_TAG, CP_MCAST_TAG, CP_SHUTDOWN_TAG];
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
     }
 }

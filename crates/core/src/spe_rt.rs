@@ -11,7 +11,8 @@
 use crate::error::CpError;
 use crate::location::{ChannelMode, CpChannel, CpProcess};
 use crate::protocol::{
-    decode_completion, CompletionError, Request, OP_POLL, OP_READ, OP_WRITE, REQ_BLOCK_BYTES,
+    completion_is_inline, decode_completion, CompletionError, Request, EAGER_INLINE_MAX, OP_POLL,
+    OP_READ, OP_WRITE, OP_WRITE_INLINE, REQ_BLOCK_BYTES,
 };
 use crate::runtime::AppShared;
 use cp_cellsim::LsAddr;
@@ -72,9 +73,20 @@ impl SpeCtx {
         hw: usize,
     ) -> SpeCtx {
         let cell = &shared.node_shared[&node].cell;
+        // Processes on an eager channel stage inline payloads directly
+        // behind the request-block header, so their block is one inline
+        // window larger. Everyone else keeps the classic 16-byte block —
+        // local-store layout (and with it every golden trace) is untouched
+        // unless eager inlining was asked for.
+        let touches_eager = shared
+            .tables
+            .channels
+            .iter()
+            .any(|e| e.eager.is_some() && (e.from == me || e.to == me));
+        let block_len = REQ_BLOCK_BYTES + if touches_eager { EAGER_INLINE_MAX } else { 0 };
         let req_block = cell.spes[hw]
             .ls
-            .alloc(REQ_BLOCK_BYTES, 16)
+            .alloc(block_len, 16)
             .expect("room for the request block");
         // Register this process's one-sided windows (it is the reader of
         // those channels): allocate the landing region in the local store
@@ -257,22 +269,28 @@ impl SpeCtx {
         ));
     }
 
-    /// Post a request block and wait for the Co-Pilot's completion word.
-    fn transact(&self, req: Request) -> Result<usize, CpError> {
+    /// Post a request block (header plus optional inline payload) and wait
+    /// for the Co-Pilot's completion word. Returns the byte count and
+    /// whether the completion's payload rode the word inline.
+    fn transact_block(
+        &self,
+        block: &[u8],
+        chan: usize,
+        cap: usize,
+    ) -> Result<(usize, bool), CpError> {
         let cell = &self.shared.node_shared[&self.node].cell;
         let spe = &cell.spes[self.hw];
-        spe.ls.write(self.req_block, &req.encode())?;
+        spe.ls.write(self.req_block, block)?;
         spe.mbox
             .spu_write_outbox(&self.ctx, &cell.costs, self.req_block as u32);
         let word = spe.mbox.spu_read_inbox(&self.ctx, &cell.costs);
         match decode_completion(word) {
-            Ok(n) => Ok(n),
+            Ok(n) => Ok((n, completion_is_inline(word))),
             Err(CompletionError::Overflow) => Err(CpError::SpeBufferOverflow {
-                channel: req.chan as usize,
-                capacity: req.len as usize,
+                channel: chan,
+                capacity: cap,
             }),
             Err(CompletionError::PeerLost) => {
-                let chan = req.chan as usize;
                 let peer = self
                     .shared
                     .tables
@@ -289,6 +307,12 @@ impl SpeCtx {
                 panic!("Co-Pilot reported an internal protocol error")
             }
         }
+    }
+
+    /// Post a classic 16-byte request block and wait for completion.
+    fn transact(&self, req: Request) -> Result<usize, CpError> {
+        self.transact_block(&req.encode(), req.chan as usize, req.len as usize)
+            .map(|(n, _)| n)
     }
 
     /// `PI_Write` from an SPE process: pack into local store, hand the
@@ -325,50 +349,74 @@ impl SpeCtx {
         self.charge(payload_bytes(values));
         let cell = &self.shared.node_shared[&self.node].cell;
         let ls = &cell.spes[self.hw].ls;
-        let buf = match ls.alloc(data.len().max(1), 16) {
-            Ok(buf) => buf,
-            Err(e) => {
-                // Staging failed before the message entered the pipeline:
-                // unwind the credit.
+        let one_sided = self.shared.one_sided_chan(chan.0);
+        let eager_inline = entry.eager_limit() > 0 && data.len() <= entry.eager_limit();
+        let result = if eager_inline && !one_sided {
+            // Eager fast path: the payload rides the request block itself,
+            // so there is no staging buffer, no address translation, and no
+            // DMA read-back on the Co-Pilot side. Relay errors need no
+            // unwind (the Co-Pilot drain point returns the credit).
+            let mut block = Request {
+                op: OP_WRITE_INLINE,
+                chan: chan.0 as u32,
+                addr: 0,
+                len: data.len() as u32,
+            }
+            .encode()
+            .to_vec();
+            block.extend_from_slice(&data);
+            self.transact_block(&block, chan.0, data.len())
+                .map(|(n, _)| n)
+        } else {
+            let buf = match ls.alloc(data.len().max(1), 16) {
+                Ok(buf) => buf,
+                Err(e) => {
+                    // Staging failed before the message entered the pipeline:
+                    // unwind the credit.
+                    self.shared.release_credit(chan.0);
+                    return Err(e.into());
+                }
+            };
+            if let Err(e) = cell.ls_write_traced(&self.ctx, self.hw, buf, &data) {
+                let _ = ls.free(buf);
                 self.shared.release_credit(chan.0);
                 return Err(e.into());
             }
-        };
-        if let Err(e) = cell.ls_write_traced(&self.ctx, self.hw, buf, &data) {
-            let _ = ls.free(buf);
-            self.shared.release_credit(chan.0);
-            return Err(e.into());
-        }
-        let result = if self.shared.one_sided_chan(chan.0) {
-            // One-sided channel: the SPE issues the MFC put itself and the
-            // staged buffer lands straight in the reader's local-store
-            // window — no Co-Pilot proxying, no relay leg. Only the DMA
-            // issue is charged locally; the fabric hop is charged inside
-            // the put.
-            self.ctx
-                .advance(SimDuration::from_micros_f64(cell.costs.dma_setup_us));
-            self.shared
-                .one_sided_put(&self.ctx, &self.name(), chan.0, self.node, data.clone())
-                .map_err(|cap| {
-                    // The put never landed: unwind the credit.
-                    self.shared.release_credit(chan.0);
-                    CpError::SpeBufferOverflow {
-                        channel: chan.0,
-                        capacity: cap as usize,
-                    }
+            let result = if one_sided {
+                // One-sided channel: the SPE issues the MFC put itself and the
+                // staged buffer lands straight in the reader's local-store
+                // window — no Co-Pilot proxying, no relay leg. Only the DMA
+                // issue is charged locally; the fabric hop is charged inside
+                // the put. An eager-qualified small put skips even the DMA
+                // setup: it rides the doorbell update.
+                if !eager_inline {
+                    self.ctx
+                        .advance(SimDuration::from_micros_f64(cell.costs.dma_setup_us));
+                }
+                self.shared
+                    .one_sided_put(&self.ctx, &self.name(), chan.0, self.node, data.clone())
+                    .map_err(|cap| {
+                        // The put never landed: unwind the credit.
+                        self.shared.release_credit(chan.0);
+                        CpError::SpeBufferOverflow {
+                            channel: chan.0,
+                            capacity: cap as usize,
+                        }
+                    })
+            } else {
+                // Relay errors need no unwind here: a write the Co-Pilot
+                // failed (e.g. a type-4 overflow) was still drained by it, and
+                // the drain point already returned the credit.
+                self.transact(Request {
+                    op: OP_WRITE,
+                    chan: chan.0 as u32,
+                    addr: buf as u32,
+                    len: data.len() as u32,
                 })
-        } else {
-            // Relay errors need no unwind here: a write the Co-Pilot
-            // failed (e.g. a type-4 overflow) was still drained by it, and
-            // the drain point already returned the credit.
-            self.transact(Request {
-                op: OP_WRITE,
-                chan: chan.0 as u32,
-                addr: buf as u32,
-                len: data.len() as u32,
-            })
+            };
+            let _ = ls.free(buf);
+            result
         };
-        let _ = ls.free(buf);
         if result.is_ok() {
             self.journal(JournalEntry::Write { chan: chan.0 });
             self.shared.trace.record(
@@ -444,12 +492,28 @@ impl SpeCtx {
         let got = if self.shared.one_sided_chan(chan.0) {
             self.one_sided_recv(chan.0, buf, cap)
         } else {
-            self.transact(Request {
+            let req = Request {
                 op: OP_READ,
                 chan: chan.0 as u32,
                 addr: buf as u32,
                 len: cap as u32,
-            })
+            };
+            self.transact_block(&req.encode(), chan.0, cap)
+                .and_then(|(n, inline)| {
+                    if inline {
+                        // The payload rode the completion word: pop it from
+                        // the mailbox side-queue into the posted buffer (a
+                        // plain local store, already paid for by the
+                        // Co-Pilot's store-gather burst).
+                        let payload = cell.spes[self.hw]
+                            .mbox
+                            .spu_take_inline()
+                            .expect("inline completion carries a staged payload");
+                        debug_assert_eq!(payload.len(), n);
+                        ls.write(buf, &payload)?;
+                    }
+                    Ok(n)
+                })
         };
         let result = got.and_then(|n| {
             let bytes = cell.ls_read_traced(&self.ctx, self.hw, buf, n)?;

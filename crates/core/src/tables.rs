@@ -48,6 +48,23 @@ pub(crate) struct CpChanEntry {
     pub capacity: Option<usize>,
     /// What a sender does when the channel is at capacity.
     pub policy: crate::flow::OverloadPolicy,
+    /// Eager-inlining threshold from `ChannelBuilder::eager`/
+    /// `eager_threshold`: packed payloads at or below this many bytes ride
+    /// the mailbox/control word instead of a DMA round trip. `None` =
+    /// eager inlining off (every transfer takes the rendezvous path).
+    pub eager: Option<usize>,
+}
+
+impl CpChanEntry {
+    /// The byte bound under which a payload actually goes inline: the
+    /// configured threshold clamped to what the mailbox exchange can carry
+    /// ([`crate::protocol::EAGER_INLINE_MAX`]; CP014 warns when the
+    /// configured value exceeds it). Zero when eager inlining is off.
+    pub fn eager_limit(&self) -> usize {
+        self.eager
+            .unwrap_or(0)
+            .min(crate::protocol::EAGER_INLINE_MAX)
+    }
 }
 
 /// What a CellPilot bundle is for.
@@ -59,10 +76,23 @@ pub enum CpBundleUsage {
     Gather,
 }
 
+/// Size/deadline triggers for vectored coalescing on a bundle, from
+/// `CellPilotConfig::coalesce_bundle`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CoalescePolicy {
+    /// Flush when this many writes are buffered.
+    pub max_batch: usize,
+    /// Flush (before buffering the next write) once the oldest buffered
+    /// write is this old, microseconds of virtual time.
+    pub deadline_us: f64,
+}
+
 pub(crate) struct CpBundleEntry {
     pub usage: CpBundleUsage,
     pub channels: Vec<crate::location::CpChannel>,
     pub common: CpProcess,
+    /// Vectored-coalescing triggers; `None` = coalescing off.
+    pub coalesce: Option<CoalescePolicy>,
 }
 
 /// The immutable application architecture, shared by every rank, Co-Pilot
@@ -100,8 +130,15 @@ impl CpTables {
 
 /// An event on a Co-Pilot's service queue.
 pub(crate) enum CoEvent {
-    /// A request block posted by the SPE on hardware SPE `hw`.
-    Request { hw: usize, req: Request },
+    /// A request block posted by the SPE on hardware SPE `hw`. For an
+    /// [`crate::protocol::OP_WRITE_INLINE`] request the watcher has already
+    /// pulled the payload out of the request block — it travels here in
+    /// `inline`, so the service loop never touches the SPE's local store.
+    Request {
+        hw: usize,
+        req: Request,
+        inline: Option<Vec<u8>>,
+    },
     /// An MPI message (channel data from a rank or a remote Co-Pilot).
     Mpi(Msg),
     /// Orderly shutdown at end of run.

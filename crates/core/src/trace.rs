@@ -47,6 +47,9 @@ pub enum TraceOp {
     Broadcast,
     /// A bundle gather completed at its common endpoint.
     Gather,
+    /// A coalescer flushed buffered small writes as batched envelopes
+    /// (`bytes` counts the flushed payload total, `subject` is the bundle).
+    CoalescedFlush,
 }
 
 impl fmt::Display for TraceOp {
@@ -64,6 +67,7 @@ impl fmt::Display for TraceOp {
             TraceOp::RunSpe => "run-spe",
             TraceOp::Broadcast => "broadcast",
             TraceOp::Gather => "gather",
+            TraceOp::CoalescedFlush => "coalesced-flush",
         };
         f.write_str(s)
     }

@@ -38,10 +38,10 @@ pub use hb::{HbEvent, HbOp};
 pub use json::Json;
 pub use metrics::{
     ChannelTypeMetrics, DesMetrics, FlowMetrics, LatencyStats, MetricsSnapshot, MpiMetrics,
-    NetMetrics, OneSidedMetrics,
+    NetMetrics, OneSidedMetrics, PercentileStats, ServiceMetrics,
 };
 pub use recorder::{Event, Phase, Recorder};
 pub use report::{
-    gate, BenchChannelType, BenchReport, GateOutcome, NativeRates, OverloadChannel, SweepRow,
-    BENCH_SCHEMA,
+    gate, BenchChannelType, BenchReport, GateOutcome, NativeRates, OverloadChannel, ServiceRow,
+    SweepRow, BENCH_SCHEMA,
 };

@@ -352,6 +352,14 @@ impl Recorder {
             .or_insert(0) += 1;
     }
 
+    /// Service workload: one end-to-end request completed at virtual time
+    /// `ts_ns` after `latency_ns` of virtual time in flight. Aggregated
+    /// into the snapshot's `service` percentile histogram.
+    pub fn record_service_request(&self, ts_ns: u64, latency_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().metrics.service.note_request(ts_ns, latency_ns);
+    }
+
     /// Happens-before stream: `actor` performed `op` at virtual time
     /// `ts_ns`. Consumed by the `cp-check` race detector; see
     /// [`crate::hb`] for the event model.

@@ -53,6 +53,26 @@ pub struct OverloadChannel {
     pub backpressure_waits: u64,
 }
 
+/// One scenario of the heavy-traffic service bench (`repro_service`):
+/// per-request latency tail statistics plus the sustained rate. The gate
+/// compares p99 against the committed baseline — tail latency is the
+/// number the service workload exists to protect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRow {
+    /// Scenario name (`type2-eager`, `type5-ablate`, `chaos-failover`, ...).
+    pub scenario: String,
+    /// Completed end-to-end requests.
+    pub requests: u64,
+    /// Median request latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, µs — the gated value.
+    pub p99_us: f64,
+    /// 99.9th-percentile request latency, µs.
+    pub p999_us: f64,
+    /// Completed requests over the virtual-time completion window, req/s.
+    pub sustained_req_s: f64,
+}
+
 /// Wall-clock throughput of the native threads backend, measured by the
 /// conformance driver. Informational: the perf gate compares virtual-time
 /// medians only, so these rates never fail CI.
@@ -90,6 +110,10 @@ pub struct BenchReport {
     /// taken before flow control existed; the gate fails any row whose
     /// queue high watermark exceeds its capacity.
     pub overload: Vec<OverloadChannel>,
+    /// Heavy-traffic service bench scenarios (`repro_service`). Empty for
+    /// ordinary bench runs and for reports taken before the service bench
+    /// existed; the gate compares p99 per scenario the baseline has.
+    pub service: Vec<ServiceRow>,
     /// Full metrics snapshot of an instrumented run, when one was taken.
     pub metrics: Option<MetricsSnapshot>,
     /// Native-backend wall-clock rates, when the conformance driver
@@ -108,6 +132,7 @@ impl BenchReport {
             one_sided: Vec::new(),
             pingpong_sweep: Vec::new(),
             overload: Vec::new(),
+            service: Vec::new(),
             metrics: None,
             native_rates: None,
         }
@@ -160,6 +185,21 @@ impl BenchReport {
             })
             .collect();
         o.set("overload", overload);
+        let service: Vec<Json> = self
+            .service
+            .iter()
+            .map(|row| {
+                let mut r = Json::obj();
+                r.set("scenario", row.scenario.as_str());
+                r.set("requests", row.requests);
+                r.set("p50_us", row.p50_us);
+                r.set("p99_us", row.p99_us);
+                r.set("p999_us", row.p999_us);
+                r.set("sustained_req_s", row.sustained_req_s);
+                r
+            })
+            .collect();
+        o.set("service", service);
         match &self.metrics {
             Some(m) => o.set("metrics", m.to_json()),
             None => o.set("metrics", Json::Null),
@@ -248,6 +288,27 @@ impl BenchReport {
                 .collect::<Result<Vec<_>, String>>()?,
             None => Vec::new(),
         };
+        // And the service section (pre-service-bench reports omit it).
+        let service = match j.get("service").and_then(Json::as_arr) {
+            Some(rows) => rows
+                .iter()
+                .map(|r| {
+                    Ok(ServiceRow {
+                        scenario: r
+                            .get("scenario")
+                            .and_then(Json::as_str)
+                            .ok_or("bench report: missing scenario")?
+                            .to_string(),
+                        requests: field_u64(r, "requests")?,
+                        p50_us: field_f64(r, "p50_us")?,
+                        p99_us: field_f64(r, "p99_us")?,
+                        p999_us: field_f64(r, "p999_us")?,
+                        sustained_req_s: field_f64(r, "sustained_req_s")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         let metrics = match j.get("metrics") {
             None | Some(Json::Null) => None,
             Some(m) => Some(MetricsSnapshot::from_json(m)?),
@@ -274,6 +335,7 @@ impl BenchReport {
             one_sided,
             pingpong_sweep,
             overload,
+            service,
             metrics,
             native_rates,
         })
@@ -318,6 +380,10 @@ impl GateOutcome {
 /// with no baseline needed: a bounded channel whose queue-depth high
 /// watermark exceeds its capacity means the flow-control ledger let the
 /// queue grow without limit, and that always fails the gate.
+///
+/// Service scenarios the baseline carries are gated on p99 tail latency
+/// with the same `tolerance_pct`; scenarios only the candidate has are
+/// informational.
 pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
     gate_rows(
@@ -342,6 +408,35 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, tolerance_pct: f64)
         if row.queue_high_watermark > row.capacity {
             out.regressions
                 .push(format!("{line}  unbounded queue growth"));
+        }
+        out.lines.push(line);
+    }
+    // Service scenarios are gated on p99 tail latency, per scenario the
+    // baseline carries (new candidate scenarios pass informationally).
+    for base in &baseline.service {
+        let Some(cand) = candidate
+            .service
+            .iter()
+            .find(|c| c.scenario == base.scenario)
+        else {
+            out.regressions.push(format!(
+                "service {}: missing from candidate report",
+                base.scenario
+            ));
+            continue;
+        };
+        let delta_pct = if base.p99_us > 0.0 {
+            (cand.p99_us / base.p99_us - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let line = format!(
+            "service {} p99: {:>8.2} -> {:>8.2} us ({:+.1}%), p50 {:.2} us, {:.0} req/s",
+            base.scenario, base.p99_us, cand.p99_us, delta_pct, cand.p50_us, cand.sustained_req_s
+        );
+        if delta_pct > tolerance_pct {
+            out.regressions
+                .push(format!("{line}  exceeds +{tolerance_pct:.0}% tolerance"));
         }
         out.lines.push(line);
     }
@@ -570,6 +665,68 @@ mod tests {
         // At-capacity watermark is the expected saturation outcome.
         cand.overload.pop();
         assert!(gate(&base, &cand, 20.0).passed());
+    }
+
+    fn sample_service_row() -> ServiceRow {
+        ServiceRow {
+            scenario: "type2-eager".to_string(),
+            requests: 250_000,
+            p50_us: 44.0,
+            p99_us: 120.5,
+            p999_us: 310.25,
+            sustained_req_s: 18_000.0,
+        }
+    }
+
+    #[test]
+    fn report_service_section_round_trips_and_tolerates_absence() {
+        // A pre-service BENCH_*.json has no service key at all.
+        let stripped = match sample_report().to_json() {
+            Json::Obj(map) => Json::Obj(map.into_iter().filter(|(k, _)| k != "service").collect()),
+            other => panic!("report must serialize to an object, got {other:?}"),
+        };
+        let back = BenchReport::parse(&stripped.to_pretty()).unwrap();
+        assert!(back.service.is_empty());
+        // And a populated section round-trips.
+        let mut r = sample_report();
+        r.service = vec![sample_service_row()];
+        let back = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn gate_checks_service_p99_when_baseline_has_rows() {
+        let mut base = sample_report();
+        base.service = vec![sample_service_row()];
+        // +15% p99 is within a 20% tolerance.
+        let mut cand = sample_report();
+        cand.service = vec![ServiceRow {
+            p99_us: 120.5 * 1.15,
+            ..sample_service_row()
+        }];
+        assert!(gate(&base, &cand, 20.0).passed());
+        // +30% p99 fails.
+        let mut cand = sample_report();
+        cand.service = vec![ServiceRow {
+            p99_us: 120.5 * 1.30,
+            ..sample_service_row()
+        }];
+        let outcome = gate(&base, &cand, 20.0);
+        assert!(!outcome.passed());
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("service type2-eager") && r.contains("tolerance")));
+        // Dropping a gated scenario is a regression...
+        let outcome = gate(&base, &sample_report(), 20.0);
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("service type2-eager") && r.contains("missing")));
+        // ...but a candidate-only scenario is informational.
+        let mut cand = sample_report();
+        cand.service = vec![sample_service_row()];
+        assert!(gate(&sample_report(), &cand, 20.0).passed());
     }
 
     #[test]
