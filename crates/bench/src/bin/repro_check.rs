@@ -1,9 +1,10 @@
 //! `cp-check` static-analysis repro: run the configure-time wiring
-//! verifier over a graph seeded with one of every defect class, and the
-//! happens-before race detector over an SPE program whose unfenced MFC
-//! get/put pair overlaps in local store.
+//! verifier and progress analyzer over a graph seeded with one of every
+//! defect class, and the happens-before race detector over an SPE
+//! program whose unfenced MFC get/put pair overlaps in local store.
 //!
-//! Usage: `repro_check [--fenced]`
+//! Usage: `repro_check [--fenced] [--json] [--baseline PATH]
+//! [--write-baseline PATH] [--sarif-out PATH]`
 //!
 //! Default mode demonstrates the catch: the seeded defects and the racy
 //! program must both produce findings, printed one per line, and the
@@ -12,18 +13,69 @@
 //! the binary exits 0. Any other outcome (a missed defect shows up as a
 //! clean exit in default mode; a false positive as exit 3 under
 //! `--fenced`) fails the CI smoke step. Usage errors exit 2.
+//!
+//! `--baseline PATH` loads a committed baseline file and drops every
+//! finding whose fingerprint it lists before deciding the exit code — a
+//! fully baselined run exits 0. `--write-baseline PATH` regenerates that
+//! file from the current findings (and exits 0: recording debt is not a
+//! failure). `--sarif-out PATH` writes the surviving findings as a SARIF
+//! 2.1.0 log for code-scanning upload, and `--json` appends a
+//! machine-readable findings list to stdout.
 
 use cp_bench::check::{clean_graph, dma_repro, seeded_defect_graph};
-use cp_bench::cli::unknown_flag;
-use cp_check::render;
+use cp_bench::cli::{parse_str_flag, unknown_flag, usage_error};
+use cp_check::{render, Diagnostic, LintConfig};
+use cp_trace::Json;
 
-const USAGE: &str = "repro_check [--fenced]";
+const USAGE: &str =
+    "repro_check [--fenced] [--json] [--baseline PATH] [--write-baseline PATH] [--sarif-out PATH]";
+
+/// The machine-readable findings list behind `--json`: one object per
+/// surviving finding, stably ordered the same way `render` orders them.
+fn findings_json(diags: &[Diagnostic]) -> Json {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.code, &a.endpoints, &a.message).cmp(&(b.code, &b.endpoints, &b.message))
+    });
+    let arr: Vec<Json> = sorted
+        .iter()
+        .map(|d| {
+            let mut o = Json::obj();
+            o.set("code", d.code.as_str());
+            o.set("severity", d.severity.to_string());
+            o.set("message", d.message.as_str());
+            o.set(
+                "endpoints",
+                d.endpoints
+                    .iter()
+                    .map(|e| Json::from(e.as_str()))
+                    .collect::<Vec<Json>>(),
+            );
+            o
+        })
+        .collect();
+    let mut root = Json::obj();
+    root.set("findings", arr);
+    root
+}
 
 fn main() {
     let mut fenced = false;
-    for a in std::env::args().skip(1) {
+    let mut json = false;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut sarif_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--fenced" => fenced = true,
+            "--json" => json = true,
+            "--baseline" => baseline = Some(parse_str_flag(USAGE, "--baseline", args.next())),
+            "--write-baseline" => {
+                write_baseline = Some(parse_str_flag(USAGE, "--write-baseline", args.next()))
+            }
+            "--sarif-out" => sarif_out = Some(parse_str_flag(USAGE, "--sarif-out", args.next())),
             other => unknown_flag(USAGE, other),
         }
     }
@@ -40,8 +92,9 @@ fn main() {
     } else {
         seeded_defect_graph()
     };
-    let wiring = cp_check::verify(&graph);
-    println!("wiring verifier: {} finding(s)", wiring.len());
+    let mut wiring = cp_check::verify(&graph);
+    wiring.extend(cp_check::analyze(&graph));
+    println!("wiring passes: {} finding(s)", wiring.len());
     if !wiring.is_empty() {
         println!("{}", render(&wiring));
     }
@@ -52,7 +105,53 @@ fn main() {
         println!("{}", render(&races));
     }
 
-    if wiring.is_empty() && races.is_empty() {
+    let mut all = wiring;
+    all.extend(races);
+
+    if let Some(path) = write_baseline {
+        let text = LintConfig::baseline_text(&all);
+        if let Err(e) = std::fs::write(&path, &text) {
+            usage_error(USAGE, &format!("cannot write baseline {path:?}: {e}"));
+        }
+        println!(
+            "\nbaseline written: {path} ({} fingerprint(s))",
+            text.lines()
+                .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+                .count()
+        );
+        std::process::exit(0);
+    }
+
+    let remaining = match baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => usage_error(USAGE, &format!("cannot read baseline {path:?}: {e}")),
+            };
+            let cfg = LintConfig::new().with_baseline(&text);
+            let kept = cfg.apply(all.clone());
+            println!(
+                "\nbaseline {path}: {} finding(s) suppressed, {} remain",
+                all.len() - kept.len(),
+                kept.len()
+            );
+            kept
+        }
+        None => all,
+    };
+
+    if let Some(path) = sarif_out {
+        if let Err(e) = std::fs::write(&path, cp_check::to_sarif(&remaining)) {
+            usage_error(USAGE, &format!("cannot write SARIF {path:?}: {e}"));
+        }
+        println!("\nSARIF written: {path}");
+    }
+
+    if json {
+        println!("{}", findings_json(&remaining).to_pretty());
+    }
+
+    if remaining.is_empty() {
         println!("\nverdict: clean");
         std::process::exit(0);
     }

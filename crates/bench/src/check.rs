@@ -6,14 +6,19 @@
 //! (0 clean, 3 findings, 2 usage error) makes it a CI smoke step.
 
 use cp_cellsim::{CellCosts, CellNode, DmaDir};
-use cp_check::{Diagnostic, GraphBundleUsage, WiringGraph};
+use cp_check::{Diagnostic, GraphBundleUsage, RelayCostModel, WiringGraph};
 use cp_des::Simulation;
 use cp_trace::Recorder;
 
 /// A wiring graph carrying the seeded defect catalogue: an orphan channel
 /// (CP001/CP002), a gather member pointing away from the common endpoint
-/// (CP003), SPE slot oversubscription (CP006), and SPE channels routed
-/// through a node with no Co-Pilot (CP007).
+/// (CP003), SPE slot oversubscription (CP006), SPE channels routed
+/// through a node with no Co-Pilot (CP007), plus one of every
+/// progress-analyzer defect — a Block-bounded credit cycle (CP201), a
+/// Co-Pilot saturated past its service budget by static fan-in (CP202),
+/// an always-small channel left non-eager (CP203), and one-sided
+/// channels whose fence placement coalescing/eager delivery makes
+/// unsatisfiable (CP204).
 pub fn seeded_defect_graph() -> WiringGraph {
     let mut g = WiringGraph::new(2);
     g.add_cell_node(0, 8);
@@ -35,12 +40,54 @@ pub fn seeded_defect_graph() -> WiringGraph {
     let c1 = g.add_channel(s1, worker);
     let c2 = g.add_channel(s2, main);
     g.add_bundle(GraphBundleUsage::Gather, &[c1, c2], worker);
+
+    // CP202: an eight-SPE pipeline on node 0 whose static fan-in
+    // (8 type-4 ring hops at 57 µs + 16 type-2 feeds/drains at 37 µs =
+    // 1048 µs) exceeds the 1000 µs default service budget.
+    let ring: Vec<usize> = (0..8)
+        .map(|i| g.add_spe_process(&format!("ring#{i}"), 0, i))
+        .collect();
+    for i in 0..8 {
+        g.add_channel(ring[i], ring[(i + 1) % 8]);
+    }
+    let feeds: Vec<usize> = ring.iter().map(|&r| g.add_channel(main, r)).collect();
+    for &r in &ring {
+        g.add_channel(r, worker);
+    }
+    g.set_relay_costs(RelayCostModel {
+        dispatch_us: 37.0,
+        pair_poll_us: 20.0,
+        eager_dispatch_us: 5.0,
+        service_budget_us: 1_000.0,
+    });
+    // CP203: the first feed promises 8-byte payloads — one mailbox
+    // exchange would inline them — yet declares no eager threshold.
+    g.set_channel_max_payload(feeds[0], 8);
+    // CP201: a two-hop credit cycle of Block-policy bounded channels
+    // between the two ranks.
+    let fwd = g.add_channel(main, worker);
+    let back = g.add_channel(worker, main);
+    g.set_channel_flow(fwd, Some(1), true);
+    g.set_channel_flow(back, Some(4), true);
+    // CP204 (both shapes): a coalesced broadcast bundle over a one-sided
+    // channel, and a second one-sided channel with an eager threshold.
+    let os_bundled = g.add_channel(main, ring[0]);
+    g.mark_one_sided(os_bundled);
+    g.add_window(os_bundled, 0, 0, 0x1000, 256);
+    let bb = g.add_bundle(GraphBundleUsage::Broadcast, &[os_bundled], main);
+    g.set_bundle_coalesce(bb, 4);
+    let os_eager = g.add_channel(main, ring[1]);
+    g.mark_one_sided(os_eager);
+    g.add_window(os_eager, 0, 1, 0x1000, 256);
+    g.set_channel_eager(os_eager, 8);
     g
 }
 
 /// The well-formed twin of [`seeded_defect_graph`]: same shape of
 /// application (ranks, SPE farm, channels, gather), every defect
-/// repaired. [`fn@cp_check::verify`] must return nothing for it.
+/// repaired. Both [`fn@cp_check::verify`] and [`fn@cp_check::analyze`]
+/// must return nothing for it (the relay cost model is attached so the
+/// CP202 saturation estimate actually runs — and clears — here).
 pub fn clean_graph() -> WiringGraph {
     let mut g = WiringGraph::new(2);
     g.add_cell_node(0, 8);
@@ -53,6 +100,12 @@ pub fn clean_graph() -> WiringGraph {
     let c1 = g.add_channel(s0, worker);
     let c2 = g.add_channel(s1, worker);
     g.add_bundle(GraphBundleUsage::Gather, &[c1, c2], worker);
+    g.set_relay_costs(RelayCostModel {
+        dispatch_us: 37.0,
+        pair_poll_us: 20.0,
+        eager_dispatch_us: 5.0,
+        service_budget_us: 1_000.0,
+    });
     g
 }
 
@@ -91,7 +144,9 @@ mod tests {
 
     #[test]
     fn seeded_graph_draws_the_full_catalogue() {
-        let d = cp_check::verify(&seeded_defect_graph());
+        let g = seeded_defect_graph();
+        let mut d = cp_check::verify(&g);
+        d.extend(cp_check::analyze(&g));
         let codes: Vec<CheckCode> = d.iter().map(|x| x.code).collect();
         for want in [
             CheckCode::Cp001,
@@ -99,6 +154,10 @@ mod tests {
             CheckCode::Cp003,
             CheckCode::Cp006,
             CheckCode::Cp007,
+            CheckCode::Cp201,
+            CheckCode::Cp202,
+            CheckCode::Cp203,
+            CheckCode::Cp204,
         ] {
             assert!(codes.contains(&want), "missing {want:?} in {codes:?}");
         }
@@ -106,7 +165,9 @@ mod tests {
 
     #[test]
     fn clean_graph_verifies_clean() {
-        assert_eq!(cp_check::verify(&clean_graph()), Vec::new());
+        let g = clean_graph();
+        assert_eq!(cp_check::verify(&g), Vec::new());
+        assert_eq!(cp_check::analyze(&g), Vec::new());
     }
 
     #[test]

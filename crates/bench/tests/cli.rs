@@ -53,9 +53,12 @@ fn repro_check_exit_codes_follow_the_contract() {
     let findings = run(bin, &[]);
     assert_eq!(findings.status.code(), Some(3), "{findings:?}");
     let stdout = String::from_utf8_lossy(&findings.stdout);
-    for code in ["CP001", "CP002", "CP003", "CP006", "CP007", "CP101"] {
+    for code in [
+        "CP001", "CP002", "CP003", "CP006", "CP007", "CP101", "CP201", "CP202", "CP203", "CP204",
+    ] {
         assert!(stdout.contains(code), "missing {code} in: {stdout}");
     }
+    assert!(stdout.contains("advice[CP203]"), "{stdout}");
 
     let clean = run(bin, &["--fenced"]);
     assert_eq!(clean.status.code(), Some(0), "{clean:?}");
@@ -63,6 +66,88 @@ fn repro_check_exit_codes_follow_the_contract() {
     assert!(stdout.contains("verdict: clean"), "{stdout}");
 
     assert_usage_error(&run(bin, &["--bogus"]), "unknown flag");
+    assert_usage_error(&run(bin, &["--baseline"]), "missing baseline path");
+    assert_usage_error(
+        &run(bin, &["--baseline", "/nonexistent/cp-check.baseline"]),
+        "unreadable baseline",
+    );
+}
+
+/// The committed repo-root baseline covers every seeded finding: the
+/// default run gated on it exits 0 — that file IS the debt register the
+/// CI lint gate trusts, so this test is what keeps it honest.
+#[test]
+fn repro_check_committed_baseline_covers_the_seeded_findings() {
+    let bin = env!("CARGO_BIN_EXE_repro_check");
+    let repo_baseline = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../cp-check.baseline");
+    let out = run(bin, &["--baseline", repo_baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("13 finding(s) suppressed, 0 remain"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+}
+
+/// `--write-baseline` round-trips: a freshly generated baseline makes
+/// the very next run clean.
+#[test]
+fn repro_check_write_baseline_round_trips() {
+    let bin = env!("CARGO_BIN_EXE_repro_check");
+    let path = scratch("cp-check.baseline");
+    let wrote = run(bin, &["--write-baseline", path.to_str().unwrap()]);
+    assert_eq!(wrote.status.code(), Some(0), "{wrote:?}");
+    let gated = run(bin, &["--baseline", path.to_str().unwrap()]);
+    assert_eq!(gated.status.code(), Some(0), "{gated:?}");
+}
+
+/// `--json` appends a machine-readable findings list and `--sarif-out`
+/// writes a parseable SARIF 2.1.0 log; both carry the full code set.
+#[test]
+fn repro_check_emits_parseable_json_and_sarif() {
+    let bin = env!("CARGO_BIN_EXE_repro_check");
+    let sarif_path = scratch("cp-check.sarif");
+    let out = run(
+        bin,
+        &["--json", "--sarif-out", sarif_path.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    // The JSON document runs from the first `{` on its own line to the
+    // matching top-level `}` (the verdict line follows it).
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let start = stdout.find("{\n").expect("a JSON document in stdout");
+    let end = start + stdout[start..].find("\n}").expect("document closes") + 2;
+    let doc = cp_trace::Json::parse(&stdout[start..end]).expect("stdout JSON parses");
+    let findings = doc.get("findings").and_then(|f| f.as_arr()).unwrap();
+    assert_eq!(findings.len(), 13, "{stdout}");
+    let codes: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.get("code").and_then(|c| c.as_str()))
+        .collect();
+    for code in ["CP001", "CP101", "CP201", "CP202", "CP203", "CP204"] {
+        assert!(codes.contains(&code), "missing {code} in {codes:?}");
+    }
+    assert!(findings.iter().all(|f| {
+        f.get("severity").and_then(|s| s.as_str()).is_some()
+            && f.get("endpoints").and_then(|e| e.as_arr()).is_some()
+    }));
+
+    let sarif = cp_trace::Json::parse(&std::fs::read_to_string(&sarif_path).unwrap())
+        .expect("SARIF parses");
+    assert_eq!(
+        sarif.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "{sarif:?}"
+    );
+    let results = sarif
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r[0].get("results"))
+        .and_then(|r| r.as_arr())
+        .unwrap();
+    assert_eq!(results.len(), 13);
 }
 
 fn scratch(name: &str) -> PathBuf {

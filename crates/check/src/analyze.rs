@@ -1,0 +1,491 @@
+//! Configure-time progress analyzer: CP201–CP204.
+//!
+//! The wiring verifier ([`fn@crate::verify`]) asks "is this graph
+//! well-formed?"; this pass asks "will a well-formed graph make
+//! progress, and at what cost?". Everything here is decidable from the
+//! frozen wiring plus the channel configs — no trace is needed:
+//!
+//! * **CP201** — credit-deadlock cycles: a cycle in the channel
+//!   dependency graph on which every edge is a `Block`-policy bounded
+//!   channel. One full round of in-flight messages wedges every writer;
+//!   the report carries the cycle in the deadlock detector's endpoint
+//!   notation and the minimum capacity bump that breaks it.
+//! * **CP202** — Co-Pilot relay saturation: the static fan-in dispatch
+//!   cost of the channels a Co-Pilot proxies (per-op costs from the
+//!   runtime's cost model) exceeds its service budget. Names the hot
+//!   relay and the hottest channel.
+//! * **CP203** (advice) — eager-inlining opportunity: a channel whose
+//!   declared payload bound fits the mailbox inline capacity is left
+//!   non-eager, paying a DMA round trip per message for nothing.
+//! * **CP204** — unsatisfiable fence placement: a one-sided window whose
+//!   channel config leaves nowhere to fence (coalesced batches or eager
+//!   inlining bypass the per-message window fence).
+//!
+//! Like the verifier, the pass is deliberately graph-in/diagnostics-out
+//! so a dynamic-spawn registry can re-run it incrementally on every
+//! topology change.
+
+use crate::diag::{CheckCode, Diagnostic, Severity};
+use crate::graph::{WiringGraph, MAILBOX_INLINE_CAPACITY};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+fn ep(g: &WiringGraph, p: usize) -> Vec<String> {
+    match g.processes.get(p) {
+        Some(proc_) => vec![proc_.at.to_string()],
+        None => Vec::new(),
+    }
+}
+
+/// Run every progress pass over the graph. The graph is assumed
+/// well-formed (run [`fn@crate::verify`] first); malformed pieces —
+/// orphan channels, out-of-range endpoints — are silently skipped here
+/// because the verifier already owns them.
+pub fn analyze(g: &WiringGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    credit_cycles(g, &mut out);
+    relay_saturation(g, &mut out);
+    eager_advice(g, &mut out);
+    fence_placement(g, &mut out);
+    out
+}
+
+/// CP201: cycles on which every edge is a Block-bounded channel.
+///
+/// Edges are `writer → reader` over channels that declared a finite
+/// capacity with the (default) `Block` overload policy. For each such
+/// cycle, once every channel on it holds `capacity` undrained messages,
+/// every writer blocks in `acquire_credit` and no reader ever drains —
+/// the credit-ledger equivalent of a circular wait. One diagnostic is
+/// emitted per cycle found, scanning start nodes in ascending process
+/// order and taking the BFS-shortest cycle through each (deterministic:
+/// neighbors are explored in sorted order).
+fn credit_cycles(g: &WiringGraph, out: &mut Vec<Diagnostic>) {
+    // adjacency: writer process → [(reader process, channel, capacity)]
+    let mut adj: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+    for (c, ch) in g.channels.iter().enumerate() {
+        let (Some(w), Some(r)) = (ch.writer, ch.reader) else {
+            continue;
+        };
+        if w == r || g.processes.get(w).is_none() || g.processes.get(r).is_none() {
+            continue; // CP009/CP004 territory
+        }
+        let Some(flow) = g.channel_flow.get(&c) else {
+            continue;
+        };
+        if let (Some(cap), true) = (flow.capacity, flow.blocks) {
+            adj.entry(w).or_default().push((r, c, cap));
+        }
+    }
+    for edges in adj.values_mut() {
+        edges.sort();
+    }
+
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    let starts: Vec<usize> = adj.keys().copied().collect();
+    for s in starts {
+        if claimed.contains(&s) {
+            continue;
+        }
+        // BFS from s's successors back to s: the shortest Block-bounded
+        // cycle through s, if any.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut found = false;
+        for &(v, _, _) in adj.get(&s).into_iter().flatten() {
+            if v == s {
+                continue;
+            }
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                e.insert(s);
+                queue.push_back(v);
+            }
+        }
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &(v, _, _) in adj.get(&u).into_iter().flatten() {
+                if v == s {
+                    parent.insert(s, u);
+                    found = true;
+                    break 'bfs;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                    e.insert(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !found {
+            continue;
+        }
+        // Reconstruct s -> ... -> s.
+        let mut rev = vec![s];
+        let mut at = parent[&s];
+        while at != s {
+            rev.push(at);
+            at = parent[&at];
+        }
+        rev.push(s);
+        rev.reverse();
+        let cycle = rev; // [s, n1, ..., nk, s]
+        for &n in &cycle {
+            claimed.insert(n);
+        }
+        // The tightest hop: per consecutive pair the smallest-capacity
+        // channel (ties → smallest channel index), then the minimum over
+        // the cycle.
+        let mut tightest: Option<(usize, usize)> = None; // (capacity, channel)
+        for pair in cycle.windows(2) {
+            let hop = adj[&pair[0]]
+                .iter()
+                .filter(|&&(v, _, _)| v == pair[1])
+                .map(|&(_, c, cap)| (cap, c))
+                .min()
+                .expect("cycle edges come from the adjacency");
+            tightest = Some(tightest.map_or(hop, |t| t.min(hop)));
+        }
+        let (cap, chan) = tightest.expect("a cycle has at least two hops");
+        let cycle_str = cycle
+            .iter()
+            .map(|&p| g.processes[p].at.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let endpoints: Vec<String> = cycle[..cycle.len() - 1]
+            .iter()
+            .map(|&p| g.processes[p].at.to_string())
+            .collect();
+        out.push(Diagnostic::new(
+            CheckCode::Cp201,
+            Severity::Warning,
+            format!(
+                "credit-deadlock cycle {cycle_str}: every hop is a Block-bounded \
+                 channel, so one full round of in-flight messages wedges every \
+                 writer; bump channel {chan} capacity {cap} -> {} or give one hop \
+                 a non-Block overload policy",
+                cap + 1
+            ),
+            endpoints,
+        ));
+    }
+}
+
+/// CP202: static relay fan-in per Co-Pilot vs its service budget.
+///
+/// Every channel with an SPE endpoint is proxied by the Co-Pilot(s) of
+/// the SPE node(s) it touches. Summing the per-op dispatch cost of all
+/// proxied channels gives the Co-Pilot's worst-case service-cycle cost
+/// when every channel has a request outstanding; past the budget the
+/// relay is the bottleneck, not the fabric.
+fn relay_saturation(g: &WiringGraph, out: &mut Vec<Diagnostic>) {
+    let Some(costs) = g.relay_costs else {
+        return;
+    };
+    // node → (total cost, channel count, hottest (cost, channel))
+    let mut load: BTreeMap<usize, (f64, usize, (f64, usize))> = BTreeMap::new();
+    let mut charge = |node: usize, c: usize, cost: f64| {
+        if !g.copilot_nodes.contains(&node) {
+            return; // no Co-Pilot to saturate — CP007 owns that defect
+        }
+        let e = load.entry(node).or_insert((0.0, 0, (0.0, c)));
+        e.0 += cost;
+        e.1 += 1;
+        // Hottest channel, ties broken toward the smaller index.
+        if cost > e.2 .0 || (cost == e.2 .0 && c < e.2 .1) {
+            e.2 = (cost, c);
+        }
+    };
+    for c in 0..g.channels.len() {
+        let base = if g.channel_eager.contains_key(&c) {
+            costs.eager_dispatch_us
+        } else {
+            costs.dispatch_us
+        };
+        let ch = &g.channels[c];
+        if ch.one_sided {
+            continue; // the window fabric bypasses the Co-Pilot relay
+        }
+        let spe_nodes: Vec<usize> = [ch.writer, ch.reader]
+            .iter()
+            .filter_map(|p| (*p).and_then(|p| g.processes.get(p)))
+            .filter_map(|p| match p.at {
+                crate::graph::GraphEndpoint::Spe { node, .. } => Some(node),
+                crate::graph::GraphEndpoint::Rank { .. } => None,
+            })
+            .collect();
+        match g.channel_type(c) {
+            Some(2) | Some(3) => charge(spe_nodes[0], c, base),
+            // Type 4: one Co-Pilot pairs the two local requests.
+            Some(4) => charge(spe_nodes[0], c, base + costs.pair_poll_us),
+            // Type 5: each side's Co-Pilot relays its half.
+            Some(5) => {
+                charge(spe_nodes[0], c, base);
+                charge(spe_nodes[1], c, base);
+            }
+            _ => {}
+        }
+    }
+    for (node, (total, count, (hot_cost, hot_chan))) in load {
+        if total > costs.service_budget_us {
+            out.push(Diagnostic::new(
+                CheckCode::Cp202,
+                Severity::Warning,
+                format!(
+                    "Co-Pilot on node {node} is saturated: {count} proxied channels \
+                     cost {total}us of static relay fan-in per service cycle against \
+                     a {budget}us budget; hottest is channel {hot_chan} at \
+                     {hot_cost}us",
+                    budget = costs.service_budget_us,
+                ),
+                vec![format!("copilot({node})")],
+            ));
+        }
+    }
+}
+
+/// CP203 (advice): a channel that promised always-small payloads but was
+/// left non-eager. The declared bound comes from
+/// [`WiringGraph::set_channel_max_payload`]; without a promise the pass
+/// stays silent (it never guesses payload sizes).
+fn eager_advice(g: &WiringGraph, out: &mut Vec<Diagnostic>) {
+    for (&c, &bound) in &g.channel_max_payload {
+        if bound > MAILBOX_INLINE_CAPACITY || g.channel_eager.contains_key(&c) {
+            continue;
+        }
+        let Some(ch) = g.channels.get(c) else {
+            continue;
+        };
+        // The eager fast path exists only on Co-Pilot-relayed SPE
+        // channels; one-sided channels are CP204's business.
+        if ch.one_sided || !matches!(g.channel_type(c), Some(2..=5)) {
+            continue;
+        }
+        let mut endpoints = ch.writer.map(|p| ep(g, p)).unwrap_or_default();
+        endpoints.extend(ch.reader.map(|p| ep(g, p)).unwrap_or_default());
+        out.push(Diagnostic::new(
+            CheckCode::Cp203,
+            Severity::Advice,
+            format!(
+                "channel {c} always carries at most {bound} bytes (one mailbox \
+                 exchange inlines up to {MAILBOX_INLINE_CAPACITY}) yet is not \
+                 eager: every send pays a DMA round trip; declare an eager \
+                 threshold to inline it"
+            ),
+            endpoints,
+        ));
+    }
+}
+
+/// CP204: one-sided windows whose channel config makes fence placement
+/// unsatisfiable. The window fabric orders a put against its reader with
+/// a per-message fence; coalesced batches and eager inline delivery both
+/// bypass it, so the combination has no correct fence placement at all.
+fn fence_placement(g: &WiringGraph, out: &mut Vec<Diagnostic>) {
+    for (&b, &batch) in &g.bundle_coalesce {
+        let Some(bundle) = g.bundles.get(b) else {
+            continue;
+        };
+        for &c in &bundle.channels {
+            let Some(ch) = g.channels.get(c) else {
+                continue;
+            };
+            if !ch.one_sided {
+                continue;
+            }
+            let mut endpoints = ch.writer.map(|p| ep(g, p)).unwrap_or_default();
+            endpoints.extend(ch.reader.map(|p| ep(g, p)).unwrap_or_default());
+            out.push(Diagnostic::new(
+                CheckCode::Cp204,
+                Severity::Error,
+                format!(
+                    "bundle {b} coalesces in batches of {batch} over one-sided \
+                     channel {c}: a batched put cannot carry the per-message \
+                     window fence, so no fence placement is correct; uncoalesce \
+                     the bundle or route the member through the Co-Pilot relay"
+                ),
+                endpoints,
+            ));
+        }
+    }
+    for (&c, &threshold) in &g.channel_eager {
+        let Some(ch) = g.channels.get(c) else {
+            continue;
+        };
+        if !ch.one_sided {
+            continue;
+        }
+        let mut endpoints = ch.writer.map(|p| ep(g, p)).unwrap_or_default();
+        endpoints.extend(ch.reader.map(|p| ep(g, p)).unwrap_or_default());
+        out.push(Diagnostic::new(
+            CheckCode::Cp204,
+            Severity::Error,
+            format!(
+                "channel {c} declares an eager threshold of {threshold} bytes but \
+                 is one-sided: inline mailbox delivery bypasses the window fence, \
+                 so no fence placement is correct; drop the threshold or use the \
+                 relay path"
+            ),
+            endpoints,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RelayCostModel;
+
+    fn base() -> WiringGraph {
+        let mut g = WiringGraph::new(3);
+        g.add_cell_node(0, 8);
+        g.add_cell_node(1, 8);
+        g.add_copilot(0);
+        g.add_copilot(1);
+        g
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn block_bounded_cycle_draws_cp201() {
+        let mut g = base();
+        let a = g.add_rank_process("a", 0, 2);
+        let b = g.add_rank_process("b", 1, 2);
+        let ab = g.add_channel(a, b);
+        let ba = g.add_channel(b, a);
+        g.set_channel_flow(ab, Some(1), true);
+        g.set_channel_flow(ba, Some(4), true);
+        let d = analyze(&g);
+        assert_eq!(codes(&d), vec!["CP201"]);
+        assert_eq!(d[0].endpoints, vec!["rank 0", "rank 1"]);
+        assert!(
+            d[0].message.contains("rank 0 -> rank 1 -> rank 0")
+                && d[0]
+                    .message
+                    .contains(&format!("channel {ab} capacity 1 -> 2")),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn an_unbounded_or_non_block_hop_breaks_the_cycle() {
+        for repair_blocks in [false, true] {
+            let mut g = base();
+            let a = g.add_rank_process("a", 0, 2);
+            let b = g.add_rank_process("b", 1, 2);
+            let ab = g.add_channel(a, b);
+            let ba = g.add_channel(b, a);
+            g.set_channel_flow(ab, Some(1), true);
+            if repair_blocks {
+                // Bounded but sheds instead of blocking.
+                g.set_channel_flow(ba, Some(4), false);
+            } // else: ba declares nothing (unbounded).
+            assert_eq!(analyze(&g), Vec::new());
+        }
+    }
+
+    #[test]
+    fn disjoint_cycles_each_draw_cp201() {
+        let mut g = base();
+        let mut mk = |i: usize| g.add_rank_process(&format!("p{i}"), i % 3, 2);
+        let (a, b, c, d) = (mk(0), mk(1), mk(2), mk(3));
+        for (w, r) in [(a, b), (b, a), (c, d), (d, c)] {
+            let ch = g.add_channel(w, r);
+            g.set_channel_flow(ch, Some(2), true);
+        }
+        assert_eq!(codes(&analyze(&g)), vec!["CP201", "CP201"]);
+    }
+
+    #[test]
+    fn saturated_relay_draws_cp202_and_names_the_hot_channel() {
+        let mut g = base();
+        let mut spes = Vec::new();
+        for slot in 0..8 {
+            spes.push(g.add_spe_process(&format!("s{slot}"), 0, slot));
+        }
+        // A same-node ring: 8 type-4 channels, each costing
+        // dispatch + pair_poll on node 0's Co-Pilot.
+        for i in 0..8 {
+            g.add_channel(spes[i], spes[(i + 1) % 8]);
+        }
+        g.set_relay_costs(RelayCostModel {
+            dispatch_us: 37.0,
+            pair_poll_us: 20.0,
+            eager_dispatch_us: 5.0,
+            service_budget_us: 400.0,
+        });
+        let d = analyze(&g);
+        assert_eq!(codes(&d), vec!["CP202"]);
+        assert_eq!(d[0].endpoints, vec!["copilot(0)"]);
+        assert!(
+            d[0].message.contains("456us") && d[0].message.contains("channel 0 at 57us"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn without_a_cost_model_cp202_is_skipped() {
+        let mut g = base();
+        let s0 = g.add_spe_process("s0", 0, 0);
+        let s1 = g.add_spe_process("s1", 0, 1);
+        g.add_channel(s0, s1);
+        assert_eq!(analyze(&g), Vec::new());
+    }
+
+    #[test]
+    fn small_payload_bound_without_eager_draws_cp203_advice() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s0 = g.add_spe_process("s0", 0, 0);
+        let c = g.add_channel(main, s0);
+        g.set_channel_max_payload(c, 8);
+        let d = analyze(&g);
+        assert_eq!(codes(&d), vec!["CP203"]);
+        assert_eq!(d[0].severity, Severity::Advice);
+        // An eager declaration satisfies the advice.
+        g.set_channel_eager(c, 8);
+        assert_eq!(analyze(&g), Vec::new());
+    }
+
+    #[test]
+    fn large_bound_or_rank_only_channel_stays_silent() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let xeon = g.add_rank_process("xeon", 1, 2);
+        let s0 = g.add_spe_process("s0", 0, 0);
+        let big = g.add_channel(main, s0);
+        g.set_channel_max_payload(big, MAILBOX_INLINE_CAPACITY + 1);
+        let rr = g.add_channel(main, xeon);
+        g.set_channel_max_payload(rr, 4);
+        assert_eq!(analyze(&g), Vec::new());
+    }
+
+    #[test]
+    fn coalesced_one_sided_member_draws_cp204() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s0 = g.add_spe_process("s0", 0, 0);
+        let c = g.add_channel(main, s0);
+        g.mark_one_sided(c);
+        g.add_window(c, 0, 0, 0x100, 256);
+        let b = g.add_bundle(crate::graph::GraphBundleUsage::Broadcast, &[c], main);
+        g.set_bundle_coalesce(b, 4);
+        let d = analyze(&g);
+        assert_eq!(codes(&d), vec!["CP204"]);
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn eager_one_sided_channel_draws_cp204() {
+        let mut g = base();
+        let main = g.add_rank_process("main", 0, 0);
+        let s0 = g.add_spe_process("s0", 0, 0);
+        let c = g.add_channel(main, s0);
+        g.mark_one_sided(c);
+        g.add_window(c, 0, 0, 0x100, 256);
+        g.set_channel_eager(c, 8);
+        let d = analyze(&g);
+        assert_eq!(codes(&d), vec!["CP204"]);
+    }
+}

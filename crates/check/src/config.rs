@@ -1,0 +1,215 @@
+//! Lint-engine configuration: per-code levels, endpoint-scoped
+//! suppressions and committed baselines.
+//!
+//! The passes themselves ([`fn@crate::verify`], [`fn@crate::analyze`],
+//! [`crate::detect_races`]) always report everything they find; policy
+//! about what to *do* with a finding lives here, applied as a filter
+//! over the raw diagnostics:
+//!
+//! 1. **Suppressions** ([`LintConfig::suppress`]) drop a specific code
+//!    at a specific endpoint — the surgical "yes, this one is
+//!    intentional" knob.
+//! 2. **Baselines** ([`LintConfig::with_baseline`]) drop findings whose
+//!    [`Diagnostic::fingerprint`] appears in a committed baseline file,
+//!    so adopting a new analyzer version on a brownfield codebase does
+//!    not fail CI on day one. Fingerprints omit the severity, so
+//!    remapping levels never invalidates a baseline.
+//! 3. **Levels** ([`LintConfig::level`]) remap what survives:
+//!    [`LintLevel::Allow`] drops the code entirely,
+//!    [`LintLevel::Warn`] caps it at [`Severity::Warning`] (strict mode
+//!    will not abort), [`LintLevel::Deny`] promotes it to
+//!    [`Severity::Error`] (strict mode aborts).
+
+use crate::diag::{CheckCode, Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What to do with findings of one code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Drop the finding entirely.
+    Allow,
+    /// Keep it, capped at [`Severity::Warning`]: reported, never aborts.
+    Warn,
+    /// Keep it, promoted to [`Severity::Error`]: strict mode aborts.
+    Deny,
+}
+
+/// Policy filter over the raw diagnostics: levels, suppressions and a
+/// baseline. The default config is the identity — everything the passes
+/// find is reported at its natural severity.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    levels: BTreeMap<CheckCode, LintLevel>,
+    suppressions: BTreeSet<(CheckCode, String)>,
+    baseline: BTreeSet<String>,
+}
+
+impl LintConfig {
+    /// The identity config: natural severities, nothing suppressed.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Set the level for one code.
+    pub fn level(mut self, code: CheckCode, level: LintLevel) -> LintConfig {
+        self.levels.insert(code, level);
+        self
+    }
+
+    /// Suppress `code` at `endpoint` (the deadlock detector's notation:
+    /// `"rank 1"`, `"spe(0,3)"`, `"copilot(1)"`). A finding is dropped
+    /// when *any* of its endpoints matches a suppression for its code.
+    pub fn suppress(mut self, code: CheckCode, endpoint: &str) -> LintConfig {
+        self.suppressions.insert((code, endpoint.to_string()));
+        self
+    }
+
+    /// Load a baseline: one [`Diagnostic::fingerprint`] per line, blank
+    /// lines and `#` comments ignored (the format
+    /// [`LintConfig::baseline_text`] writes). Findings already in the
+    /// baseline are dropped by [`LintConfig::apply`].
+    pub fn with_baseline(mut self, text: &str) -> LintConfig {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            self.baseline.insert(line.to_string());
+        }
+        self
+    }
+
+    /// Render `diags` as baseline text: a header comment plus one
+    /// fingerprint per line, sorted and deduplicated. Commit the output
+    /// (conventionally `cp-check.baseline`) and load it with
+    /// [`LintConfig::with_baseline`].
+    pub fn baseline_text(diags: &[Diagnostic]) -> String {
+        let mut lines: BTreeSet<String> = diags.iter().map(|d| d.fingerprint()).collect();
+        let mut out = String::from(
+            "# cp-check baseline: pre-existing findings exempted from the lint gate.\n\
+             # One fingerprint per line (rendered diagnostic minus the severity).\n\
+             # Regenerate with `repro_check --write-baseline <path>`.\n",
+        );
+        while let Some(line) = lines.pop_first() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether `code` is mapped to [`LintLevel::Deny`].
+    pub fn denies(&self, code: CheckCode) -> bool {
+        self.levels.get(&code) == Some(&LintLevel::Deny)
+    }
+
+    /// Apply the policy: drop suppressed, baselined and `Allow`ed
+    /// findings, remap severities for `Warn`/`Deny` codes, pass the rest
+    /// through untouched.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| {
+                !d.endpoints
+                    .iter()
+                    .any(|e| self.suppressions.contains(&(d.code, e.clone())))
+            })
+            .filter(|d| !self.baseline.contains(&d.fingerprint()))
+            .filter_map(|mut d| match self.levels.get(&d.code) {
+                Some(LintLevel::Allow) => None,
+                Some(LintLevel::Warn) => {
+                    d.severity = d.severity.min(Severity::Warning);
+                    Some(d)
+                }
+                Some(LintLevel::Deny) => {
+                    d.severity = Severity::Error;
+                    Some(d)
+                }
+                None => Some(d),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                CheckCode::Cp008,
+                Severity::Warning,
+                "mixed bundle",
+                vec!["spe(0,0)".into()],
+            ),
+            Diagnostic::new(
+                CheckCode::Cp203,
+                Severity::Advice,
+                "inline it",
+                vec!["rank 0".into(), "spe(0,1)".into()],
+            ),
+            Diagnostic::new(
+                CheckCode::Cp009,
+                Severity::Error,
+                "self channel",
+                vec!["rank 1".into()],
+            ),
+        ]
+    }
+
+    #[test]
+    fn default_config_is_identity() {
+        assert_eq!(LintConfig::new().apply(sample()), sample());
+    }
+
+    #[test]
+    fn levels_remap_severity() {
+        let cfg = LintConfig::new()
+            .level(CheckCode::Cp008, LintLevel::Allow)
+            .level(CheckCode::Cp203, LintLevel::Deny)
+            .level(CheckCode::Cp009, LintLevel::Warn);
+        let out = cfg.apply(sample());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].code, CheckCode::Cp203);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert!(cfg.denies(CheckCode::Cp203));
+        assert_eq!(out[1].code, CheckCode::Cp009);
+        assert_eq!(out[1].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn warn_does_not_raise_advice() {
+        let cfg = LintConfig::new().level(CheckCode::Cp203, LintLevel::Warn);
+        let out = cfg.apply(sample());
+        assert_eq!(out[1].severity, Severity::Advice);
+    }
+
+    #[test]
+    fn suppression_is_code_and_endpoint_scoped() {
+        let cfg = LintConfig::new()
+            .suppress(CheckCode::Cp203, "spe(0,1)")
+            .suppress(CheckCode::Cp008, "spe(9,9)");
+        let out = cfg.apply(sample());
+        // CP203 matched on its second endpoint; CP008's suppression is
+        // for a different endpoint so it stays.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.code != CheckCode::Cp203));
+    }
+
+    #[test]
+    fn baseline_round_trips_and_filters() {
+        let text = LintConfig::baseline_text(&sample());
+        assert!(text.starts_with('#'));
+        assert!(text.contains("CP009 self channel (rank 1)\n"));
+        let cfg = LintConfig::new().with_baseline(&text);
+        assert_eq!(cfg.apply(sample()), Vec::new());
+        // A fresh finding still gets through.
+        let fresh = vec![Diagnostic::new(
+            CheckCode::Cp001,
+            Severity::Error,
+            "orphan",
+            vec![],
+        )];
+        assert_eq!(cfg.apply(fresh.clone()), fresh);
+    }
+}

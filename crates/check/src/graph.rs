@@ -93,6 +93,26 @@ pub struct GraphChannelFlow {
     pub blocks: bool,
 }
 
+/// Per-op Co-Pilot dispatch costs and service budget the CP202
+/// relay-saturation estimate runs against. The runtimes populate this
+/// from their cost model (`CellPilotCosts`); a graph without one skips
+/// CP202 entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelayCostModel {
+    /// Co-Pilot handling cost of one relayed request, microseconds.
+    pub dispatch_us: f64,
+    /// Extra pairing/poll cost of a same-node SPE↔SPE (type-4) transfer,
+    /// microseconds.
+    pub pair_poll_us: f64,
+    /// Fast-path handling cost when the channel is eager-inlined,
+    /// microseconds.
+    pub eager_dispatch_us: f64,
+    /// Service budget per Co-Pilot, microseconds: CP202 fires when the
+    /// summed static fan-in cost of the channels a Co-Pilot proxies
+    /// exceeds this.
+    pub service_budget_us: f64,
+}
+
 /// What a bundle's collective does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphBundleUsage {
@@ -152,6 +172,14 @@ pub struct WiringGraph {
     /// Per-bundle coalescing batch sizes (bundle index → `max_batch`).
     /// Bundles absent from the map do not coalesce.
     pub bundle_coalesce: BTreeMap<usize, usize>,
+    /// Per-channel declared payload bounds (channel index → largest
+    /// payload in bytes the application will ever send). Channels absent
+    /// from the map made no promise; CP203 only reasons about declared
+    /// bounds.
+    pub channel_max_payload: BTreeMap<usize, usize>,
+    /// Co-Pilot dispatch costs and service budget for the CP202
+    /// relay-saturation estimate; `None` skips CP202.
+    pub relay_costs: Option<RelayCostModel>,
 }
 
 /// Bytes one mailbox/control-word exchange can carry inline: the 4-deep
@@ -255,6 +283,21 @@ impl WiringGraph {
         if self.bundles.get(b).is_some() {
             self.bundle_coalesce.insert(b, max_batch);
         }
+    }
+
+    /// Record channel `c`'s declared payload bound (largest payload in
+    /// bytes the application promises to send). No-op for an out-of-range
+    /// index (the orphan checks already flag those).
+    pub fn set_channel_max_payload(&mut self, c: usize, bytes: usize) {
+        if self.channels.get(c).is_some() {
+            self.channel_max_payload.insert(c, bytes);
+        }
+    }
+
+    /// Attach the Co-Pilot cost model and service budget CP202 estimates
+    /// against. Without one the relay-saturation pass is skipped.
+    pub fn set_relay_costs(&mut self, costs: RelayCostModel) {
+        self.relay_costs = Some(costs);
     }
 
     /// Register a one-sided window of `len` bytes at local-store offset

@@ -12,7 +12,14 @@
 //!    (CP006), SPE channels with no Co-Pilot route (CP007), bundles
 //!    mixing incompatible rendezvous classes (CP008), self-channels
 //!    (CP009) and slot collisions (CP010).
-//! 2. **Happens-before DMA race detector** ([`detect_races`]) — a
+//! 2. **Configure-time progress analyzer** ([`fn@analyze`]) — asks
+//!    whether a well-formed graph will actually make progress: credit-
+//!    deadlock cycles of `Block`-bounded channels (CP201), Co-Pilot
+//!    relay saturation against the cost model's service budget (CP202),
+//!    eager-inlining opportunities on always-small channels (CP203,
+//!    advice), and one-sided windows whose channel config makes fence
+//!    placement unsatisfiable (CP204).
+//! 3. **Happens-before DMA race detector** ([`detect_races`]) — a
 //!    vector-clock analysis over the [`cp_trace::hb`] event stream that
 //!    flags overlapping local-store byte ranges accessed without an
 //!    ordering edge (CP101), the silent-corruption class the Co-Pilot
@@ -23,20 +30,29 @@
 //! `spe(node,slot)` notation the deadlock detector uses. The runtimes
 //! enable the passes with `with_strict_checks()` (errors abort before
 //! the run) or `with_checks()` (findings become `wiring-lint` /
-//! `dma-race` incidents in the `SimReport`).
+//! `dma-race` incidents in the `SimReport`). Policy over the raw
+//! findings — per-code [`LintLevel`]s, endpoint-scoped suppressions,
+//! committed baselines — lives in [`LintConfig`]; [`to_sarif`] exports a
+//! finding set as a SARIF 2.1.0 log for code-scanning upload.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
+pub mod config;
 pub mod diag;
 pub mod graph;
 pub mod race;
+pub mod sarif;
 pub mod verify;
 
+pub use analyze::analyze;
+pub use config::{LintConfig, LintLevel};
 pub use diag::{render, CheckCode, Diagnostic, Severity};
 pub use graph::{
     GraphBundle, GraphBundleUsage, GraphChannel, GraphChannelFlow, GraphEndpoint, GraphProcess,
-    GraphWindow, WiringGraph,
+    GraphWindow, RelayCostModel, WiringGraph,
 };
 pub use race::detect_races;
+pub use sarif::to_sarif;
 pub use verify::verify;

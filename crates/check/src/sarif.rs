@@ -1,0 +1,142 @@
+//! SARIF 2.1.0 export of `cp-check` findings.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what GitHub
+//! code scanning ingests: uploading the log produced here renders each
+//! finding as an annotation. The export is deliberately minimal — one
+//! run, logical locations only (a wiring graph has endpoints, not
+//! files) — but schema-valid: `$schema`/`version` at the top, a tool
+//! driver with one rule per distinct code, and one result per
+//! diagnostic carrying the code, the mapped level, the message, the
+//! endpoints as logical locations, and the baseline fingerprint under
+//! `partialFingerprints`.
+
+use crate::diag::{Diagnostic, Severity};
+use cp_trace::Json;
+use std::collections::BTreeSet;
+
+/// The SARIF `level` for a severity: `Advice` maps to `note`.
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Advice => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Serialize `diags` as a pretty-printed SARIF 2.1.0 log with a single
+/// `cp-check` run. Keys are canonically sorted, so the output is
+/// deterministic for a given finding set.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let codes: BTreeSet<_> = diags.iter().map(|d| d.code).collect();
+    let rules: Vec<Json> = codes
+        .into_iter()
+        .map(|code| {
+            let mut rule = Json::obj();
+            rule.set("id", code.as_str());
+            let mut short = Json::obj();
+            short.set("text", code.summary());
+            rule.set("shortDescription", short);
+            rule
+        })
+        .collect();
+
+    let mut driver = Json::obj();
+    driver.set("name", "cp-check");
+    driver.set("informationUri", "https://example.invalid/cp-check");
+    driver.set("rules", rules);
+    let mut tool = Json::obj();
+    tool.set("driver", driver);
+
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let mut result = Json::obj();
+            result.set("ruleId", d.code.as_str());
+            result.set("level", level(d.severity));
+            let mut message = Json::obj();
+            message.set("text", d.message.as_str());
+            result.set("message", message);
+            let locations: Vec<Json> = d
+                .endpoints
+                .iter()
+                .map(|e| {
+                    let mut logical = Json::obj();
+                    logical.set("name", e.as_str());
+                    logical.set("kind", "resource");
+                    let mut loc = Json::obj();
+                    loc.set("logicalLocations", vec![logical]);
+                    loc
+                })
+                .collect();
+            result.set("locations", locations);
+            let mut fp = Json::obj();
+            fp.set("cpCheck/v1", d.fingerprint());
+            result.set("partialFingerprints", fp);
+            result
+        })
+        .collect();
+
+    let mut run = Json::obj();
+    run.set("tool", tool);
+    run.set("results", results);
+
+    let mut log = Json::obj();
+    log.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    log.set("version", "2.1.0");
+    log.set("runs", vec![run]);
+    let mut out = log.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::CheckCode;
+
+    #[test]
+    fn export_is_schema_shaped_and_round_trips() {
+        let diags = vec![
+            Diagnostic::new(
+                CheckCode::Cp201,
+                Severity::Warning,
+                "cycle",
+                vec!["rank 0".into(), "rank 1".into()],
+            ),
+            Diagnostic::new(CheckCode::Cp203, Severity::Advice, "inline it", vec![]),
+        ];
+        let text = to_sarif(&diags);
+        let log = Json::parse(&text).expect("export parses back");
+        assert_eq!(
+            log.get("version").and_then(|v| v.as_str()),
+            Some("2.1.0"),
+            "{text}"
+        );
+        let runs = match log.get("runs") {
+            Some(Json::Arr(r)) => r,
+            other => panic!("runs must be an array: {other:?}"),
+        };
+        assert_eq!(runs.len(), 1);
+        let results = match runs[0].get("results") {
+            Some(Json::Arr(r)) => r,
+            other => panic!("results must be an array: {other:?}"),
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(|v| v.as_str()),
+            Some("CP201")
+        );
+        assert_eq!(
+            results[1].get("level").and_then(|v| v.as_str()),
+            Some("note")
+        );
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"));
+        match rules {
+            Some(Json::Arr(r)) => assert_eq!(r.len(), 2),
+            other => panic!("rules must be an array: {other:?}"),
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! `tests/golden/diagnostics.txt`. On a deliberate wording change,
 //! regenerate with `BLESS=1 cargo test -p cp-check --test golden`.
 
-use cp_check::{render, CheckCode, Diagnostic, GraphBundleUsage, WiringGraph};
+use cp_check::{render, CheckCode, Diagnostic, GraphBundleUsage, RelayCostModel, WiringGraph};
 use cp_trace::{HbEvent, HbOp};
 
 /// Three ranks, Cell nodes 0 and 1 (8 SPEs each, both with Co-Pilots),
@@ -112,6 +112,61 @@ fn wiring_catalogue() -> Vec<(CheckCode, Vec<Diagnostic>)> {
     g.set_bundle_coalesce(b, 16);
     out.push((CheckCode::Cp014, cp_check::verify(&g)));
 
+    // CP201 (warning): a two-hop cycle on which both channels are
+    // Block-bounded.
+    let mut g = base();
+    let main = g.add_rank_process("main", 0, 0);
+    let xeon = g.add_rank_process("xeon", 1, 2);
+    let fwd = g.add_channel(main, xeon);
+    let back = g.add_channel(xeon, main);
+    g.set_channel_flow(fwd, Some(1), true);
+    g.set_channel_flow(back, Some(4), true);
+    out.push((CheckCode::Cp201, cp_check::analyze(&g)));
+
+    // CP202 (warning): a same-node SPE ring whose pairing dispatch cost
+    // blows the Co-Pilot's service budget.
+    let mut g = base();
+    let mut ring = Vec::new();
+    for slot in 0..8 {
+        ring.push(g.add_spe_process(&format!("ring#{slot}"), 0, slot));
+    }
+    for i in 0..8 {
+        g.add_channel(ring[i], ring[(i + 1) % 8]);
+    }
+    g.set_relay_costs(RelayCostModel {
+        dispatch_us: 37.0,
+        pair_poll_us: 20.0,
+        eager_dispatch_us: 5.0,
+        service_budget_us: 400.0,
+    });
+    out.push((CheckCode::Cp202, cp_check::analyze(&g)));
+
+    // CP203 (advice): a channel promising mailbox-sized payloads, left
+    // non-eager.
+    let mut g = base();
+    let main = g.add_rank_process("main", 0, 0);
+    let s0a = g.add_spe_process("s0a", 0, 0);
+    let small = g.add_channel(main, s0a);
+    g.set_channel_max_payload(small, 8);
+    out.push((CheckCode::Cp203, cp_check::analyze(&g)));
+
+    // CP204: a coalesced bundle over a one-sided member, and an eager
+    // threshold on a one-sided channel — both fence-unsatisfiable.
+    let mut g = base();
+    let main = g.add_rank_process("main", 0, 0);
+    let s0a = g.add_spe_process("s0a", 0, 0);
+    let s0b = g.add_spe_process("s0b", 0, 1);
+    let put = g.add_channel(main, s0a);
+    g.mark_one_sided(put);
+    g.add_window(put, 0, 0, 0x100, 256);
+    let b = g.add_bundle(GraphBundleUsage::Broadcast, &[put], main);
+    g.set_bundle_coalesce(b, 4);
+    let inline = g.add_channel(main, s0b);
+    g.mark_one_sided(inline);
+    g.add_window(inline, 0, 1, 0x100, 256);
+    g.set_channel_eager(inline, 8);
+    out.push((CheckCode::Cp204, cp_check::analyze(&g)));
+
     out
 }
 
@@ -167,6 +222,10 @@ fn every_code_renders_as_pinned_in_the_golden_file() {
 
     let mut rendered = render(&all);
     rendered.push('\n');
+    assert!(
+        rendered.contains("advice[CP203]"),
+        "the advice severity tier must be pinned by the golden file"
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnostics.txt");
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(path, &rendered).unwrap();
@@ -196,6 +255,10 @@ fn code_strings_are_stable() {
         (CheckCode::Cp010, "CP010"),
         (CheckCode::Cp014, "CP014"),
         (CheckCode::Cp101, "CP101"),
+        (CheckCode::Cp201, "CP201"),
+        (CheckCode::Cp202, "CP202"),
+        (CheckCode::Cp203, "CP203"),
+        (CheckCode::Cp204, "CP204"),
     ];
     for (code, s) in pinned {
         assert_eq!(code.as_str(), s);

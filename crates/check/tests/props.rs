@@ -1,9 +1,11 @@
-//! Property: the wiring verifier never cries wolf. Any well-formed graph
-//! — processes on existing ranks and Cell slots, fully wired channels
-//! between distinct processes, bundles held by their common endpoint on
-//! one rendezvous class — must verify with zero diagnostics.
+//! Property: the wiring verifier and the progress analyzer never cry
+//! wolf. Any well-formed graph — processes on existing ranks and Cell
+//! slots, fully wired channels between distinct processes, bundles held
+//! by their common endpoint on one rendezvous class, bounded channels
+//! only along an acyclic order, a generous relay budget — must come out
+//! of both passes with zero diagnostics.
 
-use cp_check::{GraphBundleUsage, WiringGraph};
+use cp_check::{GraphBundleUsage, RelayCostModel, WiringGraph};
 use proptest::prelude::*;
 
 /// A recipe for a well-formed graph, drawn from small index spaces and
@@ -20,6 +22,11 @@ struct Recipe {
     chans: Vec<(usize, usize)>,
     /// Broadcast fan-out from rank 0's process (member count seed).
     bundle_fanout: usize,
+    /// Block-bounded flow declarations as (channel seed, capacity seed).
+    /// Only applied where the writer's process index is below the
+    /// reader's, so the bounded subgraph is acyclic by construction and
+    /// CP201 must stay silent.
+    bounds: Vec<(usize, usize)>,
 }
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
@@ -28,15 +35,21 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
         proptest::collection::vec(1usize..9, 1..3),
         proptest::collection::vec((0usize..2, 0usize..16), 0..10),
         proptest::collection::vec((0usize..32, 0usize..32), 0..12),
-        0usize..4,
+        (
+            0usize..4,
+            proptest::collection::vec((0usize..32, 1usize..8), 0..8),
+        ),
     )
-        .prop_map(|(ranks, cells, spes, chans, bundle_fanout)| Recipe {
-            ranks,
-            cells,
-            spes,
-            chans,
-            bundle_fanout,
-        })
+        .prop_map(
+            |(ranks, cells, spes, chans, (bundle_fanout, bounds))| Recipe {
+                ranks,
+                cells,
+                spes,
+                chans,
+                bundle_fanout,
+                bounds,
+            },
+        )
 }
 
 /// Materialize the recipe as a graph that is well-formed by construction:
@@ -60,13 +73,33 @@ fn build(r: &Recipe) -> WiringGraph {
             procs.push(g.add_spe_process(&format!("s{node}_{slot}"), node, slot));
         }
     }
+    let mut wired = Vec::new();
     for &(a, b) in &r.chans {
         let w = a % procs.len();
         let rd = b % procs.len();
         if w != rd {
-            g.add_channel(procs[w], procs[rd]);
+            wired.push((g.add_channel(procs[w], procs[rd]), w, rd));
         }
     }
+    // Bound a subset of channels (Block policy) along the process-index
+    // order: writer below reader means the bounded subgraph is a DAG.
+    for &(chan_seed, cap) in &r.bounds {
+        if wired.is_empty() {
+            break;
+        }
+        let (c, w, rd) = wired[chan_seed % wired.len()];
+        if w < rd {
+            g.set_channel_flow(c, Some(cap), true);
+        }
+    }
+    // A generous service budget: the analyzer's CP202 arithmetic runs on
+    // every graph, but a well-formed application must never trip it.
+    g.set_relay_costs(RelayCostModel {
+        dispatch_us: 37.0,
+        pair_poll_us: 20.0,
+        eager_dispatch_us: 5.0,
+        service_budget_us: 1e9,
+    });
     // A broadcast from rank 0 to the others: all members written by the
     // common endpoint, all rank↔rank (one rendezvous class).
     if r.bundle_fanout > 0 && r.ranks > 1 {
@@ -88,6 +121,16 @@ proptest! {
     fn well_formed_graphs_verify_clean(recipe in arb_recipe()) {
         let g = build(&recipe);
         let d = cp_check::verify(&g);
+        prop_assert!(d.is_empty(), "false positives on {recipe:?}: {d:?}");
+    }
+
+    /// The progress analyzer stays silent too: acyclic bounded wiring,
+    /// an over-provisioned relay budget, no payload promises — no
+    /// CP201–CP204.
+    #[test]
+    fn well_formed_graphs_analyze_clean(recipe in arb_recipe()) {
+        let g = build(&recipe);
+        let d = cp_check::analyze(&g);
         prop_assert!(d.is_empty(), "false positives on {recipe:?}: {d:?}");
     }
 }

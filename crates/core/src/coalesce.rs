@@ -134,11 +134,9 @@ impl BundleCoalescer<'_> {
     }
 
     /// Flush everything buffered: SPE-destined entries are grouped per
-    /// node into one [`CP_BUNDLE_TAG`] envelope for that node's Co-Pilot;
+    /// node into one `CP_BUNDLE_TAG` envelope for that node's Co-Pilot;
     /// rank-destined entries are sent individually under their channel
     /// tags. No-op when empty.
-    ///
-    /// [`CP_BUNDLE_TAG`]: crate::protocol::CP_BUNDLE_TAG
     pub fn flush(&mut self) -> Result<(), CpError> {
         if self.buf.is_empty() {
             return Ok(());

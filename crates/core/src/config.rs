@@ -97,6 +97,21 @@ pub struct CellPilotOpts {
     /// ([`cp_des::SimError::Aborted`] naming every finding) instead of
     /// incidents. Implies [`CellPilotOpts::checks`].
     pub strict_checks: bool,
+    /// Lint-engine policy over the `cp-check` findings: per-code
+    /// [`cp_check::LintLevel`]s, endpoint-scoped suppressions and a
+    /// baseline. Applied by [`CellPilotConfig::check`] before findings
+    /// reach strict-abort or incident reporting, so an `Allow`ed,
+    /// suppressed or baselined finding never aborts a strict run; a
+    /// `Deny`ed one always does. Default: the identity (natural
+    /// severities, nothing suppressed).
+    pub lint_config: cp_check::LintConfig,
+    /// Abort the run with [`cp_des::SimError::TimeLimitExceeded`] once
+    /// virtual time passes this bound — the harness knob for
+    /// demonstrating progress hazards (a CP201 credit-deadlock cycle
+    /// livelocks virtual time rather than exhausting the event queue, so
+    /// only a time limit can catch it). `None` (the default) never
+    /// limits. Sim-only; ignored on the native backend.
+    pub time_limit: Option<SimDuration>,
     /// Execution substrate: the deterministic DES kernel
     /// ([`Backend::Sim`], the default) or free-running OS threads
     /// ([`Backend::Native`]). The program body and the configure-time
@@ -184,6 +199,21 @@ impl CellPilotOpts {
     pub fn with_strict_checks(mut self) -> CellPilotOpts {
         self.checks = true;
         self.strict_checks = true;
+        self
+    }
+
+    /// Apply a lint-engine policy ([`cp_check::LintConfig`]) over the
+    /// `cp-check` findings: remap per-code levels, suppress a code at an
+    /// endpoint, or exempt a committed baseline.
+    pub fn with_lint_config(mut self, lint_config: cp_check::LintConfig) -> CellPilotOpts {
+        self.lint_config = lint_config;
+        self
+    }
+
+    /// Abort the run once virtual time passes `limit` (sim-only; see
+    /// [`CellPilotOpts::time_limit`]).
+    pub fn with_time_limit(mut self, limit: SimDuration) -> CellPilotOpts {
+        self.time_limit = Some(limit);
         self
     }
 
@@ -448,6 +478,7 @@ impl CellPilotConfig {
             capacity: None,
             policy: OverloadPolicy::Block,
             eager: None,
+            max_payload: None,
         }
     }
 
@@ -461,6 +492,7 @@ impl CellPilotConfig {
         capacity: Option<usize>,
         policy: OverloadPolicy,
         eager: Option<usize>,
+        max_payload: Option<usize>,
     ) -> Result<CpChannel, CpError> {
         let fe = self
             .processes
@@ -518,6 +550,7 @@ impl CellPilotConfig {
             capacity,
             policy,
             eager,
+            max_payload,
         });
         Ok(id)
     }
@@ -664,14 +697,24 @@ impl CellPilotConfig {
             .collect()
     }
 
-    /// Run the `cp-check` configure-time wiring verifier over the
-    /// architecture configured so far. The typed API already rules much of
-    /// the CP0xx catalogue out by construction (dangling endpoints,
-    /// self-channels, bundle-common mismatches), so what can surface here
-    /// is what only a whole-graph view sees — SPE slot oversubscription
-    /// (CP006), bundles mixing rendezvous classes (CP008). Called
-    /// automatically by `run` when [`CellPilotOpts::checks`] is set;
-    /// public so harnesses can lint without running.
+    /// Run the `cp-check` configure-time passes — the wiring verifier and
+    /// the progress analyzer — over the architecture configured so far.
+    /// The typed API already rules much of the CP0xx catalogue out by
+    /// construction (dangling endpoints, self-channels, bundle-common
+    /// mismatches), so what can surface here is what only a whole-graph
+    /// view sees — SPE slot oversubscription (CP006), bundles mixing
+    /// rendezvous classes (CP008) — plus the CP2xx progress hazards:
+    /// credit-deadlock cycles of Block-bounded channels (CP201), Co-Pilot
+    /// relay saturation against
+    /// [`CellPilotCosts::copilot_service_budget_us`] (CP202),
+    /// eager-inlining advice on channels with a small
+    /// [`ChannelBuilder::max_payload`] promise (CP203), and
+    /// fence-unsatisfiable one-sided configs (CP204). The configured
+    /// [`CellPilotOpts::lint_config`] is applied before returning, so
+    /// `Allow`ed, suppressed and baselined findings are already gone and
+    /// `Deny`ed ones arrive as errors. Called automatically by `run` when
+    /// [`CellPilotOpts::checks`] is set; public so harnesses can lint
+    /// without running.
     pub fn check(&self) -> Vec<cp_check::Diagnostic> {
         let mut g = cp_check::WiringGraph::new(self.placement.len());
         for (i, kind) in self.spec.nodes.iter().enumerate() {
@@ -706,12 +749,24 @@ impl CellPilotConfig {
                 c.policy == crate::flow::OverloadPolicy::Block,
             );
         }
-        // Eager/coalescing declarations for the CP014 lint.
+        // Eager/coalescing declarations for the CP014 lint, payload
+        // promises for the CP203 advisory.
         for (i, c) in self.channels.iter().enumerate() {
             if let Some(threshold) = c.eager {
                 g.set_channel_eager(i, threshold);
             }
+            if let Some(bound) = c.max_payload {
+                g.set_channel_max_payload(i, bound);
+            }
         }
+        // The CP202 relay-saturation estimate runs against this config's
+        // cost model and service budget.
+        g.set_relay_costs(cp_check::RelayCostModel {
+            dispatch_us: self.opts.costs.copilot_dispatch_us,
+            pair_poll_us: self.opts.costs.copilot_pair_poll_us,
+            eager_dispatch_us: self.opts.costs.copilot_eager_dispatch_us,
+            service_budget_us: self.opts.costs.copilot_service_budget_us,
+        });
         // One-sided channels and their windows. Explicit `window_at`
         // placements are declared verbatim (CP011 catches user-chosen
         // overlaps); runtime-allocated windows get synthetic stacked
@@ -755,7 +810,9 @@ impl CellPilotConfig {
                 g.set_bundle_coalesce(i, cp.max_batch);
             }
         }
-        cp_check::verify(&g)
+        let mut diags = cp_check::verify(&g);
+        diags.extend(cp_check::analyze(&g));
+        self.opts.lint_config.apply(diags)
     }
 
     /// `PI_StartAll` + `PI_StopMain` with trace retrieval: like
@@ -934,6 +991,9 @@ impl CellPilotConfig {
         world.set_recorder(opts.tracing.clone());
         let mut sim = Runner::for_backend(opts.backend);
         sim.set_schedule_seed(opts.schedule_seed);
+        if let Some(limit) = opts.time_limit {
+            sim.set_time_limit(cp_des::SimTime(limit.as_nanos()));
+        }
         sim.set_recorder(opts.tracing.clone());
         // Application rank processes.
         for (pidx, body) in bodies.into_iter().enumerate() {
@@ -1033,6 +1093,7 @@ pub struct ChannelBuilder<'a> {
     capacity: Option<usize>,
     policy: OverloadPolicy,
     eager: Option<usize>,
+    max_payload: Option<usize>,
 }
 
 impl ChannelBuilder<'_> {
@@ -1094,7 +1155,7 @@ impl ChannelBuilder<'_> {
     }
 
     /// Enable **eager inlining** at the default threshold (the mailbox-word
-    /// capacity, [`crate::protocol::EAGER_INLINE_MAX`] bytes): packed
+    /// capacity, `EAGER_INLINE_MAX` = 16 bytes): packed
     /// payloads at or below the threshold ride the existing mailbox/control
     /// word instead of a separate DMA round trip, cutting per-message
     /// protocol cost for small messages. Off by default — existing
@@ -1108,8 +1169,19 @@ impl ChannelBuilder<'_> {
         self.eager_threshold(t)
     }
 
+    /// Declare the largest packed payload (bytes) the application will
+    /// ever send on this channel. Purely an analysis hint: the `cp-check`
+    /// progress analyzer's CP203 advisory keys off it (a channel that
+    /// always fits the mailbox inline capacity but is left non-eager is
+    /// paying a DMA round trip per message for nothing). The runtime does
+    /// not enforce the bound.
+    pub fn max_payload(mut self, bytes: usize) -> Self {
+        self.max_payload = Some(bytes);
+        self
+    }
+
     /// Enable eager inlining with an explicit byte threshold. Values above
-    /// [`crate::protocol::EAGER_INLINE_MAX`] are clamped at run time (one
+    /// `EAGER_INLINE_MAX` (16) are clamped at run time (one
     /// mailbox exchange cannot carry more) — the `cp-check` wiring
     /// verifier flags such configs as CP014.
     pub fn eager_threshold(mut self, threshold: usize) -> Self {
@@ -1143,6 +1215,7 @@ impl ChannelBuilder<'_> {
             self.capacity,
             self.policy,
             self.eager,
+            self.max_payload,
         )
     }
 

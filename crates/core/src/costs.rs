@@ -39,6 +39,12 @@ pub struct CellPilotCosts {
     /// Default local-store buffer for reads whose format has a run-time
     /// (`%*`) count, bytes.
     pub spe_read_buffer: usize,
+    /// Per-Co-Pilot service budget for the CP202 relay-saturation lint,
+    /// microseconds: the static fan-in dispatch cost of the channels one
+    /// Co-Pilot proxies (each channel charged its per-op dispatch cost)
+    /// may not exceed this. Purely an analysis threshold — the runtime
+    /// never throttles on it.
+    pub copilot_service_budget_us: f64,
 }
 
 impl Default for CellPilotCosts {
@@ -50,6 +56,7 @@ impl Default for CellPilotCosts {
             spu_op_us: 2.0,
             spu_per_byte_us: 0.000_5,
             spe_read_buffer: 16 * 1024,
+            copilot_service_budget_us: 1_000.0,
         }
     }
 }
@@ -82,6 +89,10 @@ mod tests {
         assert!(
             c.spe_read_buffer >= 1600,
             "must hold the paper's array case"
+        );
+        assert!(
+            c.copilot_service_budget_us > c.copilot_dispatch_us,
+            "a budget below one dispatch would flag every SPE channel"
         );
     }
 }

@@ -168,6 +168,7 @@ mod tests {
                 capacity: None,
                 policy: crate::OverloadPolicy::Block,
                 eager: None,
+                max_payload: None,
             },
             CpChanEntry {
                 from: CpProcess(1),
@@ -178,6 +179,7 @@ mod tests {
                 capacity: None,
                 policy: crate::OverloadPolicy::Block,
                 eager: None,
+                max_payload: None,
             },
         ];
         CpTables {

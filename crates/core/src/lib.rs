@@ -91,4 +91,4 @@ pub use trace::{render_trace, TraceEvent, TraceOp, TraceSink};
 pub use cp_pilot::{PiValue, PilotCosts};
 // Static-analysis surface (see `cp-check`): diagnostics come back through
 // `SimReport` incidents or a strict-mode abort, both rendering these types.
-pub use cp_check::{CheckCode, Diagnostic, Severity};
+pub use cp_check::{CheckCode, Diagnostic, LintConfig, LintLevel, Severity};

@@ -53,6 +53,12 @@ pub(crate) struct CpChanEntry {
     /// the mailbox/control word instead of a DMA round trip. `None` =
     /// eager inlining off (every transfer takes the rendezvous path).
     pub eager: Option<usize>,
+    /// Declared payload bound from [`crate::ChannelBuilder::max_payload`]:
+    /// the application's promise that no message on this channel exceeds
+    /// this many packed bytes. Purely an analysis hint (the CP203
+    /// eager-inlining advisory keys off it); the runtime does not enforce
+    /// it. `None` = no promise made.
+    pub max_payload: Option<usize>,
 }
 
 impl CpChanEntry {

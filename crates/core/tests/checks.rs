@@ -165,6 +165,177 @@ fn flow_lints_surface_through_config_check() {
     .expect("warnings never abort, even under strict checks");
 }
 
+/// Two ranks exchanging two messages each over mutually Block-bounded
+/// channels of capacity `cap`, under a virtual-time ceiling. At capacity
+/// 1 the wiring is exactly the credit cycle CP201 describes; at capacity
+/// 2 every write is accepted and the run drains.
+fn credit_ring(cap: usize, limit: cp_des::SimDuration) -> Result<SimReport, SimError> {
+    let opts = CellPilotOpts::new().with_time_limit(limit);
+    let mut cfg = CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), opts);
+    let peer = cfg
+        .create_process("peer", 0, |cp, _| {
+            cp.write_slice(CpChannel(1), &[1i32]).unwrap();
+            cp.write_slice(CpChannel(1), &[2i32]).unwrap();
+            cp.read_vec::<i32>(CpChannel(0)).unwrap();
+            cp.read_vec::<i32>(CpChannel(0)).unwrap();
+        })
+        .unwrap();
+    cfg.channel(CP_MAIN, peer).capacity(cap).build().unwrap(); // c0
+    cfg.channel(peer, CP_MAIN).capacity(cap).build().unwrap(); // c1
+    if cap == 1 {
+        let lints = cfg.check();
+        assert!(
+            lints.iter().any(|d| d.code == cellpilot::CheckCode::Cp201),
+            "the analyzer must flag the credit cycle before the run proves it: {lints:?}"
+        );
+    }
+    cfg.run(move |cp| {
+        cp.write_slice(CpChannel(0), &[1i32]).unwrap();
+        cp.write_slice(CpChannel(0), &[2i32]).unwrap();
+        cp.read_vec::<i32>(CpChannel(1)).unwrap();
+        cp.read_vec::<i32>(CpChannel(1)).unwrap();
+    })
+}
+
+/// The companion to CP201: the exact wiring the analyzer flags — a cycle
+/// of capacity-1 Block channels with both writers two messages deep —
+/// really does wedge (the virtual-time ceiling fires), and the repair the
+/// diagnostic proposes (capacity 1 → 2) really does complete under the
+/// same ceiling.
+#[test]
+fn flagged_credit_cycle_stalls_and_the_proposed_repair_drains() {
+    let limit = cp_des::SimDuration::from_millis(10);
+    match credit_ring(1, limit) {
+        Err(SimError::TimeLimitExceeded { .. }) => {}
+        other => panic!("expected the credit cycle to stall out the clock, got {other:?}"),
+    }
+    credit_ring(2, limit).expect("the capacity-bumped twin must drain well inside the limit");
+}
+
+/// Per-code lint levels reshape what `check()` returns and what strict
+/// mode aborts on: `Allow` drops a finding entirely, `Warn` demotes it
+/// below the abort threshold.
+#[test]
+fn lint_levels_allow_and_warn_defuse_strict_aborts() {
+    use cellpilot::{CheckCode, LintConfig, LintLevel};
+    let allow = LintConfig::new().level(CheckCode::Cp006, LintLevel::Allow);
+    let cfg = oversubscribed(
+        CellPilotOpts::new()
+            .with_strict_checks()
+            .with_lint_config(allow),
+    );
+    assert_eq!(cfg.check(), Vec::new());
+    cfg.run(|_| {})
+        .expect("an Allow'ed finding must not abort a strict run");
+
+    let warn = LintConfig::new().level(CheckCode::Cp006, LintLevel::Warn);
+    let cfg = oversubscribed(
+        CellPilotOpts::new()
+            .with_strict_checks()
+            .with_lint_config(warn),
+    );
+    let lints = cfg.check();
+    assert!(
+        !lints.is_empty() && lints.iter().all(|d| !d.is_error()),
+        "{lints:?}"
+    );
+    cfg.run(|_| {})
+        .expect("a Warn'ed finding must not abort a strict run");
+}
+
+/// `Deny` goes the other way: an advisory-tier code escalates to an
+/// error, and a strict run that sailed through before now aborts.
+#[test]
+fn deny_escalates_advisories_into_strict_aborts() {
+    use cellpilot::{CheckCode, LintConfig, LintLevel, OverloadPolicy};
+    let deny = LintConfig::new().level(CheckCode::Cp013, LintLevel::Deny);
+    let mut cfg = CellPilotConfig::one_rank_per_node(
+        ClusterSpec::two_cells_one_xeon(),
+        CellPilotOpts::new()
+            .with_strict_checks()
+            .with_lint_config(deny),
+    );
+    let peer = cfg.create_process("peer", 0, |_, _| {}).unwrap();
+    // The inert-policy warning from `flow_lints_surface_through_config_check`,
+    // now load-bearing.
+    cfg.channel(CP_MAIN, peer)
+        .overload_policy(OverloadPolicy::Shed)
+        .build()
+        .unwrap();
+    let lints = cfg.check();
+    assert!(
+        lints
+            .iter()
+            .any(|d| d.code == CheckCode::Cp013 && d.is_error()),
+        "{lints:?}"
+    );
+    match cfg.run(|_| {}) {
+        Err(SimError::Aborted { name, message, .. }) => {
+            assert_eq!(name, "cp-check");
+            assert!(message.contains("CP013"), "{message}");
+        }
+        other => panic!("expected a cp-check abort under Deny, got {other:?}"),
+    }
+}
+
+/// Endpoint-scoped suppressions and a committed baseline both exempt a
+/// finding from the strict gate without touching its code's level.
+#[test]
+fn suppressions_and_baselines_exempt_findings() {
+    use cellpilot::{CheckCode, LintConfig};
+    let sup = LintConfig::new().suppress(CheckCode::Cp006, "spe(0,8)");
+    let cfg = oversubscribed(
+        CellPilotOpts::new()
+            .with_strict_checks()
+            .with_lint_config(sup),
+    );
+    assert_eq!(cfg.check(), Vec::new());
+    cfg.run(|_| {})
+        .expect("a suppressed finding must not abort a strict run");
+
+    // Capture today's debt from an unconfigured twin, then gate on it.
+    let baseline = LintConfig::baseline_text(&oversubscribed(CellPilotOpts::new()).check());
+    let cfg = oversubscribed(
+        CellPilotOpts::new()
+            .with_strict_checks()
+            .with_lint_config(LintConfig::new().with_baseline(&baseline)),
+    );
+    assert_eq!(cfg.check(), Vec::new());
+    cfg.run(|_| {})
+        .expect("a baselined finding must not abort a strict run");
+}
+
+/// The CP203/CP204 analyzer codes surface through the typed builder
+/// hints: a small `max_payload` promise on a non-eager SPE channel draws
+/// the advice tier, and an eager threshold on a one-sided channel is an
+/// error the builder itself cannot reject.
+#[test]
+fn analyzer_codes_surface_through_builder_hints() {
+    use cellpilot::{CheckCode, Severity};
+    let mut cfg =
+        CellPilotConfig::one_rank_per_node(ClusterSpec::two_cells_one_xeon(), CellPilotOpts::new());
+    let prog = SpeProgram::new("idle", 1024, |_, _, _| {});
+    let s0 = cfg.create_spe_process(&prog, CP_MAIN, 0).unwrap();
+    let s1 = cfg.create_spe_process(&prog, CP_MAIN, 1).unwrap();
+    cfg.channel(CP_MAIN, s0).max_payload(8).build().unwrap();
+    cfg.channel(CP_MAIN, s1)
+        .one_sided()
+        .eager_threshold(8)
+        .build()
+        .unwrap();
+    let lints = cfg.check();
+    let cp203 = lints
+        .iter()
+        .find(|d| d.code == CheckCode::Cp203)
+        .expect("the payload promise must draw CP203");
+    assert_eq!(cp203.severity, Severity::Advice);
+    let cp204 = lints
+        .iter()
+        .find(|d| d.code == CheckCode::Cp204)
+        .expect("eager one-sided must draw CP204");
+    assert!(cp204.is_error());
+}
+
 /// Without strict mode (and with nothing bounded) flow lints stay silent:
 /// a plain unbounded wiring is exactly as clean as before flow control
 /// existed.

@@ -562,6 +562,15 @@ impl Runner {
         }
     }
 
+    /// Fail the run once virtual time passes `limit` — meaningful only on
+    /// the sim backend (native threads have no virtual clock); ignored on
+    /// native.
+    pub fn set_time_limit(&mut self, limit: cp_des::SimTime) {
+        if let Runner::Sim(sim) = self {
+            sim.set_time_limit(limit);
+        }
+    }
+
     /// Attach an observability [`Recorder`] to whichever backend runs.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         match self {

@@ -66,6 +66,12 @@ pub struct PilotOpts {
     /// before launching, aborting the run on any error-severity finding
     /// ([`cp_des::SimError::Aborted`] naming every diagnostic).
     pub strict_checks: bool,
+    /// Lint-engine policy over the `cp-check` findings: per-code
+    /// [`cp_check::LintLevel`]s, endpoint-scoped suppressions and a
+    /// baseline. Applied by [`PilotConfig::check`], so an `Allow`ed,
+    /// suppressed or baselined finding never aborts a strict run; a
+    /// `Deny`ed one always does.
+    pub lint_config: cp_check::LintConfig,
     /// Execution substrate: the deterministic DES kernel
     /// ([`Backend::Sim`], the default) or free-running OS threads
     /// ([`Backend::Native`]). The program body is identical on both; the
@@ -121,6 +127,14 @@ impl PilotOpts {
     /// error in the configured architecture.
     pub fn with_strict_checks(mut self) -> PilotOpts {
         self.strict_checks = true;
+        self
+    }
+
+    /// Apply a lint-engine policy ([`cp_check::LintConfig`]) over the
+    /// `cp-check` findings: remap per-code levels, suppress a code at an
+    /// endpoint, or exempt a committed baseline.
+    pub fn with_lint_config(mut self, lint_config: cp_check::LintConfig) -> PilotOpts {
+        self.lint_config = lint_config;
         self
     }
 
@@ -290,12 +304,14 @@ impl PilotConfig {
         Ok(id)
     }
 
-    /// Run the `cp-check` configure-time wiring verifier over the
-    /// architecture configured so far. The typed API already rules the
-    /// dangling-endpoint and bundle-mismatch defects out by construction,
-    /// so a well-formed Pilot configuration verifies clean; the pass is
-    /// the same one CellPilot configurations run, and harnesses can call
-    /// it directly to lint without launching.
+    /// Run the `cp-check` configure-time passes — the wiring verifier and
+    /// the progress analyzer — over the architecture configured so far.
+    /// The typed API already rules the dangling-endpoint and
+    /// bundle-mismatch defects out by construction, so a well-formed
+    /// Pilot configuration comes out clean; the passes are the same ones
+    /// CellPilot configurations run, and harnesses can call this directly
+    /// to lint without launching. The configured
+    /// [`PilotOpts::lint_config`] is applied before returning.
     pub fn check(&self) -> Vec<cp_check::Diagnostic> {
         let mut g = cp_check::WiringGraph::new(self.placement.len());
         for e in &self.tables.processes {
@@ -313,7 +329,9 @@ impl PilotConfig {
             let members: Vec<usize> = b.channels.iter().map(|c| c.0).collect();
             g.add_bundle(usage, &members, b.common.0);
         }
-        cp_check::verify(&g)
+        let mut diags = cp_check::verify(&g);
+        diags.extend(cp_check::analyze(&g));
+        self.opts.lint_config.apply(diags)
     }
 
     /// `PI_StartAll` + `PI_StopMain` with call-log retrieval: like
